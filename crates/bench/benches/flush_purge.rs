@@ -1,0 +1,58 @@
+//! Criterion bench of the simulator's cache-management primitives: page
+//! flush/purge with the page absent, present-clean, and present-dirty —
+//! the cost asymmetry (§2.3: "up to seven times slower when the data is in
+//! the cache") that motivates delaying operations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vic_core::types::{CachePage, PFrame, Prot, SpaceId, VAddr};
+use vic_machine::{Machine, MachineConfig};
+
+fn machine_with_page(dirty: bool, fill: bool) -> Machine {
+    let mut m = Machine::new(MachineConfig::hp720());
+    let mapping = vic_core::types::Mapping::new(SpaceId(1), vic_core::types::VPage(0));
+    m.enter_mapping(mapping, PFrame(17), Prot::READ_WRITE);
+    if fill {
+        for off in (0..m.config().page_size).step_by(4) {
+            if dirty {
+                m.store(SpaceId(1), VAddr(off), 1).unwrap();
+            } else {
+                let _ = m.load(SpaceId(1), VAddr(off)).unwrap();
+            }
+        }
+    }
+    m
+}
+
+fn bench_flush_purge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flush_purge");
+    for (name, dirty, fill) in [
+        ("flush/absent", false, false),
+        ("flush/present_clean", false, true),
+        ("flush/present_dirty", true, true),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter_with_setup(
+                || machine_with_page(dirty, fill),
+                |mut m| {
+                    m.flush_dcache_page(CachePage(0), PFrame(17));
+                    m // return it: the 32 MB drop happens outside the timing
+                },
+            )
+        });
+    }
+    for (name, fill) in [("purge/absent", false), ("purge/present", true)] {
+        g.bench_function(name, |b| {
+            b.iter_with_setup(
+                || machine_with_page(true, fill),
+                |mut m| {
+                    m.purge_dcache_page(CachePage(0), PFrame(17));
+                    m
+                },
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_flush_purge);
+criterion_main!(benches);

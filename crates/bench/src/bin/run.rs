@@ -1,0 +1,127 @@
+//! A small CLI to run any benchmark under any consistency system and print
+//! a full report — the knob-turning tool for exploring the design space.
+//!
+//! ```sh
+//! cargo run --release -p vic-bench --bin run -- kernel-build F
+//! cargo run --release -p vic-bench --bin run -- afs-bench utah --quick
+//! cargo run --release -p vic-bench --bin run -- alias-unaligned F --colored --write-through
+//! ```
+
+use vic_core::policy::Configuration;
+use vic_machine::WritePolicy;
+use vic_os::{KernelConfig, SystemKind};
+use vic_workloads::{
+    run_with_config, AfsBench, AliasLoop, ForkBench, KernelBuild, LatexBench, Workload,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: run <workload> <system> [--quick] [--colored] [--write-through] [--fast-purge]\n\
+         \n\
+         workloads: afs-bench | latex-paper | kernel-build | fork-bench | alias-aligned | alias-unaligned\n\
+         systems:   A B C D E F (CMU configurations) | utah | apollo | tut | sun"
+    );
+    std::process::exit(2);
+}
+
+fn parse_system(s: &str) -> Option<SystemKind> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "a" => SystemKind::Cmu(Configuration::A),
+        "b" => SystemKind::Cmu(Configuration::B),
+        "c" => SystemKind::Cmu(Configuration::C),
+        "d" => SystemKind::Cmu(Configuration::D),
+        "e" => SystemKind::Cmu(Configuration::E),
+        "f" => SystemKind::Cmu(Configuration::F),
+        "utah" => SystemKind::Utah,
+        "apollo" => SystemKind::Apollo,
+        "tut" => SystemKind::Tut,
+        "sun" => SystemKind::Sun,
+        _ => return None,
+    })
+}
+
+fn parse_workload(s: &str, quick: bool) -> Option<Box<dyn Workload>> {
+    Some(match (s, quick) {
+        ("afs-bench", false) => Box::new(AfsBench::paper()),
+        ("afs-bench", true) => Box::new(AfsBench::quick()),
+        ("latex-paper", false) => Box::new(LatexBench::paper()),
+        ("latex-paper", true) => Box::new(LatexBench::quick()),
+        ("kernel-build", false) => Box::new(KernelBuild::paper()),
+        ("kernel-build", true) => Box::new(KernelBuild::quick()),
+        ("fork-bench", false) => Box::new(ForkBench::paper()),
+        ("fork-bench", true) => Box::new(ForkBench::quick()),
+        ("alias-aligned", false) => Box::new(AliasLoop::paper(true)),
+        ("alias-aligned", true) => Box::new(AliasLoop::quick(true)),
+        ("alias-unaligned", false) => Box::new(AliasLoop::paper(false)),
+        ("alias-unaligned", true) => Box::new(AliasLoop::quick(false)),
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags: Vec<&str> = args.iter().filter(|a| a.starts_with("--")).map(String::as_str).collect();
+    let pos: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let (Some(wname), Some(sname)) = (pos.first(), pos.get(1)) else {
+        usage()
+    };
+    let quick = flags.contains(&"--quick");
+    let Some(system) = parse_system(sname) else { usage() };
+    let Some(workload) = parse_workload(wname, quick) else { usage() };
+
+    let mut cfg = KernelConfig::new(system);
+    if flags.contains(&"--colored") {
+        cfg.colored_free_lists = true;
+    }
+    if flags.contains(&"--write-through") {
+        cfg.machine.write_policy = WritePolicy::WriteThrough;
+    }
+    if flags.contains(&"--fast-purge") {
+        cfg.machine.costs = cfg.machine.costs.fast_purge();
+    }
+
+    let s = run_with_config(cfg, workload.as_ref());
+    println!("workload:  {}", s.workload);
+    println!("system:    {}", s.system);
+    println!("elapsed:   {:.4} s  ({} cycles @ 50 MHz)", s.seconds, s.cycles);
+    println!();
+    println!("faults:    {} mapping, {} consistency, {} COW ({} copies)",
+        s.os.mapping_faults, s.os.consistency_faults, s.os.cow_faults, s.os.cow_copies);
+    println!(
+        "cache ops: {} D flushes (avg {:.0} cyc), {} D purges (avg {:.0} cyc), {} I purges",
+        s.machine.d_flush_pages.count,
+        s.machine.d_flush_pages.avg(),
+        s.machine.d_purge_pages.count,
+        s.machine.d_purge_pages.avg(),
+        s.machine.i_purge_pages.count
+    );
+    print!("purge causes:");
+    for (cause, n) in s.mgr.d_purge_pages.iter() {
+        print!(" {cause}={n}");
+    }
+    println!();
+    println!(
+        "memory:    {} loads, {} stores, {} ifetches; D {:.1}% hits, {} writebacks, {} uncached",
+        s.machine.loads,
+        s.machine.stores,
+        s.machine.ifetches,
+        100.0 * s.machine.d_hits as f64 / (s.machine.d_hits + s.machine.d_misses).max(1) as f64,
+        s.machine.writebacks,
+        s.machine.uncached
+    );
+    println!(
+        "I/O:       {} disk reads (DMA-write), {} disk writes (DMA-read), {} buffer misses",
+        s.machine.dma_writes, s.machine.dma_reads, s.os.buf_misses
+    );
+    println!(
+        "VM:        {} zero-fills, {} page copies, {} IPC transfers, {} text copies, {} tasks",
+        s.os.zero_fills, s.os.page_copies, s.os.ipc_transfers, s.os.d2i_copies, s.os.tasks_created
+    );
+    println!();
+    if s.oracle_violations == 0 {
+        println!("oracle:    CLEAN — no stale data ever reached the CPU or a device");
+    } else {
+        println!("oracle:    {} VIOLATIONS (the consistency system is broken!)", s.oracle_violations);
+        std::process::exit(1);
+    }
+}

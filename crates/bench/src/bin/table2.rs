@@ -1,0 +1,9 @@
+//! Regenerate the paper's **Table 2** (state transitions), **Table 3**
+//! (state encoding) and verify **Figure 1**'s algorithm against the model:
+//! prints the transition table generated from the implementation and the
+//! verdicts of the small-scope exhaustive checker (correctness and
+//! necessity of every flush/purge).
+
+fn main() {
+    print!("{}", vic_bench::table2_report());
+}

@@ -1,0 +1,363 @@
+//! Structured experiment runners behind the table binaries. Each function
+//! returns data; the binaries render it. `tests/experiments.rs` asserts
+//! the paper's qualitative claims on the same data.
+
+use vic_core::manager::OpCause;
+use vic_core::policy::Configuration;
+use vic_os::{KernelConfig, SystemKind};
+use vic_workloads::{
+    run_on, run_with_config, AfsBench, AliasLoop, KernelBuild, LatexBench, MachineSize, RunStats,
+    Workload,
+};
+
+/// The three benchmark programs at paper scale.
+pub fn paper_workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(AfsBench::paper()),
+        Box::new(LatexBench::paper()),
+        Box::new(KernelBuild::paper()),
+    ]
+}
+
+/// The three benchmark programs at test scale (fast).
+pub fn quick_workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(AfsBench::quick()),
+        Box::new(LatexBench::quick()),
+        Box::new(KernelBuild::quick()),
+    ]
+}
+
+// -------------------------------------------------------------------
+// Table 1
+
+/// One row of Table 1: a benchmark under the old (A) and new (F) systems.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Benchmark name.
+    pub program: String,
+    /// Old-system run.
+    pub old: RunStats,
+    /// New-system run.
+    pub new: RunStats,
+}
+
+impl Table1Row {
+    /// Percent elapsed-time gain of new over old.
+    pub fn gain(&self) -> f64 {
+        self.new.gain_over(&self.old)
+    }
+}
+
+/// Run Table 1: each benchmark on the old ("A") and new ("F") kernels.
+pub fn table1(quick: bool) -> Vec<Table1Row> {
+    let workloads = if quick {
+        quick_workloads()
+    } else {
+        paper_workloads()
+    };
+    let size = if quick {
+        MachineSize::Small
+    } else {
+        MachineSize::Hp720
+    };
+    workloads
+        .iter()
+        .map(|w| Table1Row {
+            program: w.name().to_string(),
+            old: run_on(SystemKind::Cmu(Configuration::A), size, w.as_ref()),
+            new: run_on(SystemKind::Cmu(Configuration::F), size, w.as_ref()),
+        })
+        .collect()
+}
+
+// -------------------------------------------------------------------
+// Table 2 / Table 3 / Figure 1
+
+/// Render the model artifacts: Table 2 (from the transition function),
+/// Table 3 (the state encoding) and the small-scope checker's verdicts on
+/// correctness and necessity.
+pub fn table2_report() -> String {
+    use vic_core::spec;
+    let mut out = String::new();
+    out.push_str("Table 2 — cache line state transitions (generated from vic_core::transition):\n\n");
+    out.push_str(&vic_core::state::render_table());
+    out.push_str("\nTable 3 — cache page state encoding:\n\n");
+    out.push_str("  state    | mapped[c] | stale[c] | cache_dirty\n");
+    out.push_str("  ---------+-----------+----------+------------\n");
+    out.push_str("  Empty    | false     | false    | -\n");
+    out.push_str("  Present  | true      | false    | false\n");
+    out.push_str("  Dirty    | true      | false    | true\n");
+    out.push_str("  Stale    | false     | true     | -\n");
+    out.push_str("\nSmall-scope exhaustive check (2 cache pages, 2 words, adversarial eviction):\n");
+    match spec::check_correctness(5) {
+        Ok(()) => out.push_str(
+            "  correctness: PASS — no event sequence of depth <= 5 delivers stale data\n",
+        ),
+        Err((seq, msg)) => out.push_str(&format!("  correctness: FAIL — {msg} via {seq:?}\n")),
+    }
+    let undem = spec::check_necessity(5);
+    if undem.is_empty() {
+        out.push_str(
+            "  necessity:   PASS — skipping any of the 6 flush/purge cells admits a violation\n",
+        );
+    } else {
+        out.push_str(&format!("  necessity:   INCOMPLETE — {undem:?}\n"));
+    }
+    out
+}
+
+// -------------------------------------------------------------------
+// Table 4
+
+/// One cell of Table 4: a benchmark under one configuration.
+#[derive(Debug, Clone)]
+pub struct Table4Cell {
+    /// Configuration letter.
+    pub config: Configuration,
+    /// The run.
+    pub stats: RunStats,
+}
+
+/// Run Table 4: each benchmark across configurations A–F. Returns, per
+/// benchmark, the six runs in order.
+pub fn table4(quick: bool) -> Vec<(String, Vec<Table4Cell>)> {
+    let workloads = if quick {
+        quick_workloads()
+    } else {
+        paper_workloads()
+    };
+    let size = if quick {
+        MachineSize::Small
+    } else {
+        MachineSize::Hp720
+    };
+    workloads
+        .iter()
+        .map(|w| {
+            let cells = Configuration::ALL
+                .into_iter()
+                .map(|c| Table4Cell {
+                    config: c,
+                    stats: run_on(SystemKind::Cmu(c), size, w.as_ref()),
+                })
+                .collect();
+            (w.name().to_string(), cells)
+        })
+        .collect()
+}
+
+/// The paper's §5.1 summary over configuration-F runs: totals, the purge
+/// cause breakdown, the consistency overhead, and the single-cycle-purge
+/// what-if.
+#[derive(Debug, Clone)]
+pub struct SummaryF {
+    /// Total elapsed seconds across the three benchmarks (config F).
+    pub total_seconds: f64,
+    /// Total page purges (both caches).
+    pub total_purges: u64,
+    /// Total page flushes.
+    pub total_flushes: u64,
+    /// Fraction of data-cache purges due to new mappings.
+    pub purge_frac_new_mapping: f64,
+    /// Fraction of purges due to DMA-writes.
+    pub purge_frac_dma_write: f64,
+    /// Fraction of purges (instruction side) due to text copies.
+    pub purge_frac_text_copy: f64,
+    /// Seconds spent on consistency faults (bookkeeping).
+    pub fault_overhead_seconds: f64,
+    /// Seconds spent purging the data cache for reasons other than DMA.
+    pub purge_overhead_seconds: f64,
+    /// Total seconds saved by the paper's proposed single-cycle page purge.
+    pub fast_purge_savings_seconds: f64,
+}
+
+/// Compute the §5.1 summary: run the three benchmarks under F with normal
+/// and with single-cycle-purge hardware.
+pub fn summary_f(quick: bool) -> SummaryF {
+    let workloads = if quick {
+        quick_workloads()
+    } else {
+        paper_workloads()
+    };
+    let mut total_seconds = 0.0;
+    let mut fast_seconds = 0.0;
+    let mut total_purges = 0;
+    let mut total_flushes = 0;
+    let mut purges_nm = 0;
+    let mut purges_dma = 0;
+    let mut purges_text = 0;
+    let mut purge_cycles_non_dma = 0.0;
+    let mut fault_cycles = 0.0;
+    let mut clock = 50e6;
+    for w in &workloads {
+        let sys = SystemKind::Cmu(Configuration::F);
+        let cfg = if quick {
+            KernelConfig::small(sys)
+        } else {
+            KernelConfig::new(sys)
+        };
+        let s = run_with_config(cfg, w.as_ref());
+        let mut fast_cfg = cfg;
+        fast_cfg.machine.costs = fast_cfg.machine.costs.fast_purge();
+        let fast = run_with_config(fast_cfg, w.as_ref());
+        clock = cfg.machine.clock_hz as f64;
+        total_seconds += s.seconds;
+        fast_seconds += fast.seconds;
+        total_purges += s.total_purges();
+        total_flushes += s.total_flushes();
+        purges_nm += s.mgr.d_purge_pages.get(OpCause::NewMapping);
+        purges_dma += s.mgr.d_purge_pages.get(OpCause::DmaWrite);
+        purges_text += s.mgr.i_purge_pages.get(OpCause::TextCopy);
+        // Purge cycle attribution: manager counts by cause, machine counts
+        // cycles; apportion cycles by count.
+        let d_purges = s.machine.d_purge_pages;
+        if d_purges.count > 0 {
+            let non_dma =
+                d_purges.count - s.mgr.d_purge_pages.get(OpCause::DmaWrite).min(d_purges.count);
+            purge_cycles_non_dma += d_purges.avg() * non_dma as f64;
+        }
+        fault_cycles += s.os.consistency_faults as f64
+            * cfg.machine.costs.consistency_fault_service as f64;
+    }
+    let denom = total_purges.max(1) as f64;
+    SummaryF {
+        total_seconds,
+        total_purges,
+        total_flushes,
+        purge_frac_new_mapping: purges_nm as f64 / denom,
+        purge_frac_dma_write: purges_dma as f64 / denom,
+        purge_frac_text_copy: purges_text as f64 / denom,
+        fault_overhead_seconds: fault_cycles / clock,
+        purge_overhead_seconds: purge_cycles_non_dma / clock,
+        fast_purge_savings_seconds: total_seconds - fast_seconds,
+    }
+}
+
+/// The paper's proposed **multiple free page lists** (§5.1): frames binned
+/// by residue color, allocation preferring an aligned frame. Returns
+/// (single-list run, colored run) of kernel-build under F.
+pub fn colored_free_lists_ablation(quick: bool) -> (RunStats, RunStats) {
+    let sys = SystemKind::Cmu(Configuration::F);
+    let w: Box<dyn Workload> = if quick {
+        Box::new(KernelBuild::quick())
+    } else {
+        Box::new(KernelBuild::paper())
+    };
+    let base_cfg = if quick {
+        let mut c = KernelConfig::small(sys);
+        c.machine = vic_machine::MachineConfig::hp720(); // full geometry matters
+        c
+    } else {
+        KernelConfig::new(sys)
+    };
+    let single = run_with_config(base_cfg, w.as_ref());
+    let mut colored_cfg = base_cfg;
+    colored_cfg.colored_free_lists = true;
+    let colored = run_with_config(colored_cfg, w.as_ref());
+    (single, colored)
+}
+
+// -------------------------------------------------------------------
+// Table 5
+
+/// One row of Table 5: a system's feature matrix plus a measured run.
+#[derive(Debug, Clone)]
+pub struct Table5Row {
+    /// System label.
+    pub system: SystemKind,
+    /// Qualitative features (from the manager itself).
+    pub features: vic_core::manager::Features,
+    /// A measured afs-bench run for quantitative comparison.
+    pub afs: RunStats,
+}
+
+/// Run Table 5: the five systems' feature matrices plus measured runs.
+pub fn table5(quick: bool) -> Vec<Table5Row> {
+    let (w, size) = if quick {
+        (AfsBench::quick(), MachineSize::Small)
+    } else {
+        (AfsBench::paper(), MachineSize::Hp720)
+    };
+    SystemKind::table5()
+        .into_iter()
+        .map(|sys| {
+            let cfg = if quick {
+                KernelConfig::small(sys)
+            } else {
+                KernelConfig::new(sys)
+            };
+            let features = {
+                let k = vic_os::Kernel::new(cfg);
+                k.pmap().manager_features()
+            };
+            Table5Row {
+                system: sys,
+                features,
+                afs: run_on(sys, size, &w),
+            }
+        })
+        .collect()
+}
+
+// -------------------------------------------------------------------
+// §2.5 microbenchmark
+
+/// Result of the alias microbenchmark.
+#[derive(Debug, Clone)]
+pub struct MicrobenchResult {
+    /// The aligned run.
+    pub aligned: RunStats,
+    /// The unaligned run.
+    pub unaligned: RunStats,
+}
+
+impl MicrobenchResult {
+    /// Slowdown factor of unaligned over aligned.
+    pub fn slowdown(&self) -> f64 {
+        self.unaligned.cycles as f64 / self.aligned.cycles as f64
+    }
+}
+
+/// Run the §2.5 microbenchmark: the same write loop with aligned and
+/// unaligned virtual addresses.
+pub fn microbench(quick: bool) -> MicrobenchResult {
+    let (mk, size) = if quick {
+        (AliasLoop::quick as fn(bool) -> AliasLoop, MachineSize::Small)
+    } else {
+        (AliasLoop::paper as fn(bool) -> AliasLoop, MachineSize::Hp720)
+    };
+    let sys = SystemKind::Cmu(Configuration::F);
+    MicrobenchResult {
+        aligned: run_on(sys, size, &mk(true)),
+        unaligned: run_on(sys, size, &mk(false)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_report_contains_passes() {
+        let r = table2_report();
+        assert!(r.contains("correctness: PASS"));
+        assert!(r.contains("necessity:   PASS"));
+        assert!(r.contains("CPU-write"));
+    }
+
+    #[test]
+    fn quick_table1_shapes() {
+        for row in table1(true) {
+            assert_eq!(row.old.oracle_violations, 0);
+            assert_eq!(row.new.oracle_violations, 0);
+            assert!(row.gain() > 0.0, "{}: new must win", row.program);
+        }
+    }
+
+    #[test]
+    fn quick_microbench_shape() {
+        let m = microbench(true);
+        assert!(m.slowdown() > 50.0, "got {}", m.slowdown());
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! # vic-bench — the experiment harness
+//!
+//! Regenerates every table and figure of Wheeler & Bershad (ASPLOS 1992):
+//!
+//! | artifact | binary | library entry |
+//! |---|---|---|
+//! | Table 1 (old vs new, 3 benchmarks) | `table1` | [`experiments::table1`] |
+//! | Table 2 + Table 3 + Figure 1 checks | `table2` | [`experiments::table2_report`] |
+//! | Table 4 (configurations A–F) | `table4` | [`experiments::table4`] |
+//! | Table 5 (system comparison) | `table5` | [`experiments::table5`] |
+//! | §2.5 alias microbenchmark | `microbench` | [`experiments::microbench`] |
+//!
+//! The Criterion benches (`benches/`) measure the simulator and algorithm
+//! primitives themselves (flush/purge costs, `CacheControl` overhead, the
+//! alias loop, and end-to-end workload throughput).
+//!
+//! Absolute simulated seconds are not expected to match the paper's HP 720
+//! wall-clock numbers (the substrate is a simulator); the *shape* — who
+//! wins, by what factor, where the costs sit — is asserted in
+//! `tests/experiments.rs` at the workspace root.
+
+pub mod experiments;
+
+pub use experiments::{
+    microbench, table1, table2_report, table4, table5, MicrobenchResult, Table1Row, Table4Cell,
+    Table5Row,
+};

@@ -1,0 +1,589 @@
+//! The paper's Figure 1: the `CacheControl` code sequence.
+//!
+//! `CacheControl` is invoked during any operation that could change the
+//! consistency state of cache pages: CPU reads and writes are caught by
+//! virtual-memory protection faults, and the operating system invokes it
+//! explicitly before scheduling DMA. It takes a target virtual address, an
+//! operation type, and two booleans indicating whether stale data will be
+//! overwritten before being read (`will_overwrite`) and whether dirty data
+//! will ever be read again (`need_data`); it updates the per-page state and
+//! re-protects every mapping so an inconsistency can never be *perceived*.
+//!
+//! The implementation is generic over [`ConsistencyHw`], the handful of
+//! hardware operations the algorithm needs (cache page flush/purge and page
+//! protection), so the same code drives both the functional simulator in
+//! `vic-machine` and the recording test double in this module.
+
+use crate::manager::AccessHints;
+use crate::page_state::PhysPageInfo;
+use crate::state::LineState;
+use crate::types::{CacheGeometry, CacheKind, CachePage, Mapping, PFrame, Prot, VPage};
+
+/// Operations that drive `CacheControl` (the paper's `operation` input,
+/// extended with an explicit instruction-fetch case for the split caches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CcOp {
+    /// A CPU data load through the target virtual page.
+    CpuRead,
+    /// A CPU data store through the target virtual page.
+    CpuWrite,
+    /// A CPU instruction fetch through the target virtual page.
+    InsnFetch,
+    /// A device is about to read the physical page from the memory system.
+    DmaRead,
+    /// A device is about to write the physical page into the memory system.
+    DmaWrite,
+}
+
+impl CcOp {
+    /// True for the CPU-initiated operations (those caught by protection
+    /// faults and carrying a target virtual page).
+    pub fn is_cpu(self) -> bool {
+        matches!(self, CcOp::CpuRead | CcOp::CpuWrite | CcOp::InsnFetch)
+    }
+}
+
+/// The hardware operations `CacheControl` relies on.
+///
+/// Implemented by the `vic-machine` pmap glue (driving the real simulated
+/// caches and TLB) and by [`RecordingHw`] for unit tests.
+pub trait ConsistencyHw {
+    /// The cache index geometry.
+    fn geometry(&self) -> CacheGeometry;
+    /// Flush (write back if dirty, then invalidate) every line of data
+    /// cache page `c` holding data of frame `frame`.
+    fn flush_data_page(&mut self, c: CachePage, frame: PFrame);
+    /// Invalidate, without write-back, every line of data cache page `c`
+    /// holding data of frame `frame`.
+    fn purge_data_page(&mut self, c: CachePage, frame: PFrame);
+    /// Invalidate every line of instruction cache page `c` holding data of
+    /// frame `frame`.
+    fn purge_insn_page(&mut self, c: CachePage, frame: PFrame);
+    /// Set the effective hardware protection of a mapping (and perform any
+    /// required TLB invalidation).
+    fn set_protection(&mut self, m: Mapping, prot: Prot);
+    /// Mark a mapping as uncacheable (accesses bypass the caches). Used by
+    /// the Sun-style baseline, which makes unaligned aliases uncached; the
+    /// default implementation ignores the request.
+    fn set_uncached(&mut self, m: Mapping, uncached: bool) {
+        let _ = (m, uncached);
+    }
+}
+
+/// What a `CacheControl` invocation actually did, so callers can attribute
+/// operation counts to causes (Table 4's rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CcOutcome {
+    /// Data cache pages flushed.
+    pub d_flushes: u32,
+    /// Data cache pages purged.
+    pub d_purges: u32,
+    /// Instruction cache pages purged.
+    pub i_purges: u32,
+}
+
+impl CcOutcome {
+    fn none() -> Self {
+        CcOutcome::default()
+    }
+}
+
+/// The effective hardware protection implied by the consistency state for a
+/// virtual page mapping a physical page (the paper's final stanza, expressed
+/// as a pure function of state).
+///
+/// * data side: an empty or stale cache page gets no access (the paper's
+///   `W0_ACCESS`) so the next touch faults; a dirty page gets read-write; a
+///   present page gets read-only so the next write faults and can mark
+///   other copies stale.
+/// * instruction side: execute is permitted only while the page is present
+///   in the instruction cache view.
+///
+/// The result is intersected with the mapping's logical protection.
+pub fn effective_prot(
+    info: &PhysPageInfo,
+    geom: CacheGeometry,
+    vpage: VPage,
+    logical: Prot,
+) -> Prot {
+    let cd = geom.cache_page(CacheKind::Data, vpage);
+    let ci = geom.cache_page(CacheKind::Insn, vpage);
+    let mut p = match info.cache_page_state(CacheKind::Data, cd) {
+        LineState::Dirty => Prot::READ_WRITE,
+        LineState::Present => Prot::READ,
+        LineState::Empty | LineState::Stale => Prot::NONE,
+    };
+    if info.cache_page_state(CacheKind::Insn, ci) == LineState::Present {
+        p = p.with(crate::types::Access::Execute);
+    }
+    p.intersect(logical)
+}
+
+/// Re-derive and install the effective protection of every mapping of a
+/// physical page (the paper's sixth stanza: "set mappings for all virtual
+/// addresses that map to `p` to prevent inconsistencies from being
+/// perceived, to detect subsequent accesses, and to allow the current
+/// operation to complete").
+pub fn reprotect_all(hw: &mut dyn ConsistencyHw, info: &PhysPageInfo) {
+    let geom = hw.geometry();
+    for e in &info.mappings {
+        let prot = effective_prot(info, geom, e.mapping.vpage, e.logical);
+        hw.set_protection(e.mapping, prot);
+    }
+}
+
+/// The paper's Figure 1, adapted to split instruction/data caches.
+///
+/// `target` must be `Some(vpage)` for the CPU operations and is ignored for
+/// DMA. `hints.will_overwrite` elides the purge of a stale target that is
+/// about to be completely overwritten; `hints.need_data` selects flush
+/// versus purge when cleaning a dirty cache page.
+///
+/// Returns the cache operations performed, and leaves `info` with updated
+/// state and every mapping re-protected.
+///
+/// # Panics
+///
+/// Panics if a CPU operation is given no target page.
+pub fn cache_control(
+    hw: &mut dyn ConsistencyHw,
+    info: &mut PhysPageInfo,
+    frame: PFrame,
+    op: CcOp,
+    target: Option<VPage>,
+    hints: AccessHints,
+) -> CcOutcome {
+    let geom = hw.geometry();
+    let mut out = CcOutcome::none();
+
+    // Stanza 1: compute the target cache pages.
+    let target_d = target.map(|v| geom.cache_page(CacheKind::Data, v));
+    let target_i = target.map(|v| geom.cache_page(CacheKind::Insn, v));
+    if op.is_cpu() {
+        assert!(target.is_some(), "CPU operation requires a target page");
+    }
+
+    // Stanza 2: clean the dirty data cache page if it is not the target of
+    // a data-side CPU access. DMA always cleans; an instruction fetch also
+    // cleans (the fill must observe fresh memory, and instruction pages
+    // never align with data pages).
+    if info.cache_dirty {
+        let w = info
+            .find_mapped_cache_page()
+            .expect("cache_dirty set but no mapped data cache page");
+        let is_data_target =
+            matches!(op, CcOp::CpuRead | CcOp::CpuWrite) && target_d == Some(w);
+        if !is_data_target {
+            // A DMA-write overwrites memory, so the dirty data need only be
+            // purged, never flushed (Table 2's D --purge--> E row).
+            let need_data = hints.need_data && !info.contents_useless && op != CcOp::DmaWrite;
+            if need_data {
+                hw.flush_data_page(w, frame);
+                out.d_flushes += 1;
+            } else {
+                hw.purge_data_page(w, frame);
+                out.d_purges += 1;
+                // The purged data never reached memory: the cache page is
+                // no longer a holder of this page's data at all.
+                info.data.mapped.remove(w);
+            }
+            info.cache_dirty = false;
+        }
+    }
+
+    // Stanza 3: ensure the target cache page is not stale (CPU access
+    // only). A stale target about to be entirely overwritten may skip the
+    // purge (`will_overwrite`).
+    match op {
+        CcOp::CpuRead | CcOp::CpuWrite => {
+            let c = target_d.expect("data op has target");
+            if info.data.stale.contains(c) {
+                if !hints.will_overwrite {
+                    hw.purge_data_page(c, frame);
+                    out.d_purges += 1;
+                }
+                info.data.stale.remove(c);
+            }
+        }
+        CcOp::InsnFetch => {
+            let c = target_i.expect("insn op has target");
+            if info.insn.stale.contains(c) {
+                hw.purge_insn_page(c, frame);
+                out.i_purges += 1;
+                info.insn.stale.remove(c);
+            }
+        }
+        CcOp::DmaRead | CcOp::DmaWrite => {}
+    }
+
+    // Stanza 4: writes into the memory system force all mapped cache pages
+    // to stale and unmapped — in both caches, since neither snoops.
+    if matches!(op, CcOp::DmaWrite | CcOp::CpuWrite) {
+        info.data.all_mapped_to_stale();
+        info.insn.all_mapped_to_stale();
+        info.stale_from_dma = op == CcOp::DmaWrite;
+        if op == CcOp::CpuWrite {
+            let c = target_d.expect("write has target");
+            info.data.stale.remove(c);
+            info.data.mapped.insert(c);
+            info.cache_dirty = true;
+        }
+    }
+
+    // Stanza 5: a read marks the target cache page as (possibly) holding
+    // the page's data.
+    match op {
+        CcOp::CpuRead => {
+            info.data.mapped.insert(target_d.expect("read has target"));
+        }
+        CcOp::InsnFetch => {
+            info.insn.mapped.insert(target_i.expect("fetch has target"));
+        }
+        _ => {}
+    }
+
+    // A write (CPU or DMA) gives the page fresh, useful contents again.
+    if matches!(op, CcOp::CpuWrite | CcOp::DmaWrite) {
+        info.contents_useless = false;
+    }
+
+    debug_assert_eq!(info.check_invariant(), Ok(()));
+
+    // Stanza 6: install protections consistent with the new state.
+    reprotect_all(hw, info);
+    out
+}
+
+/// A recording implementation of [`ConsistencyHw`] for tests, doctests and
+/// the abstract model checker: it logs every flush/purge and remembers the
+/// last protection installed per mapping.
+#[derive(Debug, Clone)]
+pub struct RecordingHw {
+    geom: CacheGeometry,
+    /// Every data-cache flush performed, in order.
+    pub flushes: Vec<(CachePage, PFrame)>,
+    /// Every data-cache purge performed, in order.
+    pub purges: Vec<(CachePage, PFrame)>,
+    /// Every instruction-cache purge performed, in order.
+    pub insn_purges: Vec<(CachePage, PFrame)>,
+    /// Protections installed, latest per mapping.
+    pub prots: std::collections::HashMap<Mapping, Prot>,
+    /// Mappings currently marked uncached.
+    pub uncached: std::collections::HashSet<Mapping>,
+}
+
+impl RecordingHw {
+    /// A recorder over the given geometry.
+    pub fn new(geom: CacheGeometry) -> Self {
+        RecordingHw {
+            geom,
+            flushes: Vec::new(),
+            purges: Vec::new(),
+            insn_purges: Vec::new(),
+            prots: std::collections::HashMap::new(),
+            uncached: std::collections::HashSet::new(),
+        }
+    }
+
+    /// The last protection installed for a mapping ([`Prot::NONE`] if none
+    /// was ever installed).
+    pub fn prot_of(&self, m: Mapping) -> Prot {
+        self.prots.get(&m).copied().unwrap_or(Prot::NONE)
+    }
+
+    /// Forget recorded operations (protections are kept).
+    pub fn clear_log(&mut self) {
+        self.flushes.clear();
+        self.purges.clear();
+        self.insn_purges.clear();
+    }
+}
+
+impl ConsistencyHw for RecordingHw {
+    fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+    fn flush_data_page(&mut self, c: CachePage, frame: PFrame) {
+        self.flushes.push((c, frame));
+    }
+    fn purge_data_page(&mut self, c: CachePage, frame: PFrame) {
+        self.purges.push((c, frame));
+    }
+    fn purge_insn_page(&mut self, c: CachePage, frame: PFrame) {
+        self.insn_purges.push((c, frame));
+    }
+    fn set_protection(&mut self, m: Mapping, prot: Prot) {
+        self.prots.insert(m, prot);
+    }
+    fn set_uncached(&mut self, m: Mapping, uncached: bool) {
+        if uncached {
+            self.uncached.insert(m);
+        } else {
+            self.uncached.remove(&m);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::SpaceId;
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::new(8, 4)
+    }
+
+    fn setup() -> (RecordingHw, PhysPageInfo, PFrame) {
+        (RecordingHw::new(geom()), PhysPageInfo::new(geom()), PFrame(7))
+    }
+
+    fn m(space: u32, vp: u64) -> Mapping {
+        Mapping::new(SpaceId(space), VPage(vp))
+    }
+
+    #[test]
+    fn read_marks_present_and_read_only() {
+        let (mut hw, mut info, f) = setup();
+        info.add_mapping(m(1, 0), Prot::READ_WRITE);
+        let out = cache_control(
+            &mut hw,
+            &mut info,
+            f,
+            CcOp::CpuRead,
+            Some(VPage(0)),
+            AccessHints::default(),
+        );
+        assert_eq!(out, CcOutcome::default(), "no cache ops needed");
+        assert!(info.data.mapped.contains(CachePage(0)));
+        assert!(!info.cache_dirty);
+        // Present pages are mapped read-only so a later write faults.
+        assert_eq!(hw.prot_of(m(1, 0)), Prot::READ);
+    }
+
+    #[test]
+    fn write_marks_dirty_and_read_write() {
+        let (mut hw, mut info, f) = setup();
+        info.add_mapping(m(1, 0), Prot::READ_WRITE);
+        cache_control(
+            &mut hw,
+            &mut info,
+            f,
+            CcOp::CpuWrite,
+            Some(VPage(0)),
+            AccessHints::default(),
+        );
+        assert!(info.cache_dirty);
+        assert_eq!(hw.prot_of(m(1, 0)), Prot::READ_WRITE);
+        assert!(hw.flushes.is_empty() && hw.purges.is_empty());
+    }
+
+    #[test]
+    fn unaligned_read_after_write_flushes_dirty_page() {
+        // The motivating alias case: write through vp0 (cache page 0), then
+        // read through vp1 (cache page 1): the dirty page must be flushed
+        // before the read's fill can observe fresh memory.
+        let (mut hw, mut info, f) = setup();
+        info.add_mapping(m(1, 0), Prot::READ_WRITE);
+        info.add_mapping(m(2, 1), Prot::READ_WRITE);
+        cache_control(&mut hw, &mut info, f, CcOp::CpuWrite, Some(VPage(0)), AccessHints::default());
+        assert_eq!(hw.prot_of(m(2, 1)), Prot::NONE, "alias denied while dirty");
+        let out = cache_control(
+            &mut hw,
+            &mut info,
+            f,
+            CcOp::CpuRead,
+            Some(VPage(1)),
+            AccessHints::default(),
+        );
+        assert_eq!(out.d_flushes, 1);
+        assert_eq!(hw.flushes, vec![(CachePage(0), f)]);
+        assert!(!info.cache_dirty);
+        assert!(info.data.mapped.contains(CachePage(1)));
+        // Both mappings now read-only (present state).
+        assert_eq!(hw.prot_of(m(1, 0)), Prot::READ);
+        assert_eq!(hw.prot_of(m(2, 1)), Prot::READ);
+    }
+
+    #[test]
+    fn aligned_alias_needs_no_consistency_work() {
+        // vp0 and vp8 align in an 8-page data cache: no flush or purge ever.
+        let (mut hw, mut info, f) = setup();
+        info.add_mapping(m(1, 0), Prot::READ_WRITE);
+        info.add_mapping(m(2, 8), Prot::READ_WRITE);
+        cache_control(&mut hw, &mut info, f, CcOp::CpuWrite, Some(VPage(0)), AccessHints::default());
+        // The aligned alias shares the dirty cache page: read-write allowed.
+        assert_eq!(hw.prot_of(m(2, 8)), Prot::READ_WRITE);
+        cache_control(&mut hw, &mut info, f, CcOp::CpuWrite, Some(VPage(8)), AccessHints::default());
+        assert!(hw.flushes.is_empty() && hw.purges.is_empty() && hw.insn_purges.is_empty());
+    }
+
+    #[test]
+    fn stale_target_purged_on_read() {
+        let (mut hw, mut info, f) = setup();
+        info.add_mapping(m(1, 0), Prot::READ_WRITE);
+        info.add_mapping(m(1, 1), Prot::READ_WRITE);
+        // Write via vp1 then write via vp0: vp1's page becomes stale.
+        cache_control(&mut hw, &mut info, f, CcOp::CpuRead, Some(VPage(1)), AccessHints::default());
+        cache_control(&mut hw, &mut info, f, CcOp::CpuWrite, Some(VPage(0)), AccessHints::default());
+        assert!(info.data.stale.contains(CachePage(1)));
+        hw.clear_log();
+        let out = cache_control(
+            &mut hw,
+            &mut info,
+            f,
+            CcOp::CpuRead,
+            Some(VPage(1)),
+            AccessHints::default(),
+        );
+        // Dirty page 0 flushed, stale target 1 purged.
+        assert_eq!((out.d_flushes, out.d_purges), (1, 1));
+        assert_eq!(hw.purges, vec![(CachePage(1), f)]);
+        assert!(!info.data.stale.contains(CachePage(1)));
+    }
+
+    #[test]
+    fn will_overwrite_elides_stale_purge() {
+        let (mut hw, mut info, f) = setup();
+        info.add_mapping(m(1, 0), Prot::READ_WRITE);
+        info.data.stale.insert(CachePage(0));
+        let out = cache_control(
+            &mut hw,
+            &mut info,
+            f,
+            CcOp::CpuWrite,
+            Some(VPage(0)),
+            AccessHints {
+                will_overwrite: true,
+                need_data: true,
+            },
+        );
+        assert_eq!(out.d_purges, 0, "purge elided: data will be overwritten");
+        assert!(!info.data.stale.contains(CachePage(0)));
+        assert!(info.cache_dirty);
+    }
+
+    #[test]
+    fn need_data_false_purges_instead_of_flushing() {
+        let (mut hw, mut info, f) = setup();
+        info.add_mapping(m(1, 0), Prot::READ_WRITE);
+        cache_control(&mut hw, &mut info, f, CcOp::CpuWrite, Some(VPage(0)), AccessHints::default());
+        let out = cache_control(
+            &mut hw,
+            &mut info,
+            f,
+            CcOp::DmaRead,
+            None,
+            AccessHints {
+                will_overwrite: false,
+                need_data: false,
+            },
+        );
+        assert_eq!(out.d_flushes, 0);
+        assert_eq!(out.d_purges, 1, "dirty data not needed: purged, not flushed");
+    }
+
+    #[test]
+    fn dma_read_flushes_dirty_data() {
+        let (mut hw, mut info, f) = setup();
+        info.add_mapping(m(1, 0), Prot::READ_WRITE);
+        cache_control(&mut hw, &mut info, f, CcOp::CpuWrite, Some(VPage(0)), AccessHints::default());
+        let out = cache_control(&mut hw, &mut info, f, CcOp::DmaRead, None, AccessHints::default());
+        assert_eq!(out.d_flushes, 1);
+        assert!(!info.cache_dirty);
+        // The cache page remains a (clean) holder: present.
+        assert!(info.data.mapped.contains(CachePage(0)));
+        assert_eq!(hw.prot_of(m(1, 0)), Prot::READ);
+    }
+
+    #[test]
+    fn dma_write_purges_dirty_and_staleifies_present() {
+        let (mut hw, mut info, f) = setup();
+        info.add_mapping(m(1, 0), Prot::READ_WRITE);
+        info.add_mapping(m(1, 1), Prot::READ_WRITE);
+        cache_control(&mut hw, &mut info, f, CcOp::CpuRead, Some(VPage(1)), AccessHints::default());
+        cache_control(&mut hw, &mut info, f, CcOp::CpuWrite, Some(VPage(0)), AccessHints::default());
+        hw.clear_log();
+        let out = cache_control(&mut hw, &mut info, f, CcOp::DmaWrite, None, AccessHints::default());
+        // Dirty page purged (not flushed: DMA overwrites memory), present
+        // pages go stale, everything unmapped, all access denied.
+        assert_eq!(out.d_flushes, 0);
+        assert_eq!(out.d_purges, 1);
+        assert!(info.data.mapped.is_empty());
+        assert!(info.data.stale.contains(CachePage(1)));
+        assert!(!info.cache_dirty);
+        assert_eq!(hw.prot_of(m(1, 0)), Prot::NONE);
+        assert_eq!(hw.prot_of(m(1, 1)), Prot::NONE);
+    }
+
+    #[test]
+    fn insn_fetch_after_data_write_flushes_and_fetch_protection() {
+        // The exec path: data written through the data cache must be
+        // flushed before instruction fetches; the fetched page becomes
+        // present on the instruction side.
+        let (mut hw, mut info, f) = setup();
+        info.add_mapping(m(1, 0), Prot::ALL);
+        cache_control(&mut hw, &mut info, f, CcOp::CpuWrite, Some(VPage(0)), AccessHints::default());
+        assert!(
+            !hw.prot_of(m(1, 0)).allows(crate::types::Access::Execute),
+            "execute denied while data-dirty"
+        );
+        let out = cache_control(&mut hw, &mut info, f, CcOp::InsnFetch, Some(VPage(0)), AccessHints::default());
+        assert_eq!(out.d_flushes, 1, "dirty data flushed for the fetch");
+        assert!(info.insn.mapped.contains(CachePage(0)));
+        assert!(hw.prot_of(m(1, 0)).allows(crate::types::Access::Execute));
+    }
+
+    #[test]
+    fn insn_stale_purged_on_fetch() {
+        let (mut hw, mut info, f) = setup();
+        info.add_mapping(m(1, 0), Prot::ALL);
+        cache_control(&mut hw, &mut info, f, CcOp::InsnFetch, Some(VPage(0)), AccessHints::default());
+        // A CPU write staleifies the instruction-side copy.
+        cache_control(&mut hw, &mut info, f, CcOp::CpuWrite, Some(VPage(0)), AccessHints::default());
+        assert!(info.insn.stale.contains(CachePage(0)));
+        hw.clear_log();
+        let out = cache_control(&mut hw, &mut info, f, CcOp::InsnFetch, Some(VPage(0)), AccessHints::default());
+        assert_eq!(out.i_purges, 1);
+        assert_eq!(hw.insn_purges, vec![(CachePage(0), f)]);
+    }
+
+    #[test]
+    fn contents_useless_downgrades_flush_to_purge() {
+        let (mut hw, mut info, f) = setup();
+        info.add_mapping(m(1, 0), Prot::READ_WRITE);
+        cache_control(&mut hw, &mut info, f, CcOp::CpuWrite, Some(VPage(0)), AccessHints::default());
+        info.contents_useless = true; // page was freed
+        let out = cache_control(
+            &mut hw,
+            &mut info,
+            f,
+            CcOp::CpuRead,
+            Some(VPage(1)),
+            AccessHints::default(),
+        );
+        assert_eq!(out.d_flushes, 0);
+        assert_eq!(out.d_purges, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a target")]
+    fn cpu_op_requires_target() {
+        let (mut hw, mut info, f) = setup();
+        cache_control(&mut hw, &mut info, f, CcOp::CpuRead, None, AccessHints::default());
+    }
+
+    #[test]
+    fn effective_prot_respects_logical() {
+        let g = geom();
+        let mut info = PhysPageInfo::new(g);
+        info.data.mapped.insert(CachePage(0));
+        info.cache_dirty = true;
+        // State would allow read-write, but the logical protection caps it.
+        assert_eq!(effective_prot(&info, g, VPage(0), Prot::READ), Prot::READ);
+        assert_eq!(effective_prot(&info, g, VPage(0), Prot::NONE), Prot::NONE);
+        assert_eq!(
+            effective_prot(&info, g, VPage(0), Prot::READ_WRITE),
+            Prot::READ_WRITE
+        );
+    }
+}

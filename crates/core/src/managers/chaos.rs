@@ -1,0 +1,235 @@
+//! Failure injection: a wrapper that selectively drops classes of cache
+//! operations performed by an inner (correct) manager.
+//!
+//! The paper's Table 2 necessity argument is checked exhaustively at the
+//! model level by [`crate::spec`]; [`ChaosManager`] carries the same idea
+//! end-to-end: dropping *any* class of operation from a correct manager
+//! must produce observable staleness on real workloads — which the
+//! simulator's oracle catches. Used by the test suite to demonstrate the
+//! oracle's sensitivity to every failure mode, not just total absence of
+//! management.
+
+use crate::cache_control::ConsistencyHw;
+use crate::manager::{AccessHints, ConsistencyManager, DmaDir, Features, MgrStats};
+use crate::types::{Access, CacheGeometry, CachePage, Mapping, PFrame, Prot};
+
+/// Which class of hardware operation the wrapper suppresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropClass {
+    /// Turn every data-cache flush into a no-op (dirty data never reaches
+    /// memory on demand).
+    Flushes,
+    /// Turn every data-cache purge into a no-op (stale lines survive).
+    DataPurges,
+    /// Turn every instruction-cache purge into a no-op (stale instructions
+    /// survive).
+    InsnPurges,
+    /// Turn every flush into a purge (dirty data is discarded instead of
+    /// written back).
+    FlushesBecomePurges,
+}
+
+/// A [`ConsistencyHw`] shim that drops one class of operations.
+struct ChaosHw<'a> {
+    inner: &'a mut dyn ConsistencyHw,
+    drop: DropClass,
+    dropped: &'a mut u64,
+}
+
+impl ConsistencyHw for ChaosHw<'_> {
+    fn geometry(&self) -> CacheGeometry {
+        self.inner.geometry()
+    }
+    fn flush_data_page(&mut self, c: CachePage, frame: PFrame) {
+        match self.drop {
+            DropClass::Flushes => *self.dropped += 1,
+            DropClass::FlushesBecomePurges => {
+                *self.dropped += 1;
+                self.inner.purge_data_page(c, frame);
+            }
+            _ => self.inner.flush_data_page(c, frame),
+        }
+    }
+    fn purge_data_page(&mut self, c: CachePage, frame: PFrame) {
+        if self.drop == DropClass::DataPurges {
+            *self.dropped += 1;
+        } else {
+            self.inner.purge_data_page(c, frame);
+        }
+    }
+    fn purge_insn_page(&mut self, c: CachePage, frame: PFrame) {
+        if self.drop == DropClass::InsnPurges {
+            *self.dropped += 1;
+        } else {
+            self.inner.purge_insn_page(c, frame);
+        }
+    }
+    fn set_protection(&mut self, m: Mapping, prot: Prot) {
+        self.inner.set_protection(m, prot);
+    }
+    fn set_uncached(&mut self, m: Mapping, uncached: bool) {
+        self.inner.set_uncached(m, uncached);
+    }
+}
+
+/// A **deliberately faulty** manager: delegates everything to a correct
+/// inner manager but suppresses one class of cache operations.
+///
+/// Exists only to validate the test oracle; never correct on real
+/// workloads with sharing, recycling or DMA.
+pub struct ChaosManager {
+    inner: Box<dyn ConsistencyManager>,
+    drop: DropClass,
+    dropped: u64,
+}
+
+impl std::fmt::Debug for ChaosManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaosManager")
+            .field("inner", &self.inner.name())
+            .field("drop", &self.drop)
+            .field("dropped", &self.dropped)
+            .finish()
+    }
+}
+
+impl ChaosManager {
+    /// Wrap `inner`, dropping the given class of operations.
+    pub fn new(inner: Box<dyn ConsistencyManager>, drop: DropClass) -> Self {
+        ChaosManager {
+            inner,
+            drop,
+            dropped: 0,
+        }
+    }
+
+    /// How many operations have been suppressed so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl ConsistencyManager for ChaosManager {
+    fn name(&self) -> &'static str {
+        "Chaos (broken)"
+    }
+
+    fn features(&self) -> Features {
+        let mut f = self.inner.features();
+        f.unaligned_aliases = "sabotaged (incorrect)";
+        f
+    }
+
+    fn on_map(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, m: Mapping, logical: Prot) {
+        let mut shim = ChaosHw {
+            inner: hw,
+            drop: self.drop,
+            dropped: &mut self.dropped,
+        };
+        self.inner.on_map(&mut shim, frame, m, logical);
+    }
+
+    fn on_unmap(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, m: Mapping) {
+        let mut shim = ChaosHw {
+            inner: hw,
+            drop: self.drop,
+            dropped: &mut self.dropped,
+        };
+        self.inner.on_unmap(&mut shim, frame, m);
+    }
+
+    fn on_protect(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, m: Mapping, logical: Prot) {
+        let mut shim = ChaosHw {
+            inner: hw,
+            drop: self.drop,
+            dropped: &mut self.dropped,
+        };
+        self.inner.on_protect(&mut shim, frame, m, logical);
+    }
+
+    fn on_access(
+        &mut self,
+        hw: &mut dyn ConsistencyHw,
+        frame: PFrame,
+        m: Mapping,
+        access: Access,
+        hints: AccessHints,
+    ) {
+        let mut shim = ChaosHw {
+            inner: hw,
+            drop: self.drop,
+            dropped: &mut self.dropped,
+        };
+        self.inner.on_access(&mut shim, frame, m, access, hints);
+    }
+
+    fn on_dma(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, dir: DmaDir, hints: AccessHints) {
+        let mut shim = ChaosHw {
+            inner: hw,
+            drop: self.drop,
+            dropped: &mut self.dropped,
+        };
+        self.inner.on_dma(&mut shim, frame, dir, hints);
+    }
+
+    fn on_page_freed(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame) {
+        let mut shim = ChaosHw {
+            inner: hw,
+            drop: self.drop,
+            dropped: &mut self.dropped,
+        };
+        self.inner.on_page_freed(&mut shim, frame);
+    }
+
+    fn stats(&self) -> &MgrStats {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.inner.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache_control::RecordingHw;
+    use crate::managers::CmuManager;
+    use crate::policy::PolicyConfig;
+    use crate::types::{SpaceId, VPage};
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::new(8, 4)
+    }
+
+    #[test]
+    fn drops_flushes_counts_them() {
+        let inner = CmuManager::new(16, geom(), PolicyConfig::all_on());
+        let mut mgr = ChaosManager::new(Box::new(inner), DropClass::Flushes);
+        let mut hw = RecordingHw::new(geom());
+        let a = Mapping::new(SpaceId(1), VPage(0));
+        let b = Mapping::new(SpaceId(2), VPage(1));
+        mgr.on_map(&mut hw, PFrame(3), a, Prot::READ_WRITE);
+        mgr.on_map(&mut hw, PFrame(3), b, Prot::READ_WRITE);
+        mgr.on_access(&mut hw, PFrame(3), a, Access::Write, AccessHints::default());
+        mgr.on_access(&mut hw, PFrame(3), b, Access::Read, AccessHints::default());
+        assert!(hw.flushes.is_empty(), "the flush was suppressed");
+        assert_eq!(mgr.dropped(), 1);
+        assert!(mgr.name().contains("broken"));
+    }
+
+    #[test]
+    fn flushes_become_purges() {
+        let inner = CmuManager::new(16, geom(), PolicyConfig::all_on());
+        let mut mgr = ChaosManager::new(Box::new(inner), DropClass::FlushesBecomePurges);
+        let mut hw = RecordingHw::new(geom());
+        let a = Mapping::new(SpaceId(1), VPage(0));
+        let b = Mapping::new(SpaceId(2), VPage(1));
+        mgr.on_map(&mut hw, PFrame(3), a, Prot::READ_WRITE);
+        mgr.on_map(&mut hw, PFrame(3), b, Prot::READ_WRITE);
+        mgr.on_access(&mut hw, PFrame(3), a, Access::Write, AccessHints::default());
+        mgr.on_access(&mut hw, PFrame(3), b, Access::Read, AccessHints::default());
+        assert!(hw.flushes.is_empty());
+        assert_eq!(hw.purges.len(), 1, "the flush arrived as a purge");
+    }
+}

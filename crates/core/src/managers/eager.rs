@@ -1,0 +1,549 @@
+//! The "old" system (paper §2.5), as implemented by the Utah and Apollo
+//! kernels of Table 5: no explicit cache-page state, eager cleaning.
+//!
+//! Both the kernel and the Unix server run under the mis-assumption that
+//! the cache is physically indexed, while this low-level module guarantees
+//! consistency through a simple strategy:
+//!
+//! * on a **write** to an aliased physical page, all other mappings to that
+//!   page are broken;
+//! * on a **read** to an unmapped aliased page, any existing writable
+//!   mapping is broken and the faulting address is granted read-only;
+//! * whenever a virtual-to-physical mapping is **broken**, the page is
+//!   removed from the cache with a flush (if dirty) or a purge.
+
+use crate::cache_control::ConsistencyHw;
+use crate::manager::{AccessHints, ConsistencyManager, DmaDir, Features, MgrStats, OpCause};
+use crate::managers::grants::GrantTable;
+use crate::types::{Access, CacheGeometry, CacheKind, Mapping, PFrame, Prot};
+
+/// Per-frame state: the grant table plus a conservative frame dirty bit.
+#[derive(Debug, Clone, Default)]
+struct FrameState {
+    grants: GrantTable,
+    /// The frame may be dirty in the write-holder's data cache page.
+    dirty: bool,
+}
+
+/// An eager, stateless-cache consistency manager (the Utah / Apollo
+/// systems, and the paper's configuration A).
+#[derive(Debug)]
+pub struct EagerManager {
+    name: &'static str,
+    geom: CacheGeometry,
+    frames: Vec<FrameState>,
+    stats: MgrStats,
+}
+
+impl EagerManager {
+    /// The Utah variant (plain Mach 3.0 machine-dependent layer).
+    pub fn utah(num_frames: u64, geom: CacheGeometry) -> Self {
+        Self::named("Utah", num_frames, geom)
+    }
+
+    /// The Apollo variant (OSF/1 by HP's Apollo Systems Division). Its
+    /// observable strategy matches Utah's: clean whenever a mapping is
+    /// broken.
+    pub fn apollo(num_frames: u64, geom: CacheGeometry) -> Self {
+        Self::named("Apollo", num_frames, geom)
+    }
+
+    fn named(name: &'static str, num_frames: u64, geom: CacheGeometry) -> Self {
+        EagerManager {
+            name,
+            geom,
+            frames: (0..num_frames).map(|_| FrameState::default()).collect(),
+            stats: MgrStats::default(),
+        }
+    }
+
+    /// The eager core reused by the Tut manager.
+    pub(crate) fn tut_inner(num_frames: u64, geom: CacheGeometry) -> Self {
+        Self::named("Tut", num_frames, geom)
+    }
+
+    /// The eager core reused by the Sun manager.
+    pub(crate) fn sun_inner(num_frames: u64, geom: CacheGeometry) -> Self {
+        Self::named("Sun", num_frames, geom)
+    }
+
+    /// Mutable access to the statistics, for wrappers that attribute extra
+    /// operations.
+    pub(crate) fn stats_mut(&mut self) -> &mut MgrStats {
+        &mut self.stats
+    }
+
+    /// Whether the frame may be dirty through mapping `m`, and whether `m`
+    /// ever fetched instructions — the residue a lazy wrapper must track
+    /// past unmap.
+    pub(crate) fn grant_snapshot(&self, frame: PFrame, m: Mapping) -> (bool, bool) {
+        let fs = &self.frames[frame.0 as usize];
+        match fs.grants.get(m) {
+            Some(e) => (fs.dirty && e.granted.allows(Access::Write), e.fetched),
+            None => (false, false),
+        }
+    }
+
+    /// Remove a mapping *without* cleaning the cache (lazy unmap on behalf
+    /// of a wrapper that takes over responsibility for the residue).
+    pub(crate) fn forget_mapping(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, m: Mapping) {
+        let fs = &mut self.frames[frame.0 as usize];
+        if let Some(removed) = fs.grants.remove(m) {
+            if removed.granted.allows(Access::Write) {
+                fs.dirty = false;
+            }
+        }
+        hw.set_protection(m, Prot::NONE);
+    }
+
+    fn frame_mut(&mut self, f: PFrame) -> &mut FrameState {
+        &mut self.frames[f.0 as usize]
+    }
+
+    /// Remove the frame's data from the cache through mapping `m`'s cache
+    /// pages: flush if possibly dirty through this mapping, purge
+    /// otherwise; purge the instruction page if it was ever fetched.
+    #[allow(clippy::too_many_arguments)] // internal helper mirroring the paper's parameter list
+    fn clean_via(
+        hw: &mut dyn ConsistencyHw,
+        stats: &mut MgrStats,
+        geom: CacheGeometry,
+        frame: PFrame,
+        m: Mapping,
+        was_write_holder: bool,
+        dirty: bool,
+        fetched: bool,
+        cause: OpCause,
+    ) {
+        let cd = geom.cache_page(CacheKind::Data, m.vpage);
+        if was_write_holder && dirty {
+            hw.flush_data_page(cd, frame);
+            stats.d_flush_pages.add(cause, 1);
+        } else {
+            hw.purge_data_page(cd, frame);
+            stats.d_purge_pages.add(cause, 1);
+        }
+        if fetched {
+            let ci = geom.cache_page(CacheKind::Insn, m.vpage);
+            hw.purge_insn_page(ci, frame);
+            stats.i_purge_pages.add(cause, 1);
+        }
+    }
+}
+
+impl ConsistencyManager for EagerManager {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn features(&self) -> Features {
+        Features {
+            unaligned_aliases: "full, broken on access",
+            lazy_unmap: false,
+            aligns_mappings: "no",
+            aligned_prepare: "no",
+            need_data: false,
+            will_overwrite: false,
+            state_granularity: "none (present/empty only)",
+        }
+    }
+
+    fn on_map(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, m: Mapping, logical: Prot) {
+        let fs = self.frame_mut(frame);
+        let alias = !fs.grants.is_empty();
+        let e = fs.grants.upsert(m, logical);
+        if alias {
+            // Aliased: deny everything; the first access will break the
+            // competing mappings as needed.
+            e.granted = Prot::NONE;
+        } else {
+            // Sole mapping of a clean, uncached-in-any-line frame (eager
+            // cleaning guarantees this): the logical protection is safe
+            // immediately — except that write and execute must never be
+            // granted together, or a silent write would leave stale
+            // instructions fetchable. Writable mappings start without
+            // execute; the first fetch faults and purges.
+            e.granted = if logical.allows(Access::Write) {
+                logical.without(Access::Execute)
+            } else {
+                logical
+            };
+            e.fetched = e.granted.allows(Access::Execute);
+            if logical.allows(Access::Write) {
+                fs.dirty = true;
+            }
+        }
+        let granted = e.granted;
+        hw.set_protection(m, granted);
+    }
+
+    fn on_unmap(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, m: Mapping) {
+        let geom = self.geom;
+        let fs = &mut self.frames[frame.0 as usize];
+        let Some(removed) = fs.grants.remove(m) else {
+            hw.set_protection(m, Prot::NONE);
+            return;
+        };
+        hw.set_protection(m, Prot::NONE);
+        let was_writer = removed.granted.allows(Access::Write);
+        let dirty = fs.dirty;
+        Self::clean_via(
+            hw,
+            &mut self.stats,
+            geom,
+            frame,
+            m,
+            was_writer,
+            dirty,
+            removed.fetched,
+            OpCause::UnmapEager,
+        );
+        if was_writer {
+            self.frames[frame.0 as usize].dirty = false;
+        }
+    }
+
+    fn on_protect(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, m: Mapping, logical: Prot) {
+        let geom = self.geom;
+        let fs = self.frame_mut(frame);
+        if let Some(e) = fs.grants.get_mut(m) {
+            // Revoking write from the current write holder breaks the
+            // mapping in the eager sense: its (possibly dirty) page must be
+            // flushed, or the dirty data would be orphaned with no grant
+            // left to witness it.
+            let loses_write = e.granted.allows(Access::Write) && !logical.allows(Access::Write);
+            e.logical = logical;
+            e.granted = e.granted.intersect(logical);
+            let granted = e.granted;
+            hw.set_protection(m, granted);
+            if loses_write && fs.dirty {
+                let cd = geom.cache_page(CacheKind::Data, m.vpage);
+                hw.flush_data_page(cd, frame);
+                self.stats.d_flush_pages.add(OpCause::AliasWrite, 1);
+                self.frames[frame.0 as usize].dirty = false;
+            }
+        }
+    }
+
+    fn on_access(
+        &mut self,
+        hw: &mut dyn ConsistencyHw,
+        frame: PFrame,
+        m: Mapping,
+        access: Access,
+        _hints: AccessHints,
+    ) {
+        let geom = self.geom;
+        let fs = &mut self.frames[frame.0 as usize];
+        let Some(entry) = fs.grants.get(m).copied() else {
+            return;
+        };
+        match access {
+            Access::Write => {
+                // Break every other mapping: flush the write holder's page
+                // (it may be dirty), purge the rest.
+                let dirty = fs.dirty;
+                let others: Vec<_> = fs
+                    .grants
+                    .iter()
+                    .filter(|e| e.mapping != m && !e.granted.is_none())
+                    .copied()
+                    .collect();
+                for o in others {
+                    Self::clean_via(
+                        hw,
+                        &mut self.stats,
+                        geom,
+                        frame,
+                        o.mapping,
+                        o.granted.allows(Access::Write),
+                        dirty,
+                        o.fetched,
+                        OpCause::AliasWrite,
+                    );
+                    let fs = &mut self.frames[frame.0 as usize];
+                    let e = fs.grants.get_mut(o.mapping).expect("still mapped");
+                    e.granted = Prot::NONE;
+                    e.fetched = false;
+                    hw.set_protection(o.mapping, Prot::NONE);
+                }
+                let fs = &mut self.frames[frame.0 as usize];
+                fs.dirty = true;
+                let e = fs.grants.get_mut(m).expect("still mapped");
+                // Writing makes any instruction-cache copy stale: drop the
+                // execute grant so the next fetch faults and purges.
+                e.granted = entry.logical.without(Access::Execute);
+                e.fetched = false;
+                let granted = e.granted;
+                hw.set_protection(m, granted);
+            }
+            Access::Read => {
+                // Break any write mapping (flush its dirty page; it becomes
+                // read-only again), then grant read.
+                if let Some(w) = fs.grants.write_holder() {
+                    if w.mapping != m {
+                        let dirty = fs.dirty;
+                        Self::clean_via(
+                            hw,
+                            &mut self.stats,
+                            geom,
+                            frame,
+                            w.mapping,
+                            true,
+                            dirty,
+                            false,
+                            OpCause::AliasRead,
+                        );
+                        let fs = &mut self.frames[frame.0 as usize];
+                        fs.dirty = false;
+                        let we = fs.grants.get_mut(w.mapping).expect("still mapped");
+                        we.granted = w.logical.intersect(Prot::READ);
+                        let wg = we.granted;
+                        hw.set_protection(w.mapping, wg);
+                    }
+                }
+                let fs = &mut self.frames[frame.0 as usize];
+                let e = fs.grants.get_mut(m).expect("still mapped");
+                e.granted = e.granted.union(entry.logical.intersect(Prot::READ));
+                let granted = e.granted;
+                hw.set_protection(m, granted);
+            }
+            Access::Execute => {
+                // Flush any dirty data so the fetch's fill observes fresh
+                // memory, break the write holder to read-only (write and
+                // execute must never coexist), then purge the (possibly
+                // stale) instruction page.
+                if let Some(w) = fs.grants.write_holder() {
+                    let dirty = fs.dirty;
+                    if dirty {
+                        let cd = geom.cache_page(CacheKind::Data, w.mapping.vpage);
+                        hw.flush_data_page(cd, frame);
+                        self.stats.d_flush_pages.add(OpCause::TextCopy, 1);
+                    }
+                    let fs = &mut self.frames[frame.0 as usize];
+                    fs.dirty = false;
+                    let we = fs.grants.get_mut(w.mapping).expect("still mapped");
+                    we.granted = w.logical.intersect(Prot::READ);
+                    let wg = we.granted;
+                    hw.set_protection(w.mapping, wg);
+                }
+                let ci = geom.cache_page(CacheKind::Insn, m.vpage);
+                hw.purge_insn_page(ci, frame);
+                self.stats.i_purge_pages.add(OpCause::TextCopy, 1);
+                let fs = &mut self.frames[frame.0 as usize];
+                let e = fs.grants.get_mut(m).expect("still mapped");
+                e.fetched = true;
+                e.granted = e
+                    .granted
+                    .union(entry.logical.intersect(Prot::READ_EXECUTE))
+                    .without(Access::Write);
+                let granted = e.granted;
+                hw.set_protection(m, granted);
+            }
+        }
+    }
+
+    fn on_dma(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, dir: DmaDir, _hints: AccessHints) {
+        let geom = self.geom;
+        let fs = &self.frames[frame.0 as usize];
+        let entries: Vec<_> = fs.grants.iter().copied().collect();
+        let dirty = fs.dirty;
+        match dir {
+            DmaDir::Read => {
+                // The device reads memory: flush every mapping the frame
+                // could be cached through.
+                let _ = dirty; // without state, every mapping must be flushed
+                for e in &entries {
+                    if e.granted.is_none() {
+                        continue;
+                    }
+                    let cd = geom.cache_page(CacheKind::Data, e.mapping.vpage);
+                    hw.flush_data_page(cd, frame);
+                    self.stats.d_flush_pages.add(OpCause::DmaRead, 1);
+                }
+                self.frames[frame.0 as usize].dirty = false;
+            }
+            DmaDir::Write => {
+                // The device overwrites memory: purge every cached copy (in
+                // both caches) and drop execute grants so fetches refill.
+                for e in &entries {
+                    if e.granted.is_none() {
+                        continue;
+                    }
+                    let cd = geom.cache_page(CacheKind::Data, e.mapping.vpage);
+                    hw.purge_data_page(cd, frame);
+                    self.stats.d_purge_pages.add(OpCause::DmaWrite, 1);
+                    if e.fetched {
+                        let ci = geom.cache_page(CacheKind::Insn, e.mapping.vpage);
+                        hw.purge_insn_page(ci, frame);
+                        self.stats.i_purge_pages.add(OpCause::DmaWrite, 1);
+                    }
+                }
+                let fs = &mut self.frames[frame.0 as usize];
+                let updates: Vec<(Mapping, Prot)> = fs
+                    .grants
+                    .iter_mut()
+                    .map(|e| {
+                        e.fetched = false;
+                        e.granted = e.granted.without(Access::Execute);
+                        (e.mapping, e.granted)
+                    })
+                    .collect();
+                for (m, p) in updates {
+                    hw.set_protection(m, p);
+                }
+            }
+        }
+    }
+
+    fn on_page_freed(&mut self, _hw: &mut dyn ConsistencyHw, frame: PFrame) {
+        debug_assert!(
+            self.frames[frame.0 as usize].grants.is_empty(),
+            "page freed while mapped"
+        );
+        // Eager cleaning at unmap already removed everything from the
+        // cache; nothing to do.
+    }
+
+    fn stats(&self) -> &MgrStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache_control::RecordingHw;
+    use crate::types::{SpaceId, VPage};
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::new(8, 4)
+    }
+
+    fn mk() -> (RecordingHw, EagerManager) {
+        (RecordingHw::new(geom()), EagerManager::utah(16, geom()))
+    }
+
+    fn m(s: u32, v: u64) -> Mapping {
+        Mapping::new(SpaceId(s), VPage(v))
+    }
+
+    #[test]
+    fn sole_mapping_gets_full_protection_immediately() {
+        let (mut hw, mut mgr) = mk();
+        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        assert_eq!(hw.prot_of(m(1, 0)), Prot::READ_WRITE);
+    }
+
+    #[test]
+    fn unmap_always_cleans() {
+        let (mut hw, mut mgr) = mk();
+        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        mgr.on_unmap(&mut hw, PFrame(1), m(1, 0));
+        assert_eq!(hw.flushes.len(), 1, "writable mapping flushed at unmap");
+        let (mut hw, mut mgr) = mk();
+        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ);
+        mgr.on_unmap(&mut hw, PFrame(1), m(1, 0));
+        assert_eq!(hw.purges.len(), 1, "read-only mapping purged at unmap");
+    }
+
+    #[test]
+    fn write_to_alias_breaks_other_mappings() {
+        let (mut hw, mut mgr) = mk();
+        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        mgr.on_map(&mut hw, PFrame(1), m(2, 1), Prot::READ_WRITE);
+        assert_eq!(hw.prot_of(m(2, 1)), Prot::NONE, "aliased map starts broken");
+        mgr.on_access(&mut hw, PFrame(1), m(2, 1), Access::Write, AccessHints::default());
+        assert_eq!(hw.prot_of(m(2, 1)), Prot::READ_WRITE);
+        assert_eq!(hw.prot_of(m(1, 0)), Prot::NONE, "competitor broken");
+        assert_eq!(hw.flushes.len(), 1, "competitor's (dirty) page flushed");
+        assert_eq!(mgr.stats().d_flush_pages.get(OpCause::AliasWrite), 1);
+    }
+
+    #[test]
+    fn read_breaks_write_holder_to_read_only() {
+        let (mut hw, mut mgr) = mk();
+        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        mgr.on_map(&mut hw, PFrame(1), m(2, 1), Prot::READ);
+        mgr.on_access(&mut hw, PFrame(1), m(2, 1), Access::Read, AccessHints::default());
+        assert_eq!(hw.prot_of(m(2, 1)), Prot::READ);
+        assert_eq!(hw.prot_of(m(1, 0)), Prot::READ, "writer downgraded to read-only");
+        assert_eq!(hw.flushes.len(), 1);
+    }
+
+    #[test]
+    fn execute_purges_instruction_page() {
+        let (mut hw, mut mgr) = mk();
+        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        // The kernel wrote the text through this mapping; a process then
+        // maps it executable elsewhere.
+        mgr.on_map(&mut hw, PFrame(1), m(2, 2), Prot::READ_EXECUTE);
+        mgr.on_access(&mut hw, PFrame(1), m(2, 2), Access::Execute, AccessHints::default());
+        assert_eq!(hw.flushes.len(), 1, "dirty data flushed before fetch");
+        assert_eq!(hw.insn_purges.len(), 1, "instruction page purged");
+        assert!(hw.prot_of(m(2, 2)).allows(Access::Execute));
+    }
+
+    #[test]
+    fn write_and_execute_never_coexist() {
+        let (mut hw, mut mgr) = mk();
+        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::ALL);
+        // A writable mapping starts without execute: the first fetch must
+        // fault so the instruction page can be purged.
+        assert!(!hw.prot_of(m(1, 0)).allows(Access::Execute));
+        assert!(hw.prot_of(m(1, 0)).allows(Access::Write));
+        mgr.on_access(&mut hw, PFrame(1), m(1, 0), Access::Execute, AccessHints::default());
+        let p = hw.prot_of(m(1, 0));
+        assert!(p.allows(Access::Execute) && !p.allows(Access::Write));
+        mgr.on_access(&mut hw, PFrame(1), m(1, 0), Access::Write, AccessHints::default());
+        let p = hw.prot_of(m(1, 0));
+        assert!(!p.allows(Access::Execute) && p.allows(Access::Write));
+    }
+
+    #[test]
+    fn dma_write_purges_all_cached_copies() {
+        let (mut hw, mut mgr) = mk();
+        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        mgr.on_dma(&mut hw, PFrame(1), DmaDir::Write, AccessHints::default());
+        assert_eq!(hw.purges.len(), 1);
+        assert_eq!(mgr.stats().d_purge_pages.get(OpCause::DmaWrite), 1);
+    }
+
+    #[test]
+    fn dma_read_flushes() {
+        let (mut hw, mut mgr) = mk();
+        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        mgr.on_dma(&mut hw, PFrame(1), DmaDir::Read, AccessHints::default());
+        assert_eq!(hw.flushes.len(), 1);
+    }
+
+    #[test]
+    fn protect_downgrade_flushes_dirty_data() {
+        // Regression (found via the kernel's copy-on-write path): revoking
+        // write access from the write holder must flush its dirty page, or
+        // a later reader through another mapping observes stale memory.
+        let (mut hw, mut mgr) = mk();
+        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        mgr.on_protect(&mut hw, PFrame(1), m(1, 0), Prot::READ);
+        assert_eq!(hw.flushes.len(), 1, "dirty page flushed at downgrade");
+        assert_eq!(hw.prot_of(m(1, 0)), Prot::READ);
+        // A second (aliased) reader now sees fresh memory without further
+        // cleaning.
+        mgr.on_map(&mut hw, PFrame(1), m(2, 1), Prot::READ);
+        mgr.on_access(&mut hw, PFrame(1), m(2, 1), Access::Read, AccessHints::default());
+        assert_eq!(hw.flushes.len(), 1, "no further flush needed");
+    }
+
+    #[test]
+    fn apollo_differs_only_in_name() {
+        let a = EagerManager::apollo(4, geom());
+        let u = EagerManager::utah(4, geom());
+        assert_eq!(a.name(), "Apollo");
+        assert_eq!(u.name(), "Utah");
+        assert_eq!(a.features(), u.features());
+    }
+}

@@ -1,0 +1,121 @@
+//! Shared bookkeeping for the baseline managers (Utah/Apollo/Tut/Sun):
+//! a per-frame table of mappings with their logical and *granted*
+//! protections.
+//!
+//! Unlike the CMU manager, these systems keep no explicit cache-page state;
+//! they reason only about which mapping currently holds write access and
+//! whether the frame may be dirty in the cache.
+
+use crate::types::{Mapping, Prot};
+
+/// One granted mapping of a physical frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Grant {
+    /// The mapping.
+    pub mapping: Mapping,
+    /// The protection the VM system asked for.
+    pub logical: Prot,
+    /// The protection the manager actually installed.
+    pub granted: Prot,
+    /// The mapping was ever granted execute (its instruction cache page may
+    /// hold the frame's text).
+    pub fetched: bool,
+}
+
+/// The mappings of one physical frame with their grants.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct GrantTable {
+    entries: Vec<Grant>,
+}
+
+impl GrantTable {
+    pub fn iter(&self) -> impl Iterator<Item = &Grant> {
+        self.entries.iter()
+    }
+
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Grant> {
+        self.entries.iter_mut()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn get(&self, m: Mapping) -> Option<&Grant> {
+        self.entries.iter().find(|e| e.mapping == m)
+    }
+
+    pub fn get_mut(&mut self, m: Mapping) -> Option<&mut Grant> {
+        self.entries.iter_mut().find(|e| e.mapping == m)
+    }
+
+    /// Insert or update an entry, returning a mutable reference to it.
+    pub fn upsert(&mut self, m: Mapping, logical: Prot) -> &mut Grant {
+        if let Some(i) = self.entries.iter().position(|e| e.mapping == m) {
+            self.entries[i].logical = logical;
+            &mut self.entries[i]
+        } else {
+            self.entries.push(Grant {
+                mapping: m,
+                logical,
+                granted: Prot::NONE,
+                fetched: false,
+            });
+            self.entries.last_mut().expect("just pushed")
+        }
+    }
+
+    /// Remove an entry, returning it if present.
+    pub fn remove(&mut self, m: Mapping) -> Option<Grant> {
+        self.entries
+            .iter()
+            .position(|e| e.mapping == m)
+            .map(|i| self.entries.remove(i))
+    }
+
+    /// The mapping currently granted write access, if any. The baseline
+    /// managers maintain the invariant that at most one mapping holds
+    /// write access at a time.
+    pub fn write_holder(&self) -> Option<Grant> {
+        self.entries
+            .iter()
+            .find(|e| e.granted.allows(crate::types::Access::Write))
+            .copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{SpaceId, VPage};
+
+    fn m(v: u64) -> Mapping {
+        Mapping::new(SpaceId(1), VPage(v))
+    }
+
+    #[test]
+    fn upsert_and_remove() {
+        let mut t = GrantTable::default();
+        t.upsert(m(0), Prot::READ_WRITE).granted = Prot::READ_WRITE;
+        t.upsert(m(1), Prot::READ);
+        assert_eq!(t.iter().count(), 2);
+        // Upsert of an existing mapping updates logical, keeps granted.
+        t.upsert(m(0), Prot::READ);
+        assert_eq!(t.iter().count(), 2);
+        assert_eq!(t.get(m(0)).unwrap().logical, Prot::READ);
+        assert_eq!(t.get(m(0)).unwrap().granted, Prot::READ_WRITE);
+        let removed = t.remove(m(0)).unwrap();
+        assert_eq!(removed.mapping, m(0));
+        assert!(t.remove(m(0)).is_none());
+        assert_eq!(t.iter().count(), 1);
+    }
+
+    #[test]
+    fn write_holder() {
+        let mut t = GrantTable::default();
+        t.upsert(m(0), Prot::READ_WRITE);
+        assert!(t.write_holder().is_none());
+        t.get_mut(m(0)).unwrap().granted = Prot::READ_WRITE;
+        assert_eq!(t.write_holder().unwrap().mapping, m(0));
+    }
+}

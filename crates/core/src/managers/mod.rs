@@ -1,0 +1,26 @@
+//! Concrete consistency managers: the paper's system and the Table 5
+//! baselines.
+//!
+//! | manager | system in Table 5 | strategy |
+//! |---|---|---|
+//! | [`CmuManager`] | CMU | explicit cache-page state (Table 3), lazy unmap, full Figure-1 algorithm |
+//! | [`EagerManager`] | Utah / Apollo | no explicit state; clean the cache whenever a mapping is broken |
+//! | [`TutManager`] | Tut | state per *virtual address*: lazy unmap helps only when the exact address is reused |
+//! | [`SunManager`] | Sun | eager, and unaligned aliases are made uncacheable |
+//! | [`NullManager`] | — | deliberately broken (does nothing); exists to prove the staleness oracle catches real bugs |
+//! | [`ChaosManager`] | — | failure injection: wraps a correct manager and drops one class of operations |
+
+mod chaos;
+mod cmu;
+mod eager;
+mod grants;
+mod null;
+mod sun;
+mod tut;
+
+pub use chaos::{ChaosManager, DropClass};
+pub use cmu::CmuManager;
+pub use eager::EagerManager;
+pub use null::NullManager;
+pub use sun::SunManager;
+pub use tut::TutManager;

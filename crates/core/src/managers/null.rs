@@ -1,0 +1,104 @@
+//! A deliberately **broken** manager that performs no consistency work.
+//!
+//! [`NullManager`] grants every mapping its full logical protection and
+//! never flushes or purges anything. Running it on the simulator with the
+//! staleness oracle enabled demonstrates that the oracle catches real
+//! staleness — i.e. that the other managers' clean oracle reports are
+//! meaningful, not vacuous.
+
+use crate::cache_control::ConsistencyHw;
+use crate::manager::{AccessHints, ConsistencyManager, DmaDir, Features, MgrStats};
+use crate::types::{Access, Mapping, PFrame, Prot};
+
+/// A no-op consistency manager. **Intentionally incorrect**: with aliases,
+/// write-back or DMA in play, stale data will be returned.
+#[derive(Debug, Default)]
+pub struct NullManager {
+    stats: MgrStats,
+}
+
+impl NullManager {
+    /// Create the no-op manager.
+    pub fn new() -> Self {
+        NullManager::default()
+    }
+}
+
+impl ConsistencyManager for NullManager {
+    fn name(&self) -> &'static str {
+        "None (broken)"
+    }
+
+    fn features(&self) -> Features {
+        Features {
+            unaligned_aliases: "ignored (incorrect)",
+            lazy_unmap: true,
+            aligns_mappings: "no",
+            aligned_prepare: "no",
+            need_data: false,
+            will_overwrite: false,
+            state_granularity: "none",
+        }
+    }
+
+    fn on_map(&mut self, hw: &mut dyn ConsistencyHw, _frame: PFrame, m: Mapping, logical: Prot) {
+        hw.set_protection(m, logical);
+    }
+
+    fn on_unmap(&mut self, hw: &mut dyn ConsistencyHw, _frame: PFrame, m: Mapping) {
+        hw.set_protection(m, Prot::NONE);
+    }
+
+    fn on_protect(&mut self, hw: &mut dyn ConsistencyHw, _frame: PFrame, m: Mapping, logical: Prot) {
+        hw.set_protection(m, logical);
+    }
+
+    fn on_access(
+        &mut self,
+        _hw: &mut dyn ConsistencyHw,
+        _frame: PFrame,
+        _m: Mapping,
+        _access: Access,
+        _hints: AccessHints,
+    ) {
+    }
+
+    fn on_dma(
+        &mut self,
+        _hw: &mut dyn ConsistencyHw,
+        _frame: PFrame,
+        _dir: DmaDir,
+        _hints: AccessHints,
+    ) {
+    }
+
+    fn on_page_freed(&mut self, _hw: &mut dyn ConsistencyHw, _frame: PFrame) {}
+
+    fn stats(&self) -> &MgrStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache_control::RecordingHw;
+    use crate::types::{CacheGeometry, SpaceId, VPage};
+
+    #[test]
+    fn grants_everything_and_does_nothing() {
+        let mut hw = RecordingHw::new(CacheGeometry::new(8, 4));
+        let mut mgr = NullManager::new();
+        let m = Mapping::new(SpaceId(1), VPage(0));
+        mgr.on_map(&mut hw, PFrame(1), m, Prot::ALL);
+        assert_eq!(hw.prot_of(m), Prot::ALL);
+        mgr.on_access(&mut hw, PFrame(1), m, Access::Write, AccessHints::default());
+        mgr.on_dma(&mut hw, PFrame(1), DmaDir::Write, AccessHints::default());
+        assert!(hw.flushes.is_empty() && hw.purges.is_empty() && hw.insn_purges.is_empty());
+        assert_eq!(mgr.stats().total_flushes() + mgr.stats().total_purges(), 0);
+    }
+}

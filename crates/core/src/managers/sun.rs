@@ -1,0 +1,321 @@
+//! The Sun system (Cheng 1987): 4.2 BSD on Sun-3/200 machines.
+//!
+//! Sun's kernel cleans the cache eagerly like Utah, and additionally
+//! *forbids* cached unaligned aliases: when a physical page acquires
+//! mappings that do not align in the cache, every mapping of the page is
+//! made **uncacheable** — accesses bypass the cache entirely (at a
+//! per-access cost), which makes them trivially consistent.
+
+use crate::cache_control::ConsistencyHw;
+use crate::manager::{AccessHints, ConsistencyManager, DmaDir, Features, MgrStats, OpCause};
+use crate::managers::eager::EagerManager;
+use crate::types::{Access, CacheGeometry, CacheKind, Mapping, PFrame, Prot};
+
+/// The Sun consistency manager: eager cleaning, uncached unaligned aliases.
+#[derive(Debug)]
+pub struct SunManager {
+    geom: CacheGeometry,
+    inner: EagerManager,
+    /// Mappings of each frame (tracked here because once uncached the inner
+    /// eager manager no longer sees their faults).
+    mappings: Vec<Vec<(Mapping, Prot)>>,
+    uncached: Vec<bool>,
+}
+
+impl SunManager {
+    /// A Sun manager for `num_frames` physical pages.
+    pub fn new(num_frames: u64, geom: CacheGeometry) -> Self {
+        SunManager {
+            geom,
+            inner: EagerManager::sun_inner(num_frames, geom),
+            mappings: vec![Vec::new(); num_frames as usize],
+            uncached: vec![false; num_frames as usize],
+        }
+    }
+
+    /// Is the frame currently accessed uncached?
+    pub fn is_uncached(&self, frame: PFrame) -> bool {
+        self.uncached[frame.0 as usize]
+    }
+
+    fn any_unaligned(&self, frame: PFrame) -> bool {
+        let ms = &self.mappings[frame.0 as usize];
+        ms.iter().any(|(a, _)| {
+            ms.iter().any(|(b, _)| {
+                !self.geom.aligned(CacheKind::Data, a.vpage, b.vpage)
+                    || !self.geom.aligned(CacheKind::Insn, a.vpage, b.vpage)
+            })
+        })
+    }
+
+    /// Switch the whole frame to uncached operation: flush every cached
+    /// copy out (dirty data must reach memory before cached access stops),
+    /// then grant every mapping its full logical protection uncached.
+    fn go_uncached(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame) {
+        let fi = frame.0 as usize;
+        let entries = self.mappings[fi].clone();
+        for (m, logical) in &entries {
+            let cd = self.geom.cache_page(CacheKind::Data, m.vpage);
+            hw.flush_data_page(cd, frame);
+            self.inner
+                .stats_mut()
+                .d_flush_pages
+                .add(OpCause::AliasWrite, 1);
+            let ci = self.geom.cache_page(CacheKind::Insn, m.vpage);
+            hw.purge_insn_page(ci, frame);
+            self.inner
+                .stats_mut()
+                .i_purge_pages
+                .add(OpCause::AliasWrite, 1);
+            self.inner.forget_mapping(hw, frame, *m);
+            hw.set_uncached(*m, true);
+            hw.set_protection(*m, *logical);
+        }
+        self.uncached[fi] = true;
+    }
+}
+
+impl ConsistencyManager for SunManager {
+    fn name(&self) -> &'static str {
+        "Sun"
+    }
+
+    fn features(&self) -> Features {
+        Features {
+            unaligned_aliases: "uncached only",
+            lazy_unmap: false,
+            aligns_mappings: "no",
+            aligned_prepare: "no",
+            need_data: false,
+            will_overwrite: false,
+            state_granularity: "present/empty per physical page",
+        }
+    }
+
+    fn on_map(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, m: Mapping, logical: Prot) {
+        let fi = frame.0 as usize;
+        self.mappings[fi].retain(|(e, _)| *e != m);
+        self.mappings[fi].push((m, logical));
+        if self.uncached[fi] {
+            hw.set_uncached(m, true);
+            hw.set_protection(m, logical);
+            return;
+        }
+        if self.any_unaligned(frame) {
+            // New unaligned alias: the page goes uncached, then the new
+            // mapping is granted directly.
+            self.inner.on_map(hw, frame, m, logical);
+            self.go_uncached(hw, frame);
+        } else {
+            self.inner.on_map(hw, frame, m, logical);
+            // Aligned aliases are also handled eagerly by the inner manager
+            // (it does not exploit alignment), matching Sun's restriction of
+            // cached sharing to "well-behaved" cases.
+        }
+    }
+
+    fn on_unmap(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, m: Mapping) {
+        let fi = frame.0 as usize;
+        self.mappings[fi].retain(|(e, _)| *e != m);
+        if self.uncached[fi] {
+            hw.set_uncached(m, false);
+            hw.set_protection(m, Prot::NONE);
+            if self.mappings[fi].is_empty() {
+                // Last uncached mapping gone: the frame may be cached again.
+                self.uncached[fi] = false;
+            }
+            return;
+        }
+        self.inner.on_unmap(hw, frame, m);
+    }
+
+    fn on_protect(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, m: Mapping, logical: Prot) {
+        let fi = frame.0 as usize;
+        if let Some(e) = self.mappings[fi].iter_mut().find(|(e, _)| *e == m) {
+            e.1 = logical;
+        }
+        if self.uncached[fi] {
+            hw.set_protection(m, logical);
+            return;
+        }
+        self.inner.on_protect(hw, frame, m, logical);
+    }
+
+    fn on_access(
+        &mut self,
+        hw: &mut dyn ConsistencyHw,
+        frame: PFrame,
+        m: Mapping,
+        access: Access,
+        hints: AccessHints,
+    ) {
+        if self.uncached[frame.0 as usize] {
+            // Uncached accesses are always consistent; nothing to do.
+            return;
+        }
+        self.inner.on_access(hw, frame, m, access, hints);
+    }
+
+    fn on_dma(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, dir: DmaDir, hints: AccessHints) {
+        if self.uncached[frame.0 as usize] {
+            // Uncached frames have no cached copies; DMA is safe as-is.
+            return;
+        }
+        self.inner.on_dma(hw, frame, dir, hints);
+    }
+
+    fn on_page_freed(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame) {
+        self.inner.on_page_freed(hw, frame);
+        self.uncached[frame.0 as usize] = false;
+    }
+
+    fn stats(&self) -> &MgrStats {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.inner.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache_control::RecordingHw;
+    use crate::types::{SpaceId, VPage};
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::new(8, 4)
+    }
+
+    fn mk() -> (RecordingHw, SunManager) {
+        (RecordingHw::new(geom()), SunManager::new(16, geom()))
+    }
+
+    fn m(s: u32, v: u64) -> Mapping {
+        Mapping::new(SpaceId(s), VPage(v))
+    }
+
+    #[test]
+    fn single_mapping_stays_cached() {
+        let (mut hw, mut mgr) = mk();
+        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        assert!(!mgr.is_uncached(PFrame(1)));
+        assert!(!hw.uncached.contains(&m(1, 0)));
+    }
+
+    #[test]
+    fn unaligned_alias_goes_uncached() {
+        let (mut hw, mut mgr) = mk();
+        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        mgr.on_map(&mut hw, PFrame(1), m(2, 1), Prot::READ_WRITE);
+        assert!(mgr.is_uncached(PFrame(1)));
+        assert!(hw.uncached.contains(&m(1, 0)));
+        assert!(hw.uncached.contains(&m(2, 1)));
+        // Both mappings get their full logical protection (no faults
+        // needed once uncached).
+        assert_eq!(hw.prot_of(m(1, 0)), Prot::READ_WRITE);
+        assert_eq!(hw.prot_of(m(2, 1)), Prot::READ_WRITE);
+        // Going uncached flushed the cached copies first.
+        assert!(!hw.flushes.is_empty());
+    }
+
+    #[test]
+    fn aligned_alias_stays_cached() {
+        let (mut hw, mut mgr) = mk();
+        // vp0 and vp8 align in both caches (8 and 4 pages): cached sharing.
+        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        mgr.on_map(&mut hw, PFrame(1), m(2, 8), Prot::READ_WRITE);
+        assert!(!mgr.is_uncached(PFrame(1)));
+    }
+
+    #[test]
+    fn uncached_frame_recovers_after_unmaps() {
+        let (mut hw, mut mgr) = mk();
+        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        mgr.on_map(&mut hw, PFrame(1), m(2, 1), Prot::READ_WRITE);
+        mgr.on_unmap(&mut hw, PFrame(1), m(1, 0));
+        assert!(mgr.is_uncached(PFrame(1)), "still one uncached mapping");
+        mgr.on_unmap(&mut hw, PFrame(1), m(2, 1));
+        assert!(!mgr.is_uncached(PFrame(1)));
+        assert!(!hw.uncached.contains(&m(1, 0)));
+        assert!(!hw.uncached.contains(&m(2, 1)));
+        // A fresh sole mapping is cached again.
+        mgr.on_map(&mut hw, PFrame(1), m(3, 2), Prot::READ);
+        assert!(!mgr.is_uncached(PFrame(1)));
+        assert_eq!(hw.prot_of(m(3, 2)), Prot::READ);
+    }
+
+    #[test]
+    fn dma_on_uncached_frame_needs_no_cleaning() {
+        let (mut hw, mut mgr) = mk();
+        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        mgr.on_map(&mut hw, PFrame(1), m(2, 1), Prot::READ_WRITE);
+        hw.clear_log();
+        mgr.on_dma(&mut hw, PFrame(1), DmaDir::Read, AccessHints::default());
+        mgr.on_dma(&mut hw, PFrame(1), DmaDir::Write, AccessHints::default());
+        assert!(hw.flushes.is_empty() && hw.purges.is_empty());
+    }
+
+    #[test]
+    fn features_match_table5() {
+        let (_, mgr) = mk();
+        assert_eq!(mgr.features().unaligned_aliases, "uncached only");
+        assert!(!mgr.features().lazy_unmap);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::cache_control::RecordingHw;
+    use crate::types::{SpaceId, VPage};
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::new(8, 4)
+    }
+
+    fn m(s: u32, v: u64) -> Mapping {
+        Mapping::new(SpaceId(s), VPage(v))
+    }
+
+    #[test]
+    fn protect_on_uncached_mapping_applies_logical_directly() {
+        let mut hw = RecordingHw::new(geom());
+        let mut mgr = SunManager::new(16, geom());
+        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        mgr.on_map(&mut hw, PFrame(1), m(2, 1), Prot::READ_WRITE); // goes uncached
+        assert!(mgr.is_uncached(PFrame(1)));
+        mgr.on_protect(&mut hw, PFrame(1), m(1, 0), Prot::READ);
+        assert_eq!(hw.prot_of(m(1, 0)), Prot::READ, "uncached: logical applied");
+        // Accesses on uncached frames need no consistency transitions.
+        hw.clear_log();
+        mgr.on_access(&mut hw, PFrame(1), m(1, 0), Access::Read, AccessHints::default());
+        assert!(hw.flushes.is_empty() && hw.purges.is_empty());
+    }
+
+    #[test]
+    fn third_aligned_mapping_joins_uncached_frame() {
+        let mut hw = RecordingHw::new(geom());
+        let mut mgr = SunManager::new(16, geom());
+        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        mgr.on_map(&mut hw, PFrame(1), m(2, 1), Prot::READ_WRITE);
+        // A third mapping — even one aligned with the first — joins the
+        // uncached regime immediately.
+        mgr.on_map(&mut hw, PFrame(1), m(3, 8), Prot::READ);
+        assert!(hw.uncached.contains(&m(3, 8)));
+        assert_eq!(hw.prot_of(m(3, 8)), Prot::READ);
+    }
+
+    #[test]
+    fn page_freed_resets_uncached_state() {
+        let mut hw = RecordingHw::new(geom());
+        let mut mgr = SunManager::new(16, geom());
+        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        mgr.on_map(&mut hw, PFrame(1), m(2, 1), Prot::READ_WRITE);
+        mgr.on_unmap(&mut hw, PFrame(1), m(1, 0));
+        mgr.on_unmap(&mut hw, PFrame(1), m(2, 1));
+        mgr.on_page_freed(&mut hw, PFrame(1));
+        assert!(!mgr.is_uncached(PFrame(1)));
+    }
+}

@@ -1,0 +1,337 @@
+//! The Tut system (Chao et al., 1990): Mach's VM merged into HP-UX.
+//!
+//! Tut delays cache cleaning past unmap like the CMU system, but associates
+//! consistency state with a *virtual address* rather than a cache page: the
+//! residue of an old mapping is reusable only when the page is remapped at
+//! the **same** virtual address, not merely an aligned one. When the new
+//! address differs, the cache pages corresponding to both the old and the
+//! new virtual pages are removed from the cache.
+//!
+//! Alias and DMA handling follow the eager strategy (Tut predates the
+//! cache-page state model).
+
+use crate::cache_control::ConsistencyHw;
+use crate::manager::{AccessHints, ConsistencyManager, DmaDir, Features, MgrStats, OpCause};
+use crate::managers::eager::EagerManager;
+use crate::types::{Access, CacheGeometry, CacheKind, Mapping, PFrame, Prot, VPage};
+
+/// Residue of the last mapping of a frame, kept past unmap.
+#[derive(Debug, Clone, Copy)]
+struct Residue {
+    vpage: VPage,
+    dirty: bool,
+    fetched: bool,
+}
+
+/// The Tut consistency manager: lazy unmap keyed on exact virtual-address
+/// reuse, otherwise eager.
+#[derive(Debug)]
+pub struct TutManager {
+    geom: CacheGeometry,
+    inner: EagerManager,
+    residue: Vec<Option<Residue>>,
+    mapped_count: Vec<u32>,
+}
+
+impl TutManager {
+    /// A Tut manager for `num_frames` physical pages.
+    pub fn new(num_frames: u64, geom: CacheGeometry) -> Self {
+        TutManager {
+            geom,
+            inner: EagerManager::tut_inner(num_frames, geom),
+            residue: vec![None; num_frames as usize],
+            mapped_count: vec![0; num_frames as usize],
+        }
+    }
+
+    fn clean_residue(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, r: Residue) {
+        let cd = self.geom.cache_page(CacheKind::Data, r.vpage);
+        if r.dirty {
+            hw.flush_data_page(cd, frame);
+            self.inner
+                .stats_mut()
+                .d_flush_pages
+                .add(OpCause::NewMapping, 1);
+        } else {
+            hw.purge_data_page(cd, frame);
+            self.inner
+                .stats_mut()
+                .d_purge_pages
+                .add(OpCause::NewMapping, 1);
+        }
+        if r.fetched {
+            let ci = self.geom.cache_page(CacheKind::Insn, r.vpage);
+            hw.purge_insn_page(ci, frame);
+            self.inner
+                .stats_mut()
+                .i_purge_pages
+                .add(OpCause::NewMapping, 1);
+        }
+    }
+}
+
+impl ConsistencyManager for TutManager {
+    fn name(&self) -> &'static str {
+        "Tut"
+    }
+
+    fn features(&self) -> Features {
+        Features {
+            unaligned_aliases: "full, broken on access",
+            lazy_unmap: true,
+            aligns_mappings: "program text only",
+            aligned_prepare: "copy and zero-fill",
+            need_data: false,
+            will_overwrite: false,
+            state_granularity: "virtual address",
+        }
+    }
+
+    fn on_map(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, m: Mapping, logical: Prot) {
+        let fi = frame.0 as usize;
+        if let Some(r) = self.residue[fi].take() {
+            if r.vpage == m.vpage {
+                // Exact virtual-address reuse: the cached data (possibly
+                // dirty) is still correct for this address. No cleaning.
+            } else {
+                // Different address: remove the old cache page, and purge
+                // the new one as well (Tut removes both the old and new
+                // virtual pages from the cache).
+                self.clean_residue(hw, frame, r);
+                let cd = self.geom.cache_page(CacheKind::Data, m.vpage);
+                hw.purge_data_page(cd, frame);
+                self.inner
+                    .stats_mut()
+                    .d_purge_pages
+                    .add(OpCause::NewMapping, 1);
+            }
+        }
+        self.mapped_count[fi] += 1;
+        self.inner.on_map(hw, frame, m, logical);
+    }
+
+    fn on_unmap(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, m: Mapping) {
+        let fi = frame.0 as usize;
+        if self.mapped_count[fi] == 1 {
+            // Last mapping: keep the residue instead of cleaning.
+            let (dirty, fetched) = self.inner.grant_snapshot(frame, m);
+            self.residue[fi] = Some(Residue {
+                vpage: m.vpage,
+                dirty,
+                fetched,
+            });
+            self.inner.forget_mapping(hw, frame, m);
+            self.mapped_count[fi] = 0;
+        } else {
+            // Aliased frames are handled eagerly.
+            self.mapped_count[fi] = self.mapped_count[fi].saturating_sub(1);
+            self.inner.on_unmap(hw, frame, m);
+        }
+    }
+
+    fn on_protect(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, m: Mapping, logical: Prot) {
+        self.inner.on_protect(hw, frame, m, logical);
+    }
+
+    fn on_access(
+        &mut self,
+        hw: &mut dyn ConsistencyHw,
+        frame: PFrame,
+        m: Mapping,
+        access: Access,
+        hints: AccessHints,
+    ) {
+        self.inner.on_access(hw, frame, m, access, hints);
+    }
+
+    fn on_dma(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, dir: DmaDir, hints: AccessHints) {
+        // DMA can touch frames whose only cached residue survives an unmap.
+        let fi = frame.0 as usize;
+        if let Some(r) = self.residue[fi].take() {
+            match dir {
+                DmaDir::Read => {
+                    let cd = self.geom.cache_page(CacheKind::Data, r.vpage);
+                    hw.flush_data_page(cd, frame);
+                    self.inner.stats_mut().d_flush_pages.add(OpCause::DmaRead, 1);
+                }
+                DmaDir::Write => {
+                    let cd = self.geom.cache_page(CacheKind::Data, r.vpage);
+                    hw.purge_data_page(cd, frame);
+                    self.inner
+                        .stats_mut()
+                        .d_purge_pages
+                        .add(OpCause::DmaWrite, 1);
+                    if r.fetched {
+                        let ci = self.geom.cache_page(CacheKind::Insn, r.vpage);
+                        hw.purge_insn_page(ci, frame);
+                        self.inner
+                            .stats_mut()
+                            .i_purge_pages
+                            .add(OpCause::DmaWrite, 1);
+                    }
+                }
+            }
+        }
+        self.inner.on_dma(hw, frame, dir, hints);
+    }
+
+    fn on_page_freed(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame) {
+        // A freed page's residue must eventually be cleaned; Tut does so
+        // when the frame is reused, which we model by keeping the residue —
+        // the next on_map cleans or reuses it.
+        self.inner.on_page_freed(hw, frame);
+    }
+
+    fn stats(&self) -> &MgrStats {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.inner.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache_control::RecordingHw;
+    use crate::types::SpaceId;
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::new(8, 4)
+    }
+
+    fn mk() -> (RecordingHw, TutManager) {
+        (RecordingHw::new(geom()), TutManager::new(16, geom()))
+    }
+
+    fn m(s: u32, v: u64) -> Mapping {
+        Mapping::new(SpaceId(s), VPage(v))
+    }
+
+    #[test]
+    fn exact_va_reuse_avoids_cleaning() {
+        let (mut hw, mut mgr) = mk();
+        mgr.on_map(&mut hw, PFrame(1), m(1, 5), Prot::READ_WRITE);
+        mgr.on_unmap(&mut hw, PFrame(1), m(1, 5));
+        assert!(hw.flushes.is_empty() && hw.purges.is_empty(), "lazy unmap");
+        mgr.on_map(&mut hw, PFrame(1), m(2, 5), Prot::READ_WRITE);
+        assert!(
+            hw.flushes.is_empty() && hw.purges.is_empty(),
+            "same virtual page: no cleaning"
+        );
+    }
+
+    #[test]
+    fn aligned_but_different_va_still_cleans() {
+        // The key difference from the CMU manager: vp5 and vp13 align in an
+        // 8-page cache, but Tut keys on the address, so it cleans anyway.
+        let (mut hw, mut mgr) = mk();
+        mgr.on_map(&mut hw, PFrame(1), m(1, 5), Prot::READ_WRITE);
+        mgr.on_unmap(&mut hw, PFrame(1), m(1, 5));
+        mgr.on_map(&mut hw, PFrame(1), m(2, 13), Prot::READ_WRITE);
+        assert_eq!(hw.flushes.len(), 1, "old (dirty) page flushed");
+        assert_eq!(hw.purges.len(), 1, "new page purged");
+    }
+
+    #[test]
+    fn unaligned_remap_flushes_old_and_purges_new() {
+        let (mut hw, mut mgr) = mk();
+        mgr.on_map(&mut hw, PFrame(1), m(1, 5), Prot::READ);
+        mgr.on_unmap(&mut hw, PFrame(1), m(1, 5));
+        mgr.on_map(&mut hw, PFrame(1), m(2, 6), Prot::READ_WRITE);
+        // Read-only residue: purge old + purge new.
+        assert_eq!(hw.purges.len(), 2);
+        assert!(hw.flushes.is_empty());
+    }
+
+    #[test]
+    fn dma_read_flushes_residue() {
+        let (mut hw, mut mgr) = mk();
+        mgr.on_map(&mut hw, PFrame(1), m(1, 5), Prot::READ_WRITE);
+        mgr.on_unmap(&mut hw, PFrame(1), m(1, 5));
+        mgr.on_dma(&mut hw, PFrame(1), DmaDir::Read, AccessHints::default());
+        assert_eq!(hw.flushes.len(), 1, "unmapped dirty residue flushed for DMA");
+    }
+
+    #[test]
+    fn aliases_handled_eagerly() {
+        let (mut hw, mut mgr) = mk();
+        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        mgr.on_map(&mut hw, PFrame(1), m(2, 1), Prot::READ_WRITE);
+        assert_eq!(hw.prot_of(m(2, 1)), Prot::NONE);
+        mgr.on_access(&mut hw, PFrame(1), m(2, 1), Access::Write, AccessHints::default());
+        assert_eq!(hw.flushes.len(), 1);
+        // Unmapping one of two mappings cleans eagerly.
+        mgr.on_unmap(&mut hw, PFrame(1), m(1, 0));
+        assert_eq!(hw.purges.len(), 1);
+    }
+
+    #[test]
+    fn features_match_table5() {
+        let (_, mgr) = mk();
+        let f = mgr.features();
+        assert!(f.lazy_unmap);
+        assert_eq!(f.state_granularity, "virtual address");
+        assert_eq!(f.aligns_mappings, "program text only");
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::cache_control::RecordingHw;
+    use crate::types::SpaceId;
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::new(8, 4)
+    }
+
+    fn m(s: u32, v: u64) -> Mapping {
+        Mapping::new(SpaceId(s), VPage(v))
+    }
+
+    #[test]
+    fn executed_residue_purges_instruction_page_on_remap() {
+        let mut hw = RecordingHw::new(geom());
+        let mut mgr = TutManager::new(16, geom());
+        // Map read-execute and fetch, so the residue carries text.
+        mgr.on_map(&mut hw, PFrame(1), m(1, 5), Prot::READ_EXECUTE);
+        mgr.on_access(&mut hw, PFrame(1), m(1, 5), Access::Execute, AccessHints::default());
+        mgr.on_unmap(&mut hw, PFrame(1), m(1, 5));
+        hw.clear_log();
+        // Remap at a different address: the old instruction page must go.
+        mgr.on_map(&mut hw, PFrame(1), m(2, 6), Prot::READ);
+        assert_eq!(hw.insn_purges.len(), 1, "stale text residue purged");
+    }
+
+    #[test]
+    fn dma_write_purges_executed_residue() {
+        let mut hw = RecordingHw::new(geom());
+        let mut mgr = TutManager::new(16, geom());
+        mgr.on_map(&mut hw, PFrame(1), m(1, 5), Prot::READ_EXECUTE);
+        mgr.on_access(&mut hw, PFrame(1), m(1, 5), Access::Execute, AccessHints::default());
+        mgr.on_unmap(&mut hw, PFrame(1), m(1, 5));
+        hw.clear_log();
+        mgr.on_dma(&mut hw, PFrame(1), DmaDir::Write, AccessHints::default());
+        assert_eq!(hw.purges.len(), 1, "data residue purged before device data");
+        assert_eq!(hw.insn_purges.len(), 1, "text residue purged too");
+    }
+
+    #[test]
+    fn residue_not_reused_after_dma() {
+        // DMA while unmapped consumes the residue: a later exact-address
+        // remap must not assume the cache still holds valid data... and it
+        // doesn't need to clean either (the DMA path already did).
+        let mut hw = RecordingHw::new(geom());
+        let mut mgr = TutManager::new(16, geom());
+        mgr.on_map(&mut hw, PFrame(1), m(1, 5), Prot::READ_WRITE);
+        mgr.on_access(&mut hw, PFrame(1), m(1, 5), Access::Write, AccessHints::default());
+        mgr.on_unmap(&mut hw, PFrame(1), m(1, 5));
+        mgr.on_dma(&mut hw, PFrame(1), DmaDir::Read, AccessHints::default());
+        assert_eq!(hw.flushes.len(), 1, "residue flushed for the device");
+        hw.clear_log();
+        mgr.on_map(&mut hw, PFrame(1), m(2, 5), Prot::READ_WRITE);
+        assert!(hw.flushes.is_empty() && hw.purges.is_empty());
+    }
+}

@@ -1,0 +1,209 @@
+//! Policy knobs and the paper's cumulative configurations A–F (Table 4).
+//!
+//! The paper evaluates six kernel configurations, each adding one
+//! optimization on top of the previous:
+//!
+//! | | configuration | added behaviour |
+//! |---|---|---|
+//! | A | *old* | eager: clean the cache whenever a mapping is broken; no address alignment |
+//! | B | +lazy unmap | delay flush/purge until a physical page's address is reused |
+//! | C | +align pages | kernel selects aligning virtual addresses for multiply mapped pages (IPC, shared pages) |
+//! | D | +aligned prepare | copy/zero page preparation through an address aligned with the ultimate mapping |
+//! | E | +need data | replace flushes by purges when the old data will never be read |
+//! | F | +will overwrite | eliminate purges when the destination is completely overwritten |
+//!
+//! [`PolicyConfig`] carries the knobs; the knobs are consumed partly by the
+//! consistency manager (`lazy_unmap`, `need_data`, `will_overwrite`) and
+//! partly by the virtual memory system's address-selection policies
+//! (`align_addresses`, `aligned_prepare`).
+
+use std::fmt;
+
+/// The tunable policies of the consistency system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolicyConfig {
+    /// Delay flush/purge operations past unmap, until the physical page or
+    /// the virtual address is reused (paper §2.3). When false, every unmap
+    /// cleans the cache eagerly.
+    pub lazy_unmap: bool,
+    /// Select aligning virtual addresses for multiply mapped pages: IPC
+    /// transfer destinations and Unix-server shared pages (paper §4.2).
+    pub align_addresses: bool,
+    /// Prepare new pages (copy / zero-fill) through a virtual address that
+    /// aligns with the page's ultimate mapping (paper §4.2).
+    pub aligned_prepare: bool,
+    /// Honor the `need_data` hint: purge rather than flush dirty data that
+    /// will never be read again (paper §4.1).
+    pub need_data: bool,
+    /// Honor the `will_overwrite` hint: skip purging stale data that is
+    /// about to be completely overwritten (paper §4.1).
+    pub will_overwrite: bool,
+}
+
+impl PolicyConfig {
+    /// Everything off — the behaviour of the paper's "old" system aside
+    /// from manager choice.
+    pub fn all_off() -> Self {
+        PolicyConfig {
+            lazy_unmap: false,
+            align_addresses: false,
+            aligned_prepare: false,
+            need_data: false,
+            will_overwrite: false,
+        }
+    }
+
+    /// Everything on — the paper's configuration F ("new").
+    pub fn all_on() -> Self {
+        PolicyConfig {
+            lazy_unmap: true,
+            align_addresses: true,
+            aligned_prepare: true,
+            need_data: true,
+            will_overwrite: true,
+        }
+    }
+}
+
+impl Default for PolicyConfig {
+    /// Defaults to the fully optimized configuration F.
+    fn default() -> Self {
+        PolicyConfig::all_on()
+    }
+}
+
+/// The paper's cumulative configurations A–F.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Configuration {
+    /// Minimal consistency machinery ("old"): eager cleaning, no alignment.
+    A,
+    /// A + lazy unmap.
+    B,
+    /// B + aligned address selection for multiply mapped pages.
+    C,
+    /// C + aligned page preparation.
+    D,
+    /// D + `need_data` (purge dead dirty data instead of flushing).
+    E,
+    /// E + `will_overwrite` (skip purges of data about to be overwritten);
+    /// the paper's "new" system.
+    F,
+}
+
+impl Configuration {
+    /// All six configurations, in evaluation order.
+    pub const ALL: [Configuration; 6] = [
+        Configuration::A,
+        Configuration::B,
+        Configuration::C,
+        Configuration::D,
+        Configuration::E,
+        Configuration::F,
+    ];
+
+    /// The policy knobs this configuration enables.
+    pub fn policy(self) -> PolicyConfig {
+        use Configuration::*;
+        PolicyConfig {
+            lazy_unmap: self >= B,
+            align_addresses: self >= C,
+            aligned_prepare: self >= D,
+            need_data: self >= E,
+            will_overwrite: self >= F,
+        }
+    }
+
+    /// The single-letter label used in Table 4.
+    pub fn letter(self) -> char {
+        match self {
+            Configuration::A => 'A',
+            Configuration::B => 'B',
+            Configuration::C => 'C',
+            Configuration::D => 'D',
+            Configuration::E => 'E',
+            Configuration::F => 'F',
+        }
+    }
+
+    /// The descriptive label used in Table 4's caption.
+    pub fn label(self) -> &'static str {
+        match self {
+            Configuration::A => "old (eager, unaligned)",
+            Configuration::B => "+lazy unmap",
+            Configuration::C => "+align pages",
+            Configuration::D => "+aligned prepare",
+            Configuration::E => "+need data",
+            Configuration::F => "+will overwrite (new)",
+        }
+    }
+
+    /// Does this configuration use the paper's state-tracking (CMU) manager
+    /// rather than the minimal eager one?
+    ///
+    /// Configuration A reproduces the "old" system: a simple strategy with
+    /// no explicit cache-page state. B–F all run the CMU manager with
+    /// progressively more policy knobs enabled.
+    pub fn uses_cmu_manager(self) -> bool {
+        self != Configuration::A
+    }
+}
+
+impl fmt::Display for Configuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configurations_are_cumulative() {
+        // Each configuration enables a superset of the previous one's
+        // knobs.
+        let as_bits = |p: PolicyConfig| {
+            [
+                p.lazy_unmap,
+                p.align_addresses,
+                p.aligned_prepare,
+                p.need_data,
+                p.will_overwrite,
+            ]
+        };
+        let mut prev = as_bits(Configuration::A.policy());
+        for c in &Configuration::ALL[1..] {
+            let cur = as_bits(c.policy());
+            for (p, c) in prev.iter().zip(cur.iter()) {
+                assert!(!p | c, "{} lost a knob", c);
+            }
+            let gained = cur.iter().filter(|b| **b).count() - prev.iter().filter(|b| **b).count();
+            assert_eq!(gained, 1, "each step adds exactly one knob");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn endpoints() {
+        assert_eq!(Configuration::A.policy(), PolicyConfig::all_off());
+        assert_eq!(Configuration::F.policy(), PolicyConfig::all_on());
+        assert_eq!(PolicyConfig::default(), PolicyConfig::all_on());
+    }
+
+    #[test]
+    fn manager_selection() {
+        assert!(!Configuration::A.uses_cmu_manager());
+        for c in &Configuration::ALL[1..] {
+            assert!(c.uses_cmu_manager());
+        }
+    }
+
+    #[test]
+    fn labels_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for c in Configuration::ALL {
+            assert!(seen.insert(c.label()));
+            assert_eq!(c.to_string().len(), 1);
+        }
+    }
+}

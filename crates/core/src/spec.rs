@@ -1,0 +1,358 @@
+//! Small-scope exhaustive checking of the consistency model.
+//!
+//! This module builds a tiny abstract memory system — one physical page,
+//! two words, `K` cache pages, write-back write-allocate lines, and an
+//! adversary that may evict lines at any time — and exhaustively enumerates
+//! every event sequence up to a bounded depth. A driver follows the paper's
+//! Table 2 exactly: before each event it performs the flushes/purges the
+//! table demands and applies the state transitions.
+//!
+//! Two theorems are checked by `cargo test` (and reproduced by the `table2`
+//! experiment binary):
+//!
+//! * **Correctness** (paper §3.2): following the table, the memory system
+//!   never transfers a stale value to the CPU or a device — over *every*
+//!   sequence, including adversarial evictions and write-backs.
+//! * **Necessity**: for each of the six action-carrying cells of Table 2,
+//!   skipping that one action admits at least one sequence that delivers
+//!   stale data. The table is not merely sufficient; none of its cache
+//!   operations can be dropped.
+//!
+//! Versions stand in for data: every write produces a fresh version number
+//! per word, and a read is *stale* if it observes anything but the latest
+//! version of each word. Two words per page make partial-write hazards
+//! (write-allocate fills merging stale data into a dirty line, lost
+//! unaligned writes) expressible.
+
+use crate::state::{transition, CacheAction, LineState, ModelOp, Role};
+
+/// Number of cache pages in the abstract machine.
+pub const K: usize = 2;
+
+/// Words per page in the abstract machine (two: enough to express partial
+/// writes).
+pub const WORDS: usize = 2;
+
+/// An abstract event applied to the miniature memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// CPU reads both words through cache page `c`.
+    CpuRead {
+        /// The cache page selected by the read's virtual address.
+        c: usize,
+    },
+    /// CPU writes word `w` through cache page `c`.
+    CpuWrite {
+        /// The cache page selected by the write's virtual address.
+        c: usize,
+        /// Which of the page's words is written (partial-write hazards).
+        w: usize,
+    },
+    /// A device reads the page from the memory system.
+    DmaRead,
+    /// A device writes the whole page into the memory system.
+    DmaWrite,
+    /// The adversary evicts cache page `c` (write-back if dirty). Models a
+    /// conflict miss by an unrelated physical page.
+    Evict {
+        /// The evicted cache page.
+        c: usize,
+    },
+}
+
+impl Event {
+    /// Every event of the abstract machine.
+    pub fn all() -> Vec<Event> {
+        let mut v = Vec::new();
+        for c in 0..K {
+            v.push(Event::CpuRead { c });
+            for w in 0..WORDS {
+                v.push(Event::CpuWrite { c, w });
+            }
+            v.push(Event::Evict { c });
+        }
+        v.push(Event::DmaRead);
+        v.push(Event::DmaWrite);
+        v
+    }
+}
+
+/// One of Table 2's action-carrying cells, identified by (operation,
+/// role, state). Used to name the action a mutant driver skips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cell {
+    /// The operation of the row.
+    pub op: ModelOp,
+    /// Target or other-unaligned column.
+    pub role: Role,
+    /// The pre-state.
+    pub state: LineState,
+}
+
+/// The six cells of Table 2 that carry a flush or purge.
+pub fn action_cells() -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for op in ModelOp::ALL {
+        for role in [Role::Target, Role::OtherUnaligned] {
+            for state in LineState::ALL {
+                if transition(op, role, state).action.is_some()
+                    && !matches!(op, ModelOp::Purge | ModelOp::Flush)
+                {
+                    // DMA rows are role-symmetric; count each once.
+                    if op.has_target() || role == Role::Target {
+                        cells.push(Cell { op, role, state });
+                    }
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// A cached copy of the page in one cache page: per-word versions plus the
+/// hardware dirty bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    versions: [u32; WORDS],
+    hw_dirty: bool,
+}
+
+/// The abstract machine plus the model-following driver.
+#[derive(Debug, Clone)]
+struct Mini {
+    /// Hardware: cached copies (None = not present).
+    lines: [Option<Line>; K],
+    /// Hardware: memory's per-word versions.
+    mem: [u32; WORDS],
+    /// Ground truth: the latest version written per word.
+    latest: [u32; WORDS],
+    /// Version counter.
+    next: u32,
+    /// The paper's model state per cache page.
+    state: [LineState; K],
+    /// The cell whose action a mutant driver skips (None = faithful).
+    skip: Option<Cell>,
+}
+
+impl Mini {
+    fn new(skip: Option<Cell>) -> Self {
+        Mini {
+            lines: [None; K],
+            mem: [0; WORDS],
+            latest: [0; WORDS],
+            next: 1,
+            state: [LineState::Empty; K],
+            skip,
+        }
+    }
+
+    fn hw_flush(&mut self, c: usize) {
+        if let Some(l) = self.lines[c] {
+            if l.hw_dirty {
+                self.mem = l.versions;
+            }
+        }
+        self.lines[c] = None;
+    }
+
+    fn hw_purge(&mut self, c: usize) {
+        self.lines[c] = None;
+    }
+
+    fn hw_fill(&mut self, c: usize) {
+        if self.lines[c].is_none() {
+            self.lines[c] = Some(Line {
+                versions: self.mem,
+                hw_dirty: false,
+            });
+        }
+    }
+
+    /// Apply Table 2 for operation `op` with target page `target` (if CPU):
+    /// perform demanded actions (unless skipped by the mutant) on *other*
+    /// pages first, then the target, and update model states.
+    fn apply_table(&mut self, op: ModelOp, target: Option<usize>) {
+        // Others first: a dirty unaligned line must reach memory before the
+        // target's fill.
+        let mut order: Vec<usize> = (0..K).filter(|&c| Some(c) != target).collect();
+        if let Some(t) = target {
+            order.push(t);
+        }
+        for c in order {
+            let role = match target {
+                Some(t) if c == t => Role::Target,
+                Some(_) => Role::OtherUnaligned,
+                None => Role::Target, // DMA: role-symmetric
+            };
+            let tr = transition(op, role, self.state[c]);
+            let skipped = self.skip
+                == Some(Cell {
+                    op,
+                    role,
+                    state: self.state[c],
+                })
+                || (self.skip.map(|s| (s.op, s.state)) == Some((op, self.state[c]))
+                    && !op.has_target());
+            if !skipped {
+                match tr.action {
+                    Some(CacheAction::Flush) => self.hw_flush(c),
+                    Some(CacheAction::Purge) => self.hw_purge(c),
+                    None => {}
+                }
+            }
+            self.state[c] = tr.next;
+        }
+    }
+
+    /// Run one event; returns `Err` with a description if stale data was
+    /// transferred to the CPU or the device.
+    fn step(&mut self, e: Event) -> Result<(), String> {
+        match e {
+            Event::CpuRead { c } => {
+                self.apply_table(ModelOp::CpuRead, Some(c));
+                self.hw_fill(c);
+                let got = self.lines[c].expect("just filled").versions;
+                if got != self.latest {
+                    return Err(format!(
+                        "CPU read via page {c} returned {got:?}, latest is {:?}",
+                        self.latest
+                    ));
+                }
+            }
+            Event::CpuWrite { c, w } => {
+                self.apply_table(ModelOp::CpuWrite, Some(c));
+                self.hw_fill(c); // write-allocate
+                let v = self.next;
+                self.next += 1;
+                self.latest[w] = v;
+                let line = self.lines[c].as_mut().expect("just filled");
+                line.versions[w] = v;
+                line.hw_dirty = true;
+            }
+            Event::DmaRead => {
+                self.apply_table(ModelOp::DmaRead, None);
+                if self.mem != self.latest {
+                    return Err(format!(
+                        "device read memory {:?}, latest is {:?}",
+                        self.mem, self.latest
+                    ));
+                }
+            }
+            Event::DmaWrite => {
+                self.apply_table(ModelOp::DmaWrite, None);
+                for w in 0..WORDS {
+                    let v = self.next;
+                    self.next += 1;
+                    self.latest[w] = v;
+                    self.mem[w] = v;
+                }
+            }
+            Event::Evict { c } => {
+                // Adversarial: the hardware may replace any line at any
+                // time (write-back if dirty). The model does not observe
+                // this; its states are pessimistic.
+                self.hw_flush(c);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Exhaustively run every event sequence of length `depth`; returns the
+/// first failing sequence, if any.
+///
+/// With `skip == None` this checks the *correctness* of Table 2; with a
+/// [`Cell`] it checks whether that cell's action is load-bearing.
+pub fn search(depth: usize, skip: Option<Cell>) -> Option<(Vec<Event>, String)> {
+    let events = Event::all();
+    let mut stack: Vec<(Mini, Vec<Event>)> = vec![(Mini::new(skip), Vec::new())];
+    while let Some((m, seq)) = stack.pop() {
+        if seq.len() >= depth {
+            continue;
+        }
+        for &e in &events {
+            let mut m2 = m.clone();
+            let mut seq2 = seq.clone();
+            seq2.push(e);
+            match m2.step(e) {
+                Err(msg) => return Some((seq2, msg)),
+                Ok(()) => stack.push((m2, seq2)),
+            }
+        }
+    }
+    None
+}
+
+/// Check correctness: no sequence up to `depth` transfers stale data when
+/// the table is followed faithfully.
+pub fn check_correctness(depth: usize) -> Result<(), (Vec<Event>, String)> {
+    match search(depth, None) {
+        None => Ok(()),
+        Some(found) => Err(found),
+    }
+}
+
+/// Check necessity: every action-carrying cell, when skipped, admits a
+/// violating sequence within `depth`. Returns the cells whose necessity
+/// could *not* be demonstrated.
+pub fn check_necessity(depth: usize) -> Vec<Cell> {
+    action_cells()
+        .into_iter()
+        .filter(|&cell| search(depth, Some(cell)).is_none())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_action_cells() {
+        let cells = action_cells();
+        assert_eq!(cells.len(), 6, "{cells:?}");
+    }
+
+    #[test]
+    fn model_is_correct_to_depth_5() {
+        if let Err((seq, msg)) = check_correctness(5) {
+            panic!("stale data escaped: {msg}\nsequence: {seq:?}");
+        }
+    }
+
+    #[test]
+    fn every_action_is_necessary() {
+        let undemonstrated = check_necessity(5);
+        assert!(
+            undemonstrated.is_empty(),
+            "no violation found when skipping: {undemonstrated:?}"
+        );
+    }
+
+    #[test]
+    fn skipping_dirty_flush_breaks_quickly() {
+        // The canonical alias bug: write via page 0, read via page 1.
+        let cell = Cell {
+            op: ModelOp::CpuRead,
+            role: Role::OtherUnaligned,
+            state: LineState::Dirty,
+        };
+        let (seq, _) = search(3, Some(cell)).expect("violation expected");
+        assert!(seq.len() <= 3, "should fail within 3 events: {seq:?}");
+    }
+
+    #[test]
+    fn eviction_alone_is_harmless() {
+        // Sanity: the adversary's evictions never corrupt anything when the
+        // table is followed (they are write-backs of valid dirty data).
+        let mut m = Mini::new(None);
+        for &e in &[
+            Event::CpuWrite { c: 0, w: 0 },
+            Event::Evict { c: 0 },
+            Event::CpuRead { c: 0 },
+            Event::Evict { c: 1 },
+            Event::CpuRead { c: 1 },
+        ] {
+            m.step(e).expect("no staleness");
+        }
+    }
+}

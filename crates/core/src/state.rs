@@ -1,0 +1,434 @@
+//! The paper's consistency-state model (Table 2).
+//!
+//! For any virtual address, a cache line (and, in the implementation, a
+//! whole cache page) is in one of four states:
+//!
+//! * **Empty** — the line does not contain the data at that virtual address;
+//!   an access misses and transfers a value from main memory.
+//! * **Present** — the line contains the correct data.
+//! * **Dirty** — like present, but written by the CPU; memory (or another
+//!   line) may be inconsistent with it.
+//! * **Stale** — the cached data is inconsistent with a more recently
+//!   written version in memory or in another line.
+//!
+//! Six events change state: `CPU-read`, `CPU-write`, `DMA-read`,
+//! `DMA-write`, `Purge` and `Flush`. The first four can create
+//! inconsistencies; the last two resolve them. [`transition`] is the pure
+//! transition function; transitions that *require* a cache operation first
+//! carry a [`CacheAction`].
+//!
+//! The function distinguishes the **target** line (the one selected by the
+//! cache index function for the address being operated on) from **similarly
+//! mapped but unaligned** lines (other lines that can hold the same physical
+//! address). DMA does not go through the cache, so for DMA operations both
+//! roles transition identically.
+
+use std::fmt;
+
+/// The four consistency states of a cache line / cache page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LineState {
+    /// Not present in the cache; a read misses to memory.
+    Empty,
+    /// Present and consistent with memory.
+    Present,
+    /// Present and more recent than memory (must be written back).
+    Dirty,
+    /// Present but older than memory or another line (must never be read or
+    /// written back).
+    Stale,
+}
+
+impl LineState {
+    /// All four states, in the paper's order.
+    pub const ALL: [LineState; 4] = [
+        LineState::Empty,
+        LineState::Present,
+        LineState::Dirty,
+        LineState::Stale,
+    ];
+
+    /// One-letter abbreviation as used in the paper (E, P, D, S).
+    pub fn letter(self) -> char {
+        match self {
+            LineState::Empty => 'E',
+            LineState::Present => 'P',
+            LineState::Dirty => 'D',
+            LineState::Stale => 'S',
+        }
+    }
+}
+
+impl fmt::Display for LineState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// The six events of the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelOp {
+    /// The CPU loads through the target virtual address.
+    CpuRead,
+    /// The CPU stores through the target virtual address.
+    CpuWrite,
+    /// A device reads the physical page out of the memory system.
+    DmaRead,
+    /// A device writes the physical page into the memory system.
+    DmaWrite,
+    /// The cache line is purged (removed without write-back).
+    Purge,
+    /// The cache line is flushed (written back if dirty, then removed).
+    Flush,
+}
+
+impl ModelOp {
+    /// All six operations.
+    pub const ALL: [ModelOp; 6] = [
+        ModelOp::CpuRead,
+        ModelOp::CpuWrite,
+        ModelOp::DmaRead,
+        ModelOp::DmaWrite,
+        ModelOp::Purge,
+        ModelOp::Flush,
+    ];
+
+    /// Does this operation distinguish a target line from other similarly
+    /// mapped lines? DMA bypasses the cache, so it does not.
+    pub fn has_target(self) -> bool {
+        !matches!(self, ModelOp::DmaRead | ModelOp::DmaWrite)
+    }
+}
+
+impl fmt::Display for ModelOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ModelOp::CpuRead => "CPU-read",
+            ModelOp::CpuWrite => "CPU-write",
+            ModelOp::DmaRead => "DMA-read",
+            ModelOp::DmaWrite => "DMA-write",
+            ModelOp::Purge => "Purge",
+            ModelOp::Flush => "Flush",
+        })
+    }
+}
+
+/// Whether a line is the target of the operation or merely similarly mapped
+/// (same physical address) but unaligned (a different cache line).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// The line selected by the cache index function for the operated-on
+    /// virtual address.
+    Target,
+    /// Any other line that can hold the same physical address.
+    OtherUnaligned,
+}
+
+/// A cache consistency operation a transition demands *before* the event may
+/// proceed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheAction {
+    /// Write the line back if dirty, then invalidate it.
+    Flush,
+    /// Invalidate the line without writing it back.
+    Purge,
+}
+
+impl fmt::Display for CacheAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CacheAction::Flush => "flush",
+            CacheAction::Purge => "purge",
+        })
+    }
+}
+
+/// The result of applying an event to a line in a given state: the next
+/// state, and the cache operation (if any) that must be performed to make
+/// the transition safe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// The state after the event.
+    pub next: LineState,
+    /// The flush/purge required, if any.
+    pub action: Option<CacheAction>,
+}
+
+impl Transition {
+    /// A transition requiring no cache operation.
+    pub fn to(next: LineState) -> Self {
+        Transition { next, action: None }
+    }
+
+    /// A transition requiring a flush first.
+    pub fn flush_to(next: LineState) -> Self {
+        Transition {
+            next,
+            action: Some(CacheAction::Flush),
+        }
+    }
+
+    /// A transition requiring a purge first.
+    pub fn purge_to(next: LineState) -> Self {
+        Transition {
+            next,
+            action: Some(CacheAction::Purge),
+        }
+    }
+}
+
+/// The paper's Table 2: the state transition that must occur when `op` is
+/// applied, for a line in state `state` playing `role`.
+///
+/// These transitions ensure the memory system never returns inconsistent
+/// data to either the CPU or a device:
+///
+/// * a line cannot leave [`LineState::Empty`] until memory is consistent
+///   with the most recent update (dirty unaligned lines are flushed first);
+/// * a [`LineState::Stale`] line is never transferred out of the cache: it
+///   must be purged before it can be read or written, and stale lines are
+///   never hardware-dirty so they are never written back.
+///
+/// For [`ModelOp::DmaRead`] and [`ModelOp::DmaWrite`] both roles transition
+/// identically (DMA does not go through the cache).
+pub fn transition(op: ModelOp, role: Role, state: LineState) -> Transition {
+    use CacheAction as A;
+    use LineState::*;
+    use ModelOp::*;
+    use Role::*;
+
+    match (op, role, state) {
+        // CPU-read: the target must end up present; any unaligned dirty
+        // line must first be flushed so the fill observes fresh memory; a
+        // stale target must be purged so the fill replaces it.
+        (CpuRead, Target, Empty) => Transition::to(Present),
+        (CpuRead, Target, Present) => Transition::to(Present),
+        (CpuRead, Target, Dirty) => Transition::to(Dirty),
+        (CpuRead, Target, Stale) => Transition::purge_to(Present),
+        (CpuRead, OtherUnaligned, Empty) => Transition::to(Empty),
+        (CpuRead, OtherUnaligned, Present) => Transition::to(Present),
+        (CpuRead, OtherUnaligned, Dirty) => Transition::flush_to(Empty),
+        (CpuRead, OtherUnaligned, Stale) => Transition::to(Stale),
+
+        // CPU-write: the target becomes dirty; every other line that holds
+        // the physical address becomes stale (present) or is flushed away
+        // (dirty, so the target's fill observes fresh memory).
+        (CpuWrite, Target, Empty) => Transition::to(Dirty),
+        (CpuWrite, Target, Present) => Transition::to(Dirty),
+        (CpuWrite, Target, Dirty) => Transition::to(Dirty),
+        (CpuWrite, Target, Stale) => Transition::purge_to(Dirty),
+        (CpuWrite, OtherUnaligned, Empty) => Transition::to(Empty),
+        (CpuWrite, OtherUnaligned, Present) => Transition::to(Stale),
+        (CpuWrite, OtherUnaligned, Dirty) => Transition::flush_to(Empty),
+        (CpuWrite, OtherUnaligned, Stale) => Transition::to(Stale),
+
+        // DMA-read: the device reads memory, so dirty data must be flushed
+        // to memory first; clean lines are unaffected. After the flush the
+        // page's data is clean-present behind its (sole) mapped line.
+        (DmaRead, _, Empty) => Transition::to(Empty),
+        (DmaRead, _, Present) => Transition::to(Present),
+        (DmaRead, _, Dirty) => Transition::flush_to(Present),
+        (DmaRead, _, Stale) => Transition::to(Stale),
+
+        // DMA-write: the device overwrites memory, so every cached copy
+        // becomes stale; a dirty line need only be *purged* (not flushed)
+        // since its data is about to be overwritten in memory anyway, but it
+        // must not survive to be written back over the device's data.
+        (DmaWrite, _, Empty) => Transition::to(Empty),
+        (DmaWrite, _, Present) => Transition::to(Stale),
+        (DmaWrite, _, Dirty) => Transition {
+            next: Empty,
+            action: Some(A::Purge),
+        },
+        (DmaWrite, _, Stale) => Transition::to(Stale),
+
+        // Purge / Flush applied to the target line always leave it empty;
+        // other lines are untouched.
+        (Purge | Flush, Target, _) => Transition::to(Empty),
+        (Purge | Flush, OtherUnaligned, s) => Transition::to(s),
+    }
+}
+
+/// Render the transition table in the paper's layout (used by the `table2`
+/// experiment binary and for documentation).
+pub fn render_table() -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Operation    | Target cache line        | Similarly mapped, unaligned lines\n",
+    );
+    out.push_str(
+        "-------------+--------------------------+----------------------------------\n",
+    );
+    for op in ModelOp::ALL {
+        for (i, s) in LineState::ALL.into_iter().enumerate() {
+            let t = transition(op, Role::Target, s);
+            let o = transition(op, Role::OtherUnaligned, s);
+            let fmt_tr = |tr: Transition, from: LineState| match tr.action {
+                Some(a) => format!("{from} --{a}--> {}", tr.next),
+                None => format!("{from} -> {}", tr.next),
+            };
+            let name = if i == 0 { format!("{op}") } else { String::new() };
+            out.push_str(&format!(
+                "{name:<12} | {:<24} | {}\n",
+                fmt_tr(t, s),
+                fmt_tr(o, s)
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use CacheAction::{Flush as AFlush, Purge as APurge};
+    use LineState::*;
+    use ModelOp::*;
+    use Role::*;
+
+    /// One row of the literal Table 2: (op, state, target-next,
+    /// target-action, other-next, other-action).
+    type Table2Row = (
+        ModelOp,
+        LineState,
+        LineState,
+        Option<CacheAction>,
+        LineState,
+        Option<CacheAction>,
+    );
+
+    /// A literal transcription of the paper's Table 2, kept deliberately
+    /// separate from the `match` in [`transition`] so a transcription error
+    /// in one is caught by the other.
+    const TABLE2: [Table2Row; 24] = [
+        (CpuRead, Empty, Present, None, Empty, None),
+        (CpuRead, Present, Present, None, Present, None),
+        (CpuRead, Dirty, Dirty, None, Empty, Some(AFlush)),
+        (CpuRead, Stale, Present, Some(APurge), Stale, None),
+        (CpuWrite, Empty, Dirty, None, Empty, None),
+        (CpuWrite, Present, Dirty, None, Stale, None),
+        (CpuWrite, Dirty, Dirty, None, Empty, Some(AFlush)),
+        (CpuWrite, Stale, Dirty, Some(APurge), Stale, None),
+        (DmaRead, Empty, Empty, None, Empty, None),
+        (DmaRead, Present, Present, None, Present, None),
+        (DmaRead, Dirty, Present, Some(AFlush), Present, Some(AFlush)),
+        (DmaRead, Stale, Stale, None, Stale, None),
+        (DmaWrite, Empty, Empty, None, Empty, None),
+        (DmaWrite, Present, Stale, None, Stale, None),
+        (DmaWrite, Dirty, Empty, Some(APurge), Empty, Some(APurge)),
+        (DmaWrite, Stale, Stale, None, Stale, None),
+        (Purge, Empty, Empty, None, Empty, None),
+        (Purge, Present, Empty, None, Present, None),
+        (Purge, Dirty, Empty, None, Dirty, None),
+        (Purge, Stale, Empty, None, Stale, None),
+        (Flush, Empty, Empty, None, Empty, None),
+        (Flush, Present, Empty, None, Present, None),
+        (Flush, Dirty, Empty, None, Dirty, None),
+        (Flush, Stale, Empty, None, Stale, None),
+    ];
+
+    #[test]
+    fn matches_literal_table2() {
+        for (op, s, tn, ta, on, oa) in TABLE2 {
+            let t = transition(op, Target, s);
+            assert_eq!((t.next, t.action), (tn, ta), "target {op} from {s}");
+            let o = transition(op, OtherUnaligned, s);
+            assert_eq!((o.next, o.action), (on, oa), "other {op} from {s}");
+        }
+    }
+
+    #[test]
+    fn table_is_total() {
+        // Every (op, role, state) combination is defined — the match would
+        // fail to compile otherwise, but exercise it anyway to catch panics.
+        for op in ModelOp::ALL {
+            for role in [Target, OtherUnaligned] {
+                for s in LineState::ALL {
+                    let _ = transition(op, role, s);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stale_lines_never_escape() {
+        // A stale line can only leave the stale state via a purge — never a
+        // flush that could write it back, and never silently.
+        for op in ModelOp::ALL {
+            for role in [Target, OtherUnaligned] {
+                let t = transition(op, role, Stale);
+                if t.next != Stale && t.next != Empty {
+                    assert_eq!(
+                        t.action,
+                        Some(APurge),
+                        "{op}/{role:?}: stale line left S without a purge"
+                    );
+                }
+                assert_ne!(
+                    t.action,
+                    Some(AFlush),
+                    "{op}/{role:?}: stale line must never be flushed (would write stale data back)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dirty_unaligned_lines_flushed_before_cpu_fill() {
+        // Before a CPU op can fill the target from memory, any unaligned
+        // dirty copy must have been flushed so memory is fresh.
+        for op in [CpuRead, CpuWrite] {
+            let o = transition(op, OtherUnaligned, Dirty);
+            assert_eq!(o.action, Some(AFlush));
+            assert_eq!(o.next, Empty);
+        }
+    }
+
+    #[test]
+    fn dma_roles_identical() {
+        // DMA does not go through the cache: target and other transitions
+        // must be the same.
+        for op in [DmaRead, DmaWrite] {
+            for s in LineState::ALL {
+                assert_eq!(
+                    transition(op, Target, s),
+                    transition(op, OtherUnaligned, s),
+                    "{op} from {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dma_write_purges_rather_than_flushes() {
+        // The paper: "a DMA-write under a dirty cache line only requires
+        // that the line be purged rather than flushed, since the DMA-write
+        // will cause the data in memory to be overwritten."
+        let t = transition(DmaWrite, Target, Dirty);
+        assert_eq!(t.action, Some(APurge));
+        assert_eq!(t.next, Empty);
+    }
+
+    #[test]
+    fn at_most_one_dirty_line_invariant() {
+        // After any event, data for one physical address is dirty in at most
+        // one line: writes leave only the target dirty; everything else that
+        // was dirty transitions away from D.
+        for op in ModelOp::ALL {
+            let o = transition(op, OtherUnaligned, Dirty);
+            if op == CpuRead || op == CpuWrite || op == DmaWrite {
+                assert_ne!(o.next, Dirty, "{op} left an unaligned line dirty");
+            }
+        }
+    }
+
+    #[test]
+    fn render_contains_all_ops() {
+        let s = render_table();
+        for op in ModelOp::ALL {
+            assert!(s.contains(&op.to_string()), "missing {op}");
+        }
+        assert!(s.contains("--purge--> P"));
+        assert!(s.contains("--flush--> E"));
+    }
+}

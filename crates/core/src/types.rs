@@ -1,0 +1,375 @@
+//! Foundational newtypes shared across the workspace.
+//!
+//! The whole system is addressed in three coordinate systems:
+//!
+//! * **virtual**: a [`VAddr`] within an address space ([`SpaceId`]), whose
+//!   page number is a [`VPage`];
+//! * **physical**: a [`PAddr`], whose frame number is a [`PFrame`];
+//! * **cache**: a [`CachePage`] — the set of cache lines onto which the
+//!   cache index function maps all addresses of one virtual page (paper §4).
+//!
+//! Two virtual pages *align* when they map to the same [`CachePage`]; aligned
+//! aliases share cache lines (the cache is physically tagged) and need no
+//! consistency management.
+
+use std::fmt;
+
+/// A virtual byte address within some address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VAddr(pub u64);
+
+/// A physical byte address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PAddr(pub u64);
+
+/// A virtual page number (virtual address divided by the page size).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VPage(pub u64);
+
+/// A physical page frame number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PFrame(pub u64);
+
+/// A cache page: the page-sized, page-aligned slice of a virtually indexed
+/// cache selected by the low bits of a virtual page number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CachePage(pub u32);
+
+/// An address-space (task) identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SpaceId(pub u32);
+
+impl fmt::Display for VAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "va:{:#x}", self.0)
+    }
+}
+impl fmt::Display for PAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pa:{:#x}", self.0)
+    }
+}
+impl fmt::Display for VPage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vp:{}", self.0)
+    }
+}
+impl fmt::Display for PFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pf:{}", self.0)
+    }
+}
+impl fmt::Display for CachePage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cp:{}", self.0)
+    }
+}
+impl fmt::Display for SpaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sp:{}", self.0)
+    }
+}
+
+/// Which of the two (split) caches a virtual address is interpreted against.
+///
+/// The HP 9000/700 has separate instruction and data caches with no hardware
+/// consistency between them; the paper (§4.1) maintains cache-page state for
+/// both and interprets each virtual address "in the context of the cache in
+/// which it will be found".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheKind {
+    /// The write-back data cache.
+    Data,
+    /// The read-only instruction cache (never dirty, purge only).
+    Insn,
+}
+
+impl CacheKind {
+    /// Both cache kinds, data first.
+    pub const ALL: [CacheKind; 2] = [CacheKind::Data, CacheKind::Insn];
+}
+
+impl fmt::Display for CacheKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CacheKind::Data => "D",
+            CacheKind::Insn => "I",
+        })
+    }
+}
+
+/// The kind of CPU access being attempted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Access {
+    /// A data load.
+    Read,
+    /// A data store.
+    Write,
+    /// An instruction fetch (goes through the instruction cache).
+    Execute,
+}
+
+impl Access {
+    /// The cache this access is served from.
+    pub fn cache(self) -> CacheKind {
+        match self {
+            Access::Read | Access::Write => CacheKind::Data,
+            Access::Execute => CacheKind::Insn,
+        }
+    }
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Access::Read => "read",
+            Access::Write => "write",
+            Access::Execute => "execute",
+        })
+    }
+}
+
+/// A page protection: any subset of read / write / execute rights.
+///
+/// The paper's implementation uses `W0_ACCESS` (no access, [`Prot::NONE`]),
+/// `READ_ONLY_ACCESS` ([`Prot::READ`]) and `READ_WRITE_ACCESS`
+/// ([`Prot::READ_WRITE`]); the execute bit extends the same scheme to the
+/// split instruction cache.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Prot(u8);
+
+impl Prot {
+    const R: u8 = 1;
+    const W: u8 = 2;
+    const X: u8 = 4;
+
+    /// No access at all (the paper's `W0_ACCESS`).
+    pub const NONE: Prot = Prot(0);
+    /// Read-only data access.
+    pub const READ: Prot = Prot(Self::R);
+    /// Read and write data access.
+    pub const READ_WRITE: Prot = Prot(Self::R | Self::W);
+    /// Execute-only access.
+    pub const EXECUTE: Prot = Prot(Self::X);
+    /// Read + execute (a typical text-segment logical protection).
+    pub const READ_EXECUTE: Prot = Prot(Self::R | Self::X);
+    /// Every right.
+    pub const ALL: Prot = Prot(Self::R | Self::W | Self::X);
+
+    /// Does this protection permit `access`?
+    pub fn allows(self, access: Access) -> bool {
+        match access {
+            Access::Read => self.0 & Self::R != 0,
+            Access::Write => self.0 & Self::W != 0,
+            Access::Execute => self.0 & Self::X != 0,
+        }
+    }
+
+    /// The intersection of two protections (rights granted by both).
+    #[must_use]
+    pub fn intersect(self, other: Prot) -> Prot {
+        Prot(self.0 & other.0)
+    }
+
+    /// The union of two protections.
+    #[must_use]
+    pub fn union(self, other: Prot) -> Prot {
+        Prot(self.0 | other.0)
+    }
+
+    /// This protection with the given right added.
+    #[must_use]
+    pub fn with(self, access: Access) -> Prot {
+        let bit = match access {
+            Access::Read => Self::R,
+            Access::Write => Self::W,
+            Access::Execute => Self::X,
+        };
+        Prot(self.0 | bit)
+    }
+
+    /// This protection with the given right removed.
+    #[must_use]
+    pub fn without(self, access: Access) -> Prot {
+        let bit = match access {
+            Access::Read => Self::R,
+            Access::Write => Self::W,
+            Access::Execute => Self::X,
+        };
+        Prot(self.0 & !bit)
+    }
+
+    /// True if no right is granted.
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Debug for Prot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Prot({}{}{})",
+            if self.0 & Self::R != 0 { "r" } else { "-" },
+            if self.0 & Self::W != 0 { "w" } else { "-" },
+            if self.0 & Self::X != 0 { "x" } else { "-" },
+        )
+    }
+}
+
+impl fmt::Display for Prot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.0 & Self::R != 0 { "r" } else { "-" },
+            if self.0 & Self::W != 0 { "w" } else { "-" },
+            if self.0 & Self::X != 0 { "x" } else { "-" },
+        )
+    }
+}
+
+/// One virtual mapping: a virtual page within an address space.
+///
+/// The consistency managers keep, for every physical page, the list of
+/// mappings currently naming it (the paper's `P[p].mappings`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mapping {
+    /// The address space containing the mapping.
+    pub space: SpaceId,
+    /// The virtual page within that space.
+    pub vpage: VPage,
+}
+
+impl Mapping {
+    /// Create a mapping handle.
+    pub fn new(space: SpaceId, vpage: VPage) -> Self {
+        Mapping { space, vpage }
+    }
+}
+
+impl fmt::Display for Mapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.space, self.vpage)
+    }
+}
+
+/// The cache index geometry: how many cache pages each cache holds.
+///
+/// A virtually indexed cache of size `S` with page size `P` contains
+/// `n = S / P` cache pages, and virtual page `v` falls in cache page
+/// `v mod n`. Two virtual pages align (share every cache line) iff they have
+/// equal cache pages — the hardware property the paper's §4 requires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    dcache_pages: u32,
+    icache_pages: u32,
+}
+
+impl CacheGeometry {
+    /// Build a geometry from the number of page-sized slots in the data and
+    /// instruction caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero or not a power of two (real virtually
+    /// indexed caches index with low address bits).
+    pub fn new(dcache_pages: u32, icache_pages: u32) -> Self {
+        assert!(
+            dcache_pages.is_power_of_two(),
+            "data cache page count must be a nonzero power of two"
+        );
+        assert!(
+            icache_pages.is_power_of_two(),
+            "instruction cache page count must be a nonzero power of two"
+        );
+        CacheGeometry {
+            dcache_pages,
+            icache_pages,
+        }
+    }
+
+    /// Number of cache pages in the given cache.
+    pub fn pages(&self, kind: CacheKind) -> u32 {
+        match kind {
+            CacheKind::Data => self.dcache_pages,
+            CacheKind::Insn => self.icache_pages,
+        }
+    }
+
+    /// The cache page a virtual page falls in, for the given cache.
+    pub fn cache_page(&self, kind: CacheKind, vpage: VPage) -> CachePage {
+        CachePage((vpage.0 % u64::from(self.pages(kind))) as u32)
+    }
+
+    /// Do two virtual pages align in the given cache?
+    pub fn aligned(&self, kind: CacheKind, a: VPage, b: VPage) -> bool {
+        self.cache_page(kind, a) == self.cache_page(kind, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prot_allows() {
+        assert!(Prot::READ.allows(Access::Read));
+        assert!(!Prot::READ.allows(Access::Write));
+        assert!(!Prot::READ.allows(Access::Execute));
+        assert!(Prot::READ_WRITE.allows(Access::Write));
+        assert!(Prot::ALL.allows(Access::Execute));
+        assert!(!Prot::NONE.allows(Access::Read));
+    }
+
+    #[test]
+    fn prot_set_algebra() {
+        assert_eq!(Prot::READ.union(Prot::EXECUTE), Prot::READ_EXECUTE);
+        assert_eq!(Prot::ALL.intersect(Prot::READ_WRITE), Prot::READ_WRITE);
+        assert_eq!(Prot::READ_WRITE.without(Access::Write), Prot::READ);
+        assert_eq!(Prot::NONE.with(Access::Execute), Prot::EXECUTE);
+        assert!(Prot::NONE.is_none());
+        assert!(!Prot::READ.is_none());
+    }
+
+    #[test]
+    fn prot_display() {
+        assert_eq!(Prot::READ_WRITE.to_string(), "rw-");
+        assert_eq!(Prot::NONE.to_string(), "---");
+        assert_eq!(format!("{:?}", Prot::READ_EXECUTE), "Prot(r-x)");
+    }
+
+    #[test]
+    fn geometry_alignment() {
+        let g = CacheGeometry::new(8, 4);
+        assert_eq!(g.cache_page(CacheKind::Data, VPage(0)), CachePage(0));
+        assert_eq!(g.cache_page(CacheKind::Data, VPage(8)), CachePage(0));
+        assert_eq!(g.cache_page(CacheKind::Data, VPage(9)), CachePage(1));
+        assert!(g.aligned(CacheKind::Data, VPage(3), VPage(11)));
+        assert!(!g.aligned(CacheKind::Data, VPage(3), VPage(12)));
+        // The two caches have different index functions.
+        assert!(g.aligned(CacheKind::Insn, VPage(1), VPage(5)));
+        assert!(!g.aligned(CacheKind::Data, VPage(1), VPage(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn geometry_rejects_non_power_of_two() {
+        let _ = CacheGeometry::new(6, 4);
+    }
+
+    #[test]
+    fn access_cache_kinds() {
+        assert_eq!(Access::Read.cache(), CacheKind::Data);
+        assert_eq!(Access::Write.cache(), CacheKind::Data);
+        assert_eq!(Access::Execute.cache(), CacheKind::Insn);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(VAddr(0x1000).to_string(), "va:0x1000");
+        assert_eq!(Mapping::new(SpaceId(2), VPage(7)).to_string(), "sp:2/vp:7");
+        assert_eq!(CacheKind::Data.to_string(), "D");
+        assert_eq!(Access::Execute.to_string(), "execute");
+    }
+}

@@ -1,0 +1,292 @@
+//! Exhaustive small-scope checking of the **page-level algorithm**
+//! (Figure 1), complementing `vic_core::spec`'s check of the line-level
+//! Table 2.
+//!
+//! A miniature hardware model (one physical page, two words, two cache
+//! pages, adversarial eviction) is driven exactly the way a kernel drives
+//! `cache_control`: before each CPU access the effective protection is
+//! consulted; if it denies the access, `cache_control` runs (the
+//! "fault") and the access retries. Every event sequence up to a bounded
+//! depth is enumerated — including the `will_overwrite` / `need_data`
+//! optimizations used legally (a promised overwrite really overwrites the
+//! whole page; `need_data = false` only after the contents are dead) — and
+//! every value read by the CPU or the device must be the latest written.
+
+use vic_core::cache_control::{cache_control, effective_prot, CcOp, ConsistencyHw};
+use vic_core::manager::AccessHints;
+use vic_core::page_state::PhysPageInfo;
+use vic_core::types::{
+    Access, CacheGeometry, CacheKind, CachePage, Mapping, PFrame, Prot, SpaceId, VPage,
+};
+
+const WORDS: usize = 2;
+/// Two virtual pages, mapping to cache pages 0 and 1 (geometry 2×1).
+const VPS: [u64; 2] = [0, 1];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// Read both words through vp `v` (faulting as needed).
+    Read { v: usize },
+    /// Write word `w` through vp `v`.
+    Write { v: usize, w: usize },
+    /// Prepare the page through vp `v`: a full overwrite of both words,
+    /// declared with `will_overwrite = true` and `need_data = false` (the
+    /// zero-fill/copy-destination pattern).
+    Prepare { v: usize },
+    /// The device reads the page (requires a DMA-read transition first).
+    DmaRead,
+    /// The device overwrites the page (DMA-write transition first).
+    DmaWrite,
+    /// Adversarial eviction of cache page `c` (write-back if dirty).
+    Evict { c: usize },
+}
+
+fn all_events() -> Vec<Event> {
+    let mut v = Vec::new();
+    for i in 0..VPS.len() {
+        v.push(Event::Read { v: i });
+        for w in 0..WORDS {
+            v.push(Event::Write { v: i, w });
+        }
+        v.push(Event::Prepare { v: i });
+    }
+    v.push(Event::DmaRead);
+    v.push(Event::DmaWrite);
+    for c in 0..2 {
+        v.push(Event::Evict { c });
+    }
+    v
+}
+
+/// Miniature hardware: versions per word, per cache page.
+#[derive(Debug, Clone)]
+struct MiniHw {
+    geom: CacheGeometry,
+    lines: [Option<([u32; WORDS], bool)>; 2], // (versions, dirty)
+    mem: [u32; WORDS],
+}
+
+impl MiniHw {
+    fn new() -> Self {
+        MiniHw {
+            geom: CacheGeometry::new(2, 1),
+            lines: [None, None],
+            mem: [0; WORDS],
+        }
+    }
+
+    fn fill(&mut self, c: usize) {
+        if self.lines[c].is_none() {
+            self.lines[c] = Some((self.mem, false));
+        }
+    }
+
+    fn flush(&mut self, c: usize) {
+        if let Some((vers, dirty)) = self.lines[c] {
+            if dirty {
+                self.mem = vers;
+            }
+        }
+        self.lines[c] = None;
+    }
+}
+
+impl ConsistencyHw for MiniHw {
+    fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+    fn flush_data_page(&mut self, c: CachePage, _f: PFrame) {
+        self.flush(c.0 as usize);
+    }
+    fn purge_data_page(&mut self, c: CachePage, _f: PFrame) {
+        self.lines[c.0 as usize] = None;
+    }
+    fn purge_insn_page(&mut self, _c: CachePage, _f: PFrame) {}
+    fn set_protection(&mut self, _m: Mapping, _p: Prot) {}
+}
+
+/// The system under test: hardware + the algorithm's page state, driven
+/// kernel-style.
+#[derive(Debug, Clone)]
+struct World {
+    hw: MiniHw,
+    info: PhysPageInfo,
+    latest: [u32; WORDS],
+    next: u32,
+    /// A promised-but-unfinished overwrite poisons reads of the unwritten
+    /// word until the overwrite completes; `Prepare` writes both words
+    /// atomically here, keeping usage legal.
+    _marker: (),
+}
+
+const FRAME: PFrame = PFrame(7);
+
+fn mapping(v: usize) -> Mapping {
+    Mapping::new(SpaceId(1), VPage(VPS[v]))
+}
+
+impl World {
+    fn new() -> Self {
+        let geom = CacheGeometry::new(2, 1);
+        let mut info = PhysPageInfo::new(geom);
+        for v in 0..VPS.len() {
+            info.add_mapping(mapping(v), Prot::READ_WRITE);
+        }
+        World {
+            hw: MiniHw::new(),
+            info,
+            latest: [0; WORDS],
+            next: 1,
+            _marker: (),
+        }
+    }
+
+    fn cache_page(&self, v: usize) -> usize {
+        self.hw
+            .geom
+            .cache_page(CacheKind::Data, VPage(VPS[v]))
+            .0 as usize
+    }
+
+    /// Fault-resolve until the access is permitted (kernel loop).
+    fn ensure(&mut self, v: usize, access: Access, hints: AccessHints) {
+        for _ in 0..4 {
+            let p = effective_prot(&self.info, self.hw.geom, VPage(VPS[v]), Prot::READ_WRITE);
+            if p.allows(access) {
+                return;
+            }
+            let op = match access {
+                Access::Read => CcOp::CpuRead,
+                Access::Write => CcOp::CpuWrite,
+                Access::Execute => unreachable!("no instruction fetches here"),
+            };
+            cache_control(&mut self.hw, &mut self.info, FRAME, op, Some(VPage(VPS[v])), hints);
+        }
+        panic!("livelock resolving {access} via vp {v}");
+    }
+
+    fn step(&mut self, e: Event) -> Result<(), String> {
+        match e {
+            Event::Read { v } => {
+                self.ensure(v, Access::Read, AccessHints::default());
+                let c = self.cache_page(v);
+                self.hw.fill(c);
+                let (vers, _) = self.hw.lines[c].expect("filled");
+                if vers != self.latest {
+                    return Err(format!(
+                        "CPU read via vp{v} saw {vers:?}, latest {:?} (event {e:?})",
+                        self.latest
+                    ));
+                }
+            }
+            Event::Write { v, w } => {
+                self.ensure(v, Access::Write, AccessHints::default());
+                let c = self.cache_page(v);
+                self.hw.fill(c); // write-allocate
+                let ver = self.next;
+                self.next += 1;
+                self.latest[w] = ver;
+                let line = self.hw.lines[c].as_mut().expect("filled");
+                line.0[w] = ver;
+                line.1 = true;
+            }
+            Event::Prepare { v } => {
+                // The legal will_overwrite pattern: the faulting write
+                // carries the hints and the whole page is overwritten
+                // before any read.
+                self.ensure(
+                    v,
+                    Access::Write,
+                    AccessHints {
+                        will_overwrite: true,
+                        need_data: false,
+                    },
+                );
+                let c = self.cache_page(v);
+                self.hw.fill(c);
+                let line = self.hw.lines[c].as_mut().expect("filled");
+                for w in 0..WORDS {
+                    let ver = self.next;
+                    self.next += 1;
+                    self.latest[w] = ver;
+                    line.0[w] = ver;
+                }
+                line.1 = true;
+            }
+            Event::DmaRead => {
+                cache_control(
+                    &mut self.hw,
+                    &mut self.info,
+                    FRAME,
+                    CcOp::DmaRead,
+                    None,
+                    AccessHints::default(),
+                );
+                if self.hw.mem != self.latest {
+                    return Err(format!(
+                        "device read {:?}, latest {:?}",
+                        self.hw.mem, self.latest
+                    ));
+                }
+            }
+            Event::DmaWrite => {
+                cache_control(
+                    &mut self.hw,
+                    &mut self.info,
+                    FRAME,
+                    CcOp::DmaWrite,
+                    None,
+                    AccessHints::discards(),
+                );
+                for w in 0..WORDS {
+                    let ver = self.next;
+                    self.next += 1;
+                    self.latest[w] = ver;
+                    self.hw.mem[w] = ver;
+                }
+            }
+            Event::Evict { c } => {
+                self.hw.flush(c);
+            }
+        }
+        self.info
+            .check_invariant()
+            .map_err(|m| format!("invariant broken after {e:?}: {m}"))?;
+        Ok(())
+    }
+}
+
+/// Exhaustive enumeration to the given depth.
+fn search(depth: usize) -> Option<(Vec<Event>, String)> {
+    let events = all_events();
+    let mut stack = vec![(World::new(), Vec::new())];
+    while let Some((w, seq)) = stack.pop() {
+        if seq.len() >= depth {
+            continue;
+        }
+        for &e in &events {
+            let mut w2 = w.clone();
+            let mut seq2 = seq.clone();
+            seq2.push(e);
+            match w2.step(e) {
+                Err(msg) => return Some((seq2, msg)),
+                Ok(()) => stack.push((w2, seq2)),
+            }
+        }
+    }
+    None
+}
+
+#[test]
+fn figure1_algorithm_correct_to_depth_5() {
+    if let Some((seq, msg)) = search(5) {
+        panic!("the page-level algorithm leaked stale data: {msg}\nsequence: {seq:?}");
+    }
+}
+
+#[test]
+fn figure1_algorithm_correct_to_depth_6() {
+    if let Some((seq, msg)) = search(6) {
+        panic!("the page-level algorithm leaked stale data: {msg}\nsequence: {seq:?}");
+    }
+}

@@ -1,0 +1,231 @@
+//! Property-based tests of the pure model: the Table 3 data structures and
+//! the Figure 1 algorithm under randomized event sequences.
+
+use proptest::prelude::*;
+use vic_core::cache_control::{cache_control, effective_prot, CcOp, ConsistencyHw, RecordingHw};
+use vic_core::manager::AccessHints;
+use vic_core::page_state::{CachePageSet, PhysPageInfo};
+use vic_core::state::LineState;
+use vic_core::types::{Access, CacheGeometry, CachePage, Mapping, PFrame, Prot, SpaceId, VPage};
+
+// ---------------------------------------------------------------------
+// CachePageSet against a reference HashSet model.
+
+#[derive(Debug, Clone, Copy)]
+enum SetOp {
+    Insert(u32),
+    Remove(u32),
+    Clear,
+}
+
+fn set_op() -> impl Strategy<Value = SetOp> {
+    prop_oneof![
+        (0..16u32).prop_map(SetOp::Insert),
+        (0..16u32).prop_map(SetOp::Remove),
+        Just(SetOp::Clear),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn cache_page_set_matches_hashset(ops in prop::collection::vec(set_op(), 0..64)) {
+        let mut s = CachePageSet::new(16);
+        let mut model = std::collections::HashSet::new();
+        for op in ops {
+            match op {
+                SetOp::Insert(i) => {
+                    s.insert(CachePage(i));
+                    model.insert(i);
+                }
+                SetOp::Remove(i) => {
+                    s.remove(CachePage(i));
+                    model.remove(&i);
+                }
+                SetOp::Clear => {
+                    s.clear();
+                    model.clear();
+                }
+            }
+            prop_assert_eq!(s.count() as usize, model.len());
+            prop_assert_eq!(s.is_empty(), model.is_empty());
+            for i in 0..16 {
+                prop_assert_eq!(s.contains(CachePage(i)), model.contains(&i));
+            }
+            let listed: Vec<u32> = s.iter().map(|c| c.0).collect();
+            let mut expect: Vec<u32> = model.iter().copied().collect();
+            expect.sort_unstable();
+            prop_assert_eq!(listed, expect);
+        }
+    }
+
+    #[test]
+    fn union_with_is_set_union(a in 0u64..1 << 16, b in 0u64..1 << 16) {
+        let mk = |bits: u64| {
+            let mut s = CachePageSet::new(16);
+            for i in 0..16 {
+                if bits & (1 << i) != 0 {
+                    s.insert(CachePage(i));
+                }
+            }
+            s
+        };
+        let mut u = mk(a);
+        u.union_with(&mk(b));
+        for i in 0..16 {
+            prop_assert_eq!(
+                u.contains(CachePage(i)),
+                (a | b) & (1 << i) != 0
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// cache_control under random event sequences: invariants and protection
+// safety.
+
+#[derive(Debug, Clone, Copy)]
+enum McOp {
+    Access { mapping: u8, access: u8, will_overwrite: bool },
+    Dma { write: bool },
+    AddMapping { mapping: u8 },
+    RemoveMapping { mapping: u8 },
+}
+
+fn mc_op() -> impl Strategy<Value = McOp> {
+    prop_oneof![
+        (0..4u8, 0..3u8, any::<bool>()).prop_map(|(mapping, access, will_overwrite)| McOp::Access {
+            mapping,
+            access,
+            will_overwrite
+        }),
+        any::<bool>().prop_map(|write| McOp::Dma { write }),
+        (0..4u8).prop_map(|mapping| McOp::AddMapping { mapping }),
+        (0..4u8).prop_map(|mapping| McOp::RemoveMapping { mapping }),
+    ]
+}
+
+/// The four candidate mappings: two pairs of aligned pages plus two
+/// unaligned ones (geometry 4 x 2).
+fn mapping_of(i: u8) -> Mapping {
+    let vps = [0u64, 1, 4, 6];
+    Mapping::new(SpaceId(u32::from(i)), VPage(vps[i as usize]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// After every `cache_control` invocation: the page invariant holds,
+    /// and no installed protection permits reading a stale or empty cache
+    /// page or writing a merely-present one.
+    #[test]
+    fn cache_control_preserves_invariants(ops in prop::collection::vec(mc_op(), 1..40)) {
+        let geom = CacheGeometry::new(4, 2);
+        let mut hw = RecordingHw::new(geom);
+        let mut info = PhysPageInfo::new(geom);
+        let frame = PFrame(9);
+        let mut live = [false; 4];
+
+        for op in ops {
+            match op {
+                McOp::AddMapping { mapping } => {
+                    let m = mapping_of(mapping);
+                    info.add_mapping(m, Prot::ALL);
+                    live[mapping as usize] = true;
+                    let p = effective_prot(&info, geom, m.vpage, Prot::ALL);
+                    hw.set_protection(m, p);
+                }
+                McOp::RemoveMapping { mapping } => {
+                    info.remove_mapping(mapping_of(mapping));
+                    live[mapping as usize] = false;
+                }
+                McOp::Access { mapping, access, will_overwrite } => {
+                    if !live[mapping as usize] {
+                        continue;
+                    }
+                    let m = mapping_of(mapping);
+                    let op = match access % 3 {
+                        0 => CcOp::CpuRead,
+                        1 => CcOp::CpuWrite,
+                        _ => CcOp::InsnFetch,
+                    };
+                    let hints = AccessHints { will_overwrite, need_data: true };
+                    cache_control(&mut hw, &mut info, frame, op, Some(m.vpage), hints);
+                }
+                McOp::Dma { write } => {
+                    let op = if write { CcOp::DmaWrite } else { CcOp::DmaRead };
+                    cache_control(&mut hw, &mut info, frame, op, None, AccessHints::default());
+                }
+            }
+
+            prop_assert_eq!(info.check_invariant(), Ok(()));
+
+            // Protection safety: whatever is installed never lets the CPU
+            // observe an inconsistency.
+            for (i, &alive) in live.iter().enumerate() {
+                if !alive {
+                    continue;
+                }
+                let m = mapping_of(i as u8);
+                let p = hw.prot_of(m);
+                let d = info.cache_page_state(
+                    vic_core::types::CacheKind::Data,
+                    geom.cache_page(vic_core::types::CacheKind::Data, m.vpage),
+                );
+                let ins = info.cache_page_state(
+                    vic_core::types::CacheKind::Insn,
+                    geom.cache_page(vic_core::types::CacheKind::Insn, m.vpage),
+                );
+                if p.allows(Access::Read) {
+                    prop_assert!(
+                        matches!(d, LineState::Present | LineState::Dirty),
+                        "read allowed on {:?} data page", d
+                    );
+                }
+                if p.allows(Access::Write) {
+                    prop_assert_eq!(d, LineState::Dirty, "write allowed on non-dirty page");
+                }
+                if p.allows(Access::Execute) {
+                    prop_assert_eq!(ins, LineState::Present, "execute allowed on {:?}", ins);
+                }
+            }
+        }
+    }
+
+    /// `effective_prot` is monotone in the logical protection and never
+    /// exceeds it.
+    #[test]
+    fn effective_prot_capped_by_logical(
+        mapped in any::<bool>(),
+        stale in any::<bool>(),
+        dirty in any::<bool>(),
+        vp in 0u64..8,
+    ) {
+        let geom = CacheGeometry::new(4, 2);
+        let mut info = PhysPageInfo::new(geom);
+        let c = geom.cache_page(vic_core::types::CacheKind::Data, VPage(vp));
+        if mapped && !stale {
+            info.data.mapped.insert(c);
+            info.cache_dirty = dirty;
+        } else if stale {
+            info.data.stale.insert(c);
+        }
+        for logical in [Prot::NONE, Prot::READ, Prot::READ_WRITE, Prot::ALL] {
+            let p = effective_prot(&info, geom, VPage(vp), logical);
+            for a in [Access::Read, Access::Write, Access::Execute] {
+                prop_assert!(!p.allows(a) || logical.allows(a), "exceeded logical");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The exhaustive checker at greater depth than the unit tests run it
+// (slow; still bounded).
+
+#[test]
+fn model_correct_to_depth_6() {
+    if let Err((seq, msg)) = vic_core::spec::check_correctness(6) {
+        panic!("stale data escaped at depth 6: {msg}\nsequence: {seq:?}");
+    }
+}

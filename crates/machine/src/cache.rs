@@ -1,0 +1,454 @@
+//! A virtually indexed, physically tagged cache with a write-back,
+//! write-allocate policy — direct mapped by default, optionally
+//! set-associative.
+//!
+//! The line index is taken from the **virtual** address, the tag is the
+//! **physical** line number — the PA-RISC arrangement. Consequences the
+//! consistency machinery relies on emerge naturally:
+//!
+//! * two virtual addresses that *align* (same index) and map to the same
+//!   physical address share a line: aligned aliases are resolved by the tag
+//!   match without going to memory;
+//! * unaligned aliases select different lines, so the same physical data
+//!   can be cached — and go stale — in several places;
+//! * a dirty line written back at eviction can overwrite newer memory if
+//!   the software let two copies diverge;
+//! * within a **set**, physical tags are unique (a fill first probes every
+//!   way), so set-associativity changes nothing about the consistency
+//!   rules — the paper's §3.3 observation.
+
+use crate::mem::PhysMemory;
+use vic_core::types::{CacheKind, CachePage, PAddr, PFrame, VAddr};
+
+/// One cache line.
+#[derive(Debug, Clone)]
+struct Line {
+    valid: bool,
+    dirty: bool,
+    /// Physical line number (physical address / line size).
+    ptag: u64,
+    data: Box<[u8]>,
+}
+
+/// What an access did, for cycle accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessResult {
+    /// The line was present with a matching tag.
+    Hit,
+    /// The line was filled from memory; `wrote_back` reports whether a
+    /// dirty victim was written back first.
+    Miss {
+        /// A dirty victim line was written back to memory.
+        wrote_back: bool,
+    },
+}
+
+/// Counts from a page flush/purge, for cycle accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PageOpOutcome {
+    /// Lines inspected that did not hold the target frame's data.
+    pub absent: u64,
+    /// Lines that held the target frame's data.
+    pub present: u64,
+    /// Lines written back to memory (flush of dirty lines only).
+    pub written_back: u64,
+}
+
+/// A virtually indexed physically tagged cache (direct mapped when
+/// `assoc == 1`).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    kind: CacheKind,
+    line_size: u64,
+    num_sets: u64,
+    assoc: u64,
+    sets_per_page: u64,
+    lines: Vec<Line>,
+    /// Round-robin victim pointer per set.
+    victim: Vec<u8>,
+}
+
+impl Cache {
+    /// Build a direct-mapped cache of `capacity` bytes with the given line
+    /// and page sizes.
+    pub fn new(kind: CacheKind, capacity: u64, line_size: u64, page_size: u64) -> Self {
+        Self::with_associativity(kind, capacity, line_size, page_size, 1)
+    }
+
+    /// Build an `assoc`-way set-associative cache. The physical tags
+    /// within a set are kept unique by construction, so — as the paper's
+    /// §3.3 observes — the consistency rules are unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assoc` is zero or does not divide the line count.
+    pub fn with_associativity(
+        kind: CacheKind,
+        capacity: u64,
+        line_size: u64,
+        page_size: u64,
+        assoc: u64,
+    ) -> Self {
+        assert!(assoc >= 1, "at least one way");
+        let num_lines = capacity / line_size;
+        assert_eq!(num_lines % assoc, 0, "ways must divide the line count");
+        let num_sets = num_lines / assoc;
+        let lines_per_page = page_size / line_size;
+        assert!(
+            num_sets >= lines_per_page,
+            "the cache must hold at least one page-worth of sets"
+        );
+        Cache {
+            kind,
+            line_size,
+            num_sets,
+            assoc,
+            sets_per_page: lines_per_page,
+            lines: (0..num_lines)
+                .map(|_| Line {
+                    valid: false,
+                    dirty: false,
+                    ptag: 0,
+                    data: vec![0u8; line_size as usize].into_boxed_slice(),
+                })
+                .collect(),
+            victim: vec![0; num_sets as usize],
+        }
+    }
+
+    /// Which cache this is.
+    pub fn kind(&self) -> CacheKind {
+        self.kind
+    }
+
+    /// Total number of lines.
+    pub fn num_lines(&self) -> u64 {
+        self.num_sets * self.assoc
+    }
+
+    /// Associativity (ways per set).
+    pub fn associativity(&self) -> u64 {
+        self.assoc
+    }
+
+    fn set_of(&self, va: VAddr) -> usize {
+        ((va.0 / self.line_size) % self.num_sets) as usize
+    }
+
+    fn ways_of(&self, set: usize) -> std::ops::Range<usize> {
+        set * self.assoc as usize..(set + 1) * self.assoc as usize
+    }
+
+    fn ptag_of(&self, pa: PAddr) -> u64 {
+        pa.0 / self.line_size
+    }
+
+    /// The way holding `ptag` in `set`, if any (tags are unique per set).
+    fn find(&self, set: usize, ptag: u64) -> Option<usize> {
+        self.ways_of(set)
+            .find(|&i| self.lines[i].valid && self.lines[i].ptag == ptag)
+    }
+
+    /// Look up without side effects: does the cache hold `pa` in the set
+    /// selected by `va`?
+    pub fn probe(&self, va: VAddr, pa: PAddr) -> Option<bool> {
+        self.find(self.set_of(va), self.ptag_of(pa))
+            .map(|i| self.lines[i].dirty)
+    }
+
+    /// Fill `ptag` into `set` (victimizing an invalid way, else round
+    /// robin); returns (way, wrote_back).
+    fn fill(&mut self, set: usize, ptag: u64, mem: &mut PhysMemory) -> (usize, bool) {
+        debug_assert!(self.find(set, ptag).is_none(), "tag already in set");
+        let idx = match self.ways_of(set).find(|&i| !self.lines[i].valid) {
+            Some(free) => free,
+            None => {
+                let v = self.victim[set] as usize % self.assoc as usize;
+                self.victim[set] = self.victim[set].wrapping_add(1);
+                set * self.assoc as usize + v
+            }
+        };
+        let line_size = self.line_size;
+        let l = &mut self.lines[idx];
+        let mut wrote_back = false;
+        if l.valid && l.dirty {
+            mem.write(PAddr(l.ptag * line_size), &l.data);
+            wrote_back = true;
+        }
+        mem.read(PAddr(ptag * line_size), &mut l.data);
+        l.valid = true;
+        l.dirty = false;
+        l.ptag = ptag;
+        (idx, wrote_back)
+    }
+
+    /// Read `buf.len()` bytes at (va, pa); the access must not cross a line
+    /// boundary.
+    pub fn read(&mut self, va: VAddr, pa: PAddr, mem: &mut PhysMemory, buf: &mut [u8]) -> AccessResult {
+        debug_assert!(va.0 % self.line_size + buf.len() as u64 <= self.line_size);
+        let set = self.set_of(va);
+        let ptag = self.ptag_of(pa);
+        let (idx, result) = match self.find(set, ptag) {
+            Some(idx) => (idx, AccessResult::Hit),
+            None => {
+                let (idx, wrote_back) = self.fill(set, ptag, mem);
+                (idx, AccessResult::Miss { wrote_back })
+            }
+        };
+        let off = (pa.0 % self.line_size) as usize;
+        buf.copy_from_slice(&self.lines[idx].data[off..off + buf.len()]);
+        result
+    }
+
+    /// Write `data` at (va, pa) — write-back, write-allocate. Only valid on
+    /// the data cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on the instruction cache.
+    pub fn write(&mut self, va: VAddr, pa: PAddr, mem: &mut PhysMemory, data: &[u8]) -> AccessResult {
+        assert_eq!(self.kind, CacheKind::Data, "stores go to the data cache");
+        debug_assert!(va.0 % self.line_size + data.len() as u64 <= self.line_size);
+        let set = self.set_of(va);
+        let ptag = self.ptag_of(pa);
+        let (idx, result) = match self.find(set, ptag) {
+            Some(idx) => (idx, AccessResult::Hit),
+            None => {
+                let (idx, wrote_back) = self.fill(set, ptag, mem);
+                (idx, AccessResult::Miss { wrote_back })
+            }
+        };
+        let off = (pa.0 % self.line_size) as usize;
+        self.lines[idx].data[off..off + data.len()].copy_from_slice(data);
+        self.lines[idx].dirty = true;
+        result
+    }
+
+    /// Write `data` at (va, pa) — write-through, no-write-allocate: memory
+    /// is updated immediately, a hit also updates the line, lines never go
+    /// dirty. Only valid on the data cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on the instruction cache.
+    pub fn write_through(
+        &mut self,
+        va: VAddr,
+        pa: PAddr,
+        mem: &mut PhysMemory,
+        data: &[u8],
+    ) -> AccessResult {
+        assert_eq!(self.kind, CacheKind::Data, "stores go to the data cache");
+        debug_assert!(va.0 % self.line_size + data.len() as u64 <= self.line_size);
+        mem.write(pa, data);
+        let set = self.set_of(va);
+        let ptag = self.ptag_of(pa);
+        if let Some(idx) = self.find(set, ptag) {
+            let off = (pa.0 % self.line_size) as usize;
+            self.lines[idx].data[off..off + data.len()].copy_from_slice(data);
+            AccessResult::Hit
+        } else {
+            AccessResult::Miss { wrote_back: false }
+        }
+    }
+
+    /// Line index range of a cache page: the contiguous sets it covers,
+    /// all ways included.
+    fn page_range(&self, cp: CachePage) -> std::ops::Range<usize> {
+        let start = cp.0 as u64 * self.sets_per_page * self.assoc;
+        let len = self.sets_per_page * self.assoc;
+        start as usize..(start + len) as usize
+    }
+
+    /// Flush (write back if dirty, then invalidate) every line of cache
+    /// page `cp` holding data of `frame`.
+    pub fn flush_page(
+        &mut self,
+        cp: CachePage,
+        frame: PFrame,
+        page_size: u64,
+        mem: &mut PhysMemory,
+    ) -> PageOpOutcome {
+        let mut out = PageOpOutcome::default();
+        let line_size = self.line_size;
+        for idx in self.page_range(cp) {
+            let l = &mut self.lines[idx];
+            if l.valid && l.ptag * line_size / page_size == frame.0 {
+                out.present += 1;
+                if l.dirty {
+                    mem.write(PAddr(l.ptag * line_size), &l.data);
+                    out.written_back += 1;
+                }
+                l.valid = false;
+                l.dirty = false;
+            } else {
+                out.absent += 1;
+            }
+        }
+        out
+    }
+
+    /// Invalidate, without write-back, every line of cache page `cp`
+    /// holding data of `frame`.
+    pub fn purge_page(&mut self, cp: CachePage, frame: PFrame, page_size: u64) -> PageOpOutcome {
+        let mut out = PageOpOutcome::default();
+        let line_size = self.line_size;
+        for idx in self.page_range(cp) {
+            let l = &mut self.lines[idx];
+            if l.valid && l.ptag * line_size / page_size == frame.0 {
+                out.present += 1;
+                l.valid = false;
+                l.dirty = false;
+            } else {
+                out.absent += 1;
+            }
+        }
+        out
+    }
+
+    /// Does any line of cache page `cp` hold data of `frame`? (Testing and
+    /// assertions.)
+    pub fn page_holds(&self, cp: CachePage, frame: PFrame, page_size: u64) -> bool {
+        let line_size = self.line_size;
+        self.page_range(cp).any(|idx| {
+            let l = &self.lines[idx];
+            l.valid && l.ptag * line_size / page_size == frame.0
+        })
+    }
+
+    /// Invalidate everything (power-up state). Dirty data is lost.
+    pub fn purge_all(&mut self) {
+        for l in &mut self.lines {
+            l.valid = false;
+            l.dirty = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Cache, PhysMemory) {
+        // 4 pages of 256 bytes; cache 1 KB, 16-byte lines.
+        (
+            Cache::new(CacheKind::Data, 1024, 16, 256),
+            PhysMemory::new(64 * 1024),
+        )
+    }
+
+    #[test]
+    fn read_miss_then_hit() {
+        let (mut c, mut mem) = setup();
+        mem.write_u32(PAddr(0x100), 42);
+        let mut buf = [0u8; 4];
+        let r = c.read(VAddr(0x100), PAddr(0x100), &mut mem, &mut buf);
+        assert_eq!(r, AccessResult::Miss { wrote_back: false });
+        assert_eq!(u32::from_le_bytes(buf), 42);
+        let r = c.read(VAddr(0x100), PAddr(0x100), &mut mem, &mut buf);
+        assert_eq!(r, AccessResult::Hit);
+    }
+
+    #[test]
+    fn write_back_only_at_eviction() {
+        let (mut c, mut mem) = setup();
+        c.write(VAddr(0), PAddr(0), &mut mem, &7u32.to_le_bytes());
+        assert_eq!(mem.read_u32(PAddr(0)), 0, "write-back: memory still stale");
+        // Evict by touching a conflicting line (same index, different
+        // physical address): index of va 0 and va 1024 collide (1 KB cache).
+        let mut buf = [0u8; 4];
+        let r = c.read(VAddr(1024), PAddr(0x400), &mut mem, &mut buf);
+        assert_eq!(r, AccessResult::Miss { wrote_back: true });
+        assert_eq!(mem.read_u32(PAddr(0)), 7, "dirty victim written back");
+    }
+
+    #[test]
+    fn aligned_aliases_share_a_line() {
+        let (mut c, mut mem) = setup();
+        // va 0 and va 1024 both index line 0 (1 KB cache); same pa.
+        c.write(VAddr(0), PAddr(0x200), &mut mem, &9u32.to_le_bytes());
+        let mut buf = [0u8; 4];
+        let r = c.read(VAddr(1024), PAddr(0x200), &mut mem, &mut buf);
+        assert_eq!(r, AccessResult::Hit, "physically tagged: alias hits");
+        assert_eq!(u32::from_le_bytes(buf), 9);
+    }
+
+    #[test]
+    fn unaligned_alias_goes_stale() {
+        // The paper's core problem, reproduced bit-for-bit: write through
+        // one virtual address, read stale data through an unaligned alias.
+        let (mut c, mut mem) = setup();
+        mem.write_u32(PAddr(0x200), 1);
+        let mut buf = [0u8; 4];
+        // Prime the alias's line with the old value.
+        c.read(VAddr(0x100), PAddr(0x200), &mut mem, &mut buf);
+        assert_eq!(u32::from_le_bytes(buf), 1);
+        // Write through the other virtual address (different index).
+        c.write(VAddr(0x000), PAddr(0x200), &mut mem, &2u32.to_le_bytes());
+        // The alias still returns the stale value.
+        c.read(VAddr(0x100), PAddr(0x200), &mut mem, &mut buf);
+        assert_eq!(u32::from_le_bytes(buf), 1, "stale!");
+    }
+
+    #[test]
+    fn flush_page_writes_back_and_invalidates() {
+        let (mut c, mut mem) = setup();
+        c.write(VAddr(0), PAddr(0), &mut mem, &5u32.to_le_bytes());
+        let out = c.flush_page(CachePage(0), PFrame(0), 256, &mut mem);
+        assert_eq!(out.present, 1);
+        assert_eq!(out.written_back, 1);
+        assert_eq!(out.absent, 15, "16 lines per page, one held data");
+        assert_eq!(mem.read_u32(PAddr(0)), 5);
+        assert!(!c.page_holds(CachePage(0), PFrame(0), 256));
+    }
+
+    #[test]
+    fn purge_page_discards_dirty_data() {
+        let (mut c, mut mem) = setup();
+        mem.write_u32(PAddr(0), 1);
+        c.write(VAddr(0), PAddr(0), &mut mem, &9u32.to_le_bytes());
+        let out = c.purge_page(CachePage(0), PFrame(0), 256);
+        assert_eq!(out.present, 1);
+        assert_eq!(out.written_back, 0);
+        assert_eq!(mem.read_u32(PAddr(0)), 1, "dirty data discarded, not written");
+        assert!(!c.page_holds(CachePage(0), PFrame(0), 256));
+    }
+
+    #[test]
+    fn flush_only_touches_matching_frame() {
+        let (mut c, mut mem) = setup();
+        // Two frames cached in the same cache page via different offsets.
+        c.write(VAddr(0x00), PAddr(0x000), &mut mem, &1u32.to_le_bytes()); // frame 0
+        c.write(VAddr(0x10), PAddr(0x110), &mut mem, &2u32.to_le_bytes()); // frame 1
+        let out = c.flush_page(CachePage(0), PFrame(0), 256, &mut mem);
+        assert_eq!(out.present, 1, "only frame 0's line flushed");
+        assert!(c.page_holds(CachePage(0), PFrame(1), 256), "frame 1 untouched");
+    }
+
+    #[test]
+    fn probe_reports_dirtiness() {
+        let (mut c, mut mem) = setup();
+        assert_eq!(c.probe(VAddr(0), PAddr(0)), None);
+        let mut buf = [0u8; 4];
+        c.read(VAddr(0), PAddr(0), &mut mem, &mut buf);
+        assert_eq!(c.probe(VAddr(0), PAddr(0)), Some(false));
+        c.write(VAddr(0), PAddr(0), &mut mem, &1u32.to_le_bytes());
+        assert_eq!(c.probe(VAddr(0), PAddr(0)), Some(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "data cache")]
+    fn icache_rejects_writes() {
+        let mut c = Cache::new(CacheKind::Insn, 512, 16, 256);
+        let mut mem = PhysMemory::new(1024);
+        c.write(VAddr(0), PAddr(0), &mut mem, &1u32.to_le_bytes());
+    }
+
+    #[test]
+    fn purge_all_resets() {
+        let (mut c, mut mem) = setup();
+        c.write(VAddr(0), PAddr(0), &mut mem, &1u32.to_le_bytes());
+        c.purge_all();
+        assert_eq!(c.probe(VAddr(0), PAddr(0)), None);
+    }
+}

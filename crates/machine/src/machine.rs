@@ -1,0 +1,680 @@
+//! The machine façade: CPU accesses, cache management instructions, DMA,
+//! mapping control and the cycle account.
+
+use crate::cache::{AccessResult, Cache};
+use crate::config::MachineConfig;
+use crate::mem::PhysMemory;
+use crate::mmu::{Mmu, Pte, Translation};
+use crate::oracle::Oracle;
+use crate::stats::MachineStats;
+use vic_core::types::{
+    Access, CacheKind, CachePage, Mapping, PFrame, Prot, SpaceId, VAddr,
+};
+
+/// A memory-access fault delivered to the operating system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// No translation exists for the page.
+    NoMapping {
+        /// The faulting mapping (space + virtual page).
+        mapping: Mapping,
+        /// The attempted access.
+        access: Access,
+    },
+    /// A translation exists but its protection denies the access.
+    Protection {
+        /// The faulting mapping.
+        mapping: Mapping,
+        /// The attempted access.
+        access: Access,
+        /// The protection that denied it.
+        prot: Prot,
+    },
+}
+
+impl Fault {
+    /// The faulting mapping.
+    pub fn mapping(&self) -> Mapping {
+        match self {
+            Fault::NoMapping { mapping, .. } | Fault::Protection { mapping, .. } => *mapping,
+        }
+    }
+
+    /// The attempted access.
+    pub fn access(&self) -> Access {
+        match self {
+            Fault::NoMapping { access, .. } | Fault::Protection { access, .. } => *access,
+        }
+    }
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::NoMapping { mapping, access } => {
+                write!(f, "no mapping for {access} at {mapping}")
+            }
+            Fault::Protection {
+                mapping,
+                access,
+                prot,
+            } => write!(f, "protection ({prot}) denies {access} at {mapping}"),
+        }
+    }
+}
+
+/// The simulated machine.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    cfg: MachineConfig,
+    mem: PhysMemory,
+    dcache: Cache,
+    icache: Cache,
+    mmu: Mmu,
+    cycles: u64,
+    stats: MachineStats,
+    oracle: Oracle,
+}
+
+impl Machine {
+    /// Build a machine from a validated configuration. All cache lines
+    /// start invalid (power-up purge) and memory is zero-filled; the
+    /// staleness oracle is always on.
+    pub fn new(cfg: MachineConfig) -> Self {
+        cfg.validate();
+        Machine {
+            mem: PhysMemory::new(cfg.mem_bytes),
+            dcache: Cache::with_associativity(
+                CacheKind::Data,
+                cfg.dcache_bytes,
+                cfg.line_size,
+                cfg.page_size,
+                cfg.dcache_assoc,
+            ),
+            icache: Cache::with_associativity(
+                CacheKind::Insn,
+                cfg.icache_bytes,
+                cfg.line_size,
+                cfg.page_size,
+                cfg.icache_assoc,
+            ),
+            mmu: Mmu::new(cfg.tlb_entries),
+            cycles: 0,
+            stats: MachineStats::default(),
+            oracle: Oracle::new(cfg.mem_bytes),
+            cfg,
+        }
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Cycles elapsed so far (the 720's on-chip cycle counter).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Elapsed simulated time in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.cfg.cycles_to_seconds(self.cycles)
+    }
+
+    /// Hardware event counters.
+    pub fn stats(&self) -> &MachineStats {
+        &self.stats
+    }
+
+    /// The staleness oracle.
+    pub fn oracle(&self) -> &Oracle {
+        &self.oracle
+    }
+
+    /// Mutable access to the oracle (to toggle panic mode or clear logs).
+    pub fn oracle_mut(&mut self) -> &mut Oracle {
+        &mut self.oracle
+    }
+
+    /// Charge kernel software cycles to the account (fault service,
+    /// bookkeeping, mapping updates).
+    pub fn charge(&mut self, cycles: u64) {
+        self.cycles += cycles;
+    }
+
+    /// Reset the cycle account and counters (after warm-up), keeping all
+    /// memory, cache and mapping state.
+    pub fn reset_account(&mut self) {
+        self.cycles = 0;
+        self.stats.reset();
+    }
+
+    fn translate(&mut self, m: Mapping, access: Access) -> Result<Pte, Fault> {
+        let pte = match self.mmu.translate(m) {
+            Translation::TlbHit(pte) => pte,
+            Translation::TlbMiss(pte) => {
+                self.cycles += self.cfg.costs.tlb_miss;
+                self.stats.tlb_misses += 1;
+                pte
+            }
+            Translation::Unmapped => {
+                self.cycles += self.cfg.costs.fault_trap;
+                return Err(Fault::NoMapping { mapping: m, access });
+            }
+        };
+        if !pte.prot.allows(access) {
+            self.cycles += self.cfg.costs.fault_trap;
+            return Err(Fault::Protection {
+                mapping: m,
+                access,
+                prot: pte.prot,
+            });
+        }
+        Ok(pte)
+    }
+
+    /// CPU load of an aligned 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns the fault if the page is unmapped or read access is denied.
+    pub fn load(&mut self, space: SpaceId, va: VAddr) -> Result<u32, Fault> {
+        debug_assert_eq!(va.0 % 4, 0, "aligned word access");
+        let m = Mapping::new(space, self.cfg.vpage(va));
+        let pte = self.translate(m, Access::Read)?;
+        let pa = self.cfg.paddr(pte.frame, self.cfg.offset(va));
+        let mut buf = [0u8; 4];
+        if pte.uncached {
+            self.mem.read(pa, &mut buf);
+            self.cycles += self.cfg.costs.uncached_access;
+            self.stats.uncached += 1;
+        } else {
+            match self.dcache.read(va, pa, &mut self.mem, &mut buf) {
+                AccessResult::Hit => {
+                    self.cycles += self.cfg.costs.cache_hit;
+                    self.stats.d_hits += 1;
+                }
+                AccessResult::Miss { wrote_back } => {
+                    self.cycles += self.cfg.costs.cache_hit + self.cfg.costs.miss_fill;
+                    self.stats.d_misses += 1;
+                    if wrote_back {
+                        self.cycles += self.cfg.costs.writeback;
+                        self.stats.writebacks += 1;
+                    }
+                }
+            }
+        }
+        self.stats.loads += 1;
+        self.oracle.check_read(pa, &buf, "CPU load");
+        Ok(u32::from_le_bytes(buf))
+    }
+
+    /// CPU store of an aligned 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns the fault if the page is unmapped or write access is denied.
+    pub fn store(&mut self, space: SpaceId, va: VAddr, value: u32) -> Result<(), Fault> {
+        debug_assert_eq!(va.0 % 4, 0, "aligned word access");
+        let m = Mapping::new(space, self.cfg.vpage(va));
+        let pte = self.translate(m, Access::Write)?;
+        let pa = self.cfg.paddr(pte.frame, self.cfg.offset(va));
+        let bytes = value.to_le_bytes();
+        if pte.uncached {
+            self.mem.write(pa, &bytes);
+            self.cycles += self.cfg.costs.uncached_access;
+            self.stats.uncached += 1;
+        } else {
+            match self.cfg.write_policy {
+                crate::config::WritePolicy::WriteBack => {
+                    match self.dcache.write(va, pa, &mut self.mem, &bytes) {
+                        AccessResult::Hit => {
+                            self.cycles += self.cfg.costs.cache_hit;
+                            self.stats.d_hits += 1;
+                        }
+                        AccessResult::Miss { wrote_back } => {
+                            self.cycles += self.cfg.costs.cache_hit + self.cfg.costs.miss_fill;
+                            self.stats.d_misses += 1;
+                            if wrote_back {
+                                self.cycles += self.cfg.costs.writeback;
+                                self.stats.writebacks += 1;
+                            }
+                        }
+                    }
+                }
+                crate::config::WritePolicy::WriteThrough => {
+                    // Every store pays the memory write; a hit also updates
+                    // the line.
+                    match self.dcache.write_through(va, pa, &mut self.mem, &bytes) {
+                        AccessResult::Hit => self.stats.d_hits += 1,
+                        AccessResult::Miss { .. } => self.stats.d_misses += 1,
+                    }
+                    self.cycles += self.cfg.costs.cache_hit + self.cfg.costs.writeback;
+                }
+            }
+        }
+        self.stats.stores += 1;
+        self.oracle.record_write(pa, &bytes);
+        Ok(())
+    }
+
+    /// Instruction fetch of an aligned 32-bit word (through the
+    /// instruction cache).
+    ///
+    /// # Errors
+    ///
+    /// Returns the fault if the page is unmapped or execute access is
+    /// denied.
+    pub fn ifetch(&mut self, space: SpaceId, va: VAddr) -> Result<u32, Fault> {
+        debug_assert_eq!(va.0 % 4, 0, "aligned word access");
+        let m = Mapping::new(space, self.cfg.vpage(va));
+        let pte = self.translate(m, Access::Execute)?;
+        let pa = self.cfg.paddr(pte.frame, self.cfg.offset(va));
+        let mut buf = [0u8; 4];
+        if pte.uncached {
+            self.mem.read(pa, &mut buf);
+            self.cycles += self.cfg.costs.uncached_access;
+            self.stats.uncached += 1;
+        } else {
+            match self.icache.read(va, pa, &mut self.mem, &mut buf) {
+                AccessResult::Hit => {
+                    self.cycles += self.cfg.costs.cache_hit;
+                    self.stats.i_hits += 1;
+                }
+                AccessResult::Miss { .. } => {
+                    self.cycles += self.cfg.costs.cache_hit + self.cfg.costs.miss_fill;
+                    self.stats.i_misses += 1;
+                }
+            }
+        }
+        self.stats.ifetches += 1;
+        self.oracle.check_read(pa, &buf, "instruction fetch");
+        Ok(u32::from_le_bytes(buf))
+    }
+
+    /// Flush (write back dirty lines, then invalidate) data cache page
+    /// `cp`'s lines holding `frame`.
+    pub fn flush_dcache_page(&mut self, cp: CachePage, frame: PFrame) {
+        let out = self
+            .dcache
+            .flush_page(cp, frame, self.cfg.page_size, &mut self.mem);
+        let c = &self.cfg.costs;
+        let cycles =
+            out.absent * c.line_op_absent + out.present * c.line_op_present + out.written_back * c.writeback;
+        self.cycles += cycles;
+        self.stats.d_flush_pages.record(cycles);
+        self.stats.flush_writebacks += out.written_back;
+    }
+
+    /// Purge (invalidate without write-back) data cache page `cp`'s lines
+    /// holding `frame`.
+    pub fn purge_dcache_page(&mut self, cp: CachePage, frame: PFrame) {
+        let out = self.dcache.purge_page(cp, frame, self.cfg.page_size);
+        let c = &self.cfg.costs;
+        let cycles = out.absent * c.line_op_absent + out.present * c.line_op_present;
+        self.cycles += cycles;
+        self.stats.d_purge_pages.record(cycles);
+    }
+
+    /// Purge instruction cache page `cp`'s lines holding `frame`. Constant
+    /// time regardless of contents (a 720 artifact the paper remarks on).
+    pub fn purge_icache_page(&mut self, cp: CachePage, frame: PFrame) {
+        let _ = self.icache.purge_page(cp, frame, self.cfg.page_size);
+        let cycles = self.cfg.costs.icache_purge_page;
+        self.cycles += cycles;
+        self.stats.i_purge_pages.record(cycles);
+    }
+
+    /// A device writes a full page into memory (e.g. a disk read). The
+    /// caches are not snooped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly one page.
+    pub fn dma_write_page(&mut self, frame: PFrame, data: &[u8]) {
+        assert_eq!(data.len() as u64, self.cfg.page_size, "DMA is page-sized");
+        let pa = self.cfg.paddr(frame, 0);
+        self.mem.write(pa, data);
+        self.oracle.record_write(pa, data);
+        self.stats.dma_writes += 1;
+    }
+
+    /// A device reads a full page from memory (e.g. a disk write). The
+    /// caches are not snooped; stale memory is detected by the oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is not exactly one page.
+    pub fn dma_read_page(&mut self, frame: PFrame, buf: &mut [u8]) {
+        assert_eq!(buf.len() as u64, self.cfg.page_size, "DMA is page-sized");
+        let pa = self.cfg.paddr(frame, 0);
+        self.mem.read(pa, buf);
+        self.oracle.check_read(pa, buf, "device (DMA) read");
+        self.stats.dma_reads += 1;
+    }
+
+    /// Enter a mapping with an effective protection.
+    pub fn enter_mapping(&mut self, m: Mapping, frame: PFrame, prot: Prot) {
+        self.mmu.enter(
+            m,
+            Pte {
+                frame,
+                prot,
+                uncached: false,
+            },
+        );
+        self.cycles += self.cfg.costs.mapping_update;
+    }
+
+    /// Change the effective protection of a mapping (TLB entry
+    /// invalidated).
+    pub fn set_protection(&mut self, m: Mapping, prot: Prot) {
+        self.mmu.protect(m, prot);
+        self.cycles += self.cfg.costs.mapping_update;
+    }
+
+    /// Mark a mapping uncached/cached.
+    pub fn set_uncached(&mut self, m: Mapping, uncached: bool) {
+        self.mmu.set_uncached(m, uncached);
+        self.cycles += self.cfg.costs.mapping_update;
+    }
+
+    /// Remove a mapping; returns its frame if it existed.
+    pub fn remove_mapping(&mut self, m: Mapping) -> Option<PFrame> {
+        self.cycles += self.cfg.costs.mapping_update;
+        self.mmu.remove(m).map(|pte| pte.frame)
+    }
+
+    /// The current translation of a mapping, if any (no TLB side effects).
+    pub fn lookup(&self, m: Mapping) -> Option<Pte> {
+        self.mmu.lookup(m)
+    }
+
+    /// Does data cache page `cp` currently hold any line of `frame`?
+    /// (Testing and assertions.)
+    pub fn dcache_holds(&self, cp: CachePage, frame: PFrame) -> bool {
+        self.dcache.page_holds(cp, frame, self.cfg.page_size)
+    }
+
+    /// Does instruction cache page `cp` currently hold any line of
+    /// `frame`?
+    pub fn icache_holds(&self, cp: CachePage, frame: PFrame) -> bool {
+        self.icache.page_holds(cp, frame, self.cfg.page_size)
+    }
+
+    /// Read physical memory directly, bypassing the caches, **without**
+    /// oracle checks or cycle charges. For assertions and debugging only —
+    /// the values seen may legitimately be stale while dirty data sits in
+    /// the cache.
+    pub fn peek_memory(&self, frame: PFrame, offset: u64) -> u32 {
+        self.mem.read_u32(self.cfg.paddr(frame, offset))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::small())
+    }
+
+    fn map(
+        mach: &mut Machine,
+        s: u32,
+        vp: u64,
+        f: u64,
+        prot: Prot,
+    ) -> (Mapping, VAddr) {
+        let m = Mapping::new(SpaceId(s), vic_core::types::VPage(vp));
+        mach.enter_mapping(m, PFrame(f), prot);
+        (m, mach.config().vaddr(vic_core::types::VPage(vp)))
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let mut mach = machine();
+        let (_, va) = map(&mut mach, 1, 0, 3, Prot::READ_WRITE);
+        mach.store(SpaceId(1), va, 77).unwrap();
+        assert_eq!(mach.load(SpaceId(1), va).unwrap(), 77);
+        assert_eq!(mach.oracle().violations(), 0);
+        assert_eq!(mach.stats().stores, 1);
+        assert_eq!(mach.stats().loads, 1);
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let mut mach = machine();
+        let err = mach.load(SpaceId(1), VAddr(0)).unwrap_err();
+        assert!(matches!(err, Fault::NoMapping { .. }));
+        assert_eq!(err.access(), Access::Read);
+    }
+
+    #[test]
+    fn protection_fault() {
+        let mut mach = machine();
+        let (_, va) = map(&mut mach, 1, 0, 3, Prot::READ);
+        assert!(mach.load(SpaceId(1), va).is_ok());
+        let err = mach.store(SpaceId(1), va, 1).unwrap_err();
+        assert!(matches!(err, Fault::Protection { .. }));
+        assert_eq!(err.access(), Access::Write);
+        let err = mach.ifetch(SpaceId(1), va).unwrap_err();
+        assert!(matches!(err, Fault::Protection { .. }));
+    }
+
+    #[test]
+    fn emergent_staleness_detected_by_oracle() {
+        // Unaligned alias without any consistency management: the oracle
+        // must catch the stale read. This is the end-to-end demonstration
+        // that staleness is emergent, not injected.
+        let mut mach = machine();
+        // Frame 3 mapped at vp0 (cache page 0) and vp1 (cache page 1).
+        let (_, va0) = map(&mut mach, 1, 0, 3, Prot::READ_WRITE);
+        let (_, va1) = map(&mut mach, 1, 1, 3, Prot::READ_WRITE);
+        // Prime the alias line, then write through the other address.
+        let _ = mach.load(SpaceId(1), va1).unwrap();
+        mach.store(SpaceId(1), va0, 42).unwrap();
+        // Stale read through the alias.
+        let v = mach.load(SpaceId(1), va1).unwrap();
+        assert_eq!(v, 0, "the alias's line still holds the old value");
+        assert_eq!(mach.oracle().violations(), 1);
+        assert_eq!(mach.oracle().sample()[0].observer, "CPU load");
+    }
+
+    #[test]
+    fn flush_restores_consistency() {
+        let mut mach = machine();
+        let (_, va0) = map(&mut mach, 1, 0, 3, Prot::READ_WRITE);
+        let (_, va1) = map(&mut mach, 1, 1, 3, Prot::READ_WRITE);
+        mach.store(SpaceId(1), va0, 42).unwrap();
+        mach.flush_dcache_page(CachePage(0), PFrame(3));
+        assert_eq!(mach.load(SpaceId(1), va1).unwrap(), 42);
+        assert_eq!(mach.oracle().violations(), 0);
+        assert_eq!(mach.stats().d_flush_pages.count, 1);
+        assert_eq!(mach.stats().flush_writebacks, 1);
+    }
+
+    #[test]
+    fn aligned_alias_needs_nothing() {
+        let mut mach = machine();
+        // vp0 and vp4 align in a 4-page data cache.
+        let (_, va0) = map(&mut mach, 1, 0, 3, Prot::READ_WRITE);
+        let (_, va4) = map(&mut mach, 1, 4, 3, Prot::READ_WRITE);
+        mach.store(SpaceId(1), va0, 42).unwrap();
+        assert_eq!(mach.load(SpaceId(1), va4).unwrap(), 42);
+        assert_eq!(mach.oracle().violations(), 0);
+    }
+
+    #[test]
+    fn dma_write_then_stale_cache_read() {
+        let mut mach = machine();
+        let (_, va) = map(&mut mach, 1, 0, 3, Prot::READ_WRITE);
+        let _ = mach.load(SpaceId(1), va).unwrap(); // cache the zeros
+        let page = vec![0xabu8; mach.config().page_size as usize];
+        mach.dma_write_page(PFrame(3), &page);
+        // The cache shadows the device's data: stale.
+        let _ = mach.load(SpaceId(1), va).unwrap();
+        assert_eq!(mach.oracle().violations(), 1);
+        // After a purge the fresh data is visible.
+        mach.oracle_mut().clear_violations();
+        mach.purge_dcache_page(CachePage(0), PFrame(3));
+        assert_eq!(
+            mach.load(SpaceId(1), va).unwrap(),
+            u32::from_le_bytes([0xab; 4])
+        );
+        assert_eq!(mach.oracle().violations(), 0);
+    }
+
+    #[test]
+    fn dma_read_sees_stale_memory_without_flush() {
+        let mut mach = machine();
+        let (_, va) = map(&mut mach, 1, 0, 3, Prot::READ_WRITE);
+        mach.store(SpaceId(1), va, 7).unwrap();
+        let mut buf = vec![0u8; mach.config().page_size as usize];
+        mach.dma_read_page(PFrame(3), &mut buf);
+        assert_eq!(mach.oracle().violations(), 1, "device read stale memory");
+        // With the flush, the device sees fresh data.
+        mach.oracle_mut().clear_violations();
+        mach.flush_dcache_page(CachePage(0), PFrame(3));
+        mach.dma_read_page(PFrame(3), &mut buf);
+        assert_eq!(mach.oracle().violations(), 0);
+        assert_eq!(&buf[0..4], &7u32.to_le_bytes());
+    }
+
+    #[test]
+    fn split_caches_are_independent() {
+        let mut mach = machine();
+        let (_, va) = map(&mut mach, 1, 0, 3, Prot::ALL);
+        mach.store(SpaceId(1), va, 0x1234).unwrap();
+        // The store is in the D-cache only; an ifetch misses to stale
+        // memory.
+        let got = mach.ifetch(SpaceId(1), va).unwrap();
+        assert_eq!(got, 0, "instruction cache fetched stale memory");
+        assert_eq!(mach.oracle().violations(), 1);
+        mach.oracle_mut().clear_violations();
+        // Flush D, purge I, refetch: fresh.
+        mach.flush_dcache_page(CachePage(0), PFrame(3));
+        mach.purge_icache_page(CachePage(0), PFrame(3));
+        assert_eq!(mach.ifetch(SpaceId(1), va).unwrap(), 0x1234);
+        assert_eq!(mach.oracle().violations(), 0);
+    }
+
+    #[test]
+    fn uncached_mapping_bypasses_cache() {
+        let mut mach = machine();
+        let (m0, va0) = map(&mut mach, 1, 0, 3, Prot::READ_WRITE);
+        let (m1, va1) = map(&mut mach, 1, 1, 3, Prot::READ_WRITE);
+        mach.set_uncached(m0, true);
+        mach.set_uncached(m1, true);
+        mach.store(SpaceId(1), va0, 5).unwrap();
+        assert_eq!(mach.load(SpaceId(1), va1).unwrap(), 5);
+        assert_eq!(mach.oracle().violations(), 0);
+        assert_eq!(mach.stats().uncached, 2);
+    }
+
+    #[test]
+    fn cycle_costs_accumulate() {
+        let mut mach = machine();
+        let (_, va) = map(&mut mach, 1, 0, 3, Prot::READ_WRITE);
+        let before = mach.cycles();
+        mach.store(SpaceId(1), va, 1).unwrap(); // tlb miss + cache miss
+        let after_miss = mach.cycles();
+        mach.store(SpaceId(1), va, 2).unwrap(); // hit
+        let after_hit = mach.cycles();
+        assert!(after_miss - before > after_hit - after_miss);
+        assert_eq!(
+            after_hit - after_miss,
+            mach.config().costs.cache_hit
+        );
+    }
+
+    #[test]
+    fn flush_costs_depend_on_contents() {
+        let mut mach = machine();
+        let (_, va) = map(&mut mach, 1, 0, 3, Prot::READ_WRITE);
+        // Flush of an absent page is cheap.
+        let c0 = mach.cycles();
+        mach.flush_dcache_page(CachePage(0), PFrame(3));
+        let absent_cost = mach.cycles() - c0;
+        // Fill a page worth of lines, then flush: expensive.
+        for off in (0..mach.config().page_size).step_by(4) {
+            mach.store(SpaceId(1), VAddr(va.0 + off), 1).unwrap();
+        }
+        let c1 = mach.cycles();
+        mach.flush_dcache_page(CachePage(0), PFrame(3));
+        let present_cost = mach.cycles() - c1;
+        assert!(
+            present_cost > 5 * absent_cost,
+            "present {present_cost} vs absent {absent_cost}"
+        );
+    }
+
+    #[test]
+    fn icache_purge_constant_time() {
+        let mut mach = machine();
+        let (_, va) = map(&mut mach, 1, 0, 3, Prot::READ_EXECUTE);
+        let c0 = mach.cycles();
+        mach.purge_icache_page(CachePage(0), PFrame(3));
+        let empty_cost = mach.cycles() - c0;
+        for off in (0..mach.config().page_size).step_by(4) {
+            let _ = mach.ifetch(SpaceId(1), VAddr(va.0 + off)).unwrap();
+        }
+        let c1 = mach.cycles();
+        mach.purge_icache_page(CachePage(0), PFrame(3));
+        let full_cost = mach.cycles() - c1;
+        assert_eq!(empty_cost, full_cost, "constant regardless of contents");
+    }
+
+    #[test]
+    fn remove_mapping_returns_frame() {
+        let mut mach = machine();
+        let (m, _) = map(&mut mach, 1, 0, 3, Prot::READ);
+        assert_eq!(mach.remove_mapping(m), Some(PFrame(3)));
+        assert_eq!(mach.remove_mapping(m), None);
+    }
+
+    #[test]
+    fn reset_account_keeps_state() {
+        let mut mach = machine();
+        let (_, va) = map(&mut mach, 1, 0, 3, Prot::READ_WRITE);
+        mach.store(SpaceId(1), va, 9).unwrap();
+        mach.reset_account();
+        assert_eq!(mach.cycles(), 0);
+        assert_eq!(mach.stats().stores, 0);
+        // State survives: the cached value is still there.
+        assert_eq!(mach.load(SpaceId(1), va).unwrap(), 9);
+    }
+}
+
+#[cfg(test)]
+mod tlb_tests {
+    use super::*;
+    use vic_core::types::VPage;
+
+    /// A one-entry TLB: every alternate-page access is a TLB miss, yet
+    /// protection changes still take effect immediately (the entry is
+    /// invalidated, not served stale).
+    #[test]
+    fn tiny_tlb_correctness_under_protection_changes() {
+        let mut cfg = MachineConfig::small();
+        cfg.tlb_entries = 1;
+        let mut mach = Machine::new(cfg);
+        let sp = SpaceId(1);
+        let m0 = Mapping::new(sp, VPage(0));
+        let m1 = Mapping::new(sp, VPage(1));
+        mach.enter_mapping(m0, PFrame(3), Prot::READ_WRITE);
+        mach.enter_mapping(m1, PFrame(4), Prot::READ_WRITE);
+        let va0 = mach.config().vaddr(VPage(0));
+        let va1 = mach.config().vaddr(VPage(1));
+        for i in 0..8u32 {
+            mach.store(sp, va0, i).unwrap();
+            mach.store(sp, va1, i + 100).unwrap();
+        }
+        assert!(mach.stats().tlb_misses >= 8, "one entry thrashes");
+        // Revoke write on a page whose entry is hot in the TLB.
+        let _ = mach.load(sp, va0).unwrap();
+        mach.set_protection(m0, Prot::READ);
+        assert!(mach.store(sp, va0, 1).is_err(), "stale TLB entry not served");
+        assert_eq!(mach.oracle().violations(), 0);
+    }
+}

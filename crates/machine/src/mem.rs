@@ -1,0 +1,97 @@
+//! Physical memory: a flat array of bytes addressed by [`PAddr`].
+
+use vic_core::types::PAddr;
+
+/// Simulated physical memory.
+#[derive(Debug, Clone)]
+pub struct PhysMemory {
+    bytes: Vec<u8>,
+}
+
+impl PhysMemory {
+    /// Zero-filled memory of the given size.
+    pub fn new(size: u64) -> Self {
+        PhysMemory {
+            bytes: vec![0; size as usize],
+        }
+    }
+
+    /// Memory capacity in bytes.
+    pub fn len(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    /// True if the memory has zero capacity (never, in practice).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Read `buf.len()` bytes starting at `pa`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn read(&self, pa: PAddr, buf: &mut [u8]) {
+        let start = pa.0 as usize;
+        buf.copy_from_slice(&self.bytes[start..start + buf.len()]);
+    }
+
+    /// Write `data` starting at `pa`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn write(&mut self, pa: PAddr, data: &[u8]) {
+        let start = pa.0 as usize;
+        self.bytes[start..start + data.len()].copy_from_slice(data);
+    }
+
+    /// Read one aligned 32-bit word (little endian).
+    pub fn read_u32(&self, pa: PAddr) -> u32 {
+        let mut b = [0u8; 4];
+        self.read(pa, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Write one aligned 32-bit word (little endian).
+    pub fn write_u32(&mut self, pa: PAddr, v: u32) {
+        self.write(pa, &v.to_le_bytes());
+    }
+
+    /// Borrow a byte range (for DMA transfers and line fills).
+    pub fn slice(&self, pa: PAddr, len: u64) -> &[u8] {
+        &self.bytes[pa.0 as usize..(pa.0 + len) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = PhysMemory::new(1024);
+        assert_eq!(m.len(), 1024);
+        assert!(!m.is_empty());
+        m.write(PAddr(100), &[1, 2, 3, 4]);
+        let mut buf = [0u8; 4];
+        m.read(PAddr(100), &mut buf);
+        assert_eq!(buf, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn word_access() {
+        let mut m = PhysMemory::new(64);
+        m.write_u32(PAddr(8), 0xdead_beef);
+        assert_eq!(m.read_u32(PAddr(8)), 0xdead_beef);
+        assert_eq!(m.slice(PAddr(8), 4), &0xdead_beefu32.to_le_bytes());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_panics() {
+        let m = PhysMemory::new(16);
+        let mut buf = [0u8; 4];
+        m.read(PAddr(14), &mut buf);
+    }
+}

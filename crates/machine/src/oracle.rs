@@ -1,0 +1,162 @@
+//! The staleness oracle: shadow memory that knows what every physical byte
+//! *should* contain.
+//!
+//! The paper's correctness criterion is that "the memory system never
+//! transfers a stale value to either the CPU or a device". The oracle
+//! enforces exactly that: every CPU store and device write updates the
+//! shadow; every CPU load, instruction fetch and device read is compared
+//! against it. Because the simulated caches really do go inconsistent when
+//! mismanaged, a clean oracle run is end-to-end evidence that a consistency
+//! manager is correct — and the deliberately broken `NullManager`
+//! demonstrates the oracle catches real staleness.
+
+use vic_core::types::PAddr;
+
+/// One detected staleness violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Physical address of the first mismatching byte.
+    pub pa: PAddr,
+    /// What the memory system returned.
+    pub got: u8,
+    /// What the most recent write put there.
+    pub expected: u8,
+    /// Who observed the stale value.
+    pub observer: &'static str,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} observed stale data at {}: got {:#04x}, expected {:#04x}",
+            self.observer, self.pa, self.got, self.expected
+        )
+    }
+}
+
+/// Shadow memory plus a violation log.
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    expected: Vec<u8>,
+    violations: u64,
+    first: Vec<Violation>,
+    /// Panic on first violation instead of logging (for tests that want a
+    /// precise failure point).
+    pub panic_on_violation: bool,
+}
+
+/// How many violations are retained verbatim (the count is always exact).
+const KEEP: usize = 8;
+
+impl Oracle {
+    /// An oracle over `size` bytes of physical memory, initially all zero
+    /// (matching fresh [`PhysMemory`](crate::mem::PhysMemory)).
+    pub fn new(size: u64) -> Self {
+        Oracle {
+            expected: vec![0; size as usize],
+            violations: 0,
+            first: Vec::new(),
+            panic_on_violation: false,
+        }
+    }
+
+    /// Record a write (CPU store or device write) of `data` at `pa`.
+    pub fn record_write(&mut self, pa: PAddr, data: &[u8]) {
+        let s = pa.0 as usize;
+        self.expected[s..s + data.len()].copy_from_slice(data);
+    }
+
+    /// Check data returned by the memory system against the shadow.
+    pub fn check_read(&mut self, pa: PAddr, data: &[u8], observer: &'static str) {
+        let s = pa.0 as usize;
+        let want = &self.expected[s..s + data.len()];
+        if data != want {
+            let i = data.iter().zip(want).position(|(a, b)| a != b).expect("differs");
+            let v = Violation {
+                pa: PAddr(pa.0 + i as u64),
+                got: data[i],
+                expected: want[i],
+                observer,
+            };
+            if self.panic_on_violation {
+                panic!("staleness: {v}");
+            }
+            self.violations += 1;
+            if self.first.len() < KEEP {
+                self.first.push(v);
+            }
+        }
+    }
+
+    /// Total violations observed.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// The first few violations, verbatim.
+    pub fn sample(&self) -> &[Violation] {
+        &self.first
+    }
+
+    /// Forget recorded violations (the shadow contents are kept).
+    pub fn clear_violations(&mut self) {
+        self.violations = 0;
+        self.first.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_reads_pass() {
+        let mut o = Oracle::new(64);
+        o.record_write(PAddr(8), &[1, 2, 3, 4]);
+        o.check_read(PAddr(8), &[1, 2, 3, 4], "CPU");
+        o.check_read(PAddr(0), &[0, 0], "CPU");
+        assert_eq!(o.violations(), 0);
+    }
+
+    #[test]
+    fn stale_read_detected() {
+        let mut o = Oracle::new(64);
+        o.record_write(PAddr(8), &[9]);
+        o.check_read(PAddr(8), &[0], "device");
+        assert_eq!(o.violations(), 1);
+        let v = &o.sample()[0];
+        assert_eq!(v.pa, PAddr(8));
+        assert_eq!((v.got, v.expected), (0, 9));
+        assert_eq!(v.observer, "device");
+        assert!(v.to_string().contains("stale"));
+    }
+
+    #[test]
+    fn mismatch_position_reported() {
+        let mut o = Oracle::new(64);
+        o.record_write(PAddr(0), &[1, 2, 3, 4]);
+        o.check_read(PAddr(0), &[1, 2, 9, 4], "CPU");
+        assert_eq!(o.sample()[0].pa, PAddr(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "staleness")]
+    fn panic_mode() {
+        let mut o = Oracle::new(16);
+        o.panic_on_violation = true;
+        o.record_write(PAddr(0), &[1]);
+        o.check_read(PAddr(0), &[2], "CPU");
+    }
+
+    #[test]
+    fn clear_violations() {
+        let mut o = Oracle::new(16);
+        o.record_write(PAddr(0), &[1]);
+        o.check_read(PAddr(0), &[2], "CPU");
+        assert_eq!(o.violations(), 1);
+        o.clear_violations();
+        assert_eq!(o.violations(), 0);
+        assert!(o.sample().is_empty());
+    }
+}

@@ -1,0 +1,142 @@
+//! Hardware event counters and per-operation cycle accounting.
+
+use std::fmt;
+
+/// A count of operations with the cycles they consumed; gives the "average
+/// cycles" columns of the paper's Table 4.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpStat {
+    /// Number of operations.
+    pub count: u64,
+    /// Total cycles spent in them.
+    pub cycles: u64,
+}
+
+impl OpStat {
+    /// Record one operation costing `cycles`.
+    pub fn record(&mut self, cycles: u64) {
+        self.count += 1;
+        self.cycles += cycles;
+    }
+
+    /// Average cycles per operation (0 if none occurred).
+    pub fn avg(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.count as f64
+        }
+    }
+
+    /// Merge another counter into this one.
+    pub fn merge(&mut self, other: &OpStat) {
+        self.count += other.count;
+        self.cycles += other.cycles;
+    }
+}
+
+impl fmt::Display for OpStat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ops / {} cycles (avg {:.0})", self.count, self.cycles, self.avg())
+    }
+}
+
+/// Counters maintained by the simulated machine.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MachineStats {
+    /// CPU loads performed.
+    pub loads: u64,
+    /// CPU stores performed.
+    pub stores: u64,
+    /// Instruction fetches performed.
+    pub ifetches: u64,
+    /// Data cache hits.
+    pub d_hits: u64,
+    /// Data cache misses.
+    pub d_misses: u64,
+    /// Instruction cache hits.
+    pub i_hits: u64,
+    /// Instruction cache misses.
+    pub i_misses: u64,
+    /// Dirty lines written back at eviction (not by flushes).
+    pub writebacks: u64,
+    /// Accesses that bypassed the caches (uncached mappings).
+    pub uncached: u64,
+    /// TLB misses.
+    pub tlb_misses: u64,
+    /// Data-cache page flushes.
+    pub d_flush_pages: OpStat,
+    /// Data-cache page purges.
+    pub d_purge_pages: OpStat,
+    /// Instruction-cache page purges.
+    pub i_purge_pages: OpStat,
+    /// Lines written back by flushes.
+    pub flush_writebacks: u64,
+    /// Device-writes-memory transfers (pages).
+    pub dma_writes: u64,
+    /// Device-reads-memory transfers (pages).
+    pub dma_reads: u64,
+}
+
+impl MachineStats {
+    /// Reset all counters.
+    pub fn reset(&mut self) {
+        *self = MachineStats::default();
+    }
+
+    /// Merge another set of counters into this one.
+    pub fn merge(&mut self, other: &MachineStats) {
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.ifetches += other.ifetches;
+        self.d_hits += other.d_hits;
+        self.d_misses += other.d_misses;
+        self.i_hits += other.i_hits;
+        self.i_misses += other.i_misses;
+        self.writebacks += other.writebacks;
+        self.uncached += other.uncached;
+        self.tlb_misses += other.tlb_misses;
+        self.d_flush_pages.merge(&other.d_flush_pages);
+        self.d_purge_pages.merge(&other.d_purge_pages);
+        self.i_purge_pages.merge(&other.i_purge_pages);
+        self.flush_writebacks += other.flush_writebacks;
+        self.dma_writes += other.dma_writes;
+        self.dma_reads += other.dma_reads;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_stat_average() {
+        let mut s = OpStat::default();
+        assert_eq!(s.avg(), 0.0);
+        s.record(10);
+        s.record(30);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.avg(), 20.0);
+        assert!(s.to_string().contains("avg 20"));
+    }
+
+    #[test]
+    fn merge() {
+        let mut a = MachineStats {
+            loads: 5,
+            ..MachineStats::default()
+        };
+        a.d_flush_pages.record(100);
+        let mut b = MachineStats {
+            loads: 3,
+            ..MachineStats::default()
+        };
+        b.d_flush_pages.record(50);
+        a.merge(&b);
+        assert_eq!(a.loads, 8);
+        assert_eq!(a.d_flush_pages.count, 2);
+        assert_eq!(a.d_flush_pages.cycles, 150);
+        a.reset();
+        assert_eq!(a, MachineStats::default());
+    }
+}

@@ -1,0 +1,110 @@
+//! §3.3 set-associative caches at the machine level: "the consistency
+//! rules remain the same since consistency within a set is ensured by
+//! hardware. That is, the physical tags associated with each entry are
+//! guaranteed to be unique within a set."
+
+use vic_core::types::{CacheKind, CachePage, Mapping, PFrame, Prot, SpaceId, VAddr, VPage};
+use vic_machine::{Machine, MachineConfig};
+
+fn two_way() -> MachineConfig {
+    let mut cfg = MachineConfig::small();
+    // 1 KB data cache, 2 ways: 32 sets, 2 cache pages.
+    cfg.dcache_assoc = 2;
+    cfg
+}
+
+fn map(m: &mut Machine, vp: u64, f: u64) -> VAddr {
+    m.enter_mapping(Mapping::new(SpaceId(1), VPage(vp)), PFrame(f), Prot::READ_WRITE);
+    m.config().vaddr(VPage(vp))
+}
+
+#[test]
+fn geometry_shrinks_with_associativity() {
+    let cfg = two_way();
+    cfg.validate();
+    assert_eq!(cfg.geometry().pages(CacheKind::Data), 2, "4 pages / 2 ways");
+    assert_eq!(cfg.geometry().pages(CacheKind::Insn), 2);
+}
+
+#[test]
+fn conflicting_pages_coexist_in_a_set() {
+    // Two physical pages whose virtual pages collide in the index: with
+    // 2 ways both stay resident — no ping-pong misses.
+    let mut m = Machine::new(two_way());
+    let va0 = map(&mut m, 0, 3);
+    let va2 = map(&mut m, 2, 4); // vp2 % 2 == vp0 % 2: same cache page
+    m.store(SpaceId(1), va0, 1).unwrap();
+    m.store(SpaceId(1), va2, 2).unwrap();
+    let misses_before = m.stats().d_misses;
+    for _ in 0..10 {
+        assert_eq!(m.load(SpaceId(1), va0).unwrap(), 1);
+        assert_eq!(m.load(SpaceId(1), va2).unwrap(), 2);
+    }
+    assert_eq!(m.stats().d_misses, misses_before, "both ways hit");
+    assert_eq!(m.oracle().violations(), 0);
+}
+
+#[test]
+fn tags_unique_within_a_set() {
+    // Two virtual pages that align (same cache page) and map the same
+    // frame must share ONE way — a second fill of the same tag would break
+    // the hardware invariant the paper relies on.
+    let mut m = Machine::new(two_way());
+    let va0 = map(&mut m, 0, 3);
+    let va2 = map(&mut m, 2, 3); // aligned alias of the same frame
+    m.store(SpaceId(1), va0, 77).unwrap();
+    assert_eq!(m.load(SpaceId(1), va2).unwrap(), 77, "alias hits the same way");
+    assert_eq!(m.stats().d_misses, 1, "only the original fill missed");
+    assert_eq!(m.oracle().violations(), 0);
+}
+
+#[test]
+fn unaligned_alias_still_goes_stale() {
+    // Associativity does not remove the alias problem: different cache
+    // pages still hold independent copies.
+    let mut m = Machine::new(two_way());
+    let va0 = map(&mut m, 0, 3);
+    let va1 = map(&mut m, 1, 3); // different cache page (2-page geometry)
+    let _ = m.load(SpaceId(1), va1).unwrap();
+    m.store(SpaceId(1), va0, 9).unwrap();
+    assert_eq!(m.load(SpaceId(1), va1).unwrap(), 0, "stale alias");
+    assert_eq!(m.oracle().violations(), 1);
+    m.oracle_mut().clear_violations();
+    // The same flush/purge discipline repairs it.
+    m.flush_dcache_page(CachePage(0), PFrame(3));
+    m.purge_dcache_page(CachePage(1), PFrame(3));
+    assert_eq!(m.load(SpaceId(1), va1).unwrap(), 9);
+    assert_eq!(m.oracle().violations(), 0);
+}
+
+#[test]
+fn flush_page_covers_all_ways() {
+    let mut m = Machine::new(two_way());
+    // Two frames dirty in the two ways of the same cache page.
+    let va0 = map(&mut m, 0, 3);
+    let va2 = map(&mut m, 2, 4);
+    m.store(SpaceId(1), va0, 5).unwrap();
+    m.store(SpaceId(1), va2, 6).unwrap();
+    m.flush_dcache_page(CachePage(0), PFrame(3));
+    assert_eq!(m.peek_memory(PFrame(3), 0), 5, "frame 3's way flushed");
+    assert_eq!(m.peek_memory(PFrame(4), 0), 0, "frame 4's way untouched");
+    m.flush_dcache_page(CachePage(0), PFrame(4));
+    assert_eq!(m.peek_memory(PFrame(4), 0), 6);
+    assert_eq!(m.oracle().violations(), 0);
+}
+
+#[test]
+fn round_robin_replacement_within_set() {
+    let mut m = Machine::new(two_way());
+    // Three frames competing for one 2-way set; all loads stay correct.
+    for (vp, f) in [(0u64, 3u64), (2, 4), (4, 5)] {
+        map(&mut m, vp, f);
+    }
+    let page = m.config().page_size;
+    for round in 0..6u64 {
+        let vp = (round % 3) * 2;
+        let _ = m.load(SpaceId(1), VAddr(vp * page)).unwrap();
+    }
+    assert!(m.stats().d_misses >= 3, "replacement happened");
+    assert_eq!(m.oracle().violations(), 0);
+}

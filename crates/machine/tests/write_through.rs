@@ -1,0 +1,117 @@
+//! The §3.3 write-through variant at the machine level: memory is never
+//! stale with respect to the cache, so the dirty state — and the flush
+//! operation — lose their purpose. Staleness of *aliased lines* remains.
+
+use vic_core::types::{CachePage, Mapping, PFrame, Prot, SpaceId, VAddr, VPage};
+use vic_machine::{Machine, MachineConfig, WritePolicy};
+
+fn wt_machine() -> Machine {
+    let mut cfg = MachineConfig::small();
+    cfg.write_policy = WritePolicy::WriteThrough;
+    Machine::new(cfg)
+}
+
+fn map(m: &mut Machine, vp: u64, f: u64) -> VAddr {
+    let mapping = Mapping::new(SpaceId(1), VPage(vp));
+    m.enter_mapping(mapping, PFrame(f), Prot::READ_WRITE);
+    m.config().vaddr(VPage(vp))
+}
+
+#[test]
+fn stores_reach_memory_immediately() {
+    let mut m = wt_machine();
+    let va = map(&mut m, 0, 3);
+    m.store(SpaceId(1), va, 99).unwrap();
+    assert_eq!(m.peek_memory(PFrame(3), 0), 99, "no write-back delay");
+}
+
+#[test]
+fn memory_never_stale_dma_read_needs_no_flush() {
+    // The write-back hazard of a DMA-read (device sees stale memory)
+    // cannot occur: no flush, no problem.
+    let mut m = wt_machine();
+    let va = map(&mut m, 0, 3);
+    m.store(SpaceId(1), va, 7).unwrap();
+    let mut buf = vec![0u8; m.config().page_size as usize];
+    m.dma_read_page(PFrame(3), &mut buf);
+    assert_eq!(m.oracle().violations(), 0);
+    assert_eq!(&buf[..4], &7u32.to_le_bytes());
+}
+
+#[test]
+fn flushes_never_write_back() {
+    let mut m = wt_machine();
+    let va = map(&mut m, 0, 3);
+    m.store(SpaceId(1), va, 1).unwrap();
+    let _ = m.load(SpaceId(1), va).unwrap(); // ensure the line is resident
+    m.flush_dcache_page(CachePage(0), PFrame(3));
+    assert_eq!(
+        m.stats().flush_writebacks,
+        0,
+        "write-through lines are never dirty"
+    );
+}
+
+#[test]
+fn alias_staleness_still_exists() {
+    // §3.3 removes the dirty state, not the alias problem: a cached stale
+    // copy still shadows newer memory.
+    let mut m = wt_machine();
+    let va0 = map(&mut m, 0, 3);
+    let va1 = map(&mut m, 1, 3); // unaligned alias
+    let _ = m.load(SpaceId(1), va1).unwrap(); // prime the alias line
+    m.store(SpaceId(1), va0, 42).unwrap(); // memory fresh, alias line stale
+    let got = m.load(SpaceId(1), va1).unwrap();
+    assert_eq!(got, 0, "the alias's cached line still shadows memory");
+    assert_eq!(m.oracle().violations(), 1);
+    // A purge suffices — no flush needed anywhere.
+    m.oracle_mut().clear_violations();
+    m.purge_dcache_page(CachePage(1), PFrame(3));
+    assert_eq!(m.load(SpaceId(1), va1).unwrap(), 42);
+    assert_eq!(m.oracle().violations(), 0);
+}
+
+#[test]
+fn dma_write_shadowing_still_exists() {
+    let mut m = wt_machine();
+    let va = map(&mut m, 0, 3);
+    let _ = m.load(SpaceId(1), va).unwrap();
+    m.dma_write_page(PFrame(3), &vec![0x5au8; m.config().page_size as usize]);
+    let _ = m.load(SpaceId(1), va).unwrap();
+    assert_eq!(m.oracle().violations(), 1, "cached copy shadows device data");
+}
+
+#[test]
+fn write_miss_does_not_allocate() {
+    let mut m = wt_machine();
+    let va = map(&mut m, 0, 3);
+    m.store(SpaceId(1), va, 5).unwrap();
+    // No-write-allocate: the store must not have installed a line.
+    assert!(!m.dcache_holds(CachePage(0), PFrame(3)));
+    // A read fills it.
+    let _ = m.load(SpaceId(1), va).unwrap();
+    assert!(m.dcache_holds(CachePage(0), PFrame(3)));
+}
+
+#[test]
+fn store_costs_include_memory_write() {
+    let mut wt = wt_machine();
+    let va = map(&mut wt, 0, 3);
+    let _ = wt.load(SpaceId(1), va).unwrap();
+    let c0 = wt.cycles();
+    wt.store(SpaceId(1), va, 1).unwrap(); // hit, but pays the memory write
+    let wt_cost = wt.cycles() - c0;
+
+    let mut wb = Machine::new(MachineConfig::small());
+    let va = map(&mut wb, 0, 3);
+    let _ = wb.load(SpaceId(1), va).unwrap();
+    wb.store(SpaceId(1), va, 1).unwrap();
+    let c0 = wb.cycles();
+    wb.store(SpaceId(1), va, 2).unwrap(); // pure cache hit
+    let wb_cost = wb.cycles() - c0;
+
+    assert!(
+        wt_cost > wb_cost,
+        "write-through store ({wt_cost}) must cost more than a write-back hit ({wb_cost})"
+    );
+}

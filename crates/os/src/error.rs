@@ -1,0 +1,90 @@
+//! Kernel error type.
+
+use std::fmt;
+
+use vic_core::types::{Access, Mapping, VPage};
+
+/// Errors surfaced by kernel operations.
+///
+/// Most internal conditions (double frees, inconsistent tables) are bugs
+/// and panic instead; `OsError` covers conditions a (simulated) user
+/// program can legitimately cause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OsError {
+    /// An access touched a virtual page with no VM entry (a segmentation
+    /// violation).
+    BadAddress {
+        /// The offending mapping (space + virtual page).
+        mapping: Mapping,
+        /// The attempted access.
+        access: Access,
+    },
+    /// An access violated the logical protection of its VM entry.
+    ProtectionViolation {
+        /// The offending mapping.
+        mapping: Mapping,
+        /// The attempted access.
+        access: Access,
+    },
+    /// No free page frames remain.
+    OutOfMemory,
+    /// The virtual address range is already (partly) in use.
+    AddressInUse(VPage),
+    /// An unknown task was named.
+    NoSuchTask(u32),
+    /// An unknown file was named.
+    NoSuchFile(u32),
+    /// A read past the end of a file.
+    FileOutOfRange {
+        /// The file.
+        file: u32,
+        /// The requested page index.
+        page: u64,
+    },
+    /// The disk has no free blocks left.
+    DiskFull,
+}
+
+impl fmt::Display for OsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OsError::BadAddress { mapping, access } => {
+                write!(f, "bad address: {access} at unmapped {mapping}")
+            }
+            OsError::ProtectionViolation { mapping, access } => {
+                write!(f, "protection violation: {access} at {mapping}")
+            }
+            OsError::OutOfMemory => write!(f, "out of physical memory"),
+            OsError::AddressInUse(vp) => write!(f, "address range at {vp} already in use"),
+            OsError::NoSuchTask(t) => write!(f, "no such task: {t}"),
+            OsError::NoSuchFile(i) => write!(f, "no such file: {i}"),
+            OsError::FileOutOfRange { file, page } => {
+                write!(f, "file {file} has no page {page}")
+            }
+            OsError::DiskFull => write!(f, "disk full"),
+        }
+    }
+}
+
+impl std::error::Error for OsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vic_core::types::{SpaceId, VPage};
+
+    #[test]
+    fn display_messages() {
+        let m = Mapping::new(SpaceId(3), VPage(9));
+        assert!(OsError::BadAddress {
+            mapping: m,
+            access: Access::Read
+        }
+        .to_string()
+        .contains("bad address"));
+        assert!(OsError::OutOfMemory.to_string().contains("memory"));
+        assert!(OsError::FileOutOfRange { file: 1, page: 2 }
+            .to_string()
+            .contains("no page 2"));
+    }
+}

@@ -1,0 +1,151 @@
+//! File-system metadata: files as sequences of disk blocks.
+//!
+//! Deliberately minimal — directories, names and permissions play no role
+//! in cache-consistency behaviour. What matters is the traffic: which
+//! blocks move through the buffer cache and when DMA happens.
+
+use std::collections::HashMap;
+
+use crate::bufcache::{BlockId, Disk};
+use crate::error::OsError;
+
+/// A file identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u32);
+
+impl std::fmt::Display for FileId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "file:{}", self.0)
+    }
+}
+
+/// File metadata: block lists.
+#[derive(Debug, Clone, Default)]
+pub struct FileSystem {
+    files: HashMap<FileId, Vec<BlockId>>,
+    next: u32,
+}
+
+impl FileSystem {
+    /// An empty file system.
+    pub fn new() -> Self {
+        FileSystem::default()
+    }
+
+    /// Create an empty file.
+    pub fn create(&mut self) -> FileId {
+        let id = FileId(self.next);
+        self.next += 1;
+        self.files.insert(id, Vec::new());
+        id
+    }
+
+    /// Number of existing files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// The file's length in pages.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::NoSuchFile`] if the file does not exist.
+    pub fn len_pages(&self, f: FileId) -> Result<u64, OsError> {
+        Ok(self.blocks(f)?.len() as u64)
+    }
+
+    /// The file's block list.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::NoSuchFile`] if the file does not exist.
+    pub fn blocks(&self, f: FileId) -> Result<&[BlockId], OsError> {
+        self.files
+            .get(&f)
+            .map(Vec::as_slice)
+            .ok_or(OsError::NoSuchFile(f.0))
+    }
+
+    /// The block backing page `page` of the file, if within bounds.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::NoSuchFile`] / [`OsError::FileOutOfRange`].
+    pub fn block_at(&self, f: FileId, page: u64) -> Result<BlockId, OsError> {
+        let blocks = self.blocks(f)?;
+        blocks
+            .get(page as usize)
+            .copied()
+            .ok_or(OsError::FileOutOfRange { file: f.0, page })
+    }
+
+    /// Get the block for page `page`, extending the file (allocating disk
+    /// blocks) as needed.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::NoSuchFile`] / [`OsError::DiskFull`].
+    pub fn ensure_block(&mut self, f: FileId, page: u64, disk: &mut Disk) -> Result<BlockId, OsError> {
+        let blocks = self.files.get_mut(&f).ok_or(OsError::NoSuchFile(f.0))?;
+        while blocks.len() <= page as usize {
+            blocks.push(disk.alloc()?);
+        }
+        Ok(blocks[page as usize])
+    }
+
+    /// Delete a file, releasing its blocks. Returns the released blocks so
+    /// the caller can drop them from the buffer cache.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::NoSuchFile`] if the file does not exist.
+    pub fn delete(&mut self, f: FileId, disk: &mut Disk) -> Result<Vec<BlockId>, OsError> {
+        let blocks = self.files.remove(&f).ok_or(OsError::NoSuchFile(f.0))?;
+        for b in &blocks {
+            disk.release(*b);
+        }
+        Ok(blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_extend_delete() {
+        let mut fs = FileSystem::new();
+        let mut disk = Disk::new(8, 256);
+        let f = fs.create();
+        assert_eq!(fs.len_pages(f).unwrap(), 0);
+        let b0 = fs.ensure_block(f, 0, &mut disk).unwrap();
+        let b2 = fs.ensure_block(f, 2, &mut disk).unwrap();
+        assert_eq!(fs.len_pages(f).unwrap(), 3);
+        assert_eq!(fs.block_at(f, 0).unwrap(), b0);
+        assert_eq!(fs.block_at(f, 2).unwrap(), b2);
+        assert_eq!(disk.free_blocks(), 5);
+        let freed = fs.delete(f, &mut disk).unwrap();
+        assert_eq!(freed.len(), 3);
+        assert_eq!(disk.free_blocks(), 8);
+        assert!(matches!(fs.blocks(f), Err(OsError::NoSuchFile(_))));
+    }
+
+    #[test]
+    fn out_of_range_read() {
+        let mut fs = FileSystem::new();
+        let f = fs.create();
+        assert!(matches!(
+            fs.block_at(f, 0),
+            Err(OsError::FileOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn ids_unique() {
+        let mut fs = FileSystem::new();
+        let a = fs.create();
+        let b = fs.create();
+        assert_ne!(a, b);
+        assert_eq!(fs.file_count(), 2);
+    }
+}

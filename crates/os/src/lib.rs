@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+//! # vic-os — a Mach-like kernel over the simulated machine
+//!
+//! This crate reproduces the operating-system context of the paper's
+//! evaluation: the machine-dependent *pmap* layer of Mach 3.0's virtual
+//! memory system, driven by a pluggable
+//! [`ConsistencyManager`](vic_core::manager::ConsistencyManager), plus the
+//! kernel services whose behaviour the paper measures:
+//!
+//! * address spaces with per-page VM maps and demand (zero-fill) paging
+//!   ([`vm`]);
+//! * a fault handler distinguishing **mapping faults** (which occur under
+//!   any cache architecture) from **consistency faults** (bookkeeping
+//!   introduced by the virtually indexed cache) ([`kernel`]);
+//! * page preparation (zero-fill and copy) through kernel windows, with or
+//!   without the *aligned prepare* interface that passes the ultimate
+//!   virtual address down to the machine-dependent layer ([`kernel`]);
+//! * IPC page transfer with or without aligned destination selection
+//!   ([`kernel::Kernel::ipc_transfer_page`]);
+//! * a buffer-cache file system with write-behind over a DMA disk
+//!   ([`bufcache`], [`fs`]);
+//! * program text loading with its data-to-instruction-space copies
+//!   ([`kernel::Kernel::exec_text`]);
+//! * a user-level Unix-server model with per-client shared pages
+//!   ([`server`]).
+//!
+//! The [`kernel::Kernel`] façade is what the workload drivers in
+//! `vic-workloads` program against.
+//!
+//! ## Example
+//!
+//! ```
+//! use vic_core::policy::Configuration;
+//! use vic_os::{Kernel, KernelConfig, ShareAlignment, SystemKind};
+//!
+//! // Boot the paper's fully optimized kernel on the small test machine.
+//! let mut k = Kernel::new(KernelConfig::small(SystemKind::Cmu(Configuration::F)));
+//! let a = k.create_task();
+//! let b = k.create_task();
+//! let va = k.vm_allocate(a, 1)?;
+//! k.write(a, va, 42)?;
+//! // Share the page at an unaligned alias; the consistency manager keeps
+//! // it coherent with flushes, purges and protection changes on demand.
+//! let vb = k.vm_share_with(a, va, b, ShareAlignment::Unaligned)?;
+//! assert_eq!(k.read(b, vb)?, 42);
+//! assert_eq!(k.machine().oracle().violations(), 0);
+//! # Ok::<(), vic_os::OsError>(())
+//! ```
+
+pub mod bufcache;
+pub mod error;
+pub mod frames;
+pub mod fs;
+pub mod kernel;
+pub mod pmap;
+pub mod server;
+pub mod stats;
+pub mod system;
+pub mod vm;
+
+pub use error::OsError;
+pub use kernel::{Kernel, KernelConfig, ShareAlignment, TaskId};
+pub use stats::OsStats;
+pub use system::SystemKind;

@@ -1,0 +1,318 @@
+//! The machine-dependent VM layer (Mach's *pmap*), gluing the consistency
+//! manager to the simulated machine.
+//!
+//! The pmap owns two things: the per-mapping **logical** protections the
+//! machine-independent VM layer asked for, and the consistency manager that
+//! decides the **effective** hardware protections. Every mapping operation
+//! and every consistency fault flows through here.
+
+use std::collections::HashMap;
+
+use vic_core::cache_control::ConsistencyHw;
+use vic_core::manager::{AccessHints, ConsistencyManager, DmaDir, MgrStats};
+use vic_core::types::{Access, CacheGeometry, CachePage, Mapping, PFrame, Prot};
+use vic_machine::Machine;
+
+use crate::error::OsError;
+
+/// Adapter exposing the simulated machine's cache-management instructions
+/// and protection hardware as the
+/// [`ConsistencyHw`] trait the
+/// managers drive.
+pub struct HwAdapter<'a> {
+    machine: &'a mut Machine,
+}
+
+impl<'a> HwAdapter<'a> {
+    /// Wrap a machine.
+    pub fn new(machine: &'a mut Machine) -> Self {
+        HwAdapter { machine }
+    }
+}
+
+impl ConsistencyHw for HwAdapter<'_> {
+    fn geometry(&self) -> CacheGeometry {
+        self.machine.config().geometry()
+    }
+    fn flush_data_page(&mut self, c: CachePage, frame: PFrame) {
+        self.machine.flush_dcache_page(c, frame);
+    }
+    fn purge_data_page(&mut self, c: CachePage, frame: PFrame) {
+        self.machine.purge_dcache_page(c, frame);
+    }
+    fn purge_insn_page(&mut self, c: CachePage, frame: PFrame) {
+        self.machine.purge_icache_page(c, frame);
+    }
+    fn set_protection(&mut self, m: Mapping, prot: Prot) {
+        self.machine.set_protection(m, prot);
+    }
+    fn set_uncached(&mut self, m: Mapping, uncached: bool) {
+        self.machine.set_uncached(m, uncached);
+    }
+}
+
+/// The machine-dependent mapping layer.
+pub struct Pmap {
+    mgr: Box<dyn ConsistencyManager>,
+    mappings: HashMap<Mapping, (PFrame, Prot)>,
+}
+
+impl std::fmt::Debug for Pmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pmap")
+            .field("manager", &self.mgr.name())
+            .field("mappings", &self.mappings.len())
+            .finish()
+    }
+}
+
+impl Pmap {
+    /// A pmap driving the given consistency manager.
+    pub fn new(mgr: Box<dyn ConsistencyManager>) -> Self {
+        Pmap {
+            mgr,
+            mappings: HashMap::new(),
+        }
+    }
+
+    /// The manager's name (for reports).
+    pub fn manager_name(&self) -> &'static str {
+        self.mgr.name()
+    }
+
+    /// The manager's feature matrix (Table 5).
+    pub fn manager_features(&self) -> vic_core::manager::Features {
+        self.mgr.features()
+    }
+
+    /// The manager's flush/purge statistics.
+    pub fn mgr_stats(&self) -> &MgrStats {
+        self.mgr.stats()
+    }
+
+    /// Reset the manager's statistics.
+    pub fn reset_mgr_stats(&mut self) {
+        self.mgr.reset_stats();
+    }
+
+    /// Number of live mappings (debugging / assertions).
+    pub fn mapping_count(&self) -> usize {
+        self.mappings.len()
+    }
+
+    /// Enter a mapping with a logical protection. The effective hardware
+    /// protection is chosen by the consistency manager and may be weaker;
+    /// the first access then faults and is resolved by
+    /// [`Pmap::consistency_fault`].
+    pub fn enter(&mut self, machine: &mut Machine, m: Mapping, frame: PFrame, logical: Prot) {
+        self.mappings.insert(m, (frame, logical));
+        machine.enter_mapping(m, frame, Prot::NONE);
+        self.mgr
+            .on_map(&mut HwAdapter::new(machine), frame, m, logical);
+    }
+
+    /// Remove a mapping (no-op if absent). Returns the frame it mapped.
+    pub fn remove(&mut self, machine: &mut Machine, m: Mapping) -> Option<PFrame> {
+        let (frame, _) = self.mappings.remove(&m)?;
+        self.mgr.on_unmap(&mut HwAdapter::new(machine), frame, m);
+        machine.remove_mapping(m);
+        Some(frame)
+    }
+
+    /// Change the logical protection of a live mapping.
+    pub fn protect(&mut self, machine: &mut Machine, m: Mapping, logical: Prot) {
+        if let Some(e) = self.mappings.get_mut(&m) {
+            e.1 = logical;
+            let frame = e.0;
+            self.mgr
+                .on_protect(&mut HwAdapter::new(machine), frame, m, logical);
+        }
+    }
+
+    /// The frame a mapping names, if it is live.
+    pub fn frame_of(&self, m: Mapping) -> Option<PFrame> {
+        self.mappings.get(&m).map(|e| e.0)
+    }
+
+    /// The logical protection of a live mapping.
+    pub fn logical_of(&self, m: Mapping) -> Option<Prot> {
+        self.mappings.get(&m).map(|e| e.1)
+    }
+
+    /// Resolve a consistency fault (or run the post-mapping-fault access
+    /// transition): the logical protection permits the access, but the
+    /// consistency state denied it.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::BadAddress`] if the mapping is not live,
+    /// [`OsError::ProtectionViolation`] if the logical protection denies
+    /// the access (a genuine program error, not a consistency fault).
+    pub fn consistency_fault(
+        &mut self,
+        machine: &mut Machine,
+        m: Mapping,
+        access: Access,
+        hints: AccessHints,
+    ) -> Result<(), OsError> {
+        let Some(&(frame, logical)) = self.mappings.get(&m) else {
+            return Err(OsError::BadAddress { mapping: m, access });
+        };
+        if !logical.allows(access) {
+            return Err(OsError::ProtectionViolation { mapping: m, access });
+        }
+        self.mgr
+            .on_access(&mut HwAdapter::new(machine), frame, m, access, hints);
+        Ok(())
+    }
+
+    /// Make the memory system consistent before a DMA transfer touching
+    /// `frame`.
+    pub fn before_dma(
+        &mut self,
+        machine: &mut Machine,
+        frame: PFrame,
+        dir: DmaDir,
+        hints: AccessHints,
+    ) {
+        self.mgr
+            .on_dma(&mut HwAdapter::new(machine), frame, dir, hints);
+    }
+
+    /// Note that `frame` returned to the free list.
+    pub fn page_freed(&mut self, machine: &mut Machine, frame: PFrame) {
+        self.mgr.on_page_freed(&mut HwAdapter::new(machine), frame);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vic_core::policy::PolicyConfig;
+    use vic_core::managers::CmuManager;
+    use vic_core::types::{SpaceId, VPage};
+    use vic_machine::MachineConfig;
+
+    fn setup() -> (Machine, Pmap) {
+        let machine = Machine::new(MachineConfig::small());
+        let geom = machine.config().geometry();
+        let frames = machine.config().num_frames();
+        let mgr = CmuManager::new(frames, geom, PolicyConfig::all_on());
+        (machine, Pmap::new(Box::new(mgr)))
+    }
+
+    fn m(s: u32, v: u64) -> Mapping {
+        Mapping::new(SpaceId(s), VPage(v))
+    }
+
+    #[test]
+    fn enter_fault_access_cycle() {
+        let (mut mach, mut pmap) = setup();
+        let mm = m(1, 0);
+        pmap.enter(&mut mach, mm, PFrame(5), Prot::READ_WRITE);
+        let va = mach.config().vaddr(VPage(0));
+        // First access faults (empty consistency state).
+        let err = mach.store(SpaceId(1), va, 7).unwrap_err();
+        let fm = err.mapping();
+        pmap.consistency_fault(&mut mach, fm, Access::Write, AccessHints::default())
+            .unwrap();
+        // Retry succeeds.
+        mach.store(SpaceId(1), va, 7).unwrap();
+        assert_eq!(mach.load(SpaceId(1), va).unwrap(), 7);
+        assert_eq!(mach.oracle().violations(), 0);
+    }
+
+    #[test]
+    fn alias_cycle_is_oracle_clean() {
+        let (mut mach, mut pmap) = setup();
+        let a = m(1, 0);
+        let b = m(2, 1); // unaligned with a
+        pmap.enter(&mut mach, a, PFrame(5), Prot::READ_WRITE);
+        pmap.enter(&mut mach, b, PFrame(5), Prot::READ_WRITE);
+        let va_a = mach.config().vaddr(VPage(0));
+        let va_b = mach.config().vaddr(VPage(1));
+        // Ping-pong writes and reads through both mappings, resolving
+        // faults as they come. The oracle must stay clean throughout.
+        for i in 0..10u32 {
+            let (sp, va, mm) = if i % 2 == 0 {
+                (SpaceId(1), va_a, a)
+            } else {
+                (SpaceId(2), va_b, b)
+            };
+            loop {
+                match mach.store(sp, va, i) {
+                    Ok(()) => break,
+                    Err(f) => pmap
+                        .consistency_fault(&mut mach, f.mapping(), f.access(), AccessHints::default())
+                        .unwrap(),
+                }
+            }
+            assert_eq!(mm.space, sp);
+            let (sp2, va2) = if i % 2 == 0 {
+                (SpaceId(2), va_b)
+            } else {
+                (SpaceId(1), va_a)
+            };
+            loop {
+                match mach.load(sp2, va2) {
+                    Ok(v) => {
+                        assert_eq!(v, i);
+                        break;
+                    }
+                    Err(f) => pmap
+                        .consistency_fault(&mut mach, f.mapping(), f.access(), AccessHints::default())
+                        .unwrap(),
+                }
+            }
+        }
+        assert_eq!(mach.oracle().violations(), 0);
+    }
+
+    #[test]
+    fn logical_violation_is_an_error() {
+        let (mut mach, mut pmap) = setup();
+        let mm = m(1, 0);
+        pmap.enter(&mut mach, mm, PFrame(5), Prot::READ);
+        let err = pmap
+            .consistency_fault(&mut mach, mm, Access::Write, AccessHints::default())
+            .unwrap_err();
+        assert!(matches!(err, OsError::ProtectionViolation { .. }));
+        let err = pmap
+            .consistency_fault(&mut mach, m(9, 9), Access::Read, AccessHints::default())
+            .unwrap_err();
+        assert!(matches!(err, OsError::BadAddress { .. }));
+    }
+
+    #[test]
+    fn remove_returns_frame() {
+        let (mut mach, mut pmap) = setup();
+        let mm = m(1, 0);
+        pmap.enter(&mut mach, mm, PFrame(5), Prot::READ);
+        assert_eq!(pmap.frame_of(mm), Some(PFrame(5)));
+        assert_eq!(pmap.remove(&mut mach, mm), Some(PFrame(5)));
+        assert_eq!(pmap.remove(&mut mach, mm), None);
+        assert_eq!(pmap.mapping_count(), 0);
+    }
+
+    #[test]
+    fn dma_consistency() {
+        let (mut mach, mut pmap) = setup();
+        let mm = m(1, 0);
+        pmap.enter(&mut mach, mm, PFrame(5), Prot::READ_WRITE);
+        let va = mach.config().vaddr(VPage(0));
+        loop {
+            match mach.store(SpaceId(1), va, 9) {
+                Ok(()) => break,
+                Err(f) => pmap
+                    .consistency_fault(&mut mach, f.mapping(), f.access(), AccessHints::default())
+                    .unwrap(),
+            }
+        }
+        // Device reads the frame: pmap flushes first; oracle clean.
+        pmap.before_dma(&mut mach, PFrame(5), DmaDir::Read, AccessHints::default());
+        let mut buf = vec![0u8; mach.config().page_size as usize];
+        mach.dma_read_page(PFrame(5), &mut buf);
+        assert_eq!(mach.oracle().violations(), 0);
+        assert_eq!(&buf[..4], &9u32.to_le_bytes());
+    }
+}

@@ -1,0 +1,96 @@
+//! Kernel-level counters: the bookkeeping columns of the paper's Table 4.
+
+/// Operating-system event counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OsStats {
+    /// Mapping faults: first touch of a virtual page by an address space.
+    /// These occur regardless of the cache architecture (Mach evaluates
+    /// page-table entries lazily).
+    pub mapping_faults: u64,
+    /// Consistency faults: references requiring a cache consistency state
+    /// transition that could not be inferred from a mapping fault. Pure
+    /// overhead of the virtually indexed cache.
+    pub consistency_faults: u64,
+    /// Pages prepared by zero-fill.
+    pub zero_fills: u64,
+    /// Pages prepared by copy.
+    pub page_copies: u64,
+    /// Pages moved between address spaces by IPC.
+    pub ipc_transfers: u64,
+    /// Copy-on-write faults taken (first write to a shared page).
+    pub cow_faults: u64,
+    /// Copy-on-write page copies actually performed (the other owner(s)
+    /// still held the frame).
+    pub cow_copies: u64,
+    /// Pages copied from data space into instruction space (text loading).
+    pub d2i_copies: u64,
+    /// File-system page reads served (buffer cache hits and misses).
+    pub fs_reads: u64,
+    /// File-system page writes absorbed by the buffer cache.
+    pub fs_writes: u64,
+    /// Buffer-cache misses that required a disk DMA transfer.
+    pub buf_misses: u64,
+    /// Dirty buffers written back to disk (write-behind).
+    pub buf_writebacks: u64,
+    /// Tasks created.
+    pub tasks_created: u64,
+    /// Pages allocated from the free list.
+    pub pages_allocated: u64,
+    /// Pages returned to the free list.
+    pub pages_freed: u64,
+    /// Anonymous pages written to swap under memory pressure.
+    pub page_outs: u64,
+    /// Swapped pages brought back on fault.
+    pub page_ins: u64,
+}
+
+impl OsStats {
+    /// Reset all counters.
+    pub fn reset(&mut self) {
+        *self = OsStats::default();
+    }
+
+    /// Merge another set of counters.
+    pub fn merge(&mut self, o: &OsStats) {
+        self.mapping_faults += o.mapping_faults;
+        self.consistency_faults += o.consistency_faults;
+        self.zero_fills += o.zero_fills;
+        self.page_copies += o.page_copies;
+        self.ipc_transfers += o.ipc_transfers;
+        self.cow_faults += o.cow_faults;
+        self.cow_copies += o.cow_copies;
+        self.d2i_copies += o.d2i_copies;
+        self.fs_reads += o.fs_reads;
+        self.fs_writes += o.fs_writes;
+        self.buf_misses += o.buf_misses;
+        self.buf_writebacks += o.buf_writebacks;
+        self.tasks_created += o.tasks_created;
+        self.pages_allocated += o.pages_allocated;
+        self.pages_freed += o.pages_freed;
+        self.page_outs += o.page_outs;
+        self.page_ins += o.page_ins;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_and_reset() {
+        let mut a = OsStats {
+            mapping_faults: 2,
+            ..OsStats::default()
+        };
+        let b = OsStats {
+            mapping_faults: 3,
+            consistency_faults: 1,
+            ..OsStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.mapping_faults, 5);
+        assert_eq!(a.consistency_faults, 1);
+        a.reset();
+        assert_eq!(a, OsStats::default());
+    }
+}

@@ -1,0 +1,171 @@
+//! Selection of the consistency system under test: the paper's
+//! configurations A–F and the Table 5 baseline kernels.
+
+use vic_core::managers::{
+    ChaosManager, CmuManager, DropClass, EagerManager, NullManager, SunManager, TutManager,
+};
+use vic_core::manager::ConsistencyManager;
+use vic_core::policy::{Configuration, PolicyConfig};
+use vic_core::types::CacheGeometry;
+
+/// Where the aligned-prepare optimization applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrepareScope {
+    /// Page preparation never aligns with the ultimate mapping.
+    None,
+    /// Only program text pages are prepared aligned (the Tut behaviour).
+    TextOnly,
+    /// All page preparation is aligned (the CMU behaviour from
+    /// configuration D on).
+    All,
+}
+
+/// Which kernel's consistency strategy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemKind {
+    /// The paper's kernel at one of the cumulative configurations A–F
+    /// (A is the "old" eager system; F is the full "new" system).
+    Cmu(Configuration),
+    /// Plain Mach 3.0 machine-dependent layer (Table 5's "Utah").
+    Utah,
+    /// OSF/1 by HP's Apollo Systems Division.
+    Apollo,
+    /// Mach VM merged into HP-UX (Chao et al. 1990).
+    Tut,
+    /// 4.2 BSD on Sun-3/200 (Cheng 1987): uncached unaligned aliases.
+    Sun,
+    /// **Broken**: no consistency management at all. Exists to validate the
+    /// staleness oracle; never correct with sharing or DMA.
+    Null,
+    /// **Broken**: the full CMU/F manager with one class of cache
+    /// operations suppressed (failure injection). Exists to prove each
+    /// operation class is load-bearing end-to-end.
+    Chaos(DropClass),
+}
+
+impl SystemKind {
+    /// Every comparable system (excluding the deliberately broken one), in
+    /// Table 5 order: CMU, Utah, Tut, Apollo, Sun.
+    pub fn table5() -> [SystemKind; 5] {
+        [
+            SystemKind::Cmu(Configuration::F),
+            SystemKind::Utah,
+            SystemKind::Tut,
+            SystemKind::Apollo,
+            SystemKind::Sun,
+        ]
+    }
+
+    /// Build the consistency manager for a machine with `num_frames`
+    /// physical pages.
+    pub fn build_manager(
+        self,
+        num_frames: u64,
+        geom: CacheGeometry,
+    ) -> Box<dyn ConsistencyManager> {
+        match self {
+            SystemKind::Cmu(c) if c.uses_cmu_manager() => {
+                Box::new(CmuManager::new(num_frames, geom, c.policy()))
+            }
+            SystemKind::Cmu(_) | SystemKind::Utah => {
+                Box::new(EagerManager::utah(num_frames, geom))
+            }
+            SystemKind::Apollo => Box::new(EagerManager::apollo(num_frames, geom)),
+            SystemKind::Tut => Box::new(TutManager::new(num_frames, geom)),
+            SystemKind::Sun => Box::new(SunManager::new(num_frames, geom)),
+            SystemKind::Null => Box::new(NullManager::new()),
+            SystemKind::Chaos(drop) => Box::new(ChaosManager::new(
+                Box::new(CmuManager::new(
+                    num_frames,
+                    geom,
+                    Configuration::F.policy(),
+                )),
+                drop,
+            )),
+        }
+    }
+
+    /// The address-selection policy knobs the kernel layers consume.
+    pub fn policy(self) -> PolicyConfig {
+        match self {
+            SystemKind::Cmu(c) => c.policy(),
+            SystemKind::Tut => PolicyConfig {
+                lazy_unmap: true,
+                align_addresses: false,
+                aligned_prepare: false, // text-only, see `prepare_scope`
+                need_data: false,
+                will_overwrite: false,
+            },
+            SystemKind::Utah | SystemKind::Apollo | SystemKind::Sun => PolicyConfig::all_off(),
+            SystemKind::Null => PolicyConfig::all_off(),
+            // Chaos wraps the full F manager; give it F's address policies
+            // so the only defect is the injected one.
+            SystemKind::Chaos(_) => Configuration::F.policy(),
+        }
+    }
+
+    /// Where aligned page preparation applies for this system.
+    pub fn prepare_scope(self) -> PrepareScope {
+        match self {
+            SystemKind::Cmu(c) if c.policy().aligned_prepare => PrepareScope::All,
+            SystemKind::Tut => PrepareScope::TextOnly,
+            _ => PrepareScope::None,
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> String {
+        match self {
+            SystemKind::Cmu(c) => format!("CMU/{} ({})", c.letter(), c.label()),
+            SystemKind::Utah => "Utah".to_string(),
+            SystemKind::Apollo => "Apollo".to_string(),
+            SystemKind::Tut => "Tut".to_string(),
+            SystemKind::Sun => "Sun".to_string(),
+            SystemKind::Null => "None (broken)".to_string(),
+            SystemKind::Chaos(drop) => format!("Chaos/{drop:?} (broken)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_a_is_the_eager_system() {
+        let g = CacheGeometry::new(8, 4);
+        let m = SystemKind::Cmu(Configuration::A).build_manager(16, g);
+        assert_eq!(m.name(), "Utah");
+        let m = SystemKind::Cmu(Configuration::B).build_manager(16, g);
+        assert_eq!(m.name(), "CMU");
+    }
+
+    #[test]
+    fn baselines_build() {
+        let g = CacheGeometry::new(8, 4);
+        for s in SystemKind::table5() {
+            let m = s.build_manager(16, g);
+            assert!(!m.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn prepare_scopes() {
+        assert_eq!(
+            SystemKind::Cmu(Configuration::F).prepare_scope(),
+            PrepareScope::All
+        );
+        assert_eq!(
+            SystemKind::Cmu(Configuration::C).prepare_scope(),
+            PrepareScope::None
+        );
+        assert_eq!(SystemKind::Tut.prepare_scope(), PrepareScope::TextOnly);
+        assert_eq!(SystemKind::Utah.prepare_scope(), PrepareScope::None);
+    }
+
+    #[test]
+    fn labels() {
+        assert!(SystemKind::Cmu(Configuration::F).label().contains("F"));
+        assert_eq!(SystemKind::Sun.label(), "Sun");
+    }
+}

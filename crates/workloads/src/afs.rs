@@ -1,0 +1,199 @@
+//! The Andrew File System benchmark (`afs-bench`): "a file-intensive shell
+//! script" (§2.5).
+//!
+//! The classic Andrew benchmark phases are reproduced as kernel operation
+//! streams: **MakeDir/Copy** (create files and write their pages),
+//! **ScanDir** and **StatEvery** (Unix-server round trips per file),
+//! **ReadAll** (read every page of every file, repeatedly), and **Make**
+//! (exec a tool binary and let it read the sources). Between operations the
+//! "script" burns a little user CPU, as a shell does.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vic_core::types::VAddr;
+use vic_os::{Kernel, OsError};
+
+use crate::runner::Workload;
+
+/// The afs-bench driver.
+#[derive(Debug, Clone, Copy)]
+pub struct AfsBench {
+    /// Number of files the script manipulates.
+    pub files: u32,
+    /// Maximum pages per file (sizes are drawn 1..=max, seeded).
+    pub max_pages: u64,
+    /// Read-all passes.
+    pub read_passes: u32,
+    /// User CPU cycles charged per script operation.
+    pub compute_per_op: u64,
+    /// RNG seed (fixed for reproducibility).
+    pub seed: u64,
+}
+
+impl AfsBench {
+    /// Paper-scale run (minutes of simulated time).
+    pub fn paper() -> Self {
+        AfsBench {
+            files: 70,
+            max_pages: 3,
+            read_passes: 3,
+            compute_per_op: 70_000,
+            seed: 0x000a_fbec,
+        }
+    }
+
+    /// Scaled-down run for tests.
+    pub fn quick() -> Self {
+        AfsBench {
+            files: 6,
+            max_pages: 2,
+            read_passes: 1,
+            compute_per_op: 500,
+            seed: 0x000a_fbec,
+        }
+    }
+}
+
+impl Workload for AfsBench {
+    fn name(&self) -> &'static str {
+        "afs-bench"
+    }
+
+    fn run(&self, k: &mut Kernel) -> Result<(), OsError> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let page = k.page_size();
+        let t = k.create_task();
+        let buf = k.vm_allocate(t, self.max_pages)?;
+
+        // Phase 1 — MakeDir/CopyIn: create the source tree.
+        let mut sources = Vec::new();
+        for fi in 0..self.files {
+            let f = k.fs_create();
+            let pages = rng.gen_range(1..=self.max_pages);
+            for p in 0..pages {
+                // The script produces the file contents...
+                for w in 0..16u64 {
+                    k.write(t, VAddr(buf.0 + p * page + w * 4), fi.wrapping_mul(31) + w as u32)?;
+                }
+                k.fs_write_page(t, f, p, VAddr(buf.0 + p * page))?;
+            }
+            k.machine_mut().charge(self.compute_per_op);
+            sources.push((f, pages));
+            if fi % 16 == 15 {
+                k.sync(); // write-behind
+            }
+        }
+
+        // Phase 2 — Copy: duplicate the tree.
+        let mut copies = Vec::new();
+        for &(f, pages) in &sources {
+            let c = k.fs_create();
+            for p in 0..pages {
+                k.fs_read_page(t, f, p, buf)?;
+                k.fs_write_page(t, c, p, buf)?;
+            }
+            k.machine_mut().charge(self.compute_per_op);
+            copies.push((c, pages));
+        }
+        k.sync();
+
+        // Phase 3 — ScanDir/StatEvery: directory walks are pure server
+        // round trips.
+        for _ in 0..2 {
+            for _ in 0..(sources.len() + copies.len()) {
+                k.server_round_trip(t)?;
+                k.machine_mut().charge(self.compute_per_op / 10);
+            }
+        }
+
+        // Phase 4 — ReadAll: read every byte of every file.
+        for _ in 0..self.read_passes {
+            for &(f, pages) in sources.iter().chain(copies.iter()) {
+                for p in 0..pages {
+                    k.fs_read_page(t, f, p, buf)?;
+                    // ... and "grep" through it.
+                    for w in 0..32u64 {
+                        let _ = k.read(t, VAddr(buf.0 + w * 8))?;
+                    }
+                }
+                k.machine_mut().charge(self.compute_per_op / 4);
+            }
+        }
+
+        // Phase 5 — Make: exec a tool over the sources.
+        let tool = k.fs_create();
+        for p in 0..2u64 {
+            for w in 0..16u64 {
+                k.write(t, VAddr(buf.0 + w * 4), 0x9000_0000 + w as u32)?;
+            }
+            k.fs_write_page(t, tool, p, buf)?;
+        }
+        k.sync();
+        let worker = k.create_task();
+        let text = k.exec_text(worker, tool, 2)?;
+        k.run_text(worker, text, 64)?;
+        let wbuf = k.vm_allocate(worker, 1)?;
+        for &(f, pages) in &sources {
+            for p in 0..pages {
+                k.fs_read_page(worker, f, p, wbuf)?;
+            }
+            k.machine_mut().charge(self.compute_per_op / 2);
+        }
+        k.terminate_task(worker)?;
+
+        // Cleanup.
+        for (f, _) in sources.into_iter().chain(copies) {
+            k.fs_delete(f)?;
+        }
+        k.fs_delete(tool)?;
+        k.sync();
+        k.terminate_task(t)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_on, MachineSize};
+    use vic_core::policy::Configuration;
+    use vic_os::SystemKind;
+
+    #[test]
+    fn runs_clean_on_old_and_new() {
+        for sys in [
+            SystemKind::Cmu(Configuration::A),
+            SystemKind::Cmu(Configuration::F),
+        ] {
+            let s = run_on(sys, MachineSize::Small, &AfsBench::quick());
+            assert_eq!(s.oracle_violations, 0, "{sys:?}");
+            assert!(s.os.fs_reads > 0 && s.os.fs_writes > 0);
+            assert!(s.machine.dma_reads > 0, "write-behind reached the disk");
+        }
+    }
+
+    #[test]
+    fn new_system_is_faster_with_fewer_ops() {
+        let old = run_on(
+            SystemKind::Cmu(Configuration::A),
+            MachineSize::Small,
+            &AfsBench::quick(),
+        );
+        let new = run_on(
+            SystemKind::Cmu(Configuration::F),
+            MachineSize::Small,
+            &AfsBench::quick(),
+        );
+        assert!(new.cycles < old.cycles, "new {} vs old {}", new.cycles, old.cycles);
+        assert!(new.total_flushes() < old.total_flushes());
+        assert!(new.total_purges() < old.total_purges());
+    }
+
+    #[test]
+    fn deterministic() {
+        let sys = SystemKind::Cmu(Configuration::F);
+        let a = run_on(sys, MachineSize::Small, &AfsBench::quick());
+        let b = run_on(sys, MachineSize::Small, &AfsBench::quick());
+        assert_eq!(a.cycles, b.cycles);
+    }
+}

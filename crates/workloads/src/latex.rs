@@ -1,0 +1,165 @@
+//! The `latex-paper` benchmark: "formats a version of this paper using
+//! TeX" (§2.5).
+//!
+//! TeX is CPU-bound: it reads a small input, chews on an in-memory working
+//! set for several passes, and writes small auxiliary and output files.
+//! Cache-consistency overhead is correspondingly smaller than for the
+//! file-intensive benchmarks (the paper reports a 5 % gain versus 10 %).
+
+use vic_core::types::VAddr;
+use vic_os::{Kernel, OsError};
+
+use crate::runner::Workload;
+
+/// The latex-paper driver.
+#[derive(Debug, Clone, Copy)]
+pub struct LatexBench {
+    /// Formatting passes (TeX runs + re-runs for references).
+    pub passes: u32,
+    /// Working-set pages (fonts, hyphenation tables, the document tree).
+    pub working_pages: u64,
+    /// Input file pages.
+    pub input_pages: u64,
+    /// Pure computation cycles charged per working-set sweep.
+    pub compute_per_sweep: u64,
+}
+
+impl LatexBench {
+    /// Paper-scale run.
+    pub fn paper() -> Self {
+        LatexBench {
+            passes: 4,
+            working_pages: 24,
+            input_pages: 6,
+            compute_per_sweep: 320_000,
+        }
+    }
+
+    /// Scaled-down run for tests.
+    pub fn quick() -> Self {
+        LatexBench {
+            passes: 2,
+            working_pages: 4,
+            input_pages: 2,
+            compute_per_sweep: 2_000,
+        }
+    }
+}
+
+impl Workload for LatexBench {
+    fn name(&self) -> &'static str {
+        "latex-paper"
+    }
+
+    fn run(&self, k: &mut Kernel) -> Result<(), OsError> {
+        let page = k.page_size();
+        let t = k.create_task();
+        let buf = k.vm_allocate(t, 1)?;
+
+        // The .tex input (written by an "editor" beforehand).
+        let input = k.fs_create();
+        for p in 0..self.input_pages {
+            for w in 0..16u64 {
+                k.write(t, VAddr(buf.0 + w * 4), (p * 100 + w) as u32)?;
+            }
+            k.fs_write_page(t, input, p, buf)?;
+        }
+        k.sync();
+
+        // Style and font files TeX opens on every pass.
+        let mut styles = Vec::new();
+        for s in 0..8u32 {
+            let f = k.fs_create();
+            for w in 0..16u64 {
+                k.write(t, VAddr(buf.0 + w * 4), 0xf0_0000 + s * 64 + w as u32)?;
+            }
+            k.fs_write_page(t, f, 0, buf)?;
+            styles.push(f);
+        }
+        k.sync();
+
+        let ws = k.vm_allocate(t, self.working_pages)?;
+        let aux = k.fs_create();
+        let out = k.fs_create();
+
+        for pass in 0..self.passes {
+            // Read the input and every style/font file (buffer-cache hits
+            // after the first pass, but each read is a server round trip).
+            for p in 0..self.input_pages {
+                k.fs_read_page(t, input, p, buf)?;
+            }
+            for &f in &styles {
+                k.fs_read_page(t, f, 0, buf)?;
+            }
+            // The formatting work: sweeps over the working set with
+            // register-heavy computation in between.
+            for sweep in 0..4u32 {
+                for wp in 0..self.working_pages {
+                    let base = ws.0 + wp * page;
+                    for w in 0..24u64 {
+                        let v = k.read(t, VAddr(base + w * 8))?;
+                        k.write(t, VAddr(base + w * 8), v.wrapping_add(sweep + 1))?;
+                    }
+                }
+                k.machine_mut().charge(self.compute_per_sweep);
+            }
+            // Auxiliary outputs (.aux/.log): small writes each pass.
+            for w in 0..8u64 {
+                k.write(t, VAddr(buf.0 + w * 4), pass * 1000 + w as u32)?;
+            }
+            k.fs_write_page(t, aux, u64::from(pass), buf)?;
+        }
+
+        // The .dvi output.
+        for p in 0..2u64 {
+            for w in 0..16u64 {
+                k.write(t, VAddr(buf.0 + w * 4), 0xd41 + (p * 50 + w) as u32)?;
+            }
+            k.fs_write_page(t, out, p, buf)?;
+        }
+        k.sync();
+        k.fs_delete(aux)?;
+        for f in styles {
+            k.fs_delete(f)?;
+        }
+        k.terminate_task(t)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_on, MachineSize};
+    use vic_core::policy::Configuration;
+    use vic_os::SystemKind;
+
+    #[test]
+    fn runs_clean() {
+        for sys in [
+            SystemKind::Cmu(Configuration::A),
+            SystemKind::Cmu(Configuration::F),
+        ] {
+            let s = run_on(sys, MachineSize::Small, &LatexBench::quick());
+            assert_eq!(s.oracle_violations, 0, "{sys:?}");
+        }
+    }
+
+    #[test]
+    fn cpu_bound_gain_is_smaller_than_afs() {
+        // The relative improvement old->new should be smaller for the
+        // CPU-bound workload than for the file-intensive one.
+        let gain = |w: &dyn crate::runner::Workload| {
+            let old = run_on(SystemKind::Cmu(Configuration::A), MachineSize::Small, w);
+            let new = run_on(SystemKind::Cmu(Configuration::F), MachineSize::Small, w);
+            new.gain_over(&old)
+        };
+        let latex_gain = gain(&LatexBench::quick());
+        let afs_gain = gain(&crate::afs::AfsBench::quick());
+        assert!(
+            latex_gain < afs_gain,
+            "latex {latex_gain:.1}% should gain less than afs {afs_gain:.1}%"
+        );
+        assert!(latex_gain >= 0.0, "but still not lose: {latex_gain:.1}%");
+    }
+}

@@ -1,0 +1,161 @@
+//! The run harness: execute a workload under a chosen consistency system
+//! and collect the statistics the paper's tables report.
+
+use vic_core::manager::MgrStats;
+use vic_machine::MachineStats;
+use vic_os::{Kernel, KernelConfig, OsError, OsStats, SystemKind};
+
+/// Which machine to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineSize {
+    /// The miniature test geometry (256-byte pages): fast, for unit tests.
+    Small,
+    /// The HP 720 geometry (4 KB pages, 256 KB / 128 KB caches): used for
+    /// the experiment tables.
+    Hp720,
+}
+
+/// A benchmark program.
+pub trait Workload {
+    /// Name as reported in the tables.
+    fn name(&self) -> &'static str;
+    /// Run to completion on a freshly booted kernel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any kernel error (always a bug in the driver or kernel).
+    fn run(&self, k: &mut Kernel) -> Result<(), OsError>;
+}
+
+/// Everything measured from one run: the raw material for Tables 1 and 4.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Workload name.
+    pub workload: String,
+    /// Consistency system label.
+    pub system: String,
+    /// Total elapsed cycles.
+    pub cycles: u64,
+    /// Elapsed simulated seconds (cycles / 50 MHz).
+    pub seconds: f64,
+    /// Hardware counters (cache hits/misses, flush/purge cycles, DMA).
+    pub machine: MachineStats,
+    /// Consistency-manager operation counts by cause.
+    pub mgr: MgrStats,
+    /// Kernel counters (mapping/consistency faults, preparations, IPC).
+    pub os: OsStats,
+    /// Staleness-oracle violations (must be 0 for every correct system).
+    pub oracle_violations: u64,
+}
+
+impl RunStats {
+    /// Total data+instruction page flushes (the instruction cache is never
+    /// flushed, so this equals data flushes).
+    pub fn total_flushes(&self) -> u64 {
+        self.mgr.total_flushes()
+    }
+
+    /// Total page purges across both caches.
+    pub fn total_purges(&self) -> u64 {
+        self.mgr.total_purges()
+    }
+
+    /// Percent improvement of this run over a baseline run (elapsed time).
+    pub fn gain_over(&self, baseline: &RunStats) -> f64 {
+        100.0 * (baseline.seconds - self.seconds) / baseline.seconds
+    }
+}
+
+/// Run `workload` under `system` on a fresh kernel of the given machine
+/// size and collect statistics.
+///
+/// # Panics
+///
+/// Panics if the workload itself fails — drivers are deterministic and a
+/// failure is a bug, not a measurement.
+pub fn run_on(system: SystemKind, size: MachineSize, workload: &dyn Workload) -> RunStats {
+    let cfg = match size {
+        MachineSize::Small => KernelConfig::small(system),
+        MachineSize::Hp720 => KernelConfig::new(system),
+    };
+    run_with_config(cfg, workload)
+}
+
+/// [`run_on`] with an explicit kernel configuration (custom cycle costs,
+/// cache geometry — used by the what-if experiments such as the paper's
+/// single-cycle-purge proposal).
+///
+/// # Panics
+///
+/// Panics if the workload itself fails.
+pub fn run_with_config(cfg: KernelConfig, workload: &dyn Workload) -> RunStats {
+    let mut k = Kernel::new(cfg);
+    workload.run(&mut k).unwrap_or_else(|e| {
+        panic!(
+            "workload {} failed under {:?}: {e}",
+            workload.name(),
+            cfg.system
+        )
+    });
+    collect(&k, workload.name())
+}
+
+/// Snapshot statistics from a kernel after a run.
+pub fn collect(k: &Kernel, workload: &str) -> RunStats {
+    RunStats {
+        workload: workload.to_string(),
+        system: k.system().label(),
+        cycles: k.machine().cycles(),
+        seconds: k.machine().seconds(),
+        machine: k.machine().stats().clone(),
+        mgr: k.mgr_stats().clone(),
+        os: k.os_stats().clone(),
+        oracle_violations: k.machine().oracle().violations(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Touch;
+    impl Workload for Touch {
+        fn name(&self) -> &'static str {
+            "touch"
+        }
+        fn run(&self, k: &mut Kernel) -> Result<(), OsError> {
+            let t = k.create_task();
+            let va = k.vm_allocate(t, 1)?;
+            k.write(t, va, 42)?;
+            assert_eq!(k.read(t, va)?, 42);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn run_collects_stats() {
+        let s = run_on(
+            SystemKind::Cmu(vic_core::policy::Configuration::F),
+            MachineSize::Small,
+            &Touch,
+        );
+        assert_eq!(s.workload, "touch");
+        assert!(s.cycles > 0);
+        assert!(s.seconds > 0.0);
+        assert_eq!(s.oracle_violations, 0);
+        assert_eq!(s.machine.stores, 1 + 64, "one user store + zero-fill");
+    }
+
+    #[test]
+    fn gain_over() {
+        let mut a = run_on(
+            SystemKind::Cmu(vic_core::policy::Configuration::F),
+            MachineSize::Small,
+            &Touch,
+        );
+        let mut b = a.clone();
+        a.seconds = 90.0;
+        b.seconds = 100.0;
+        assert!((a.gain_over(&b) - 10.0).abs() < 1e-9);
+    }
+}

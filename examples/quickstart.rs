@@ -1,0 +1,82 @@
+//! Quickstart: boot a kernel with the paper's consistency manager, touch
+//! memory, create an unaligned alias, and watch the manager keep the
+//! virtually indexed cache consistent.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use vic::core::policy::Configuration;
+use vic::core::types::VAddr;
+use vic::os::{Kernel, KernelConfig, ShareAlignment, SystemKind};
+
+fn main() {
+    // Boot the paper's fully optimized kernel (configuration F) on the
+    // simulated HP 9000/720 memory system.
+    let mut k = Kernel::new(KernelConfig::new(SystemKind::Cmu(Configuration::F)));
+    println!("booted: manager = {}", k.pmap().manager_name());
+
+    // Plain anonymous memory: allocate, write, read.
+    let task = k.create_task();
+    let va = k.vm_allocate(task, 4).expect("allocate");
+    k.write(task, va, 0xfeed).expect("write");
+    println!("wrote 0xfeed, read back {:#x}", k.read(task, va).expect("read"));
+
+    // Share the page with a second task at an UNALIGNED address — the
+    // interesting case for a virtually indexed cache: the same physical
+    // page now lives in two different cache pages.
+    let peer = k.create_task();
+    let peer_va = k
+        .vm_share_with(task, va, peer, ShareAlignment::Unaligned)
+        .expect("share");
+    println!(
+        "shared at unaligned alias: {} in task, {} in peer",
+        va, peer_va
+    );
+
+    // Ping-pong writes. Every switch of writer is a consistency fault: the
+    // manager flushes the dirty cache page, purges stale copies, and flips
+    // page protections so the stale copy can never be read.
+    for round in 0..4u32 {
+        k.write(task, va, round).expect("write");
+        let seen = k.read(peer, peer_va).expect("peer read");
+        assert_eq!(seen, round);
+        k.write(peer, VAddr(peer_va.0 + 4), round + 100).expect("peer write");
+        let back = k.read(task, VAddr(va.0 + 4)).expect("read");
+        assert_eq!(back, round + 100);
+    }
+
+    let mgr = k.mgr_stats();
+    println!(
+        "after 4 ping-pong rounds: {} flushes, {} purges, {} consistency faults",
+        mgr.total_flushes(),
+        mgr.total_purges(),
+        k.os_stats().consistency_faults
+    );
+
+    // The staleness oracle shadows every byte of physical memory: zero
+    // violations means no stale value ever reached the CPU or a device.
+    assert_eq!(k.machine().oracle().violations(), 0);
+    println!("oracle clean: no stale data was ever observed");
+
+    // The same experiment with an ALIGNED alias costs nothing at all.
+    let mut k2 = Kernel::new(KernelConfig::new(SystemKind::Cmu(Configuration::F)));
+    let a = k2.create_task();
+    let b = k2.create_task();
+    let va = k2.vm_allocate(a, 1).expect("allocate");
+    k2.write(a, va, 1).expect("write");
+    let vb = k2
+        .vm_share_with(a, va, b, ShareAlignment::Aligned)
+        .expect("share");
+    k2.reset_stats();
+    for round in 0..4u32 {
+        k2.write(a, va, round).expect("write");
+        assert_eq!(k2.read(b, vb).expect("read"), round);
+    }
+    let mgr = k2.mgr_stats();
+    println!(
+        "aligned alias ping-pong: {} flushes, {} purges (alignment makes sharing free)",
+        mgr.total_flushes(),
+        mgr.total_purges()
+    );
+}

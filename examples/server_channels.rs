@@ -1,0 +1,52 @@
+//! The Unix-server shared-page scenario of §4.2: applications talk to the
+//! user-level Unix server through per-process shared pages. In the old
+//! system the server asked for fixed addresses that did not align with the
+//! clients' — every request/reply crossing cost consistency faults and
+//! cache operations. Letting the VM system pick aligning addresses makes
+//! the channel free.
+//!
+//! ```sh
+//! cargo run --example server_channels
+//! ```
+
+use vic::core::policy::Configuration;
+use vic::os::{Kernel, KernelConfig, SystemKind};
+
+fn run(label: &str, sys: SystemKind) {
+    let mut k = Kernel::new(KernelConfig::new(sys));
+    let mut tasks = Vec::new();
+    for _ in 0..4 {
+        tasks.push(k.create_task());
+    }
+    // Establish every channel, then measure the steady state.
+    for &t in &tasks {
+        k.server_round_trip(t).expect("round trip");
+    }
+    k.reset_stats();
+    for _ in 0..50 {
+        for &t in &tasks {
+            k.server_round_trip(t).expect("round trip");
+        }
+    }
+    assert_eq!(k.machine().oracle().violations(), 0);
+    let mgr = k.mgr_stats();
+    println!(
+        "{label:<28} 200 syscalls: {:>6} cycles/syscall, {:>5} consistency faults, {:>5} flushes, {:>5} purges",
+        k.machine().cycles() / 200,
+        k.os_stats().consistency_faults,
+        mgr.total_flushes(),
+        mgr.total_purges(),
+    );
+}
+
+fn main() {
+    println!("4 client tasks x 50 Unix-server syscalls each, steady state:\n");
+    run(
+        "old (fixed, unaligned)",
+        SystemKind::Cmu(Configuration::B), // lazy but unaligned channels
+    );
+    run("new (VM-chosen, aligned)", SystemKind::Cmu(Configuration::F));
+    println!("\nThe aligned channels never fault after warm-up: the shared page lives in");
+    println!("the same cache page in both address spaces, so the physically tagged cache");
+    println!("resolves every access without software involvement.");
+}

@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+//! # vic — consistency management for virtually indexed caches
+//!
+//! Umbrella crate for the reproduction of Wheeler & Bershad, *"Consistency
+//! Management for Virtually Indexed Caches"* (ASPLOS 1992). It re-exports
+//! the workspace crates so examples and integration tests can use a single
+//! dependency:
+//!
+//! * [`vic_core`] (as `core`) — the consistency model (Table 2), per-page state
+//!   (Table 3), the `CacheControl` algorithm (Figure 1), policy
+//!   configurations A–F, and the Table 5 baseline managers;
+//! * [`vic_machine`] (as `machine`) — the simulated HP 9000/700-class memory
+//!   system (virtually indexed physically tagged write-back caches, TLB,
+//!   DMA, cycle accounting, staleness oracle);
+//! * [`vic_os`] (as `os`) — the Mach-like kernel (address spaces, pmap, fault
+//!   handling, IPC page transfer, buffer-cache file system);
+//! * [`vic_workloads`] (as `workloads`) — the paper's benchmark drivers
+//!   (afs-bench, latex-paper, kernel-build, alias microbenchmark).
+
+pub use vic_core as core;
+pub use vic_machine as machine;
+pub use vic_os as os;
+pub use vic_workloads as workloads;
