@@ -1,0 +1,20 @@
+#!/bin/sh
+# Offline CI: build, test, lint. No network access required — the
+# workspace has no registry dependencies.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "=== cargo build --release ==="
+cargo build --workspace --release --offline
+
+echo "=== cargo test ==="
+cargo test --workspace --release --offline -q
+
+echo "=== cargo clippy -D warnings ==="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "=== bench smoke (BENCH_FAST) ==="
+BENCH_FAST=1 cargo bench -p vic-bench --offline -q >/dev/null
+
+echo "CI OK"

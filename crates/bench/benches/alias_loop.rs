@@ -1,33 +1,23 @@
-//! Criterion bench for the §2.5 alias microbenchmark: the same write loop
+//! Wall-clock bench for the §2.5 alias microbenchmark: the same write loop
 //! through aligned versus unaligned virtual addresses (wall-clock of the
 //! simulation; the *simulated* cycle ratio is reported by the `microbench`
 //! binary).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use vic_bench::harness::bench;
 use vic_core::policy::Configuration;
 use vic_os::SystemKind;
 use vic_workloads::{run_on, AliasLoop, MachineSize};
 
-fn bench_alias(c: &mut Criterion) {
+fn main() {
     let sys = SystemKind::Cmu(Configuration::F);
-    let mut g = c.benchmark_group("alias_loop");
-    g.sample_size(20);
-    g.bench_function("aligned", |b| {
-        b.iter(|| {
-            let s = run_on(sys, MachineSize::Small, &AliasLoop::quick(true));
-            assert_eq!(s.oracle_violations, 0);
-            s.cycles
-        })
+    bench("alias_loop", "aligned", || {
+        let s = run_on(sys, MachineSize::Small, &AliasLoop::quick(true));
+        assert_eq!(s.oracle_violations, 0);
+        s.cycles
     });
-    g.bench_function("unaligned", |b| {
-        b.iter(|| {
-            let s = run_on(sys, MachineSize::Small, &AliasLoop::quick(false));
-            assert_eq!(s.oracle_violations, 0);
-            s.cycles
-        })
+    bench("alias_loop", "unaligned", || {
+        let s = run_on(sys, MachineSize::Small, &AliasLoop::quick(false));
+        assert_eq!(s.oracle_violations, 0);
+        s.cycles
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_alias);
-criterion_main!(benches);

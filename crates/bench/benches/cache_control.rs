@@ -1,25 +1,24 @@
-//! Criterion bench of the pure `CacheControl` algorithm (Figure 1) against
-//! a recording hardware double: the software bookkeeping cost per
+//! Wall-clock bench of the pure `CacheControl` algorithm (Figure 1)
+//! against a recording hardware double: the software bookkeeping cost per
 //! invocation, independent of actual cache traffic. The paper reports this
 //! overhead is "low" — a small fraction of total mapping overhead.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use vic_bench::harness::bench;
 use vic_core::cache_control::{cache_control, CcOp, RecordingHw};
 use vic_core::manager::AccessHints;
 use vic_core::page_state::PhysPageInfo;
 use vic_core::types::{CacheGeometry, Mapping, PFrame, Prot, SpaceId, VPage};
 
-fn bench_cache_control(c: &mut Criterion) {
+fn main() {
     let geom = CacheGeometry::new(64, 32);
-    let mut g = c.benchmark_group("cache_control");
 
     // Steady-state read fault on a page with 2 mappings.
-    g.bench_function("read_two_mappings", |b| {
+    {
         let mut hw = RecordingHw::new(geom);
         let mut info = PhysPageInfo::new(geom);
         info.add_mapping(Mapping::new(SpaceId(1), VPage(0)), Prot::READ_WRITE);
         info.add_mapping(Mapping::new(SpaceId(2), VPage(64)), Prot::READ_WRITE);
-        b.iter(|| {
+        bench("cache_control", "read_two_mappings", || {
             cache_control(
                 &mut hw,
                 &mut info,
@@ -28,18 +27,18 @@ fn bench_cache_control(c: &mut Criterion) {
                 Some(VPage(0)),
                 AccessHints::default(),
             )
-        })
-    });
+        });
+    }
 
     // The expensive ping-pong: alternating writes through unaligned
     // aliases (flush + purge + full reprotection each call).
-    g.bench_function("write_pingpong_unaligned", |b| {
+    {
         let mut hw = RecordingHw::new(geom);
         let mut info = PhysPageInfo::new(geom);
         info.add_mapping(Mapping::new(SpaceId(1), VPage(0)), Prot::READ_WRITE);
         info.add_mapping(Mapping::new(SpaceId(2), VPage(1)), Prot::READ_WRITE);
         let mut side = false;
-        b.iter(|| {
+        bench("cache_control", "write_pingpong_unaligned", || {
             side = !side;
             let vp = if side { VPage(0) } else { VPage(1) };
             cache_control(
@@ -50,11 +49,11 @@ fn bench_cache_control(c: &mut Criterion) {
                 Some(vp),
                 AccessHints::default(),
             )
-        })
-    });
+        });
+    }
 
     // DMA preparation on a page with 8 mappings (worst-case reprotection).
-    g.bench_function("dma_write_eight_mappings", |b| {
+    {
         let mut hw = RecordingHw::new(geom);
         let mut info = PhysPageInfo::new(geom);
         for i in 0..8 {
@@ -63,7 +62,7 @@ fn bench_cache_control(c: &mut Criterion) {
                 Prot::READ_WRITE,
             );
         }
-        b.iter(|| {
+        bench("cache_control", "dma_write_eight_mappings", || {
             cache_control(
                 &mut hw,
                 &mut info,
@@ -72,11 +71,6 @@ fn bench_cache_control(c: &mut Criterion) {
                 None,
                 AccessHints::default(),
             )
-        })
-    });
-
-    g.finish();
+        });
+    }
 }
-
-criterion_group!(benches, bench_cache_control);
-criterion_main!(benches);

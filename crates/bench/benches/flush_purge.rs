@@ -1,9 +1,9 @@
-//! Criterion bench of the simulator's cache-management primitives: page
+//! Wall-clock bench of the simulator's cache-management primitives: page
 //! flush/purge with the page absent, present-clean, and present-dirty —
 //! the cost asymmetry (§2.3: "up to seven times slower when the data is in
 //! the cache") that motivates delaying operations.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use vic_bench::harness::bench_with_setup;
 use vic_core::types::{CachePage, PFrame, Prot, SpaceId, VAddr};
 use vic_machine::{Machine, MachineConfig};
 
@@ -23,36 +23,31 @@ fn machine_with_page(dirty: bool, fill: bool) -> Machine {
     m
 }
 
-fn bench_flush_purge(c: &mut Criterion) {
-    let mut g = c.benchmark_group("flush_purge");
+fn main() {
     for (name, dirty, fill) in [
         ("flush/absent", false, false),
         ("flush/present_clean", false, true),
         ("flush/present_dirty", true, true),
     ] {
-        g.bench_function(name, |b| {
-            b.iter_with_setup(
-                || machine_with_page(dirty, fill),
-                |mut m| {
-                    m.flush_dcache_page(CachePage(0), PFrame(17));
-                    m // return it: the 32 MB drop happens outside the timing
-                },
-            )
-        });
+        bench_with_setup(
+            "flush_purge",
+            name,
+            || machine_with_page(dirty, fill),
+            |mut m| {
+                m.flush_dcache_page(CachePage(0), PFrame(17));
+                m // return it: the 32 MB drop happens outside the timing
+            },
+        );
     }
     for (name, fill) in [("purge/absent", false), ("purge/present", true)] {
-        g.bench_function(name, |b| {
-            b.iter_with_setup(
-                || machine_with_page(true, fill),
-                |mut m| {
-                    m.purge_dcache_page(CachePage(0), PFrame(17));
-                    m
-                },
-            )
-        });
+        bench_with_setup(
+            "flush_purge",
+            name,
+            || machine_with_page(true, fill),
+            |mut m| {
+                m.purge_dcache_page(CachePage(0), PFrame(17));
+                m
+            },
+        );
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_flush_purge);
-criterion_main!(benches);

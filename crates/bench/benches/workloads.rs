@@ -1,15 +1,13 @@
-//! Criterion bench of end-to-end workload simulation throughput under the
+//! Wall-clock bench of end-to-end workload simulation throughput under the
 //! old (A) and new (F) kernels — the wall-clock companion to the simulated
 //! Table 1.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use vic_bench::harness::bench;
 use vic_core::policy::Configuration;
 use vic_os::SystemKind;
 use vic_workloads::{run_on, AfsBench, KernelBuild, LatexBench, MachineSize, Workload};
 
-fn bench_workloads(c: &mut Criterion) {
-    let mut g = c.benchmark_group("workloads");
-    g.sample_size(10);
+fn main() {
     let cases: Vec<(&str, Box<dyn Workload>)> = vec![
         ("afs-bench", Box::new(AfsBench::quick())),
         ("latex-paper", Box::new(LatexBench::quick())),
@@ -17,17 +15,11 @@ fn bench_workloads(c: &mut Criterion) {
     ];
     for (name, w) in &cases {
         for (cfg_name, cfg) in [("old", Configuration::A), ("new", Configuration::F)] {
-            g.bench_function(format!("{name}/{cfg_name}"), |b| {
-                b.iter(|| {
-                    let s = run_on(SystemKind::Cmu(cfg), MachineSize::Small, w.as_ref());
-                    assert_eq!(s.oracle_violations, 0);
-                    s.cycles
-                })
+            bench("workloads", &format!("{name}/{cfg_name}"), || {
+                let s = run_on(SystemKind::Cmu(cfg), MachineSize::Small, w.as_ref());
+                assert_eq!(s.oracle_violations, 0);
+                s.cycles
             });
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_workloads);
-criterion_main!(benches);

@@ -5,21 +5,33 @@
 //! cargo run --release -p vic-bench --bin run -- kernel-build F
 //! cargo run --release -p vic-bench --bin run -- afs-bench utah --quick
 //! cargo run --release -p vic-bench --bin run -- alias-unaligned F --colored --write-through
+//! cargo run --release -p vic-bench --bin run -- alias-unaligned F --quick --trace trace.jsonl
+//! cargo run --release -p vic-bench --bin run -- fork-bench chaos-flushes --quick --trace-summary
 //! ```
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use vic_core::managers::DropClass;
 use vic_core::policy::Configuration;
 use vic_machine::WritePolicy;
 use vic_os::{KernelConfig, SystemKind};
+use vic_trace::{ConsistencyAuditor, FanoutSink, HistogramSink, JsonLinesSink, Tracer};
 use vic_workloads::{
-    run_with_config, AfsBench, AliasLoop, ForkBench, KernelBuild, LatexBench, Workload,
+    run_traced, AfsBench, AliasLoop, ForkBench, KernelBuild, LatexBench, Workload,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage: run <workload> <system> [--quick] [--colored] [--write-through] [--fast-purge]\n\
+                                        [--trace <file>] [--trace-summary]\n\
          \n\
          workloads: afs-bench | latex-paper | kernel-build | fork-bench | alias-aligned | alias-unaligned\n\
-         systems:   A B C D E F (CMU configurations) | utah | apollo | tut | sun"
+         systems:   A B C D E F (CMU configurations) | utah | apollo | tut | sun\n\
+                    null | chaos-flushes | chaos-d-purges | chaos-i-purges | chaos-flush-to-purge (broken, for the auditor)\n\
+         \n\
+         --trace <file>   write every machine/OS/algorithm event as JSON lines\n\
+         --trace-summary  print per-event-class cost histograms and the consistency audit"
     );
     std::process::exit(2);
 }
@@ -36,6 +48,11 @@ fn parse_system(s: &str) -> Option<SystemKind> {
         "apollo" => SystemKind::Apollo,
         "tut" => SystemKind::Tut,
         "sun" => SystemKind::Sun,
+        "null" => SystemKind::Null,
+        "chaos-flushes" => SystemKind::Chaos(DropClass::Flushes),
+        "chaos-d-purges" => SystemKind::Chaos(DropClass::DataPurges),
+        "chaos-i-purges" => SystemKind::Chaos(DropClass::InsnPurges),
+        "chaos-flush-to-purge" => SystemKind::Chaos(DropClass::FlushesBecomePurges),
         _ => return None,
     })
 }
@@ -60,12 +77,25 @@ fn parse_workload(s: &str, quick: bool) -> Option<Box<dyn Workload>> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let flags: Vec<&str> = args.iter().filter(|a| a.starts_with("--")).map(String::as_str).collect();
-    let pos: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let mut flags: Vec<&str> = Vec::new();
+    let mut pos: Vec<&str> = Vec::new();
+    let mut trace_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--trace" {
+            let Some(p) = it.next() else { usage() };
+            trace_path = Some(p.clone());
+        } else if a.starts_with("--") {
+            flags.push(a.as_str());
+        } else {
+            pos.push(a.as_str());
+        }
+    }
     let (Some(wname), Some(sname)) = (pos.first(), pos.get(1)) else {
         usage()
     };
     let quick = flags.contains(&"--quick");
+    let summary = flags.contains(&"--trace-summary");
     let Some(system) = parse_system(sname) else { usage() };
     let Some(workload) = parse_workload(wname, quick) else { usage() };
 
@@ -80,7 +110,30 @@ fn main() {
         cfg.machine.costs = cfg.machine.costs.fast_purge();
     }
 
-    let s = run_with_config(cfg, workload.as_ref());
+    // Assemble the trace pipeline: a JSON-lines file and/or an in-process
+    // histogram aggregator, always joined by the consistency auditor when
+    // any tracing is requested.
+    let tracing = trace_path.is_some() || summary;
+    let hist = Rc::new(RefCell::new(HistogramSink::new()));
+    let auditor = Rc::new(RefCell::new(ConsistencyAuditor::new()));
+    let tracer = if tracing {
+        let mut fan = FanoutSink::new().with(auditor.clone());
+        if summary {
+            fan = fan.with(hist.clone());
+        }
+        if let Some(path) = &trace_path {
+            let json = JsonLinesSink::create(path).unwrap_or_else(|e| {
+                eprintln!("run: cannot create {path}: {e}");
+                std::process::exit(2);
+            });
+            fan = fan.with(Rc::new(RefCell::new(json)));
+        }
+        Tracer::new(fan)
+    } else {
+        Tracer::off()
+    };
+
+    let s = run_traced(cfg, workload.as_ref(), tracer);
     println!("workload:  {}", s.workload);
     println!("system:    {}", s.system);
     println!("elapsed:   {:.4} s  ({} cycles @ 50 MHz)", s.seconds, s.cycles);
@@ -118,6 +171,41 @@ fn main() {
         s.os.zero_fills, s.os.page_copies, s.os.ipc_transfers, s.os.d2i_copies, s.os.tasks_created
     );
     println!();
+    if summary {
+        let h = hist.borrow();
+        println!("trace summary (cycle cost per event class):");
+        println!(
+            "  {:<14} {:>9} {:>12} {:>8} {:>8}  distribution (1,2,4,... buckets)",
+            "class", "events", "cycles", "avg", "p95"
+        );
+        for (name, count, total, avg, p95, sketch) in h.rows() {
+            println!("  {name:<14} {count:>9} {total:>12} {avg:>8.1} {p95:>8}  {sketch}");
+        }
+        if h.uncosted() > 0 {
+            println!("  ({} events carry no cycle cost)", h.uncosted());
+        }
+        println!();
+    }
+    if tracing {
+        let a = auditor.borrow();
+        if a.is_clean() {
+            println!(
+                "audit:     CLEAN — {} state transitions matched the four-state model",
+                a.transitions_checked()
+            );
+        } else {
+            println!(
+                "audit:     {} DIVERGENCES from the four-state model in {} transitions",
+                a.divergence_count(),
+                a.transitions_checked()
+            );
+            print!("{}", a.report());
+        }
+        if let Some(path) = &trace_path {
+            println!("trace:     written to {path}");
+        }
+        println!();
+    }
     if s.oracle_violations == 0 {
         println!("oracle:    CLEAN — no stale data ever reached the CPU or a device");
     } else {

@@ -11,9 +11,10 @@
 //! | Table 5 (system comparison) | `table5` | [`experiments::table5`] |
 //! | §2.5 alias microbenchmark | `microbench` | [`experiments::microbench`] |
 //!
-//! The Criterion benches (`benches/`) measure the simulator and algorithm
-//! primitives themselves (flush/purge costs, `CacheControl` overhead, the
-//! alias loop, and end-to-end workload throughput).
+//! The bench targets (`benches/`, plain `main()`s over the internal
+//! [`harness`]) measure the simulator and algorithm primitives themselves
+//! (flush/purge costs, `CacheControl` overhead, the alias loop, and
+//! end-to-end workload throughput).
 //!
 //! Absolute simulated seconds are not expected to match the paper's HP 720
 //! wall-clock numbers (the substrate is a simulator); the *shape* — who
@@ -21,6 +22,7 @@
 //! `tests/experiments.rs` at the workspace root.
 
 pub mod experiments;
+pub mod harness;
 
 pub use experiments::{
     microbench, table1, table2_report, table4, table5, MicrobenchResult, Table1Row, Table4Cell,

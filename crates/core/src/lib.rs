@@ -68,6 +68,7 @@ pub mod manager;
 pub mod managers;
 pub mod page_state;
 pub mod policy;
+pub mod rng;
 pub mod spec;
 pub mod state;
 pub mod types;
@@ -75,6 +76,7 @@ pub mod types;
 pub use manager::{AccessHints, ConsistencyManager, DmaDir, MgrStats};
 pub use page_state::{CachePageSet, CacheSideState, PhysPageInfo};
 pub use policy::{Configuration, PolicyConfig};
+pub use rng::Rng64;
 pub use state::{transition, CacheAction, LineState, ModelOp, Role, Transition};
 pub use types::{
     Access, CacheGeometry, CacheKind, CachePage, Mapping, PFrame, Prot, SpaceId, VAddr, VPage,

@@ -14,6 +14,7 @@
 use std::fmt;
 
 use crate::cache_control::ConsistencyHw;
+use crate::page_state::PhysPageInfo;
 use crate::types::{Access, Mapping, PFrame, Prot};
 
 /// Direction of a DMA transfer, named from the device's point of view as in
@@ -284,6 +285,15 @@ pub trait ConsistencyManager {
     /// `frame` was returned to the free page list; its contents are no
     /// longer useful.
     fn on_page_freed(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame);
+
+    /// The per-cache-page consistency state the manager tracks for
+    /// `frame`, if it tracks any (managers without per-page state — e.g.
+    /// the null manager — return `None`). Observability hooks use this to
+    /// snapshot-diff the state around each dispatched event; it must be
+    /// side-effect free.
+    fn observed_page(&self, _frame: PFrame) -> Option<&PhysPageInfo> {
+        None
+    }
 
     /// Operation statistics.
     fn stats(&self) -> &MgrStats;

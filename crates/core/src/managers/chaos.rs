@@ -181,6 +181,13 @@ impl ConsistencyManager for ChaosManager {
         self.inner.on_page_freed(&mut shim, frame);
     }
 
+    fn observed_page(&self, frame: PFrame) -> Option<&crate::page_state::PhysPageInfo> {
+        // Delegate so tracing still sees the (now wrong) bookkeeping: the
+        // inner manager's state marches on while the hardware operations
+        // were dropped — exactly the divergence an auditor should flag.
+        self.inner.observed_page(frame)
+    }
+
     fn stats(&self) -> &MgrStats {
         self.inner.stats()
     }

@@ -237,6 +237,10 @@ impl ConsistencyManager for CmuManager {
         }
     }
 
+    fn observed_page(&self, frame: PFrame) -> Option<&PhysPageInfo> {
+        self.pages.get(frame.0 as usize)
+    }
+
     fn stats(&self) -> &MgrStats {
         &self.stats
     }

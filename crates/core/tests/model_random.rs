@@ -1,0 +1,236 @@
+//! Randomized tests of the pure model: the Table 3 data structures and the
+//! Figure 1 algorithm under seeded random event sequences.
+//!
+//! These use the workspace's own deterministic [`Rng64`] (no external
+//! property-testing dependency): every run replays the same sequences, and
+//! a failure message includes the case seed so it can be re-run in
+//! isolation.
+
+use vic_core::cache_control::{cache_control, effective_prot, CcOp, ConsistencyHw, RecordingHw};
+use vic_core::manager::AccessHints;
+use vic_core::page_state::{CachePageSet, PhysPageInfo};
+use vic_core::state::LineState;
+use vic_core::types::{
+    Access, CacheGeometry, CacheKind, CachePage, Mapping, PFrame, Prot, SpaceId, VPage,
+};
+use vic_core::Rng64;
+
+// ---------------------------------------------------------------------
+// CachePageSet against a reference HashSet model.
+
+#[test]
+fn cache_page_set_matches_hashset() {
+    for case in 0..200u64 {
+        let mut rng = Rng64::seed_from_u64(0x5e7_0000 + case);
+        let mut s = CachePageSet::new(16);
+        let mut model = std::collections::HashSet::new();
+        let steps = rng.gen_u64(0, 63);
+        for _ in 0..steps {
+            match rng.gen_u64(0, 4) {
+                0 | 1 => {
+                    let i = rng.gen_u32(0, 15);
+                    s.insert(CachePage(i));
+                    model.insert(i);
+                }
+                2 | 3 => {
+                    let i = rng.gen_u32(0, 15);
+                    s.remove(CachePage(i));
+                    model.remove(&i);
+                }
+                _ => {
+                    s.clear();
+                    model.clear();
+                }
+            }
+            assert_eq!(s.count() as usize, model.len(), "case {case}");
+            assert_eq!(s.is_empty(), model.is_empty(), "case {case}");
+            for i in 0..16 {
+                assert_eq!(s.contains(CachePage(i)), model.contains(&i), "case {case}");
+            }
+            let listed: Vec<u32> = s.iter().map(|c| c.0).collect();
+            let mut expect: Vec<u32> = model.iter().copied().collect();
+            expect.sort_unstable();
+            assert_eq!(listed, expect, "case {case}");
+        }
+    }
+}
+
+#[test]
+fn union_with_is_set_union() {
+    let mut rng = Rng64::seed_from_u64(0x0B17);
+    let mk = |bits: u64| {
+        let mut s = CachePageSet::new(16);
+        for i in 0..16 {
+            if bits & (1 << i) != 0 {
+                s.insert(CachePage(i));
+            }
+        }
+        s
+    };
+    for _ in 0..500 {
+        let a = rng.gen_u64(0, (1 << 16) - 1);
+        let b = rng.gen_u64(0, (1 << 16) - 1);
+        let mut u = mk(a);
+        u.union_with(&mk(b));
+        for i in 0..16 {
+            assert_eq!(
+                u.contains(CachePage(i)),
+                (a | b) & (1 << i) != 0,
+                "a={a:#x} b={b:#x} bit {i}"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// cache_control under random event sequences: invariants and protection
+// safety.
+
+/// The four candidate mappings: two pairs of aligned pages plus two
+/// unaligned ones (geometry 4 x 2).
+fn mapping_of(i: usize) -> Mapping {
+    let vps = [0u64, 1, 4, 6];
+    Mapping::new(SpaceId(i as u32), VPage(vps[i]))
+}
+
+/// After every `cache_control` invocation: the page invariant holds, and
+/// no installed protection permits reading a stale or empty cache page or
+/// writing a merely-present one.
+#[test]
+fn cache_control_preserves_invariants() {
+    for case in 0..256u64 {
+        let mut rng = Rng64::seed_from_u64(0xCC_0000 + case);
+        let geom = CacheGeometry::new(4, 2);
+        let mut hw = RecordingHw::new(geom);
+        let mut info = PhysPageInfo::new(geom);
+        let frame = PFrame(9);
+        let mut live = [false; 4];
+
+        let steps = rng.gen_u64(1, 39);
+        for _ in 0..steps {
+            match rng.gen_u64(0, 3) {
+                0 => {
+                    // Access through a random live mapping.
+                    let i = rng.gen_index(4);
+                    if !live[i] {
+                        continue;
+                    }
+                    let m = mapping_of(i);
+                    let op = match rng.gen_u64(0, 2) {
+                        0 => CcOp::CpuRead,
+                        1 => CcOp::CpuWrite,
+                        _ => CcOp::InsnFetch,
+                    };
+                    let hints = AccessHints {
+                        will_overwrite: rng.gen_bool(0.5),
+                        need_data: true,
+                    };
+                    cache_control(&mut hw, &mut info, frame, op, Some(m.vpage), hints);
+                }
+                1 => {
+                    let op = if rng.gen_bool(0.5) {
+                        CcOp::DmaWrite
+                    } else {
+                        CcOp::DmaRead
+                    };
+                    cache_control(&mut hw, &mut info, frame, op, None, AccessHints::default());
+                }
+                2 => {
+                    let i = rng.gen_index(4);
+                    let m = mapping_of(i);
+                    info.add_mapping(m, Prot::ALL);
+                    live[i] = true;
+                    let p = effective_prot(&info, geom, m.vpage, Prot::ALL);
+                    hw.set_protection(m, p);
+                }
+                _ => {
+                    let i = rng.gen_index(4);
+                    info.remove_mapping(mapping_of(i));
+                    live[i] = false;
+                }
+            }
+
+            assert_eq!(info.check_invariant(), Ok(()), "case {case}");
+
+            // Protection safety: whatever is installed never lets the CPU
+            // observe an inconsistency.
+            for (i, &alive) in live.iter().enumerate() {
+                if !alive {
+                    continue;
+                }
+                let m = mapping_of(i);
+                let p = hw.prot_of(m);
+                let d = info.cache_page_state(
+                    CacheKind::Data,
+                    geom.cache_page(CacheKind::Data, m.vpage),
+                );
+                let ins = info.cache_page_state(
+                    CacheKind::Insn,
+                    geom.cache_page(CacheKind::Insn, m.vpage),
+                );
+                if p.allows(Access::Read) {
+                    assert!(
+                        matches!(d, LineState::Present | LineState::Dirty),
+                        "case {case}: read allowed on {d:?} data page"
+                    );
+                }
+                if p.allows(Access::Write) {
+                    assert_eq!(
+                        d,
+                        LineState::Dirty,
+                        "case {case}: write allowed on non-dirty page"
+                    );
+                }
+                if p.allows(Access::Execute) {
+                    assert_eq!(
+                        ins,
+                        LineState::Present,
+                        "case {case}: execute allowed on {ins:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `effective_prot` never exceeds the logical protection, whatever the
+/// page's cache state.
+#[test]
+fn effective_prot_capped_by_logical() {
+    let geom = CacheGeometry::new(4, 2);
+    for bits in 0..32u64 {
+        let mapped = bits & 1 != 0;
+        let stale = bits & 2 != 0;
+        let dirty = bits & 4 != 0;
+        for vp in 0..8u64 {
+            let mut info = PhysPageInfo::new(geom);
+            let c = geom.cache_page(CacheKind::Data, VPage(vp));
+            if mapped && !stale {
+                info.data.mapped.insert(c);
+                info.cache_dirty = dirty;
+            } else if stale {
+                info.data.stale.insert(c);
+            }
+            for logical in [Prot::NONE, Prot::READ, Prot::READ_WRITE, Prot::ALL] {
+                let p = effective_prot(&info, geom, VPage(vp), logical);
+                for a in [Access::Read, Access::Write, Access::Execute] {
+                    assert!(
+                        !p.allows(a) || logical.allows(a),
+                        "exceeded logical (bits={bits}, vp={vp})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The exhaustive checker at greater depth than the unit tests run it
+// (slow; still bounded).
+
+#[test]
+fn model_correct_to_depth_6() {
+    if let Err((seq, msg)) = vic_core::spec::check_correctness(6) {
+        panic!("stale data escaped at depth 6: {msg}\nsequence: {seq:?}");
+    }
+}

@@ -7,9 +7,11 @@ use crate::mem::PhysMemory;
 use crate::mmu::{Mmu, Pte, Translation};
 use crate::oracle::Oracle;
 use crate::stats::MachineStats;
+use vic_core::manager::DmaDir;
 use vic_core::types::{
     Access, CacheKind, CachePage, Mapping, PFrame, Prot, SpaceId, VAddr,
 };
+use vic_trace::{TraceEvent, Tracer};
 
 /// A memory-access fault delivered to the operating system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +76,7 @@ pub struct Machine {
     cycles: u64,
     stats: MachineStats,
     oracle: Oracle,
+    tracer: Tracer,
 }
 
 impl Machine {
@@ -102,6 +105,7 @@ impl Machine {
             cycles: 0,
             stats: MachineStats::default(),
             oracle: Oracle::new(cfg.mem_bytes),
+            tracer: Tracer::off(),
             cfg,
         }
     }
@@ -124,6 +128,17 @@ impl Machine {
     /// Hardware event counters.
     pub fn stats(&self) -> &MachineStats {
         &self.stats
+    }
+
+    /// Connect a trace sink; machine events flow to it from now on.
+    /// Tracing changes no statistic and no cycle count.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The tracer handle (cheap to clone; clones share the sink).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The staleness oracle.
@@ -149,12 +164,32 @@ impl Machine {
         self.stats.reset();
     }
 
+    /// Emit a write-back event for an eviction that occurred while
+    /// filling `va` (the victim line shares the fill's cache page; its own
+    /// frame is not tracked by the hardware, so the *filling* frame is
+    /// reported for context).
+    fn emit_writeback(&mut self, va: VAddr, filling: PFrame) {
+        if self.tracer.is_enabled() {
+            let cp = self.cfg.cache_page(CacheKind::Data, self.cfg.vpage(va));
+            self.tracer
+                .emit(self.cycles, TraceEvent::WriteBack { cache_page: cp, frame: filling });
+        }
+    }
+
     fn translate(&mut self, m: Mapping, access: Access) -> Result<Pte, Fault> {
         let pte = match self.mmu.translate(m) {
             Translation::TlbHit(pte) => pte,
             Translation::TlbMiss(pte) => {
                 self.cycles += self.cfg.costs.tlb_miss;
                 self.stats.tlb_misses += 1;
+                self.tracer.emit(
+                    self.cycles,
+                    TraceEvent::TlbFill {
+                        space: m.space,
+                        vpage: m.vpage,
+                        cost: self.cfg.costs.tlb_miss,
+                    },
+                );
                 pte
             }
             Translation::Unmapped => {
@@ -183,6 +218,8 @@ impl Machine {
         let m = Mapping::new(space, self.cfg.vpage(va));
         let pte = self.translate(m, Access::Read)?;
         let pa = self.cfg.paddr(pte.frame, self.cfg.offset(va));
+        let t0 = self.cycles;
+        let mut hit = true;
         let mut buf = [0u8; 4];
         if pte.uncached {
             self.mem.read(pa, &mut buf);
@@ -197,15 +234,26 @@ impl Machine {
                 AccessResult::Miss { wrote_back } => {
                     self.cycles += self.cfg.costs.cache_hit + self.cfg.costs.miss_fill;
                     self.stats.d_misses += 1;
+                    hit = false;
                     if wrote_back {
                         self.cycles += self.cfg.costs.writeback;
                         self.stats.writebacks += 1;
+                        self.emit_writeback(va, pte.frame);
                     }
                 }
             }
         }
         self.stats.loads += 1;
         self.oracle.check_read(pa, &buf, "CPU load");
+        self.tracer.emit(
+            self.cycles,
+            TraceEvent::Load {
+                space,
+                vaddr: va,
+                hit,
+                cost: self.cycles - t0,
+            },
+        );
         Ok(u32::from_le_bytes(buf))
     }
 
@@ -220,6 +268,8 @@ impl Machine {
         let pte = self.translate(m, Access::Write)?;
         let pa = self.cfg.paddr(pte.frame, self.cfg.offset(va));
         let bytes = value.to_le_bytes();
+        let t0 = self.cycles;
+        let mut hit = true;
         if pte.uncached {
             self.mem.write(pa, &bytes);
             self.cycles += self.cfg.costs.uncached_access;
@@ -235,9 +285,11 @@ impl Machine {
                         AccessResult::Miss { wrote_back } => {
                             self.cycles += self.cfg.costs.cache_hit + self.cfg.costs.miss_fill;
                             self.stats.d_misses += 1;
+                            hit = false;
                             if wrote_back {
                                 self.cycles += self.cfg.costs.writeback;
                                 self.stats.writebacks += 1;
+                                self.emit_writeback(va, pte.frame);
                             }
                         }
                     }
@@ -247,7 +299,10 @@ impl Machine {
                     // the line.
                     match self.dcache.write_through(va, pa, &mut self.mem, &bytes) {
                         AccessResult::Hit => self.stats.d_hits += 1,
-                        AccessResult::Miss { .. } => self.stats.d_misses += 1,
+                        AccessResult::Miss { .. } => {
+                            self.stats.d_misses += 1;
+                            hit = false;
+                        }
                     }
                     self.cycles += self.cfg.costs.cache_hit + self.cfg.costs.writeback;
                 }
@@ -255,6 +310,15 @@ impl Machine {
         }
         self.stats.stores += 1;
         self.oracle.record_write(pa, &bytes);
+        self.tracer.emit(
+            self.cycles,
+            TraceEvent::Store {
+                space,
+                vaddr: va,
+                hit,
+                cost: self.cycles - t0,
+            },
+        );
         Ok(())
     }
 
@@ -270,6 +334,8 @@ impl Machine {
         let m = Mapping::new(space, self.cfg.vpage(va));
         let pte = self.translate(m, Access::Execute)?;
         let pa = self.cfg.paddr(pte.frame, self.cfg.offset(va));
+        let t0 = self.cycles;
+        let mut hit = true;
         let mut buf = [0u8; 4];
         if pte.uncached {
             self.mem.read(pa, &mut buf);
@@ -284,11 +350,21 @@ impl Machine {
                 AccessResult::Miss { .. } => {
                     self.cycles += self.cfg.costs.cache_hit + self.cfg.costs.miss_fill;
                     self.stats.i_misses += 1;
+                    hit = false;
                 }
             }
         }
         self.stats.ifetches += 1;
         self.oracle.check_read(pa, &buf, "instruction fetch");
+        self.tracer.emit(
+            self.cycles,
+            TraceEvent::IFetch {
+                space,
+                vaddr: va,
+                hit,
+                cost: self.cycles - t0,
+            },
+        );
         Ok(u32::from_le_bytes(buf))
     }
 
@@ -304,6 +380,15 @@ impl Machine {
         self.cycles += cycles;
         self.stats.d_flush_pages.record(cycles);
         self.stats.flush_writebacks += out.written_back;
+        self.tracer.emit(
+            self.cycles,
+            TraceEvent::FlushPage {
+                cache_page: cp,
+                frame,
+                written_back: out.written_back as u32,
+                cost: cycles,
+            },
+        );
     }
 
     /// Purge (invalidate without write-back) data cache page `cp`'s lines
@@ -314,6 +399,15 @@ impl Machine {
         let cycles = out.absent * c.line_op_absent + out.present * c.line_op_present;
         self.cycles += cycles;
         self.stats.d_purge_pages.record(cycles);
+        self.tracer.emit(
+            self.cycles,
+            TraceEvent::PurgePage {
+                kind: CacheKind::Data,
+                cache_page: cp,
+                frame,
+                cost: cycles,
+            },
+        );
     }
 
     /// Purge instruction cache page `cp`'s lines holding `frame`. Constant
@@ -323,6 +417,15 @@ impl Machine {
         let cycles = self.cfg.costs.icache_purge_page;
         self.cycles += cycles;
         self.stats.i_purge_pages.record(cycles);
+        self.tracer.emit(
+            self.cycles,
+            TraceEvent::PurgePage {
+                kind: CacheKind::Insn,
+                cache_page: cp,
+                frame,
+                cost: cycles,
+            },
+        );
     }
 
     /// A device writes a full page into memory (e.g. a disk read). The
@@ -337,6 +440,14 @@ impl Machine {
         self.mem.write(pa, data);
         self.oracle.record_write(pa, data);
         self.stats.dma_writes += 1;
+        self.tracer.emit(
+            self.cycles,
+            TraceEvent::DmaPage {
+                dir: DmaDir::Write,
+                frame,
+                cost: 0,
+            },
+        );
     }
 
     /// A device reads a full page from memory (e.g. a disk write). The
@@ -351,6 +462,14 @@ impl Machine {
         self.mem.read(pa, buf);
         self.oracle.check_read(pa, buf, "device (DMA) read");
         self.stats.dma_reads += 1;
+        self.tracer.emit(
+            self.cycles,
+            TraceEvent::DmaPage {
+                dir: DmaDir::Read,
+                frame,
+                cost: 0,
+            },
+        );
     }
 
     /// Enter a mapping with an effective protection.

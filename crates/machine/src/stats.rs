@@ -139,4 +139,67 @@ mod tests {
         a.reset();
         assert_eq!(a, MachineStats::default());
     }
+
+    /// A stat struct with every field distinct and nonzero; merging it into
+    /// a default must reproduce it exactly, so a field forgotten in
+    /// `merge` shows up as an inequality here rather than as silently lost
+    /// counts in a report.
+    fn all_distinct() -> MachineStats {
+        MachineStats {
+            loads: 1,
+            stores: 2,
+            ifetches: 3,
+            d_hits: 4,
+            d_misses: 5,
+            i_hits: 6,
+            i_misses: 7,
+            writebacks: 8,
+            uncached: 9,
+            tlb_misses: 10,
+            d_flush_pages: OpStat {
+                count: 11,
+                cycles: 12,
+            },
+            d_purge_pages: OpStat {
+                count: 13,
+                cycles: 14,
+            },
+            i_purge_pages: OpStat {
+                count: 15,
+                cycles: 16,
+            },
+            flush_writebacks: 17,
+            dma_writes: 18,
+            dma_reads: 19,
+        }
+    }
+
+    #[test]
+    fn merge_covers_every_field() {
+        let src = all_distinct();
+        let mut dst = MachineStats::default();
+        dst.merge(&src);
+        assert_eq!(dst, src, "merge into empty must reproduce the source");
+        dst.merge(&src);
+        assert_eq!(dst.loads, 2 * src.loads);
+        assert_eq!(dst.dma_reads, 2 * src.dma_reads);
+        assert_eq!(dst.i_purge_pages.cycles, 2 * src.i_purge_pages.cycles);
+    }
+
+    #[test]
+    fn op_stat_display() {
+        assert_eq!(OpStat::default().to_string(), "0 ops / 0 cycles (avg 0)");
+        let s = OpStat {
+            count: 3,
+            cycles: 10,
+        };
+        assert_eq!(s.to_string(), "3 ops / 10 cycles (avg 3)");
+        let mut a = OpStat {
+            count: 1,
+            cycles: 7,
+        };
+        a.merge(&s);
+        assert_eq!(a.count, 4);
+        assert_eq!(a.cycles, 17);
+    }
 }

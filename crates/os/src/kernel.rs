@@ -20,6 +20,7 @@ use vic_core::manager::{AccessHints, DmaDir, MgrStats};
 use vic_core::policy::PolicyConfig;
 use vic_core::types::{Access, Mapping, PFrame, Prot, SpaceId, VAddr, VPage};
 use vic_machine::{Fault, Machine, MachineConfig};
+use vic_trace::{TraceEvent, Tracer};
 
 use crate::bufcache::{Buf, BufferCache, Disk};
 use crate::error::OsError;
@@ -250,6 +251,18 @@ impl Kernel {
         &mut self.machine
     }
 
+    /// Connect a trace sink: machine events, kernel events and consistency
+    /// state transitions all flow to it from now on. Tracing changes no
+    /// statistic, no cycle count and no behaviour.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.machine.set_tracer(tracer);
+    }
+
+    /// Emit a kernel-level trace event stamped with the current cycle.
+    fn trace(&self, event: TraceEvent) {
+        self.machine.tracer().emit(self.machine.cycles(), event);
+    }
+
     /// Kernel event counters.
     pub fn os_stats(&self) -> &OsStats {
         &self.stats
@@ -406,6 +419,10 @@ impl Kernel {
         let mut data = vec![0u8; self.page_size() as usize];
         self.machine.dma_read_page(frame, &mut data);
         self.swap.write(block, &data);
+        self.trace(TraceEvent::OsDma {
+            dir: DmaDir::Read,
+            frame,
+        });
         self.pmap.remove(&mut self.machine, Mapping::new(space, vp));
         self.release_frame(frame, Some(vp));
         let e = if space == SERVER_SPACE {
@@ -431,6 +448,10 @@ impl Kernel {
             .before_dma(&mut self.machine, frame, DmaDir::Write, AccessHints::discards());
         let data = self.swap.read(block);
         self.machine.dma_write_page(frame, &data);
+        self.trace(TraceEvent::OsDma {
+            dir: DmaDir::Write,
+            frame,
+        });
         self.swap.release(block);
         self.stats.page_ins += 1;
         Ok(frame)
@@ -523,6 +544,7 @@ impl Kernel {
         self.set_entry_frame(m.space, vp, new);
         self.set_entry_cow(m.space, vp, false);
         self.stats.cow_copies += 1;
+        self.trace(TraceEvent::CowBreak { src: old, dst: new });
         Ok(())
     }
 
@@ -566,6 +588,10 @@ impl Kernel {
             // a consistency fault (pure virtually-indexed-cache overhead).
             self.machine.charge(costs.consistency_fault_service);
             self.stats.consistency_faults += 1;
+            self.trace(TraceEvent::ConsistencyFault {
+                space: m.space,
+                vpage: m.vpage,
+            });
             return self
                 .pmap
                 .consistency_fault(&mut self.machine, m, access, hints);
@@ -575,6 +601,10 @@ impl Kernel {
         // occur under any cache architecture.
         self.machine.charge(costs.mapping_fault_service);
         self.stats.mapping_faults += 1;
+        self.trace(TraceEvent::MappingFault {
+            space: m.space,
+            vpage: m.vpage,
+        });
         let Some(mut entry) = self.task_entry(m.space, m.vpage).copied() else {
             return Err(OsError::BadAddress { mapping: m, access });
         };
@@ -918,6 +948,7 @@ impl Kernel {
             VmEntry::over(frame, Prot::READ_WRITE, EntryKind::Ipc),
         )?;
         self.stats.ipc_transfers += 1;
+        self.trace(TraceEvent::IpcTransfer { frame });
         Ok(VAddr(vp.0 * page_size))
     }
 
@@ -949,6 +980,7 @@ impl Kernel {
         self.pmap.remove(&mut self.machine, m);
         self.kwin.free(wvp);
         self.stats.zero_fills += 1;
+        self.trace(TraceEvent::ZeroFill { frame });
         Ok(())
     }
 
@@ -997,6 +1029,15 @@ impl Kernel {
         self.pmap.remove(&mut self.machine, m);
         self.kwin.free(wvp);
         self.stats.page_copies += 1;
+        if self.machine.tracer().is_enabled() {
+            let src_vp = VPage(src_va.0 / self.page_size());
+            if let Some(src) = self.pmap.frame_of(Mapping::new(src_space, src_vp)) {
+                self.trace(TraceEvent::PageCopy {
+                    src,
+                    dst: dst_frame,
+                });
+            }
+        }
         Ok(())
     }
 
@@ -1016,6 +1057,10 @@ impl Kernel {
         self.machine.dma_read_page(buf.frame, &mut data);
         self.disk.write(buf.block, &data);
         self.stats.buf_writebacks += 1;
+        self.trace(TraceEvent::OsDma {
+            dir: DmaDir::Read,
+            frame: buf.frame,
+        });
     }
 
     /// Get the buffer slot caching `block`, loading it (DMA) on a miss.
@@ -1043,6 +1088,10 @@ impl Kernel {
                 .before_dma(&mut self.machine, frame, DmaDir::Write, AccessHints::discards());
             let data = self.disk.read(block);
             self.machine.dma_write_page(frame, &data);
+            self.trace(TraceEvent::OsDma {
+                dir: DmaDir::Write,
+                frame,
+            });
         }
         let m = Mapping::new(KERNEL_SPACE, self.bufcache.vpage_of(slot));
         self.pmap

@@ -10,8 +10,9 @@ use std::collections::HashMap;
 
 use vic_core::cache_control::ConsistencyHw;
 use vic_core::manager::{AccessHints, ConsistencyManager, DmaDir, MgrStats};
-use vic_core::types::{Access, CacheGeometry, CachePage, Mapping, PFrame, Prot};
+use vic_core::types::{Access, CacheGeometry, CachePage, Mapping, PFrame, Prot, VPage};
 use vic_machine::Machine;
+use vic_trace::{emit_transitions, HwRecorder, MgrOp};
 
 use crate::error::OsError;
 
@@ -100,6 +101,51 @@ impl Pmap {
         self.mappings.len()
     }
 
+    /// Dispatch one manager event, capturing an algorithm-level trace when
+    /// the machine's tracer is live: the manager's per-page consistency
+    /// state is snapshotted around the call and every cache-page state
+    /// transition (with the hardware operations that accompanied it) is
+    /// emitted as a [`vic_trace::TraceEvent::Transition`]. With tracing off
+    /// this is exactly one virtual call — no snapshots, no allocation.
+    fn dispatch(
+        &mut self,
+        machine: &mut Machine,
+        frame: PFrame,
+        op: MgrOp,
+        target: Option<VPage>,
+        hints: AccessHints,
+        f: impl FnOnce(&mut dyn ConsistencyManager, &mut dyn ConsistencyHw),
+    ) {
+        let tracer = machine.tracer().clone();
+        if !tracer.is_enabled() {
+            f(self.mgr.as_mut(), &mut HwAdapter::new(machine));
+            return;
+        }
+        let before = self.mgr.observed_page(frame).cloned();
+        let geom = machine.config().geometry();
+        let log = {
+            let mut adapter = HwAdapter::new(machine);
+            let mut rec = HwRecorder::new(&mut adapter);
+            f(self.mgr.as_mut(), &mut rec);
+            rec.into_log()
+        };
+        if let (Some(before), Some(after)) = (before, self.mgr.observed_page(frame)) {
+            emit_transitions(
+                &tracer,
+                machine.cycles(),
+                frame,
+                geom,
+                op,
+                target,
+                hints.will_overwrite,
+                hints.need_data,
+                &before,
+                after,
+                &log,
+            );
+        }
+    }
+
     /// Enter a mapping with a logical protection. The effective hardware
     /// protection is chosen by the consistency manager and may be weaker;
     /// the first access then faults and is resolved by
@@ -107,14 +153,27 @@ impl Pmap {
     pub fn enter(&mut self, machine: &mut Machine, m: Mapping, frame: PFrame, logical: Prot) {
         self.mappings.insert(m, (frame, logical));
         machine.enter_mapping(m, frame, Prot::NONE);
-        self.mgr
-            .on_map(&mut HwAdapter::new(machine), frame, m, logical);
+        self.dispatch(
+            machine,
+            frame,
+            MgrOp::Map,
+            Some(m.vpage),
+            AccessHints::default(),
+            |mgr, hw| mgr.on_map(hw, frame, m, logical),
+        );
     }
 
     /// Remove a mapping (no-op if absent). Returns the frame it mapped.
     pub fn remove(&mut self, machine: &mut Machine, m: Mapping) -> Option<PFrame> {
         let (frame, _) = self.mappings.remove(&m)?;
-        self.mgr.on_unmap(&mut HwAdapter::new(machine), frame, m);
+        self.dispatch(
+            machine,
+            frame,
+            MgrOp::Unmap,
+            Some(m.vpage),
+            AccessHints::default(),
+            |mgr, hw| mgr.on_unmap(hw, frame, m),
+        );
         machine.remove_mapping(m);
         Some(frame)
     }
@@ -124,8 +183,14 @@ impl Pmap {
         if let Some(e) = self.mappings.get_mut(&m) {
             e.1 = logical;
             let frame = e.0;
-            self.mgr
-                .on_protect(&mut HwAdapter::new(machine), frame, m, logical);
+            self.dispatch(
+                machine,
+                frame,
+                MgrOp::Protect,
+                Some(m.vpage),
+                AccessHints::default(),
+                |mgr, hw| mgr.on_protect(hw, frame, m, logical),
+            );
         }
     }
 
@@ -161,8 +226,14 @@ impl Pmap {
         if !logical.allows(access) {
             return Err(OsError::ProtectionViolation { mapping: m, access });
         }
-        self.mgr
-            .on_access(&mut HwAdapter::new(machine), frame, m, access, hints);
+        let op = match access {
+            Access::Read => MgrOp::Read,
+            Access::Write => MgrOp::Write,
+            Access::Execute => MgrOp::Fetch,
+        };
+        self.dispatch(machine, frame, op, Some(m.vpage), hints, |mgr, hw| {
+            mgr.on_access(hw, frame, m, access, hints)
+        });
         Ok(())
     }
 
@@ -175,13 +246,25 @@ impl Pmap {
         dir: DmaDir,
         hints: AccessHints,
     ) {
-        self.mgr
-            .on_dma(&mut HwAdapter::new(machine), frame, dir, hints);
+        let op = match dir {
+            DmaDir::Read => MgrOp::DmaRead,
+            DmaDir::Write => MgrOp::DmaWrite,
+        };
+        self.dispatch(machine, frame, op, None, hints, |mgr, hw| {
+            mgr.on_dma(hw, frame, dir, hints)
+        });
     }
 
     /// Note that `frame` returned to the free list.
     pub fn page_freed(&mut self, machine: &mut Machine, frame: PFrame) {
-        self.mgr.on_page_freed(&mut HwAdapter::new(machine), frame);
+        self.dispatch(
+            machine,
+            frame,
+            MgrOp::PageFreed,
+            None,
+            AccessHints::default(),
+            |mgr, hw| mgr.on_page_freed(hw, frame),
+        );
     }
 }
 

@@ -93,4 +93,36 @@ mod tests {
         a.reset();
         assert_eq!(a, OsStats::default());
     }
+
+    #[test]
+    fn merge_covers_every_field() {
+        // Every field distinct and nonzero: merging into a default must
+        // reproduce the source exactly, so a field forgotten in `merge`
+        // fails this test instead of silently dropping counts.
+        let src = OsStats {
+            mapping_faults: 1,
+            consistency_faults: 2,
+            zero_fills: 3,
+            page_copies: 4,
+            ipc_transfers: 5,
+            cow_faults: 6,
+            cow_copies: 7,
+            d2i_copies: 8,
+            fs_reads: 9,
+            fs_writes: 10,
+            buf_misses: 11,
+            buf_writebacks: 12,
+            tasks_created: 13,
+            pages_allocated: 14,
+            pages_freed: 15,
+            page_outs: 16,
+            page_ins: 17,
+        };
+        let mut dst = OsStats::default();
+        dst.merge(&src);
+        assert_eq!(dst, src, "merge into empty must reproduce the source");
+        dst.merge(&src);
+        assert_eq!(dst.mapping_faults, 2 * src.mapping_faults);
+        assert_eq!(dst.page_ins, 2 * src.page_ins);
+    }
 }

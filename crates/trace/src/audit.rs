@@ -1,0 +1,436 @@
+//! The [`ConsistencyAuditor`]: an online checker that replays the
+//! transition stream against the paper's abstract four-state model.
+//!
+//! Every [`TraceEvent::Transition`] claims that one cache page of one
+//! frame moved from `old` to `new` during a manager dispatch, and reports
+//! which hardware operations (flush/purge) the dispatch actually performed
+//! for that page. The auditor keeps its own shadow state per
+//! `(frame, cache side, cache page)` and checks two things:
+//!
+//! 1. **Bookkeeping**: the claimed `old` state matches the shadow state —
+//!    i.e. the manager's Table-3 bookkeeping is internally consistent over
+//!    time.
+//! 2. **Legality**: the `old → new` edge is justified by the operations
+//!    performed (or a hint that legalizes eliding them), per Table 2 of
+//!    the paper. A `Dirty → Present` edge without a flush means dirty data
+//!    was silently declared clean; a `Stale → *` edge without a purge (and
+//!    without `will_overwrite`) means stale data was allowed to be read.
+//!
+//! A correct manager (the CMU algorithm) produces **zero** divergences on
+//! any workload. A sabotaged manager (`ChaosManager` dropping flushes or
+//! purges) still updates its bookkeeping, but the dropped operation never
+//! reaches the hardware recorder — so the stream contains an edge whose
+//! justification is missing, and the auditor flags it.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use vic_core::state::LineState;
+use vic_core::types::{CacheKind, CachePage, PFrame};
+
+use crate::event::{MgrOp, TraceEvent};
+use crate::tracer::TraceSink;
+
+/// Why a transition was flagged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivergenceKind {
+    /// The claimed `old` state disagreed with the auditor's shadow state.
+    BookkeepingMismatch,
+    /// The `old → new` edge lacked the flush/purge (or hint) required by
+    /// the abstract model.
+    IllegalTransition,
+}
+
+impl fmt::Display for DivergenceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DivergenceKind::BookkeepingMismatch => "bookkeeping mismatch",
+            DivergenceKind::IllegalTransition => "illegal transition",
+        })
+    }
+}
+
+/// One flagged transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Divergence {
+    /// What went wrong.
+    pub kind: DivergenceKind,
+    /// Cycle stamp of the offending transition.
+    pub cycle: u64,
+    /// The frame involved.
+    pub frame: PFrame,
+    /// The cache side.
+    pub cache: CacheKind,
+    /// The cache page.
+    pub cache_page: CachePage,
+    /// The state the auditor's shadow model expected the page to be in.
+    pub expected: LineState,
+    /// The `old` state the transition claimed.
+    pub old: LineState,
+    /// The `new` state the transition claimed.
+    pub new: LineState,
+    /// The OS operation driving the dispatch.
+    pub op: MgrOp,
+    /// Whether a flush of this page was performed.
+    pub flushed: bool,
+    /// Whether a purge of this page was performed.
+    pub purged: bool,
+    /// Whether the `will_overwrite` hint was in force.
+    pub will_overwrite: bool,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>12}] {}: {} {}:{} {}→{} on {} (expected {}, flushed={}, purged={}, will_overwrite={})",
+            self.cycle,
+            self.kind,
+            self.frame,
+            self.cache,
+            self.cache_page,
+            self.old.letter(),
+            self.new.letter(),
+            self.op,
+            self.expected.letter(),
+            self.flushed,
+            self.purged,
+            self.will_overwrite,
+        )
+    }
+}
+
+/// Is the `old → new` edge justified by the operations performed and the
+/// hints in force? This is the auditor's transcription of the paper's
+/// Table 2 obligations, at cache-page granularity (see the unit tests,
+/// which cross-check it against [`vic_core::state::transition`]):
+///
+/// * leaving **Dirty** requires the dirty data be written back (flush) —
+///   except to Empty, where a purge is also acceptable (the model's
+///   DMA-write case: memory is about to be overwritten anyway);
+/// * leaving **Stale** requires a purge, unless the `will_overwrite` hint
+///   promised every byte will be written before being read;
+/// * **Present → Empty** requires the page actually be invalidated
+///   (flush or purge both do);
+/// * **Empty → Stale** is impossible — there is nothing in the cache to
+///   go stale;
+/// * everything else (`Empty/Present → Present/Dirty`, `Present → Stale`)
+///   needs no hardware operation.
+pub fn edge_is_legal(
+    old: LineState,
+    new: LineState,
+    flushed: bool,
+    purged: bool,
+    will_overwrite: bool,
+) -> bool {
+    use LineState::*;
+    match (old, new) {
+        (Dirty, Present) | (Dirty, Stale) => flushed,
+        (Dirty, Empty) => flushed || purged,
+        // A stale line is never hardware-dirty, so a flush that *empties*
+        // it acts as a purge (the model's Flush row); but stale data may
+        // never be *used* (→ Present/Dirty) without an actual purge.
+        (Stale, Empty) => flushed || purged || will_overwrite,
+        (Stale, _) => purged || will_overwrite,
+        (Present, Empty) => flushed || purged,
+        (Empty, Stale) => false,
+        // Empty/Present → Present/Dirty, Present → Stale: fills and
+        // staleification need no prior cache operation.
+        _ => true,
+    }
+}
+
+/// A [`TraceSink`] that audits the transition stream online. Non-transition
+/// events are counted and otherwise ignored.
+#[derive(Debug, Default)]
+pub struct ConsistencyAuditor {
+    /// Shadow state per (frame, side, cache page); absent means Empty.
+    shadow: BTreeMap<(u64, bool, u64), LineState>,
+    divergences: Vec<Divergence>,
+    total_divergences: u64,
+    transitions_checked: u64,
+    events_seen: u64,
+}
+
+/// Cap on *stored* divergences; past this they are counted but dropped
+/// (a sabotaged manager can diverge on nearly every dispatch).
+const MAX_STORED: usize = 1024;
+
+impl ConsistencyAuditor {
+    /// A fresh auditor: all pages assumed Empty (cold caches).
+    pub fn new() -> Self {
+        ConsistencyAuditor::default()
+    }
+
+    fn key(frame: PFrame, cache: CacheKind, c: CachePage) -> (u64, bool, u64) {
+        (frame.0, matches!(cache, CacheKind::Insn), u64::from(c.0))
+    }
+
+    /// The divergences found so far (capped at an internal limit; see
+    /// [`ConsistencyAuditor::divergence_count`] for the true total).
+    pub fn divergences(&self) -> &[Divergence] {
+        &self.divergences
+    }
+
+    /// Total divergences found, including any past the storage cap.
+    pub fn divergence_count(&self) -> u64 {
+        self.total_divergences
+    }
+
+    /// True if the whole stream replayed with no divergence.
+    pub fn is_clean(&self) -> bool {
+        self.total_divergences == 0
+    }
+
+    /// Transition events checked.
+    pub fn transitions_checked(&self) -> u64 {
+        self.transitions_checked
+    }
+
+    /// All events seen (transitions or not).
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen
+    }
+
+    /// A human-readable verdict plus the first few divergences.
+    pub fn report(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "audit: {} transitions checked, {} divergences",
+            self.transitions_checked, self.total_divergences
+        );
+        for d in self.divergences.iter().take(20) {
+            let _ = writeln!(out, "  {d}");
+        }
+        if self.total_divergences > 20 {
+            let _ = writeln!(out, "  ... and {} more", self.total_divergences - 20);
+        }
+        out
+    }
+
+    fn flag(&mut self, d: Divergence) {
+        self.total_divergences += 1;
+        if self.divergences.len() < MAX_STORED {
+            self.divergences.push(d);
+        }
+    }
+}
+
+impl TraceSink for ConsistencyAuditor {
+    fn emit(&mut self, cycle: u64, event: &TraceEvent) {
+        self.events_seen += 1;
+        let TraceEvent::Transition {
+            frame,
+            kind,
+            cache_page,
+            old,
+            new,
+            op,
+            flushed,
+            purged,
+            will_overwrite,
+            ..
+        } = *event
+        else {
+            return;
+        };
+        self.transitions_checked += 1;
+        let key = Self::key(frame, kind, cache_page);
+        let expected = self
+            .shadow
+            .get(&key)
+            .copied()
+            .unwrap_or(LineState::Empty);
+        let base = Divergence {
+            kind: DivergenceKind::BookkeepingMismatch,
+            cycle,
+            frame,
+            cache: kind,
+            cache_page,
+            expected,
+            old,
+            new,
+            op,
+            flushed,
+            purged,
+            will_overwrite,
+        };
+        if expected != old {
+            self.flag(base);
+        }
+        if !edge_is_legal(old, new, flushed, purged, will_overwrite) {
+            self.flag(Divergence {
+                kind: DivergenceKind::IllegalTransition,
+                ..base
+            });
+        }
+        // Trust the claimed `new` state going forward: a single divergence
+        // is reported once, not echoed by every later transition.
+        if new == LineState::Empty {
+            self.shadow.remove(&key);
+        } else {
+            self.shadow.insert(key, new);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vic_core::state::{transition, CacheAction, ModelOp, Role};
+
+    fn tr(
+        old: LineState,
+        new: LineState,
+        flushed: bool,
+        purged: bool,
+        will_overwrite: bool,
+    ) -> TraceEvent {
+        TraceEvent::Transition {
+            frame: PFrame(1),
+            kind: CacheKind::Data,
+            cache_page: CachePage(0),
+            old,
+            new,
+            op: MgrOp::Read,
+            target: true,
+            flushed,
+            purged,
+            will_overwrite,
+            need_data: true,
+        }
+    }
+
+    /// Every edge the abstract model (Table 2) produces — with the cache
+    /// action it demands — must be legal under `edge_is_legal`, and, when
+    /// an action is demanded, illegal without it. The model's own Purge and
+    /// Flush *events* are the operation, so they set the matching flag.
+    #[test]
+    fn rules_match_abstract_model() {
+        for op in ModelOp::ALL {
+            for role in [Role::Target, Role::OtherUnaligned] {
+                for s in LineState::ALL {
+                    let t = transition(op, role, s);
+                    if t.next == s {
+                        continue; // self-loops are never emitted
+                    }
+                    let flushed =
+                        t.action == Some(CacheAction::Flush) || op == ModelOp::Flush;
+                    let purged =
+                        t.action == Some(CacheAction::Purge) || op == ModelOp::Purge;
+                    assert!(
+                        edge_is_legal(s, t.next, flushed, purged, false),
+                        "model edge {op}/{role:?} {s}→{} with flushed={flushed} purged={purged} \
+                         must be legal",
+                        t.next
+                    );
+                    if t.action.is_some() {
+                        assert!(
+                            !edge_is_legal(s, t.next, false, false, false),
+                            "model demands {:?} for {op}/{role:?} {s}→{}; eliding it must be \
+                             illegal",
+                            t.action,
+                            t.next
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn will_overwrite_legalizes_elided_stale_purge() {
+        use LineState::*;
+        // Stanza 3 of the CMU algorithm: a write to a stale page under the
+        // will_overwrite hint (zero-fill) skips the purge.
+        assert!(!edge_is_legal(Stale, Dirty, false, false, false));
+        assert!(edge_is_legal(Stale, Dirty, false, false, true));
+        // The hint never excuses *dirty* data loss.
+        assert!(!edge_is_legal(Dirty, Present, false, false, true));
+    }
+
+    #[test]
+    fn empty_to_stale_is_never_legal() {
+        use LineState::*;
+        assert!(!edge_is_legal(Empty, Stale, true, true, true));
+    }
+
+    #[test]
+    fn clean_stream_is_clean() {
+        use LineState::*;
+        let mut a = ConsistencyAuditor::new();
+        a.emit(1, &tr(Empty, Dirty, false, false, false)); // first write
+        a.emit(2, &tr(Dirty, Present, true, false, false)); // flushed for DMA-read
+        a.emit(3, &tr(Present, Stale, false, false, false)); // another alias written
+        a.emit(4, &tr(Stale, Present, false, true, false)); // purged on re-read
+        assert!(a.is_clean(), "{}", a.report());
+        assert_eq!(a.transitions_checked(), 4);
+        assert_eq!(a.events_seen(), 4);
+    }
+
+    #[test]
+    fn dropped_flush_is_flagged() {
+        use LineState::*;
+        let mut a = ConsistencyAuditor::new();
+        a.emit(1, &tr(Empty, Dirty, false, false, false));
+        // A chaos manager dropped the flush: bookkeeping says D→P but no
+        // hardware operation justified it.
+        a.emit(2, &tr(Dirty, Present, false, false, false));
+        assert_eq!(a.divergence_count(), 1);
+        let d = a.divergences()[0];
+        assert_eq!(d.kind, DivergenceKind::IllegalTransition);
+        assert_eq!(d.old, Dirty);
+        assert_eq!(d.new, Present);
+        assert!(a.report().contains("illegal transition"), "{}", a.report());
+    }
+
+    #[test]
+    fn bookkeeping_mismatch_is_flagged_once() {
+        use LineState::*;
+        let mut a = ConsistencyAuditor::new();
+        // Claims the page was Present, but the auditor has never seen it
+        // leave Empty.
+        a.emit(5, &tr(Present, Stale, false, false, false));
+        assert_eq!(a.divergence_count(), 1);
+        assert_eq!(a.divergences()[0].kind, DivergenceKind::BookkeepingMismatch);
+        assert_eq!(a.divergences()[0].expected, Empty);
+        // The shadow state adopted `new`, so a consistent continuation is
+        // not re-flagged.
+        a.emit(6, &tr(Stale, Present, false, true, false));
+        assert_eq!(a.divergence_count(), 1);
+    }
+
+    #[test]
+    fn shadow_state_is_per_page() {
+        use LineState::*;
+        let mut a = ConsistencyAuditor::new();
+        let mk = |frame: u64, kind, cp: u32, old, new| TraceEvent::Transition {
+            frame: PFrame(frame),
+            kind,
+            cache_page: CachePage(cp),
+            old,
+            new,
+            op: MgrOp::Write,
+            target: true,
+            flushed: false,
+            purged: false,
+            will_overwrite: false,
+            need_data: true,
+        };
+        a.emit(1, &mk(1, CacheKind::Data, 0, Empty, Dirty));
+        a.emit(2, &mk(2, CacheKind::Data, 0, Empty, Dirty)); // other frame
+        a.emit(3, &mk(1, CacheKind::Insn, 0, Empty, Present)); // other side
+        assert!(a.is_clean(), "{}", a.report());
+    }
+
+    #[test]
+    fn non_transition_events_ignored() {
+        let mut a = ConsistencyAuditor::new();
+        a.emit(0, &TraceEvent::ZeroFill { frame: PFrame(0) });
+        assert_eq!(a.events_seen(), 1);
+        assert_eq!(a.transitions_checked(), 0);
+        assert!(a.is_clean());
+    }
+}

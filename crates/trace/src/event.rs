@@ -1,0 +1,583 @@
+//! The structured event vocabulary: everything the simulator can say about
+//! itself, at machine, operating-system, and algorithm granularity.
+//!
+//! Events are small `Copy` values. The cycle stamp is *not* part of the
+//! event — it is passed alongside through [`crate::TraceSink::emit`], so
+//! sinks that do not care about time (the histogram) never store it and
+//! sinks that do (the JSON writer, the ring buffer) stamp it themselves.
+
+use std::fmt;
+
+use vic_core::manager::DmaDir;
+use vic_core::state::LineState;
+use vic_core::types::{CacheKind, CachePage, Mapping, PFrame, Prot, SpaceId, VAddr, VPage};
+
+/// The operating-system operation on whose behalf a consistency-manager
+/// dispatch ran (which `pmap` entry point fired).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MgrOp {
+    /// `pmap_enter`: a mapping was installed.
+    Map,
+    /// `pmap_remove`: a mapping was removed.
+    Unmap,
+    /// `pmap_protect`: a mapping's logical protection changed.
+    Protect,
+    /// A CPU data read hit a consistency fault.
+    Read,
+    /// A CPU data write hit a consistency fault.
+    Write,
+    /// A CPU instruction fetch hit a consistency fault.
+    Fetch,
+    /// The kernel prepared a page for a device read (DMA out of memory).
+    DmaRead,
+    /// The kernel prepared a page for a device write (DMA into memory).
+    DmaWrite,
+    /// The frame returned to the free list.
+    PageFreed,
+}
+
+impl MgrOp {
+    /// Stable lower-case name used in the JSON stream.
+    pub fn name(self) -> &'static str {
+        match self {
+            MgrOp::Map => "map",
+            MgrOp::Unmap => "unmap",
+            MgrOp::Protect => "protect",
+            MgrOp::Read => "read",
+            MgrOp::Write => "write",
+            MgrOp::Fetch => "fetch",
+            MgrOp::DmaRead => "dma_read",
+            MgrOp::DmaWrite => "dma_write",
+            MgrOp::PageFreed => "page_freed",
+        }
+    }
+}
+
+impl fmt::Display for MgrOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One simulator event. Grouped by emitting layer:
+///
+/// * **machine** — cache and TLB activity observed by `vic-machine`;
+/// * **OS** — kernel-level page events observed by `vic-os`;
+/// * **algorithm** — consistency-state transitions and protection changes
+///   observed at the manager dispatch boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    // ----- machine ---------------------------------------------------
+    /// A CPU data load completed.
+    Load {
+        /// Issuing address space.
+        space: SpaceId,
+        /// Virtual address.
+        vaddr: VAddr,
+        /// Whether the data cache hit.
+        hit: bool,
+        /// Cycles charged.
+        cost: u64,
+    },
+    /// A CPU data store completed.
+    Store {
+        /// Issuing address space.
+        space: SpaceId,
+        /// Virtual address.
+        vaddr: VAddr,
+        /// Whether the data cache hit.
+        hit: bool,
+        /// Cycles charged.
+        cost: u64,
+    },
+    /// A CPU instruction fetch completed.
+    IFetch {
+        /// Issuing address space.
+        space: SpaceId,
+        /// Virtual address.
+        vaddr: VAddr,
+        /// Whether the instruction cache hit.
+        hit: bool,
+        /// Cycles charged.
+        cost: u64,
+    },
+    /// A dirty line was written back on eviction.
+    WriteBack {
+        /// Data cache page the line lived in.
+        cache_page: CachePage,
+        /// Frame the line belonged to.
+        frame: PFrame,
+    },
+    /// A data cache page flush (write back + invalidate) completed.
+    FlushPage {
+        /// The flushed cache page.
+        cache_page: CachePage,
+        /// The frame whose lines were targeted.
+        frame: PFrame,
+        /// Lines actually written back.
+        written_back: u32,
+        /// Cycles charged.
+        cost: u64,
+    },
+    /// A cache page purge (invalidate, no write back) completed.
+    PurgePage {
+        /// Which cache.
+        kind: CacheKind,
+        /// The purged cache page.
+        cache_page: CachePage,
+        /// The frame whose lines were targeted.
+        frame: PFrame,
+        /// Cycles charged.
+        cost: u64,
+    },
+    /// The TLB missed and was refilled.
+    TlbFill {
+        /// Issuing address space.
+        space: SpaceId,
+        /// Virtual page refilled.
+        vpage: VPage,
+        /// Cycles charged.
+        cost: u64,
+    },
+    /// A device transferred a whole page (machine level).
+    DmaPage {
+        /// Transfer direction (device reads or writes memory).
+        dir: DmaDir,
+        /// The frame transferred.
+        frame: PFrame,
+        /// Cycles charged.
+        cost: u64,
+    },
+
+    // ----- operating system ------------------------------------------
+    /// A fault materialized a missing mapping.
+    MappingFault {
+        /// Faulting address space.
+        space: SpaceId,
+        /// Faulting virtual page.
+        vpage: VPage,
+    },
+    /// A fault on a live mapping ran the consistency manager.
+    ConsistencyFault {
+        /// Faulting address space.
+        space: SpaceId,
+        /// Faulting virtual page.
+        vpage: VPage,
+    },
+    /// The kernel zero-filled a fresh frame.
+    ZeroFill {
+        /// The frame.
+        frame: PFrame,
+    },
+    /// The kernel copied one frame into another.
+    PageCopy {
+        /// Source frame.
+        src: PFrame,
+        /// Destination frame.
+        dst: PFrame,
+    },
+    /// A page moved between tasks over IPC.
+    IpcTransfer {
+        /// The transferred frame.
+        frame: PFrame,
+    },
+    /// A copy-on-write share was broken by copying.
+    CowBreak {
+        /// Shared source frame.
+        src: PFrame,
+        /// Private destination frame.
+        dst: PFrame,
+    },
+    /// The kernel scheduled a device transfer (paging, buffer cache).
+    OsDma {
+        /// Transfer direction.
+        dir: DmaDir,
+        /// The frame transferred.
+        frame: PFrame,
+    },
+
+    // ----- algorithm --------------------------------------------------
+    /// One cache page of one frame changed consistency state during a
+    /// manager dispatch: the old→new `PageState` pair, the hardware
+    /// operation performed for it (or elided), and the hints in force.
+    Transition {
+        /// The physical frame whose state changed.
+        frame: PFrame,
+        /// Which cache side.
+        kind: CacheKind,
+        /// The cache page within that side.
+        cache_page: CachePage,
+        /// State before the dispatch.
+        old: LineState,
+        /// State after the dispatch.
+        new: LineState,
+        /// The OS operation that drove the dispatch.
+        op: MgrOp,
+        /// Whether this cache page was the target of the operation.
+        target: bool,
+        /// A flush of this page was performed during the dispatch.
+        flushed: bool,
+        /// A purge of this page was performed during the dispatch.
+        purged: bool,
+        /// `will_overwrite` hint in force (legalizes elided stale purges).
+        will_overwrite: bool,
+        /// `need_data` hint in force (selects flush vs purge for dirty data).
+        need_data: bool,
+    },
+    /// The manager installed a hardware protection for a mapping.
+    ProtChange {
+        /// The mapping reprotected.
+        mapping: Mapping,
+        /// The frame it maps.
+        frame: PFrame,
+        /// The effective protection installed.
+        prot: Prot,
+    },
+}
+
+impl TraceEvent {
+    /// Stable lower-case event name (the `"ev"` field of the JSON stream,
+    /// and the histogram's grouping key prefix).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::Load { .. } => "load",
+            TraceEvent::Store { .. } => "store",
+            TraceEvent::IFetch { .. } => "ifetch",
+            TraceEvent::WriteBack { .. } => "write_back",
+            TraceEvent::FlushPage { .. } => "flush_page",
+            TraceEvent::PurgePage { .. } => "purge_page",
+            TraceEvent::TlbFill { .. } => "tlb_fill",
+            TraceEvent::DmaPage { .. } => "dma_page",
+            TraceEvent::MappingFault { .. } => "mapping_fault",
+            TraceEvent::ConsistencyFault { .. } => "consistency_fault",
+            TraceEvent::ZeroFill { .. } => "zero_fill",
+            TraceEvent::PageCopy { .. } => "page_copy",
+            TraceEvent::IpcTransfer { .. } => "ipc_transfer",
+            TraceEvent::CowBreak { .. } => "cow_break",
+            TraceEvent::OsDma { .. } => "os_dma",
+            TraceEvent::Transition { .. } => "transition",
+            TraceEvent::ProtChange { .. } => "prot_change",
+        }
+    }
+
+    /// Which layer emitted the event: `"machine"`, `"os"` or `"algo"`.
+    pub fn layer(&self) -> &'static str {
+        match self {
+            TraceEvent::Load { .. }
+            | TraceEvent::Store { .. }
+            | TraceEvent::IFetch { .. }
+            | TraceEvent::WriteBack { .. }
+            | TraceEvent::FlushPage { .. }
+            | TraceEvent::PurgePage { .. }
+            | TraceEvent::TlbFill { .. }
+            | TraceEvent::DmaPage { .. } => "machine",
+            TraceEvent::MappingFault { .. }
+            | TraceEvent::ConsistencyFault { .. }
+            | TraceEvent::ZeroFill { .. }
+            | TraceEvent::PageCopy { .. }
+            | TraceEvent::IpcTransfer { .. }
+            | TraceEvent::CowBreak { .. }
+            | TraceEvent::OsDma { .. } => "os",
+            TraceEvent::Transition { .. } | TraceEvent::ProtChange { .. } => "algo",
+        }
+    }
+
+    /// The latency class this event contributes to, if it carries a cycle
+    /// cost: a stable label (e.g. `"load.miss"`, `"flush_page"`) and the
+    /// cost. Used by the histogram sink.
+    pub fn cost_class(&self) -> Option<(&'static str, u64)> {
+        match *self {
+            TraceEvent::Load { hit, cost, .. } => {
+                Some((if hit { "load.hit" } else { "load.miss" }, cost))
+            }
+            TraceEvent::Store { hit, cost, .. } => {
+                Some((if hit { "store.hit" } else { "store.miss" }, cost))
+            }
+            TraceEvent::IFetch { hit, cost, .. } => {
+                Some((if hit { "ifetch.hit" } else { "ifetch.miss" }, cost))
+            }
+            TraceEvent::FlushPage { cost, .. } => Some(("flush_page", cost)),
+            TraceEvent::PurgePage { kind, cost, .. } => Some((
+                match kind {
+                    CacheKind::Data => "purge_page.d",
+                    CacheKind::Insn => "purge_page.i",
+                },
+                cost,
+            )),
+            TraceEvent::TlbFill { cost, .. } => Some(("tlb_fill", cost)),
+            TraceEvent::DmaPage { dir, cost, .. } => Some((
+                match dir {
+                    DmaDir::Read => "dma_page.read",
+                    DmaDir::Write => "dma_page.write",
+                },
+                cost,
+            )),
+            _ => None,
+        }
+    }
+
+    /// Append this event (with its cycle stamp) to `out` as one JSON
+    /// object, without a trailing newline.
+    ///
+    /// The encoding is hand-rolled (the workspace has no serde): every
+    /// field value is a number, boolean, or one of a fixed set of short
+    /// strings, so no escaping is ever required.
+    pub fn write_json(&self, cycle: u64, out: &mut String) {
+        use std::fmt::Write;
+        let _ = write!(
+            out,
+            "{{\"cycle\":{cycle},\"layer\":\"{}\",\"ev\":\"{}\"",
+            self.layer(),
+            self.name()
+        );
+        match *self {
+            TraceEvent::Load { space, vaddr, hit, cost }
+            | TraceEvent::Store { space, vaddr, hit, cost }
+            | TraceEvent::IFetch { space, vaddr, hit, cost } => {
+                let _ = write!(
+                    out,
+                    ",\"space\":{},\"va\":{},\"hit\":{hit},\"cost\":{cost}",
+                    space.0, vaddr.0
+                );
+            }
+            TraceEvent::WriteBack { cache_page, frame } => {
+                let _ = write!(out, ",\"cp\":{},\"frame\":{}", cache_page.0, frame.0);
+            }
+            TraceEvent::FlushPage { cache_page, frame, written_back, cost } => {
+                let _ = write!(
+                    out,
+                    ",\"cp\":{},\"frame\":{},\"written_back\":{written_back},\"cost\":{cost}",
+                    cache_page.0, frame.0
+                );
+            }
+            TraceEvent::PurgePage { kind, cache_page, frame, cost } => {
+                let _ = write!(
+                    out,
+                    ",\"cache\":\"{}\",\"cp\":{},\"frame\":{},\"cost\":{cost}",
+                    kind_name(kind),
+                    cache_page.0,
+                    frame.0
+                );
+            }
+            TraceEvent::TlbFill { space, vpage, cost } => {
+                let _ = write!(
+                    out,
+                    ",\"space\":{},\"vp\":{},\"cost\":{cost}",
+                    space.0, vpage.0
+                );
+            }
+            TraceEvent::DmaPage { dir, frame, cost } => {
+                let _ = write!(
+                    out,
+                    ",\"dir\":\"{}\",\"frame\":{},\"cost\":{cost}",
+                    dir_name(dir),
+                    frame.0
+                );
+            }
+            TraceEvent::MappingFault { space, vpage }
+            | TraceEvent::ConsistencyFault { space, vpage } => {
+                let _ = write!(out, ",\"space\":{},\"vp\":{}", space.0, vpage.0);
+            }
+            TraceEvent::ZeroFill { frame } | TraceEvent::IpcTransfer { frame } => {
+                let _ = write!(out, ",\"frame\":{}", frame.0);
+            }
+            TraceEvent::PageCopy { src, dst } | TraceEvent::CowBreak { src, dst } => {
+                let _ = write!(out, ",\"src\":{},\"dst\":{}", src.0, dst.0);
+            }
+            TraceEvent::OsDma { dir, frame } => {
+                let _ = write!(out, ",\"dir\":\"{}\",\"frame\":{}", dir_name(dir), frame.0);
+            }
+            TraceEvent::Transition {
+                frame,
+                kind,
+                cache_page,
+                old,
+                new,
+                op,
+                target,
+                flushed,
+                purged,
+                will_overwrite,
+                need_data,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"frame\":{},\"cache\":\"{}\",\"cp\":{},\"old\":\"{}\",\"new\":\"{}\",\
+                     \"op\":\"{}\",\"target\":{target},\"flushed\":{flushed},\"purged\":{purged},\
+                     \"will_overwrite\":{will_overwrite},\"need_data\":{need_data}",
+                    frame.0,
+                    kind_name(kind),
+                    cache_page.0,
+                    old.letter(),
+                    new.letter(),
+                    op.name()
+                );
+            }
+            TraceEvent::ProtChange { mapping, frame, prot } => {
+                let _ = write!(
+                    out,
+                    ",\"space\":{},\"vp\":{},\"frame\":{},\"prot\":\"{prot}\"",
+                    mapping.space.0, mapping.vpage.0, frame.0
+                );
+            }
+        }
+        out.push('}');
+    }
+}
+
+fn kind_name(kind: CacheKind) -> &'static str {
+    match kind {
+        CacheKind::Data => "d",
+        CacheKind::Insn => "i",
+    }
+}
+
+fn dir_name(dir: DmaDir) -> &'static str {
+    match dir {
+        DmaDir::Read => "read",
+        DmaDir::Write => "write",
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    /// A compact single-line rendering for ring-buffer dumps.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TraceEvent::Load { space, vaddr, hit, cost }
+            | TraceEvent::Store { space, vaddr, hit, cost }
+            | TraceEvent::IFetch { space, vaddr, hit, cost } => write!(
+                f,
+                "{} {space} {vaddr} {} ({cost}cy)",
+                self.name(),
+                if hit { "hit" } else { "miss" }
+            ),
+            TraceEvent::WriteBack { cache_page, frame } => {
+                write!(f, "write_back {cache_page} {frame}")
+            }
+            TraceEvent::FlushPage { cache_page, frame, written_back, cost } => write!(
+                f,
+                "flush_page {cache_page} {frame} wb={written_back} ({cost}cy)"
+            ),
+            TraceEvent::PurgePage { kind, cache_page, frame, cost } => {
+                write!(f, "purge_page {kind} {cache_page} {frame} ({cost}cy)")
+            }
+            TraceEvent::TlbFill { space, vpage, cost } => {
+                write!(f, "tlb_fill {space} {vpage} ({cost}cy)")
+            }
+            TraceEvent::DmaPage { dir, frame, cost } => {
+                write!(f, "dma_page {dir} {frame} ({cost}cy)")
+            }
+            TraceEvent::MappingFault { space, vpage } => {
+                write!(f, "mapping_fault {space} {vpage}")
+            }
+            TraceEvent::ConsistencyFault { space, vpage } => {
+                write!(f, "consistency_fault {space} {vpage}")
+            }
+            TraceEvent::ZeroFill { frame } => write!(f, "zero_fill {frame}"),
+            TraceEvent::PageCopy { src, dst } => write!(f, "page_copy {src} -> {dst}"),
+            TraceEvent::IpcTransfer { frame } => write!(f, "ipc_transfer {frame}"),
+            TraceEvent::CowBreak { src, dst } => write!(f, "cow_break {src} -> {dst}"),
+            TraceEvent::OsDma { dir, frame } => write!(f, "os_dma {dir} {frame}"),
+            TraceEvent::Transition {
+                frame,
+                kind,
+                cache_page,
+                old,
+                new,
+                op,
+                target,
+                flushed,
+                purged,
+                ..
+            } => write!(
+                f,
+                "transition {frame} {kind}:{cache_page} {}→{} on {op}{}{}{}",
+                old.letter(),
+                new.letter(),
+                if target { " (target)" } else { "" },
+                if flushed { " +flush" } else { "" },
+                if purged { " +purge" } else { "" },
+            ),
+            TraceEvent::ProtChange { mapping, frame, prot } => {
+                write!(f, "prot_change {mapping} {frame} {prot}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_has_cycle_and_name() {
+        let ev = TraceEvent::Load {
+            space: SpaceId(1),
+            vaddr: VAddr(4096),
+            hit: false,
+            cost: 9,
+        };
+        let mut s = String::new();
+        ev.write_json(42, &mut s);
+        assert_eq!(
+            s,
+            "{\"cycle\":42,\"layer\":\"machine\",\"ev\":\"load\",\"space\":1,\"va\":4096,\"hit\":false,\"cost\":9}"
+        );
+    }
+
+    #[test]
+    fn transition_json_roundtrips_fields() {
+        let ev = TraceEvent::Transition {
+            frame: PFrame(3),
+            kind: CacheKind::Data,
+            cache_page: CachePage(2),
+            old: LineState::Dirty,
+            new: LineState::Present,
+            op: MgrOp::Read,
+            target: false,
+            flushed: true,
+            purged: false,
+            will_overwrite: false,
+            need_data: true,
+        };
+        let mut s = String::new();
+        ev.write_json(7, &mut s);
+        assert!(s.contains("\"old\":\"D\""), "{s}");
+        assert!(s.contains("\"new\":\"P\""), "{s}");
+        assert!(s.contains("\"flushed\":true"), "{s}");
+        assert!(s.contains("\"op\":\"read\""), "{s}");
+        assert!(s.starts_with("{\"cycle\":7,\"layer\":\"algo\""), "{s}");
+        assert!(s.ends_with('}'), "{s}");
+    }
+
+    #[test]
+    fn cost_classes_split_hit_miss() {
+        let hit = TraceEvent::Store {
+            space: SpaceId(1),
+            vaddr: VAddr(0),
+            hit: true,
+            cost: 1,
+        };
+        let miss = TraceEvent::Store {
+            space: SpaceId(1),
+            vaddr: VAddr(0),
+            hit: false,
+            cost: 12,
+        };
+        assert_eq!(hit.cost_class(), Some(("store.hit", 1)));
+        assert_eq!(miss.cost_class(), Some(("store.miss", 12)));
+        assert_eq!(
+            TraceEvent::ZeroFill { frame: PFrame(0) }.cost_class(),
+            None
+        );
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let ev = TraceEvent::CowBreak {
+            src: PFrame(1),
+            dst: PFrame(2),
+        };
+        assert_eq!(ev.to_string(), "cow_break pf:1 -> pf:2");
+    }
+}

@@ -1,0 +1,195 @@
+//! Concrete sinks: a bounded ring buffer for post-mortem dumps and a
+//! JSON-lines writer for offline analysis.
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+
+use crate::event::TraceEvent;
+use crate::tracer::TraceSink;
+
+/// Keeps the last `capacity` events in memory; older events fall off the
+/// front. Intended for "what just happened" dumps after a failure, where
+/// the full stream would be far too large.
+#[derive(Debug, Clone)]
+pub struct RingBufferSink {
+    capacity: usize,
+    events: VecDeque<(u64, TraceEvent)>,
+    /// Total events ever offered (including those that fell off).
+    seen: u64,
+}
+
+impl RingBufferSink {
+    /// A ring holding at most `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        RingBufferSink {
+            capacity: capacity.max(1),
+            events: VecDeque::with_capacity(capacity.max(1)),
+            seen: 0,
+        }
+    }
+
+    /// The retained `(cycle, event)` pairs, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &(u64, TraceEvent)> {
+        self.events.iter()
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total number of events ever offered to the ring.
+    pub fn total_seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Render the retained tail as human-readable lines.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        if self.seen > self.events.len() as u64 {
+            let _ = writeln!(
+                out,
+                "... {} earlier events dropped ...",
+                self.seen - self.events.len() as u64
+            );
+        }
+        for (cycle, ev) in &self.events {
+            let _ = writeln!(out, "[{cycle:>12}] {ev}");
+        }
+        out
+    }
+}
+
+impl TraceSink for RingBufferSink {
+    fn emit(&mut self, cycle: u64, event: &TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back((cycle, *event));
+        self.seen += 1;
+    }
+}
+
+/// Streams every event as one JSON object per line to any [`io::Write`]
+/// (a file through a `BufWriter`, a `Vec<u8>` in tests).
+pub struct JsonLinesSink<W: Write> {
+    out: W,
+    line: String,
+    /// First I/O error encountered, if any (subsequent writes are skipped).
+    error: Option<io::Error>,
+    written: u64,
+}
+
+impl<W: Write> JsonLinesSink<W> {
+    /// Wrap a writer.
+    pub fn new(out: W) -> Self {
+        JsonLinesSink {
+            out,
+            line: String::with_capacity(160),
+            error: None,
+            written: 0,
+        }
+    }
+
+    /// The underlying writer (e.g. to inspect a `Vec<u8>` in tests).
+    pub fn get_ref(&self) -> &W {
+        &self.out
+    }
+
+    /// Lines successfully written.
+    pub fn lines_written(&self) -> u64 {
+        self.written
+    }
+
+    /// The first I/O error hit, if any.
+    pub fn io_error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+}
+
+impl JsonLinesSink<io::BufWriter<std::fs::File>> {
+    /// Create (truncating) a file and stream to it buffered.
+    pub fn create<P: AsRef<std::path::Path>>(path: P) -> io::Result<Self> {
+        Ok(JsonLinesSink::new(io::BufWriter::new(
+            std::fs::File::create(path)?,
+        )))
+    }
+}
+
+impl<W: Write> TraceSink for JsonLinesSink<W> {
+    fn emit(&mut self, cycle: u64, event: &TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        self.line.clear();
+        event.write_json(cycle, &mut self.line);
+        self.line.push('\n');
+        match self.out.write_all(self.line.as_bytes()) {
+            Ok(()) => self.written += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+
+    fn finish(&mut self) {
+        if self.error.is_none() {
+            if let Err(e) = self.out.flush() {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vic_core::types::PFrame;
+
+    fn ev(n: u64) -> TraceEvent {
+        TraceEvent::ZeroFill { frame: PFrame(n) }
+    }
+
+    #[test]
+    fn ring_keeps_only_the_tail() {
+        let mut r = RingBufferSink::new(3);
+        assert!(r.is_empty());
+        for i in 0..5 {
+            r.emit(i * 10, &ev(i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.total_seen(), 5);
+        let frames: Vec<u64> = r
+            .events()
+            .map(|(_, e)| match e {
+                TraceEvent::ZeroFill { frame } => frame.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(frames, vec![2, 3, 4]);
+        let dump = r.dump();
+        assert!(dump.starts_with("... 2 earlier events dropped ..."), "{dump}");
+        assert!(dump.contains("zero_fill pf:4"), "{dump}");
+    }
+
+    #[test]
+    fn json_lines_one_object_per_line() {
+        let mut sink = JsonLinesSink::new(Vec::new());
+        sink.emit(1, &ev(7));
+        sink.emit(2, &ev(8));
+        sink.finish();
+        assert_eq!(sink.lines_written(), 2);
+        assert!(sink.io_error().is_none());
+        let text = String::from_utf8(sink.get_ref().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for l in lines {
+            assert!(l.starts_with('{') && l.ends_with('}'), "{l}");
+        }
+        assert!(text.contains("\"frame\":7"));
+    }
+}

@@ -1,0 +1,173 @@
+//! The [`Tracer`] handle: a cheaply cloneable, optionally-connected
+//! emission point threaded through every simulation layer.
+//!
+//! A disabled tracer (the default) is a `None` — emission is a branch on an
+//! `Option` and nothing else, so tracing costs effectively nothing when
+//! off and, crucially, *changes* nothing: no statistics counter or cycle
+//! count ever depends on whether a tracer is connected.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::event::TraceEvent;
+
+/// A consumer of the event stream.
+pub trait TraceSink {
+    /// Receive one event stamped with the simulated cycle clock.
+    fn emit(&mut self, cycle: u64, event: &TraceEvent);
+
+    /// Flush any buffered output; called once when the run ends.
+    fn finish(&mut self) {}
+}
+
+/// A sink that discards everything — the explicit form of "tracing off",
+/// useful where an API requires *some* sink.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn emit(&mut self, _cycle: u64, _event: &TraceEvent) {}
+}
+
+/// Forward every event to several sinks (e.g. a JSON file *and* the
+/// histogram *and* the auditor in one run).
+#[derive(Default)]
+pub struct FanoutSink {
+    sinks: Vec<Rc<RefCell<dyn TraceSink>>>,
+}
+
+impl FanoutSink {
+    /// An empty fanout.
+    pub fn new() -> Self {
+        FanoutSink::default()
+    }
+
+    /// Add a shared sink; returns `self` for chaining.
+    pub fn with(mut self, sink: Rc<RefCell<dyn TraceSink>>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+}
+
+impl TraceSink for FanoutSink {
+    fn emit(&mut self, cycle: u64, event: &TraceEvent) {
+        for s in &self.sinks {
+            s.borrow_mut().emit(cycle, event);
+        }
+    }
+    fn finish(&mut self) {
+        for s in &self.sinks {
+            s.borrow_mut().finish();
+        }
+    }
+}
+
+/// The emission handle. Clones share the same sink, so the machine, the
+/// kernel and the pmap all feed one stream.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    sink: Option<Rc<RefCell<dyn TraceSink>>>,
+}
+
+impl Tracer {
+    /// A disconnected tracer: every [`Tracer::emit`] is a no-op.
+    pub fn off() -> Self {
+        Tracer { sink: None }
+    }
+
+    /// A tracer owning a fresh sink.
+    pub fn new<S: TraceSink + 'static>(sink: S) -> Self {
+        Tracer {
+            sink: Some(Rc::new(RefCell::new(sink))),
+        }
+    }
+
+    /// A tracer sharing an externally held sink, so the caller can inspect
+    /// it (read the histogram, collect auditor divergences) after the run.
+    pub fn shared<S: TraceSink + 'static>(sink: Rc<RefCell<S>>) -> Self {
+        Tracer { sink: Some(sink) }
+    }
+
+    /// Whether a sink is connected. Callers may use this to skip building
+    /// expensive events, though all events are `Copy` and cheap.
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Emit one event at the given simulated cycle.
+    #[inline]
+    pub fn emit(&self, cycle: u64, event: TraceEvent) {
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut().emit(cycle, &event);
+        }
+    }
+
+    /// Flush the sink (end of run).
+    pub fn finish(&self) {
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut().finish();
+        }
+    }
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vic_core::types::PFrame;
+
+    #[derive(Default)]
+    struct Counting {
+        events: u64,
+        finished: bool,
+    }
+
+    impl TraceSink for Counting {
+        fn emit(&mut self, _cycle: u64, _event: &TraceEvent) {
+            self.events += 1;
+        }
+        fn finish(&mut self) {
+            self.finished = true;
+        }
+    }
+
+    #[test]
+    fn off_tracer_is_silent() {
+        let t = Tracer::off();
+        assert!(!t.is_enabled());
+        t.emit(1, TraceEvent::ZeroFill { frame: PFrame(0) });
+        t.finish();
+    }
+
+    #[test]
+    fn clones_share_the_sink() {
+        let sink = Rc::new(RefCell::new(Counting::default()));
+        let a = Tracer::shared(sink.clone());
+        let b = a.clone();
+        a.emit(1, TraceEvent::ZeroFill { frame: PFrame(0) });
+        b.emit(2, TraceEvent::ZeroFill { frame: PFrame(1) });
+        b.finish();
+        assert_eq!(sink.borrow().events, 2);
+        assert!(sink.borrow().finished);
+    }
+
+    #[test]
+    fn fanout_forwards_to_all() {
+        let a = Rc::new(RefCell::new(Counting::default()));
+        let b = Rc::new(RefCell::new(Counting::default()));
+        let t = Tracer::new(FanoutSink::new().with(a.clone()).with(b.clone()));
+        t.emit(1, TraceEvent::ZeroFill { frame: PFrame(0) });
+        t.finish();
+        assert_eq!(a.borrow().events, 1);
+        assert_eq!(b.borrow().events, 1);
+        assert!(a.borrow().finished && b.borrow().finished);
+    }
+}

@@ -8,9 +8,8 @@
 //! (exec a tool binary and let it read the sources). Between operations the
 //! "script" burns a little user CPU, as a shell does.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use vic_core::types::VAddr;
+use vic_core::Rng64;
 use vic_os::{Kernel, OsError};
 
 use crate::runner::Workload;
@@ -60,7 +59,7 @@ impl Workload for AfsBench {
     }
 
     fn run(&self, k: &mut Kernel) -> Result<(), OsError> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng64::seed_from_u64(self.seed);
         let page = k.page_size();
         let t = k.create_task();
         let buf = k.vm_allocate(t, self.max_pages)?;
@@ -69,7 +68,7 @@ impl Workload for AfsBench {
         let mut sources = Vec::new();
         for fi in 0..self.files {
             let f = k.fs_create();
-            let pages = rng.gen_range(1..=self.max_pages);
+            let pages = rng.gen_u64(1, self.max_pages);
             for p in 0..pages {
                 // The script produces the file contents...
                 for w in 0..16u64 {

@@ -9,9 +9,8 @@
 //! shared phase is free; under the old system every shared page is an
 //! unaligned alias that must be broken eagerly.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use vic_core::types::VAddr;
+use vic_core::Rng64;
 use vic_os::{Kernel, OsError};
 
 use crate::runner::Workload;
@@ -61,7 +60,7 @@ impl Workload for ForkBench {
     }
 
     fn run(&self, k: &mut Kernel) -> Result<(), OsError> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng64::seed_from_u64(self.seed);
         let page = k.page_size();
         let parent = k.create_task();
         let seg = k.vm_allocate(parent, self.segment_pages)?;
@@ -82,7 +81,7 @@ impl Workload for ForkBench {
             }
             // ...writes a fraction of it (COW breaks those pages)...
             for p in 0..self.segment_pages {
-                if rng.gen_range(0..100) < self.write_pct {
+                if rng.gen_u64(0, 99) < u64::from(self.write_pct) {
                     for w in 0..8u64 {
                         k.write(child, VAddr(snap.0 + p * page + w * 8), f + w as u32)?;
                     }

@@ -8,9 +8,8 @@
 //! source of new-mapping purges). A final link pass reads every object
 //! file and writes the kernel image.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use vic_core::types::VAddr;
+use vic_core::Rng64;
 use vic_os::{Kernel, OsError};
 
 use crate::runner::Workload;
@@ -68,7 +67,7 @@ impl Workload for KernelBuild {
     }
 
     fn run(&self, k: &mut Kernel) -> Result<(), OsError> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng64::seed_from_u64(self.seed);
         let page = k.page_size();
 
         // Setup (not unlike `make depend`): the shell task writes out the
@@ -85,7 +84,7 @@ impl Workload for KernelBuild {
         let mut sources = Vec::new();
         for s in 0..self.units {
             let f = k.fs_create();
-            let pages = rng.gen_range(self.src_pages.0..=self.src_pages.1);
+            let pages = rng.gen_u64(self.src_pages.0, self.src_pages.1);
             for p in 0..pages {
                 for w in 0..16u64 {
                     k.write(shell, VAddr(buf.0 + w * 4), s.wrapping_mul(97) + (p * 8 + w) as u32)?;
@@ -109,7 +108,7 @@ impl Workload for KernelBuild {
         for &(src, pages) in &sources {
             let cc_task = k.create_task();
             let pad = if rng.gen_bool(0.5) {
-                rng.gen_range(1..8u64)
+                rng.gen_u64(1, 7)
             } else {
                 0
             };

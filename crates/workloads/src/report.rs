@@ -24,6 +24,72 @@ impl Table {
         self
     }
 
+    /// Render as RFC-4180-style CSV: one header line, one line per row.
+    /// Cells containing a comma, a double quote or a newline are wrapped in
+    /// double quotes with embedded quotes doubled; everything else is
+    /// written bare.
+    pub fn render_csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains([',', '"', '\n', '\r']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        for row in std::iter::once(&self.header).chain(self.rows.iter()) {
+            let line: Vec<String> = row.iter().map(|c| escape(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as a GitHub-flavored Markdown table (right-aligned columns,
+    /// since cells are predominantly numeric). Pipe and backslash
+    /// characters in cells are escaped so they cannot break the table
+    /// structure.
+    pub fn render_markdown(&self) -> String {
+        fn escape(cell: &str) -> String {
+            cell.replace('\\', "\\\\").replace('|', "\\|")
+        }
+        let ncols = self.header.len();
+        let escaped_header: Vec<String> = self.header.iter().map(|c| escape(c)).collect();
+        let escaped_rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|c| escape(c)).collect())
+            .collect();
+        let mut widths = vec![3usize; ncols]; // `--:` needs at least 3
+        for row in std::iter::once(&escaped_header).chain(escaped_rows.iter()) {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |row: &[String]| -> String {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            format!("| {} |", cells.join(" | "))
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&escaped_header));
+        out.push('\n');
+        let rule: Vec<String> = widths
+            .iter()
+            .map(|w| format!("{}:", "-".repeat(w.saturating_sub(1))))
+            .collect();
+        out.push_str(&format!("| {} |", rule.join(" | ")));
+        out.push('\n');
+        for row in &escaped_rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
     /// Render with padded columns.
     pub fn render(&self) -> String {
         let ncols = self.header.len();
@@ -96,5 +162,69 @@ mod tests {
         assert_eq!(thousands(12_345), "12.3");
         assert_eq!(secs(59.44), "59.4");
         assert_eq!(pct(8.52), "8.5%");
+    }
+
+    #[test]
+    fn csv_plain() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["a", "1"]).row(["b", "22"]);
+        assert_eq!(t.render_csv(), "name,value\na,1\nb,22\n");
+    }
+
+    #[test]
+    fn csv_escapes_commas_quotes_newlines() {
+        let mut t = Table::new(["k", "v"]);
+        t.row(["has,comma", "has\"quote"])
+            .row(["has\nnewline", "plain"]);
+        let s = t.render_csv();
+        let lines: Vec<&str> = s.split('\n').collect();
+        assert_eq!(lines[0], "k,v");
+        assert_eq!(lines[1], "\"has,comma\",\"has\"\"quote\"");
+        // The embedded newline stays inside its quoted cell.
+        assert_eq!(lines[2], "\"has");
+        assert_eq!(lines[3], "newline\",plain");
+    }
+
+    #[test]
+    fn markdown_shape_and_alignment() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["a", "1"]).row(["longer", "22"]);
+        let s = t.render_markdown();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows have the same width and the pipe structure.
+        assert!(lines.iter().all(|l| l.starts_with("| ") && l.ends_with(" |")));
+        assert_eq!(lines[0].len(), lines[1].len());
+        assert_eq!(lines[0].len(), lines[2].len());
+        // The separator is right-aligning (ends each cell with `-:`).
+        assert!(lines[1].contains("-:"));
+        // Each line has exactly 3 pipes (2 columns).
+        for l in &lines {
+            assert_eq!(l.matches('|').count(), 3, "bad pipes in {l:?}");
+        }
+        // Right alignment: the short cell is padded on the left.
+        assert!(lines[2].contains("|      a |"));
+    }
+
+    #[test]
+    fn markdown_escapes_pipes() {
+        let mut t = Table::new(["a|b", "c"]);
+        t.row(["x\\y", "p|q"]);
+        let s = t.render_markdown();
+        for line in s.lines() {
+            // Structural pipe count is unchanged by cell contents.
+            assert_eq!(line.matches('|').count() - line.matches("\\|").count(), 3);
+        }
+        assert!(s.contains("a\\|b"));
+        assert!(s.contains("x\\\\y"));
+        assert!(s.contains("p\\|q"));
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new(["only", "header"]);
+        assert_eq!(t.render_csv(), "only,header\n");
+        let md = t.render_markdown();
+        assert_eq!(md.lines().count(), 2);
     }
 }

@@ -4,6 +4,7 @@
 use vic_core::manager::MgrStats;
 use vic_machine::MachineStats;
 use vic_os::{Kernel, KernelConfig, OsError, OsStats, SystemKind};
+use vic_trace::Tracer;
 
 /// Which machine to simulate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,7 +90,20 @@ pub fn run_on(system: SystemKind, size: MachineSize, workload: &dyn Workload) ->
 ///
 /// Panics if the workload itself fails.
 pub fn run_with_config(cfg: KernelConfig, workload: &dyn Workload) -> RunStats {
+    run_traced(cfg, workload, Tracer::off())
+}
+
+/// [`run_with_config`] with a live [`Tracer`]: every machine access,
+/// kernel event and consistency-state transition of the run flows to the
+/// tracer's sink. The tracer's `finish` hook fires before stats are
+/// collected, so file-backed sinks are flushed by the time this returns.
+///
+/// # Panics
+///
+/// Panics if the workload itself fails.
+pub fn run_traced(cfg: KernelConfig, workload: &dyn Workload, tracer: Tracer) -> RunStats {
     let mut k = Kernel::new(cfg);
+    k.set_tracer(tracer);
     workload.run(&mut k).unwrap_or_else(|e| {
         panic!(
             "workload {} failed under {:?}: {e}",
@@ -97,6 +111,7 @@ pub fn run_with_config(cfg: KernelConfig, workload: &dyn Workload) -> RunStats {
             cfg.system
         )
     });
+    k.machine().tracer().finish();
     collect(&k, workload.name())
 }
 

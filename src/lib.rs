@@ -15,9 +15,13 @@
 //! * [`vic_os`] (as `os`) — the Mach-like kernel (address spaces, pmap, fault
 //!   handling, IPC page transfer, buffer-cache file system);
 //! * [`vic_workloads`] (as `workloads`) — the paper's benchmark drivers
-//!   (afs-bench, latex-paper, kernel-build, alias microbenchmark).
+//!   (afs-bench, latex-paper, kernel-build, alias microbenchmark);
+//! * [`vic_trace`] (as `trace`) — the structured event-tracing and metrics
+//!   layer (ring-buffer/JSON/histogram sinks, and the consistency auditor
+//!   that replays a trace against the abstract four-state model).
 
 pub use vic_core as core;
 pub use vic_machine as machine;
 pub use vic_os as os;
+pub use vic_trace as trace;
 pub use vic_workloads as workloads;

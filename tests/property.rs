@@ -1,15 +1,19 @@
-//! Property-based tests: randomized operation sequences against every
-//! consistency manager, with the staleness oracle as the universal
-//! correctness judge.
+//! Randomized whole-kernel tests: seeded random operation sequences
+//! against every consistency manager, with the staleness oracle as the
+//! universal correctness judge.
 //!
 //! The central property is the paper's: *the memory system never transfers
 //! a stale value to either the CPU or a device* — which the oracle checks
 //! on every load, fetch and DMA transfer, over thousands of random
 //! schedules of writes, reads, sharing, IPC, DMA and task churn.
+//!
+//! Sequences are generated with the workspace's deterministic [`Rng64`]
+//! (no external property-testing dependency): every run replays the same
+//! schedules, and assertion messages name the case seed for isolation.
 
-use proptest::prelude::*;
 use vic::core::policy::Configuration;
 use vic::core::types::VAddr;
+use vic::core::Rng64;
 use vic::os::{Kernel, KernelConfig, ShareAlignment, SystemKind, TaskId};
 
 /// A randomized kernel operation.
@@ -27,21 +31,31 @@ enum Op {
     VmCopy { from: u8, page: u8, to: u8 },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..3u8, 0..4u8, 0..8u8, any::<u32>())
-            .prop_map(|(task, page, word, value)| Op::Write { task, page, word, value }),
-        (0..3u8, 0..4u8, 0..8u8).prop_map(|(task, page, word)| Op::Read { task, page, word }),
-        (0..3u8, 0..4u8, 0..3u8, any::<bool>())
-            .prop_map(|(from, page, to, aligned)| Op::Share { from, page, to, aligned }),
-        (0..3u8, 0..4u8, 0..3u8).prop_map(|(from, page, to)| Op::Ipc { from, page, to }),
-        (0..3u8, 0..3u8).prop_map(|(task, page)| Op::FsWrite { task, page }),
-        (0..3u8, 0..3u8).prop_map(|(task, page)| Op::FsRead { task, page }),
-        Just(Op::Sync),
-        (0..3u8).prop_map(|task| Op::Syscall { task }),
-        (0..3u8).prop_map(|task| Op::Recycle { task }),
-        (0..3u8, 0..4u8, 0..3u8).prop_map(|(from, page, to)| Op::VmCopy { from, page, to }),
-    ]
+/// Draw one operation with the same shape (and roughly the same mix) the
+/// old property-based strategy produced.
+fn gen_op(rng: &mut Rng64) -> Op {
+    let task = rng.gen_u64(0, 2) as u8;
+    let other = rng.gen_u64(0, 2) as u8;
+    let page = rng.gen_u64(0, 3) as u8;
+    let word = rng.gen_u64(0, 7) as u8;
+    match rng.gen_u64(0, 9) {
+        0 => Op::Write { task, page, word, value: rng.next_u32() },
+        1 => Op::Read { task, page, word },
+        2 => Op::Share { from: task, page, to: other, aligned: rng.gen_bool(0.5) },
+        3 => Op::Ipc { from: task, page, to: other },
+        4 => Op::FsWrite { task, page: page.min(2) },
+        5 => Op::FsRead { task, page: page.min(2) },
+        6 => Op::Sync,
+        7 => Op::Syscall { task },
+        8 => Op::Recycle { task },
+        _ => Op::VmCopy { from: task, page, to: other },
+    }
+}
+
+fn gen_schedule(seed: u64, max_len: u64) -> Vec<Op> {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let len = rng.gen_u64(1, max_len);
+    (0..len).map(|_| gen_op(&mut rng)).collect()
 }
 
 /// Interpreter state: three tasks, each with a 4-page arena, plus one file.
@@ -176,58 +190,82 @@ impl World {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Random schedules against the paper's manager: the oracle stays
-    /// clean and frames are never leaked.
-    #[test]
-    fn cmu_f_never_reveals_stale_data(ops in prop::collection::vec(op_strategy(), 1..60)) {
+/// Random schedules against the paper's manager: the oracle stays clean
+/// and frames are never leaked.
+#[test]
+fn cmu_f_never_reveals_stale_data() {
+    for case in 0..48u64 {
+        let ops = gen_schedule(0xF00D_0000 + case, 59);
         let mut w = World::new(SystemKind::Cmu(Configuration::F));
         for op in &ops {
             w.apply(op);
         }
-        prop_assert_eq!(w.k.machine().oracle().violations(), 0);
+        assert_eq!(w.k.machine().oracle().violations(), 0, "case {case}");
     }
+}
 
-    /// The same schedules under the eager baseline.
-    #[test]
-    fn utah_never_reveals_stale_data(ops in prop::collection::vec(op_strategy(), 1..40)) {
+/// The same kind of schedules under the eager baseline.
+#[test]
+fn utah_never_reveals_stale_data() {
+    for case in 0..48u64 {
+        let ops = gen_schedule(0x07A8_0000 + case, 39);
         let mut w = World::new(SystemKind::Utah);
         for op in &ops {
             w.apply(op);
         }
-        prop_assert_eq!(w.k.machine().oracle().violations(), 0);
+        assert_eq!(w.k.machine().oracle().violations(), 0, "case {case}");
     }
+}
 
-    /// ... and under Tut and Sun.
-    #[test]
-    fn tut_and_sun_never_reveal_stale_data(ops in prop::collection::vec(op_strategy(), 1..40)) {
+/// ... and under Tut and Sun.
+#[test]
+fn tut_and_sun_never_reveal_stale_data() {
+    for case in 0..48u64 {
+        let ops = gen_schedule(0x5117_0000 + case, 39);
         for sys in [SystemKind::Tut, SystemKind::Sun] {
             let mut w = World::new(sys);
             for op in &ops {
                 w.apply(op);
             }
-            prop_assert_eq!(w.k.machine().oracle().violations(), 0, "{:?}", sys);
+            assert_eq!(
+                w.k.machine().oracle().violations(),
+                0,
+                "case {case}, {sys:?}"
+            );
         }
     }
+}
 
-    /// Intermediate configurations B..E are as correct as A and F.
-    #[test]
-    fn intermediate_configs_correct(ops in prop::collection::vec(op_strategy(), 1..40)) {
-        for cfg in [Configuration::B, Configuration::C, Configuration::D, Configuration::E] {
+/// Intermediate configurations B..E are as correct as A and F.
+#[test]
+fn intermediate_configs_correct() {
+    for case in 0..48u64 {
+        let ops = gen_schedule(0x1B2E_0000 + case, 39);
+        for cfg in [
+            Configuration::B,
+            Configuration::C,
+            Configuration::D,
+            Configuration::E,
+        ] {
             let mut w = World::new(SystemKind::Cmu(cfg));
             for op in &ops {
                 w.apply(op);
             }
-            prop_assert_eq!(w.k.machine().oracle().violations(), 0, "{:?}", cfg);
+            assert_eq!(
+                w.k.machine().oracle().violations(),
+                0,
+                "case {case}, {cfg:?}"
+            );
         }
     }
+}
 
-    /// Determinism: the same schedule always produces the same cycle count
-    /// (the simulator has no hidden nondeterminism).
-    #[test]
-    fn schedules_are_deterministic(ops in prop::collection::vec(op_strategy(), 1..30)) {
+/// Determinism: the same schedule always produces the same cycle count
+/// (the simulator has no hidden nondeterminism).
+#[test]
+fn schedules_are_deterministic() {
+    for case in 0..24u64 {
+        let ops = gen_schedule(0xDE7E_0000 + case, 29);
         let run = |ops: &[Op]| {
             let mut w = World::new(SystemKind::Cmu(Configuration::F));
             for op in ops {
@@ -235,7 +273,7 @@ proptest! {
             }
             w.k.machine().cycles()
         };
-        prop_assert_eq!(run(&ops), run(&ops));
+        assert_eq!(run(&ops), run(&ops), "case {case}");
     }
 }
 
