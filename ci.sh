@@ -5,6 +5,9 @@ set -eu
 
 cd "$(dirname "$0")"
 
+echo "=== cargo fmt --check ==="
+cargo fmt --all --check
+
 echo "=== cargo build --release ==="
 cargo build --workspace --release --offline
 
@@ -16,5 +19,12 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 
 echo "=== bench smoke (BENCH_FAST) ==="
 BENCH_FAST=1 cargo bench -p vic-bench --offline -q >/dev/null
+
+echo "=== sweep smoke (--quick) ==="
+sweep_json="$(mktemp)"
+cargo run --release -p vic-bench --bin sweep --offline -q -- \
+    --quick --json "$sweep_json" >/dev/null
+test -s "$sweep_json" || { echo "sweep wrote no JSON"; exit 1; }
+rm -f "$sweep_json"
 
 echo "CI OK"

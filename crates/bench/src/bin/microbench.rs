@@ -9,7 +9,11 @@
 use vic_bench::microbench;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = vic_bench::cli::parse_quick_only(&args).unwrap_or_else(|e| {
+        eprintln!("microbench: {e}\nusage: microbench [--quick]");
+        std::process::exit(2);
+    });
     let m = microbench(quick);
     assert_eq!(m.aligned.oracle_violations, 0);
     assert_eq!(m.unaligned.oracle_violations, 0);

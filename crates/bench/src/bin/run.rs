@@ -7,139 +7,83 @@
 //! cargo run --release -p vic-bench --bin run -- alias-unaligned F --colored --write-through
 //! cargo run --release -p vic-bench --bin run -- alias-unaligned F --quick --trace trace.jsonl
 //! cargo run --release -p vic-bench --bin run -- fork-bench chaos-flushes --quick --trace-summary
+//! cargo run --release -p vic-bench --bin run -- afs-bench F --json afs_F.json
 //! ```
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
-use vic_core::managers::DropClass;
-use vic_core::policy::Configuration;
-use vic_machine::WritePolicy;
-use vic_os::{KernelConfig, SystemKind};
+use vic_bench::cli::{self, RunCli, SYSTEM_NAMES, WORKLOAD_NAMES};
+use vic_bench::output;
 use vic_trace::{ConsistencyAuditor, FanoutSink, HistogramSink, JsonLinesSink, Tracer};
-use vic_workloads::{
-    run_traced, AfsBench, AliasLoop, ForkBench, KernelBuild, LatexBench, Workload,
-};
 
-fn usage() -> ! {
-    eprintln!(
+fn usage() -> String {
+    format!(
         "usage: run <workload> <system> [--quick] [--colored] [--write-through] [--fast-purge]\n\
-                                        [--trace <file>] [--trace-summary]\n\
+         \x20                               [--trace <file>] [--trace-summary] [--json <file>]\n\
          \n\
-         workloads: afs-bench | latex-paper | kernel-build | fork-bench | alias-aligned | alias-unaligned\n\
-         systems:   A B C D E F (CMU configurations) | utah | apollo | tut | sun\n\
-                    null | chaos-flushes | chaos-d-purges | chaos-i-purges | chaos-flush-to-purge (broken, for the auditor)\n\
+         workloads: {WORKLOAD_NAMES}\n\
+         systems:   {SYSTEM_NAMES}\n\
          \n\
          --trace <file>   write every machine/OS/algorithm event as JSON lines\n\
-         --trace-summary  print per-event-class cost histograms and the consistency audit"
-    );
-    std::process::exit(2);
-}
-
-fn parse_system(s: &str) -> Option<SystemKind> {
-    Some(match s.to_ascii_lowercase().as_str() {
-        "a" => SystemKind::Cmu(Configuration::A),
-        "b" => SystemKind::Cmu(Configuration::B),
-        "c" => SystemKind::Cmu(Configuration::C),
-        "d" => SystemKind::Cmu(Configuration::D),
-        "e" => SystemKind::Cmu(Configuration::E),
-        "f" => SystemKind::Cmu(Configuration::F),
-        "utah" => SystemKind::Utah,
-        "apollo" => SystemKind::Apollo,
-        "tut" => SystemKind::Tut,
-        "sun" => SystemKind::Sun,
-        "null" => SystemKind::Null,
-        "chaos-flushes" => SystemKind::Chaos(DropClass::Flushes),
-        "chaos-d-purges" => SystemKind::Chaos(DropClass::DataPurges),
-        "chaos-i-purges" => SystemKind::Chaos(DropClass::InsnPurges),
-        "chaos-flush-to-purge" => SystemKind::Chaos(DropClass::FlushesBecomePurges),
-        _ => return None,
-    })
-}
-
-fn parse_workload(s: &str, quick: bool) -> Option<Box<dyn Workload>> {
-    Some(match (s, quick) {
-        ("afs-bench", false) => Box::new(AfsBench::paper()),
-        ("afs-bench", true) => Box::new(AfsBench::quick()),
-        ("latex-paper", false) => Box::new(LatexBench::paper()),
-        ("latex-paper", true) => Box::new(LatexBench::quick()),
-        ("kernel-build", false) => Box::new(KernelBuild::paper()),
-        ("kernel-build", true) => Box::new(KernelBuild::quick()),
-        ("fork-bench", false) => Box::new(ForkBench::paper()),
-        ("fork-bench", true) => Box::new(ForkBench::quick()),
-        ("alias-aligned", false) => Box::new(AliasLoop::paper(true)),
-        ("alias-aligned", true) => Box::new(AliasLoop::quick(true)),
-        ("alias-unaligned", false) => Box::new(AliasLoop::paper(false)),
-        ("alias-unaligned", true) => Box::new(AliasLoop::quick(false)),
-        _ => return None,
-    })
+         --trace-summary  print per-event-class cost histograms and the consistency audit\n\
+         --json <file>    write the run's spec + full statistics as one JSON object"
+    )
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut flags: Vec<&str> = Vec::new();
-    let mut pos: Vec<&str> = Vec::new();
-    let mut trace_path: Option<String> = None;
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        if a == "--trace" {
-            let Some(p) = it.next() else { usage() };
-            trace_path = Some(p.clone());
-        } else if a.starts_with("--") {
-            flags.push(a.as_str());
-        } else {
-            pos.push(a.as_str());
+    let RunCli {
+        spec,
+        trace,
+        trace_summary,
+        json,
+    } = match cli::parse_run(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("run: {e}\n\n{}", usage());
+            std::process::exit(2);
         }
-    }
-    let (Some(wname), Some(sname)) = (pos.first(), pos.get(1)) else {
-        usage()
     };
-    let quick = flags.contains(&"--quick");
-    let summary = flags.contains(&"--trace-summary");
-    let Some(system) = parse_system(sname) else { usage() };
-    let Some(workload) = parse_workload(wname, quick) else { usage() };
-
-    let mut cfg = KernelConfig::new(system);
-    if flags.contains(&"--colored") {
-        cfg.colored_free_lists = true;
-    }
-    if flags.contains(&"--write-through") {
-        cfg.machine.write_policy = WritePolicy::WriteThrough;
-    }
-    if flags.contains(&"--fast-purge") {
-        cfg.machine.costs = cfg.machine.costs.fast_purge();
-    }
 
     // Assemble the trace pipeline: a JSON-lines file and/or an in-process
     // histogram aggregator, always joined by the consistency auditor when
-    // any tracing is requested.
-    let tracing = trace_path.is_some() || summary;
-    let hist = Rc::new(RefCell::new(HistogramSink::new()));
-    let auditor = Rc::new(RefCell::new(ConsistencyAuditor::new()));
+    // any tracing is requested. The inspectable sinks live behind
+    // Arc<Mutex<_>>: one handle goes to the tracer, ours reads after the
+    // run.
+    let tracing = trace.is_some() || trace_summary;
+    let hist = Arc::new(Mutex::new(HistogramSink::new()));
+    let auditor = Arc::new(Mutex::new(ConsistencyAuditor::new()));
     let tracer = if tracing {
         let mut fan = FanoutSink::new().with(auditor.clone());
-        if summary {
+        if trace_summary {
             fan = fan.with(hist.clone());
         }
-        if let Some(path) = &trace_path {
-            let json = JsonLinesSink::create(path).unwrap_or_else(|e| {
+        if let Some(path) = &trace {
+            let json_sink = JsonLinesSink::create(path).unwrap_or_else(|e| {
                 eprintln!("run: cannot create {path}: {e}");
                 std::process::exit(2);
             });
-            fan = fan.with(Rc::new(RefCell::new(json)));
+            fan = fan.with(json_sink);
         }
         Tracer::new(fan)
     } else {
         Tracer::off()
     };
 
-    let s = run_traced(cfg, workload.as_ref(), tracer);
+    let t0 = std::time::Instant::now();
+    let s = spec.run_traced(tracer);
+    let wall = t0.elapsed();
     println!("workload:  {}", s.workload);
     println!("system:    {}", s.system);
-    println!("elapsed:   {:.4} s  ({} cycles @ 50 MHz)", s.seconds, s.cycles);
+    println!(
+        "elapsed:   {:.4} s  ({} cycles @ 50 MHz)",
+        s.seconds, s.cycles
+    );
     println!();
-    println!("faults:    {} mapping, {} consistency, {} COW ({} copies)",
-        s.os.mapping_faults, s.os.consistency_faults, s.os.cow_faults, s.os.cow_copies);
+    println!(
+        "faults:    {} mapping, {} consistency, {} COW ({} copies)",
+        s.os.mapping_faults, s.os.consistency_faults, s.os.cow_faults, s.os.cow_copies
+    );
     println!(
         "cache ops: {} D flushes (avg {:.0} cyc), {} D purges (avg {:.0} cyc), {} I purges",
         s.machine.d_flush_pages.count,
@@ -171,8 +115,8 @@ fn main() {
         s.os.zero_fills, s.os.page_copies, s.os.ipc_transfers, s.os.d2i_copies, s.os.tasks_created
     );
     println!();
-    if summary {
-        let h = hist.borrow();
+    if trace_summary {
+        let h = hist.lock().expect("histogram sink poisoned");
         println!("trace summary (cycle cost per event class):");
         println!(
             "  {:<14} {:>9} {:>12} {:>8} {:>8}  distribution (1,2,4,... buckets)",
@@ -187,7 +131,7 @@ fn main() {
         println!();
     }
     if tracing {
-        let a = auditor.borrow();
+        let a = auditor.lock().expect("auditor sink poisoned");
         if a.is_clean() {
             println!(
                 "audit:     CLEAN — {} state transitions matched the four-state model",
@@ -201,15 +145,26 @@ fn main() {
             );
             print!("{}", a.report());
         }
-        if let Some(path) = &trace_path {
+        if let Some(path) = &trace {
             println!("trace:     written to {path}");
         }
         println!();
     }
+    if let Some(path) = &json {
+        let doc = output::run_json(&spec, &s, Some(wall.as_secs_f64()));
+        if let Err(e) = std::fs::write(path, doc + "\n") {
+            eprintln!("run: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("json:      written to {path}");
+    }
     if s.oracle_violations == 0 {
         println!("oracle:    CLEAN — no stale data ever reached the CPU or a device");
     } else {
-        println!("oracle:    {} VIOLATIONS (the consistency system is broken!)", s.oracle_violations);
+        println!(
+            "oracle:    {} VIOLATIONS (the consistency system is broken!)",
+            s.oracle_violations
+        );
         std::process::exit(1);
     }
 }

@@ -1,0 +1,92 @@
+//! Regenerate the full Table-4 and Table-5 grids **in parallel** and write
+//! the results as JSON.
+//!
+//! The 23 runs (3 benchmarks × configurations A–F, plus afs-bench under
+//! the five Table-5 systems) are described as [`SystemSpec`] values and
+//! fanned across worker threads; because every run is a pure function of
+//! its spec, the printed tables are identical to the serial `table4` and
+//! `table5` binaries, only faster.
+//!
+//! ```sh
+//! cargo run --release -p vic-bench --bin sweep
+//! cargo run --release -p vic-bench --bin sweep -- --quick --threads 4 --json results.json
+//! ```
+
+use vic_bench::cli::{self, SweepCli};
+use vic_bench::experiments::{group_table4, render_table4_group};
+use vic_bench::output::sweep_json;
+use vic_bench::spec::SystemSpec;
+use vic_bench::sweep::{default_threads, run_sweep_with_threads};
+use vic_workloads::report::{secs, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let SweepCli {
+        quick,
+        threads,
+        json,
+    } = cli::parse_sweep(&args).unwrap_or_else(|e| {
+        eprintln!("sweep: {e}\nusage: sweep [--quick] [--threads <n>] [--json <file>]");
+        std::process::exit(2);
+    });
+
+    let mut specs = SystemSpec::table4_grid(quick);
+    let table5_start = specs.len();
+    specs.extend(SystemSpec::table5_grid(quick));
+
+    // The point of the sweep is parallelism: default to every hardware
+    // thread, and to at least two even on a single-core host (the engine
+    // is deterministic either way). An explicit --threads wins.
+    let threads = threads.unwrap_or_else(|| default_threads().max(2));
+    println!(
+        "sweep: {} runs ({} Table-4, {} Table-5) on {} threads{}\n",
+        specs.len(),
+        table5_start,
+        specs.len() - table5_start,
+        threads,
+        if quick { " [quick]" } else { "" }
+    );
+
+    let sweep = run_sweep_with_threads(&specs, threads);
+    for r in &sweep.results {
+        assert_eq!(
+            r.stats.oracle_violations,
+            0,
+            "oracle violation under {}",
+            r.spec.label()
+        );
+    }
+
+    println!("Table 4 — benchmarks under configurations A-F (parallel regeneration)\n");
+    let t4 = &sweep.results[..table5_start];
+    for (program, cells) in group_table4(t4.iter().map(|r| (r.spec, r.stats.clone()))) {
+        println!("{}", render_table4_group(&program, &cells));
+    }
+
+    println!("Table 5 — afs-bench under each system (parallel regeneration)\n");
+    let mut t = Table::new(["System", "Elapsed (s)", "Flushes", "Purges", "Cons faults"]);
+    for r in &sweep.results[table5_start..] {
+        t.row([
+            r.spec.system.label(),
+            secs(r.stats.seconds),
+            r.stats.total_flushes().to_string(),
+            r.stats.total_purges().to_string(),
+            r.stats.os.consistency_faults.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    if let Err(e) = std::fs::write(&json, sweep_json(&sweep) + "\n") {
+        eprintln!("sweep: cannot write {json}: {e}");
+        std::process::exit(2);
+    }
+    let simulated: f64 = sweep.results.iter().map(|r| r.stats.seconds).sum();
+    println!(
+        "swept {} specs on {} threads in {:.2} s wall ({:.2} simulated-seconds); results: {}",
+        sweep.results.len(),
+        sweep.threads,
+        sweep.wall.as_secs_f64(),
+        simulated,
+        json
+    );
+}

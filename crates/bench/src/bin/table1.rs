@@ -8,8 +8,14 @@ use vic_bench::table1;
 use vic_workloads::report::{pct, secs, thousands, Table};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    println!("Table 1 — two approaches to consistency management (old = config A, new = config F)\n");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = vic_bench::cli::parse_quick_only(&args).unwrap_or_else(|e| {
+        eprintln!("table1: {e}\nusage: table1 [--quick]");
+        std::process::exit(2);
+    });
+    println!(
+        "Table 1 — two approaches to consistency management (old = config A, new = config F)\n"
+    );
     let mut t = Table::new([
         "Program",
         "Elapsed old (s)",
@@ -36,5 +42,7 @@ fn main() {
     }
     println!("{}", t.render());
     println!("(paper: afs-bench 66.0 -> 59.4 s (10%), latex-paper 5.8 -> 5.5 s (5%), kernel-build 678.9 -> 620.9 s (8.5%))");
-    println!("(absolute seconds differ — simulated substrate — but the ordering and gains reproduce)");
+    println!(
+        "(absolute seconds differ — simulated substrate — but the ordering and gains reproduce)"
+    );
 }

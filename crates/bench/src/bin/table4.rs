@@ -6,56 +6,28 @@
 //!
 //! Run with `--quick` for the scaled-down test geometry.
 
-use vic_bench::experiments::{summary_f, table4};
-use vic_workloads::report::{secs, Table};
+use vic_bench::experiments::{render_table4_group, summary_f, table4};
+use vic_workloads::report::secs;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = vic_bench::cli::parse_quick_only(&args).unwrap_or_else(|e| {
+        eprintln!("table4: {e}\nusage: table4 [--quick]");
+        std::process::exit(2);
+    });
     println!("Table 4 — benchmarks under configurations A-F\n");
     println!("  A = old (eager, unaligned)      B = +lazy unmap   C = +align pages");
     println!("  D = +aligned prepare            E = +need data    F = +will overwrite (new)\n");
     for (program, cells) in table4(quick) {
-        println!("== {program} ==");
-        let mut t = Table::new([
-            "Cfg",
-            "Elapsed (s)",
-            "Map faults",
-            "Cons faults",
-            "D flush",
-            "avg cyc",
-            "D purge",
-            "avg cyc",
-            "I purge",
-            "avg cyc",
-            "DMA-rd",
-            "DMA-wr",
-            "D->I copies",
-        ]);
-        for cell in &cells {
-            let s = &cell.stats;
-            assert_eq!(s.oracle_violations, 0, "oracle violation in {program}");
-            t.row([
-                cell.config.to_string(),
-                secs(s.seconds),
-                s.os.mapping_faults.to_string(),
-                s.os.consistency_faults.to_string(),
-                s.machine.d_flush_pages.count.to_string(),
-                format!("{:.0}", s.machine.d_flush_pages.avg()),
-                s.machine.d_purge_pages.count.to_string(),
-                format!("{:.0}", s.machine.d_purge_pages.avg()),
-                s.machine.i_purge_pages.count.to_string(),
-                format!("{:.0}", s.machine.i_purge_pages.avg()),
-                s.machine.dma_reads.to_string(),
-                s.machine.dma_writes.to_string(),
-                s.os.d2i_copies.to_string(),
-            ]);
-        }
-        println!("{}", t.render());
+        println!("{}", render_table4_group(&program, &cells));
     }
 
     println!("== Summary over configuration F (paper §5.1) ==\n");
     let s = summary_f(quick);
-    println!("  total elapsed:                {} s", secs(s.total_seconds));
+    println!(
+        "  total elapsed:                {} s",
+        secs(s.total_seconds)
+    );
     println!("  total page purges:            {}", s.total_purges);
     println!("  total page flushes:           {}", s.total_flushes);
     println!(

@@ -9,7 +9,11 @@ use vic_bench::table5;
 use vic_workloads::report::{secs, Table};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = vic_bench::cli::parse_quick_only(&args).unwrap_or_else(|e| {
+        eprintln!("table5: {e}\nusage: table5 [--quick]");
+        std::process::exit(2);
+    });
     println!("Table 5 — operating systems for virtually indexed caches\n");
     let rows = table5(quick);
 
@@ -31,7 +35,12 @@ fn main() {
             r.features.aligns_mappings.to_string(),
             r.features.aligned_prepare.to_string(),
             if r.features.need_data { "yes" } else { "no" }.to_string(),
-            if r.features.will_overwrite { "yes" } else { "no" }.to_string(),
+            if r.features.will_overwrite {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
             r.features.state_granularity.to_string(),
         ]);
     }
@@ -47,7 +56,11 @@ fn main() {
         "Uncached accesses",
     ]);
     for r in &rows {
-        assert_eq!(r.afs.oracle_violations, 0, "oracle violation: {:?}", r.system);
+        assert_eq!(
+            r.afs.oracle_violations, 0,
+            "oracle violation: {:?}",
+            r.system
+        );
         m.row([
             r.system.label(),
             secs(r.afs.seconds),

@@ -1,0 +1,379 @@
+//! Shared command-line parsing for every bench binary.
+//!
+//! One grammar, one set of names, one error type. The binaries used to
+//! carry private copies of `parse_system`/`parse_workload` and silently
+//! fell back to `usage()` on anything unexpected; now an unknown flag or
+//! a conflicting pair produces a specific [`CliError`] naming the problem.
+
+use std::fmt;
+
+use vic_core::managers::DropClass;
+use vic_core::policy::Configuration;
+use vic_os::SystemKind;
+use vic_workloads::WorkloadKind;
+
+use crate::spec::SystemSpec;
+
+/// The accepted workload names, for help text.
+pub const WORKLOAD_NAMES: &str =
+    "afs-bench | latex-paper | kernel-build | fork-bench | alias-aligned | alias-unaligned";
+
+/// The accepted system names, for help text.
+pub const SYSTEM_NAMES: &str = "A B C D E F (CMU configurations) | utah | apollo | tut | sun\n\
+     \x20          null | chaos-flushes | chaos-d-purges | chaos-i-purges | chaos-flush-to-purge (broken, for the auditor)";
+
+/// What went wrong while parsing a command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// A workload name that names no workload.
+    UnknownWorkload(String),
+    /// A system name that names no system.
+    UnknownSystem(String),
+    /// A flag this binary does not understand.
+    UnknownFlag(String),
+    /// A flag that requires a value was given none.
+    MissingValue(&'static str),
+    /// A required positional argument is absent.
+    MissingArg(&'static str),
+    /// More positional arguments than the grammar has slots for.
+    UnexpectedArg(String),
+    /// Two arguments that contradict each other (e.g. the same
+    /// value-carrying flag given twice with different values).
+    Conflicting(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::UnknownWorkload(s) => {
+                write!(
+                    f,
+                    "unknown workload '{s}' (expected one of: {WORKLOAD_NAMES})"
+                )
+            }
+            CliError::UnknownSystem(s) => {
+                write!(f, "unknown system '{s}' (expected one of: A-F, utah, apollo, tut, sun, null, chaos-*)")
+            }
+            CliError::UnknownFlag(s) => write!(f, "unknown flag '{s}'"),
+            CliError::MissingValue(s) => write!(f, "flag '{s}' requires a value"),
+            CliError::MissingArg(s) => write!(f, "missing required argument <{s}>"),
+            CliError::UnexpectedArg(s) => write!(f, "unexpected extra argument '{s}'"),
+            CliError::Conflicting(s) => write!(f, "conflicting arguments: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parse a system name (configuration letters are case-insensitive).
+///
+/// # Errors
+///
+/// [`CliError::UnknownSystem`] if the name matches nothing.
+pub fn parse_system(s: &str) -> Result<SystemKind, CliError> {
+    Ok(match s.to_ascii_lowercase().as_str() {
+        "a" => SystemKind::Cmu(Configuration::A),
+        "b" => SystemKind::Cmu(Configuration::B),
+        "c" => SystemKind::Cmu(Configuration::C),
+        "d" => SystemKind::Cmu(Configuration::D),
+        "e" => SystemKind::Cmu(Configuration::E),
+        "f" => SystemKind::Cmu(Configuration::F),
+        "utah" => SystemKind::Utah,
+        "apollo" => SystemKind::Apollo,
+        "tut" => SystemKind::Tut,
+        "sun" => SystemKind::Sun,
+        "null" => SystemKind::Null,
+        "chaos-flushes" => SystemKind::Chaos(DropClass::Flushes),
+        "chaos-d-purges" => SystemKind::Chaos(DropClass::DataPurges),
+        "chaos-i-purges" => SystemKind::Chaos(DropClass::InsnPurges),
+        "chaos-flush-to-purge" => SystemKind::Chaos(DropClass::FlushesBecomePurges),
+        _ => return Err(CliError::UnknownSystem(s.to_string())),
+    })
+}
+
+/// The canonical CLI/JSON name of a system — the inverse of
+/// [`parse_system`].
+pub fn system_cli_name(s: SystemKind) -> String {
+    match s {
+        SystemKind::Cmu(c) => c.letter().to_string(),
+        SystemKind::Utah => "utah".to_string(),
+        SystemKind::Apollo => "apollo".to_string(),
+        SystemKind::Tut => "tut".to_string(),
+        SystemKind::Sun => "sun".to_string(),
+        SystemKind::Null => "null".to_string(),
+        SystemKind::Chaos(DropClass::Flushes) => "chaos-flushes".to_string(),
+        SystemKind::Chaos(DropClass::DataPurges) => "chaos-d-purges".to_string(),
+        SystemKind::Chaos(DropClass::InsnPurges) => "chaos-i-purges".to_string(),
+        SystemKind::Chaos(DropClass::FlushesBecomePurges) => "chaos-flush-to-purge".to_string(),
+    }
+}
+
+/// Parse a workload name.
+///
+/// # Errors
+///
+/// [`CliError::UnknownWorkload`] if the name matches nothing.
+pub fn parse_workload(s: &str) -> Result<WorkloadKind, CliError> {
+    WorkloadKind::parse(s).ok_or_else(|| CliError::UnknownWorkload(s.to_string()))
+}
+
+/// The parsed command line of the `run` binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunCli {
+    /// The fully described run.
+    pub spec: SystemSpec,
+    /// Write every event as JSON lines to this file.
+    pub trace: Option<String>,
+    /// Print histograms + the consistency audit after the run.
+    pub trace_summary: bool,
+    /// Write the `RunStats` + spec as one JSON object to this file.
+    pub json: Option<String>,
+}
+
+/// Parse the `run` binary's arguments:
+/// `<workload> <system> [--quick] [--colored] [--write-through]
+/// [--fast-purge] [--trace <file>] [--trace-summary] [--json <file>]`.
+///
+/// # Errors
+///
+/// A [`CliError`] naming the offending argument.
+pub fn parse_run(args: &[String]) -> Result<RunCli, CliError> {
+    let mut pos: Vec<&str> = Vec::new();
+    let mut quick = false;
+    let mut colored = false;
+    let mut write_through = false;
+    let mut fast_purge = false;
+    let mut trace_summary = false;
+    let mut trace: Option<String> = None;
+    let mut json: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--colored" => colored = true,
+            "--write-through" => write_through = true,
+            "--fast-purge" => fast_purge = true,
+            "--trace-summary" => trace_summary = true,
+            "--trace" => set_value(&mut trace, "--trace", it.next())?,
+            "--json" => set_value(&mut json, "--json", it.next())?,
+            s if s.starts_with("--") => return Err(CliError::UnknownFlag(s.to_string())),
+            s => pos.push(s),
+        }
+    }
+    if let Some(extra) = pos.get(2) {
+        return Err(CliError::UnexpectedArg(extra.to_string()));
+    }
+    let workload = parse_workload(pos.first().ok_or(CliError::MissingArg("workload"))?)?;
+    let system = parse_system(pos.get(1).ok_or(CliError::MissingArg("system"))?)?;
+    Ok(RunCli {
+        spec: SystemSpec {
+            workload,
+            system,
+            quick,
+            colored_free_lists: colored,
+            write_through,
+            fast_purge,
+        },
+        trace,
+        trace_summary,
+        json,
+    })
+}
+
+/// The parsed command line of the `sweep` binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepCli {
+    /// Quick mode (miniature machine, shortened workloads).
+    pub quick: bool,
+    /// Worker thread count override (default: `available_parallelism()`).
+    pub threads: Option<usize>,
+    /// JSON results file (default `BENCH_sweep.json`).
+    pub json: String,
+}
+
+/// Parse the `sweep` binary's arguments:
+/// `[--quick] [--threads <n>] [--json <file>]`.
+///
+/// # Errors
+///
+/// A [`CliError`] naming the offending argument.
+pub fn parse_sweep(args: &[String]) -> Result<SweepCli, CliError> {
+    let mut quick = false;
+    let mut threads: Option<String> = None;
+    let mut json: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--threads" => set_value(&mut threads, "--threads", it.next())?,
+            "--json" => set_value(&mut json, "--json", it.next())?,
+            s if s.starts_with("--") => return Err(CliError::UnknownFlag(s.to_string())),
+            s => return Err(CliError::UnexpectedArg(s.to_string())),
+        }
+    }
+    let threads = match threads {
+        None => None,
+        Some(t) => Some(t.parse::<usize>().map_err(|_| {
+            CliError::Conflicting(format!("--threads wants a positive integer, got '{t}'"))
+        })?),
+    };
+    if threads == Some(0) {
+        return Err(CliError::Conflicting(
+            "--threads must be at least 1".to_string(),
+        ));
+    }
+    Ok(SweepCli {
+        quick,
+        threads,
+        json: json.unwrap_or_else(|| "BENCH_sweep.json".to_string()),
+    })
+}
+
+/// Parse the table binaries' arguments (`--quick` only).
+///
+/// # Errors
+///
+/// A [`CliError`] for anything other than an optional `--quick`.
+pub fn parse_quick_only(args: &[String]) -> Result<bool, CliError> {
+    let mut quick = false;
+    for a in args {
+        match a.as_str() {
+            "--quick" => quick = true,
+            s if s.starts_with("--") => return Err(CliError::UnknownFlag(s.to_string())),
+            s => return Err(CliError::UnexpectedArg(s.to_string())),
+        }
+    }
+    Ok(quick)
+}
+
+fn set_value(
+    slot: &mut Option<String>,
+    flag: &'static str,
+    value: Option<&String>,
+) -> Result<(), CliError> {
+    let v = value.ok_or(CliError::MissingValue(flag))?;
+    match slot {
+        Some(old) if old != v => Err(CliError::Conflicting(format!(
+            "{flag} given twice ('{old}' and '{v}')"
+        ))),
+        _ => {
+            *slot = Some(v.clone());
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn system_names_roundtrip() {
+        for name in [
+            "A",
+            "b",
+            "C",
+            "d",
+            "E",
+            "f",
+            "utah",
+            "apollo",
+            "tut",
+            "sun",
+            "null",
+            "chaos-flushes",
+            "chaos-d-purges",
+            "chaos-i-purges",
+            "chaos-flush-to-purge",
+        ] {
+            let sys = parse_system(name).unwrap();
+            assert_eq!(
+                parse_system(&system_cli_name(sys)).unwrap(),
+                sys,
+                "round trip through {name}"
+            );
+        }
+        assert!(matches!(
+            parse_system("hp748"),
+            Err(CliError::UnknownSystem(_))
+        ));
+    }
+
+    #[test]
+    fn run_grammar() {
+        let cli = parse_run(&s(&[
+            "kernel-build",
+            "F",
+            "--quick",
+            "--colored",
+            "--json",
+            "out.json",
+        ]))
+        .unwrap();
+        assert_eq!(cli.spec.workload, WorkloadKind::KernelBuild);
+        assert_eq!(cli.spec.system, SystemKind::Cmu(Configuration::F));
+        assert!(cli.spec.quick && cli.spec.colored_free_lists);
+        assert_eq!(cli.json.as_deref(), Some("out.json"));
+        assert!(cli.trace.is_none() && !cli.trace_summary);
+    }
+
+    #[test]
+    fn run_errors_name_the_problem() {
+        assert_eq!(
+            parse_run(&s(&["afs-bench"])),
+            Err(CliError::MissingArg("system"))
+        );
+        assert_eq!(
+            parse_run(&s(&["afs-bench", "F", "extra"])),
+            Err(CliError::UnexpectedArg("extra".to_string()))
+        );
+        assert_eq!(
+            parse_run(&s(&["afs-bench", "F", "--frobnicate"])),
+            Err(CliError::UnknownFlag("--frobnicate".to_string()))
+        );
+        assert_eq!(
+            parse_run(&s(&["afs-bench", "F", "--trace"])),
+            Err(CliError::MissingValue("--trace"))
+        );
+        assert!(matches!(
+            parse_run(&s(&["afs-bench", "F", "--json", "a", "--json", "b"])),
+            Err(CliError::Conflicting(_))
+        ));
+        // Same value twice is harmless.
+        assert!(parse_run(&s(&["afs-bench", "F", "--json", "a", "--json", "a"])).is_ok());
+    }
+
+    #[test]
+    fn sweep_grammar() {
+        let cli = parse_sweep(&s(&["--quick", "--threads", "4"])).unwrap();
+        assert!(cli.quick);
+        assert_eq!(cli.threads, Some(4));
+        assert_eq!(cli.json, "BENCH_sweep.json");
+        assert!(matches!(
+            parse_sweep(&s(&["--threads", "zero"])),
+            Err(CliError::Conflicting(_))
+        ));
+        assert!(matches!(
+            parse_sweep(&s(&["--threads", "0"])),
+            Err(CliError::Conflicting(_))
+        ));
+        assert!(matches!(
+            parse_sweep(&s(&["table4"])),
+            Err(CliError::UnexpectedArg(_))
+        ));
+    }
+
+    #[test]
+    fn quick_only_grammar() {
+        assert!(!parse_quick_only(&s(&[])).unwrap());
+        assert!(parse_quick_only(&s(&["--quick"])).unwrap());
+        assert!(matches!(
+            parse_quick_only(&s(&["--fast"])),
+            Err(CliError::UnknownFlag(_))
+        ));
+    }
+}

@@ -5,27 +5,21 @@
 use vic_core::manager::OpCause;
 use vic_core::policy::Configuration;
 use vic_os::{KernelConfig, SystemKind};
-use vic_workloads::{
-    run_on, run_with_config, AfsBench, AliasLoop, KernelBuild, LatexBench, MachineSize, RunStats,
-    Workload,
-};
+use vic_workloads::{run_with_config, KernelBuild, RunStats, Workload, WorkloadKind};
+
+use crate::spec::SystemSpec;
 
 /// The three benchmark programs at paper scale.
 pub fn paper_workloads() -> Vec<Box<dyn Workload>> {
-    vec![
-        Box::new(AfsBench::paper()),
-        Box::new(LatexBench::paper()),
-        Box::new(KernelBuild::paper()),
-    ]
+    WorkloadKind::TABLE4
+        .iter()
+        .map(|w| w.build(false))
+        .collect()
 }
 
 /// The three benchmark programs at test scale (fast).
 pub fn quick_workloads() -> Vec<Box<dyn Workload>> {
-    vec![
-        Box::new(AfsBench::quick()),
-        Box::new(LatexBench::quick()),
-        Box::new(KernelBuild::quick()),
-    ]
+    WorkloadKind::TABLE4.iter().map(|w| w.build(true)).collect()
 }
 
 // -------------------------------------------------------------------
@@ -51,22 +45,18 @@ impl Table1Row {
 
 /// Run Table 1: each benchmark on the old ("A") and new ("F") kernels.
 pub fn table1(quick: bool) -> Vec<Table1Row> {
-    let workloads = if quick {
-        quick_workloads()
-    } else {
-        paper_workloads()
-    };
-    let size = if quick {
-        MachineSize::Small
-    } else {
-        MachineSize::Hp720
-    };
-    workloads
-        .iter()
-        .map(|w| Table1Row {
-            program: w.name().to_string(),
-            old: run_on(SystemKind::Cmu(Configuration::A), size, w.as_ref()),
-            new: run_on(SystemKind::Cmu(Configuration::F), size, w.as_ref()),
+    WorkloadKind::TABLE4
+        .into_iter()
+        .map(|w| {
+            let mut old = SystemSpec::new(w, SystemKind::Cmu(Configuration::A));
+            old.quick = quick;
+            let mut new = SystemSpec::new(w, SystemKind::Cmu(Configuration::F));
+            new.quick = quick;
+            Table1Row {
+                program: w.cli_name().to_string(),
+                old: old.run(),
+                new: new.run(),
+            }
         })
         .collect()
 }
@@ -80,7 +70,9 @@ pub fn table1(quick: bool) -> Vec<Table1Row> {
 pub fn table2_report() -> String {
     use vic_core::spec;
     let mut out = String::new();
-    out.push_str("Table 2 — cache line state transitions (generated from vic_core::transition):\n\n");
+    out.push_str(
+        "Table 2 — cache line state transitions (generated from vic_core::transition):\n\n",
+    );
     out.push_str(&vic_core::state::render_table());
     out.push_str("\nTable 3 — cache page state encoding:\n\n");
     out.push_str("  state    | mapped[c] | stale[c] | cache_dirty\n");
@@ -89,7 +81,9 @@ pub fn table2_report() -> String {
     out.push_str("  Present  | true      | false    | false\n");
     out.push_str("  Dirty    | true      | false    | true\n");
     out.push_str("  Stale    | false     | true     | -\n");
-    out.push_str("\nSmall-scope exhaustive check (2 cache pages, 2 words, adversarial eviction):\n");
+    out.push_str(
+        "\nSmall-scope exhaustive check (2 cache pages, 2 words, adversarial eviction):\n",
+    );
     match spec::check_correctness(5) {
         Ok(()) => out.push_str(
             "  correctness: PASS — no event sequence of depth <= 5 delivers stale data\n",
@@ -119,32 +113,84 @@ pub struct Table4Cell {
     pub stats: RunStats,
 }
 
-/// Run Table 4: each benchmark across configurations A–F. Returns, per
-/// benchmark, the six runs in order.
+/// Run Table 4: each benchmark across configurations A–F, serially.
+/// Returns, per benchmark, the six runs in order. The specs (and hence
+/// the numbers) are exactly [`SystemSpec::table4_grid`], which the
+/// parallel `sweep` binary runs across threads; the two must agree cell
+/// for cell.
 pub fn table4(quick: bool) -> Vec<(String, Vec<Table4Cell>)> {
-    let workloads = if quick {
-        quick_workloads()
-    } else {
-        paper_workloads()
-    };
-    let size = if quick {
-        MachineSize::Small
-    } else {
-        MachineSize::Hp720
-    };
-    workloads
-        .iter()
-        .map(|w| {
-            let cells = Configuration::ALL
-                .into_iter()
-                .map(|c| Table4Cell {
-                    config: c,
-                    stats: run_on(SystemKind::Cmu(c), size, w.as_ref()),
-                })
-                .collect();
-            (w.name().to_string(), cells)
-        })
-        .collect()
+    group_table4(
+        SystemSpec::table4_grid(quick)
+            .iter()
+            .map(|spec| (*spec, spec.run())),
+    )
+}
+
+/// Group `(spec, stats)` pairs from the Table-4 grid into the per-benchmark
+/// shape [`table4`] returns. Used both by the serial path and to fold a
+/// parallel sweep's results into the identical report.
+pub fn group_table4(
+    runs: impl IntoIterator<Item = (SystemSpec, RunStats)>,
+) -> Vec<(String, Vec<Table4Cell>)> {
+    let mut grouped: Vec<(String, Vec<Table4Cell>)> = Vec::new();
+    for (spec, stats) in runs {
+        let SystemKind::Cmu(config) = spec.system else {
+            continue;
+        };
+        let name = spec.workload.cli_name().to_string();
+        if grouped.last().map(|(n, _)| n.as_str()) != Some(name.as_str()) {
+            grouped.push((name, Vec::new()));
+        }
+        let cells = &mut grouped.last_mut().expect("just pushed").1;
+        cells.push(Table4Cell { config, stats });
+    }
+    grouped
+}
+
+/// Render one benchmark's Table-4 cells as the standard grid (shared by
+/// the serial `table4` binary and the parallel `sweep` binary, which must
+/// print identical numbers).
+///
+/// # Panics
+///
+/// Panics if any run saw a staleness-oracle violation.
+pub fn render_table4_group(program: &str, cells: &[Table4Cell]) -> String {
+    use vic_workloads::report::{secs, Table};
+    let mut t = Table::new([
+        "Cfg",
+        "Elapsed (s)",
+        "Map faults",
+        "Cons faults",
+        "D flush",
+        "avg cyc",
+        "D purge",
+        "avg cyc",
+        "I purge",
+        "avg cyc",
+        "DMA-rd",
+        "DMA-wr",
+        "D->I copies",
+    ]);
+    for cell in cells {
+        let s = &cell.stats;
+        assert_eq!(s.oracle_violations, 0, "oracle violation in {program}");
+        t.row([
+            cell.config.to_string(),
+            secs(s.seconds),
+            s.os.mapping_faults.to_string(),
+            s.os.consistency_faults.to_string(),
+            s.machine.d_flush_pages.count.to_string(),
+            format!("{:.0}", s.machine.d_flush_pages.avg()),
+            s.machine.d_purge_pages.count.to_string(),
+            format!("{:.0}", s.machine.d_purge_pages.avg()),
+            s.machine.i_purge_pages.count.to_string(),
+            format!("{:.0}", s.machine.i_purge_pages.avg()),
+            s.machine.dma_reads.to_string(),
+            s.machine.dma_writes.to_string(),
+            s.os.d2i_copies.to_string(),
+        ]);
+    }
+    format!("== {program} ==\n{}", t.render())
 }
 
 /// The paper's §5.1 summary over configuration-F runs: totals, the purge
@@ -175,11 +221,6 @@ pub struct SummaryF {
 /// Compute the §5.1 summary: run the three benchmarks under F with normal
 /// and with single-cycle-purge hardware.
 pub fn summary_f(quick: bool) -> SummaryF {
-    let workloads = if quick {
-        quick_workloads()
-    } else {
-        paper_workloads()
-    };
     let mut total_seconds = 0.0;
     let mut fast_seconds = 0.0;
     let mut total_purges = 0;
@@ -190,17 +231,14 @@ pub fn summary_f(quick: bool) -> SummaryF {
     let mut purge_cycles_non_dma = 0.0;
     let mut fault_cycles = 0.0;
     let mut clock = 50e6;
-    for w in &workloads {
-        let sys = SystemKind::Cmu(Configuration::F);
-        let cfg = if quick {
-            KernelConfig::small(sys)
-        } else {
-            KernelConfig::new(sys)
-        };
-        let s = run_with_config(cfg, w.as_ref());
-        let mut fast_cfg = cfg;
-        fast_cfg.machine.costs = fast_cfg.machine.costs.fast_purge();
-        let fast = run_with_config(fast_cfg, w.as_ref());
+    for w in WorkloadKind::TABLE4 {
+        let mut spec = SystemSpec::new(w, SystemKind::Cmu(Configuration::F));
+        spec.quick = quick;
+        let cfg = spec.kernel_config();
+        let s = spec.run();
+        let mut fast_spec = spec;
+        fast_spec.fast_purge = true;
+        let fast = fast_spec.run();
         clock = cfg.machine.clock_hz as f64;
         total_seconds += s.seconds;
         fast_seconds += fast.seconds;
@@ -213,12 +251,15 @@ pub fn summary_f(quick: bool) -> SummaryF {
         // cycles; apportion cycles by count.
         let d_purges = s.machine.d_purge_pages;
         if d_purges.count > 0 {
-            let non_dma =
-                d_purges.count - s.mgr.d_purge_pages.get(OpCause::DmaWrite).min(d_purges.count);
+            let non_dma = d_purges.count
+                - s.mgr
+                    .d_purge_pages
+                    .get(OpCause::DmaWrite)
+                    .min(d_purges.count);
             purge_cycles_non_dma += d_purges.avg() * non_dma as f64;
         }
-        fault_cycles += s.os.consistency_faults as f64
-            * cfg.machine.costs.consistency_fault_service as f64;
+        fault_cycles +=
+            s.os.consistency_faults as f64 * cfg.machine.costs.consistency_fault_service as f64;
     }
     let denom = total_purges.max(1) as f64;
     SummaryF {
@@ -273,28 +314,20 @@ pub struct Table5Row {
 }
 
 /// Run Table 5: the five systems' feature matrices plus measured runs.
+/// The specs are exactly [`SystemSpec::table5_grid`] (also swept in
+/// parallel by the `sweep` binary).
 pub fn table5(quick: bool) -> Vec<Table5Row> {
-    let (w, size) = if quick {
-        (AfsBench::quick(), MachineSize::Small)
-    } else {
-        (AfsBench::paper(), MachineSize::Hp720)
-    };
-    SystemKind::table5()
+    SystemSpec::table5_grid(quick)
         .into_iter()
-        .map(|sys| {
-            let cfg = if quick {
-                KernelConfig::small(sys)
-            } else {
-                KernelConfig::new(sys)
-            };
+        .map(|spec| {
             let features = {
-                let k = vic_os::Kernel::new(cfg);
+                let k = vic_os::Kernel::new(spec.kernel_config());
                 k.pmap().manager_features()
             };
             Table5Row {
-                system: sys,
+                system: spec.system,
                 features,
-                afs: run_on(sys, size, &w),
+                afs: spec.run(),
             }
         })
         .collect()
@@ -322,15 +355,14 @@ impl MicrobenchResult {
 /// Run the §2.5 microbenchmark: the same write loop with aligned and
 /// unaligned virtual addresses.
 pub fn microbench(quick: bool) -> MicrobenchResult {
-    let (mk, size) = if quick {
-        (AliasLoop::quick as fn(bool) -> AliasLoop, MachineSize::Small)
-    } else {
-        (AliasLoop::paper as fn(bool) -> AliasLoop, MachineSize::Hp720)
-    };
     let sys = SystemKind::Cmu(Configuration::F);
+    let mut aligned = SystemSpec::new(WorkloadKind::AliasAligned, sys);
+    aligned.quick = quick;
+    let mut unaligned = SystemSpec::new(WorkloadKind::AliasUnaligned, sys);
+    unaligned.quick = quick;
     MicrobenchResult {
-        aligned: run_on(sys, size, &mk(true)),
-        unaligned: run_on(sys, size, &mk(false)),
+        aligned: aligned.run(),
+        unaligned: unaligned.run(),
     }
 }
 

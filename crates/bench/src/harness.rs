@@ -155,12 +155,7 @@ mod tests {
 
     #[test]
     fn bench_with_setup_times_only_routine() {
-        let s = bench_with_setup(
-            "test",
-            "consume-vec",
-            || vec![0u8; 16],
-            |v| v.len(),
-        );
+        let s = bench_with_setup("test", "consume-vec", || vec![0u8; 16], |v| v.len());
         assert!(s.iters > 0);
         assert!(s.mean_ns.is_finite());
     }

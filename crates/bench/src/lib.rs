@@ -10,6 +10,15 @@
 //! | Table 4 (configurations A–F) | `table4` | [`experiments::table4`] |
 //! | Table 5 (system comparison) | `table5` | [`experiments::table5`] |
 //! | §2.5 alias microbenchmark | `microbench` | [`experiments::microbench`] |
+//! | Tables 4+5 in parallel, JSON results | `sweep` | [`sweep::run_sweep`] |
+//!
+//! A run is described by a [`SystemSpec`] — workload, system and every
+//! knob as one `Copy` value — and a simulated system is a single owned
+//! `Send` value, so the [`sweep`] engine fans specs across
+//! `available_parallelism()` worker threads with results identical to a
+//! serial loop (asserted in `crates/bench/tests/sweep.rs`). The [`cli`]
+//! module gives every binary the same argument grammar and the [`output`]
+//! module one JSON schema for single runs and sweeps.
 //!
 //! The bench targets (`benches/`, plain `main()`s over the internal
 //! [`harness`]) measure the simulator and algorithm primitives themselves
@@ -21,10 +30,16 @@
 //! wins, by what factor, where the costs sit — is asserted in
 //! `tests/experiments.rs` at the workspace root.
 
+pub mod cli;
 pub mod experiments;
 pub mod harness;
+pub mod output;
+pub mod spec;
+pub mod sweep;
 
 pub use experiments::{
     microbench, table1, table2_report, table4, table5, MicrobenchResult, Table1Row, Table4Cell,
     Table5Row,
 };
+pub use spec::SystemSpec;
+pub use sweep::{run_sweep, run_sweep_with_threads, Sweep, SweepResult};

@@ -1,0 +1,327 @@
+//! JSON emission for runs and sweeps — one schema for both, so a single
+//! `run --json` and a full `sweep` grid are directly comparable when
+//! tracking the perf trajectory over time.
+//!
+//! The crates are dependency-free, so this is a small hand-rolled builder
+//! rather than a serialization framework. All output is deterministic:
+//! fields in fixed order, integers as integers, and the only floats are
+//! quantities derived from cycle counts (seconds) or host timing (wall).
+//!
+//! Schema of one run object (also the `--json` output of the `run`
+//! binary):
+//!
+//! ```json
+//! {
+//!   "spec": {"workload": "...", "system": "F", "quick": false, ...},
+//!   "elapsed_cycles": 123,
+//!   "elapsed_seconds": 0.5,
+//!   "wall_seconds": 0.01,          // only when host timing was taken
+//!   "machine": { ...counters, flush/purge with cycle totals... },
+//!   "mgr": {"d_flush_pages": {"total": n, "by_cause": {...}}, ...},
+//!   "os": { ...counters... },
+//!   "oracle_violations": 0
+//! }
+//! ```
+//!
+//! A sweep file wraps the runs:
+//! `{"threads": n, "wall_seconds": t, "runs": [run, run, ...]}`.
+
+use std::fmt::Write as _;
+
+use vic_core::manager::{CauseCounts, MgrStats, OpCause};
+use vic_machine::{MachineStats, OpStat};
+use vic_os::OsStats;
+use vic_workloads::RunStats;
+
+use crate::cli::system_cli_name;
+use crate::spec::SystemSpec;
+use crate::sweep::Sweep;
+
+/// An object under construction. Values are appended in call order; the
+/// caller is responsible for key uniqueness.
+#[derive(Debug)]
+pub struct JsonObj {
+    buf: String,
+    empty: bool,
+}
+
+impl JsonObj {
+    /// Start an object.
+    pub fn new() -> Self {
+        JsonObj {
+            buf: String::from("{"),
+            empty: true,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.empty {
+            self.buf.push(',');
+        }
+        self.empty = false;
+        push_json_string(&mut self.buf, k);
+        self.buf.push(':');
+    }
+
+    /// Add a string field (escaped).
+    pub fn str(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        push_json_string(&mut self.buf, v);
+        self
+    }
+
+    /// Add an unsigned integer field.
+    pub fn u64(mut self, k: &str, v: u64) -> Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Add a float field. Emitted via Rust's shortest-roundtrip `{}`
+    /// formatting, so equal values always print identically.
+    pub fn f64(mut self, k: &str, v: f64) -> Self {
+        self.key(k);
+        if v.is_finite() {
+            let _ = write!(self.buf, "{v}");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn bool(mut self, k: &str, v: bool) -> Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Add an already-serialized JSON value (nested object/array).
+    pub fn raw(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
+    /// Close the object and return the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for JsonObj {
+    fn default() -> Self {
+        JsonObj::new()
+    }
+}
+
+/// Serialize a JSON array from already-serialized elements.
+pub fn json_array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let mut buf = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push_str(&item);
+    }
+    buf.push(']');
+    buf
+}
+
+fn push_json_string(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(buf, "\\u{:04x}", c as u32);
+            }
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+/// The spec as a JSON object (parseable back with the `cli` names).
+pub fn spec_json(spec: &SystemSpec) -> String {
+    JsonObj::new()
+        .str("workload", spec.workload.cli_name())
+        .str("system", &system_cli_name(spec.system))
+        .bool("quick", spec.quick)
+        .bool("colored_free_lists", spec.colored_free_lists)
+        .bool("write_through", spec.write_through)
+        .bool("fast_purge", spec.fast_purge)
+        .finish()
+}
+
+fn cause_key(c: OpCause) -> &'static str {
+    match c {
+        OpCause::NewMapping => "new_mapping",
+        OpCause::AliasWrite => "alias_write",
+        OpCause::AliasRead => "alias_read",
+        OpCause::DmaRead => "dma_read",
+        OpCause::DmaWrite => "dma_write",
+        OpCause::TextCopy => "text_copy",
+        OpCause::UnmapEager => "unmap_eager",
+        OpCause::PageFree => "page_free",
+    }
+}
+
+fn cause_counts_json(c: &CauseCounts) -> String {
+    let mut by_cause = JsonObj::new();
+    for (cause, n) in c.iter() {
+        by_cause = by_cause.u64(cause_key(cause), n);
+    }
+    JsonObj::new()
+        .u64("total", c.total())
+        .raw("by_cause", &by_cause.finish())
+        .finish()
+}
+
+fn op_stat_json(s: OpStat) -> String {
+    JsonObj::new()
+        .u64("count", s.count)
+        .u64("cycles", s.cycles)
+        .finish()
+}
+
+fn machine_json(m: &MachineStats) -> String {
+    JsonObj::new()
+        .u64("loads", m.loads)
+        .u64("stores", m.stores)
+        .u64("ifetches", m.ifetches)
+        .u64("d_hits", m.d_hits)
+        .u64("d_misses", m.d_misses)
+        .u64("i_hits", m.i_hits)
+        .u64("i_misses", m.i_misses)
+        .u64("writebacks", m.writebacks)
+        .u64("uncached", m.uncached)
+        .u64("tlb_misses", m.tlb_misses)
+        .raw("d_flush_pages", &op_stat_json(m.d_flush_pages))
+        .raw("d_purge_pages", &op_stat_json(m.d_purge_pages))
+        .raw("i_purge_pages", &op_stat_json(m.i_purge_pages))
+        .u64("flush_writebacks", m.flush_writebacks)
+        .u64("dma_writes", m.dma_writes)
+        .u64("dma_reads", m.dma_reads)
+        .finish()
+}
+
+fn mgr_json(m: &MgrStats) -> String {
+    JsonObj::new()
+        .raw("d_flush_pages", &cause_counts_json(&m.d_flush_pages))
+        .raw("d_purge_pages", &cause_counts_json(&m.d_purge_pages))
+        .raw("i_purge_pages", &cause_counts_json(&m.i_purge_pages))
+        .finish()
+}
+
+fn os_json(o: &OsStats) -> String {
+    JsonObj::new()
+        .u64("mapping_faults", o.mapping_faults)
+        .u64("consistency_faults", o.consistency_faults)
+        .u64("zero_fills", o.zero_fills)
+        .u64("page_copies", o.page_copies)
+        .u64("ipc_transfers", o.ipc_transfers)
+        .u64("cow_faults", o.cow_faults)
+        .u64("cow_copies", o.cow_copies)
+        .u64("d2i_copies", o.d2i_copies)
+        .u64("fs_reads", o.fs_reads)
+        .u64("fs_writes", o.fs_writes)
+        .u64("buf_misses", o.buf_misses)
+        .u64("buf_writebacks", o.buf_writebacks)
+        .u64("tasks_created", o.tasks_created)
+        .u64("pages_allocated", o.pages_allocated)
+        .u64("pages_freed", o.pages_freed)
+        .u64("page_outs", o.page_outs)
+        .u64("page_ins", o.page_ins)
+        .finish()
+}
+
+/// One run as a JSON object: the shared schema of `run --json` and the
+/// entries of a sweep file. `wall_seconds` (host time, nondeterministic)
+/// is included only when provided.
+pub fn run_json(spec: &SystemSpec, stats: &RunStats, wall_seconds: Option<f64>) -> String {
+    let mut o = JsonObj::new()
+        .raw("spec", &spec_json(spec))
+        .str("workload", &stats.workload)
+        .str("system", &stats.system)
+        .u64("elapsed_cycles", stats.cycles)
+        .f64("elapsed_seconds", stats.seconds);
+    if let Some(w) = wall_seconds {
+        o = o.f64("wall_seconds", w);
+    }
+    o.raw("machine", &machine_json(&stats.machine))
+        .raw("mgr", &mgr_json(&stats.mgr))
+        .raw("os", &os_json(&stats.os))
+        .u64("oracle_violations", stats.oracle_violations)
+        .finish()
+}
+
+/// A whole sweep as a JSON object (the `BENCH_sweep.json` format).
+pub fn sweep_json(sweep: &Sweep) -> String {
+    JsonObj::new()
+        .u64("threads", sweep.threads as u64)
+        .f64("wall_seconds", sweep.wall.as_secs_f64())
+        .raw(
+            "runs",
+            &json_array(
+                sweep
+                    .results
+                    .iter()
+                    .map(|r| run_json(&r.spec, &r.stats, Some(r.wall.as_secs_f64()))),
+            ),
+        )
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_valid_shapes() {
+        let s = JsonObj::new()
+            .str("name", "a \"quoted\"\nvalue")
+            .u64("n", 3)
+            .bool("flag", true)
+            .f64("x", 1.5)
+            .raw("nested", &JsonObj::new().u64("y", 1).finish())
+            .finish();
+        assert_eq!(
+            s,
+            "{\"name\":\"a \\\"quoted\\\"\\nvalue\",\"n\":3,\"flag\":true,\"x\":1.5,\"nested\":{\"y\":1}}"
+        );
+        assert_eq!(json_array(vec![]), "[]");
+        assert_eq!(json_array(vec!["1".to_string(), "2".to_string()]), "[1,2]");
+    }
+
+    #[test]
+    fn run_json_is_deterministic_and_balanced() {
+        use vic_core::policy::Configuration;
+        use vic_os::SystemKind;
+        use vic_workloads::WorkloadKind;
+
+        let spec = SystemSpec::quick(WorkloadKind::Fork, SystemKind::Cmu(Configuration::F));
+        let a = run_json(&spec, &spec.run(), None);
+        let b = run_json(&spec, &spec.run(), None);
+        assert_eq!(a, b, "same spec, same JSON, byte for byte");
+        // Structurally sane: balanced braces, expected fields present.
+        assert_eq!(
+            a.matches('{').count(),
+            a.matches('}').count(),
+            "balanced: {a}"
+        );
+        for field in [
+            "\"spec\":",
+            "\"elapsed_cycles\":",
+            "\"oracle_violations\":0",
+        ] {
+            assert!(a.contains(field), "missing {field} in {a}");
+        }
+        assert!(!a.contains("wall_seconds"));
+    }
+}

@@ -1,0 +1,145 @@
+//! The parallel sweep engine: fan a `Vec<SystemSpec>` across worker
+//! threads, preserve per-spec determinism, merge results in spec order.
+//!
+//! Because a complete simulated system is a single owned `Send` value
+//! (kernel → machine → tracer, no shared ownership anywhere), a run needs
+//! nothing from the thread that described it: workers take a spec, build
+//! the whole system locally, run it to completion and park the stats.
+//!
+//! Scheduling is a self-service queue — one shared atomic index into the
+//! spec list; each worker claims the next unclaimed spec when it finishes
+//! its current one. That is the useful half of work stealing (no idle
+//! worker while work remains, long runs don't convoy behind short ones)
+//! without deques or unsafe code, and it keeps the engine std-only.
+//!
+//! Determinism: each run is a pure function of its spec, so the *values*
+//! in the result vector are independent of thread count and interleaving;
+//! only wall-clock timings vary. `parallel == serial` is asserted in
+//! `crates/bench/tests/sweep.rs`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use vic_workloads::RunStats;
+
+use crate::spec::SystemSpec;
+
+/// The outcome of one spec within a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// The spec that was run.
+    pub spec: SystemSpec,
+    /// The collected statistics (identical to a serial run of the spec).
+    pub stats: RunStats,
+    /// Host wall-clock time this run took (not deterministic; excluded
+    /// from equality comparisons).
+    pub wall: Duration,
+}
+
+/// A completed sweep.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// One result per input spec, **in input order**.
+    pub results: Vec<SweepResult>,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Host wall-clock time for the whole sweep.
+    pub wall: Duration,
+}
+
+/// The default worker count: every hardware thread the host offers.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Run every spec on `threads` workers and return results in spec order.
+///
+/// With `threads == 1` this degenerates to a serial loop (same code path,
+/// one worker), which is also the comparison baseline for the determinism
+/// tests.
+///
+/// # Panics
+///
+/// Panics if a workload fails (a driver bug, not a measurement) or if
+/// `threads` is zero.
+pub fn run_sweep_with_threads(specs: &[SystemSpec], threads: usize) -> Sweep {
+    assert!(threads > 0, "a sweep needs at least one worker");
+    let started = Instant::now();
+    let threads = threads.min(specs.len()).max(1);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<SweepResult>>> = specs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = specs.get(i) else { break };
+                let t0 = Instant::now();
+                let stats = spec.run();
+                *slots[i].lock().expect("result slot poisoned") = Some(SweepResult {
+                    spec: *spec,
+                    stats,
+                    wall: t0.elapsed(),
+                });
+            });
+        }
+    });
+    let results = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every spec claimed and completed")
+        })
+        .collect();
+    Sweep {
+        results,
+        threads,
+        wall: started.elapsed(),
+    }
+}
+
+/// [`run_sweep_with_threads`] with [`default_threads`] workers.
+///
+/// # Panics
+///
+/// Panics if a workload fails (a driver bug, not a measurement).
+pub fn run_sweep(specs: &[SystemSpec]) -> Sweep {
+    run_sweep_with_threads(specs, default_threads())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vic_core::policy::Configuration;
+    use vic_os::SystemKind;
+    use vic_workloads::WorkloadKind;
+
+    #[test]
+    fn empty_sweep_is_fine() {
+        let s = run_sweep_with_threads(&[], 4);
+        assert!(s.results.is_empty());
+        assert_eq!(s.threads, 1, "workers clamp to at least one");
+    }
+
+    #[test]
+    fn results_come_back_in_spec_order() {
+        let specs: Vec<SystemSpec> = [Configuration::A, Configuration::F]
+            .into_iter()
+            .flat_map(|c| {
+                [WorkloadKind::Fork, WorkloadKind::AliasAligned]
+                    .into_iter()
+                    .map(move |w| SystemSpec::quick(w, SystemKind::Cmu(c)))
+            })
+            .collect();
+        let sweep = run_sweep_with_threads(&specs, 3);
+        assert_eq!(sweep.results.len(), specs.len());
+        for (spec, res) in specs.iter().zip(&sweep.results) {
+            assert_eq!(*spec, res.spec);
+            assert_eq!(res.stats.oracle_violations, 0);
+        }
+        assert_eq!(sweep.threads, 3);
+    }
+}

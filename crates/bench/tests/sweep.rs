@@ -1,0 +1,48 @@
+//! The acceptance test for the parallel sweep engine: fanning the Table-4
+//! grid across worker threads produces exactly the cells the serial
+//! `table4` experiment produces — same grouping, same counters, same
+//! simulated seconds.
+
+use vic_bench::experiments::{group_table4, table4};
+use vic_bench::spec::SystemSpec;
+use vic_bench::sweep::run_sweep_with_threads;
+
+#[test]
+fn parallel_table4_grid_matches_serial_experiment() {
+    let specs = SystemSpec::table4_grid(true);
+    let sweep = run_sweep_with_threads(&specs, 4);
+    assert_eq!(sweep.threads, 4);
+    assert_eq!(sweep.results.len(), specs.len());
+
+    let parallel = group_table4(sweep.results.iter().map(|r| (r.spec, r.stats.clone())));
+    let serial = table4(true);
+
+    assert_eq!(parallel.len(), serial.len(), "same benchmark groups");
+    for ((p_name, p_cells), (s_name, s_cells)) in parallel.iter().zip(&serial) {
+        assert_eq!(p_name, s_name);
+        assert_eq!(
+            p_cells.len(),
+            s_cells.len(),
+            "{p_name}: same configurations"
+        );
+        for (p, s) in p_cells.iter().zip(s_cells) {
+            assert_eq!(p.config, s.config, "{p_name}: column order");
+            assert_eq!(
+                p.stats, s.stats,
+                "{p_name}/{:?}: parallel counters must match serial",
+                p.config
+            );
+        }
+    }
+}
+
+#[test]
+fn sweep_with_more_threads_than_specs_is_fine() {
+    let specs = SystemSpec::table4_grid(true)[..2].to_vec();
+    let sweep = run_sweep_with_threads(&specs, 16);
+    assert_eq!(sweep.results.len(), 2);
+    for (spec, res) in specs.iter().zip(&sweep.results) {
+        assert_eq!(res.spec, *spec);
+        assert_eq!(res.stats, spec.run());
+    }
+}

@@ -171,8 +171,7 @@ pub fn cache_control(
         let w = info
             .find_mapped_cache_page()
             .expect("cache_dirty set but no mapped data cache page");
-        let is_data_target =
-            matches!(op, CcOp::CpuRead | CcOp::CpuWrite) && target_d == Some(w);
+        let is_data_target = matches!(op, CcOp::CpuRead | CcOp::CpuWrite) && target_d == Some(w);
         if !is_data_target {
             // A DMA-write overwrites memory, so the dirty data need only be
             // purged, never flushed (Table 2's D --purge--> E row).
@@ -334,7 +333,11 @@ mod tests {
     }
 
     fn setup() -> (RecordingHw, PhysPageInfo, PFrame) {
-        (RecordingHw::new(geom()), PhysPageInfo::new(geom()), PFrame(7))
+        (
+            RecordingHw::new(geom()),
+            PhysPageInfo::new(geom()),
+            PFrame(7),
+        )
     }
 
     fn m(space: u32, vp: u64) -> Mapping {
@@ -385,7 +388,14 @@ mod tests {
         let (mut hw, mut info, f) = setup();
         info.add_mapping(m(1, 0), Prot::READ_WRITE);
         info.add_mapping(m(2, 1), Prot::READ_WRITE);
-        cache_control(&mut hw, &mut info, f, CcOp::CpuWrite, Some(VPage(0)), AccessHints::default());
+        cache_control(
+            &mut hw,
+            &mut info,
+            f,
+            CcOp::CpuWrite,
+            Some(VPage(0)),
+            AccessHints::default(),
+        );
         assert_eq!(hw.prot_of(m(2, 1)), Prot::NONE, "alias denied while dirty");
         let out = cache_control(
             &mut hw,
@@ -410,10 +420,24 @@ mod tests {
         let (mut hw, mut info, f) = setup();
         info.add_mapping(m(1, 0), Prot::READ_WRITE);
         info.add_mapping(m(2, 8), Prot::READ_WRITE);
-        cache_control(&mut hw, &mut info, f, CcOp::CpuWrite, Some(VPage(0)), AccessHints::default());
+        cache_control(
+            &mut hw,
+            &mut info,
+            f,
+            CcOp::CpuWrite,
+            Some(VPage(0)),
+            AccessHints::default(),
+        );
         // The aligned alias shares the dirty cache page: read-write allowed.
         assert_eq!(hw.prot_of(m(2, 8)), Prot::READ_WRITE);
-        cache_control(&mut hw, &mut info, f, CcOp::CpuWrite, Some(VPage(8)), AccessHints::default());
+        cache_control(
+            &mut hw,
+            &mut info,
+            f,
+            CcOp::CpuWrite,
+            Some(VPage(8)),
+            AccessHints::default(),
+        );
         assert!(hw.flushes.is_empty() && hw.purges.is_empty() && hw.insn_purges.is_empty());
     }
 
@@ -423,8 +447,22 @@ mod tests {
         info.add_mapping(m(1, 0), Prot::READ_WRITE);
         info.add_mapping(m(1, 1), Prot::READ_WRITE);
         // Write via vp1 then write via vp0: vp1's page becomes stale.
-        cache_control(&mut hw, &mut info, f, CcOp::CpuRead, Some(VPage(1)), AccessHints::default());
-        cache_control(&mut hw, &mut info, f, CcOp::CpuWrite, Some(VPage(0)), AccessHints::default());
+        cache_control(
+            &mut hw,
+            &mut info,
+            f,
+            CcOp::CpuRead,
+            Some(VPage(1)),
+            AccessHints::default(),
+        );
+        cache_control(
+            &mut hw,
+            &mut info,
+            f,
+            CcOp::CpuWrite,
+            Some(VPage(0)),
+            AccessHints::default(),
+        );
         assert!(info.data.stale.contains(CachePage(1)));
         hw.clear_log();
         let out = cache_control(
@@ -466,7 +504,14 @@ mod tests {
     fn need_data_false_purges_instead_of_flushing() {
         let (mut hw, mut info, f) = setup();
         info.add_mapping(m(1, 0), Prot::READ_WRITE);
-        cache_control(&mut hw, &mut info, f, CcOp::CpuWrite, Some(VPage(0)), AccessHints::default());
+        cache_control(
+            &mut hw,
+            &mut info,
+            f,
+            CcOp::CpuWrite,
+            Some(VPage(0)),
+            AccessHints::default(),
+        );
         let out = cache_control(
             &mut hw,
             &mut info,
@@ -479,15 +524,32 @@ mod tests {
             },
         );
         assert_eq!(out.d_flushes, 0);
-        assert_eq!(out.d_purges, 1, "dirty data not needed: purged, not flushed");
+        assert_eq!(
+            out.d_purges, 1,
+            "dirty data not needed: purged, not flushed"
+        );
     }
 
     #[test]
     fn dma_read_flushes_dirty_data() {
         let (mut hw, mut info, f) = setup();
         info.add_mapping(m(1, 0), Prot::READ_WRITE);
-        cache_control(&mut hw, &mut info, f, CcOp::CpuWrite, Some(VPage(0)), AccessHints::default());
-        let out = cache_control(&mut hw, &mut info, f, CcOp::DmaRead, None, AccessHints::default());
+        cache_control(
+            &mut hw,
+            &mut info,
+            f,
+            CcOp::CpuWrite,
+            Some(VPage(0)),
+            AccessHints::default(),
+        );
+        let out = cache_control(
+            &mut hw,
+            &mut info,
+            f,
+            CcOp::DmaRead,
+            None,
+            AccessHints::default(),
+        );
         assert_eq!(out.d_flushes, 1);
         assert!(!info.cache_dirty);
         // The cache page remains a (clean) holder: present.
@@ -500,10 +562,31 @@ mod tests {
         let (mut hw, mut info, f) = setup();
         info.add_mapping(m(1, 0), Prot::READ_WRITE);
         info.add_mapping(m(1, 1), Prot::READ_WRITE);
-        cache_control(&mut hw, &mut info, f, CcOp::CpuRead, Some(VPage(1)), AccessHints::default());
-        cache_control(&mut hw, &mut info, f, CcOp::CpuWrite, Some(VPage(0)), AccessHints::default());
+        cache_control(
+            &mut hw,
+            &mut info,
+            f,
+            CcOp::CpuRead,
+            Some(VPage(1)),
+            AccessHints::default(),
+        );
+        cache_control(
+            &mut hw,
+            &mut info,
+            f,
+            CcOp::CpuWrite,
+            Some(VPage(0)),
+            AccessHints::default(),
+        );
         hw.clear_log();
-        let out = cache_control(&mut hw, &mut info, f, CcOp::DmaWrite, None, AccessHints::default());
+        let out = cache_control(
+            &mut hw,
+            &mut info,
+            f,
+            CcOp::DmaWrite,
+            None,
+            AccessHints::default(),
+        );
         // Dirty page purged (not flushed: DMA overwrites memory), present
         // pages go stale, everything unmapped, all access denied.
         assert_eq!(out.d_flushes, 0);
@@ -522,12 +605,26 @@ mod tests {
         // present on the instruction side.
         let (mut hw, mut info, f) = setup();
         info.add_mapping(m(1, 0), Prot::ALL);
-        cache_control(&mut hw, &mut info, f, CcOp::CpuWrite, Some(VPage(0)), AccessHints::default());
+        cache_control(
+            &mut hw,
+            &mut info,
+            f,
+            CcOp::CpuWrite,
+            Some(VPage(0)),
+            AccessHints::default(),
+        );
         assert!(
             !hw.prot_of(m(1, 0)).allows(crate::types::Access::Execute),
             "execute denied while data-dirty"
         );
-        let out = cache_control(&mut hw, &mut info, f, CcOp::InsnFetch, Some(VPage(0)), AccessHints::default());
+        let out = cache_control(
+            &mut hw,
+            &mut info,
+            f,
+            CcOp::InsnFetch,
+            Some(VPage(0)),
+            AccessHints::default(),
+        );
         assert_eq!(out.d_flushes, 1, "dirty data flushed for the fetch");
         assert!(info.insn.mapped.contains(CachePage(0)));
         assert!(hw.prot_of(m(1, 0)).allows(crate::types::Access::Execute));
@@ -537,12 +634,33 @@ mod tests {
     fn insn_stale_purged_on_fetch() {
         let (mut hw, mut info, f) = setup();
         info.add_mapping(m(1, 0), Prot::ALL);
-        cache_control(&mut hw, &mut info, f, CcOp::InsnFetch, Some(VPage(0)), AccessHints::default());
+        cache_control(
+            &mut hw,
+            &mut info,
+            f,
+            CcOp::InsnFetch,
+            Some(VPage(0)),
+            AccessHints::default(),
+        );
         // A CPU write staleifies the instruction-side copy.
-        cache_control(&mut hw, &mut info, f, CcOp::CpuWrite, Some(VPage(0)), AccessHints::default());
+        cache_control(
+            &mut hw,
+            &mut info,
+            f,
+            CcOp::CpuWrite,
+            Some(VPage(0)),
+            AccessHints::default(),
+        );
         assert!(info.insn.stale.contains(CachePage(0)));
         hw.clear_log();
-        let out = cache_control(&mut hw, &mut info, f, CcOp::InsnFetch, Some(VPage(0)), AccessHints::default());
+        let out = cache_control(
+            &mut hw,
+            &mut info,
+            f,
+            CcOp::InsnFetch,
+            Some(VPage(0)),
+            AccessHints::default(),
+        );
         assert_eq!(out.i_purges, 1);
         assert_eq!(hw.insn_purges, vec![(CachePage(0), f)]);
     }
@@ -551,7 +669,14 @@ mod tests {
     fn contents_useless_downgrades_flush_to_purge() {
         let (mut hw, mut info, f) = setup();
         info.add_mapping(m(1, 0), Prot::READ_WRITE);
-        cache_control(&mut hw, &mut info, f, CcOp::CpuWrite, Some(VPage(0)), AccessHints::default());
+        cache_control(
+            &mut hw,
+            &mut info,
+            f,
+            CcOp::CpuWrite,
+            Some(VPage(0)),
+            AccessHints::default(),
+        );
         info.contents_useless = true; // page was freed
         let out = cache_control(
             &mut hw,
@@ -569,7 +694,14 @@ mod tests {
     #[should_panic(expected = "requires a target")]
     fn cpu_op_requires_target() {
         let (mut hw, mut info, f) = setup();
-        cache_control(&mut hw, &mut info, f, CcOp::CpuRead, None, AccessHints::default());
+        cache_control(
+            &mut hw,
+            &mut info,
+            f,
+            CcOp::CpuRead,
+            None,
+            AccessHints::default(),
+        );
     }
 
     #[test]

@@ -248,7 +248,11 @@ pub struct Features {
 /// drive either the real simulator or a recording double. Implementations
 /// must uphold the contract that after any method returns, no installed
 /// protection permits an access that could transfer stale data.
-pub trait ConsistencyManager {
+///
+/// Managers are required to be `Send` so a kernel owning one is a single
+/// owned value that can run on any thread (the parallel sweep runner in
+/// `vic-bench` depends on this).
+pub trait ConsistencyManager: Send {
     /// Short system name (as in Table 5: "CMU", "Utah", ...).
     fn name(&self) -> &'static str;
 
@@ -280,7 +284,13 @@ pub trait ConsistencyManager {
     );
 
     /// A DMA transfer touching `frame` is about to be scheduled.
-    fn on_dma(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, dir: DmaDir, hints: AccessHints);
+    fn on_dma(
+        &mut self,
+        hw: &mut dyn ConsistencyHw,
+        frame: PFrame,
+        dir: DmaDir,
+        hints: AccessHints,
+    );
 
     /// `frame` was returned to the free page list; its contents are no
     /// longer useful.
@@ -325,10 +335,7 @@ mod tests {
         assert_eq!(c.get(OpCause::NewMapping), 4);
         assert_eq!(c.total(), 6);
         let pairs: Vec<_> = c.iter().collect();
-        assert_eq!(
-            pairs,
-            vec![(OpCause::NewMapping, 4), (OpCause::DmaRead, 2)]
-        );
+        assert_eq!(pairs, vec![(OpCause::NewMapping, 4), (OpCause::DmaRead, 2)]);
         let mut c2 = CauseCounts::default();
         c2.add(OpCause::DmaRead, 5);
         c.merge(&c2);

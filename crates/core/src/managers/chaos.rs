@@ -163,7 +163,13 @@ impl ConsistencyManager for ChaosManager {
         self.inner.on_access(&mut shim, frame, m, access, hints);
     }
 
-    fn on_dma(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, dir: DmaDir, hints: AccessHints) {
+    fn on_dma(
+        &mut self,
+        hw: &mut dyn ConsistencyHw,
+        frame: PFrame,
+        dir: DmaDir,
+        hints: AccessHints,
+    ) {
         let mut shim = ChaosHw {
             inner: hw,
             drop: self.drop,

@@ -59,7 +59,12 @@ impl CmuManager {
         }
     }
 
-    fn record(&mut self, out: crate::cache_control::CcOutcome, flush_cause: OpCause, purge_cause: OpCause) {
+    fn record(
+        &mut self,
+        out: crate::cache_control::CcOutcome,
+        flush_cause: OpCause,
+        purge_cause: OpCause,
+    ) {
         self.stats
             .d_flush_pages
             .add(flush_cause, u64::from(out.d_flushes));
@@ -206,7 +211,13 @@ impl ConsistencyManager for CmuManager {
         self.record(out, flush_cause, purge_cause);
     }
 
-    fn on_dma(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, dir: DmaDir, hints: AccessHints) {
+    fn on_dma(
+        &mut self,
+        hw: &mut dyn ConsistencyHw,
+        frame: PFrame,
+        dir: DmaDir,
+        hints: AccessHints,
+    ) {
         let hints = self.filter_hints(hints);
         let op = match dir {
             DmaDir::Read => CcOp::DmaRead,
@@ -291,7 +302,13 @@ mod tests {
     fn lazy_unmap_leaves_cache_alone() {
         let (mut hw, mut mgr) = mk();
         mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
-        mgr.on_access(&mut hw, PFrame(1), m(1, 0), Access::Write, AccessHints::default());
+        mgr.on_access(
+            &mut hw,
+            PFrame(1),
+            m(1, 0),
+            Access::Write,
+            AccessHints::default(),
+        );
         mgr.on_unmap(&mut hw, PFrame(1), m(1, 0));
         assert!(hw.flushes.is_empty() && hw.purges.is_empty());
         // State remembers the dirty cache page for later.
@@ -305,7 +322,13 @@ mod tests {
         policy.lazy_unmap = false;
         let mut mgr = CmuManager::new(16, geom(), policy);
         mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
-        mgr.on_access(&mut hw, PFrame(1), m(1, 0), Access::Write, AccessHints::default());
+        mgr.on_access(
+            &mut hw,
+            PFrame(1),
+            m(1, 0),
+            Access::Write,
+            AccessHints::default(),
+        );
         mgr.on_unmap(&mut hw, PFrame(1), m(1, 0));
         assert_eq!(hw.flushes.len(), 1, "dirty page flushed at unmap");
         assert!(!mgr.page_info(PFrame(1)).cache_dirty);
@@ -318,7 +341,13 @@ mod tests {
         // reused; the first read hits the dirty data in place.
         let (mut hw, mut mgr) = mk();
         mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
-        mgr.on_access(&mut hw, PFrame(1), m(1, 0), Access::Write, AccessHints::default());
+        mgr.on_access(
+            &mut hw,
+            PFrame(1),
+            m(1, 0),
+            Access::Write,
+            AccessHints::default(),
+        );
         mgr.on_unmap(&mut hw, PFrame(1), m(1, 0));
         mgr.on_map(&mut hw, PFrame(1), m(2, 8), Prot::READ_WRITE);
         // Aligned with the dirty cache page: immediately read-write.
@@ -330,12 +359,28 @@ mod tests {
     fn unaligned_remap_cleans_lazily_on_access() {
         let (mut hw, mut mgr) = mk();
         mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
-        mgr.on_access(&mut hw, PFrame(1), m(1, 0), Access::Write, AccessHints::default());
+        mgr.on_access(
+            &mut hw,
+            PFrame(1),
+            m(1, 0),
+            Access::Write,
+            AccessHints::default(),
+        );
         mgr.on_unmap(&mut hw, PFrame(1), m(1, 0));
         mgr.on_map(&mut hw, PFrame(1), m(2, 1), Prot::READ_WRITE);
-        assert_eq!(hw.prot_of(m(2, 1)), Prot::NONE, "unaligned: must fault first");
+        assert_eq!(
+            hw.prot_of(m(2, 1)),
+            Prot::NONE,
+            "unaligned: must fault first"
+        );
         assert!(hw.flushes.is_empty(), "still nothing done");
-        mgr.on_access(&mut hw, PFrame(1), m(2, 1), Access::Read, AccessHints::default());
+        mgr.on_access(
+            &mut hw,
+            PFrame(1),
+            m(2, 1),
+            Access::Read,
+            AccessHints::default(),
+        );
         assert_eq!(hw.flushes.len(), 1, "old dirty page flushed on demand");
         assert_eq!(mgr.stats().d_flush_pages.get(OpCause::NewMapping), 1);
     }
@@ -347,7 +392,13 @@ mod tests {
         // dead (`need_data = false`, as the kernel's zero-fill does).
         let (mut hw, mut mgr) = mk();
         mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
-        mgr.on_access(&mut hw, PFrame(1), m(1, 0), Access::Write, AccessHints::default());
+        mgr.on_access(
+            &mut hw,
+            PFrame(1),
+            m(1, 0),
+            Access::Write,
+            AccessHints::default(),
+        );
         mgr.on_unmap(&mut hw, PFrame(1), m(1, 0));
         mgr.on_page_freed(&mut hw, PFrame(1));
         mgr.on_map(&mut hw, PFrame(1), m(2, 1), Prot::READ_WRITE);
@@ -369,7 +420,13 @@ mod tests {
         // discard live data.
         let (mut hw, mut mgr) = mk();
         mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
-        mgr.on_access(&mut hw, PFrame(1), m(1, 0), Access::Write, AccessHints::default());
+        mgr.on_access(
+            &mut hw,
+            PFrame(1),
+            m(1, 0),
+            Access::Write,
+            AccessHints::default(),
+        );
         mgr.on_unmap(&mut hw, PFrame(1), m(1, 0));
         mgr.on_page_freed(&mut hw, PFrame(1));
         // New tenant at an aligned page: immediately writable, no fault.
@@ -391,13 +448,31 @@ mod tests {
         let mut mgr = CmuManager::new(16, geom(), policy);
         // Make cache page 1 stale for the frame.
         mgr.on_map(&mut hw, PFrame(1), m(1, 1), Prot::READ_WRITE);
-        mgr.on_access(&mut hw, PFrame(1), m(1, 1), Access::Read, AccessHints::default());
+        mgr.on_access(
+            &mut hw,
+            PFrame(1),
+            m(1, 1),
+            Access::Read,
+            AccessHints::default(),
+        );
         mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
-        mgr.on_access(&mut hw, PFrame(1), m(1, 0), Access::Write, AccessHints::default());
+        mgr.on_access(
+            &mut hw,
+            PFrame(1),
+            m(1, 0),
+            Access::Write,
+            AccessHints::default(),
+        );
         hw.clear_log();
         // Even though the caller promises to overwrite, the knob is off:
         // the stale target is purged anyway.
-        mgr.on_access(&mut hw, PFrame(1), m(1, 1), Access::Write, AccessHints::overwrites());
+        mgr.on_access(
+            &mut hw,
+            PFrame(1),
+            m(1, 1),
+            Access::Write,
+            AccessHints::overwrites(),
+        );
         assert_eq!(hw.purges.len(), 1);
     }
 
@@ -405,10 +480,22 @@ mod tests {
     fn dma_cause_attribution() {
         let (mut hw, mut mgr) = mk();
         mgr.on_map(&mut hw, PFrame(2), m(1, 0), Prot::READ_WRITE);
-        mgr.on_access(&mut hw, PFrame(2), m(1, 0), Access::Write, AccessHints::default());
+        mgr.on_access(
+            &mut hw,
+            PFrame(2),
+            m(1, 0),
+            Access::Write,
+            AccessHints::default(),
+        );
         mgr.on_dma(&mut hw, PFrame(2), DmaDir::Read, AccessHints::default());
         assert_eq!(mgr.stats().d_flush_pages.get(OpCause::DmaRead), 1);
-        mgr.on_access(&mut hw, PFrame(2), m(1, 0), Access::Write, AccessHints::default());
+        mgr.on_access(
+            &mut hw,
+            PFrame(2),
+            m(1, 0),
+            Access::Write,
+            AccessHints::default(),
+        );
         mgr.on_dma(&mut hw, PFrame(2), DmaDir::Write, AccessHints::default());
         assert_eq!(mgr.stats().d_purge_pages.get(OpCause::DmaWrite), 1);
     }
@@ -426,7 +513,13 @@ mod tests {
     fn reset_stats() {
         let (mut hw, mut mgr) = mk();
         mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
-        mgr.on_access(&mut hw, PFrame(1), m(1, 0), Access::Write, AccessHints::default());
+        mgr.on_access(
+            &mut hw,
+            PFrame(1),
+            m(1, 0),
+            Access::Write,
+            AccessHints::default(),
+        );
         mgr.on_dma(&mut hw, PFrame(1), DmaDir::Read, AccessHints::default());
         assert!(mgr.stats().total_flushes() > 0);
         mgr.reset_stats();

@@ -343,7 +343,13 @@ impl ConsistencyManager for EagerManager {
         }
     }
 
-    fn on_dma(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, dir: DmaDir, _hints: AccessHints) {
+    fn on_dma(
+        &mut self,
+        hw: &mut dyn ConsistencyHw,
+        frame: PFrame,
+        dir: DmaDir,
+        _hints: AccessHints,
+    ) {
         let geom = self.geom;
         let fs = &self.frames[frame.0 as usize];
         let entries: Vec<_> = fs.grants.iter().copied().collect();
@@ -457,7 +463,13 @@ mod tests {
         mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
         mgr.on_map(&mut hw, PFrame(1), m(2, 1), Prot::READ_WRITE);
         assert_eq!(hw.prot_of(m(2, 1)), Prot::NONE, "aliased map starts broken");
-        mgr.on_access(&mut hw, PFrame(1), m(2, 1), Access::Write, AccessHints::default());
+        mgr.on_access(
+            &mut hw,
+            PFrame(1),
+            m(2, 1),
+            Access::Write,
+            AccessHints::default(),
+        );
         assert_eq!(hw.prot_of(m(2, 1)), Prot::READ_WRITE);
         assert_eq!(hw.prot_of(m(1, 0)), Prot::NONE, "competitor broken");
         assert_eq!(hw.flushes.len(), 1, "competitor's (dirty) page flushed");
@@ -469,9 +481,19 @@ mod tests {
         let (mut hw, mut mgr) = mk();
         mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
         mgr.on_map(&mut hw, PFrame(1), m(2, 1), Prot::READ);
-        mgr.on_access(&mut hw, PFrame(1), m(2, 1), Access::Read, AccessHints::default());
+        mgr.on_access(
+            &mut hw,
+            PFrame(1),
+            m(2, 1),
+            Access::Read,
+            AccessHints::default(),
+        );
         assert_eq!(hw.prot_of(m(2, 1)), Prot::READ);
-        assert_eq!(hw.prot_of(m(1, 0)), Prot::READ, "writer downgraded to read-only");
+        assert_eq!(
+            hw.prot_of(m(1, 0)),
+            Prot::READ,
+            "writer downgraded to read-only"
+        );
         assert_eq!(hw.flushes.len(), 1);
     }
 
@@ -482,7 +504,13 @@ mod tests {
         // The kernel wrote the text through this mapping; a process then
         // maps it executable elsewhere.
         mgr.on_map(&mut hw, PFrame(1), m(2, 2), Prot::READ_EXECUTE);
-        mgr.on_access(&mut hw, PFrame(1), m(2, 2), Access::Execute, AccessHints::default());
+        mgr.on_access(
+            &mut hw,
+            PFrame(1),
+            m(2, 2),
+            Access::Execute,
+            AccessHints::default(),
+        );
         assert_eq!(hw.flushes.len(), 1, "dirty data flushed before fetch");
         assert_eq!(hw.insn_purges.len(), 1, "instruction page purged");
         assert!(hw.prot_of(m(2, 2)).allows(Access::Execute));
@@ -496,10 +524,22 @@ mod tests {
         // fault so the instruction page can be purged.
         assert!(!hw.prot_of(m(1, 0)).allows(Access::Execute));
         assert!(hw.prot_of(m(1, 0)).allows(Access::Write));
-        mgr.on_access(&mut hw, PFrame(1), m(1, 0), Access::Execute, AccessHints::default());
+        mgr.on_access(
+            &mut hw,
+            PFrame(1),
+            m(1, 0),
+            Access::Execute,
+            AccessHints::default(),
+        );
         let p = hw.prot_of(m(1, 0));
         assert!(p.allows(Access::Execute) && !p.allows(Access::Write));
-        mgr.on_access(&mut hw, PFrame(1), m(1, 0), Access::Write, AccessHints::default());
+        mgr.on_access(
+            &mut hw,
+            PFrame(1),
+            m(1, 0),
+            Access::Write,
+            AccessHints::default(),
+        );
         let p = hw.prot_of(m(1, 0));
         assert!(!p.allows(Access::Execute) && p.allows(Access::Write));
     }
@@ -534,7 +574,13 @@ mod tests {
         // A second (aliased) reader now sees fresh memory without further
         // cleaning.
         mgr.on_map(&mut hw, PFrame(1), m(2, 1), Prot::READ);
-        mgr.on_access(&mut hw, PFrame(1), m(2, 1), Access::Read, AccessHints::default());
+        mgr.on_access(
+            &mut hw,
+            PFrame(1),
+            m(2, 1),
+            Access::Read,
+            AccessHints::default(),
+        );
         assert_eq!(hw.flushes.len(), 1, "no further flush needed");
     }
 

@@ -49,7 +49,13 @@ impl ConsistencyManager for NullManager {
         hw.set_protection(m, Prot::NONE);
     }
 
-    fn on_protect(&mut self, hw: &mut dyn ConsistencyHw, _frame: PFrame, m: Mapping, logical: Prot) {
+    fn on_protect(
+        &mut self,
+        hw: &mut dyn ConsistencyHw,
+        _frame: PFrame,
+        m: Mapping,
+        logical: Prot,
+    ) {
         hw.set_protection(m, logical);
     }
 

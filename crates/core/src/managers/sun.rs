@@ -53,8 +53,10 @@ impl SunManager {
     /// then grant every mapping its full logical protection uncached.
     fn go_uncached(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame) {
         let fi = frame.0 as usize;
-        let entries = self.mappings[fi].clone();
-        for (m, logical) in &entries {
+        // Entries are `Copy`; iterate by index instead of cloning the list
+        // (nothing in the loop body touches `self.mappings`).
+        for i in 0..self.mappings[fi].len() {
+            let (m, logical) = self.mappings[fi][i];
             let cd = self.geom.cache_page(CacheKind::Data, m.vpage);
             hw.flush_data_page(cd, frame);
             self.inner
@@ -67,9 +69,9 @@ impl SunManager {
                 .stats_mut()
                 .i_purge_pages
                 .add(OpCause::AliasWrite, 1);
-            self.inner.forget_mapping(hw, frame, *m);
-            hw.set_uncached(*m, true);
-            hw.set_protection(*m, *logical);
+            self.inner.forget_mapping(hw, frame, m);
+            hw.set_uncached(m, true);
+            hw.set_protection(m, logical);
         }
         self.uncached[fi] = true;
     }
@@ -156,7 +158,13 @@ impl ConsistencyManager for SunManager {
         self.inner.on_access(hw, frame, m, access, hints);
     }
 
-    fn on_dma(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, dir: DmaDir, hints: AccessHints) {
+    fn on_dma(
+        &mut self,
+        hw: &mut dyn ConsistencyHw,
+        frame: PFrame,
+        dir: DmaDir,
+        hints: AccessHints,
+    ) {
         if self.uncached[frame.0 as usize] {
             // Uncached frames have no cached copies; DMA is safe as-is.
             return;
@@ -290,7 +298,13 @@ mod more_tests {
         assert_eq!(hw.prot_of(m(1, 0)), Prot::READ, "uncached: logical applied");
         // Accesses on uncached frames need no consistency transitions.
         hw.clear_log();
-        mgr.on_access(&mut hw, PFrame(1), m(1, 0), Access::Read, AccessHints::default());
+        mgr.on_access(
+            &mut hw,
+            PFrame(1),
+            m(1, 0),
+            Access::Read,
+            AccessHints::default(),
+        );
         assert!(hw.flushes.is_empty() && hw.purges.is_empty());
     }
 

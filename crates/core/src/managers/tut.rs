@@ -144,7 +144,13 @@ impl ConsistencyManager for TutManager {
         self.inner.on_access(hw, frame, m, access, hints);
     }
 
-    fn on_dma(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, dir: DmaDir, hints: AccessHints) {
+    fn on_dma(
+        &mut self,
+        hw: &mut dyn ConsistencyHw,
+        frame: PFrame,
+        dir: DmaDir,
+        hints: AccessHints,
+    ) {
         // DMA can touch frames whose only cached residue survives an unmap.
         let fi = frame.0 as usize;
         if let Some(r) = self.residue[fi].take() {
@@ -152,7 +158,10 @@ impl ConsistencyManager for TutManager {
                 DmaDir::Read => {
                     let cd = self.geom.cache_page(CacheKind::Data, r.vpage);
                     hw.flush_data_page(cd, frame);
-                    self.inner.stats_mut().d_flush_pages.add(OpCause::DmaRead, 1);
+                    self.inner
+                        .stats_mut()
+                        .d_flush_pages
+                        .add(OpCause::DmaRead, 1);
                 }
                 DmaDir::Write => {
                     let cd = self.geom.cache_page(CacheKind::Data, r.vpage);
@@ -251,7 +260,11 @@ mod tests {
         mgr.on_map(&mut hw, PFrame(1), m(1, 5), Prot::READ_WRITE);
         mgr.on_unmap(&mut hw, PFrame(1), m(1, 5));
         mgr.on_dma(&mut hw, PFrame(1), DmaDir::Read, AccessHints::default());
-        assert_eq!(hw.flushes.len(), 1, "unmapped dirty residue flushed for DMA");
+        assert_eq!(
+            hw.flushes.len(),
+            1,
+            "unmapped dirty residue flushed for DMA"
+        );
     }
 
     #[test]
@@ -260,7 +273,13 @@ mod tests {
         mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
         mgr.on_map(&mut hw, PFrame(1), m(2, 1), Prot::READ_WRITE);
         assert_eq!(hw.prot_of(m(2, 1)), Prot::NONE);
-        mgr.on_access(&mut hw, PFrame(1), m(2, 1), Access::Write, AccessHints::default());
+        mgr.on_access(
+            &mut hw,
+            PFrame(1),
+            m(2, 1),
+            Access::Write,
+            AccessHints::default(),
+        );
         assert_eq!(hw.flushes.len(), 1);
         // Unmapping one of two mappings cleans eagerly.
         mgr.on_unmap(&mut hw, PFrame(1), m(1, 0));
@@ -297,7 +316,13 @@ mod more_tests {
         let mut mgr = TutManager::new(16, geom());
         // Map read-execute and fetch, so the residue carries text.
         mgr.on_map(&mut hw, PFrame(1), m(1, 5), Prot::READ_EXECUTE);
-        mgr.on_access(&mut hw, PFrame(1), m(1, 5), Access::Execute, AccessHints::default());
+        mgr.on_access(
+            &mut hw,
+            PFrame(1),
+            m(1, 5),
+            Access::Execute,
+            AccessHints::default(),
+        );
         mgr.on_unmap(&mut hw, PFrame(1), m(1, 5));
         hw.clear_log();
         // Remap at a different address: the old instruction page must go.
@@ -310,7 +335,13 @@ mod more_tests {
         let mut hw = RecordingHw::new(geom());
         let mut mgr = TutManager::new(16, geom());
         mgr.on_map(&mut hw, PFrame(1), m(1, 5), Prot::READ_EXECUTE);
-        mgr.on_access(&mut hw, PFrame(1), m(1, 5), Access::Execute, AccessHints::default());
+        mgr.on_access(
+            &mut hw,
+            PFrame(1),
+            m(1, 5),
+            Access::Execute,
+            AccessHints::default(),
+        );
         mgr.on_unmap(&mut hw, PFrame(1), m(1, 5));
         hw.clear_log();
         mgr.on_dma(&mut hw, PFrame(1), DmaDir::Write, AccessHints::default());
@@ -326,7 +357,13 @@ mod more_tests {
         let mut hw = RecordingHw::new(geom());
         let mut mgr = TutManager::new(16, geom());
         mgr.on_map(&mut hw, PFrame(1), m(1, 5), Prot::READ_WRITE);
-        mgr.on_access(&mut hw, PFrame(1), m(1, 5), Access::Write, AccessHints::default());
+        mgr.on_access(
+            &mut hw,
+            PFrame(1),
+            m(1, 5),
+            Access::Write,
+            AccessHints::default(),
+        );
         mgr.on_unmap(&mut hw, PFrame(1), m(1, 5));
         mgr.on_dma(&mut hw, PFrame(1), DmaDir::Read, AccessHints::default());
         assert_eq!(hw.flushes.len(), 1, "residue flushed for the device");

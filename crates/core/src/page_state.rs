@@ -154,8 +154,7 @@ impl CacheSideState {
     /// mapped and stale cache pages to stale, and all mapped pages to
     /// unmapped").
     pub fn all_mapped_to_stale(&mut self) {
-        let mapped = self.mapped.clone();
-        self.stale.union_with(&mapped);
+        self.stale.union_with(&self.mapped);
         self.mapped.clear();
     }
 }
@@ -298,11 +297,7 @@ impl PhysPageInfo {
             }
         }
         for side in [&self.data, &self.insn] {
-            if side
-                .mapped
-                .iter()
-                .any(|c| side.stale.contains(c))
-            {
+            if side.mapped.iter().any(|c| side.stale.contains(c)) {
                 return Err("a cache page is both mapped and stale".to_string());
             }
         }
@@ -328,7 +323,10 @@ mod tests {
         assert!(s.contains(CachePage(3)));
         assert!(!s.contains(CachePage(4)));
         assert_eq!(s.count(), 2);
-        assert_eq!(s.iter().collect::<Vec<_>>(), vec![CachePage(3), CachePage(5)]);
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![CachePage(3), CachePage(5)]
+        );
         s.remove(CachePage(3));
         assert_eq!(s.sole_member(), Some(CachePage(5)));
         s.clear();

@@ -253,12 +253,8 @@ pub fn transition(op: ModelOp, role: Role, state: LineState) -> Transition {
 /// experiment binary and for documentation).
 pub fn render_table() -> String {
     let mut out = String::new();
-    out.push_str(
-        "Operation    | Target cache line        | Similarly mapped, unaligned lines\n",
-    );
-    out.push_str(
-        "-------------+--------------------------+----------------------------------\n",
-    );
+    out.push_str("Operation    | Target cache line        | Similarly mapped, unaligned lines\n");
+    out.push_str("-------------+--------------------------+----------------------------------\n");
     for op in ModelOp::ALL {
         for (i, s) in LineState::ALL.into_iter().enumerate() {
             let t = transition(op, Role::Target, s);
@@ -267,7 +263,11 @@ pub fn render_table() -> String {
                 Some(a) => format!("{from} --{a}--> {}", tr.next),
                 None => format!("{from} -> {}", tr.next),
             };
-            let name = if i == 0 { format!("{op}") } else { String::new() };
+            let name = if i == 0 {
+                format!("{op}")
+            } else {
+                String::new()
+            };
             out.push_str(&format!(
                 "{name:<12} | {:<24} | {}\n",
                 fmt_tr(t, s),

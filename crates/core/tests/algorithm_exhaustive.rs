@@ -142,10 +142,7 @@ impl World {
     }
 
     fn cache_page(&self, v: usize) -> usize {
-        self.hw
-            .geom
-            .cache_page(CacheKind::Data, VPage(VPS[v]))
-            .0 as usize
+        self.hw.geom.cache_page(CacheKind::Data, VPage(VPS[v])).0 as usize
     }
 
     /// Fault-resolve until the access is permitted (kernel loop).
@@ -160,7 +157,14 @@ impl World {
                 Access::Write => CcOp::CpuWrite,
                 Access::Execute => unreachable!("no instruction fetches here"),
             };
-            cache_control(&mut self.hw, &mut self.info, FRAME, op, Some(VPage(VPS[v])), hints);
+            cache_control(
+                &mut self.hw,
+                &mut self.info,
+                FRAME,
+                op,
+                Some(VPage(VPS[v])),
+                hints,
+            );
         }
         panic!("livelock resolving {access} via vp {v}");
     }

@@ -160,14 +160,10 @@ fn cache_control_preserves_invariants() {
                 }
                 let m = mapping_of(i);
                 let p = hw.prot_of(m);
-                let d = info.cache_page_state(
-                    CacheKind::Data,
-                    geom.cache_page(CacheKind::Data, m.vpage),
-                );
-                let ins = info.cache_page_state(
-                    CacheKind::Insn,
-                    geom.cache_page(CacheKind::Insn, m.vpage),
-                );
+                let d = info
+                    .cache_page_state(CacheKind::Data, geom.cache_page(CacheKind::Data, m.vpage));
+                let ins = info
+                    .cache_page_state(CacheKind::Insn, geom.cache_page(CacheKind::Insn, m.vpage));
                 if p.allows(Access::Read) {
                     assert!(
                         matches!(d, LineState::Present | LineState::Dirty),

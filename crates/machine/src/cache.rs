@@ -184,7 +184,13 @@ impl Cache {
 
     /// Read `buf.len()` bytes at (va, pa); the access must not cross a line
     /// boundary.
-    pub fn read(&mut self, va: VAddr, pa: PAddr, mem: &mut PhysMemory, buf: &mut [u8]) -> AccessResult {
+    pub fn read(
+        &mut self,
+        va: VAddr,
+        pa: PAddr,
+        mem: &mut PhysMemory,
+        buf: &mut [u8],
+    ) -> AccessResult {
         debug_assert!(va.0 % self.line_size + buf.len() as u64 <= self.line_size);
         let set = self.set_of(va);
         let ptag = self.ptag_of(pa);
@@ -206,7 +212,13 @@ impl Cache {
     /// # Panics
     ///
     /// Panics if called on the instruction cache.
-    pub fn write(&mut self, va: VAddr, pa: PAddr, mem: &mut PhysMemory, data: &[u8]) -> AccessResult {
+    pub fn write(
+        &mut self,
+        va: VAddr,
+        pa: PAddr,
+        mem: &mut PhysMemory,
+        data: &[u8],
+    ) -> AccessResult {
         assert_eq!(self.kind, CacheKind::Data, "stores go to the data cache");
         debug_assert!(va.0 % self.line_size + data.len() as u64 <= self.line_size);
         let set = self.set_of(va);
@@ -410,7 +422,11 @@ mod tests {
         let out = c.purge_page(CachePage(0), PFrame(0), 256);
         assert_eq!(out.present, 1);
         assert_eq!(out.written_back, 0);
-        assert_eq!(mem.read_u32(PAddr(0)), 1, "dirty data discarded, not written");
+        assert_eq!(
+            mem.read_u32(PAddr(0)),
+            1,
+            "dirty data discarded, not written"
+        );
         assert!(!c.page_holds(CachePage(0), PFrame(0), 256));
     }
 
@@ -422,7 +438,10 @@ mod tests {
         c.write(VAddr(0x10), PAddr(0x110), &mut mem, &2u32.to_le_bytes()); // frame 1
         let out = c.flush_page(CachePage(0), PFrame(0), 256, &mut mem);
         assert_eq!(out.present, 1, "only frame 0's line flushed");
-        assert!(c.page_holds(CachePage(0), PFrame(1), 256), "frame 1 untouched");
+        assert!(
+            c.page_holds(CachePage(0), PFrame(1), 256),
+            "frame 1 untouched"
+        );
     }
 
     #[test]

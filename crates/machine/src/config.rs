@@ -105,17 +105,29 @@ impl MachineConfig {
             ("line_size", self.line_size),
             ("mem_bytes", self.mem_bytes),
         ] {
-            assert!(v.is_power_of_two(), "{name} must be a power of two, got {v}");
+            assert!(
+                v.is_power_of_two(),
+                "{name} must be a power of two, got {v}"
+            );
         }
         assert!(self.line_size >= 4, "lines must hold at least one word");
-        assert!(self.page_size >= self.line_size, "pages must hold whole lines");
+        assert!(
+            self.page_size >= self.line_size,
+            "pages must hold whole lines"
+        );
         assert!(
             self.dcache_bytes >= self.page_size && self.icache_bytes >= self.page_size,
             "caches must hold at least one page"
         );
-        assert!(self.mem_bytes >= self.page_size, "memory smaller than a page");
+        assert!(
+            self.mem_bytes >= self.page_size,
+            "memory smaller than a page"
+        );
         assert!(self.tlb_entries >= 1, "the TLB needs at least one entry");
-        for (name, a) in [("dcache_assoc", self.dcache_assoc), ("icache_assoc", self.icache_assoc)] {
+        for (name, a) in [
+            ("dcache_assoc", self.dcache_assoc),
+            ("icache_assoc", self.icache_assoc),
+        ] {
             assert!(
                 a >= 1 && a.is_power_of_two(),
                 "{name} must be a nonzero power of two, got {a}"

@@ -8,9 +8,7 @@ use crate::mmu::{Mmu, Pte, Translation};
 use crate::oracle::Oracle;
 use crate::stats::MachineStats;
 use vic_core::manager::DmaDir;
-use vic_core::types::{
-    Access, CacheKind, CachePage, Mapping, PFrame, Prot, SpaceId, VAddr,
-};
+use vic_core::types::{Access, CacheKind, CachePage, Mapping, PFrame, Prot, SpaceId, VAddr};
 use vic_trace::{TraceEvent, Tracer};
 
 /// A memory-access fault delivered to the operating system.
@@ -65,8 +63,10 @@ impl std::fmt::Display for Fault {
     }
 }
 
-/// The simulated machine.
-#[derive(Debug, Clone)]
+/// The simulated machine. A single owned value — everything it needs
+/// (memory, caches, MMU, oracle, tracer) lives inside, so a machine is
+/// `Send` and a whole simulated system can run on any thread.
+#[derive(Debug)]
 pub struct Machine {
     cfg: MachineConfig,
     mem: PhysMemory,
@@ -136,9 +136,15 @@ impl Machine {
         self.tracer = tracer;
     }
 
-    /// The tracer handle (cheap to clone; clones share the sink).
+    /// The tracer handle.
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Mutable access to the tracer, for emitting events from the layers
+    /// above (kernel, pmap) so all layers feed one stream.
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
     }
 
     /// The staleness oracle.
@@ -171,8 +177,13 @@ impl Machine {
     fn emit_writeback(&mut self, va: VAddr, filling: PFrame) {
         if self.tracer.is_enabled() {
             let cp = self.cfg.cache_page(CacheKind::Data, self.cfg.vpage(va));
-            self.tracer
-                .emit(self.cycles, TraceEvent::WriteBack { cache_page: cp, frame: filling });
+            self.tracer.emit(
+                self.cycles,
+                TraceEvent::WriteBack {
+                    cache_page: cp,
+                    frame: filling,
+                },
+            );
         }
     }
 
@@ -375,8 +386,9 @@ impl Machine {
             .dcache
             .flush_page(cp, frame, self.cfg.page_size, &mut self.mem);
         let c = &self.cfg.costs;
-        let cycles =
-            out.absent * c.line_op_absent + out.present * c.line_op_present + out.written_back * c.writeback;
+        let cycles = out.absent * c.line_op_absent
+            + out.present * c.line_op_present
+            + out.written_back * c.writeback;
         self.cycles += cycles;
         self.stats.d_flush_pages.record(cycles);
         self.stats.flush_writebacks += out.written_back;
@@ -538,13 +550,7 @@ mod tests {
         Machine::new(MachineConfig::small())
     }
 
-    fn map(
-        mach: &mut Machine,
-        s: u32,
-        vp: u64,
-        f: u64,
-        prot: Prot,
-    ) -> (Mapping, VAddr) {
+    fn map(mach: &mut Machine, s: u32, vp: u64, f: u64, prot: Prot) -> (Mapping, VAddr) {
         let m = Mapping::new(SpaceId(s), vic_core::types::VPage(vp));
         mach.enter_mapping(m, PFrame(f), prot);
         (m, mach.config().vaddr(vic_core::types::VPage(vp)))
@@ -701,10 +707,7 @@ mod tests {
         mach.store(SpaceId(1), va, 2).unwrap(); // hit
         let after_hit = mach.cycles();
         assert!(after_miss - before > after_hit - after_miss);
-        assert_eq!(
-            after_hit - after_miss,
-            mach.config().costs.cache_hit
-        );
+        assert_eq!(after_hit - after_miss, mach.config().costs.cache_hit);
     }
 
     #[test]
@@ -793,7 +796,10 @@ mod tlb_tests {
         // Revoke write on a page whose entry is hot in the TLB.
         let _ = mach.load(sp, va0).unwrap();
         mach.set_protection(m0, Prot::READ);
-        assert!(mach.store(sp, va0, 1).is_err(), "stale TLB entry not served");
+        assert!(
+            mach.store(sp, va0, 1).is_err(),
+            "stale TLB entry not served"
+        );
         assert_eq!(mach.oracle().violations(), 0);
     }
 }

@@ -174,8 +174,14 @@ mod tests {
     fn translate_miss_then_hit() {
         let mut mmu = Mmu::new(8);
         mmu.enter(m(1, 0), pte(3, Prot::READ));
-        assert_eq!(mmu.translate(m(1, 0)), Translation::TlbMiss(pte(3, Prot::READ)));
-        assert_eq!(mmu.translate(m(1, 0)), Translation::TlbHit(pte(3, Prot::READ)));
+        assert_eq!(
+            mmu.translate(m(1, 0)),
+            Translation::TlbMiss(pte(3, Prot::READ))
+        );
+        assert_eq!(
+            mmu.translate(m(1, 0)),
+            Translation::TlbHit(pte(3, Prot::READ))
+        );
         assert_eq!(mmu.translate(m(1, 1)), Translation::Unmapped);
     }
 

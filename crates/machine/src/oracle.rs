@@ -72,7 +72,11 @@ impl Oracle {
         let s = pa.0 as usize;
         let want = &self.expected[s..s + data.len()];
         if data != want {
-            let i = data.iter().zip(want).position(|(a, b)| a != b).expect("differs");
+            let i = data
+                .iter()
+                .zip(want)
+                .position(|(a, b)| a != b)
+                .expect("differs");
             let v = Violation {
                 pa: PAddr(pa.0 + i as u64),
                 got: data[i],

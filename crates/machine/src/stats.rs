@@ -37,7 +37,13 @@ impl OpStat {
 
 impl fmt::Display for OpStat {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ops / {} cycles (avg {:.0})", self.count, self.cycles, self.avg())
+        write!(
+            f,
+            "{} ops / {} cycles (avg {:.0})",
+            self.count,
+            self.cycles,
+            self.avg()
+        )
     }
 }
 

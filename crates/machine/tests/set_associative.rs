@@ -14,7 +14,11 @@ fn two_way() -> MachineConfig {
 }
 
 fn map(m: &mut Machine, vp: u64, f: u64) -> VAddr {
-    m.enter_mapping(Mapping::new(SpaceId(1), VPage(vp)), PFrame(f), Prot::READ_WRITE);
+    m.enter_mapping(
+        Mapping::new(SpaceId(1), VPage(vp)),
+        PFrame(f),
+        Prot::READ_WRITE,
+    );
     m.config().vaddr(VPage(vp))
 }
 
@@ -53,7 +57,11 @@ fn tags_unique_within_a_set() {
     let va0 = map(&mut m, 0, 3);
     let va2 = map(&mut m, 2, 3); // aligned alias of the same frame
     m.store(SpaceId(1), va0, 77).unwrap();
-    assert_eq!(m.load(SpaceId(1), va2).unwrap(), 77, "alias hits the same way");
+    assert_eq!(
+        m.load(SpaceId(1), va2).unwrap(),
+        77,
+        "alias hits the same way"
+    );
     assert_eq!(m.stats().d_misses, 1, "only the original fill missed");
     assert_eq!(m.oracle().violations(), 0);
 }

@@ -78,7 +78,11 @@ fn dma_write_shadowing_still_exists() {
     let _ = m.load(SpaceId(1), va).unwrap();
     m.dma_write_page(PFrame(3), &vec![0x5au8; m.config().page_size as usize]);
     let _ = m.load(SpaceId(1), va).unwrap();
-    assert_eq!(m.oracle().violations(), 1, "cached copy shadows device data");
+    assert_eq!(
+        m.oracle().violations(),
+        1,
+        "cached copy shadows device data"
+    );
 }
 
 #[test]

@@ -155,7 +155,10 @@ impl BufferCache {
         if let Some(free) = self.slots.iter().position(Option::is_none) {
             return (free, None);
         }
-        let slot = self.lru.pop_front().expect("all slots busy implies LRU entries");
+        let slot = self
+            .lru
+            .pop_front()
+            .expect("all slots busy implies LRU entries");
         let old = self.slots[slot].expect("victim slot is occupied");
         self.map.remove(&old.block);
         self.slots[slot] = None;

@@ -85,7 +85,12 @@ impl FileSystem {
     /// # Errors
     ///
     /// [`OsError::NoSuchFile`] / [`OsError::DiskFull`].
-    pub fn ensure_block(&mut self, f: FileId, page: u64, disk: &mut Disk) -> Result<BlockId, OsError> {
+    pub fn ensure_block(
+        &mut self,
+        f: FileId,
+        page: u64,
+        disk: &mut Disk,
+    ) -> Result<BlockId, OsError> {
         let blocks = self.files.get_mut(&f).ok_or(OsError::NoSuchFile(f.0))?;
         while blocks.len() <= page as usize {
             blocks.push(disk.alloc()?);

@@ -147,16 +147,14 @@ impl KernelWindows {
                 self.busy.insert(vp);
                 VPage(vp)
             }
-            None => {
-                loop {
-                    let vp = self.base + (self.cursor % self.size);
-                    self.cursor += 1;
-                    if !self.busy.contains(&vp) {
-                        self.busy.insert(vp);
-                        return VPage(vp);
-                    }
+            None => loop {
+                let vp = self.base + (self.cursor % self.size);
+                self.cursor += 1;
+                if !self.busy.contains(&vp) {
+                    self.busy.insert(vp);
+                    return VPage(vp);
                 }
-            }
+            },
         }
     }
 
@@ -259,8 +257,9 @@ impl Kernel {
     }
 
     /// Emit a kernel-level trace event stamped with the current cycle.
-    fn trace(&self, event: TraceEvent) {
-        self.machine.tracer().emit(self.machine.cycles(), event);
+    fn trace(&mut self, event: TraceEvent) {
+        let cycle = self.machine.cycles();
+        self.machine.tracer_mut().emit(cycle, event);
     }
 
     /// Kernel event counters.
@@ -414,8 +413,12 @@ impl Kernel {
             .expect("paging out a nonexistent entry");
         let frame = entry.frame.expect("paging out an unmaterialized page");
         let block = self.swap.alloc()?;
-        self.pmap
-            .before_dma(&mut self.machine, frame, DmaDir::Read, AccessHints::default());
+        self.pmap.before_dma(
+            &mut self.machine,
+            frame,
+            DmaDir::Read,
+            AccessHints::default(),
+        );
         let mut data = vec![0u8; self.page_size() as usize];
         self.machine.dma_read_page(frame, &mut data);
         self.swap.write(block, &data);
@@ -442,10 +445,18 @@ impl Kernel {
     }
 
     /// Page a swapped-out page back in: DMA its block into a fresh frame.
-    fn page_in(&mut self, block: crate::bufcache::BlockId, under: VPage) -> Result<PFrame, OsError> {
+    fn page_in(
+        &mut self,
+        block: crate::bufcache::BlockId,
+        under: VPage,
+    ) -> Result<PFrame, OsError> {
         let frame = self.alloc_frame(Some(under))?;
-        self.pmap
-            .before_dma(&mut self.machine, frame, DmaDir::Write, AccessHints::discards());
+        self.pmap.before_dma(
+            &mut self.machine,
+            frame,
+            DmaDir::Write,
+            AccessHints::discards(),
+        );
         let data = self.swap.read(block);
         self.machine.dma_write_page(frame, &data);
         self.trace(TraceEvent::OsDma {
@@ -611,7 +622,9 @@ impl Kernel {
         // A write into a copy-on-write page must break the share first.
         if entry.cow && access == Access::Write && entry.prot.allows(Access::Write) {
             self.cow_break(m)?;
-            entry = *self.task_entry(m.space, m.vpage).expect("entry survives cow break");
+            entry = *self
+                .task_entry(m.space, m.vpage)
+                .expect("entry survives cow break");
         }
         let frame = match entry.frame {
             Some(f) => f,
@@ -636,7 +649,8 @@ impl Kernel {
                 f
             }
         };
-        self.pmap.enter(&mut self.machine, m, frame, entry.hw_prot());
+        self.pmap
+            .enter(&mut self.machine, m, frame, entry.hw_prot());
         // Run the access transition implied by this very access. It is
         // inferred from the mapping fault, so it is NOT counted as a
         // consistency fault (paper §5.1).
@@ -875,12 +889,10 @@ impl Kernel {
     /// if untouched).
     fn ensure_materialized(&mut self, t: TaskId, vp: VPage) -> Result<PFrame, OsError> {
         let space = self.task_space(t)?;
-        let entry = *self
-            .task_entry(space, vp)
-            .ok_or(OsError::BadAddress {
-                mapping: Mapping::new(space, vp),
-                access: Access::Read,
-            })?;
+        let entry = *self.task_entry(space, vp).ok_or(OsError::BadAddress {
+            mapping: Mapping::new(space, vp),
+            access: Access::Read,
+        })?;
         if let Some(f) = entry.frame {
             return Ok(f);
         }
@@ -968,7 +980,8 @@ impl Kernel {
         let want = self.aligned_prep_target(ultimate, is_text);
         let wvp = self.kwin.alloc(want);
         let m = Mapping::new(KERNEL_SPACE, wvp);
-        self.pmap.enter(&mut self.machine, m, frame, Prot::READ_WRITE);
+        self.pmap
+            .enter(&mut self.machine, m, frame, Prot::READ_WRITE);
         let base = wvp.0 * self.page_size();
         let hints = AccessHints {
             will_overwrite: true,
@@ -1051,8 +1064,12 @@ impl Kernel {
     fn write_buffer_to_disk(&mut self, buf: Buf) {
         // The device reads the buffer out of memory: a DMA-read; dirty
         // cached data must reach memory first.
-        self.pmap
-            .before_dma(&mut self.machine, buf.frame, DmaDir::Read, AccessHints::default());
+        self.pmap.before_dma(
+            &mut self.machine,
+            buf.frame,
+            DmaDir::Read,
+            AccessHints::default(),
+        );
         let mut data = vec![0u8; self.page_size() as usize];
         self.machine.dma_read_page(buf.frame, &mut data);
         self.disk.write(buf.block, &data);
@@ -1084,8 +1101,12 @@ impl Kernel {
             // The device writes the block into memory: a DMA-write; any
             // cached residue of the recycled frame is killed (purged, not
             // flushed — the data is dead and memory is being overwritten).
-            self.pmap
-                .before_dma(&mut self.machine, frame, DmaDir::Write, AccessHints::discards());
+            self.pmap.before_dma(
+                &mut self.machine,
+                frame,
+                DmaDir::Write,
+                AccessHints::discards(),
+            );
             let data = self.disk.read(block);
             self.machine.dma_write_page(frame, &data);
             self.trace(TraceEvent::OsDma {
@@ -1204,7 +1225,8 @@ impl Kernel {
         for b in blocks {
             if let Some((slot, buf)) = self.bufcache.evict_block(b) {
                 let vp = self.bufcache.vpage_of(slot);
-                self.pmap.remove(&mut self.machine, Mapping::new(KERNEL_SPACE, vp));
+                self.pmap
+                    .remove(&mut self.machine, Mapping::new(KERNEL_SPACE, vp));
                 self.release_frame(buf.frame, Some(vp));
             }
         }
@@ -1474,7 +1496,13 @@ impl Kernel {
         for i in 0..REQ_WORDS {
             let v = self.seq;
             self.seq = self.seq.wrapping_add(1);
-            self.access_word(space, VAddr(cva.0 + i * 4), Access::Write, v, AccessHints::default())?;
+            self.access_word(
+                space,
+                VAddr(cva.0 + i * 4),
+                Access::Write,
+                v,
+                AccessHints::default(),
+            )?;
         }
         for i in 0..REQ_WORDS {
             self.access_word(
@@ -1578,9 +1606,6 @@ mod tests {
     #[test]
     fn share_alignment_enum() {
         assert_ne!(ShareAlignment::Aligned, ShareAlignment::Unaligned);
-        assert_eq!(
-            format!("{:?}", ShareAlignment::FirstFit),
-            "FirstFit"
-        );
+        assert_eq!(format!("{:?}", ShareAlignment::FirstFit), "FirstFit");
     }
 }

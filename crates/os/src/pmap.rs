@@ -116,8 +116,7 @@ impl Pmap {
         hints: AccessHints,
         f: impl FnOnce(&mut dyn ConsistencyManager, &mut dyn ConsistencyHw),
     ) {
-        let tracer = machine.tracer().clone();
-        if !tracer.is_enabled() {
+        if !machine.tracer().is_enabled() {
             f(self.mgr.as_mut(), &mut HwAdapter::new(machine));
             return;
         }
@@ -130,9 +129,10 @@ impl Pmap {
             rec.into_log()
         };
         if let (Some(before), Some(after)) = (before, self.mgr.observed_page(frame)) {
+            let cycle = machine.cycles();
             emit_transitions(
-                &tracer,
-                machine.cycles(),
+                machine.tracer_mut(),
+                cycle,
                 frame,
                 geom,
                 op,
@@ -271,8 +271,8 @@ impl Pmap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vic_core::policy::PolicyConfig;
     use vic_core::managers::CmuManager;
+    use vic_core::policy::PolicyConfig;
     use vic_core::types::{SpaceId, VPage};
     use vic_machine::MachineConfig;
 
@@ -326,7 +326,12 @@ mod tests {
                 match mach.store(sp, va, i) {
                     Ok(()) => break,
                     Err(f) => pmap
-                        .consistency_fault(&mut mach, f.mapping(), f.access(), AccessHints::default())
+                        .consistency_fault(
+                            &mut mach,
+                            f.mapping(),
+                            f.access(),
+                            AccessHints::default(),
+                        )
                         .unwrap(),
                 }
             }
@@ -343,7 +348,12 @@ mod tests {
                         break;
                     }
                     Err(f) => pmap
-                        .consistency_fault(&mut mach, f.mapping(), f.access(), AccessHints::default())
+                        .consistency_fault(
+                            &mut mach,
+                            f.mapping(),
+                            f.access(),
+                            AccessHints::default(),
+                        )
                         .unwrap(),
                 }
             }

@@ -1,10 +1,10 @@
 //! Selection of the consistency system under test: the paper's
 //! configurations A–F and the Table 5 baseline kernels.
 
+use vic_core::manager::ConsistencyManager;
 use vic_core::managers::{
     ChaosManager, CmuManager, DropClass, EagerManager, NullManager, SunManager, TutManager,
 };
-use vic_core::manager::ConsistencyManager;
 use vic_core::policy::{Configuration, PolicyConfig};
 use vic_core::types::CacheGeometry;
 
@@ -67,19 +67,13 @@ impl SystemKind {
             SystemKind::Cmu(c) if c.uses_cmu_manager() => {
                 Box::new(CmuManager::new(num_frames, geom, c.policy()))
             }
-            SystemKind::Cmu(_) | SystemKind::Utah => {
-                Box::new(EagerManager::utah(num_frames, geom))
-            }
+            SystemKind::Cmu(_) | SystemKind::Utah => Box::new(EagerManager::utah(num_frames, geom)),
             SystemKind::Apollo => Box::new(EagerManager::apollo(num_frames, geom)),
             SystemKind::Tut => Box::new(TutManager::new(num_frames, geom)),
             SystemKind::Sun => Box::new(SunManager::new(num_frames, geom)),
             SystemKind::Null => Box::new(NullManager::new()),
             SystemKind::Chaos(drop) => Box::new(ChaosManager::new(
-                Box::new(CmuManager::new(
-                    num_frames,
-                    geom,
-                    Configuration::F.policy(),
-                )),
+                Box::new(CmuManager::new(num_frames, geom, Configuration::F.policy())),
                 drop,
             )),
         }

@@ -201,8 +201,8 @@ impl Task {
                 // congruent to the peer modulo the alignment modulus (a
                 // contiguous range then aligns page-for-page).
                 let want = peer.0 % self.align_mod;
-                let mut p =
-                    USER_BASE + (want + self.align_mod - USER_BASE % self.align_mod) % self.align_mod;
+                let mut p = USER_BASE
+                    + (want + self.align_mod - USER_BASE % self.align_mod) % self.align_mod;
                 while !self.range_free(p, npages) {
                     p += self.align_mod;
                 }

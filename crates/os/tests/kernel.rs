@@ -8,7 +8,10 @@ use vic_os::{Kernel, KernelConfig, SystemKind};
 
 /// All correct systems under test.
 fn all_systems() -> Vec<SystemKind> {
-    let mut v: Vec<SystemKind> = Configuration::ALL.into_iter().map(SystemKind::Cmu).collect();
+    let mut v: Vec<SystemKind> = Configuration::ALL
+        .into_iter()
+        .map(SystemKind::Cmu)
+        .collect();
     v.extend(SystemKind::table5());
     v
 }
@@ -134,10 +137,15 @@ fn file_io_roundtrip_all_systems() {
         // Write two pages of patterned data.
         for p in 0..2u64 {
             for w in 0..4u64 {
-                k.write(t, VAddr(va.0 + p * k.page_size() + w * 4), (p * 100 + w) as u32 + 7)
-                    .unwrap();
+                k.write(
+                    t,
+                    VAddr(va.0 + p * k.page_size() + w * 4),
+                    (p * 100 + w) as u32 + 7,
+                )
+                .unwrap();
             }
-            k.fs_write_page(t, f, p, VAddr(va.0 + p * k.page_size())).unwrap();
+            k.fs_write_page(t, f, p, VAddr(va.0 + p * k.page_size()))
+                .unwrap();
         }
         k.sync();
         // Evict by reading enough other files to cycle the buffer cache.
@@ -150,7 +158,8 @@ fn file_io_roundtrip_all_systems() {
         // Read back into fresh memory.
         let rva = k.vm_allocate(t, 2).unwrap();
         for p in 0..2u64 {
-            k.fs_read_page(t, f, p, VAddr(rva.0 + p * k.page_size())).unwrap();
+            k.fs_read_page(t, f, p, VAddr(rva.0 + p * k.page_size()))
+                .unwrap();
             for w in 0..4u64 {
                 assert_eq!(
                     k.read(t, VAddr(rva.0 + p * k.page_size() + w * 4)).unwrap(),
@@ -177,10 +186,15 @@ fn exec_text_all_systems() {
         let va = k.vm_allocate(t, 2).unwrap();
         for p in 0..2u64 {
             for w in 0..(k.page_size() / 4) {
-                k.write(t, VAddr(va.0 + p * k.page_size() + w * 4), (p * 10000 + w) as u32)
-                    .unwrap();
+                k.write(
+                    t,
+                    VAddr(va.0 + p * k.page_size() + w * 4),
+                    (p * 10000 + w) as u32,
+                )
+                .unwrap();
             }
-            k.fs_write_page(t, f, p, VAddr(va.0 + p * k.page_size())).unwrap();
+            k.fs_write_page(t, f, p, VAddr(va.0 + p * k.page_size()))
+                .unwrap();
         }
         k.sync();
         // Exec it in a second task and fetch every word.
@@ -188,7 +202,9 @@ fn exec_text_all_systems() {
         let text = k.exec_text(proc2, f, 2).unwrap();
         for p in 0..2u64 {
             for w in [0u64, 1, k.page_size() / 4 - 1] {
-                let got = k.fetch(proc2, VAddr(text.0 + p * k.page_size() + w * 4)).unwrap();
+                let got = k
+                    .fetch(proc2, VAddr(text.0 + p * k.page_size() + w * 4))
+                    .unwrap();
                 assert_eq!(got, (p * 10000 + w) as u32, "{sys:?}");
             }
         }
@@ -233,8 +249,14 @@ fn aligned_channels_eliminate_consistency_faults() {
     let (old_faults, old_ops) = run(SystemKind::Cmu(Configuration::A));
     assert_eq!(new_faults, 0, "aligned channel: steady state, no faults");
     assert_eq!(new_ops, 0, "aligned channel: no flushes or purges");
-    assert!(old_faults > 20, "unaligned channel faults continuously: {old_faults}");
-    assert!(old_ops > 20, "unaligned channel flushes continuously: {old_ops}");
+    assert!(
+        old_faults > 20,
+        "unaligned channel faults continuously: {old_faults}"
+    );
+    assert!(
+        old_ops > 20,
+        "unaligned channel flushes continuously: {old_ops}"
+    );
 }
 
 /// The broken manager really produces staleness the oracle catches —
@@ -313,8 +335,15 @@ fn lazy_vs_eager_unmap() {
         let m = k.mgr_stats();
         m.total_flushes() + m.total_purges()
     };
-    assert_eq!(run(SystemKind::Cmu(Configuration::F)), 0, "lazy: nothing at unmap");
-    assert!(run(SystemKind::Cmu(Configuration::A)) >= 4, "eager: cleaned at unmap");
+    assert_eq!(
+        run(SystemKind::Cmu(Configuration::F)),
+        0,
+        "lazy: nothing at unmap"
+    );
+    assert!(
+        run(SystemKind::Cmu(Configuration::A)) >= 4,
+        "eager: cleaned at unmap"
+    );
 }
 
 /// Errors: bad addresses, bad tasks, bad files.
@@ -325,7 +354,10 @@ fn error_paths() {
     assert!(k.read(t, VAddr(0)).is_err(), "page 0 unmapped");
     assert!(k.read(vic_os::TaskId(99), VAddr(0)).is_err());
     let f = k.fs_create();
-    assert!(k.fs_read_page(t, f, 0, VAddr(0x4000)).is_err(), "empty file");
+    assert!(
+        k.fs_read_page(t, f, 0, VAddr(0x4000)).is_err(),
+        "empty file"
+    );
     assert!(k.fs_delete(f).is_ok());
     assert!(k.fs_delete(f).is_err(), "double delete");
 }
@@ -358,7 +390,11 @@ fn cow_basic_semantics_all_systems() {
 
         // The source writes the second page: same dance, other direction.
         k.write(a, VAddr(va.0 + k.page_size()), 222).unwrap();
-        assert_eq!(k.read(a, VAddr(va.0 + k.page_size())).unwrap(), 222, "{sys:?}");
+        assert_eq!(
+            k.read(a, VAddr(va.0 + k.page_size())).unwrap(),
+            222,
+            "{sys:?}"
+        );
         assert_eq!(
             k.read(b, VAddr(vb.0 + k.page_size())).unwrap(),
             200,
@@ -439,13 +475,20 @@ fn cow_aligned_sharing_is_free() {
     let b = k.create_task();
     let va = k.vm_allocate(a, 3).unwrap();
     for p in 0..3u64 {
-        k.write(a, VAddr(va.0 + p * k.page_size()), p as u32).unwrap();
+        k.write(a, VAddr(va.0 + p * k.page_size()), p as u32)
+            .unwrap();
     }
     k.reset_stats();
     let vb = k.vm_copy(a, va, 3, b).unwrap();
     for p in 0..3u64 {
-        assert_eq!(k.read(b, VAddr(vb.0 + p * k.page_size())).unwrap(), p as u32);
-        assert_eq!(k.read(a, VAddr(va.0 + p * k.page_size())).unwrap(), p as u32);
+        assert_eq!(
+            k.read(b, VAddr(vb.0 + p * k.page_size())).unwrap(),
+            p as u32
+        );
+        assert_eq!(
+            k.read(a, VAddr(va.0 + p * k.page_size())).unwrap(),
+            p as u32
+        );
     }
     let mgr = k.mgr_stats();
     assert_eq!(
@@ -472,7 +515,8 @@ fn vm_map_file_all_systems() {
         let f = k.fs_create();
         for p in 0..3u64 {
             for w in 0..8u64 {
-                k.write(t, VAddr(buf.0 + w * 4), (p * 100 + w) as u32).unwrap();
+                k.write(t, VAddr(buf.0 + w * 4), (p * 100 + w) as u32)
+                    .unwrap();
             }
             k.fs_write_page(t, f, p, buf).unwrap();
         }
@@ -532,9 +576,13 @@ fn paging_under_memory_pressure() {
         let npages = 60u64; // more than the free frames
         let va = k.vm_allocate(t, npages).unwrap();
         for p in 0..npages {
-            k.write(t, VAddr(va.0 + p * k.page_size()), 5000 + p as u32).unwrap();
+            k.write(t, VAddr(va.0 + p * k.page_size()), 5000 + p as u32)
+                .unwrap();
         }
-        assert!(k.os_stats().page_outs > 0, "{sys:?}: pressure forced pageouts");
+        assert!(
+            k.os_stats().page_outs > 0,
+            "{sys:?}: pressure forced pageouts"
+        );
         // Everything reads back correctly (pages fault back in from swap).
         for p in 0..npages {
             assert_eq!(
@@ -562,13 +610,18 @@ fn swap_released_at_teardown() {
         let t = k.create_task();
         let va = k.vm_allocate(t, 60).unwrap();
         for p in 0..60u64 {
-            k.write(t, VAddr(va.0 + p * k.page_size()), generation).unwrap();
+            k.write(t, VAddr(va.0 + p * k.page_size()), generation)
+                .unwrap();
         }
         k.terminate_task(t).unwrap();
     }
     // Four generations of 60 pages through an 80-block swap only work if
     // teardown releases blocks.
-    assert!(k.os_stats().page_outs > 40, "page_outs = {}", k.os_stats().page_outs);
+    assert!(
+        k.os_stats().page_outs > 40,
+        "page_outs = {}",
+        k.os_stats().page_outs
+    );
     assert_eq!(k.machine().oracle().violations(), 0);
 }
 
@@ -655,7 +708,10 @@ fn graceful_exhaustion_of_memory_and_swap() {
         }
     }
     let (at, err) = failed.expect("exhaustion must surface");
-    assert!(at > 40, "a healthy number of pages fit first (failed at {at}: {err})");
+    assert!(
+        at > 40,
+        "a healthy number of pages fit first (failed at {at}: {err})"
+    );
     // With memory AND swap exhausted, even paging a page back in can fail
     // (there is nowhere to evict to) — but always as an error, never a
     // panic or corruption. Free the tail of the region to make room...

@@ -238,11 +238,7 @@ impl TraceSink for ConsistencyAuditor {
         };
         self.transitions_checked += 1;
         let key = Self::key(frame, kind, cache_page);
-        let expected = self
-            .shadow
-            .get(&key)
-            .copied()
-            .unwrap_or(LineState::Empty);
+        let expected = self.shadow.get(&key).copied().unwrap_or(LineState::Empty);
         let base = Divergence {
             kind: DivergenceKind::BookkeepingMismatch,
             cycle,
@@ -316,10 +312,8 @@ mod tests {
                     if t.next == s {
                         continue; // self-loops are never emitted
                     }
-                    let flushed =
-                        t.action == Some(CacheAction::Flush) || op == ModelOp::Flush;
-                    let purged =
-                        t.action == Some(CacheAction::Purge) || op == ModelOp::Purge;
+                    let flushed = t.action == Some(CacheAction::Flush) || op == ModelOp::Flush;
+                    let purged = t.action == Some(CacheAction::Purge) || op == ModelOp::Purge;
                     assert!(
                         edge_is_legal(s, t.next, flushed, purged, false),
                         "model edge {op}/{role:?} {s}→{} with flushed={flushed} purged={purged} \

@@ -110,7 +110,7 @@ impl ConsistencyHw for HwRecorder<'_> {
 /// [`TraceEvent::ProtChange`] for every protection the dispatch installed.
 #[allow(clippy::too_many_arguments)]
 pub fn emit_transitions(
-    tracer: &Tracer,
+    tracer: &mut Tracer,
     cycle: u64,
     frame: PFrame,
     geom: CacheGeometry,
@@ -165,15 +165,21 @@ pub fn emit_transitions(
         }
     }
     for &(m, prot) in &log.prots {
-        tracer.emit(cycle, TraceEvent::ProtChange { mapping: m, frame, prot });
+        tracer.emit(
+            cycle,
+            TraceEvent::ProtChange {
+                mapping: m,
+                frame,
+                prot,
+            },
+        );
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
     use vic_core::cache_control::RecordingHw;
     use vic_core::state::LineState;
     use vic_core::types::SpaceId;
@@ -193,7 +199,10 @@ mod tests {
         rec.set_protection(m, Prot::READ);
         let log = rec.into_log();
         assert!(log.flushed(CacheKind::Data, CachePage(1)));
-        assert!(!log.flushed(CacheKind::Insn, CachePage(0)), "insn never flushes");
+        assert!(
+            !log.flushed(CacheKind::Insn, CachePage(0)),
+            "insn never flushes"
+        );
         assert!(log.purged(CacheKind::Data, CachePage(2)));
         assert!(log.purged(CacheKind::Insn, CachePage(0)));
         assert!(!log.purged(CacheKind::Data, CachePage(0)));
@@ -212,10 +221,10 @@ mod tests {
         after.data.mapped.insert(CachePage(0));
         after.cache_dirty = true;
 
-        let ring = Rc::new(RefCell::new(RingBufferSink::new(16)));
-        let t = Tracer::shared(ring.clone());
+        let ring = Arc::new(Mutex::new(RingBufferSink::new(16)));
+        let mut t = Tracer::shared(ring.clone());
         emit_transitions(
-            &t,
+            &mut t,
             5,
             PFrame(2),
             geom,
@@ -227,11 +236,18 @@ mod tests {
             &after,
             &HwLog::default(),
         );
-        let ring = ring.borrow();
+        let ring = ring.lock().unwrap();
         let evs: Vec<_> = ring.events().collect();
         assert_eq!(evs.len(), 1, "one transition, no prot changes");
         match evs[0].1 {
-            TraceEvent::Transition { old, new, target, cache_page, kind, .. } => {
+            TraceEvent::Transition {
+                old,
+                new,
+                target,
+                cache_page,
+                kind,
+                ..
+            } => {
                 assert_eq!(old, LineState::Empty);
                 assert_eq!(new, LineState::Dirty);
                 assert!(target);
@@ -248,7 +264,7 @@ mod tests {
         let geom = CacheGeometry::new(8, 4);
         let info = PhysPageInfo::new(geom);
         emit_transitions(
-            &Tracer::off(),
+            &mut Tracer::off(),
             0,
             PFrame(0),
             geom,

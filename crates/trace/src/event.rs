@@ -331,9 +331,24 @@ impl TraceEvent {
             self.name()
         );
         match *self {
-            TraceEvent::Load { space, vaddr, hit, cost }
-            | TraceEvent::Store { space, vaddr, hit, cost }
-            | TraceEvent::IFetch { space, vaddr, hit, cost } => {
+            TraceEvent::Load {
+                space,
+                vaddr,
+                hit,
+                cost,
+            }
+            | TraceEvent::Store {
+                space,
+                vaddr,
+                hit,
+                cost,
+            }
+            | TraceEvent::IFetch {
+                space,
+                vaddr,
+                hit,
+                cost,
+            } => {
                 let _ = write!(
                     out,
                     ",\"space\":{},\"va\":{},\"hit\":{hit},\"cost\":{cost}",
@@ -343,14 +358,24 @@ impl TraceEvent {
             TraceEvent::WriteBack { cache_page, frame } => {
                 let _ = write!(out, ",\"cp\":{},\"frame\":{}", cache_page.0, frame.0);
             }
-            TraceEvent::FlushPage { cache_page, frame, written_back, cost } => {
+            TraceEvent::FlushPage {
+                cache_page,
+                frame,
+                written_back,
+                cost,
+            } => {
                 let _ = write!(
                     out,
                     ",\"cp\":{},\"frame\":{},\"written_back\":{written_back},\"cost\":{cost}",
                     cache_page.0, frame.0
                 );
             }
-            TraceEvent::PurgePage { kind, cache_page, frame, cost } => {
+            TraceEvent::PurgePage {
+                kind,
+                cache_page,
+                frame,
+                cost,
+            } => {
                 let _ = write!(
                     out,
                     ",\"cache\":\"{}\",\"cp\":{},\"frame\":{},\"cost\":{cost}",
@@ -413,7 +438,11 @@ impl TraceEvent {
                     op.name()
                 );
             }
-            TraceEvent::ProtChange { mapping, frame, prot } => {
+            TraceEvent::ProtChange {
+                mapping,
+                frame,
+                prot,
+            } => {
                 let _ = write!(
                     out,
                     ",\"space\":{},\"vp\":{},\"frame\":{},\"prot\":\"{prot}\"",
@@ -443,9 +472,24 @@ impl fmt::Display for TraceEvent {
     /// A compact single-line rendering for ring-buffer dumps.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            TraceEvent::Load { space, vaddr, hit, cost }
-            | TraceEvent::Store { space, vaddr, hit, cost }
-            | TraceEvent::IFetch { space, vaddr, hit, cost } => write!(
+            TraceEvent::Load {
+                space,
+                vaddr,
+                hit,
+                cost,
+            }
+            | TraceEvent::Store {
+                space,
+                vaddr,
+                hit,
+                cost,
+            }
+            | TraceEvent::IFetch {
+                space,
+                vaddr,
+                hit,
+                cost,
+            } => write!(
                 f,
                 "{} {space} {vaddr} {} ({cost}cy)",
                 self.name(),
@@ -454,11 +498,21 @@ impl fmt::Display for TraceEvent {
             TraceEvent::WriteBack { cache_page, frame } => {
                 write!(f, "write_back {cache_page} {frame}")
             }
-            TraceEvent::FlushPage { cache_page, frame, written_back, cost } => write!(
+            TraceEvent::FlushPage {
+                cache_page,
+                frame,
+                written_back,
+                cost,
+            } => write!(
                 f,
                 "flush_page {cache_page} {frame} wb={written_back} ({cost}cy)"
             ),
-            TraceEvent::PurgePage { kind, cache_page, frame, cost } => {
+            TraceEvent::PurgePage {
+                kind,
+                cache_page,
+                frame,
+                cost,
+            } => {
                 write!(f, "purge_page {kind} {cache_page} {frame} ({cost}cy)")
             }
             TraceEvent::TlbFill { space, vpage, cost } => {
@@ -498,7 +552,11 @@ impl fmt::Display for TraceEvent {
                 if flushed { " +flush" } else { "" },
                 if purged { " +purge" } else { "" },
             ),
-            TraceEvent::ProtChange { mapping, frame, prot } => {
+            TraceEvent::ProtChange {
+                mapping,
+                frame,
+                prot,
+            } => {
                 write!(f, "prot_change {mapping} {frame} {prot}")
             }
         }
@@ -566,10 +624,7 @@ mod tests {
         };
         assert_eq!(hit.cost_class(), Some(("store.hit", 1)));
         assert_eq!(miss.cost_class(), Some(("store.miss", 12)));
-        assert_eq!(
-            TraceEvent::ZeroFill { frame: PFrame(0) }.cost_class(),
-            None
-        );
+        assert_eq!(TraceEvent::ZeroFill { frame: PFrame(0) }.cost_class(), None);
     }
 
     #[test]

@@ -80,12 +80,20 @@ impl Histogram {
 
     /// Smallest sample (0 if empty).
     pub fn min(&self) -> u64 {
-        if self.count == 0 { 0 } else { self.min }
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
     }
 
     /// Largest sample (0 if empty).
     pub fn max(&self) -> u64 {
-        if self.count == 0 { 0 } else { self.max }
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
     }
 
     /// Mean cost (0.0 if empty).

@@ -12,9 +12,13 @@
 //!   hardware operations that justified it — captured by [`HwRecorder`] +
 //!   [`emit_transitions`].
 //!
-//! Events flow through a cheaply cloneable [`Tracer`] handle into a
+//! Events flow through an owned [`Tracer`] handle into a
 //! [`TraceSink`]. A disconnected tracer (the default everywhere) is a
 //! single `Option` check: tracing off changes no result and no statistic.
+//! The tracer owns its sink (`Box<dyn TraceSink + Send>`), so a machine —
+//! and the whole simulated system built on it — is a single owned `Send`
+//! value that can run on any thread; keep an `Arc<Mutex<S>>` handle (see
+//! [`Tracer::shared`]) when a sink must be inspected after the run.
 //!
 //! Sinks provided here:
 //!

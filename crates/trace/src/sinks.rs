@@ -172,7 +172,10 @@ mod tests {
             .collect();
         assert_eq!(frames, vec![2, 3, 4]);
         let dump = r.dump();
-        assert!(dump.starts_with("... 2 earlier events dropped ..."), "{dump}");
+        assert!(
+            dump.starts_with("... 2 earlier events dropped ..."),
+            "{dump}"
+        );
         assert!(dump.contains("zero_fill pf:4"), "{dump}");
     }
 

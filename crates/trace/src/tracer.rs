@@ -1,14 +1,22 @@
-//! The [`Tracer`] handle: a cheaply cloneable, optionally-connected
-//! emission point threaded through every simulation layer.
+//! The [`Tracer`] handle: an owned, `Send` emission point threaded
+//! through every simulation layer.
 //!
 //! A disabled tracer (the default) is a `None` — emission is a branch on an
 //! `Option` and nothing else, so tracing costs effectively nothing when
 //! off and, crucially, *changes* nothing: no statistics counter or cycle
 //! count ever depends on whether a tracer is connected.
+//!
+//! The tracer **owns** its sink (`Box<dyn TraceSink + Send>`). There is no
+//! shared-ownership plumbing (`Rc<RefCell<_>>`) anywhere in the pipeline,
+//! so a machine (and the kernel built on it) is a single owned value that
+//! can move to any thread — the property the parallel sweep runner in
+//! `vic-bench` builds on. When a caller needs to inspect a sink *after* a
+//! run (read a histogram, collect auditor divergences), it keeps an
+//! [`Arc<Mutex<S>>`] handle and hands the tracer a clone via
+//! [`Tracer::shared`]; the lock is uncontended in a single-threaded run.
 
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use crate::event::TraceEvent;
 
@@ -19,6 +27,18 @@ pub trait TraceSink {
 
     /// Flush any buffered output; called once when the run ends.
     fn finish(&mut self) {}
+}
+
+/// A shared sink handle forwards to the sink behind the lock, so a caller
+/// can keep one clone for post-run inspection and give the other to a
+/// [`Tracer`].
+impl<S: TraceSink + ?Sized> TraceSink for Arc<Mutex<S>> {
+    fn emit(&mut self, cycle: u64, event: &TraceEvent) {
+        self.lock().expect("trace sink poisoned").emit(cycle, event);
+    }
+    fn finish(&mut self) {
+        self.lock().expect("trace sink poisoned").finish();
+    }
 }
 
 /// A sink that discards everything — the explicit form of "tracing off",
@@ -34,7 +54,7 @@ impl TraceSink for NullSink {
 /// histogram *and* the auditor in one run).
 #[derive(Default)]
 pub struct FanoutSink {
-    sinks: Vec<Rc<RefCell<dyn TraceSink>>>,
+    sinks: Vec<Box<dyn TraceSink + Send>>,
 }
 
 impl FanoutSink {
@@ -43,31 +63,32 @@ impl FanoutSink {
         FanoutSink::default()
     }
 
-    /// Add a shared sink; returns `self` for chaining.
-    pub fn with(mut self, sink: Rc<RefCell<dyn TraceSink>>) -> Self {
-        self.sinks.push(sink);
+    /// Add a sink; returns `self` for chaining. Pass an [`Arc<Mutex<S>>`]
+    /// clone to keep the other handle for post-run inspection.
+    pub fn with<S: TraceSink + Send + 'static>(mut self, sink: S) -> Self {
+        self.sinks.push(Box::new(sink));
         self
     }
 }
 
 impl TraceSink for FanoutSink {
     fn emit(&mut self, cycle: u64, event: &TraceEvent) {
-        for s in &self.sinks {
-            s.borrow_mut().emit(cycle, event);
+        for s in &mut self.sinks {
+            s.emit(cycle, event);
         }
     }
     fn finish(&mut self) {
-        for s in &self.sinks {
-            s.borrow_mut().finish();
+        for s in &mut self.sinks {
+            s.finish();
         }
     }
 }
 
-/// The emission handle. Clones share the same sink, so the machine, the
-/// kernel and the pmap all feed one stream.
-#[derive(Clone, Default)]
+/// The emission handle. The machine owns exactly one; the kernel and the
+/// pmap emit through the machine, so all layers feed one stream.
+#[derive(Default)]
 pub struct Tracer {
-    sink: Option<Rc<RefCell<dyn TraceSink>>>,
+    sink: Option<Box<dyn TraceSink + Send>>,
 }
 
 impl Tracer {
@@ -77,16 +98,19 @@ impl Tracer {
     }
 
     /// A tracer owning a fresh sink.
-    pub fn new<S: TraceSink + 'static>(sink: S) -> Self {
+    pub fn new<S: TraceSink + Send + 'static>(sink: S) -> Self {
         Tracer {
-            sink: Some(Rc::new(RefCell::new(sink))),
+            sink: Some(Box::new(sink)),
         }
     }
 
-    /// A tracer sharing an externally held sink, so the caller can inspect
-    /// it (read the histogram, collect auditor divergences) after the run.
-    pub fn shared<S: TraceSink + 'static>(sink: Rc<RefCell<S>>) -> Self {
-        Tracer { sink: Some(sink) }
+    /// A tracer forwarding to an externally held sink, so the caller can
+    /// inspect it (read the histogram, collect auditor divergences) after
+    /// the run.
+    pub fn shared<S: TraceSink + Send + 'static>(sink: Arc<Mutex<S>>) -> Self {
+        Tracer {
+            sink: Some(Box::new(sink)),
+        }
     }
 
     /// Whether a sink is connected. Callers may use this to skip building
@@ -97,17 +121,22 @@ impl Tracer {
 
     /// Emit one event at the given simulated cycle.
     #[inline]
-    pub fn emit(&self, cycle: u64, event: TraceEvent) {
-        if let Some(sink) = &self.sink {
-            sink.borrow_mut().emit(cycle, &event);
+    pub fn emit(&mut self, cycle: u64, event: TraceEvent) {
+        if let Some(sink) = &mut self.sink {
+            sink.emit(cycle, &event);
         }
     }
 
     /// Flush the sink (end of run).
-    pub fn finish(&self) {
-        if let Some(sink) = &self.sink {
-            sink.borrow_mut().finish();
+    pub fn finish(&mut self) {
+        if let Some(sink) = &mut self.sink {
+            sink.finish();
         }
+    }
+
+    /// Take the sink back out, leaving the tracer disconnected.
+    pub fn take_sink(&mut self) -> Option<Box<dyn TraceSink + Send>> {
+        self.sink.take()
     }
 }
 
@@ -141,33 +170,49 @@ mod tests {
 
     #[test]
     fn off_tracer_is_silent() {
-        let t = Tracer::off();
+        let mut t = Tracer::off();
         assert!(!t.is_enabled());
         t.emit(1, TraceEvent::ZeroFill { frame: PFrame(0) });
         t.finish();
+        assert!(t.take_sink().is_none());
     }
 
     #[test]
-    fn clones_share_the_sink() {
-        let sink = Rc::new(RefCell::new(Counting::default()));
-        let a = Tracer::shared(sink.clone());
-        let b = a.clone();
-        a.emit(1, TraceEvent::ZeroFill { frame: PFrame(0) });
-        b.emit(2, TraceEvent::ZeroFill { frame: PFrame(1) });
-        b.finish();
-        assert_eq!(sink.borrow().events, 2);
-        assert!(sink.borrow().finished);
+    fn tracer_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Tracer>();
+        assert_send::<FanoutSink>();
+    }
+
+    #[test]
+    fn shared_sink_is_inspectable_after_the_run() {
+        let sink = Arc::new(Mutex::new(Counting::default()));
+        let mut t = Tracer::shared(sink.clone());
+        t.emit(1, TraceEvent::ZeroFill { frame: PFrame(0) });
+        t.emit(2, TraceEvent::ZeroFill { frame: PFrame(1) });
+        t.finish();
+        assert_eq!(sink.lock().unwrap().events, 2);
+        assert!(sink.lock().unwrap().finished);
     }
 
     #[test]
     fn fanout_forwards_to_all() {
-        let a = Rc::new(RefCell::new(Counting::default()));
-        let b = Rc::new(RefCell::new(Counting::default()));
-        let t = Tracer::new(FanoutSink::new().with(a.clone()).with(b.clone()));
+        let a = Arc::new(Mutex::new(Counting::default()));
+        let b = Arc::new(Mutex::new(Counting::default()));
+        let mut t = Tracer::new(FanoutSink::new().with(a.clone()).with(b.clone()));
         t.emit(1, TraceEvent::ZeroFill { frame: PFrame(0) });
         t.finish();
-        assert_eq!(a.borrow().events, 1);
-        assert_eq!(b.borrow().events, 1);
-        assert!(a.borrow().finished && b.borrow().finished);
+        assert_eq!(a.lock().unwrap().events, 1);
+        assert_eq!(b.lock().unwrap().events, 1);
+        assert!(a.lock().unwrap().finished && b.lock().unwrap().finished);
+    }
+
+    #[test]
+    fn owned_sink_can_be_taken_back() {
+        let mut t = Tracer::new(Counting::default());
+        t.emit(7, TraceEvent::ZeroFill { frame: PFrame(0) });
+        let sink = t.take_sink().expect("sink present");
+        assert!(!t.is_enabled());
+        drop(sink);
     }
 }

@@ -72,7 +72,11 @@ impl Workload for AfsBench {
             for p in 0..pages {
                 // The script produces the file contents...
                 for w in 0..16u64 {
-                    k.write(t, VAddr(buf.0 + p * page + w * 4), fi.wrapping_mul(31) + w as u32)?;
+                    k.write(
+                        t,
+                        VAddr(buf.0 + p * page + w * 4),
+                        fi.wrapping_mul(31) + w as u32,
+                    )?;
                 }
                 k.fs_write_page(t, f, p, VAddr(buf.0 + p * page))?;
             }
@@ -183,7 +187,12 @@ mod tests {
             MachineSize::Small,
             &AfsBench::quick(),
         );
-        assert!(new.cycles < old.cycles, "new {} vs old {}", new.cycles, old.cycles);
+        assert!(
+            new.cycles < old.cycles,
+            "new {} vs old {}",
+            new.cycles,
+            old.cycles
+        );
         assert!(new.total_flushes() < old.total_flushes());
         assert!(new.total_purges() < old.total_purges());
     }

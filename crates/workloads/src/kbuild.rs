@@ -77,7 +77,11 @@ impl Workload for KernelBuild {
         let cc = k.fs_create();
         for p in 0..self.compiler_pages {
             for w in 0..16u64 {
-                k.write(shell, VAddr(buf.0 + w * 4), 0xcc00_0000 + (p * 64 + w) as u32)?;
+                k.write(
+                    shell,
+                    VAddr(buf.0 + w * 4),
+                    0xcc00_0000 + (p * 64 + w) as u32,
+                )?;
             }
             k.fs_write_page(shell, cc, p, buf)?;
         }
@@ -87,7 +91,11 @@ impl Workload for KernelBuild {
             let pages = rng.gen_u64(self.src_pages.0, self.src_pages.1);
             for p in 0..pages {
                 for w in 0..16u64 {
-                    k.write(shell, VAddr(buf.0 + w * 4), s.wrapping_mul(97) + (p * 8 + w) as u32)?;
+                    k.write(
+                        shell,
+                        VAddr(buf.0 + w * 4),
+                        s.wrapping_mul(97) + (p * 8 + w) as u32,
+                    )?;
                 }
                 k.fs_write_page(shell, f, p, buf)?;
             }
@@ -135,7 +143,11 @@ impl Workload for KernelBuild {
             let work = k.vm_allocate(cc_task, self.work_pages)?;
             for wp in 0..self.work_pages {
                 for w in 0..32u64 {
-                    k.write(cc_task, VAddr(work.0 + wp * page + w * 8), (wp * 40 + w) as u32)?;
+                    k.write(
+                        cc_task,
+                        VAddr(work.0 + wp * page + w * 8),
+                        (wp * 40 + w) as u32,
+                    )?;
                 }
             }
             k.machine_mut().charge(self.compute_per_unit);
@@ -148,7 +160,12 @@ impl Workload for KernelBuild {
             // Emit the object file.
             let obj = k.fs_create();
             for p in 0..self.obj_pages {
-                k.fs_write_page(cc_task, obj, p, VAddr(work.0 + (p % self.work_pages) * page))?;
+                k.fs_write_page(
+                    cc_task,
+                    obj,
+                    p,
+                    VAddr(work.0 + (p % self.work_pages) * page),
+                )?;
             }
             objects.push(obj);
             // Exit: everything unmapped, frames recycled.

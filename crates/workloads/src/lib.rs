@@ -45,6 +45,7 @@ pub mod kbuild;
 pub mod latex;
 pub mod report;
 pub mod runner;
+pub mod spec;
 
 pub use afs::AfsBench;
 pub use alias::AliasLoop;
@@ -52,3 +53,4 @@ pub use fork::ForkBench;
 pub use kbuild::KernelBuild;
 pub use latex::LatexBench;
 pub use runner::{run_on, run_traced, run_with_config, MachineSize, RunStats, Workload};
+pub use spec::WorkloadKind;

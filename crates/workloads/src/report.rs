@@ -193,7 +193,9 @@ mod tests {
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);
         // All rows have the same width and the pipe structure.
-        assert!(lines.iter().all(|l| l.starts_with("| ") && l.ends_with(" |")));
+        assert!(lines
+            .iter()
+            .all(|l| l.starts_with("| ") && l.ends_with(" |")));
         assert_eq!(lines[0].len(), lines[1].len());
         assert_eq!(lines[0].len(), lines[2].len());
         // The separator is right-aligning (ends each cell with `-:`).

@@ -29,7 +29,12 @@ pub trait Workload {
 }
 
 /// Everything measured from one run: the raw material for Tables 1 and 4.
-#[derive(Debug, Clone)]
+///
+/// Derives `PartialEq` so determinism can be asserted directly: the same
+/// [`vic_bench`](../vic_bench/index.html)-level spec run twice must produce
+/// an *identical* value, bit for bit (the `f64` field is computed from the
+/// cycle count, so exact comparison is meaningful).
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunStats {
     /// Workload name.
     pub workload: String,
@@ -111,7 +116,7 @@ pub fn run_traced(cfg: KernelConfig, workload: &dyn Workload, tracer: Tracer) ->
             cfg.system
         )
     });
-    k.machine().tracer().finish();
+    k.machine_mut().tracer_mut().finish();
     collect(&k, workload.name())
 }
 

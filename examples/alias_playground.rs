@@ -29,7 +29,10 @@ fn main() {
     m.store(sp, va0, 42).unwrap();
     let stale = m.load(sp, va1).unwrap();
     println!("hazard 1 — stale alias read: wrote 42 via va0, read {stale} via va1");
-    println!("           oracle flagged {} violation(s)", m.oracle().violations());
+    println!(
+        "           oracle flagged {} violation(s)",
+        m.oracle().violations()
+    );
     m.oracle_mut().clear_violations();
 
     // The fix: flush the dirty cache page (write-back + invalidate), purge
@@ -51,7 +54,10 @@ fn main() {
     m.flush_dcache_page(CachePage(0), frame); // ...then the older 100 clobbers it
     let v = m.load(sp, va0).unwrap();
     println!("hazard 2 — two dirty copies: wrote 200 last, memory kept {v} (write lost)");
-    println!("           oracle flagged {} violation(s)", m.oracle().violations());
+    println!(
+        "           oracle flagged {} violation(s)",
+        m.oracle().violations()
+    );
     assert_eq!(v, 100, "the newer write was lost");
     m.oracle_mut().clear_violations();
     m.store(sp, va0, 0x77).unwrap(); // restore a known value for hazard 3
@@ -64,7 +70,10 @@ fn main() {
     m.dma_write_page(frame, &page);
     let shadowed = m.load(sp, va0).unwrap();
     println!("hazard 3 — DMA shadowing: device wrote 0x77s, CPU read {shadowed:#x}");
-    println!("           oracle flagged {} violation(s)", m.oracle().violations());
+    println!(
+        "           oracle flagged {} violation(s)",
+        m.oracle().violations()
+    );
     m.oracle_mut().clear_violations();
     m.purge_dcache_page(CachePage(0), frame);
     let fresh = m.load(sp, va0).unwrap();

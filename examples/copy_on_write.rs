@@ -26,7 +26,8 @@ fn main() {
     // The parent builds a data segment.
     let src = k.vm_allocate(parent, pages).expect("allocate");
     for p in 0..pages {
-        k.write(parent, VAddr(src.0 + p * page), 1000 + p as u32).expect("write");
+        k.write(parent, VAddr(src.0 + p * page), 1000 + p as u32)
+            .expect("write");
     }
 
     // "Fork": snapshot the segment into a child, copy-on-write.

@@ -26,11 +26,15 @@ fn main() {
     // cache; nothing has touched the disk yet.
     let f = k.fs_create();
     for w in 0..8u64 {
-        k.write(t, VAddr(buf.0 + w * 4), 0xd15c_0000 + w as u32).expect("write");
+        k.write(t, VAddr(buf.0 + w * 4), 0xd15c_0000 + w as u32)
+            .expect("write");
     }
     k.fs_write_page(t, f, 0, buf).expect("fs write");
     let before = k.machine().stats().dma_reads;
-    println!("after fs_write_page: {} disk DMA transfers (write-behind: none yet)", before);
+    println!(
+        "after fs_write_page: {} disk DMA transfers (write-behind: none yet)",
+        before
+    );
 
     // sync(): write-behind flushes the dirty buffer to disk. The kernel
     // must first flush the buffer's cache page — the device reads physical
@@ -56,7 +60,11 @@ fn main() {
     k.fs_read_page(t, f, 0, dst).expect("fs read");
     for w in 0..8u64 {
         let v = k.read(t, VAddr(dst.0 + w * 4)).expect("read");
-        assert_eq!(v, 0xd15c_0000 + w as u32, "data survived the disk round trip");
+        assert_eq!(
+            v,
+            0xd15c_0000 + w as u32,
+            "data survived the disk round trip"
+        );
     }
     println!(
         "read back intact after disk round trip; {} DMA-writes (disk reads) total",

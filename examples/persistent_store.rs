@@ -36,8 +36,10 @@ fn main() {
     let scratch = k.vm_allocate(writer, 1).expect("allocate");
     for i in 0..SLOTS {
         let (ko, vo) = slot_off(i);
-        k.write(writer, VAddr(scratch.0 + ko), 0x1000 + i as u32).expect("key");
-        k.write(writer, VAddr(scratch.0 + vo), 100 * i as u32).expect("value");
+        k.write(writer, VAddr(scratch.0 + ko), 0x1000 + i as u32)
+            .expect("key");
+        k.write(writer, VAddr(scratch.0 + vo), 100 * i as u32)
+            .expect("value");
     }
     let store = k.fs_create();
     k.fs_write_page(writer, store, 0, scratch).expect("persist");
@@ -50,8 +52,12 @@ fn main() {
     // 0x2F3 % 64 = 51).
     let r1 = k.create_task();
     let r2 = k.create_task();
-    let a1 = k.vm_map_file_at(r1, store, 0, 1, VAddr(0x105 * page)).expect("map r1");
-    let a2 = k.vm_map_file_at(r2, store, 0, 1, VAddr(0x2F3 * page)).expect("map r2");
+    let a1 = k
+        .vm_map_file_at(r1, store, 0, 1, VAddr(0x105 * page))
+        .expect("map r1");
+    let a2 = k
+        .vm_map_file_at(r2, store, 0, 1, VAddr(0x2F3 * page))
+        .expect("map r2");
     println!("reader 1 mapped at {a1}, reader 2 at {a2} (unaligned aliases)");
 
     // Both lookups see the same table.
@@ -71,7 +77,8 @@ fn main() {
     // The writer updates slot 5 in place; readers see the new value
     // immediately (same frames; the manager mediates every crossing).
     let (_, vo) = slot_off(5);
-    k.write(writer, VAddr(scratch.0 + vo), 9999).expect("update");
+    k.write(writer, VAddr(scratch.0 + vo), 9999)
+        .expect("update");
     k.fs_write_page(writer, store, 0, scratch).expect("persist");
     assert_eq!(lookup(&mut k, r1, a1, 0x1005), Some(9999));
     assert_eq!(lookup(&mut k, r2, a2, 0x1005), Some(9999));

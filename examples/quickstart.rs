@@ -20,7 +20,10 @@ fn main() {
     let task = k.create_task();
     let va = k.vm_allocate(task, 4).expect("allocate");
     k.write(task, va, 0xfeed).expect("write");
-    println!("wrote 0xfeed, read back {:#x}", k.read(task, va).expect("read"));
+    println!(
+        "wrote 0xfeed, read back {:#x}",
+        k.read(task, va).expect("read")
+    );
 
     // Share the page with a second task at an UNALIGNED address — the
     // interesting case for a virtually indexed cache: the same physical
@@ -41,7 +44,8 @@ fn main() {
         k.write(task, va, round).expect("write");
         let seen = k.read(peer, peer_va).expect("peer read");
         assert_eq!(seen, round);
-        k.write(peer, VAddr(peer_va.0 + 4), round + 100).expect("peer write");
+        k.write(peer, VAddr(peer_va.0 + 4), round + 100)
+            .expect("peer write");
         let back = k.read(task, VAddr(va.0 + 4)).expect("read");
         assert_eq!(back, round + 100);
     }

@@ -45,7 +45,10 @@ fn main() {
         "old (fixed, unaligned)",
         SystemKind::Cmu(Configuration::B), // lazy but unaligned channels
     );
-    run("new (VM-chosen, aligned)", SystemKind::Cmu(Configuration::F));
+    run(
+        "new (VM-chosen, aligned)",
+        SystemKind::Cmu(Configuration::F),
+    );
     println!("\nThe aligned channels never fault after warm-up: the shared page lives in");
     println!("the same cache page in both address spaces, so the physically tagged cache");
     println!("resolves every access without software involvement.");

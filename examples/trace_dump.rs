@@ -6,8 +6,7 @@
 //! cargo run --example trace_dump
 //! ```
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use vic::core::managers::DropClass;
 use vic::core::policy::Configuration;
@@ -20,9 +19,9 @@ fn traced_run(system: SystemKind, label: &str) {
     // post-mortem dump, per-event-class cost histograms, and the auditor
     // replaying every consistency state transition against the abstract
     // four-state model.
-    let ring = Rc::new(RefCell::new(RingBufferSink::new(12)));
-    let hist = Rc::new(RefCell::new(HistogramSink::new()));
-    let auditor = Rc::new(RefCell::new(ConsistencyAuditor::new()));
+    let ring = Arc::new(Mutex::new(RingBufferSink::new(12)));
+    let hist = Arc::new(Mutex::new(HistogramSink::new()));
+    let auditor = Arc::new(Mutex::new(ConsistencyAuditor::new()));
     let tracer = Tracer::new(
         FanoutSink::new()
             .with(ring.clone())
@@ -43,14 +42,14 @@ fn traced_run(system: SystemKind, label: &str) {
     );
 
     println!("\nlast events on the ring buffer:");
-    print!("{}", ring.borrow().dump());
+    print!("{}", ring.lock().unwrap().dump());
 
     println!("\ncycle cost by event class:");
-    for (name, count, total, avg, p95, sketch) in hist.borrow().rows() {
+    for (name, count, total, avg, p95, sketch) in hist.lock().unwrap().rows() {
         println!("  {name:<14} {count:>7} events {total:>9} cycles  avg {avg:>7.1}  p95 {p95:>6}  {sketch}");
     }
 
-    let a = auditor.borrow();
+    let a = auditor.lock().unwrap();
     println!();
     if a.is_clean() {
         println!(

@@ -33,7 +33,8 @@ fn write_through_no_flush_ever_writes_back() {
             let s = run_with_config(wt_config(sys), w);
             assert_eq!(s.oracle_violations, 0, "{sys:?}/{}", w.name());
             assert_eq!(
-                s.machine.flush_writebacks, 0,
+                s.machine.flush_writebacks,
+                0,
                 "{sys:?}/{}: write-through lines are never dirty",
                 w.name()
             );
@@ -84,8 +85,14 @@ fn single_cache_page_geometry_behaves_physically_indexed() {
 #[test]
 fn dma_clean_across_architectures() {
     for (label, cfg) in [
-        ("write-back", KernelConfig::small(SystemKind::Cmu(Configuration::F))),
-        ("write-through", wt_config(SystemKind::Cmu(Configuration::F))),
+        (
+            "write-back",
+            KernelConfig::small(SystemKind::Cmu(Configuration::F)),
+        ),
+        (
+            "write-through",
+            wt_config(SystemKind::Cmu(Configuration::F)),
+        ),
         ("physically-indexed", {
             let mut c = KernelConfig::small(SystemKind::Cmu(Configuration::F));
             c.machine.dcache_bytes = c.machine.page_size;

@@ -1,0 +1,93 @@
+//! Determinism guarantees of the sendable engine:
+//!
+//! * a complete simulated system is a single owned `Send` value;
+//! * the same `SystemSpec` run twice yields identical `RunStats`
+//!   (and byte-identical JSON);
+//! * a parallel sweep returns exactly what a serial loop over the same
+//!   specs returns, in the same order, regardless of thread count.
+
+use vic::core::policy::Configuration;
+use vic::os::{Kernel, KernelConfig, SystemKind};
+use vic::trace::Tracer;
+use vic::workloads::{RunStats, WorkloadKind};
+use vic_bench::output::run_json;
+use vic_bench::sweep::run_sweep_with_threads;
+use vic_bench::SystemSpec;
+
+/// A small but non-trivial grid: two workload kinds, two configurations,
+/// one alternative system, one knobbed variant.
+fn small_grid() -> Vec<SystemSpec> {
+    let mut specs = vec![
+        SystemSpec::quick(WorkloadKind::Fork, SystemKind::Cmu(Configuration::A)),
+        SystemSpec::quick(WorkloadKind::Fork, SystemKind::Cmu(Configuration::F)),
+        SystemSpec::quick(
+            WorkloadKind::AliasUnaligned,
+            SystemKind::Cmu(Configuration::F),
+        ),
+        SystemSpec::quick(WorkloadKind::AliasAligned, SystemKind::Utah),
+    ];
+    let mut knobbed = SystemSpec::quick(WorkloadKind::Fork, SystemKind::Cmu(Configuration::F));
+    knobbed.write_through = true;
+    specs.push(knobbed);
+    specs
+}
+
+#[test]
+fn the_simulated_system_is_a_single_owned_send_value() {
+    fn assert_send<T: Send>() {}
+    assert_send::<vic::machine::Machine>();
+    assert_send::<Kernel>();
+    assert_send::<Tracer>();
+    assert_send::<SystemSpec>();
+    assert_send::<RunStats>();
+
+    // And not just in the type system: a kernel built here runs to
+    // completion on another thread.
+    let cfg = KernelConfig::small(SystemKind::Cmu(Configuration::F));
+    let kernel = Kernel::new(cfg);
+    let cycles = std::thread::spawn(move || {
+        let mut k = kernel;
+        let t = k.create_task();
+        let va = k.vm_allocate(t, 1).unwrap();
+        k.write(t, va, 7).unwrap();
+        assert_eq!(k.read(t, va).unwrap(), 7);
+        k.machine().cycles()
+    })
+    .join()
+    .unwrap();
+    assert!(cycles > 0);
+}
+
+#[test]
+fn same_spec_twice_is_identical() {
+    for spec in small_grid() {
+        let a = spec.run();
+        let b = spec.run();
+        assert_eq!(a, b, "nondeterministic run for {}", spec.label());
+        assert_eq!(
+            run_json(&spec, &a, None),
+            run_json(&spec, &b, None),
+            "JSON must be byte-identical for {}",
+            spec.label()
+        );
+    }
+}
+
+#[test]
+fn parallel_sweep_equals_serial() {
+    let specs = small_grid();
+    let serial: Vec<RunStats> = specs.iter().map(|s| s.run()).collect();
+    for threads in [1, 2, 4] {
+        let sweep = run_sweep_with_threads(&specs, threads);
+        assert_eq!(sweep.results.len(), serial.len());
+        for ((spec, serial_stats), res) in specs.iter().zip(&serial).zip(&sweep.results) {
+            assert_eq!(res.spec, *spec, "order preserved at {threads} threads");
+            assert_eq!(
+                res.stats,
+                *serial_stats,
+                "{} differs between serial and {threads}-thread sweep",
+                spec.label()
+            );
+        }
+    }
+}

@@ -10,7 +10,10 @@ use vic::core::policy::Configuration;
 use vic::os::SystemKind;
 use vic::workloads::{run_on, AfsBench, AliasLoop, KernelBuild, LatexBench, MachineSize, Workload};
 
-fn old_new(w: &dyn Workload, size: MachineSize) -> (vic::workloads::RunStats, vic::workloads::RunStats) {
+fn old_new(
+    w: &dyn Workload,
+    size: MachineSize,
+) -> (vic::workloads::RunStats, vic::workloads::RunStats) {
     (
         run_on(SystemKind::Cmu(Configuration::A), size, w),
         run_on(SystemKind::Cmu(Configuration::F), size, w),
@@ -114,10 +117,7 @@ fn mapping_faults_constant_consistency_faults_drop() {
 /// data→instruction-space copies.
 #[test]
 fn config_f_flushes_are_dma_plus_text() {
-    for w in [
-        &AfsBench::paper() as &dyn Workload,
-        &KernelBuild::paper(),
-    ] {
+    for w in [&AfsBench::paper() as &dyn Workload, &KernelBuild::paper()] {
         let s = run_on(SystemKind::Cmu(Configuration::F), MachineSize::Hp720, w);
         let dma = s.mgr.d_flush_pages.get(OpCause::DmaRead);
         let text = s.mgr.d_flush_pages.get(OpCause::TextCopy);

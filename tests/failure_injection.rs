@@ -96,9 +96,14 @@ fn directed_minimal_scenarios() {
     let b = k.create_task();
     let va = k.vm_allocate(a, 1).unwrap();
     k.write(a, va, 42).unwrap();
-    let vb = k.vm_share_with(a, va, b, ShareAlignment::Unaligned).unwrap();
+    let vb = k
+        .vm_share_with(a, va, b, ShareAlignment::Unaligned)
+        .unwrap();
     let _ = k.read(b, vb).unwrap();
-    assert!(k.machine().oracle().violations() > 0, "flush drop undetected");
+    assert!(
+        k.machine().oracle().violations() > 0,
+        "flush drop undetected"
+    );
 
     // Data purges: a DMA-write shadowed by resident CLEAN lines of the
     // recycled frame (dirty lines would be protected by flushes).

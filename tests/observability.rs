@@ -11,19 +11,16 @@
 //!   oracle happens to stay clean (the audit catches protocol violations
 //!   *before* they become visible corruption).
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use vic::core::managers::DropClass;
 use vic::core::policy::Configuration;
 use vic::os::{KernelConfig, SystemKind};
 use vic::trace::{ConsistencyAuditor, JsonLinesSink, RingBufferSink, TraceEvent, Tracer};
-use vic::workloads::{
-    run_on, run_traced, AliasLoop, ForkBench, MachineSize, RunStats, Workload,
-};
+use vic::workloads::{run_on, run_traced, AliasLoop, ForkBench, MachineSize, RunStats, Workload};
 
-fn run_audited(system: SystemKind, w: &dyn Workload) -> (RunStats, Rc<RefCell<ConsistencyAuditor>>) {
-    let auditor = Rc::new(RefCell::new(ConsistencyAuditor::new()));
+fn run_audited(system: SystemKind, w: &dyn Workload) -> (RunStats, Arc<Mutex<ConsistencyAuditor>>) {
+    let auditor = Arc::new(Mutex::new(ConsistencyAuditor::new()));
     let s = run_traced(
         KernelConfig::small(system),
         w,
@@ -35,19 +32,21 @@ fn run_audited(system: SystemKind, w: &dyn Workload) -> (RunStats, Rc<RefCell<Co
 #[test]
 fn tracing_changes_nothing() {
     let w = AliasLoop::quick(false);
-    let plain = run_on(
-        SystemKind::Cmu(Configuration::F),
-        MachineSize::Small,
-        &w,
-    );
-    let sink = Rc::new(RefCell::new(RingBufferSink::new(4096)));
+    let plain = run_on(SystemKind::Cmu(Configuration::F), MachineSize::Small, &w);
+    let sink = Arc::new(Mutex::new(RingBufferSink::new(4096)));
     let traced = run_traced(
         KernelConfig::small(SystemKind::Cmu(Configuration::F)),
         &w,
         Tracer::shared(sink.clone()),
     );
-    assert!(sink.borrow().total_seen() > 0, "the run did emit events");
-    assert_eq!(traced.cycles, plain.cycles, "tracing must not charge cycles");
+    assert!(
+        sink.lock().unwrap().total_seen() > 0,
+        "the run did emit events"
+    );
+    assert_eq!(
+        traced.cycles, plain.cycles,
+        "tracing must not charge cycles"
+    );
     assert_eq!(traced.machine, plain.machine, "machine stats unchanged");
     assert_eq!(traced.os, plain.os, "kernel stats unchanged");
     assert_eq!(traced.mgr, plain.mgr, "manager stats unchanged");
@@ -56,13 +55,13 @@ fn tracing_changes_nothing() {
 
 #[test]
 fn cycle_stamps_are_monotone_across_layers() {
-    let sink = Rc::new(RefCell::new(RingBufferSink::new(2_000_000)));
+    let sink = Arc::new(Mutex::new(RingBufferSink::new(2_000_000)));
     run_traced(
         KernelConfig::small(SystemKind::Cmu(Configuration::F)),
         &ForkBench::quick(),
         Tracer::shared(sink.clone()),
     );
-    let sink = sink.borrow();
+    let sink = sink.lock().unwrap();
     let mut prev = 0u64;
     let (mut machine, mut os, mut algo) = (0u64, 0u64, 0u64);
     for &(cycle, event) in sink.events() {
@@ -86,13 +85,13 @@ fn cycle_stamps_are_monotone_across_layers() {
 #[test]
 fn json_lines_stream_is_well_formed() {
     let buf: Vec<u8> = Vec::new();
-    let sink = Rc::new(RefCell::new(JsonLinesSink::new(buf)));
+    let sink = Arc::new(Mutex::new(JsonLinesSink::new(buf)));
     run_traced(
         KernelConfig::small(SystemKind::Cmu(Configuration::F)),
         &AliasLoop::quick(false),
         Tracer::shared(sink.clone()),
     );
-    let sink = sink.borrow();
+    let sink = sink.lock().unwrap();
     assert!(sink.io_error().is_none());
     let text = String::from_utf8(sink.get_ref().clone()).expect("valid UTF-8");
     assert_eq!(sink.lines_written(), text.lines().count() as u64);
@@ -107,12 +106,9 @@ fn json_lines_stream_is_well_formed() {
 
 #[test]
 fn auditor_is_clean_for_cmu_on_aliases() {
-    let (s, auditor) = run_audited(
-        SystemKind::Cmu(Configuration::F),
-        &AliasLoop::quick(false),
-    );
+    let (s, auditor) = run_audited(SystemKind::Cmu(Configuration::F), &AliasLoop::quick(false));
     assert_eq!(s.oracle_violations, 0);
-    let a = auditor.borrow();
+    let a = auditor.lock().unwrap();
     assert!(a.transitions_checked() > 0, "transitions were audited");
     assert!(a.is_clean(), "divergences: {}", a.report());
 }
@@ -121,7 +117,7 @@ fn auditor_is_clean_for_cmu_on_aliases() {
 fn auditor_is_clean_for_cmu_on_fork() {
     let (s, auditor) = run_audited(SystemKind::Cmu(Configuration::F), &ForkBench::quick());
     assert_eq!(s.oracle_violations, 0);
-    let a = auditor.borrow();
+    let a = auditor.lock().unwrap();
     assert!(a.transitions_checked() > 0, "transitions were audited");
     assert!(a.is_clean(), "divergences: {}", a.report());
 }
@@ -130,12 +126,9 @@ fn auditor_is_clean_for_cmu_on_fork() {
 fn auditor_is_clean_for_old_eager_configuration_too() {
     // Configuration A performs more (eager) operations, but every one of
     // them is still legal under the four-state model.
-    let (s, auditor) = run_audited(
-        SystemKind::Cmu(Configuration::A),
-        &AliasLoop::quick(false),
-    );
+    let (s, auditor) = run_audited(SystemKind::Cmu(Configuration::A), &AliasLoop::quick(false));
     assert_eq!(s.oracle_violations, 0);
-    assert!(auditor.borrow().is_clean());
+    assert!(auditor.lock().unwrap().is_clean());
 }
 
 #[test]
@@ -146,7 +139,7 @@ fn auditor_flags_chaos_managers() {
         DropClass::FlushesBecomePurges,
     ] {
         let (_, auditor) = run_audited(SystemKind::Chaos(drop), &AliasLoop::quick(false));
-        let a = auditor.borrow();
+        let a = auditor.lock().unwrap();
         assert!(
             a.divergence_count() >= 1,
             "dropping {drop:?} must diverge from the model"
@@ -156,8 +149,11 @@ fn auditor_flags_chaos_managers() {
 
 #[test]
 fn auditor_flags_chaos_on_fork_even_when_oracle_clean() {
-    let (s, auditor) = run_audited(SystemKind::Chaos(DropClass::DataPurges), &ForkBench::quick());
-    let a = auditor.borrow();
+    let (s, auditor) = run_audited(
+        SystemKind::Chaos(DropClass::DataPurges),
+        &ForkBench::quick(),
+    );
+    let a = auditor.lock().unwrap();
     assert!(
         a.divergence_count() >= 1,
         "dropped purges must diverge from the model"
@@ -169,13 +165,13 @@ fn auditor_flags_chaos_on_fork_even_when_oracle_clean() {
 
 #[test]
 fn transition_events_carry_coherent_fields() {
-    let sink = Rc::new(RefCell::new(RingBufferSink::new(2_000_000)));
+    let sink = Arc::new(Mutex::new(RingBufferSink::new(2_000_000)));
     run_traced(
         KernelConfig::small(SystemKind::Cmu(Configuration::F)),
         &AliasLoop::quick(false),
         Tracer::shared(sink.clone()),
     );
-    let sink = sink.borrow();
+    let sink = sink.lock().unwrap();
     let mut seen = 0u64;
     for &(_, event) in sink.events() {
         if let TraceEvent::Transition { old, new, .. } = event {

@@ -19,16 +19,48 @@ use vic::os::{Kernel, KernelConfig, ShareAlignment, SystemKind, TaskId};
 /// A randomized kernel operation.
 #[derive(Debug, Clone)]
 enum Op {
-    Write { task: u8, page: u8, word: u8, value: u32 },
-    Read { task: u8, page: u8, word: u8 },
-    Share { from: u8, page: u8, to: u8, aligned: bool },
-    Ipc { from: u8, page: u8, to: u8 },
-    FsWrite { task: u8, page: u8 },
-    FsRead { task: u8, page: u8 },
+    Write {
+        task: u8,
+        page: u8,
+        word: u8,
+        value: u32,
+    },
+    Read {
+        task: u8,
+        page: u8,
+        word: u8,
+    },
+    Share {
+        from: u8,
+        page: u8,
+        to: u8,
+        aligned: bool,
+    },
+    Ipc {
+        from: u8,
+        page: u8,
+        to: u8,
+    },
+    FsWrite {
+        task: u8,
+        page: u8,
+    },
+    FsRead {
+        task: u8,
+        page: u8,
+    },
     Sync,
-    Syscall { task: u8 },
-    Recycle { task: u8 },
-    VmCopy { from: u8, page: u8, to: u8 },
+    Syscall {
+        task: u8,
+    },
+    Recycle {
+        task: u8,
+    },
+    VmCopy {
+        from: u8,
+        page: u8,
+        to: u8,
+    },
 }
 
 /// Draw one operation with the same shape (and roughly the same mix) the
@@ -39,16 +71,40 @@ fn gen_op(rng: &mut Rng64) -> Op {
     let page = rng.gen_u64(0, 3) as u8;
     let word = rng.gen_u64(0, 7) as u8;
     match rng.gen_u64(0, 9) {
-        0 => Op::Write { task, page, word, value: rng.next_u32() },
+        0 => Op::Write {
+            task,
+            page,
+            word,
+            value: rng.next_u32(),
+        },
         1 => Op::Read { task, page, word },
-        2 => Op::Share { from: task, page, to: other, aligned: rng.gen_bool(0.5) },
-        3 => Op::Ipc { from: task, page, to: other },
-        4 => Op::FsWrite { task, page: page.min(2) },
-        5 => Op::FsRead { task, page: page.min(2) },
+        2 => Op::Share {
+            from: task,
+            page,
+            to: other,
+            aligned: rng.gen_bool(0.5),
+        },
+        3 => Op::Ipc {
+            from: task,
+            page,
+            to: other,
+        },
+        4 => Op::FsWrite {
+            task,
+            page: page.min(2),
+        },
+        5 => Op::FsRead {
+            task,
+            page: page.min(2),
+        },
         6 => Op::Sync,
         7 => Op::Syscall { task },
         8 => Op::Recycle { task },
-        _ => Op::VmCopy { from: task, page, to: other },
+        _ => Op::VmCopy {
+            from: task,
+            page,
+            to: other,
+        },
     }
 }
 
@@ -95,7 +151,12 @@ impl World {
 
     fn apply(&mut self, op: &Op) {
         match *op {
-            Op::Write { task, page, word, value } => {
+            Op::Write {
+                task,
+                page,
+                word,
+                value,
+            } => {
                 let t = self.tasks[task as usize];
                 let va = self.va(task as usize, page, word);
                 self.k.write(t, va, value).expect("write");
@@ -105,7 +166,12 @@ impl World {
                 let va = self.va(task as usize, page, word);
                 let _ = self.k.read(t, va).expect("read");
             }
-            Op::Share { from, page, to, aligned } => {
+            Op::Share {
+                from,
+                page,
+                to,
+                aligned,
+            } => {
                 if from == to {
                     return;
                 }
@@ -172,7 +238,9 @@ impl World {
                 let copy = self.k.vm_copy(f, va, 1, t).expect("vm_copy");
                 let before = self.k.read(f, va).expect("src read");
                 assert_eq!(self.k.read(t, copy).expect("copy read"), before);
-                self.k.write(t, copy, before.wrapping_add(1)).expect("copy write");
+                self.k
+                    .write(t, copy, before.wrapping_add(1))
+                    .expect("copy write");
                 assert_eq!(self.k.read(f, va).expect("src read"), before);
                 self.k.vm_deallocate(t, copy, 1).expect("drop copy");
             }
@@ -283,11 +351,31 @@ fn schedules_are_deterministic() {
 #[test]
 fn null_manager_fails_under_alias_schedule() {
     let mut w = World::new(SystemKind::Null);
-    w.apply(&Op::Write { task: 0, page: 0, word: 0, value: 1 });
-    w.apply(&Op::Share { from: 0, page: 0, to: 1, aligned: false });
+    w.apply(&Op::Write {
+        task: 0,
+        page: 0,
+        word: 0,
+        value: 1,
+    });
+    w.apply(&Op::Share {
+        from: 0,
+        page: 0,
+        to: 1,
+        aligned: false,
+    });
     for i in 0..6 {
-        w.apply(&Op::Write { task: 0, page: 0, word: 0, value: i });
-        w.apply(&Op::Share { from: 0, page: 0, to: 2, aligned: false });
+        w.apply(&Op::Write {
+            task: 0,
+            page: 0,
+            word: 0,
+            value: i,
+        });
+        w.apply(&Op::Share {
+            from: 0,
+            page: 0,
+            to: 2,
+            aligned: false,
+        });
     }
     assert!(w.k.machine().oracle().violations() > 0);
 }
