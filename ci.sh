@@ -27,4 +27,11 @@ cargo run --release -p vic-bench --bin sweep --offline -q -- \
 test -s "$sweep_json" || { echo "sweep wrote no JSON"; exit 1; }
 rm -f "$sweep_json"
 
+echo "=== profile baseline check (BENCH_baseline.json) ==="
+# Re-runs the quick Table-4 + Table-5 grids under the cycle-cost
+# profiler and diffs against the committed baseline; fails on any run
+# >5% slower or on lost coverage. After an intentional cost change,
+# refresh with: cargo run --release -p vic-bench --bin profile -- baseline
+cargo run --release -p vic-bench --bin profile --offline -q -- --check-baseline
+
 echo "CI OK"

@@ -211,22 +211,245 @@ pub fn parse_sweep(args: &[String]) -> Result<SweepCli, CliError> {
             s => return Err(CliError::UnexpectedArg(s.to_string())),
         }
     }
-    let threads = match threads {
-        None => None,
-        Some(t) => Some(t.parse::<usize>().map_err(|_| {
-            CliError::Conflicting(format!("--threads wants a positive integer, got '{t}'"))
-        })?),
-    };
-    if threads == Some(0) {
-        return Err(CliError::Conflicting(
-            "--threads must be at least 1".to_string(),
-        ));
-    }
+    let threads = parse_threads(threads)?;
     Ok(SweepCli {
         quick,
         threads,
         json: json.unwrap_or_else(|| "BENCH_sweep.json".to_string()),
     })
+}
+
+/// How the `profile` binary should render its report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportFormat {
+    /// Padded plain-text columns (the default).
+    Plain,
+    /// RFC-4180-style CSV.
+    Csv,
+    /// GitHub-flavored Markdown.
+    Markdown,
+}
+
+/// The parsed command line of the `profile` binary — one of four modes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProfileCli {
+    /// Profile one run and print its cycle-cost breakdown.
+    Report {
+        /// The fully described run.
+        spec: SystemSpec,
+        /// Table rendering.
+        format: ReportFormat,
+        /// Also write the profile document to this file.
+        json: Option<String>,
+    },
+    /// Compare two profile documents.
+    Diff {
+        /// The base (older) document path.
+        base: String,
+        /// The new document path.
+        new: String,
+        /// Regression tolerance in percent.
+        tolerance_pct: f64,
+    },
+    /// Regenerate the committed baseline document.
+    Baseline {
+        /// Output file (default `BENCH_baseline.json`).
+        json: String,
+        /// Worker thread count override.
+        threads: Option<usize>,
+    },
+    /// Re-run the baseline grid and compare against the committed file.
+    CheckBaseline {
+        /// Baseline file to compare against.
+        json: String,
+        /// Regression tolerance in percent.
+        tolerance_pct: f64,
+        /// Worker thread count override.
+        threads: Option<usize>,
+    },
+}
+
+/// Parse the `profile` binary's arguments. Four modes:
+///
+/// * `<workload> <system> [--quick] [--colored] [--write-through]
+///   [--fast-purge] [--csv|--markdown] [--json <file>]`
+/// * `diff <base.json> <new.json> [--tolerance <pct>]`
+/// * `baseline [--json <file>] [--threads <n>]`
+/// * `--check-baseline [<file>] [--tolerance <pct>] [--threads <n>]`
+///
+/// # Errors
+///
+/// A [`CliError`] naming the offending argument.
+pub fn parse_profile(args: &[String]) -> Result<ProfileCli, CliError> {
+    match args.first().map(String::as_str) {
+        Some("diff") => parse_profile_diff(&args[1..]),
+        Some("baseline") => parse_profile_baseline(&args[1..]),
+        _ if args.iter().any(|a| a == "--check-baseline") => parse_profile_check(args),
+        _ => parse_profile_report(args),
+    }
+}
+
+fn parse_profile_report(args: &[String]) -> Result<ProfileCli, CliError> {
+    let mut pos: Vec<&str> = Vec::new();
+    let mut quick = false;
+    let mut colored = false;
+    let mut write_through = false;
+    let mut fast_purge = false;
+    let mut csv = false;
+    let mut markdown = false;
+    let mut json: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--colored" => colored = true,
+            "--write-through" => write_through = true,
+            "--fast-purge" => fast_purge = true,
+            "--csv" => csv = true,
+            "--markdown" => markdown = true,
+            "--json" => set_value(&mut json, "--json", it.next())?,
+            s if s.starts_with("--") => return Err(CliError::UnknownFlag(s.to_string())),
+            s => pos.push(s),
+        }
+    }
+    if csv && markdown {
+        return Err(CliError::Conflicting(
+            "--csv and --markdown are mutually exclusive".to_string(),
+        ));
+    }
+    if let Some(extra) = pos.get(2) {
+        return Err(CliError::UnexpectedArg(extra.to_string()));
+    }
+    let workload = parse_workload(pos.first().ok_or(CliError::MissingArg("workload"))?)?;
+    let system = parse_system(pos.get(1).ok_or(CliError::MissingArg("system"))?)?;
+    Ok(ProfileCli::Report {
+        spec: SystemSpec {
+            workload,
+            system,
+            quick,
+            colored_free_lists: colored,
+            write_through,
+            fast_purge,
+        },
+        format: if csv {
+            ReportFormat::Csv
+        } else if markdown {
+            ReportFormat::Markdown
+        } else {
+            ReportFormat::Plain
+        },
+        json,
+    })
+}
+
+fn parse_profile_diff(args: &[String]) -> Result<ProfileCli, CliError> {
+    let mut pos: Vec<&str> = Vec::new();
+    let mut tolerance: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tolerance" => set_value(&mut tolerance, "--tolerance", it.next())?,
+            s if s.starts_with("--") => return Err(CliError::UnknownFlag(s.to_string())),
+            s => pos.push(s),
+        }
+    }
+    if let Some(extra) = pos.get(2) {
+        return Err(CliError::UnexpectedArg(extra.to_string()));
+    }
+    let base = pos.first().ok_or(CliError::MissingArg("base.json"))?;
+    let new = pos.get(1).ok_or(CliError::MissingArg("new.json"))?;
+    Ok(ProfileCli::Diff {
+        base: base.to_string(),
+        new: new.to_string(),
+        tolerance_pct: parse_tolerance(tolerance)?,
+    })
+}
+
+fn parse_profile_baseline(args: &[String]) -> Result<ProfileCli, CliError> {
+    let mut json: Option<String> = None;
+    let mut threads: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => set_value(&mut json, "--json", it.next())?,
+            "--threads" => set_value(&mut threads, "--threads", it.next())?,
+            s if s.starts_with("--") => return Err(CliError::UnknownFlag(s.to_string())),
+            s => return Err(CliError::UnexpectedArg(s.to_string())),
+        }
+    }
+    Ok(ProfileCli::Baseline {
+        json: json.unwrap_or_else(|| DEFAULT_BASELINE_FILE.to_string()),
+        threads: parse_threads(threads)?,
+    })
+}
+
+fn parse_profile_check(args: &[String]) -> Result<ProfileCli, CliError> {
+    let mut pos: Vec<&str> = Vec::new();
+    let mut tolerance: Option<String> = None;
+    let mut threads: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--check-baseline" => {}
+            "--tolerance" => set_value(&mut tolerance, "--tolerance", it.next())?,
+            "--threads" => set_value(&mut threads, "--threads", it.next())?,
+            s if s.starts_with("--") => return Err(CliError::UnknownFlag(s.to_string())),
+            s => pos.push(s),
+        }
+    }
+    if let Some(extra) = pos.get(1) {
+        return Err(CliError::UnexpectedArg(extra.to_string()));
+    }
+    Ok(ProfileCli::CheckBaseline {
+        json: pos
+            .first()
+            .map_or_else(|| DEFAULT_BASELINE_FILE.to_string(), |s| s.to_string()),
+        tolerance_pct: parse_tolerance(tolerance)?,
+        threads: parse_threads(threads)?,
+    })
+}
+
+/// The committed perf-regression baseline file.
+pub const DEFAULT_BASELINE_FILE: &str = "BENCH_baseline.json";
+
+/// The default regression tolerance, in percent. The simulator is
+/// deterministic, so any drift is a real change; 5% leaves headroom for
+/// intentional cost-model adjustments without a baseline refresh.
+pub const DEFAULT_TOLERANCE_PCT: f64 = 5.0;
+
+fn parse_tolerance(t: Option<String>) -> Result<f64, CliError> {
+    match t {
+        None => Ok(DEFAULT_TOLERANCE_PCT),
+        Some(t) => {
+            let v = t.parse::<f64>().map_err(|_| {
+                CliError::Conflicting(format!("--tolerance wants a percentage, got '{t}'"))
+            })?;
+            if v.is_finite() && v >= 0.0 {
+                Ok(v)
+            } else {
+                Err(CliError::Conflicting(format!(
+                    "--tolerance must be a finite non-negative percentage, got '{t}'"
+                )))
+            }
+        }
+    }
+}
+
+fn parse_threads(t: Option<String>) -> Result<Option<usize>, CliError> {
+    match t {
+        None => Ok(None),
+        Some(t) => {
+            let n = t.parse::<usize>().map_err(|_| {
+                CliError::Conflicting(format!("--threads wants a positive integer, got '{t}'"))
+            })?;
+            if n == 0 {
+                return Err(CliError::Conflicting(
+                    "--threads must be at least 1".to_string(),
+                ));
+            }
+            Ok(Some(n))
+        }
+    }
 }
 
 /// Parse the table binaries' arguments (`--quick` only).
@@ -364,6 +587,113 @@ mod tests {
         assert!(matches!(
             parse_sweep(&s(&["table4"])),
             Err(CliError::UnexpectedArg(_))
+        ));
+    }
+
+    #[test]
+    fn profile_report_grammar() {
+        let cli = parse_profile(&s(&["afs-bench", "F", "--quick", "--markdown"])).unwrap();
+        let ProfileCli::Report { spec, format, json } = cli else {
+            panic!("expected Report, got {cli:?}");
+        };
+        assert_eq!(spec.workload, WorkloadKind::Afs);
+        assert!(spec.quick);
+        assert_eq!(format, ReportFormat::Markdown);
+        assert!(json.is_none());
+        assert!(matches!(
+            parse_profile(&s(&["afs-bench", "F", "--csv", "--markdown"])),
+            Err(CliError::Conflicting(_))
+        ));
+        assert_eq!(
+            parse_profile(&s(&["afs-bench"])),
+            Err(CliError::MissingArg("system"))
+        );
+    }
+
+    #[test]
+    fn profile_diff_grammar() {
+        let cli = parse_profile(&s(&["diff", "a.json", "b.json", "--tolerance", "2.5"])).unwrap();
+        assert_eq!(
+            cli,
+            ProfileCli::Diff {
+                base: "a.json".to_string(),
+                new: "b.json".to_string(),
+                tolerance_pct: 2.5,
+            }
+        );
+        assert_eq!(
+            parse_profile(&s(&["diff", "a.json"])),
+            Err(CliError::MissingArg("new.json"))
+        );
+        assert!(matches!(
+            parse_profile(&s(&["diff", "a", "b", "--tolerance", "-1"])),
+            Err(CliError::Conflicting(_))
+        ));
+        assert!(matches!(
+            parse_profile(&s(&["diff", "a", "b", "c"])),
+            Err(CliError::UnexpectedArg(_))
+        ));
+    }
+
+    #[test]
+    fn profile_baseline_grammar() {
+        let cli = parse_profile(&s(&["baseline"])).unwrap();
+        assert_eq!(
+            cli,
+            ProfileCli::Baseline {
+                json: DEFAULT_BASELINE_FILE.to_string(),
+                threads: None,
+            }
+        );
+        let cli = parse_profile(&s(&["baseline", "--json", "b.json", "--threads", "2"])).unwrap();
+        assert_eq!(
+            cli,
+            ProfileCli::Baseline {
+                json: "b.json".to_string(),
+                threads: Some(2),
+            }
+        );
+        assert!(matches!(
+            parse_profile(&s(&["baseline", "extra"])),
+            Err(CliError::UnexpectedArg(_))
+        ));
+    }
+
+    #[test]
+    fn profile_check_grammar() {
+        let cli = parse_profile(&s(&["--check-baseline"])).unwrap();
+        assert_eq!(
+            cli,
+            ProfileCli::CheckBaseline {
+                json: DEFAULT_BASELINE_FILE.to_string(),
+                tolerance_pct: DEFAULT_TOLERANCE_PCT,
+                threads: None,
+            }
+        );
+        let cli = parse_profile(&s(&[
+            "--check-baseline",
+            "other.json",
+            "--tolerance",
+            "0",
+            "--threads",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cli,
+            ProfileCli::CheckBaseline {
+                json: "other.json".to_string(),
+                tolerance_pct: 0.0,
+                threads: Some(3),
+            }
+        );
+        assert!(matches!(
+            parse_profile(&s(&["--check-baseline", "a", "b"])),
+            Err(CliError::UnexpectedArg(_))
+        ));
+        assert!(matches!(
+            parse_profile(&s(&["--check-baseline", "--threads", "0"])),
+            Err(CliError::Conflicting(_))
         ));
     }
 

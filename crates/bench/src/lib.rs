@@ -11,6 +11,7 @@
 //! | Table 5 (system comparison) | `table5` | [`experiments::table5`] |
 //! | §2.5 alias microbenchmark | `microbench` | [`experiments::microbench`] |
 //! | Tables 4+5 in parallel, JSON results | `sweep` | [`sweep::run_sweep`] |
+//! | cycle-cost attribution, diffs, perf baseline | `profile` | [`profile`] |
 //!
 //! A run is described by a [`SystemSpec`] — workload, system and every
 //! knob as one `Copy` value — and a simulated system is a single owned
@@ -34,6 +35,7 @@ pub mod cli;
 pub mod experiments;
 pub mod harness;
 pub mod output;
+pub mod profile;
 pub mod spec;
 pub mod sweep;
 
@@ -42,4 +44,7 @@ pub use experiments::{
     Table5Row,
 };
 pub use spec::SystemSpec;
-pub use sweep::{run_sweep, run_sweep_with_threads, Sweep, SweepResult};
+pub use sweep::{
+    run_profiled_sweep_with_threads, run_sweep, run_sweep_with_threads, ProfiledResult,
+    ProfiledSweep, Sweep, SweepResult,
+};

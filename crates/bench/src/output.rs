@@ -261,6 +261,40 @@ pub fn run_json(spec: &SystemSpec, stats: &RunStats, wall_seconds: Option<f64>) 
         .finish()
 }
 
+/// One profiled run as a JSON object: the entry format of a profile
+/// document (read back by `vic_profile::ProfileDoc`). Runs are matched
+/// between documents by the spec's label.
+pub fn profile_run_json(spec: &SystemSpec, tree: &vic_profile::CostTree) -> String {
+    let rows = json_array(tree.flatten().into_iter().map(|r| {
+        JsonObj::new()
+            .str("path", &r.path)
+            .u64("count", r.count)
+            .u64("cycles", r.cycles)
+            .finish()
+    }));
+    JsonObj::new()
+        .raw("spec", &spec_json(spec))
+        .str("label", &spec.label())
+        .u64("total_cycles", tree.total_cycles())
+        .raw("rows", &rows)
+        .finish()
+}
+
+/// A whole profile document (the `BENCH_baseline.json` format): versioned,
+/// one entry per (spec, tree) pair, in input order.
+pub fn profile_json<'a, I>(runs: I) -> String
+where
+    I: IntoIterator<Item = (&'a SystemSpec, &'a vic_profile::CostTree)>,
+{
+    JsonObj::new()
+        .u64("profile_version", vic_profile::PROFILE_VERSION)
+        .raw(
+            "runs",
+            &json_array(runs.into_iter().map(|(s, t)| profile_run_json(s, t))),
+        )
+        .finish()
+}
+
 /// A whole sweep as a JSON object (the `BENCH_sweep.json` format).
 pub fn sweep_json(sweep: &Sweep) -> String {
     JsonObj::new()

@@ -14,8 +14,9 @@
 
 use vic_machine::WritePolicy;
 use vic_os::{KernelConfig, SystemKind};
+use vic_profile::CostTree;
 use vic_trace::Tracer;
-use vic_workloads::{run_traced, RunStats, Workload, WorkloadKind};
+use vic_workloads::{run_profiled, run_traced, RunStats, Workload, WorkloadKind};
 
 use vic_core::policy::Configuration;
 
@@ -89,6 +90,16 @@ impl SystemSpec {
     /// statistic and no cycle count.
     pub fn run_traced(&self, tracer: Tracer) -> RunStats {
         run_traced(self.kernel_config(), self.build_workload().as_ref(), tracer)
+    }
+
+    /// Execute the run with the cycle-cost profiler attached. The returned
+    /// [`CostTree`]'s total equals the run's cycle count exactly.
+    pub fn run_profiled(&self) -> (RunStats, CostTree) {
+        run_profiled(
+            self.kernel_config(),
+            self.build_workload().as_ref(),
+            Tracer::off(),
+        )
     }
 
     /// A short one-line label (`workload @ system [+knobs]`).

@@ -21,6 +21,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use vic_profile::CostTree;
 use vic_workloads::RunStats;
 
 use crate::spec::SystemSpec;
@@ -108,6 +109,88 @@ pub fn run_sweep_with_threads(specs: &[SystemSpec], threads: usize) -> Sweep {
 /// Panics if a workload fails (a driver bug, not a measurement).
 pub fn run_sweep(specs: &[SystemSpec]) -> Sweep {
     run_sweep_with_threads(specs, default_threads())
+}
+
+/// The outcome of one profiled spec within a sweep.
+#[derive(Debug, Clone)]
+pub struct ProfiledResult {
+    /// The spec that was run.
+    pub spec: SystemSpec,
+    /// The collected statistics (identical to an unprofiled run).
+    pub stats: RunStats,
+    /// The run's cost tree; its total equals `stats.cycles` exactly.
+    pub tree: CostTree,
+    /// Host wall-clock time this run took.
+    pub wall: Duration,
+}
+
+/// A completed profiled sweep.
+#[derive(Debug, Clone)]
+pub struct ProfiledSweep {
+    /// One result per input spec, **in input order**.
+    pub results: Vec<ProfiledResult>,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Host wall-clock time for the whole sweep.
+    pub wall: Duration,
+}
+
+impl ProfiledSweep {
+    /// Every per-run tree folded into one, in spec order. The merge is
+    /// associative and commutative, so the fold is independent of which
+    /// worker ran which spec; its total is the grid's total cycle count.
+    pub fn merged_tree(&self) -> CostTree {
+        let mut merged = CostTree::new();
+        for r in &self.results {
+            merged.merge(&r.tree);
+        }
+        merged
+    }
+}
+
+/// [`run_sweep_with_threads`], but every run carries the cycle-cost
+/// profiler: the same self-service queue, with a [`CostTree`] parked next
+/// to each result.
+///
+/// # Panics
+///
+/// Panics if a workload fails or if `threads` is zero.
+pub fn run_profiled_sweep_with_threads(specs: &[SystemSpec], threads: usize) -> ProfiledSweep {
+    assert!(threads > 0, "a sweep needs at least one worker");
+    let started = Instant::now();
+    let threads = threads.min(specs.len()).max(1);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<ProfiledResult>>> =
+        specs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = specs.get(i) else { break };
+                let t0 = Instant::now();
+                let (stats, tree) = spec.run_profiled();
+                *slots[i].lock().expect("result slot poisoned") = Some(ProfiledResult {
+                    spec: *spec,
+                    stats,
+                    tree,
+                    wall: t0.elapsed(),
+                });
+            });
+        }
+    });
+    let results = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every spec claimed and completed")
+        })
+        .collect();
+    ProfiledSweep {
+        results,
+        threads,
+        wall: started.elapsed(),
+    }
 }
 
 #[cfg(test)]

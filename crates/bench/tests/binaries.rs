@@ -1,0 +1,209 @@
+//! End-to-end tests of the bench *binaries*: spawn the real executables
+//! (via `CARGO_BIN_EXE_*`, so Cargo builds them first) and lock their
+//! observable contracts — flags, printed verdicts, exit codes, emitted
+//! files. These are the interfaces CI scripts and humans use; the
+//! library tests can't see a broken `main`.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn run_bin(exe: &str, args: &[&str]) -> Output {
+    Command::new(exe)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("cannot spawn {exe}: {e}"))
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn tmp_file(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("vic-bench-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn run_trace_summary_prints_audit_without_a_trace_file() {
+    // The satellite contract: `--trace-summary` alone (no `--trace
+    // <file>`) wires up the auditor and the histogram sink.
+    let out = run_bin(
+        env!("CARGO_BIN_EXE_run"),
+        &["fork-bench", "F", "--quick", "--trace-summary"],
+    );
+    assert!(out.status.success(), "run failed: {out:?}");
+    let text = stdout_of(&out);
+    assert!(
+        text.contains("trace summary (cycle cost per event class)"),
+        "missing histogram section:\n{text}"
+    );
+    assert!(
+        text.contains("audit:     CLEAN"),
+        "missing audit verdict:\n{text}"
+    );
+    assert!(
+        !text.contains("trace:     written"),
+        "no trace file was requested:\n{text}"
+    );
+    assert!(text.contains("oracle:    CLEAN"), "oracle verdict:\n{text}");
+}
+
+#[test]
+fn run_without_tracing_prints_no_audit() {
+    let out = run_bin(env!("CARGO_BIN_EXE_run"), &["fork-bench", "F", "--quick"]);
+    assert!(out.status.success(), "run failed: {out:?}");
+    let text = stdout_of(&out);
+    assert!(
+        !text.contains("audit:"),
+        "untraced run audits nothing:\n{text}"
+    );
+    assert!(!text.contains("trace summary"));
+}
+
+#[test]
+fn run_rejects_unknown_flags_with_usage() {
+    let out = run_bin(
+        env!("CARGO_BIN_EXE_run"),
+        &["fork-bench", "F", "--frobnicate"],
+    );
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(
+        err.contains("unknown flag '--frobnicate'"),
+        "stderr:\n{err}"
+    );
+    assert!(err.contains("usage:"), "stderr:\n{err}");
+}
+
+#[test]
+fn sweep_honors_threads_flag_and_writes_json() {
+    let json = tmp_file("sweep.json");
+    let out = run_bin(
+        env!("CARGO_BIN_EXE_sweep"),
+        &[
+            "--quick",
+            "--threads",
+            "3",
+            "--json",
+            json.to_str().unwrap(),
+        ],
+    );
+    assert!(out.status.success(), "sweep failed: {out:?}");
+    let text = stdout_of(&out);
+    assert!(
+        text.contains("on 3 threads"),
+        "--threads must reach the engine:\n{text}"
+    );
+    assert!(text.contains("swept 23 specs on 3 threads"), "{text}");
+    let doc = std::fs::read_to_string(&json).expect("sweep wrote its JSON file");
+    let _ = std::fs::remove_file(&json);
+    assert!(
+        doc.starts_with("{\"threads\":3,"),
+        "JSON records the thread count"
+    );
+    assert_eq!(doc.matches("\"oracle_violations\":0").count(), 23);
+}
+
+#[test]
+fn sweep_rejects_zero_threads() {
+    let out = run_bin(env!("CARGO_BIN_EXE_sweep"), &["--quick", "--threads", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(
+        err.contains("--threads must be at least 1"),
+        "stderr:\n{err}"
+    );
+}
+
+#[test]
+fn profile_binary_reports_diffs_and_gates() {
+    let profile = env!("CARGO_BIN_EXE_profile");
+    let base = tmp_file("profile-base.json");
+    let other = tmp_file("profile-other.json");
+
+    // Report mode: breakdown tables plus a profile document.
+    let out = run_bin(
+        profile,
+        &[
+            "fork-bench",
+            "F",
+            "--quick",
+            "--json",
+            base.to_str().unwrap(),
+        ],
+    );
+    assert!(out.status.success(), "profile failed: {out:?}");
+    let text = stdout_of(&out);
+    assert!(text.contains("% of run"), "breakdown table:\n{text}");
+    assert!(text.contains("os:"), "kernel attribution present:\n{text}");
+
+    // Self-diff: clean, exit 0 — the simulator is deterministic.
+    let out = run_bin(
+        profile,
+        &["diff", base.to_str().unwrap(), base.to_str().unwrap()],
+    );
+    assert!(out.status.success(), "self-diff must be clean: {out:?}");
+    assert!(stdout_of(&out).contains("unchanged"));
+
+    // A different spec diffs as lost+gained coverage and exits 1.
+    let out = run_bin(
+        profile,
+        &[
+            "fork-bench",
+            "A",
+            "--quick",
+            "--json",
+            other.to_str().unwrap(),
+        ],
+    );
+    assert!(out.status.success());
+    let out = run_bin(
+        profile,
+        &["diff", base.to_str().unwrap(), other.to_str().unwrap()],
+    );
+    assert_eq!(out.status.code(), Some(1), "lost coverage fails the diff");
+    assert!(stdout_of(&out).contains("MISSING"));
+
+    let _ = std::fs::remove_file(&base);
+    let _ = std::fs::remove_file(&other);
+}
+
+#[test]
+fn profile_check_baseline_is_clean_against_fresh_baseline() {
+    // `baseline` then `--check-baseline` against the file it just wrote
+    // must pass with zero tolerance: same grid, same determinism.
+    let profile = env!("CARGO_BIN_EXE_profile");
+    let json = tmp_file("baseline.json");
+    let out = run_bin(
+        profile,
+        &[
+            "baseline",
+            "--json",
+            json.to_str().unwrap(),
+            "--threads",
+            "2",
+        ],
+    );
+    assert!(out.status.success(), "baseline failed: {out:?}");
+    assert!(stdout_of(&out).contains("22 runs profiled"));
+    let out = run_bin(
+        profile,
+        &[
+            "--check-baseline",
+            json.to_str().unwrap(),
+            "--tolerance",
+            "0",
+            "--threads",
+            "2",
+        ],
+    );
+    let text = stdout_of(&out);
+    let _ = std::fs::remove_file(&json);
+    assert!(
+        out.status.success(),
+        "fresh baseline must check clean: {text}"
+    );
+    assert!(text.contains("baseline check: CLEAN"), "{text}");
+    assert!(text.contains("0 regressed"), "{text}");
+}

@@ -9,6 +9,7 @@ use crate::oracle::Oracle;
 use crate::stats::MachineStats;
 use vic_core::manager::DmaDir;
 use vic_core::types::{Access, CacheKind, CachePage, Mapping, PFrame, Prot, SpaceId, VAddr};
+use vic_profile::Profiler;
 use vic_trace::{TraceEvent, Tracer};
 
 /// A memory-access fault delivered to the operating system.
@@ -77,6 +78,7 @@ pub struct Machine {
     stats: MachineStats,
     oracle: Oracle,
     tracer: Tracer,
+    profiler: Profiler,
 }
 
 impl Machine {
@@ -106,6 +108,7 @@ impl Machine {
             stats: MachineStats::default(),
             oracle: Oracle::new(cfg.mem_bytes),
             tracer: Tracer::off(),
+            profiler: Profiler::off(),
             cfg,
         }
     }
@@ -147,6 +150,24 @@ impl Machine {
         &mut self.tracer
     }
 
+    /// Attach a profiler; from now on every cycle charge is attributed to
+    /// a cost-tree path. Like tracing, profiling changes no statistic and
+    /// no cycle count.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
+    }
+
+    /// The profiler handle.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Mutable access to the profiler, for the layers above (kernel,
+    /// pmap) to open spans around their work.
+    pub fn profiler_mut(&mut self) -> &mut Profiler {
+        &mut self.profiler
+    }
+
     /// The staleness oracle.
     pub fn oracle(&self) -> &Oracle {
         &self.oracle
@@ -161,13 +182,16 @@ impl Machine {
     /// bookkeeping, mapping updates).
     pub fn charge(&mut self, cycles: u64) {
         self.cycles += cycles;
+        self.profiler.leaf("software", cycles);
     }
 
     /// Reset the cycle account and counters (after warm-up), keeping all
-    /// memory, cache and mapping state.
+    /// memory, cache and mapping state. The profiler's tree (if one is
+    /// attached) restarts with the account so it stays conserved.
     pub fn reset_account(&mut self) {
         self.cycles = 0;
         self.stats.reset();
+        self.profiler.reset_tree();
     }
 
     /// Emit a write-back event for an eviction that occurred while
@@ -192,6 +216,7 @@ impl Machine {
             Translation::TlbHit(pte) => pte,
             Translation::TlbMiss(pte) => {
                 self.cycles += self.cfg.costs.tlb_miss;
+                self.profiler.leaf("tlb_fill", self.cfg.costs.tlb_miss);
                 self.stats.tlb_misses += 1;
                 self.tracer.emit(
                     self.cycles,
@@ -205,11 +230,13 @@ impl Machine {
             }
             Translation::Unmapped => {
                 self.cycles += self.cfg.costs.fault_trap;
+                self.profiler.leaf("fault_trap", self.cfg.costs.fault_trap);
                 return Err(Fault::NoMapping { mapping: m, access });
             }
         };
         if !pte.prot.allows(access) {
             self.cycles += self.cfg.costs.fault_trap;
+            self.profiler.leaf("fault_trap", self.cfg.costs.fault_trap);
             return Err(Fault::Protection {
                 mapping: m,
                 access,
@@ -235,19 +262,28 @@ impl Machine {
         if pte.uncached {
             self.mem.read(pa, &mut buf);
             self.cycles += self.cfg.costs.uncached_access;
+            self.profiler
+                .leaf("load.uncached", self.cfg.costs.uncached_access);
             self.stats.uncached += 1;
         } else {
             match self.dcache.read(va, pa, &mut self.mem, &mut buf) {
                 AccessResult::Hit => {
                     self.cycles += self.cfg.costs.cache_hit;
+                    self.profiler.leaf("load.hit", self.cfg.costs.cache_hit);
                     self.stats.d_hits += 1;
                 }
                 AccessResult::Miss { wrote_back } => {
                     self.cycles += self.cfg.costs.cache_hit + self.cfg.costs.miss_fill;
+                    self.profiler.leaf(
+                        "load.miss",
+                        self.cfg.costs.cache_hit + self.cfg.costs.miss_fill,
+                    );
                     self.stats.d_misses += 1;
                     hit = false;
                     if wrote_back {
                         self.cycles += self.cfg.costs.writeback;
+                        self.profiler
+                            .leaf("load.writeback", self.cfg.costs.writeback);
                         self.stats.writebacks += 1;
                         self.emit_writeback(va, pte.frame);
                     }
@@ -284,6 +320,8 @@ impl Machine {
         if pte.uncached {
             self.mem.write(pa, &bytes);
             self.cycles += self.cfg.costs.uncached_access;
+            self.profiler
+                .leaf("store.uncached", self.cfg.costs.uncached_access);
             self.stats.uncached += 1;
         } else {
             match self.cfg.write_policy {
@@ -291,14 +329,21 @@ impl Machine {
                     match self.dcache.write(va, pa, &mut self.mem, &bytes) {
                         AccessResult::Hit => {
                             self.cycles += self.cfg.costs.cache_hit;
+                            self.profiler.leaf("store.hit", self.cfg.costs.cache_hit);
                             self.stats.d_hits += 1;
                         }
                         AccessResult::Miss { wrote_back } => {
                             self.cycles += self.cfg.costs.cache_hit + self.cfg.costs.miss_fill;
+                            self.profiler.leaf(
+                                "store.miss",
+                                self.cfg.costs.cache_hit + self.cfg.costs.miss_fill,
+                            );
                             self.stats.d_misses += 1;
                             hit = false;
                             if wrote_back {
                                 self.cycles += self.cfg.costs.writeback;
+                                self.profiler
+                                    .leaf("store.writeback", self.cfg.costs.writeback);
                                 self.stats.writebacks += 1;
                                 self.emit_writeback(va, pte.frame);
                             }
@@ -316,6 +361,10 @@ impl Machine {
                         }
                     }
                     self.cycles += self.cfg.costs.cache_hit + self.cfg.costs.writeback;
+                    self.profiler.leaf(
+                        "store.write_through",
+                        self.cfg.costs.cache_hit + self.cfg.costs.writeback,
+                    );
                 }
             }
         }
@@ -351,15 +400,22 @@ impl Machine {
         if pte.uncached {
             self.mem.read(pa, &mut buf);
             self.cycles += self.cfg.costs.uncached_access;
+            self.profiler
+                .leaf("ifetch.uncached", self.cfg.costs.uncached_access);
             self.stats.uncached += 1;
         } else {
             match self.icache.read(va, pa, &mut self.mem, &mut buf) {
                 AccessResult::Hit => {
                     self.cycles += self.cfg.costs.cache_hit;
+                    self.profiler.leaf("ifetch.hit", self.cfg.costs.cache_hit);
                     self.stats.i_hits += 1;
                 }
                 AccessResult::Miss { .. } => {
                     self.cycles += self.cfg.costs.cache_hit + self.cfg.costs.miss_fill;
+                    self.profiler.leaf(
+                        "ifetch.miss",
+                        self.cfg.costs.cache_hit + self.cfg.costs.miss_fill,
+                    );
                     self.stats.i_misses += 1;
                     hit = false;
                 }
@@ -390,6 +446,7 @@ impl Machine {
             + out.present * c.line_op_present
             + out.written_back * c.writeback;
         self.cycles += cycles;
+        self.profiler.leaf("flush_page.d", cycles);
         self.stats.d_flush_pages.record(cycles);
         self.stats.flush_writebacks += out.written_back;
         self.tracer.emit(
@@ -410,6 +467,7 @@ impl Machine {
         let c = &self.cfg.costs;
         let cycles = out.absent * c.line_op_absent + out.present * c.line_op_present;
         self.cycles += cycles;
+        self.profiler.leaf("purge_page.d", cycles);
         self.stats.d_purge_pages.record(cycles);
         self.tracer.emit(
             self.cycles,
@@ -428,6 +486,7 @@ impl Machine {
         let _ = self.icache.purge_page(cp, frame, self.cfg.page_size);
         let cycles = self.cfg.costs.icache_purge_page;
         self.cycles += cycles;
+        self.profiler.leaf("purge_page.i", cycles);
         self.stats.i_purge_pages.record(cycles);
         self.tracer.emit(
             self.cycles,
@@ -451,6 +510,7 @@ impl Machine {
         let pa = self.cfg.paddr(frame, 0);
         self.mem.write(pa, data);
         self.oracle.record_write(pa, data);
+        self.profiler.event("dma.write");
         self.stats.dma_writes += 1;
         self.tracer.emit(
             self.cycles,
@@ -473,6 +533,7 @@ impl Machine {
         let pa = self.cfg.paddr(frame, 0);
         self.mem.read(pa, buf);
         self.oracle.check_read(pa, buf, "device (DMA) read");
+        self.profiler.event("dma.read");
         self.stats.dma_reads += 1;
         self.tracer.emit(
             self.cycles,
@@ -495,6 +556,8 @@ impl Machine {
             },
         );
         self.cycles += self.cfg.costs.mapping_update;
+        self.profiler
+            .leaf("mapping_update", self.cfg.costs.mapping_update);
     }
 
     /// Change the effective protection of a mapping (TLB entry
@@ -502,17 +565,23 @@ impl Machine {
     pub fn set_protection(&mut self, m: Mapping, prot: Prot) {
         self.mmu.protect(m, prot);
         self.cycles += self.cfg.costs.mapping_update;
+        self.profiler
+            .leaf("mapping_update", self.cfg.costs.mapping_update);
     }
 
     /// Mark a mapping uncached/cached.
     pub fn set_uncached(&mut self, m: Mapping, uncached: bool) {
         self.mmu.set_uncached(m, uncached);
         self.cycles += self.cfg.costs.mapping_update;
+        self.profiler
+            .leaf("mapping_update", self.cfg.costs.mapping_update);
     }
 
     /// Remove a mapping; returns its frame if it existed.
     pub fn remove_mapping(&mut self, m: Mapping) -> Option<PFrame> {
         self.cycles += self.cfg.costs.mapping_update;
+        self.profiler
+            .leaf("mapping_update", self.cfg.costs.mapping_update);
         self.mmu.remove(m).map(|pte| pte.frame)
     }
 

@@ -20,6 +20,7 @@ use vic_core::manager::{AccessHints, DmaDir, MgrStats};
 use vic_core::policy::PolicyConfig;
 use vic_core::types::{Access, Mapping, PFrame, Prot, SpaceId, VAddr, VPage};
 use vic_machine::{Fault, Machine, MachineConfig};
+use vic_profile::Seg;
 use vic_trace::{TraceEvent, Tracer};
 
 use crate::bufcache::{Buf, BufferCache, Disk};
@@ -262,6 +263,16 @@ impl Kernel {
         self.machine.tracer_mut().emit(cycle, event);
     }
 
+    /// Run `f` inside a profiling span: every cycle the machine charges
+    /// while `f` runs is attributed under `seg`. One branch when profiling
+    /// is off.
+    fn spanned<R>(&mut self, seg: Seg, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.machine.profiler_mut().push(seg);
+        let r = f(self);
+        self.machine.profiler_mut().pop();
+        r
+    }
+
     /// Kernel event counters.
     pub fn os_stats(&self) -> &OsStats {
         &self.stats
@@ -334,6 +345,10 @@ impl Kernel {
     ///
     /// [`OsError::NoSuchTask`] if the task does not exist.
     pub fn terminate_task(&mut self, t: TaskId) -> Result<(), OsError> {
+        self.spanned(Seg::Os("task.terminate"), |k| k.terminate_task_inner(t))
+    }
+
+    fn terminate_task_inner(&mut self, t: TaskId) -> Result<(), OsError> {
         let task = self.tasks.remove(&t).ok_or(OsError::NoSuchTask(t.0))?;
         self.space_of.remove(&task.space);
         if let Some(ch) = self.server.unregister(t.0) {
@@ -408,6 +423,10 @@ impl Kernel {
     /// (the swap device reads memory — a DMA-read), write the block,
     /// break the mapping and free the frame.
     fn page_out(&mut self, space: SpaceId, vp: VPage) -> Result<(), OsError> {
+        self.spanned(Seg::Os("vm.page_out"), |k| k.page_out_inner(space, vp))
+    }
+
+    fn page_out_inner(&mut self, space: SpaceId, vp: VPage) -> Result<(), OsError> {
         let entry = *self
             .task_entry(space, vp)
             .expect("paging out a nonexistent entry");
@@ -446,6 +465,14 @@ impl Kernel {
 
     /// Page a swapped-out page back in: DMA its block into a fresh frame.
     fn page_in(
+        &mut self,
+        block: crate::bufcache::BlockId,
+        under: VPage,
+    ) -> Result<PFrame, OsError> {
+        self.spanned(Seg::Os("vm.page_in"), |k| k.page_in_inner(block, under))
+    }
+
+    fn page_in_inner(
         &mut self,
         block: crate::bufcache::BlockId,
         under: VPage,
@@ -533,6 +560,10 @@ impl Kernel {
     /// preparation window); either way the entry stops being
     /// copy-on-write. The caller retries the faulting access.
     fn cow_break(&mut self, m: Mapping) -> Result<(), OsError> {
+        self.spanned(Seg::Os("cow.break"), |k| k.cow_break_inner(m))
+    }
+
+    fn cow_break_inner(&mut self, m: Mapping) -> Result<(), OsError> {
         let vp = m.vpage;
         let entry = *self.task_entry(m.space, vp).ok_or(OsError::BadAddress {
             mapping: m,
@@ -597,65 +628,70 @@ impl Kernel {
             }
             // A live mapping whose effective protection denied the access:
             // a consistency fault (pure virtually-indexed-cache overhead).
-            self.machine.charge(costs.consistency_fault_service);
-            self.stats.consistency_faults += 1;
-            self.trace(TraceEvent::ConsistencyFault {
-                space: m.space,
-                vpage: m.vpage,
+            return self.spanned(Seg::Os("fault.consistency"), |k| {
+                k.machine.charge(costs.consistency_fault_service);
+                k.stats.consistency_faults += 1;
+                k.trace(TraceEvent::ConsistencyFault {
+                    space: m.space,
+                    vpage: m.vpage,
+                });
+                k.pmap.consistency_fault(&mut k.machine, m, access, hints)
             });
-            return self
-                .pmap
-                .consistency_fault(&mut self.machine, m, access, hints);
         }
 
         // A mapping fault: lazily materialize the page-table entry. These
         // occur under any cache architecture.
-        self.machine.charge(costs.mapping_fault_service);
-        self.stats.mapping_faults += 1;
-        self.trace(TraceEvent::MappingFault {
-            space: m.space,
-            vpage: m.vpage,
-        });
-        let Some(mut entry) = self.task_entry(m.space, m.vpage).copied() else {
-            return Err(OsError::BadAddress { mapping: m, access });
-        };
-        // A write into a copy-on-write page must break the share first.
-        if entry.cow && access == Access::Write && entry.prot.allows(Access::Write) {
-            self.cow_break(m)?;
-            entry = *self
-                .task_entry(m.space, m.vpage)
-                .expect("entry survives cow break");
-        }
-        let frame = match entry.frame {
-            Some(f) => f,
-            None => {
-                let f = match (entry.kind, entry.swap) {
-                    (_, Some(block)) => {
-                        let f = self.page_in(block, m.vpage)?;
-                        self.clear_entry_swap(m.space, m.vpage);
-                        f
-                    }
-                    (EntryKind::Text { file, page }, None) => {
-                        self.load_text_frame(file, page, m.vpage)?
-                    }
-                    (EntryKind::FileMap { file, page }, None) => self.map_file_frame(file, page)?,
-                    _ => {
-                        let f = self.alloc_frame(Some(m.vpage))?;
-                        self.zero_fill(f, Some(m.vpage), false)?;
+        self.spanned(Seg::Os("fault.mapping"), |k| {
+            k.machine.charge(costs.mapping_fault_service);
+            k.stats.mapping_faults += 1;
+            k.trace(TraceEvent::MappingFault {
+                space: m.space,
+                vpage: m.vpage,
+            });
+            let Some(mut entry) = k.task_entry(m.space, m.vpage).copied() else {
+                return Err(OsError::BadAddress { mapping: m, access });
+            };
+            // A write into a copy-on-write page must break the share first.
+            if entry.cow && access == Access::Write && entry.prot.allows(Access::Write) {
+                k.cow_break(m)?;
+                entry = *k
+                    .task_entry(m.space, m.vpage)
+                    .expect("entry survives cow break");
+            }
+            // Everything from here on is attributed to the page's class.
+            k.spanned(Seg::Page(entry.kind.class()), |k| {
+                let frame = match entry.frame {
+                    Some(f) => f,
+                    None => {
+                        let f = match (entry.kind, entry.swap) {
+                            (_, Some(block)) => {
+                                let f = k.page_in(block, m.vpage)?;
+                                k.clear_entry_swap(m.space, m.vpage);
+                                f
+                            }
+                            (EntryKind::Text { file, page }, None) => {
+                                k.load_text_frame(file, page, m.vpage)?
+                            }
+                            (EntryKind::FileMap { file, page }, None) => {
+                                k.map_file_frame(file, page)?
+                            }
+                            _ => {
+                                let f = k.alloc_frame(Some(m.vpage))?;
+                                k.zero_fill(f, Some(m.vpage), false)?;
+                                f
+                            }
+                        };
+                        k.set_entry_frame(m.space, m.vpage, f);
                         f
                     }
                 };
-                self.set_entry_frame(m.space, m.vpage, f);
-                f
-            }
-        };
-        self.pmap
-            .enter(&mut self.machine, m, frame, entry.hw_prot());
-        // Run the access transition implied by this very access. It is
-        // inferred from the mapping fault, so it is NOT counted as a
-        // consistency fault (paper §5.1).
-        self.pmap
-            .consistency_fault(&mut self.machine, m, access, hints)
+                k.pmap.enter(&mut k.machine, m, frame, entry.hw_prot());
+                // Run the access transition implied by this very access. It
+                // is inferred from the mapping fault, so it is NOT counted
+                // as a consistency fault (paper §5.1).
+                k.pmap.consistency_fault(&mut k.machine, m, access, hints)
+            })
+        })
     }
 
     fn access_word(
@@ -745,6 +781,12 @@ impl Kernel {
     ///
     /// [`OsError::NoSuchTask`].
     pub fn vm_deallocate(&mut self, t: TaskId, va: VAddr, npages: u64) -> Result<(), OsError> {
+        self.spanned(Seg::Os("vm.deallocate"), |k| {
+            k.vm_deallocate_inner(t, va, npages)
+        })
+    }
+
+    fn vm_deallocate_inner(&mut self, t: TaskId, va: VAddr, npages: u64) -> Result<(), OsError> {
         let page_size = self.page_size();
         let space = self.task_space(t)?;
         for i in (0..npages).rev() {
@@ -929,6 +971,17 @@ impl Kernel {
         va: VAddr,
         to: TaskId,
     ) -> Result<VAddr, OsError> {
+        self.spanned(Seg::Os("ipc.transfer"), |k| {
+            k.ipc_transfer_page_inner(from, va, to)
+        })
+    }
+
+    fn ipc_transfer_page_inner(
+        &mut self,
+        from: TaskId,
+        va: VAddr,
+        to: TaskId,
+    ) -> Result<VAddr, OsError> {
         let page_size = self.page_size();
         let src_vp = VPage(va.0 / page_size);
         let mut frame = self.ensure_materialized(from, src_vp)?;
@@ -977,6 +1030,17 @@ impl Kernel {
         ultimate: Option<VPage>,
         is_text: bool,
     ) -> Result<(), OsError> {
+        self.spanned(Seg::Os("prepare.zero_fill"), |k| {
+            k.zero_fill_inner(frame, ultimate, is_text)
+        })
+    }
+
+    fn zero_fill_inner(
+        &mut self,
+        frame: PFrame,
+        ultimate: Option<VPage>,
+        is_text: bool,
+    ) -> Result<(), OsError> {
         let want = self.aligned_prep_target(ultimate, is_text);
         let wvp = self.kwin.alloc(want);
         let m = Mapping::new(KERNEL_SPACE, wvp);
@@ -1012,6 +1076,19 @@ impl Kernel {
     /// Copy a source page (already mapped at `src_va` in `src_space`) into
     /// `dst_frame` through a kernel window.
     fn copy_into_frame(
+        &mut self,
+        src_space: SpaceId,
+        src_va: VAddr,
+        dst_frame: PFrame,
+        ultimate: Option<VPage>,
+        is_text: bool,
+    ) -> Result<(), OsError> {
+        self.spanned(Seg::Os("prepare.copy"), |k| {
+            k.copy_into_frame_inner(src_space, src_va, dst_frame, ultimate, is_text)
+        })
+    }
+
+    fn copy_into_frame_inner(
         &mut self,
         src_space: SpaceId,
         src_va: VAddr,
@@ -1062,29 +1139,38 @@ impl Kernel {
     }
 
     fn write_buffer_to_disk(&mut self, buf: Buf) {
-        // The device reads the buffer out of memory: a DMA-read; dirty
-        // cached data must reach memory first.
-        self.pmap.before_dma(
-            &mut self.machine,
-            buf.frame,
-            DmaDir::Read,
-            AccessHints::default(),
-        );
-        let mut data = vec![0u8; self.page_size() as usize];
-        self.machine.dma_read_page(buf.frame, &mut data);
-        self.disk.write(buf.block, &data);
-        self.stats.buf_writebacks += 1;
-        self.trace(TraceEvent::OsDma {
-            dir: DmaDir::Read,
-            frame: buf.frame,
+        self.spanned(Seg::Os("buf.writeback"), |k| {
+            // The device reads the buffer out of memory: a DMA-read; dirty
+            // cached data must reach memory first.
+            k.pmap.before_dma(
+                &mut k.machine,
+                buf.frame,
+                DmaDir::Read,
+                AccessHints::default(),
+            );
+            let mut data = vec![0u8; k.page_size() as usize];
+            k.machine.dma_read_page(buf.frame, &mut data);
+            k.disk.write(buf.block, &data);
+            k.stats.buf_writebacks += 1;
+            k.trace(TraceEvent::OsDma {
+                dir: DmaDir::Read,
+                frame: buf.frame,
+            });
         });
     }
 
     /// Get the buffer slot caching `block`, loading it (DMA) on a miss.
+    /// The hit path stays span-free (it spends no cycles).
     fn buf_get(&mut self, block: crate::bufcache::BlockId, load: bool) -> Result<usize, OsError> {
         if let Some(slot) = self.bufcache.lookup(block) {
             return Ok(slot);
         }
+        self.spanned(Seg::Os("buf.fill"), |k| k.buf_fill(block, load))
+    }
+
+    /// The buffer-cache miss path: evict a victim, then (optionally) DMA
+    /// the block in and map the new buffer.
+    fn buf_fill(&mut self, block: crate::bufcache::BlockId, load: bool) -> Result<usize, OsError> {
         self.stats.buf_misses += 1;
         let (slot, evicted) = self.bufcache.pick_victim();
         if let Some(old) = evicted {
@@ -1149,6 +1235,18 @@ impl Kernel {
         page: u64,
         dst_va: VAddr,
     ) -> Result<(), OsError> {
+        self.spanned(Seg::Os("fs.read"), |k| {
+            k.fs_read_page_inner(t, f, page, dst_va)
+        })
+    }
+
+    fn fs_read_page_inner(
+        &mut self,
+        t: TaskId,
+        f: FileId,
+        page: u64,
+        dst_va: VAddr,
+    ) -> Result<(), OsError> {
         self.server_round_trip(t)?;
         let block = self.fs.block_at(f, page)?;
         let slot = self.buf_get(block, true)?;
@@ -1181,6 +1279,18 @@ impl Kernel {
     /// [`OsError::NoSuchFile`], [`OsError::DiskFull`], plus the access
     /// errors of [`Kernel::read`].
     pub fn fs_write_page(
+        &mut self,
+        t: TaskId,
+        f: FileId,
+        page: u64,
+        src_va: VAddr,
+    ) -> Result<(), OsError> {
+        self.spanned(Seg::Os("fs.write"), |k| {
+            k.fs_write_page_inner(t, f, page, src_va)
+        })
+    }
+
+    fn fs_write_page_inner(
         &mut self,
         t: TaskId,
         f: FileId,
@@ -1235,11 +1345,13 @@ impl Kernel {
 
     /// Write every dirty buffer to disk (the write-behind sync).
     pub fn sync(&mut self) {
-        for slot in self.bufcache.dirty_slots() {
-            let buf = *self.bufcache.buf(slot).expect("dirty slot is occupied");
-            self.write_buffer_to_disk(buf);
-            self.bufcache.mark_clean(slot);
-        }
+        self.spanned(Seg::Os("buf.sync"), |k| {
+            for slot in k.bufcache.dirty_slots() {
+                let buf = *k.bufcache.buf(slot).expect("dirty slot is occupied");
+                k.write_buffer_to_disk(buf);
+                k.bufcache.mark_clean(slot);
+            }
+        });
     }
 
     // ---------------------------------------------------------------
@@ -1249,6 +1361,17 @@ impl Kernel {
     /// CPU-copy it into a fresh frame (the copy writes through the *data*
     /// cache; the paper's data-to-instruction-space traffic).
     fn load_text_frame(
+        &mut self,
+        file: FileId,
+        page: u64,
+        ultimate_vp: VPage,
+    ) -> Result<PFrame, OsError> {
+        self.spanned(Seg::Os("exec.text_load"), |k| {
+            k.load_text_frame_inner(file, page, ultimate_vp)
+        })
+    }
+
+    fn load_text_frame_inner(
         &mut self,
         file: FileId,
         page: u64,
@@ -1489,6 +1612,12 @@ impl Kernel {
     ///
     /// As for [`Kernel::read`].
     pub fn server_round_trip(&mut self, t: TaskId) -> Result<(), OsError> {
+        self.spanned(Seg::Os("server.round_trip"), |k| {
+            k.server_round_trip_inner(t)
+        })
+    }
+
+    fn server_round_trip_inner(&mut self, t: TaskId) -> Result<(), OsError> {
         const REQ_WORDS: u64 = 8;
         const REP_WORDS: u64 = 4;
         let (cva, sva) = self.ensure_channel(t)?;

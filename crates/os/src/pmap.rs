@@ -12,6 +12,7 @@ use vic_core::cache_control::ConsistencyHw;
 use vic_core::manager::{AccessHints, ConsistencyManager, DmaDir, MgrStats};
 use vic_core::types::{Access, CacheGeometry, CachePage, Mapping, PFrame, Prot, VPage};
 use vic_machine::Machine;
+use vic_profile::Seg;
 use vic_trace::{emit_transitions, HwRecorder, MgrOp};
 
 use crate::error::OsError;
@@ -116,8 +117,12 @@ impl Pmap {
         hints: AccessHints,
         f: impl FnOnce(&mut dyn ConsistencyManager, &mut dyn ConsistencyHw),
     ) {
+        // Every hardware operation the manager performs is attributed to
+        // the manager decision that caused it.
+        machine.profiler_mut().push(Seg::Mgr(op.name()));
         if !machine.tracer().is_enabled() {
             f(self.mgr.as_mut(), &mut HwAdapter::new(machine));
+            machine.profiler_mut().pop();
             return;
         }
         let before = self.mgr.observed_page(frame).cloned();
@@ -128,6 +133,7 @@ impl Pmap {
             f(self.mgr.as_mut(), &mut rec);
             rec.into_log()
         };
+        machine.profiler_mut().pop();
         if let (Some(before), Some(after)) = (before, self.mgr.observed_page(frame)) {
             let cycle = machine.cycles();
             emit_transitions(

@@ -44,6 +44,20 @@ pub enum EntryKind {
     ServerChannel,
 }
 
+impl EntryKind {
+    /// The page class, as used in cost-attribution paths and reports.
+    pub fn class(&self) -> &'static str {
+        match self {
+            EntryKind::Anon => "anon",
+            EntryKind::Shared => "shared",
+            EntryKind::Text { .. } => "text",
+            EntryKind::Ipc => "ipc",
+            EntryKind::FileMap { .. } => "filemap",
+            EntryKind::ServerChannel => "channel",
+        }
+    }
+}
+
 /// One page-sized entry in a task's address map.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct VmEntry {

@@ -1,0 +1,278 @@
+//! Differential comparison of two profile documents: where did the cycles
+//! move, and is the movement a regression?
+//!
+//! Runs are matched by label; within a matched pair, rows are matched by
+//! path. Deltas are absolute (cycles) and relative (fraction of the base),
+//! and a configurable tolerance separates noise (none, for a
+//! deterministic simulator — the default 5% allows intentional drift)
+//! from regression.
+
+use std::collections::BTreeMap;
+
+use crate::doc::{ProfileDoc, ProfileRun};
+
+/// The delta of one path between two runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathDelta {
+    /// The cost-tree path.
+    pub path: String,
+    /// Count in the base run (0 when the path is new).
+    pub base_count: u64,
+    /// Count in the new run (0 when the path vanished).
+    pub new_count: u64,
+    /// Cycles in the base run.
+    pub base_cycles: u64,
+    /// Cycles in the new run.
+    pub new_cycles: u64,
+}
+
+impl PathDelta {
+    /// Signed cycle delta (new - base).
+    pub fn delta(&self) -> i64 {
+        self.new_cycles as i64 - self.base_cycles as i64
+    }
+
+    /// Relative delta as a fraction of the base; `INFINITY` for a new
+    /// path with cycles, 0 when both sides are 0.
+    pub fn rel(&self) -> f64 {
+        if self.base_cycles == 0 {
+            if self.new_cycles == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.delta() as f64 / self.base_cycles as f64
+        }
+    }
+}
+
+/// The comparison of one matched run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunDiff {
+    /// The shared label.
+    pub label: String,
+    /// Base total cycles.
+    pub base_total: u64,
+    /// New total cycles.
+    pub new_total: u64,
+    /// Per-path deltas where anything changed, largest |cycle delta|
+    /// first (ties broken by path for determinism).
+    pub rows: Vec<PathDelta>,
+}
+
+impl RunDiff {
+    /// Signed total-cycle delta (new - base).
+    pub fn total_delta(&self) -> i64 {
+        self.new_total as i64 - self.base_total as i64
+    }
+
+    /// Relative total delta as a fraction of the base.
+    pub fn total_rel(&self) -> f64 {
+        if self.base_total == 0 {
+            if self.new_total == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.total_delta() as f64 / self.base_total as f64
+        }
+    }
+
+    /// Is the new run slower than the base by more than `tolerance_pct`
+    /// percent? (Getting *faster* is never a regression.)
+    pub fn regressed(&self, tolerance_pct: f64) -> bool {
+        self.total_rel() > tolerance_pct / 100.0
+    }
+}
+
+/// A full document comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DocDiff {
+    /// Matched runs, in base-document order.
+    pub runs: Vec<RunDiff>,
+    /// Labels present only in the base (coverage lost).
+    pub only_in_base: Vec<String>,
+    /// Labels present only in the new document (coverage gained).
+    pub only_in_new: Vec<String>,
+}
+
+impl DocDiff {
+    /// Compare two documents.
+    pub fn compare(base: &ProfileDoc, new: &ProfileDoc) -> DocDiff {
+        let mut runs = Vec::new();
+        let mut only_in_base = Vec::new();
+        for b in &base.runs {
+            match new.run(&b.label) {
+                Some(n) => runs.push(diff_runs(b, n)),
+                None => only_in_base.push(b.label.clone()),
+            }
+        }
+        let only_in_new = new
+            .runs
+            .iter()
+            .filter(|n| base.run(&n.label).is_none())
+            .map(|n| n.label.clone())
+            .collect();
+        DocDiff {
+            runs,
+            only_in_base,
+            only_in_new,
+        }
+    }
+
+    /// The matched runs slower than the base by more than
+    /// `tolerance_pct` percent.
+    pub fn regressions(&self, tolerance_pct: f64) -> Vec<&RunDiff> {
+        self.runs
+            .iter()
+            .filter(|r| r.regressed(tolerance_pct))
+            .collect()
+    }
+
+    /// Clean means: every base run is still present, and none regressed
+    /// beyond the tolerance. New runs (coverage gained) are fine.
+    pub fn is_clean(&self, tolerance_pct: f64) -> bool {
+        self.only_in_base.is_empty() && self.regressions(tolerance_pct).is_empty()
+    }
+}
+
+fn diff_runs(base: &ProfileRun, new: &ProfileRun) -> RunDiff {
+    let mut by_path: BTreeMap<&str, PathDelta> = BTreeMap::new();
+    for r in &base.rows {
+        by_path.insert(
+            &r.path,
+            PathDelta {
+                path: r.path.clone(),
+                base_count: r.count,
+                new_count: 0,
+                base_cycles: r.cycles,
+                new_cycles: 0,
+            },
+        );
+    }
+    for r in &new.rows {
+        by_path
+            .entry(&r.path)
+            .and_modify(|d| {
+                d.new_count = r.count;
+                d.new_cycles = r.cycles;
+            })
+            .or_insert_with(|| PathDelta {
+                path: r.path.clone(),
+                base_count: 0,
+                new_count: r.count,
+                base_cycles: 0,
+                new_cycles: r.cycles,
+            });
+    }
+    let mut rows: Vec<PathDelta> = by_path
+        .into_values()
+        .filter(|d| d.base_cycles != d.new_cycles || d.base_count != d.new_count)
+        .collect();
+    rows.sort_by(|a, b| {
+        b.delta()
+            .abs()
+            .cmp(&a.delta().abs())
+            .then_with(|| a.path.cmp(&b.path))
+    });
+    RunDiff {
+        label: base.label.clone(),
+        base_total: base.total_cycles,
+        new_total: new.total_cycles,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::FlatRow;
+
+    fn run(label: &str, rows: &[(&str, u64, u64)]) -> ProfileRun {
+        ProfileRun {
+            label: label.to_string(),
+            total_cycles: rows.iter().map(|r| r.2).sum(),
+            rows: rows
+                .iter()
+                .map(|(p, c, cy)| FlatRow {
+                    path: p.to_string(),
+                    count: *c,
+                    cycles: *cy,
+                })
+                .collect(),
+        }
+    }
+
+    fn doc(runs: Vec<ProfileRun>) -> ProfileDoc {
+        ProfileDoc { runs }
+    }
+
+    #[test]
+    fn identical_docs_are_clean() {
+        let a = doc(vec![run("r1", &[("machine:load.hit", 10, 10)])]);
+        let d = DocDiff::compare(&a, &a.clone());
+        assert!(d.is_clean(0.0));
+        assert_eq!(d.runs.len(), 1);
+        assert!(d.runs[0].rows.is_empty(), "no changed rows");
+        assert_eq!(d.runs[0].total_delta(), 0);
+    }
+
+    #[test]
+    fn regressions_respect_tolerance() {
+        let base = doc(vec![run("r1", &[("machine:load.hit", 100, 1000)])]);
+        let new = doc(vec![run("r1", &[("machine:load.hit", 100, 1040)])]);
+        let d = DocDiff::compare(&base, &new);
+        assert!((d.runs[0].total_rel() - 0.04).abs() < 1e-12);
+        assert!(d.is_clean(5.0), "4% is inside a 5% tolerance");
+        assert!(!d.is_clean(3.0), "4% exceeds a 3% tolerance");
+        assert_eq!(d.regressions(3.0).len(), 1);
+        // Getting faster never regresses.
+        let fast = doc(vec![run("r1", &[("machine:load.hit", 100, 500)])]);
+        assert!(DocDiff::compare(&base, &fast).is_clean(0.0));
+    }
+
+    #[test]
+    fn paths_appear_and_vanish() {
+        let base = doc(vec![run(
+            "r1",
+            &[("machine:load.hit", 1, 10), ("machine:old", 1, 5)],
+        )]);
+        let new = doc(vec![run(
+            "r1",
+            &[("machine:load.hit", 1, 10), ("machine:new", 2, 30)],
+        )]);
+        let d = DocDiff::compare(&base, &new);
+        let rows = &d.runs[0].rows;
+        assert_eq!(rows.len(), 2);
+        // Sorted by |delta| descending: new (+30) before old (-5).
+        assert_eq!(rows[0].path, "machine:new");
+        assert_eq!(rows[0].delta(), 30);
+        assert!(rows[0].rel().is_infinite());
+        assert_eq!(rows[1].path, "machine:old");
+        assert_eq!(rows[1].delta(), -5);
+        assert_eq!(rows[1].new_count, 0);
+    }
+
+    #[test]
+    fn missing_runs_fail_clean() {
+        let base = doc(vec![run("gone", &[("machine:x", 1, 1)])]);
+        let new = doc(vec![run("added", &[("machine:x", 1, 1)])]);
+        let d = DocDiff::compare(&base, &new);
+        assert_eq!(d.only_in_base, vec!["gone".to_string()]);
+        assert_eq!(d.only_in_new, vec!["added".to_string()]);
+        assert!(!d.is_clean(100.0), "lost coverage is never clean");
+    }
+
+    #[test]
+    fn zero_base_relative() {
+        let base = doc(vec![run("r", &[])]);
+        let new = doc(vec![run("r", &[("machine:x", 1, 7)])]);
+        let d = DocDiff::compare(&base, &new);
+        assert!(d.runs[0].total_rel().is_infinite());
+        assert!(d.runs[0].regressed(5.0));
+        let d0 = DocDiff::compare(&base, &base.clone());
+        assert_eq!(d0.runs[0].total_rel(), 0.0);
+    }
+}

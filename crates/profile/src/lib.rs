@@ -1,0 +1,40 @@
+//! `vic-profile`: span-based cycle-cost attribution for the simulator.
+//!
+//! The paper's argument is a cost-attribution argument: every cycle spent
+//! on cache consistency is charged to a specific operation (flush, purge,
+//! fault service, preparation copy/zero) performed for a specific reason
+//! under a specific manager. This crate makes that attribution a live,
+//! queryable artifact instead of a set of scattered counters:
+//!
+//! * [`Profiler`] — the handle the machine owns. Layers open spans around
+//!   their work (the kernel around fault service and preparation, the
+//!   pmap around each manager dispatch) and the machine charges each
+//!   cycle-costing operation as a leaf under the innermost span. Disabled
+//!   (the default), every site is one branch — the same zero-cost
+//!   discipline as tracing.
+//! * [`CostTree`] — the accumulated hierarchy. Its total equals the
+//!   machine's cycle counter *exactly* (conservation: cycles enter the
+//!   tree at the same statements that bump the counter), and two trees
+//!   merge deterministically, so per-thread trees from a parallel sweep
+//!   fold into one.
+//! * [`ProfileDoc`] / [`DocDiff`] — the file format (written by
+//!   `vic_bench::output`, read back here with a dependency-free JSON
+//!   parser) and the differential comparison used by `profile diff` and
+//!   the CI baseline gate.
+//!
+//! The crate deliberately depends on nothing: the machine crate depends
+//! on it, not the other way around.
+
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod doc;
+pub mod json;
+pub mod profiler;
+pub mod tree;
+
+pub use diff::{DocDiff, PathDelta, RunDiff};
+pub use doc::{ProfileDoc, ProfileRun, PROFILE_VERSION};
+pub use json::{parse_json, JsonError, JsonValue};
+pub use profiler::Profiler;
+pub use tree::{path_string, CostTree, FlatRow, Seg};

@@ -52,5 +52,7 @@ pub use alias::AliasLoop;
 pub use fork::ForkBench;
 pub use kbuild::KernelBuild;
 pub use latex::LatexBench;
-pub use runner::{run_on, run_traced, run_with_config, MachineSize, RunStats, Workload};
+pub use runner::{
+    run_on, run_profiled, run_traced, run_with_config, MachineSize, RunStats, Workload,
+};
 pub use spec::WorkloadKind;

@@ -4,6 +4,7 @@
 use vic_core::manager::MgrStats;
 use vic_machine::MachineStats;
 use vic_os::{Kernel, KernelConfig, OsError, OsStats, SystemKind};
+use vic_profile::{CostTree, Profiler};
 use vic_trace::Tracer;
 
 /// Which machine to simulate.
@@ -118,6 +119,39 @@ pub fn run_traced(cfg: KernelConfig, workload: &dyn Workload, tracer: Tracer) ->
     });
     k.machine_mut().tracer_mut().finish();
     collect(&k, workload.name())
+}
+
+/// [`run_traced`] with a live [`Profiler`] as well: every cycle of the
+/// run is attributed to a cost-tree path. Profiling (like tracing)
+/// changes no statistic and no cycle count, so the returned
+/// [`CostTree`]'s total equals `RunStats::cycles` exactly.
+///
+/// # Panics
+///
+/// Panics if the workload itself fails.
+pub fn run_profiled(
+    cfg: KernelConfig,
+    workload: &dyn Workload,
+    tracer: Tracer,
+) -> (RunStats, CostTree) {
+    let mut k = Kernel::new(cfg);
+    k.set_tracer(tracer);
+    k.machine_mut().set_profiler(Profiler::enabled());
+    workload.run(&mut k).unwrap_or_else(|e| {
+        panic!(
+            "workload {} failed under {:?}: {e}",
+            workload.name(),
+            cfg.system
+        )
+    });
+    k.machine_mut().tracer_mut().finish();
+    let stats = collect(&k, workload.name());
+    let tree = k
+        .machine_mut()
+        .profiler_mut()
+        .take_tree()
+        .expect("profiler was enabled for the whole run");
+    (stats, tree)
 }
 
 /// Snapshot statistics from a kernel after a run.

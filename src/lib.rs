@@ -18,10 +18,14 @@
 //!   (afs-bench, latex-paper, kernel-build, alias microbenchmark);
 //! * [`vic_trace`] (as `trace`) — the structured event-tracing and metrics
 //!   layer (ring-buffer/JSON/histogram sinks, and the consistency auditor
-//!   that replays a trace against the abstract four-state model).
+//!   that replays a trace against the abstract four-state model);
+//! * [`vic_profile`] (as `profile`) — the cycle-cost attribution profiler
+//!   (hierarchical cost trees keyed to the simulated clock, profile
+//!   documents, differential comparison for the perf-regression baseline).
 
 pub use vic_core as core;
 pub use vic_machine as machine;
 pub use vic_os as os;
+pub use vic_profile as profile;
 pub use vic_trace as trace;
 pub use vic_workloads as workloads;
