@@ -27,6 +27,19 @@ cargo run --release -p vic-bench --bin sweep --offline -q -- \
 test -s "$sweep_json" || { echo "sweep wrote no JSON"; exit 1; }
 rm -f "$sweep_json"
 
+echo "=== hostbench smoke (tiny grid) ==="
+# Host-throughput rig: measure the tiny grid once into a scratch file,
+# then schema-validate both it and the committed BENCH_host.json. No
+# wall-clock gating — CI machines vary; the numbers are informational.
+host_json="$(mktemp)"
+cargo run --release -p vic-bench --bin hostbench --offline -q -- \
+    --tiny --reps 1 --label ci-smoke --json "$host_json" >/dev/null
+cargo run --release -p vic-bench --bin hostbench --offline -q -- \
+    --check "$host_json" >/dev/null
+rm -f "$host_json"
+cargo run --release -p vic-bench --bin hostbench --offline -q -- \
+    --check BENCH_host.json >/dev/null
+
 echo "=== profile baseline check (BENCH_baseline.json) ==="
 # Re-runs the quick Table-4 + Table-5 grids under the cycle-cost
 # profiler and diffs against the committed baseline; fails on any run

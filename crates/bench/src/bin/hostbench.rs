@@ -1,0 +1,84 @@
+//! Time the simulator itself: wall-clock throughput over the quick
+//! Table-4 + Table-5 grids, appended to a versioned `BENCH_host.json`.
+//!
+//! ```sh
+//! cargo run --release -p vic-bench --bin hostbench -- --label post-rework
+//! cargo run --release -p vic-bench --bin hostbench -- --tiny --reps 1 --json smoke.json
+//! cargo run --release -p vic-bench --bin hostbench -- --check BENCH_host.json
+//! ```
+//!
+//! Each invocation times the grid (best of `--reps` repetitions per run,
+//! serial, one thread), prints a comparison against the previous entry of
+//! the same grid, and appends the new entry. `--check` parses and
+//! schema-validates an existing file without measuring anything.
+
+use vic_bench::cli::{self, HostbenchCli};
+use vic_bench::hostbench::{host_doc_json, parse_host_doc, render_comparison, HostEntry, HostGrid};
+
+fn fail(msg: String) -> ! {
+    eprintln!("hostbench: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = cli::parse_hostbench(&args).unwrap_or_else(|e| {
+        eprintln!(
+            "hostbench: {e}\nusage: hostbench [--label <s>] [--json <file>] [--reps <n>] [--tiny]\n       hostbench --check <file>"
+        );
+        std::process::exit(2);
+    });
+
+    match cli {
+        HostbenchCli::Check { json } => {
+            let text = std::fs::read_to_string(&json)
+                .unwrap_or_else(|e| fail(format!("cannot read {json}: {e}")));
+            match parse_host_doc(&text) {
+                Ok(entries) => {
+                    println!("{json}: schema-valid, {} entries", entries.len());
+                    for e in &entries {
+                        println!("  {}", e.summary());
+                    }
+                }
+                Err(e) => fail(format!("{json}: {e}")),
+            }
+        }
+        HostbenchCli::Measure {
+            label,
+            json,
+            reps,
+            tiny,
+        } => {
+            let grid = if tiny { HostGrid::Tiny } else { HostGrid::Full };
+            println!(
+                "hostbench: timing the {} grid ({} runs, best of {reps}, serial)...",
+                grid.name(),
+                grid.specs().len()
+            );
+            let entry = HostEntry::measure(&label, grid, reps);
+            println!("{}\n", entry.summary());
+
+            // Load what's already there (a missing or empty file starts a
+            // fresh trajectory; a malformed one is an error, not data loss).
+            let mut entries = match std::fs::read_to_string(&json) {
+                Ok(text) if text.trim().is_empty() => Vec::new(),
+                Ok(text) => {
+                    parse_host_doc(&text).unwrap_or_else(|e| fail(format!("existing {json}: {e}")))
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+                Err(e) => fail(format!("cannot read {json}: {e}")),
+            };
+            if let Some(prev) = entries.iter().rev().find(|e| e.grid == entry.grid) {
+                println!("{}", render_comparison(prev, &entry));
+            }
+            entries.push(entry);
+            if let Err(e) = std::fs::write(&json, host_doc_json(&entries) + "\n") {
+                fail(format!("cannot write {json}: {e}"));
+            }
+            println!(
+                "appended entry '{label}' to {json} ({} total)",
+                entries.len()
+            );
+        }
+    }
+}

@@ -452,6 +452,82 @@ fn parse_threads(t: Option<String>) -> Result<Option<usize>, CliError> {
     }
 }
 
+/// The parsed command line of the `hostbench` binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostbenchCli {
+    /// Time a grid and append the entry to the results file.
+    Measure {
+        /// Entry label naming the engine state (e.g. `post-rework`).
+        label: String,
+        /// Results file (default `BENCH_host.json`), appended to.
+        json: String,
+        /// Repetitions per spec (best-of; default 5).
+        reps: u32,
+        /// Time the tiny CI-smoke grid instead of the full quick grids.
+        tiny: bool,
+    },
+    /// Parse and schema-validate an existing results file.
+    Check {
+        /// The file to validate.
+        json: String,
+    },
+}
+
+/// Parse the `hostbench` binary's arguments:
+/// `[--label <s>] [--json <file>] [--reps <n>] [--tiny]` or
+/// `--check <file>`.
+///
+/// # Errors
+///
+/// A [`CliError`] naming the offending argument.
+pub fn parse_hostbench(args: &[String]) -> Result<HostbenchCli, CliError> {
+    let mut label: Option<String> = None;
+    let mut json: Option<String> = None;
+    let mut reps: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut tiny = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tiny" => tiny = true,
+            "--label" => set_value(&mut label, "--label", it.next())?,
+            "--json" => set_value(&mut json, "--json", it.next())?,
+            "--reps" => set_value(&mut reps, "--reps", it.next())?,
+            "--check" => set_value(&mut check, "--check", it.next())?,
+            s if s.starts_with("--") => return Err(CliError::UnknownFlag(s.to_string())),
+            s => return Err(CliError::UnexpectedArg(s.to_string())),
+        }
+    }
+    if let Some(file) = check {
+        if label.is_some() || json.is_some() || reps.is_some() || tiny {
+            return Err(CliError::Conflicting(
+                "--check takes no measurement flags".to_string(),
+            ));
+        }
+        return Ok(HostbenchCli::Check { json: file });
+    }
+    let reps = match reps {
+        None => 5,
+        Some(r) => {
+            let n = r.parse::<u32>().map_err(|_| {
+                CliError::Conflicting(format!("--reps wants a positive integer, got '{r}'"))
+            })?;
+            if n == 0 {
+                return Err(CliError::Conflicting(
+                    "--reps must be at least 1".to_string(),
+                ));
+            }
+            n
+        }
+    };
+    Ok(HostbenchCli::Measure {
+        label: label.unwrap_or_else(|| "unlabeled".to_string()),
+        json: json.unwrap_or_else(|| crate::hostbench::DEFAULT_HOST_FILE.to_string()),
+        reps,
+        tiny,
+    })
+}
+
 /// Parse the table binaries' arguments (`--quick` only).
 ///
 /// # Errors

@@ -12,6 +12,7 @@
 //! | §2.5 alias microbenchmark | `microbench` | [`experiments::microbench`] |
 //! | Tables 4+5 in parallel, JSON results | `sweep` | [`sweep::run_sweep`] |
 //! | cycle-cost attribution, diffs, perf baseline | `profile` | [`profile`] |
+//! | host wall-clock throughput, `BENCH_host.json` | `hostbench` | [`hostbench`] |
 //!
 //! A run is described by a [`SystemSpec`] — workload, system and every
 //! knob as one `Copy` value — and a simulated system is a single owned
@@ -34,6 +35,7 @@
 pub mod cli;
 pub mod experiments;
 pub mod harness;
+pub mod hostbench;
 pub mod output;
 pub mod profile;
 pub mod spec;
@@ -43,6 +45,7 @@ pub use experiments::{
     microbench, table1, table2_report, table4, table5, MicrobenchResult, Table1Row, Table4Cell,
     Table5Row,
 };
+pub use hostbench::{HostEntry, HostGrid, HostRun, HOSTBENCH_VERSION};
 pub use spec::SystemSpec;
 pub use sweep::{
     run_profiled_sweep_with_threads, run_sweep, run_sweep_with_threads, ProfiledResult,

@@ -170,6 +170,74 @@ fn profile_binary_reports_diffs_and_gates() {
 }
 
 #[test]
+fn hostbench_measures_appends_compares_and_checks() {
+    let hostbench = env!("CARGO_BIN_EXE_hostbench");
+    let json = tmp_file("host.json");
+    let _ = std::fs::remove_file(&json);
+
+    // First measurement: fresh file, one entry, no comparison possible.
+    let out = run_bin(
+        hostbench,
+        &[
+            "--tiny",
+            "--reps",
+            "1",
+            "--label",
+            "first",
+            "--json",
+            json.to_str().unwrap(),
+        ],
+    );
+    assert!(out.status.success(), "hostbench failed: {out:?}");
+    let text = stdout_of(&out);
+    assert!(text.contains("timing the tiny grid"), "{text}");
+    assert!(text.contains("appended entry 'first'"), "{text}");
+    assert!(!text.contains("speedup"), "nothing to compare yet:\n{text}");
+
+    // Second measurement: appends and prints the before/after table.
+    let out = run_bin(
+        hostbench,
+        &[
+            "--tiny",
+            "--reps",
+            "1",
+            "--label",
+            "second",
+            "--json",
+            json.to_str().unwrap(),
+        ],
+    );
+    assert!(out.status.success(), "hostbench failed: {out:?}");
+    let text = stdout_of(&out);
+    assert!(text.contains("'first' vs 'second'"), "{text}");
+    assert!(text.contains("speedup"), "{text}");
+    assert!(text.contains("(2 total)"), "{text}");
+
+    // Check mode validates the file it wrote.
+    let out = run_bin(hostbench, &["--check", json.to_str().unwrap()]);
+    assert!(out.status.success(), "check failed: {out:?}");
+    let text = stdout_of(&out);
+    assert!(text.contains("schema-valid, 2 entries"), "{text}");
+
+    // A corrupted file fails the check with exit 2.
+    std::fs::write(&json, "{\"version\":999}").unwrap();
+    let out = run_bin(hostbench, &["--check", json.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "broken schema must fail");
+    let _ = std::fs::remove_file(&json);
+}
+
+#[test]
+fn hostbench_rejects_conflicting_flags() {
+    let out = run_bin(
+        env!("CARGO_BIN_EXE_hostbench"),
+        &["--check", "x.json", "--tiny"],
+    );
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("usage:"), "stderr:\n{err}");
+}
+
+#[test]
 fn profile_check_baseline_is_clean_against_fresh_baseline() {
     // `baseline` then `--check-baseline` against the file it just wrote
     // must pass with zero tolerance: same grid, same determinism.

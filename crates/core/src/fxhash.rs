@@ -1,0 +1,136 @@
+//! A fast, deterministic hasher for the simulator's hot-path maps.
+//!
+//! The workspace is dependency-free, so this is a from-scratch
+//! implementation of the well-known "Fx" multiply-rotate hash (the
+//! Firefox/rustc scheme): fold each word into the state with a rotate,
+//! an xor and a multiply by a Golden-ratio-derived constant. It is not
+//! DoS-resistant — irrelevant here, every key is simulator-internal —
+//! and it is several times faster than `std`'s SipHash for the small
+//! fixed-size keys the simulator uses (page numbers, space IDs,
+//! mappings), which matters because address translation consults a
+//! `HashMap` on every simulated access.
+//!
+//! Determinism is a feature: unlike `RandomState`, the same keys hash
+//! the same way in every run, so host behaviour is reproducible.
+//! Simulated behaviour never depends on map iteration order either way
+//! (asserted by the determinism suite at the workspace root).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the golden ratio, as in the Firefox/rustc Fx hash.
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx multiply-rotate hasher. One `u64` of state; each written word
+/// costs a rotate, an xor and a multiply.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] (zero-sized, deterministic).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`]. Drop-in for `std`'s except that
+/// construction goes through `FxHashMap::default()` rather than `new()`.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = FxBuildHasher::default().hash_one(0xdead_beef_u64);
+        let b = FxBuildHasher::default().hash_one(0xdead_beef_u64);
+        assert_eq!(a, b);
+        assert_ne!(a, FxBuildHasher::default().hash_one(0xdead_beea_u64));
+    }
+
+    #[test]
+    fn byte_stream_equivalent_to_word_stream() {
+        // write() folds full 8-byte chunks exactly like write_u64.
+        let mut h1 = FxHasher::default();
+        h1.write(&0x0123_4567_89ab_cdef_u64.to_le_bytes());
+        let mut h2 = FxHasher::default();
+        h2.write_u64(0x0123_4567_89ab_cdef);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        assert!(s.insert(1) && !s.insert(1));
+    }
+
+    #[test]
+    fn spreads_small_keys() {
+        // Small sequential keys (the simulator's page numbers) must not
+        // collapse onto a few buckets.
+        let mut hashes: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..1000u64 {
+            hashes.insert(FxBuildHasher::default().hash_one(i));
+        }
+        assert_eq!(hashes.len(), 1000, "no collisions on 1k sequential keys");
+    }
+}

@@ -64,6 +64,7 @@
 //! ```
 
 pub mod cache_control;
+pub mod fxhash;
 pub mod manager;
 pub mod managers;
 pub mod page_state;
@@ -73,6 +74,7 @@ pub mod spec;
 pub mod state;
 pub mod types;
 
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use manager::{AccessHints, ConsistencyManager, DmaDir, MgrStats};
 pub use page_state::{CachePageSet, CacheSideState, PhysPageInfo};
 pub use policy::{Configuration, PolicyConfig};

@@ -16,18 +16,38 @@
 //! * within a **set**, physical tags are unique (a fill first probes every
 //!   way), so set-associativity changes nothing about the consistency
 //!   rules — the paper's §3.3 observation.
+//!
+//! # Host hot path
+//!
+//! Every consistency operation the algorithms issue lands here, so the
+//! representation is built for the host, without changing a single
+//! simulated cost:
+//!
+//! * line payloads live in one contiguous **data arena** indexed by line
+//!   number, not in per-line boxes — one allocation per cache, no pointer
+//!   chase per access;
+//! * all sizes are powers of two (asserted at construction), so indexing
+//!   and tag→frame checks are shifts and masks, never divisions;
+//! * a per-cache-page **occupancy index** (valid-line and dirty-line
+//!   counters, maintained on fill, dirtying and invalidation) lets
+//!   [`Cache::flush_page`], [`Cache::purge_page`] and [`Cache::page_holds`]
+//!   short-circuit in O(1) when the page holds nothing — the common case,
+//!   and the paper's whole point (most pages are Empty). The returned
+//!   [`PageOpOutcome`] is identical to a full scan's, so simulated cycle
+//!   accounting is unchanged; `set_fast_paths(false)` forces the scans for
+//!   the equivalence tests.
 
 use crate::mem::PhysMemory;
 use vic_core::types::{CacheKind, CachePage, PAddr, PFrame, VAddr};
 
-/// One cache line.
+/// One cache line's metadata. The payload lives in the cache's data
+/// arena at `line_index << line_shift`.
 #[derive(Debug, Clone)]
 struct Line {
     valid: bool,
     dirty: bool,
     /// Physical line number (physical address / line size).
     ptag: u64,
-    data: Box<[u8]>,
 }
 
 /// What an access did, for cycle accounting.
@@ -63,9 +83,27 @@ pub struct Cache {
     num_sets: u64,
     assoc: u64,
     sets_per_page: u64,
+    /// log2(line_size): byte address → line number.
+    line_shift: u32,
+    /// num_sets - 1: line number → set index.
+    set_mask: u64,
+    /// log2(page_size / line_size): ptag → physical frame.
+    tag_frame_shift: u32,
+    /// log2(sets_per_page * assoc): line index → cache page.
+    cpage_shift: u32,
+    /// Line metadata, set-major (`lines[set * assoc + way]`).
     lines: Vec<Line>,
+    /// The data arena: line `i`'s payload at `i << line_shift`.
+    data: Box<[u8]>,
     /// Round-robin victim pointer per set.
     victim: Vec<u8>,
+    /// Occupancy index: valid lines per cache page.
+    occ_valid: Vec<u32>,
+    /// Occupancy index: dirty lines per cache page.
+    occ_dirty: Vec<u32>,
+    /// Use the occupancy short-circuits. Test-only knob: behaviour is
+    /// identical either way, only host time differs.
+    fast_paths: bool,
 }
 
 impl Cache {
@@ -81,7 +119,8 @@ impl Cache {
     ///
     /// # Panics
     ///
-    /// Panics if `assoc` is zero or does not divide the line count.
+    /// Panics if any size or `assoc` is not a power of two, or the cache
+    /// cannot hold a page-worth of sets.
     pub fn with_associativity(
         kind: CacheKind,
         capacity: u64,
@@ -90,6 +129,14 @@ impl Cache {
         assoc: u64,
     ) -> Self {
         assert!(assoc >= 1, "at least one way");
+        for (name, v) in [
+            ("capacity", capacity),
+            ("line_size", line_size),
+            ("page_size", page_size),
+            ("assoc", assoc),
+        ] {
+            assert!(v.is_power_of_two(), "{name} must be a power of two: {v}");
+        }
         let num_lines = capacity / line_size;
         assert_eq!(num_lines % assoc, 0, "ways must divide the line count");
         let num_sets = num_lines / assoc;
@@ -98,21 +145,30 @@ impl Cache {
             num_sets >= lines_per_page,
             "the cache must hold at least one page-worth of sets"
         );
+        let lines_per_cpage = lines_per_page * assoc;
+        let num_cpages = (num_lines / lines_per_cpage) as usize;
         Cache {
             kind,
             line_size,
             num_sets,
             assoc,
             sets_per_page: lines_per_page,
+            line_shift: line_size.trailing_zeros(),
+            set_mask: num_sets - 1,
+            tag_frame_shift: (page_size / line_size).trailing_zeros(),
+            cpage_shift: lines_per_cpage.trailing_zeros(),
             lines: (0..num_lines)
                 .map(|_| Line {
                     valid: false,
                     dirty: false,
                     ptag: 0,
-                    data: vec![0u8; line_size as usize].into_boxed_slice(),
                 })
                 .collect(),
+            data: vec![0u8; capacity as usize].into_boxed_slice(),
             victim: vec![0; num_sets as usize],
+            occ_valid: vec![0; num_cpages],
+            occ_dirty: vec![0; num_cpages],
+            fast_paths: true,
         }
     }
 
@@ -131,19 +187,44 @@ impl Cache {
         self.assoc
     }
 
-    fn set_of(&self, va: VAddr) -> usize {
-        ((va.0 / self.line_size) % self.num_sets) as usize
+    /// Enable or disable the occupancy-index short-circuits (enabled by
+    /// default). The index itself is always maintained; only whether the
+    /// page operations consult it changes. Simulated behaviour — outcomes,
+    /// stats, cycle accounting — is identical either way; the knob exists
+    /// so the equivalence tests can diff the two paths.
+    pub fn set_fast_paths(&mut self, on: bool) {
+        self.fast_paths = on;
     }
 
+    /// Whether the occupancy short-circuits are in use.
+    pub fn fast_paths(&self) -> bool {
+        self.fast_paths
+    }
+
+    #[inline]
+    fn set_of(&self, va: VAddr) -> usize {
+        ((va.0 >> self.line_shift) & self.set_mask) as usize
+    }
+
+    #[inline]
     fn ways_of(&self, set: usize) -> std::ops::Range<usize> {
         set * self.assoc as usize..(set + 1) * self.assoc as usize
     }
 
+    #[inline]
     fn ptag_of(&self, pa: PAddr) -> u64 {
-        pa.0 / self.line_size
+        pa.0 >> self.line_shift
+    }
+
+    /// The line's payload range in the data arena.
+    #[inline]
+    fn data_range(&self, idx: usize) -> std::ops::Range<usize> {
+        let start = idx << self.line_shift;
+        start..start + self.line_size as usize
     }
 
     /// The way holding `ptag` in `set`, if any (tags are unique per set).
+    #[inline]
     fn find(&self, set: usize, ptag: u64) -> Option<usize> {
         self.ways_of(set)
             .find(|&i| self.lines[i].valid && self.lines[i].ptag == ptag)
@@ -168,14 +249,22 @@ impl Cache {
                 set * self.assoc as usize + v
             }
         };
-        let line_size = self.line_size;
+        let cp = idx >> self.cpage_shift;
+        let line_shift = self.line_shift;
+        let range = self.data_range(idx);
+        let data = &mut self.data[range];
         let l = &mut self.lines[idx];
         let mut wrote_back = false;
-        if l.valid && l.dirty {
-            mem.write(PAddr(l.ptag * line_size), &l.data);
-            wrote_back = true;
+        if l.valid {
+            if l.dirty {
+                mem.write(PAddr(l.ptag << line_shift), data);
+                wrote_back = true;
+                self.occ_dirty[cp] -= 1;
+            }
+        } else {
+            self.occ_valid[cp] += 1;
         }
-        mem.read(PAddr(ptag * line_size), &mut l.data);
+        mem.read(PAddr(ptag << line_shift), data);
         l.valid = true;
         l.dirty = false;
         l.ptag = ptag;
@@ -201,8 +290,8 @@ impl Cache {
                 (idx, AccessResult::Miss { wrote_back })
             }
         };
-        let off = (pa.0 % self.line_size) as usize;
-        buf.copy_from_slice(&self.lines[idx].data[off..off + buf.len()]);
+        let start = (idx << self.line_shift) + (pa.0 & (self.line_size - 1)) as usize;
+        buf.copy_from_slice(&self.data[start..start + buf.len()]);
         result
     }
 
@@ -230,9 +319,12 @@ impl Cache {
                 (idx, AccessResult::Miss { wrote_back })
             }
         };
-        let off = (pa.0 % self.line_size) as usize;
-        self.lines[idx].data[off..off + data.len()].copy_from_slice(data);
-        self.lines[idx].dirty = true;
+        let start = (idx << self.line_shift) + (pa.0 & (self.line_size - 1)) as usize;
+        self.data[start..start + data.len()].copy_from_slice(data);
+        if !self.lines[idx].dirty {
+            self.lines[idx].dirty = true;
+            self.occ_dirty[idx >> self.cpage_shift] += 1;
+        }
         result
     }
 
@@ -256,8 +348,8 @@ impl Cache {
         let set = self.set_of(va);
         let ptag = self.ptag_of(pa);
         if let Some(idx) = self.find(set, ptag) {
-            let off = (pa.0 % self.line_size) as usize;
-            self.lines[idx].data[off..off + data.len()].copy_from_slice(data);
+            let start = (idx << self.line_shift) + (pa.0 & (self.line_size - 1)) as usize;
+            self.data[start..start + data.len()].copy_from_slice(data);
             AccessResult::Hit
         } else {
             AccessResult::Miss { wrote_back: false }
@@ -281,18 +373,36 @@ impl Cache {
         page_size: u64,
         mem: &mut PhysMemory,
     ) -> PageOpOutcome {
+        debug_assert_eq!(page_size >> self.line_shift, self.sets_per_page);
+        let range = self.page_range(cp);
+        if self.fast_paths && self.occ_valid[cp.0 as usize] == 0 {
+            // An empty page scans to all-absent; produce that outcome
+            // without touching the lines.
+            return PageOpOutcome {
+                absent: range.len() as u64,
+                ..PageOpOutcome::default()
+            };
+        }
         let mut out = PageOpOutcome::default();
-        let line_size = self.line_size;
-        for idx in self.page_range(cp) {
+        let cpi = cp.0 as usize;
+        let line_shift = self.line_shift;
+        let tag_frame_shift = self.tag_frame_shift;
+        for idx in range {
             let l = &mut self.lines[idx];
-            if l.valid && l.ptag * line_size / page_size == frame.0 {
+            if l.valid && l.ptag >> tag_frame_shift == frame.0 {
                 out.present += 1;
                 if l.dirty {
-                    mem.write(PAddr(l.ptag * line_size), &l.data);
+                    let start = idx << line_shift;
+                    mem.write(
+                        PAddr(l.ptag << line_shift),
+                        &self.data[start..start + (1 << line_shift)],
+                    );
                     out.written_back += 1;
+                    l.dirty = false;
+                    self.occ_dirty[cpi] -= 1;
                 }
                 l.valid = false;
-                l.dirty = false;
+                self.occ_valid[cpi] -= 1;
             } else {
                 out.absent += 1;
             }
@@ -303,14 +413,27 @@ impl Cache {
     /// Invalidate, without write-back, every line of cache page `cp`
     /// holding data of `frame`.
     pub fn purge_page(&mut self, cp: CachePage, frame: PFrame, page_size: u64) -> PageOpOutcome {
+        debug_assert_eq!(page_size >> self.line_shift, self.sets_per_page);
+        let range = self.page_range(cp);
+        if self.fast_paths && self.occ_valid[cp.0 as usize] == 0 {
+            return PageOpOutcome {
+                absent: range.len() as u64,
+                ..PageOpOutcome::default()
+            };
+        }
         let mut out = PageOpOutcome::default();
-        let line_size = self.line_size;
-        for idx in self.page_range(cp) {
+        let cpi = cp.0 as usize;
+        let tag_frame_shift = self.tag_frame_shift;
+        for idx in range {
             let l = &mut self.lines[idx];
-            if l.valid && l.ptag * line_size / page_size == frame.0 {
+            if l.valid && l.ptag >> tag_frame_shift == frame.0 {
                 out.present += 1;
+                if l.dirty {
+                    l.dirty = false;
+                    self.occ_dirty[cpi] -= 1;
+                }
                 l.valid = false;
-                l.dirty = false;
+                self.occ_valid[cpi] -= 1;
             } else {
                 out.absent += 1;
             }
@@ -321,6 +444,20 @@ impl Cache {
     /// Does any line of cache page `cp` hold data of `frame`? (Testing and
     /// assertions.)
     pub fn page_holds(&self, cp: CachePage, frame: PFrame, page_size: u64) -> bool {
+        debug_assert_eq!(page_size >> self.line_shift, self.sets_per_page);
+        if self.fast_paths && self.occ_valid[cp.0 as usize] == 0 {
+            return false;
+        }
+        self.page_range(cp).any(|idx| {
+            let l = &self.lines[idx];
+            l.valid && l.ptag >> self.tag_frame_shift == frame.0
+        })
+    }
+
+    /// Reference implementation of [`Cache::page_holds`]: the original
+    /// full scan with a division per line, never consulting the occupancy
+    /// index. Kept for the property tests that pin the fast paths to it.
+    pub fn page_holds_scan(&self, cp: CachePage, frame: PFrame, page_size: u64) -> bool {
         let line_size = self.line_size;
         self.page_range(cp).any(|idx| {
             let l = &self.lines[idx];
@@ -328,12 +465,46 @@ impl Cache {
         })
     }
 
-    /// Invalidate everything (power-up state). Dirty data is lost.
+    /// The occupancy index's (valid, dirty) line counts for a cache page.
+    pub fn occupancy(&self, cp: CachePage) -> (u64, u64) {
+        (
+            u64::from(self.occ_valid[cp.0 as usize]),
+            u64::from(self.occ_dirty[cp.0 as usize]),
+        )
+    }
+
+    /// Brute-force (valid, dirty) line counts for a cache page, by
+    /// scanning the line array. The property tests assert this always
+    /// equals [`Cache::occupancy`].
+    pub fn scan_occupancy(&self, cp: CachePage) -> (u64, u64) {
+        let mut valid = 0;
+        let mut dirty = 0;
+        for idx in self.page_range(cp) {
+            let l = &self.lines[idx];
+            valid += u64::from(l.valid);
+            dirty += u64::from(l.dirty);
+        }
+        (valid, dirty)
+    }
+
+    /// Number of cache pages (occupancy index entries).
+    pub fn num_cache_pages(&self) -> u32 {
+        self.occ_valid.len() as u32
+    }
+
+    /// Invalidate everything and reset the replacement state (power-up
+    /// state: a purged cache behaves exactly like a freshly built one).
+    /// Dirty data is lost.
     pub fn purge_all(&mut self) {
         for l in &mut self.lines {
             l.valid = false;
             l.dirty = false;
         }
+        // Power-up state includes the round-robin victim pointers: without
+        // this, a purged cache's eviction order diverges from a fresh one.
+        self.victim.fill(0);
+        self.occ_valid.fill(0);
+        self.occ_dirty.fill(0);
     }
 }
 
@@ -469,5 +640,96 @@ mod tests {
         c.write(VAddr(0), PAddr(0), &mut mem, &1u32.to_le_bytes());
         c.purge_all();
         assert_eq!(c.probe(VAddr(0), PAddr(0)), None);
+        assert_eq!(c.occupancy(CachePage(0)), (0, 0));
+    }
+
+    #[test]
+    fn occupancy_tracks_fills_dirties_and_invalidations() {
+        let (mut c, mut mem) = setup();
+        assert_eq!(c.num_cache_pages(), 4);
+        assert_eq!(c.occupancy(CachePage(0)), (0, 0));
+        let mut buf = [0u8; 4];
+        c.read(VAddr(0), PAddr(0), &mut mem, &mut buf);
+        assert_eq!(c.occupancy(CachePage(0)), (1, 0), "clean fill");
+        c.write(VAddr(0), PAddr(0), &mut mem, &1u32.to_le_bytes());
+        assert_eq!(c.occupancy(CachePage(0)), (1, 1), "dirtied in place");
+        c.write(VAddr(0x10), PAddr(0x10), &mut mem, &2u32.to_le_bytes());
+        assert_eq!(c.occupancy(CachePage(0)), (2, 2), "dirty fill");
+        // Evicting the dirty line at va 0 with a conflicting fill keeps
+        // valid count (replaced, not vacated) but drops the dirty count.
+        c.read(VAddr(1024), PAddr(0x400), &mut mem, &mut buf);
+        assert_eq!(c.occupancy(CachePage(0)), (2, 1), "dirty victim evicted");
+        let out = c.flush_page(CachePage(0), PFrame(0), 256, &mut mem);
+        assert_eq!(out.present, 1, "va 0x10 line only; 0x400 is frame 4");
+        assert_eq!(c.occupancy(CachePage(0)), (1, 0));
+        for cp in 0..4 {
+            assert_eq!(
+                c.occupancy(CachePage(cp)),
+                c.scan_occupancy(CachePage(cp)),
+                "index agrees with brute force on page {cp}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_page_short_circuit_matches_full_scan() {
+        let (mut c, mut mem) = setup();
+        let mut slow = c.clone();
+        slow.set_fast_paths(false);
+        assert!(!slow.fast_paths() && c.fast_paths());
+        for cp in 0..4u32 {
+            for frame in 0..3u64 {
+                assert_eq!(
+                    c.flush_page(CachePage(cp), PFrame(frame), 256, &mut mem),
+                    slow.flush_page(CachePage(cp), PFrame(frame), 256, &mut mem),
+                    "empty flush outcome"
+                );
+                assert_eq!(
+                    c.purge_page(CachePage(cp), PFrame(frame), 256),
+                    slow.purge_page(CachePage(cp), PFrame(frame), 256),
+                    "empty purge outcome"
+                );
+                assert_eq!(
+                    c.page_holds(CachePage(cp), PFrame(frame), 256),
+                    slow.page_holds_scan(CachePage(cp), PFrame(frame), 256),
+                );
+            }
+        }
+    }
+
+    /// The purge_all satellite regression: after `purge_all`, the
+    /// round-robin victim pointers are back at power-up state, so the
+    /// subsequent eviction sequence is identical to a freshly built
+    /// cache's.
+    #[test]
+    fn purged_cache_evicts_like_a_fresh_one() {
+        let build = || Cache::with_associativity(CacheKind::Data, 1024, 16, 256, 2);
+        let mut mem = PhysMemory::new(64 * 1024);
+
+        // Advance the victim pointer: fill both ways of set 0, then force
+        // an eviction (round robin moves off way 0).
+        let mut purged = build();
+        let mut buf = [0u8; 4];
+        purged.read(VAddr(0), PAddr(0x000), &mut mem, &mut buf);
+        purged.read(VAddr(0), PAddr(0x100), &mut mem, &mut buf);
+        purged.read(VAddr(0), PAddr(0x200), &mut mem, &mut buf);
+        purged.purge_all();
+
+        let mut fresh = build();
+        // The same access sequence must evict the same tags in the same
+        // order — observable through probe() after each conflicting fill.
+        let pas = [0x000u64, 0x100, 0x200, 0x300, 0x400, 0x500];
+        for (step, &fill) in pas.iter().enumerate() {
+            let a = purged.read(VAddr(0), PAddr(fill), &mut mem, &mut buf);
+            let b = fresh.read(VAddr(0), PAddr(fill), &mut mem, &mut buf);
+            assert_eq!(a, b, "step {step}: access result");
+            for &pa in &pas {
+                assert_eq!(
+                    purged.probe(VAddr(0), PAddr(pa)),
+                    fresh.probe(VAddr(0), PAddr(pa)),
+                    "step {step}: residency of pa {pa:#x}"
+                );
+            }
+        }
     }
 }

@@ -51,6 +51,13 @@ pub struct MachineConfig {
     pub icache_assoc: u64,
     /// TLB capacity in entries (the PA-RISC 720 has 96).
     pub tlb_entries: usize,
+    /// Use the host-side fast paths (occupancy-index short-circuits in the
+    /// caches, the one-entry translation micro-cache). Simulated behaviour
+    /// — outcomes, statistics, cycle accounting, trace events — is
+    /// identical either way; only host wall-clock differs. A test knob:
+    /// the determinism-lock tests run with it off and assert byte-equal
+    /// results.
+    pub fast_paths: bool,
 }
 
 impl MachineConfig {
@@ -69,6 +76,7 @@ impl MachineConfig {
             dcache_assoc: 1,
             icache_assoc: 1,
             tlb_entries: 96,
+            fast_paths: true,
         }
     }
 
@@ -88,6 +96,7 @@ impl MachineConfig {
             dcache_assoc: 1,
             icache_assoc: 1,
             tlb_entries: 96,
+            fast_paths: true,
         }
     }
 

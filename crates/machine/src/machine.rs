@@ -79,6 +79,13 @@ pub struct Machine {
     oracle: Oracle,
     tracer: Tracer,
     profiler: Profiler,
+    /// One-entry translation micro-cache fronting the MMU: the most recent
+    /// successful translation. Correct because that mapping is always still
+    /// in the TLB (FIFO eviction only happens while *another* mapping
+    /// misses, which replaces this entry too), so a micro-hit is exactly a
+    /// `TlbHit` — free, no statistic, no event. Invalidated by every
+    /// mapping mutator. Disabled when `cfg.fast_paths` is off.
+    xlate_cache: Option<(Mapping, Pte)>,
 }
 
 impl Machine {
@@ -87,28 +94,33 @@ impl Machine {
     /// staleness oracle is always on.
     pub fn new(cfg: MachineConfig) -> Self {
         cfg.validate();
+        let mut dcache = Cache::with_associativity(
+            CacheKind::Data,
+            cfg.dcache_bytes,
+            cfg.line_size,
+            cfg.page_size,
+            cfg.dcache_assoc,
+        );
+        let mut icache = Cache::with_associativity(
+            CacheKind::Insn,
+            cfg.icache_bytes,
+            cfg.line_size,
+            cfg.page_size,
+            cfg.icache_assoc,
+        );
+        dcache.set_fast_paths(cfg.fast_paths);
+        icache.set_fast_paths(cfg.fast_paths);
         Machine {
             mem: PhysMemory::new(cfg.mem_bytes),
-            dcache: Cache::with_associativity(
-                CacheKind::Data,
-                cfg.dcache_bytes,
-                cfg.line_size,
-                cfg.page_size,
-                cfg.dcache_assoc,
-            ),
-            icache: Cache::with_associativity(
-                CacheKind::Insn,
-                cfg.icache_bytes,
-                cfg.line_size,
-                cfg.page_size,
-                cfg.icache_assoc,
-            ),
+            dcache,
+            icache,
             mmu: Mmu::new(cfg.tlb_entries),
             cycles: 0,
             stats: MachineStats::default(),
             oracle: Oracle::new(cfg.mem_bytes),
             tracer: Tracer::off(),
             profiler: Profiler::off(),
+            xlate_cache: None,
             cfg,
         }
     }
@@ -212,27 +224,36 @@ impl Machine {
     }
 
     fn translate(&mut self, m: Mapping, access: Access) -> Result<Pte, Fault> {
-        let pte = match self.mmu.translate(m) {
-            Translation::TlbHit(pte) => pte,
-            Translation::TlbMiss(pte) => {
-                self.cycles += self.cfg.costs.tlb_miss;
-                self.profiler.leaf("tlb_fill", self.cfg.costs.tlb_miss);
-                self.stats.tlb_misses += 1;
-                self.tracer.emit(
-                    self.cycles,
-                    TraceEvent::TlbFill {
-                        space: m.space,
-                        vpage: m.vpage,
-                        cost: self.cfg.costs.tlb_miss,
-                    },
-                );
-                pte
-            }
-            Translation::Unmapped => {
-                self.cycles += self.cfg.costs.fault_trap;
-                self.profiler.leaf("fault_trap", self.cfg.costs.fault_trap);
-                return Err(Fault::NoMapping { mapping: m, access });
-            }
+        let pte = match self.xlate_cache {
+            // Micro-cache hit: the MMU would report TlbHit — free, no
+            // statistic, no event — so skipping it changes nothing.
+            Some((last, pte)) if self.cfg.fast_paths && last == m => pte,
+            _ => match self.mmu.translate(m) {
+                Translation::TlbHit(pte) => {
+                    self.xlate_cache = Some((m, pte));
+                    pte
+                }
+                Translation::TlbMiss(pte) => {
+                    self.cycles += self.cfg.costs.tlb_miss;
+                    self.profiler.leaf("tlb_fill", self.cfg.costs.tlb_miss);
+                    self.stats.tlb_misses += 1;
+                    self.tracer.emit(
+                        self.cycles,
+                        TraceEvent::TlbFill {
+                            space: m.space,
+                            vpage: m.vpage,
+                            cost: self.cfg.costs.tlb_miss,
+                        },
+                    );
+                    self.xlate_cache = Some((m, pte));
+                    pte
+                }
+                Translation::Unmapped => {
+                    self.cycles += self.cfg.costs.fault_trap;
+                    self.profiler.leaf("fault_trap", self.cfg.costs.fault_trap);
+                    return Err(Fault::NoMapping { mapping: m, access });
+                }
+            },
         };
         if !pte.prot.allows(access) {
             self.cycles += self.cfg.costs.fault_trap;
@@ -547,6 +568,7 @@ impl Machine {
 
     /// Enter a mapping with an effective protection.
     pub fn enter_mapping(&mut self, m: Mapping, frame: PFrame, prot: Prot) {
+        self.xlate_cache = None;
         self.mmu.enter(
             m,
             Pte {
@@ -563,6 +585,7 @@ impl Machine {
     /// Change the effective protection of a mapping (TLB entry
     /// invalidated).
     pub fn set_protection(&mut self, m: Mapping, prot: Prot) {
+        self.xlate_cache = None;
         self.mmu.protect(m, prot);
         self.cycles += self.cfg.costs.mapping_update;
         self.profiler
@@ -571,6 +594,7 @@ impl Machine {
 
     /// Mark a mapping uncached/cached.
     pub fn set_uncached(&mut self, m: Mapping, uncached: bool) {
+        self.xlate_cache = None;
         self.mmu.set_uncached(m, uncached);
         self.cycles += self.cfg.costs.mapping_update;
         self.profiler
@@ -579,6 +603,7 @@ impl Machine {
 
     /// Remove a mapping; returns its frame if it existed.
     pub fn remove_mapping(&mut self, m: Mapping) -> Option<PFrame> {
+        self.xlate_cache = None;
         self.cycles += self.cfg.costs.mapping_update;
         self.profiler
             .leaf("mapping_update", self.cfg.costs.mapping_update);

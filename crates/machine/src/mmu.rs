@@ -7,8 +7,7 @@
 //! requires ("other structures, however, such as TLB and page table entries,
 //! must be invalidated to deny access to the data in the memory system").
 
-use std::collections::HashMap;
-
+use vic_core::fxhash::FxHashMap;
 use vic_core::types::{Mapping, PFrame, Prot, SpaceId, VPage};
 
 /// A page table entry.
@@ -26,9 +25,11 @@ pub struct Pte {
 /// Per-space page tables plus the TLB.
 #[derive(Debug, Clone)]
 pub struct Mmu {
-    tables: HashMap<SpaceId, HashMap<VPage, Pte>>,
-    /// TLB: a bounded map with FIFO replacement.
-    tlb: HashMap<Mapping, Pte>,
+    tables: FxHashMap<SpaceId, FxHashMap<VPage, Pte>>,
+    /// TLB: a bounded map with FIFO replacement. Translation consults this
+    /// on every simulated access, so it hashes with the cheap deterministic
+    /// [`vic_core::fxhash`] hasher rather than `std`'s SipHash.
+    tlb: FxHashMap<Mapping, Pte>,
     tlb_fifo: std::collections::VecDeque<Mapping>,
     tlb_capacity: usize,
 }
@@ -48,8 +49,8 @@ impl Mmu {
     /// An MMU with the given TLB capacity (the PA-RISC 720 has 96 entries).
     pub fn new(tlb_capacity: usize) -> Self {
         Mmu {
-            tables: HashMap::new(),
-            tlb: HashMap::new(),
+            tables: FxHashMap::default(),
+            tlb: FxHashMap::default(),
             tlb_fifo: std::collections::VecDeque::new(),
             tlb_capacity,
         }

@@ -9,7 +9,9 @@
 //! naturally" (§5) — reproduced here by the time between dirtying a buffer
 //! and the eventual sync.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use vic_core::fxhash::FxHashMap;
 
 use vic_core::types::{PFrame, VPage};
 
@@ -104,7 +106,7 @@ pub struct Buf {
 #[derive(Debug, Clone)]
 pub struct BufferCache {
     slots: Vec<Option<Buf>>,
-    map: HashMap<BlockId, usize>,
+    map: FxHashMap<BlockId, usize>,
     lru: VecDeque<usize>,
     base_vp: u64,
 }
@@ -115,7 +117,7 @@ impl BufferCache {
     pub fn new(num_slots: usize, base_vp: u64) -> Self {
         BufferCache {
             slots: vec![None; num_slots],
-            map: HashMap::new(),
+            map: FxHashMap::default(),
             lru: VecDeque::new(),
             base_vp,
         }

@@ -4,7 +4,7 @@
 //! in cache-consistency behaviour. What matters is the traffic: which
 //! blocks move through the buffer cache and when DMA happens.
 
-use std::collections::HashMap;
+use vic_core::fxhash::FxHashMap;
 
 use crate::bufcache::{BlockId, Disk};
 use crate::error::OsError;
@@ -22,7 +22,7 @@ impl std::fmt::Display for FileId {
 /// File metadata: block lists.
 #[derive(Debug, Clone, Default)]
 pub struct FileSystem {
-    files: HashMap<FileId, Vec<BlockId>>,
+    files: FxHashMap<FileId, Vec<BlockId>>,
     next: u32,
 }
 

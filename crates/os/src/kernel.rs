@@ -14,8 +14,7 @@
 //! * **need data / will overwrite** — preparation and DMA paths pass
 //!   truthful semantic hints; managers honour them per their policy.
 
-use std::collections::{HashMap, HashSet};
-
+use vic_core::fxhash::{FxHashMap, FxHashSet};
 use vic_core::manager::{AccessHints, DmaDir, MgrStats};
 use vic_core::policy::PolicyConfig;
 use vic_core::types::{Access, Mapping, PFrame, Prot, SpaceId, VAddr, VPage};
@@ -118,7 +117,7 @@ impl KernelConfig {
 struct KernelWindows {
     base: u64,
     size: u64,
-    busy: HashSet<u64>,
+    busy: FxHashSet<u64>,
     cursor: u64,
     align_mod: u64,
 }
@@ -128,7 +127,7 @@ impl KernelWindows {
         KernelWindows {
             base: WIN_BASE_VP,
             size: 4 * align_mod,
-            busy: HashSet::new(),
+            busy: FxHashSet::default(),
             cursor: 0,
             align_mod,
         }
@@ -170,8 +169,8 @@ pub struct Kernel {
     machine: Machine,
     pmap: Pmap,
     frames: crate::frames::FrameTable,
-    tasks: HashMap<TaskId, Task>,
-    space_of: HashMap<SpaceId, TaskId>,
+    tasks: FxHashMap<TaskId, Task>,
+    space_of: FxHashMap<SpaceId, TaskId>,
     next_task: u32,
     next_space: u32,
     disk: Disk,
@@ -217,8 +216,8 @@ impl Kernel {
         Kernel {
             pmap: Pmap::new(mgr),
             frames: crate::frames::FrameTable::with_colors(cfg.machine.num_frames(), 16, colors),
-            tasks: HashMap::new(),
-            space_of: HashMap::new(),
+            tasks: FxHashMap::default(),
+            space_of: FxHashMap::default(),
             next_task: 1,
             next_space: 2,
             disk: Disk::new(cfg.disk_blocks, cfg.machine.page_size),

@@ -6,9 +6,8 @@
 //! decides the **effective** hardware protections. Every mapping operation
 //! and every consistency fault flows through here.
 
-use std::collections::HashMap;
-
 use vic_core::cache_control::ConsistencyHw;
+use vic_core::fxhash::FxHashMap;
 use vic_core::manager::{AccessHints, ConsistencyManager, DmaDir, MgrStats};
 use vic_core::types::{Access, CacheGeometry, CachePage, Mapping, PFrame, Prot, VPage};
 use vic_machine::Machine;
@@ -56,7 +55,7 @@ impl ConsistencyHw for HwAdapter<'_> {
 /// The machine-dependent mapping layer.
 pub struct Pmap {
     mgr: Box<dyn ConsistencyManager>,
-    mappings: HashMap<Mapping, (PFrame, Prot)>,
+    mappings: FxHashMap<Mapping, (PFrame, Prot)>,
 }
 
 impl std::fmt::Debug for Pmap {
@@ -73,7 +72,7 @@ impl Pmap {
     pub fn new(mgr: Box<dyn ConsistencyManager>) -> Self {
         Pmap {
             mgr,
-            mappings: HashMap::new(),
+            mappings: FxHashMap::default(),
         }
     }
 

@@ -11,7 +11,7 @@
 //! This module is the bookkeeping; the kernel drives the actual mapping
 //! and the request/reply traffic.
 
-use std::collections::HashMap;
+use vic_core::fxhash::FxHashMap;
 
 use vic_core::types::{PFrame, SpaceId, VPage};
 
@@ -33,7 +33,7 @@ pub struct Channel {
 pub struct UnixServer {
     /// The server's own task (address space).
     pub task: Task,
-    channels: HashMap<u32, Channel>,
+    channels: FxHashMap<u32, Channel>,
     next_fixed: u64,
 }
 
@@ -47,7 +47,7 @@ impl UnixServer {
     pub fn new(space: SpaceId, align_mod: u64) -> Self {
         UnixServer {
             task: Task::new(space, align_mod),
-            channels: HashMap::new(),
+            channels: FxHashMap::default(),
             next_fixed: SERVER_FIXED_VP_BASE,
         }
     }

@@ -88,6 +88,32 @@ fn profiling_changes_no_statistic() {
 }
 
 #[test]
+fn conservation_holds_with_fast_paths_off() {
+    // The hot-path rework's host-side fast paths (occupancy
+    // short-circuits, translation micro-cache) must not disturb the
+    // attribution: with them force-disabled, the same spec yields the
+    // same stats and the identical flattened cost tree, and every cycle
+    // is still attributed exactly once.
+    let spec = SystemSpec::quick(WorkloadKind::Afs, SystemKind::Cmu(Configuration::F));
+    let (fast_stats, fast_tree) = spec.run_profiled();
+
+    let mut cfg = spec.kernel_config();
+    cfg.machine.fast_paths = false;
+    let (slow_stats, slow_tree) = vic_workloads::run_profiled(
+        cfg,
+        spec.build_workload().as_ref(),
+        vic_trace::Tracer::off(),
+    );
+    assert_eq!(fast_stats, slow_stats, "stats differ with fast paths off");
+    assert_eq!(slow_tree.total_cycles(), slow_stats.cycles);
+    assert_eq!(
+        fast_tree.flatten(),
+        slow_tree.flatten(),
+        "cost attribution differs with fast paths off"
+    );
+}
+
+#[test]
 fn consistency_work_is_separated_from_user_work() {
     // The paper's Table 2/3 question — how much time goes to consistency
     // management — answered from the tree: manager-context cycles are a

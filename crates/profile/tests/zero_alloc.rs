@@ -83,6 +83,46 @@ fn disabled_profiler_allocates_nothing_on_the_access_path() {
 }
 
 #[test]
+fn steady_state_miss_path_allocates_nothing() {
+    // The miss path too — fill, eviction, write-back — not only hits.
+    // vp0 and vp4 collide in the small config's 4-page data cache but map
+    // distinct frames (one mapping per frame, so no aliasing and no
+    // oracle-violation logging): alternating stores conflict-miss and
+    // write back forever, even in the steady state.
+    let mut m = Machine::new(MachineConfig::small());
+    let sp = SpaceId(1);
+    for (vp, f) in [(0u64, 2u64), (4, 3)] {
+        m.enter_mapping(Mapping::new(sp, VPage(vp)), PFrame(f), Prot::READ_WRITE);
+    }
+    let va0 = m.config().vaddr(VPage(0));
+    let va4 = m.config().vaddr(VPage(4));
+    // Warm up the TLB, oracle shadow state and the conflict pattern, and
+    // leave `0` as the last value stored through va4.
+    for round in 0..4u32 {
+        m.store(sp, va0, round).unwrap();
+        m.store(sp, va4, 0).unwrap();
+    }
+    let misses_before = m.stats().d_misses;
+    let (allocs, _) = allocations_during(|| {
+        for round in 1..=256u32 {
+            // Evicts va4's dirty line (write-back), fills va0's: miss.
+            m.store(sp, va0, round).unwrap();
+            // Evicts va0's dirty line, reads back what the eviction above
+            // just wrote to memory: miss.
+            assert_eq!(m.load(sp, va4).unwrap(), round - 1);
+            // Same line, same tag: hit, re-dirties for the next round.
+            m.store(sp, va4, round).unwrap();
+        }
+    });
+    assert_eq!(allocs, 0, "miss + write-back path must not touch the heap");
+    assert!(
+        m.stats().d_misses - misses_before >= 2 * 256,
+        "the loop must actually conflict-miss throughout"
+    );
+    assert_eq!(m.oracle().violations(), 0, "no aliasing, no staleness");
+}
+
+#[test]
 fn disabled_profiler_hooks_allocate_nothing() {
     // The hooks the kernel and manager call on every dispatch, with the
     // profiler off: pure no-ops, no heap.

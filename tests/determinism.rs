@@ -6,10 +6,12 @@
 //! * a parallel sweep returns exactly what a serial loop over the same
 //!   specs returns, in the same order, regardless of thread count.
 
+use std::sync::{Arc, Mutex};
+
 use vic::core::policy::Configuration;
 use vic::os::{Kernel, KernelConfig, SystemKind};
-use vic::trace::Tracer;
-use vic::workloads::{RunStats, WorkloadKind};
+use vic::trace::{JsonLinesSink, Tracer};
+use vic::workloads::{run_traced, RunStats, WorkloadKind};
 use vic_bench::output::run_json;
 use vic_bench::sweep::run_sweep_with_threads;
 use vic_bench::SystemSpec;
@@ -68,6 +70,58 @@ fn same_spec_twice_is_identical() {
             run_json(&spec, &a, None),
             run_json(&spec, &b, None),
             "JSON must be byte-identical for {}",
+            spec.label()
+        );
+    }
+}
+
+/// Run a spec with the engine's host-side fast paths force-disabled (the
+/// occupancy short-circuits and the translation micro-cache), capturing
+/// the full trace stream as JSON lines.
+fn run_slow_traced(spec: &SystemSpec) -> (RunStats, Vec<u8>) {
+    let mut cfg = spec.kernel_config();
+    assert!(cfg.machine.fast_paths, "fast paths are the default");
+    cfg.machine.fast_paths = false;
+    let sink = Arc::new(Mutex::new(JsonLinesSink::new(Vec::new())));
+    let stats = run_traced(
+        cfg,
+        spec.build_workload().as_ref(),
+        Tracer::shared(sink.clone()),
+    );
+    let bytes = sink.lock().unwrap().get_ref().clone();
+    (stats, bytes)
+}
+
+/// The determinism lock for the hot-path rework: over the quick Table-4
+/// and Table-5 grids, a run with every fast path disabled produces
+/// byte-identical output — same `RunStats`, same result JSON, same trace
+/// event stream — as the default engine. The fast paths are host-side
+/// only; they must never be observable in the simulation.
+#[test]
+fn fast_paths_change_nothing_observable() {
+    let mut specs = SystemSpec::table4_grid(true);
+    specs.extend(SystemSpec::table5_grid(true));
+    for spec in specs {
+        let fast_sink = Arc::new(Mutex::new(JsonLinesSink::new(Vec::new())));
+        let fast = spec.run_traced(Tracer::shared(fast_sink.clone()));
+        let (slow, slow_trace) = run_slow_traced(&spec);
+        assert_eq!(
+            fast,
+            slow,
+            "{}: stats differ with fast paths off",
+            spec.label()
+        );
+        assert_eq!(
+            run_json(&spec, &fast, None),
+            run_json(&spec, &slow, None),
+            "{}: result JSON differs with fast paths off",
+            spec.label()
+        );
+        let fast_trace = fast_sink.lock().unwrap().get_ref().clone();
+        assert_eq!(
+            fast_trace,
+            slow_trace,
+            "{}: trace streams differ with fast paths off",
             spec.label()
         );
     }
