@@ -40,6 +40,20 @@ rm -f "$host_json"
 cargo run --release -p vic-bench --bin hostbench --offline -q -- \
     --check BENCH_host.json >/dev/null
 
+echo "=== bulk-vs-word smoke (--no-fast-paths) ==="
+# The bulk-run engine must be observably invisible: the run binary's full
+# report (simulated values only — no host wall time on stdout) must be
+# byte-identical with the fast paths force-disabled. The determinism
+# suite proves this over the whole quick grids; this smoke keeps the flag
+# itself honest.
+bulk_out="$(mktemp)"; word_out="$(mktemp)"
+cargo run --release -p vic-bench --bin run --offline -q -- \
+    kernel-build F --quick >"$bulk_out"
+cargo run --release -p vic-bench --bin run --offline -q -- \
+    kernel-build F --quick --no-fast-paths >"$word_out"
+cmp "$bulk_out" "$word_out" || { echo "bulk runs changed observable output"; exit 1; }
+rm -f "$bulk_out" "$word_out"
+
 echo "=== profile baseline check (BENCH_baseline.json) ==="
 # Re-runs the quick Table-4 + Table-5 grids under the cycle-cost
 # profiler and diffs against the committed baseline; fails on any run

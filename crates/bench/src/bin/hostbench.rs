@@ -13,7 +13,9 @@
 //! schema-validates an existing file without measuring anything.
 
 use vic_bench::cli::{self, HostbenchCli};
-use vic_bench::hostbench::{host_doc_json, parse_host_doc, render_comparison, HostEntry, HostGrid};
+use vic_bench::hostbench::{
+    check_entry_coverage, host_doc_json, parse_host_doc, render_comparison, HostEntry, HostGrid,
+};
 
 fn fail(msg: String) -> ! {
     eprintln!("hostbench: {msg}");
@@ -35,7 +37,13 @@ fn main() {
                 .unwrap_or_else(|e| fail(format!("cannot read {json}: {e}")));
             match parse_host_doc(&text) {
                 Ok(entries) => {
-                    println!("{json}: schema-valid, {} entries", entries.len());
+                    if let Err(e) = check_entry_coverage(&entries) {
+                        fail(format!("{json}: {e}"));
+                    }
+                    println!(
+                        "{json}: schema-valid, {} entries, every entry covers its grid",
+                        entries.len()
+                    );
                     for e in &entries {
                         println!("  {}", e.summary());
                     }

@@ -19,11 +19,14 @@ use vic_trace::{ConsistencyAuditor, FanoutSink, HistogramSink, JsonLinesSink, Tr
 fn usage() -> String {
     format!(
         "usage: run <workload> <system> [--quick] [--colored] [--write-through] [--fast-purge]\n\
-         \x20                               [--trace <file>] [--trace-summary] [--json <file>]\n\
+         \x20                               [--no-fast-paths] [--trace <file>] [--trace-summary]\n\
+         \x20                               [--json <file>]\n\
          \n\
          workloads: {WORKLOAD_NAMES}\n\
          systems:   {SYSTEM_NAMES}\n\
          \n\
+         --no-fast-paths  disable the host-side fast paths (bulk runs, occupancy index,\n\
+         \x20                translation micro-cache); simulated results must not change\n\
          --trace <file>   write every machine/OS/algorithm event as JSON lines\n\
          --trace-summary  print per-event-class cost histograms and the consistency audit\n\
          --json <file>    write the run's spec + full statistics as one JSON object"
@@ -37,6 +40,7 @@ fn main() {
         trace,
         trace_summary,
         json,
+        no_fast_paths,
     } = match cli::parse_run(&args) {
         Ok(cli) => cli,
         Err(e) => {
@@ -71,7 +75,13 @@ fn main() {
     };
 
     let t0 = std::time::Instant::now();
-    let s = spec.run_traced(tracer);
+    let s = if no_fast_paths {
+        let mut cfg = spec.kernel_config();
+        cfg.machine.fast_paths = false;
+        vic_workloads::run_traced(cfg, spec.build_workload().as_ref(), tracer)
+    } else {
+        spec.run_traced(tracer)
+    };
     let wall = t0.elapsed();
     println!("workload:  {}", s.workload);
     println!("system:    {}", s.system);

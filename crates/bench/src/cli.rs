@@ -128,11 +128,16 @@ pub struct RunCli {
     pub trace_summary: bool,
     /// Write the `RunStats` + spec as one JSON object to this file.
     pub json: Option<String>,
+    /// Disable the engine's host-side fast paths (occupancy index,
+    /// translation micro-cache, bulk runs) — for equivalence smoke tests;
+    /// simulated results must not change.
+    pub no_fast_paths: bool,
 }
 
 /// Parse the `run` binary's arguments:
 /// `<workload> <system> [--quick] [--colored] [--write-through]
-/// [--fast-purge] [--trace <file>] [--trace-summary] [--json <file>]`.
+/// [--fast-purge] [--no-fast-paths] [--trace <file>] [--trace-summary]
+/// [--json <file>]`.
 ///
 /// # Errors
 ///
@@ -144,6 +149,7 @@ pub fn parse_run(args: &[String]) -> Result<RunCli, CliError> {
     let mut write_through = false;
     let mut fast_purge = false;
     let mut trace_summary = false;
+    let mut no_fast_paths = false;
     let mut trace: Option<String> = None;
     let mut json: Option<String> = None;
     let mut it = args.iter();
@@ -154,6 +160,7 @@ pub fn parse_run(args: &[String]) -> Result<RunCli, CliError> {
             "--write-through" => write_through = true,
             "--fast-purge" => fast_purge = true,
             "--trace-summary" => trace_summary = true,
+            "--no-fast-paths" => no_fast_paths = true,
             "--trace" => set_value(&mut trace, "--trace", it.next())?,
             "--json" => set_value(&mut json, "--json", it.next())?,
             s if s.starts_with("--") => return Err(CliError::UnknownFlag(s.to_string())),
@@ -177,6 +184,7 @@ pub fn parse_run(args: &[String]) -> Result<RunCli, CliError> {
         trace,
         trace_summary,
         json,
+        no_fast_paths,
     })
 }
 
@@ -618,6 +626,9 @@ mod tests {
         assert!(cli.spec.quick && cli.spec.colored_free_lists);
         assert_eq!(cli.json.as_deref(), Some("out.json"));
         assert!(cli.trace.is_none() && !cli.trace_summary);
+        assert!(!cli.no_fast_paths);
+        let cli = parse_run(&s(&["afs-bench", "F", "--no-fast-paths"])).unwrap();
+        assert!(cli.no_fast_paths);
     }
 
     #[test]

@@ -328,6 +328,55 @@ pub fn parse_host_doc(text: &str) -> Result<Vec<HostEntry>, String> {
         .collect()
 }
 
+/// Validate that every entry's runs cover its grid — each spec the grid
+/// currently generates is timed exactly once, and no stale runs for specs
+/// the grid no longer contains linger. Schema-valid but incomplete
+/// entries (e.g. a grid that grew since the entry was measured) fail
+/// here, which keeps committed before/after comparisons honest: a speedup
+/// claim over a subset of the grid is not a speedup over the grid.
+///
+/// # Errors
+///
+/// A message naming the first uncovered or stale run label.
+pub fn check_entry_coverage(entries: &[HostEntry]) -> Result<(), String> {
+    for (i, e) in entries.iter().enumerate() {
+        // Multiset comparison: a spec may legitimately appear in both the
+        // Table-4 and Table-5 halves of the full grid, so an entry must
+        // time it once per occurrence.
+        let want: Vec<String> = e.grid.specs().iter().map(SystemSpec::label).collect();
+        for label in &want {
+            let expected = want.iter().filter(|l| l == &label).count();
+            let got = e.runs.iter().filter(|r| &r.label == label).count();
+            if got != expected {
+                return Err(format!(
+                    "entry {i} ('{}'): grid '{}' spec '{label}' timed {got} times (want {expected})",
+                    e.label,
+                    e.grid.name()
+                ));
+            }
+        }
+        for r in &e.runs {
+            if !want.contains(&r.label) {
+                return Err(format!(
+                    "entry {i} ('{}'): run '{}' is not in the current '{}' grid",
+                    e.label,
+                    r.label,
+                    e.grid.name()
+                ));
+            }
+            if r.spec.label() != r.label {
+                return Err(format!(
+                    "entry {i} ('{}'): run label '{}' does not match its spec ('{}')",
+                    e.label,
+                    r.label,
+                    r.spec.label()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Render a per-run before/after comparison of two entries of the same
 /// grid. Runs are matched by label; speedup is `before / after` wall
 /// time, so >1 means the engine got faster.
@@ -413,6 +462,27 @@ mod tests {
         let err =
             parse_host_doc(r#"{"hostbench_version":1,"entries":[{"label":"x"}]}"#).unwrap_err();
         assert!(err.contains("entry 0"), "names the entry: {err}");
+    }
+
+    #[test]
+    fn coverage_check_wants_exactly_the_grid() {
+        let good = vec![fake_entry("ok", 1)];
+        assert_eq!(check_entry_coverage(&good), Ok(()));
+
+        let mut missing = fake_entry("short", 1);
+        missing.runs.pop();
+        let err = check_entry_coverage(&[missing]).unwrap_err();
+        assert!(err.contains("timed 0 times"), "{err}");
+
+        let mut dup = fake_entry("dup", 1);
+        let extra = dup.runs[0].clone();
+        dup.runs.push(extra);
+        let err = check_entry_coverage(&[dup]).unwrap_err();
+        assert!(err.contains("timed 2 times"), "{err}");
+
+        let mut mislabeled = fake_entry("bad-label", 1);
+        mislabeled.runs[0].label = mislabeled.runs[1].label.clone();
+        assert!(check_entry_coverage(&[mislabeled]).is_err());
     }
 
     #[test]

@@ -356,6 +356,52 @@ impl Cache {
         }
     }
 
+    /// Find-or-fill the line for `(va, pa)` without touching its payload:
+    /// the shared prefix of [`Cache::read`] and [`Cache::write`], split out
+    /// for the machine's bulk-run engine. Returns the access result (for
+    /// cycle accounting, identical to what `read`/`write` would report) and
+    /// the line index, whose payload is reachable through
+    /// [`Cache::line_data`] / [`Cache::line_data_mut`].
+    pub fn touch_line(
+        &mut self,
+        va: VAddr,
+        pa: PAddr,
+        mem: &mut PhysMemory,
+    ) -> (AccessResult, usize) {
+        let set = self.set_of(va);
+        let ptag = self.ptag_of(pa);
+        match self.find(set, ptag) {
+            Some(idx) => (AccessResult::Hit, idx),
+            None => {
+                let (idx, wrote_back) = self.fill(set, ptag, mem);
+                (AccessResult::Miss { wrote_back }, idx)
+            }
+        }
+    }
+
+    /// The payload of line `idx` (from [`Cache::touch_line`]).
+    pub fn line_data(&self, idx: usize) -> &[u8] {
+        &self.data[self.data_range(idx)]
+    }
+
+    /// The mutable payload of line `idx`. Writing through this does **not**
+    /// mark the line dirty — bulk writers must pair it with
+    /// [`Cache::mark_line_dirty`], exactly as [`Cache::write`] would.
+    pub fn line_data_mut(&mut self, idx: usize) -> &mut [u8] {
+        let range = self.data_range(idx);
+        &mut self.data[range]
+    }
+
+    /// Mark line `idx` dirty, maintaining the occupancy index — the same
+    /// transition [`Cache::write`] performs, idempotent on already-dirty
+    /// lines.
+    pub fn mark_line_dirty(&mut self, idx: usize) {
+        if !self.lines[idx].dirty {
+            self.lines[idx].dirty = true;
+            self.occ_dirty[idx >> self.cpage_shift] += 1;
+        }
+    }
+
     /// Line index range of a cache page: the contiguous sets it covers,
     /// all ways included.
     fn page_range(&self, cp: CachePage) -> std::ops::Range<usize> {
@@ -694,6 +740,53 @@ mod tests {
                     slow.page_holds_scan(CachePage(cp), PFrame(frame), 256),
                 );
             }
+        }
+    }
+
+    #[test]
+    fn touch_line_is_the_shared_prefix_of_read_and_write() {
+        // A cache driven through touch_line + line_data(+mark_line_dirty)
+        // stays bit-identical to one driven through read/write.
+        let (mut a, mut mem_a) = setup();
+        let (mut b, mut mem_b) = setup();
+        let traffic = [
+            (0x000u64, 0x000u64, false),
+            (0x010, 0x110, true),
+            (0x400, 0x200, false), // conflicts with 0x000 (1 KB cache)
+            (0x000, 0x000, true),  // refill after eviction, then dirty
+            (0x010, 0x110, false),
+        ];
+        for &(va, pa, is_write) in &traffic {
+            let (va, pa) = (VAddr(va), PAddr(pa));
+            let off = (pa.0 & 15) as usize;
+            if is_write {
+                let bytes = (pa.0 as u32 ^ 0x5a5a).to_le_bytes();
+                let (ra, idx) = a.touch_line(va, pa, &mut mem_a);
+                a.line_data_mut(idx)[off..off + 4].copy_from_slice(&bytes);
+                a.mark_line_dirty(idx);
+                let rb = b.write(va, pa, &mut mem_b, &bytes);
+                assert_eq!(ra, rb);
+            } else {
+                let mut buf = [0u8; 4];
+                let (ra, idx) = a.touch_line(va, pa, &mut mem_a);
+                buf.copy_from_slice(&a.line_data(idx)[off..off + 4]);
+                let mut buf_b = [0u8; 4];
+                let rb = b.read(va, pa, &mut mem_b, &mut buf_b);
+                assert_eq!((ra, buf), (rb, buf_b));
+            }
+            for cp in 0..4 {
+                assert_eq!(a.occupancy(CachePage(cp)), b.occupancy(CachePage(cp)));
+            }
+        }
+        // Flush everything through both and compare the memories.
+        for cp in 0..4u32 {
+            for frame in 0..8u64 {
+                a.flush_page(CachePage(cp), PFrame(frame), 256, &mut mem_a);
+                b.flush_page(CachePage(cp), PFrame(frame), 256, &mut mem_b);
+            }
+        }
+        for off in (0..2048u64).step_by(4) {
+            assert_eq!(mem_a.read_u32(PAddr(off)), mem_b.read_u32(PAddr(off)));
         }
     }
 

@@ -52,9 +52,10 @@ pub struct MachineConfig {
     /// TLB capacity in entries (the PA-RISC 720 has 96).
     pub tlb_entries: usize,
     /// Use the host-side fast paths (occupancy-index short-circuits in the
-    /// caches, the one-entry translation micro-cache). Simulated behaviour
-    /// — outcomes, statistics, cycle accounting, trace events — is
-    /// identical either way; only host wall-clock differs. A test knob:
+    /// caches, the one-entry translation micro-cache, and the bulk-run
+    /// access engine behind `Machine::{load,store,copy}_run`). Simulated
+    /// behaviour — outcomes, statistics, cycle accounting, trace events —
+    /// is identical either way; only host wall-clock differs. A test knob:
     /// the determinism-lock tests run with it off and assert byte-equal
     /// results.
     pub fast_paths: bool,

@@ -456,6 +456,455 @@ impl Machine {
         Ok(u32::from_le_bytes(buf))
     }
 
+    // ------------------------------------------------------------------
+    // The bulk-run engine: process an aligned run of words in one call.
+    //
+    // Equivalence argument (every branch below is provably identical to
+    // the word loop it replaces):
+    //
+    // * one translation serves the whole run — the word loop's words 1..n
+    //   hit the translation micro-cache (same mapping back to back), and a
+    //   micro-hit is free, so batching translation changes nothing;
+    // * within one page, consecutive lines occupy *distinct* sets (the
+    //   cache constructor asserts `num_sets >= lines_per_page`), so a run
+    //   can never evict its own lines: after a line's first word touches
+    //   it, the remaining k-1 words are guaranteed hits and their
+    //   accounting is a closed form, `(k-1) × cache_hit`;
+    // * fills and victim write-backs happen in the word loop's order (the
+    //   per-line loops below walk ascending addresses and, for copies,
+    //   interleave source and destination lines exactly as the alternating
+    //   load/store loop does), so memory and cache end states are
+    //   bit-identical;
+    // * oracle checks/records run per word in ascending order, preserving
+    //   the violation count and the first-N sample.
+    //
+    // When a condition can't be established (tracer attached, fast paths
+    // off, run crosses a page, copy endpoints share a cache page, ...) the
+    // run degrades to the literal word loop — so callers may use the run
+    // APIs unconditionally.
+    // ------------------------------------------------------------------
+
+    /// True when the bulk-run engine may replace the word loop: fast paths
+    /// on and no tracer attached (per-access events are not synthesized;
+    /// falling back keeps the event stream byte-identical by construction).
+    fn bulk_ok(&self) -> bool {
+        self.cfg.fast_paths && !self.tracer.is_enabled()
+    }
+
+    /// Is a word run of `n` words at `va` with `stride` bytes between
+    /// words aligned and contained in a single page?
+    fn run_in_one_page(&self, va: VAddr, stride: u64, n: usize) -> bool {
+        let span = (n as u64 - 1)
+            .saturating_mul(stride)
+            .saturating_add(self.cfg.offset(va))
+            .saturating_add(4);
+        va.0.is_multiple_of(4)
+            && stride >= 4
+            && stride.is_multiple_of(4)
+            && span <= self.cfg.page_size
+    }
+
+    /// Charge one cached data access exactly as the word loop does — the
+    /// shared accounting of `load`/`store` on the write-back path, reused
+    /// by the bulk engine for each line's first touching word.
+    fn charge_cached_access(
+        &mut self,
+        res: AccessResult,
+        hit_op: &'static str,
+        miss_op: &'static str,
+        wb_op: &'static str,
+        va: VAddr,
+        frame: PFrame,
+    ) {
+        let costs = self.cfg.costs;
+        match res {
+            AccessResult::Hit => {
+                self.cycles += costs.cache_hit;
+                self.profiler.leaf(hit_op, costs.cache_hit);
+                self.stats.d_hits += 1;
+            }
+            AccessResult::Miss { wrote_back } => {
+                self.cycles += costs.cache_hit + costs.miss_fill;
+                self.profiler
+                    .leaf(miss_op, costs.cache_hit + costs.miss_fill);
+                self.stats.d_misses += 1;
+                if wrote_back {
+                    self.cycles += costs.writeback;
+                    self.profiler.leaf(wb_op, costs.writeback);
+                    self.stats.writebacks += 1;
+                    self.emit_writeback(va, frame);
+                }
+            }
+        }
+    }
+
+    /// CPU load of a run of aligned 32-bit words, `stride` bytes apart —
+    /// exactly equivalent to calling [`Machine::load`] per word, but with
+    /// one translation and per-*line* cache transitions when the bulk
+    /// engine is eligible.
+    ///
+    /// # Errors
+    ///
+    /// Returns the fault if the page is unmapped or read access is denied
+    /// (at the same point, with the same charges, as the word loop).
+    pub fn load_run(
+        &mut self,
+        space: SpaceId,
+        va: VAddr,
+        stride: u64,
+        out: &mut [u32],
+    ) -> Result<(), Fault> {
+        if out.is_empty() {
+            return Ok(());
+        }
+        if !self.bulk_ok() || !self.run_in_one_page(va, stride, out.len()) {
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = self.load(space, VAddr(va.0 + i as u64 * stride))?;
+            }
+            return Ok(());
+        }
+        let m = Mapping::new(space, self.cfg.vpage(va));
+        let pte = self.translate(m, Access::Read)?;
+        let costs = self.cfg.costs;
+        let n = out.len() as u64;
+        if pte.uncached {
+            for (i, slot) in out.iter_mut().enumerate() {
+                let w = VAddr(va.0 + i as u64 * stride);
+                let pa = self.cfg.paddr(pte.frame, self.cfg.offset(w));
+                let mut buf = [0u8; 4];
+                self.mem.read(pa, &mut buf);
+                self.oracle.check_read(pa, &buf, "CPU load");
+                *slot = u32::from_le_bytes(buf);
+            }
+            self.cycles += n * costs.uncached_access;
+            self.profiler
+                .leaf_n("load.uncached", n, n * costs.uncached_access);
+            self.stats.uncached += n;
+            self.stats.loads += n;
+            return Ok(());
+        }
+        let line_shift = self.cfg.line_size.trailing_zeros();
+        let line_mask = self.cfg.line_size - 1;
+        let mut i = 0usize;
+        while i < out.len() {
+            let w0 = VAddr(va.0 + i as u64 * stride);
+            let line_no = w0.0 >> line_shift;
+            let mut k = 1usize;
+            while i + k < out.len() && (va.0 + (i + k) as u64 * stride) >> line_shift == line_no {
+                k += 1;
+            }
+            let pa0 = self.cfg.paddr(pte.frame, self.cfg.offset(w0));
+            let (res, idx) = self.dcache.touch_line(w0, pa0, &mut self.mem);
+            self.charge_cached_access(
+                res,
+                "load.hit",
+                "load.miss",
+                "load.writeback",
+                w0,
+                pte.frame,
+            );
+            let rest = (k - 1) as u64;
+            self.cycles += rest * costs.cache_hit;
+            self.profiler
+                .leaf_n("load.hit", rest, rest * costs.cache_hit);
+            self.stats.d_hits += rest;
+            for (j, slot) in out.iter_mut().enumerate().skip(i).take(k) {
+                let wj = VAddr(va.0 + j as u64 * stride);
+                let pj = self.cfg.paddr(pte.frame, self.cfg.offset(wj));
+                let off = (pj.0 & line_mask) as usize;
+                let mut buf = [0u8; 4];
+                buf.copy_from_slice(&self.dcache.line_data(idx)[off..off + 4]);
+                self.oracle.check_read(pj, &buf, "CPU load");
+                *slot = u32::from_le_bytes(buf);
+            }
+            i += k;
+        }
+        self.stats.loads += n;
+        Ok(())
+    }
+
+    /// CPU store of a run of aligned 32-bit words, `stride` bytes apart —
+    /// exactly equivalent to calling [`Machine::store`] per word.
+    ///
+    /// # Errors
+    ///
+    /// Returns the fault if the page is unmapped or write access is denied
+    /// (at the same point, with the same charges, as the word loop).
+    pub fn store_run(
+        &mut self,
+        space: SpaceId,
+        va: VAddr,
+        stride: u64,
+        values: &[u32],
+    ) -> Result<(), Fault> {
+        if values.is_empty() {
+            return Ok(());
+        }
+        if !self.bulk_ok() || !self.run_in_one_page(va, stride, values.len()) {
+            for (i, &v) in values.iter().enumerate() {
+                self.store(space, VAddr(va.0 + i as u64 * stride), v)?;
+            }
+            return Ok(());
+        }
+        let m = Mapping::new(space, self.cfg.vpage(va));
+        let pte = self.translate(m, Access::Write)?;
+        let costs = self.cfg.costs;
+        let n = values.len() as u64;
+        if pte.uncached {
+            for (i, &v) in values.iter().enumerate() {
+                let w = VAddr(va.0 + i as u64 * stride);
+                let pa = self.cfg.paddr(pte.frame, self.cfg.offset(w));
+                let bytes = v.to_le_bytes();
+                self.mem.write(pa, &bytes);
+                self.oracle.record_write(pa, &bytes);
+            }
+            self.cycles += n * costs.uncached_access;
+            self.profiler
+                .leaf_n("store.uncached", n, n * costs.uncached_access);
+            self.stats.uncached += n;
+            self.stats.stores += n;
+            return Ok(());
+        }
+        match self.cfg.write_policy {
+            crate::config::WritePolicy::WriteBack => {
+                let line_shift = self.cfg.line_size.trailing_zeros();
+                let line_mask = self.cfg.line_size - 1;
+                let mut i = 0usize;
+                while i < values.len() {
+                    let w0 = VAddr(va.0 + i as u64 * stride);
+                    let line_no = w0.0 >> line_shift;
+                    let mut k = 1usize;
+                    while i + k < values.len()
+                        && (va.0 + (i + k) as u64 * stride) >> line_shift == line_no
+                    {
+                        k += 1;
+                    }
+                    let pa0 = self.cfg.paddr(pte.frame, self.cfg.offset(w0));
+                    let (res, idx) = self.dcache.touch_line(w0, pa0, &mut self.mem);
+                    self.charge_cached_access(
+                        res,
+                        "store.hit",
+                        "store.miss",
+                        "store.writeback",
+                        w0,
+                        pte.frame,
+                    );
+                    let rest = (k - 1) as u64;
+                    self.cycles += rest * costs.cache_hit;
+                    self.profiler
+                        .leaf_n("store.hit", rest, rest * costs.cache_hit);
+                    self.stats.d_hits += rest;
+                    self.dcache.mark_line_dirty(idx);
+                    for (j, &v) in values.iter().enumerate().skip(i).take(k) {
+                        let wj = VAddr(va.0 + j as u64 * stride);
+                        let pj = self.cfg.paddr(pte.frame, self.cfg.offset(wj));
+                        let off = (pj.0 & line_mask) as usize;
+                        let bytes = v.to_le_bytes();
+                        self.dcache.line_data_mut(idx)[off..off + 4].copy_from_slice(&bytes);
+                        self.oracle.record_write(pj, &bytes);
+                    }
+                    i += k;
+                }
+            }
+            crate::config::WritePolicy::WriteThrough => {
+                // No-write-allocate: line residency is fixed for the whole
+                // run, every word pays the memory write; hits also update
+                // the line — the per-word `write_through` call is kept, only
+                // the dispatch and accounting are batched.
+                let mut hits = 0u64;
+                for (i, &v) in values.iter().enumerate() {
+                    let w = VAddr(va.0 + i as u64 * stride);
+                    let pa = self.cfg.paddr(pte.frame, self.cfg.offset(w));
+                    let bytes = v.to_le_bytes();
+                    match self.dcache.write_through(w, pa, &mut self.mem, &bytes) {
+                        AccessResult::Hit => hits += 1,
+                        AccessResult::Miss { .. } => {}
+                    }
+                    self.oracle.record_write(pa, &bytes);
+                }
+                self.stats.d_hits += hits;
+                self.stats.d_misses += n - hits;
+                self.cycles += n * (costs.cache_hit + costs.writeback);
+                self.profiler.leaf_n(
+                    "store.write_through",
+                    n,
+                    n * (costs.cache_hit + costs.writeback),
+                );
+            }
+        }
+        self.stats.stores += n;
+        Ok(())
+    }
+
+    /// May [`Machine::copy_run`] take the bulk path? Beyond the per-run
+    /// conditions, a copy needs: room for both translations in the TLB
+    /// (a 1-entry TLB thrashes per word in the word loop), congruent line
+    /// offsets (so line groups pair one-to-one), both endpoints mapped,
+    /// cached and accessible (checked side-effect-free — a doomed run must
+    /// fault through the word loop at the exact word the loop would), and
+    /// distinct data-cache pages (disjoint sets, so neither side can evict
+    /// the other's just-touched line).
+    fn copy_run_eligible(
+        &self,
+        src_space: SpaceId,
+        src_va: VAddr,
+        dst_space: SpaceId,
+        dst_va: VAddr,
+        count: usize,
+    ) -> bool {
+        if !self.bulk_ok() || self.cfg.tlb_entries < 2 {
+            return false;
+        }
+        if !self.run_in_one_page(src_va, 4, count) || !self.run_in_one_page(dst_va, 4, count) {
+            return false;
+        }
+        let line_mask = self.cfg.line_size - 1;
+        if src_va.0 & line_mask != dst_va.0 & line_mask {
+            return false;
+        }
+        let src_m = Mapping::new(src_space, self.cfg.vpage(src_va));
+        let dst_m = Mapping::new(dst_space, self.cfg.vpage(dst_va));
+        let (Some(sp), Some(dp)) = (self.lookup(src_m), self.lookup(dst_m)) else {
+            return false;
+        };
+        if sp.uncached || dp.uncached {
+            return false;
+        }
+        if !sp.prot.allows(Access::Read) || !dp.prot.allows(Access::Write) {
+            return false;
+        }
+        self.cfg.cache_page(CacheKind::Data, self.cfg.vpage(src_va))
+            != self.cfg.cache_page(CacheKind::Data, self.cfg.vpage(dst_va))
+    }
+
+    /// Copy a run of `count` aligned words from `(src_space, src_va)` to
+    /// `(dst_space, dst_va)` — exactly equivalent to the alternating
+    /// `load`/`store` word loop. On the bulk path, source and destination
+    /// *lines* are interleaved in the word loop's order (so victim
+    /// write-backs and fills hit memory in the identical sequence), while
+    /// the per-word work shrinks to a line-payload copy plus the oracle's
+    /// check/record pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first fault the word loop would have hit, at the same
+    /// point with the same charges.
+    pub fn copy_run(
+        &mut self,
+        src_space: SpaceId,
+        src_va: VAddr,
+        dst_space: SpaceId,
+        dst_va: VAddr,
+        count: usize,
+    ) -> Result<(), Fault> {
+        if count == 0 {
+            return Ok(());
+        }
+        if !self.copy_run_eligible(src_space, src_va, dst_space, dst_va, count) {
+            for i in 0..count {
+                let off = i as u64 * 4;
+                let v = self.load(src_space, VAddr(src_va.0 + off))?;
+                self.store(dst_space, VAddr(dst_va.0 + off), v)?;
+            }
+            return Ok(());
+        }
+        let src_m = Mapping::new(src_space, self.cfg.vpage(src_va));
+        let dst_m = Mapping::new(dst_space, self.cfg.vpage(dst_va));
+        let src_pte = self.translate(src_m, Access::Read)?;
+        let dst_pte = self.translate(dst_m, Access::Write)?;
+        let costs = self.cfg.costs;
+        let line_shift = self.cfg.line_size.trailing_zeros();
+        let line_mask = self.cfg.line_size - 1;
+        let write_through = matches!(
+            self.cfg.write_policy,
+            crate::config::WritePolicy::WriteThrough
+        );
+        let mut i = 0usize;
+        while i < count {
+            let s0 = VAddr(src_va.0 + i as u64 * 4);
+            let d0 = VAddr(dst_va.0 + i as u64 * 4);
+            let line_no = s0.0 >> line_shift;
+            let mut k = 1usize;
+            while i + k < count && (src_va.0 + (i + k) as u64 * 4) >> line_shift == line_no {
+                k += 1;
+            }
+            let rest = (k - 1) as u64;
+            // Source line: one real access, k-1 guaranteed hits.
+            let s_pa0 = self.cfg.paddr(src_pte.frame, self.cfg.offset(s0));
+            let (s_res, s_idx) = self.dcache.touch_line(s0, s_pa0, &mut self.mem);
+            self.charge_cached_access(
+                s_res,
+                "load.hit",
+                "load.miss",
+                "load.writeback",
+                s0,
+                src_pte.frame,
+            );
+            self.cycles += rest * costs.cache_hit;
+            self.profiler
+                .leaf_n("load.hit", rest, rest * costs.cache_hit);
+            self.stats.d_hits += rest;
+            // Destination line (write-back only; write-through never
+            // allocates, its stores are handled per word below).
+            let d_idx = if write_through {
+                usize::MAX
+            } else {
+                let d_pa0 = self.cfg.paddr(dst_pte.frame, self.cfg.offset(d0));
+                let (d_res, d_idx) = self.dcache.touch_line(d0, d_pa0, &mut self.mem);
+                self.charge_cached_access(
+                    d_res,
+                    "store.hit",
+                    "store.miss",
+                    "store.writeback",
+                    d0,
+                    dst_pte.frame,
+                );
+                self.cycles += rest * costs.cache_hit;
+                self.profiler
+                    .leaf_n("store.hit", rest, rest * costs.cache_hit);
+                self.stats.d_hits += rest;
+                self.dcache.mark_line_dirty(d_idx);
+                d_idx
+            };
+            let mut wt_hits = 0u64;
+            for j in i..i + k {
+                let sj = VAddr(src_va.0 + j as u64 * 4);
+                let dj = VAddr(dst_va.0 + j as u64 * 4);
+                let s_pa = self.cfg.paddr(src_pte.frame, self.cfg.offset(sj));
+                let d_pa = self.cfg.paddr(dst_pte.frame, self.cfg.offset(dj));
+                let s_off = (s_pa.0 & line_mask) as usize;
+                let mut buf = [0u8; 4];
+                buf.copy_from_slice(&self.dcache.line_data(s_idx)[s_off..s_off + 4]);
+                self.oracle.check_read(s_pa, &buf, "CPU load");
+                if write_through {
+                    match self.dcache.write_through(dj, d_pa, &mut self.mem, &buf) {
+                        AccessResult::Hit => wt_hits += 1,
+                        AccessResult::Miss { .. } => {}
+                    }
+                } else {
+                    let d_off = (d_pa.0 & line_mask) as usize;
+                    self.dcache.line_data_mut(d_idx)[d_off..d_off + 4].copy_from_slice(&buf);
+                }
+                self.oracle.record_write(d_pa, &buf);
+            }
+            if write_through {
+                let kw = k as u64;
+                self.stats.d_hits += wt_hits;
+                self.stats.d_misses += kw - wt_hits;
+                self.cycles += kw * (costs.cache_hit + costs.writeback);
+                self.profiler.leaf_n(
+                    "store.write_through",
+                    kw,
+                    kw * (costs.cache_hit + costs.writeback),
+                );
+            }
+            i += k;
+        }
+        self.stats.loads += count as u64;
+        self.stats.stores += count as u64;
+        Ok(())
+    }
+
     /// Flush (write back dirty lines, then invalidate) data cache page
     /// `cp`'s lines holding `frame`.
     pub fn flush_dcache_page(&mut self, cp: CachePage, frame: PFrame) {

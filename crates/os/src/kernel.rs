@@ -50,6 +50,16 @@ pub const BUF_BASE_VP: u64 = 0x1000;
 /// Kernel virtual page of preparation window 0.
 pub const WIN_BASE_VP: u64 = 0x2000;
 
+/// A run access for [`Kernel::access_run`]: read a run of words into a
+/// buffer, or write a run of words from one.
+#[derive(Debug)]
+pub enum RunAccess<'a> {
+    /// Load `out.len()` words into `out`.
+    Read(&'a mut [u32]),
+    /// Store the given words.
+    Write(&'a [u32]),
+}
+
 /// How [`Kernel::vm_share_with`] chooses the destination address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ShareAlignment {
@@ -185,6 +195,9 @@ pub struct Kernel {
     kwin: KernelWindows,
     align_mod: u64,
     seq: u32,
+    /// Reusable scratch for constant-fill runs (zero-fill): sized once,
+    /// never reallocated in the steady state.
+    run_buf: Vec<u32>,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -232,6 +245,7 @@ impl Kernel {
             kwin: KernelWindows::new(align_mod),
             align_mod,
             seq: 1,
+            run_buf: Vec::new(),
             machine,
         }
     }
@@ -756,6 +770,164 @@ impl Kernel {
     }
 
     // ---------------------------------------------------------------
+    // Run accesses (the bulk engine's kernel entry points)
+
+    /// How many words of an `n`-word run starting at index `i` share word
+    /// `i`'s virtual page.
+    fn run_page_span(&self, va: VAddr, stride: u64, i: usize, n: usize) -> usize {
+        let page = self.page_size();
+        let vp = (va.0 + i as u64 * stride) / page;
+        let mut k = 1usize;
+        while i + k < n && (va.0 + (i + k) as u64 * stride) / page == vp {
+            k += 1;
+        }
+        k
+    }
+
+    /// Access a run of words with fault resolution — equivalent to calling
+    /// [`Kernel::access_word`] per word, but only each page's *first* word
+    /// goes through the faulting path: once it succeeds, the page's
+    /// mapping exists and its effective protection admits the access, and
+    /// nothing below touches the pmap, so the rest of the page cannot
+    /// fault and is handed to the machine's bulk-run engine.
+    pub fn access_run(
+        &mut self,
+        space: SpaceId,
+        va: VAddr,
+        stride: u64,
+        run: RunAccess<'_>,
+        hints: AccessHints,
+    ) -> Result<(), OsError> {
+        match run {
+            RunAccess::Read(out) => {
+                let n = out.len();
+                let mut i = 0usize;
+                while i < n {
+                    let seg = self.run_page_span(va, stride, i, n);
+                    let w0 = VAddr(va.0 + i as u64 * stride);
+                    out[i] = self.access_word(space, w0, Access::Read, 0, hints)?;
+                    if seg > 1 {
+                        let rest = VAddr(w0.0 + stride);
+                        if let Err(fault) =
+                            self.machine
+                                .load_run(space, rest, stride, &mut out[i + 1..i + seg])
+                        {
+                            panic!("run access faulted past its page's first word: {fault}");
+                        }
+                    }
+                    i += seg;
+                }
+            }
+            RunAccess::Write(values) => {
+                let n = values.len();
+                let mut i = 0usize;
+                while i < n {
+                    let seg = self.run_page_span(va, stride, i, n);
+                    let w0 = VAddr(va.0 + i as u64 * stride);
+                    self.access_word(space, w0, Access::Write, values[i], hints)?;
+                    if seg > 1 {
+                        let rest = VAddr(w0.0 + stride);
+                        if let Err(fault) =
+                            self.machine
+                                .store_run(space, rest, stride, &values[i + 1..i + seg])
+                        {
+                            panic!("run access faulted past its page's first word: {fault}");
+                        }
+                    }
+                    i += seg;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Copy a run of words with fault resolution on both endpoints —
+    /// equivalent to the alternating [`Kernel::access_word`] read/write
+    /// loop. Each page-pair segment's first word resolves faults through
+    /// `access_word` (reads with default hints, writes with `dst_hints`,
+    /// exactly as the word loops did); the rest goes through
+    /// [`Machine::copy_run`].
+    fn copy_run(
+        &mut self,
+        src_space: SpaceId,
+        src_va: VAddr,
+        dst_space: SpaceId,
+        dst_va: VAddr,
+        nwords: usize,
+        dst_hints: AccessHints,
+    ) -> Result<(), OsError> {
+        let mut i = 0usize;
+        while i < nwords {
+            let seg = self
+                .run_page_span(src_va, 4, i, nwords)
+                .min(self.run_page_span(dst_va, 4, i, nwords));
+            let s0 = VAddr(src_va.0 + i as u64 * 4);
+            let d0 = VAddr(dst_va.0 + i as u64 * 4);
+            let v = self.access_word(src_space, s0, Access::Read, 0, AccessHints::default())?;
+            self.access_word(dst_space, d0, Access::Write, v, dst_hints)?;
+            if seg > 1 {
+                if let Err(fault) = self.machine.copy_run(
+                    src_space,
+                    VAddr(s0.0 + 4),
+                    dst_space,
+                    VAddr(d0.0 + 4),
+                    seg - 1,
+                ) {
+                    panic!("run copy faulted past its pages' first words: {fault}");
+                }
+            }
+            i += seg;
+        }
+        Ok(())
+    }
+
+    /// Read a run of words from a task's address space, `stride` bytes
+    /// apart, into `out` — equivalent to [`Kernel::read`] per word.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Kernel::read`].
+    pub fn read_run(
+        &mut self,
+        t: TaskId,
+        va: VAddr,
+        stride: u64,
+        out: &mut [u32],
+    ) -> Result<(), OsError> {
+        let space = self.task_space(t)?;
+        self.access_run(
+            space,
+            va,
+            stride,
+            RunAccess::Read(out),
+            AccessHints::default(),
+        )
+    }
+
+    /// Write a run of words into a task's address space, `stride` bytes
+    /// apart — equivalent to [`Kernel::write`] per word.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Kernel::read`].
+    pub fn write_run(
+        &mut self,
+        t: TaskId,
+        va: VAddr,
+        stride: u64,
+        values: &[u32],
+    ) -> Result<(), OsError> {
+        let space = self.task_space(t)?;
+        self.access_run(
+            space,
+            va,
+            stride,
+            RunAccess::Write(values),
+            AccessHints::default(),
+        )
+    }
+
+    // ---------------------------------------------------------------
     // VM operations
 
     /// Allocate `npages` of zero-filled anonymous memory.
@@ -1050,11 +1222,23 @@ impl Kernel {
             will_overwrite: true,
             need_data: false,
         };
-        for off in (0..self.page_size()).step_by(4) {
-            self.access_word(KERNEL_SPACE, VAddr(base + off), Access::Write, 0, hints)?;
-        }
+        let n = (self.page_size() / 4) as usize;
+        let mut zeros = std::mem::take(&mut self.run_buf);
+        zeros.clear();
+        zeros.resize(n, 0);
+        // Save the result and tear the window down either way: an `Err`
+        // must not leak the window mapping or its busy bit.
+        let r = self.access_run(
+            KERNEL_SPACE,
+            VAddr(base),
+            4,
+            RunAccess::Write(&zeros),
+            hints,
+        );
+        self.run_buf = zeros;
         self.pmap.remove(&mut self.machine, m);
         self.kwin.free(wvp);
+        r?;
         self.stats.zero_fills += 1;
         self.trace(TraceEvent::ZeroFill { frame });
         Ok(())
@@ -1105,18 +1289,14 @@ impl Kernel {
             will_overwrite: true,
             need_data: false,
         };
-        for off in (0..self.page_size()).step_by(4) {
-            let v = self.access_word(
-                src_space,
-                VAddr(src_va.0 + off),
-                Access::Read,
-                0,
-                AccessHints::default(),
-            )?;
-            self.access_word(KERNEL_SPACE, VAddr(dst_base + off), Access::Write, v, hints)?;
-        }
+        let n = (self.page_size() / 4) as usize;
+        // Save the result and tear the window down either way: an `Err`
+        // (e.g. an unmapped source) must not leak the window mapping or
+        // its busy bit.
+        let r = self.copy_run(src_space, src_va, KERNEL_SPACE, VAddr(dst_base), n, hints);
         self.pmap.remove(&mut self.machine, m);
         self.kwin.free(wvp);
+        r?;
         self.stats.page_copies += 1;
         if self.machine.tracer().is_enabled() {
             let src_vp = VPage(src_va.0 / self.page_size());
@@ -1255,16 +1435,8 @@ impl Kernel {
             will_overwrite: true,
             need_data: true,
         };
-        for off in (0..self.page_size()).step_by(4) {
-            let v = self.access_word(
-                KERNEL_SPACE,
-                VAddr(src.0 + off),
-                Access::Read,
-                0,
-                AccessHints::default(),
-            )?;
-            self.access_word(space, VAddr(dst_va.0 + off), Access::Write, v, hints)?;
-        }
+        let n = (self.page_size() / 4) as usize;
+        self.copy_run(KERNEL_SPACE, src, space, dst_va, n, hints)?;
         self.stats.fs_reads += 1;
         Ok(())
     }
@@ -1308,16 +1480,8 @@ impl Kernel {
             will_overwrite: true,
             need_data: true,
         };
-        for off in (0..self.page_size()).step_by(4) {
-            let v = self.access_word(
-                space,
-                VAddr(src_va.0 + off),
-                Access::Read,
-                0,
-                AccessHints::default(),
-            )?;
-            self.access_word(KERNEL_SPACE, VAddr(dst.0 + off), Access::Write, v, hints)?;
-        }
+        let n = (self.page_size() / 4) as usize;
+        self.copy_run(space, src_va, KERNEL_SPACE, dst, n, hints)?;
         self.bufcache.mark_dirty(slot);
         self.stats.fs_writes += 1;
         Ok(())
@@ -1707,6 +1871,33 @@ mod tests {
         for _ in 0..5 {
             let _ = w.alloc(Some(1));
         }
+    }
+
+    #[test]
+    fn failed_prepare_frees_the_kernel_window() {
+        // Regression: an `Err` out of the access loop used to early-return
+        // past `pmap.remove` + `kwin.free`, permanently leaking the window
+        // mapping and its busy bit. Inject a failing access by copying from
+        // an address space with no VM entry behind it.
+        let mut k = Kernel::new(KernelConfig::small(SystemKind::Cmu(
+            vic_core::policy::Configuration::F,
+        )));
+        let frame = k.alloc_frame(None).unwrap();
+        let bogus = SpaceId(99);
+        let r = k.copy_into_frame(bogus, VAddr(0), frame, None, false);
+        assert!(
+            matches!(r, Err(OsError::BadAddress { .. })),
+            "unmapped source must surface as BadAddress, got {r:?}"
+        );
+        assert!(
+            k.kwin.busy.is_empty(),
+            "failed page preparation leaked kernel windows: {:?}",
+            k.kwin.busy
+        );
+        // The window (and the pmap slot under it) must be reusable: a
+        // follow-up preparation on the same frame succeeds cleanly.
+        k.zero_fill(frame, None, false).unwrap();
+        assert!(k.kwin.busy.is_empty());
     }
 
     #[test]

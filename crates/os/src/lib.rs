@@ -59,6 +59,6 @@ pub mod system;
 pub mod vm;
 
 pub use error::OsError;
-pub use kernel::{Kernel, KernelConfig, ShareAlignment, TaskId};
+pub use kernel::{Kernel, KernelConfig, RunAccess, ShareAlignment, TaskId};
 pub use stats::OsStats;
 pub use system::SystemKind;

@@ -81,6 +81,25 @@ impl Profiler {
         }
     }
 
+    /// Charge a batch of `count` identical operations in one call, exactly
+    /// as if [`Profiler::leaf`] had been called `count` times for
+    /// `cycles / count` each. The bulk-run engine uses this to keep the
+    /// tree identical to the word loop's while charging per *run* instead
+    /// of per word. A zero batch records nothing — in particular it must
+    /// not materialize an empty tree node, which the word loop would never
+    /// have created.
+    #[inline]
+    pub fn leaf_n(&mut self, op: &'static str, count: u64, cycles: u64) {
+        if count == 0 {
+            return;
+        }
+        if let Some(st) = &mut self.state {
+            let cur = *st.stack.last().expect("stack holds at least the root");
+            let child = st.tree.child(cur, Seg::Machine(op));
+            st.tree.add(child, count, cycles);
+        }
+    }
+
     /// Record a zero-cost machine event (e.g. a DMA page transfer, which
     /// the cycle model charges nothing for) so its count still appears.
     #[inline]
@@ -168,6 +187,35 @@ mod tests {
         let t = p.take_tree().unwrap();
         assert_eq!(t.total_cycles(), 1);
         assert_eq!(t.flatten().len(), 1);
+    }
+
+    #[test]
+    fn leaf_n_is_n_leaves() {
+        let mut a = Profiler::enabled();
+        let mut b = Profiler::enabled();
+        a.push(Seg::Os("fs.read"));
+        b.push(Seg::Os("fs.read"));
+        a.leaf_n("load.hit", 63, 63);
+        for _ in 0..63 {
+            b.leaf("load.hit", 1);
+        }
+        a.pop();
+        b.pop();
+        assert_eq!(
+            a.take_tree().unwrap().flatten(),
+            b.take_tree().unwrap().flatten()
+        );
+    }
+
+    #[test]
+    fn leaf_n_of_zero_creates_no_node() {
+        let mut p = Profiler::enabled();
+        p.leaf_n("load.hit", 0, 0);
+        let t = p.take_tree().unwrap();
+        assert!(
+            t.flatten().is_empty(),
+            "an empty batch must not materialize a tree node"
+        );
     }
 
     #[test]

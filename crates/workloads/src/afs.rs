@@ -71,13 +71,8 @@ impl Workload for AfsBench {
             let pages = rng.gen_u64(1, self.max_pages);
             for p in 0..pages {
                 // The script produces the file contents...
-                for w in 0..16u64 {
-                    k.write(
-                        t,
-                        VAddr(buf.0 + p * page + w * 4),
-                        fi.wrapping_mul(31) + w as u32,
-                    )?;
-                }
+                let vals: [u32; 16] = std::array::from_fn(|w| fi.wrapping_mul(31) + w as u32);
+                k.write_run(t, VAddr(buf.0 + p * page), 4, &vals)?;
                 k.fs_write_page(t, f, p, VAddr(buf.0 + p * page))?;
             }
             k.machine_mut().charge(self.compute_per_op);
@@ -115,9 +110,8 @@ impl Workload for AfsBench {
                 for p in 0..pages {
                     k.fs_read_page(t, f, p, buf)?;
                     // ... and "grep" through it.
-                    for w in 0..32u64 {
-                        let _ = k.read(t, VAddr(buf.0 + w * 8))?;
-                    }
+                    let mut scan = [0u32; 32];
+                    k.read_run(t, buf, 8, &mut scan)?;
                 }
                 k.machine_mut().charge(self.compute_per_op / 4);
             }
@@ -126,9 +120,8 @@ impl Workload for AfsBench {
         // Phase 5 — Make: exec a tool over the sources.
         let tool = k.fs_create();
         for p in 0..2u64 {
-            for w in 0..16u64 {
-                k.write(t, VAddr(buf.0 + w * 4), 0x9000_0000 + w as u32)?;
-            }
+            let vals: [u32; 16] = std::array::from_fn(|w| 0x9000_0000 + w as u32);
+            k.write_run(t, buf, 4, &vals)?;
             k.fs_write_page(t, tool, p, buf)?;
         }
         k.sync();

@@ -76,13 +76,8 @@ impl Workload for KernelBuild {
         let buf = k.vm_allocate(shell, 1)?;
         let cc = k.fs_create();
         for p in 0..self.compiler_pages {
-            for w in 0..16u64 {
-                k.write(
-                    shell,
-                    VAddr(buf.0 + w * 4),
-                    0xcc00_0000 + (p * 64 + w) as u32,
-                )?;
-            }
+            let vals: [u32; 16] = std::array::from_fn(|w| 0xcc00_0000 + (p * 64 + w as u64) as u32);
+            k.write_run(shell, buf, 4, &vals)?;
             k.fs_write_page(shell, cc, p, buf)?;
         }
         let mut sources = Vec::new();
@@ -90,13 +85,9 @@ impl Workload for KernelBuild {
             let f = k.fs_create();
             let pages = rng.gen_u64(self.src_pages.0, self.src_pages.1);
             for p in 0..pages {
-                for w in 0..16u64 {
-                    k.write(
-                        shell,
-                        VAddr(buf.0 + w * 4),
-                        s.wrapping_mul(97) + (p * 8 + w) as u32,
-                    )?;
-                }
+                let vals: [u32; 16] =
+                    std::array::from_fn(|w| s.wrapping_mul(97) + (p * 8 + w as u64) as u32);
+                k.write_run(shell, buf, 4, &vals)?;
                 k.fs_write_page(shell, f, p, buf)?;
             }
             sources.push((f, pages));
@@ -142,13 +133,8 @@ impl Workload for KernelBuild {
             // Compile: dirty the scratch arena, burn CPU.
             let work = k.vm_allocate(cc_task, self.work_pages)?;
             for wp in 0..self.work_pages {
-                for w in 0..32u64 {
-                    k.write(
-                        cc_task,
-                        VAddr(work.0 + wp * page + w * 8),
-                        (wp * 40 + w) as u32,
-                    )?;
-                }
+                let vals: [u32; 32] = std::array::from_fn(|w| (wp * 40 + w as u64) as u32);
+                k.write_run(cc_task, VAddr(work.0 + wp * page), 8, &vals)?;
             }
             k.machine_mut().charge(self.compute_per_unit);
             for wp in 0..self.work_pages {

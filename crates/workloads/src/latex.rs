@@ -59,9 +59,8 @@ impl Workload for LatexBench {
         // The .tex input (written by an "editor" beforehand).
         let input = k.fs_create();
         for p in 0..self.input_pages {
-            for w in 0..16u64 {
-                k.write(t, VAddr(buf.0 + w * 4), (p * 100 + w) as u32)?;
-            }
+            let vals: [u32; 16] = std::array::from_fn(|w| (p * 100 + w as u64) as u32);
+            k.write_run(t, buf, 4, &vals)?;
             k.fs_write_page(t, input, p, buf)?;
         }
         k.sync();
@@ -70,9 +69,8 @@ impl Workload for LatexBench {
         let mut styles = Vec::new();
         for s in 0..8u32 {
             let f = k.fs_create();
-            for w in 0..16u64 {
-                k.write(t, VAddr(buf.0 + w * 4), 0xf0_0000 + s * 64 + w as u32)?;
-            }
+            let vals: [u32; 16] = std::array::from_fn(|w| 0xf0_0000 + s * 64 + w as u32);
+            k.write_run(t, buf, 4, &vals)?;
             k.fs_write_page(t, f, 0, buf)?;
             styles.push(f);
         }
@@ -104,17 +102,15 @@ impl Workload for LatexBench {
                 k.machine_mut().charge(self.compute_per_sweep);
             }
             // Auxiliary outputs (.aux/.log): small writes each pass.
-            for w in 0..8u64 {
-                k.write(t, VAddr(buf.0 + w * 4), pass * 1000 + w as u32)?;
-            }
+            let vals: [u32; 8] = std::array::from_fn(|w| pass * 1000 + w as u32);
+            k.write_run(t, buf, 4, &vals)?;
             k.fs_write_page(t, aux, u64::from(pass), buf)?;
         }
 
         // The .dvi output.
         for p in 0..2u64 {
-            for w in 0..16u64 {
-                k.write(t, VAddr(buf.0 + w * 4), 0xd41 + (p * 50 + w) as u32)?;
-            }
+            let vals: [u32; 16] = std::array::from_fn(|w| 0xd41 + (p * 50 + w as u64) as u32);
+            k.write_run(t, buf, 4, &vals)?;
             k.fs_write_page(t, out, p, buf)?;
         }
         k.sync();

@@ -127,6 +127,38 @@ fn fast_paths_change_nothing_observable() {
     }
 }
 
+/// The determinism lock for the bulk-run engine. The traced lock above
+/// exercises the word-loop fallback (a live tracer disables bulk runs);
+/// this untraced one exercises the live bulk engine: over the same quick
+/// grids, the default run — bulk runs eligible everywhere — produces the
+/// same `RunStats` and byte-identical result JSON as a run with
+/// `fast_paths` off, where every run API degrades to the literal word
+/// loop.
+#[test]
+fn bulk_runs_change_nothing_observable() {
+    let mut specs = SystemSpec::table4_grid(true);
+    specs.extend(SystemSpec::table5_grid(true));
+    for spec in specs {
+        let bulk = spec.run();
+        let mut cfg = spec.kernel_config();
+        assert!(cfg.machine.fast_paths, "fast paths are the default");
+        cfg.machine.fast_paths = false;
+        let word = run_traced(cfg, spec.build_workload().as_ref(), Tracer::off());
+        assert_eq!(
+            bulk,
+            word,
+            "{}: stats differ between bulk runs and the word loop",
+            spec.label()
+        );
+        assert_eq!(
+            run_json(&spec, &bulk, None),
+            run_json(&spec, &word, None),
+            "{}: result JSON differs between bulk runs and the word loop",
+            spec.label()
+        );
+    }
+}
+
 #[test]
 fn parallel_sweep_equals_serial() {
     let specs = small_grid();
