@@ -40,6 +40,41 @@ rm -f "$host_json"
 cargo run --release -p vic-bench --bin hostbench --offline -q -- \
     --check BENCH_host.json >/dev/null
 
+echo "=== metrics smoke (sweep --metrics / --check-metrics) ==="
+# Fleet telemetry: a tiny sweep must export a metrics document whose
+# fleet roll-ups cross-validate against its per-run list, and the
+# standalone validator must accept it. The hostbench export shares the
+# schema, so the same validator reads it.
+metrics_json="$(mktemp)"; scratch_json="$(mktemp)"
+cargo run --release -p vic-bench --bin sweep --offline -q -- \
+    --quick --threads 2 --json "$scratch_json" --metrics "$metrics_json" >/dev/null
+grep -q '"metrics_version":1' "$metrics_json" || { echo "metrics doc missing version"; exit 1; }
+grep -q '"runs_completed":23' "$metrics_json" || { echo "metrics doc missing fleet totals"; exit 1; }
+cargo run --release -p vic-bench --bin sweep --offline -q -- \
+    --check-metrics "$metrics_json" >/dev/null
+# (truncate the scratch file first: it holds sweep JSON, not a host doc)
+: > "$scratch_json"
+cargo run --release -p vic-bench --bin hostbench --offline -q -- \
+    --tiny --reps 1 --label ci-metrics --json "$scratch_json" --metrics "$metrics_json" >/dev/null
+cargo run --release -p vic-bench --bin sweep --offline -q -- \
+    --check-metrics "$metrics_json" >/dev/null
+rm -f "$metrics_json" "$scratch_json"
+
+echo "=== flight-recorder smoke (chaos divergence dump) ==="
+# A sabotaged manager must trip the auditor and leave a post-mortem:
+# reason, divergences, the last trace events, and a machine snapshot.
+# The run exits 1 (oracle/audit failure) — that's the point.
+flight_json="$(mktemp -u)"
+if cargo run --release -p vic-bench --bin run --offline -q -- \
+    fork-bench chaos-flushes --quick --flight "$flight_json" >/dev/null; then
+    echo "chaos run unexpectedly clean"; exit 1
+fi
+test -s "$flight_json" || { echo "flight recorder wrote no dump"; exit 1; }
+grep -q '"flight_version":1' "$flight_json" || { echo "flight dump missing version"; exit 1; }
+grep -q '"divergence_count":' "$flight_json" || { echo "flight dump missing divergences"; exit 1; }
+grep -q '"snapshot":{"snapshot_version":1' "$flight_json" || { echo "flight dump missing snapshot"; exit 1; }
+rm -f "$flight_json"
+
 echo "=== bulk-vs-word smoke (--no-fast-paths) ==="
 # The bulk-run engine must be observably invisible: the run binary's full
 # report (simulated values only — no host wall time on stdout) must be

@@ -4,18 +4,24 @@
 //! ```sh
 //! cargo run --release -p vic-bench --bin hostbench -- --label post-rework
 //! cargo run --release -p vic-bench --bin hostbench -- --tiny --reps 1 --json smoke.json
+//! cargo run --release -p vic-bench --bin hostbench -- --tiny --progress --metrics fleet.json
 //! cargo run --release -p vic-bench --bin hostbench -- --check BENCH_host.json
 //! ```
 //!
 //! Each invocation times the grid (best of `--reps` repetitions per run,
 //! serial, one thread), prints a comparison against the previous entry of
-//! the same grid, and appends the new entry. `--check` parses and
-//! schema-validates an existing file without measuring anything.
+//! the same grid, and appends the new entry. `--progress` forces a live
+//! progress/ETA line on stderr; `--metrics <file>` exports the entry as a
+//! fleet-telemetry metrics document (same schema as the sweep's).
+//! `--check` parses and schema-validates an existing file without
+//! measuring anything.
 
 use vic_bench::cli::{self, HostbenchCli};
 use vic_bench::hostbench::{
     check_entry_coverage, host_doc_json, parse_host_doc, render_comparison, HostEntry, HostGrid,
 };
+use vic_bench::output::metrics_json;
+use vic_metrics::ProgressReporter;
 
 fn fail(msg: String) -> ! {
     eprintln!("hostbench: {msg}");
@@ -26,15 +32,14 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = cli::parse_hostbench(&args).unwrap_or_else(|e| {
         eprintln!(
-            "hostbench: {e}\nusage: hostbench [--label <s>] [--json <file>] [--reps <n>] [--tiny]\n       hostbench --check <file>"
+            "hostbench: {e}\nusage: hostbench [--label <s>] [--json <file>] [--reps <n>] [--tiny] [--progress] [--metrics <file>]\n       hostbench --check <file>"
         );
         std::process::exit(2);
     });
 
     match cli {
         HostbenchCli::Check { json } => {
-            let text = std::fs::read_to_string(&json)
-                .unwrap_or_else(|e| fail(format!("cannot read {json}: {e}")));
+            let text = cli::read_file(&json).unwrap_or_else(|e| fail(e.to_string()));
             match parse_host_doc(&text) {
                 Ok(entries) => {
                     if let Err(e) = check_entry_coverage(&entries) {
@@ -56,6 +61,8 @@ fn main() {
             json,
             reps,
             tiny,
+            progress,
+            metrics,
         } => {
             let grid = if tiny { HostGrid::Tiny } else { HostGrid::Full };
             println!(
@@ -63,7 +70,12 @@ fn main() {
                 grid.name(),
                 grid.specs().len()
             );
-            let entry = HostEntry::measure(&label, grid, reps);
+            let reporter = if progress {
+                ProgressReporter::forced("hostbench", grid.specs().len() as u64)
+            } else {
+                ProgressReporter::stderr("hostbench", grid.specs().len() as u64)
+            };
+            let entry = HostEntry::measure_with_progress(&label, grid, reps, &reporter);
             println!("{}\n", entry.summary());
 
             // Load what's already there (a missing or empty file starts a
@@ -79,9 +91,17 @@ fn main() {
             if let Some(prev) = entries.iter().rev().find(|e| e.grid == entry.grid) {
                 println!("{}", render_comparison(prev, &entry));
             }
+            if let Some(path) = &metrics {
+                let (shard, runs) = entry.metrics();
+                let doc = metrics_json(1, entry.wall_seconds(), &shard, &runs);
+                if let Err(e) = cli::write_file(path, &(doc + "\n")) {
+                    fail(e.to_string());
+                }
+                println!("metrics: fleet telemetry written to {path}");
+            }
             entries.push(entry);
-            if let Err(e) = std::fs::write(&json, host_doc_json(&entries) + "\n") {
-                fail(format!("cannot write {json}: {e}"));
+            if let Err(e) = cli::write_file(&json, &(host_doc_json(&entries) + "\n")) {
+                fail(e.to_string());
             }
             println!(
                 "appended entry '{label}' to {json} ({} total)",

@@ -42,8 +42,8 @@ fn usage() -> String {
 }
 
 fn read_doc(path: &str) -> ProfileDoc {
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("profile: cannot read {path}: {e}");
+    let text = cli::read_file(path).unwrap_or_else(|e| {
+        eprintln!("profile: {e}");
         std::process::exit(2);
     });
     ProfileDoc::parse(&text).unwrap_or_else(|e| {
@@ -80,8 +80,8 @@ fn main() {
             println!("{}", render(&profile::breakdown_table(&tree)));
             if let Some(path) = &json {
                 let doc = output::profile_json([(&spec, &tree)]);
-                if let Err(e) = std::fs::write(path, doc + "\n") {
-                    eprintln!("profile: cannot write {path}: {e}");
+                if let Err(e) = cli::write_file(path, &(doc + "\n")) {
+                    eprintln!("profile: {e}");
                     std::process::exit(2);
                 }
                 println!("json: written to {path}");
@@ -102,8 +102,8 @@ fn main() {
             let threads = threads.unwrap_or_else(default_threads);
             let sweep = profile::run_baseline(threads);
             let doc = profile::sweep_profile_json(&sweep);
-            if let Err(e) = std::fs::write(&json, doc + "\n") {
-                eprintln!("profile: cannot write {json}: {e}");
+            if let Err(e) = cli::write_file(&json, &(doc + "\n")) {
+                eprintln!("profile: {e}");
                 std::process::exit(2);
             }
             println!(
@@ -118,10 +118,8 @@ fn main() {
             tolerance_pct,
             threads,
         } => {
-            let text = std::fs::read_to_string(&json).unwrap_or_else(|e| {
-                eprintln!(
-                    "profile: cannot read {json}: {e}\n(run `profile baseline` to create it)"
-                );
+            let text = cli::read_file(&json).unwrap_or_else(|e| {
+                eprintln!("profile: {e}\n(run `profile baseline` to create it)");
                 std::process::exit(2);
             });
             let threads = threads.unwrap_or_else(default_threads);

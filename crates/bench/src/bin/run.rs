@@ -8,19 +8,28 @@
 //! cargo run --release -p vic-bench --bin run -- alias-unaligned F --quick --trace trace.jsonl
 //! cargo run --release -p vic-bench --bin run -- fork-bench chaos-flushes --quick --trace-summary
 //! cargo run --release -p vic-bench --bin run -- afs-bench F --json afs_F.json
+//! cargo run --release -p vic-bench --bin run -- afs-bench F --quick --inspect occupancy.csv
+//! cargo run --release -p vic-bench --bin run -- fork-bench chaos-flushes --quick --flight dump.json
 //! ```
 
 use std::sync::{Arc, Mutex};
 
 use vic_bench::cli::{self, RunCli, SYSTEM_NAMES, WORKLOAD_NAMES};
 use vic_bench::output;
-use vic_trace::{ConsistencyAuditor, FanoutSink, HistogramSink, JsonLinesSink, Tracer};
+use vic_metrics::{PostMortem, SeriesFormat};
+use vic_trace::{
+    ConsistencyAuditor, FanoutSink, HistogramSink, JsonLinesSink, RingBufferSink, Tracer,
+};
+
+/// How many trailing events the flight recorder retains.
+const FLIGHT_RING_CAPACITY: usize = 256;
 
 fn usage() -> String {
     format!(
         "usage: run <workload> <system> [--quick] [--colored] [--write-through] [--fast-purge]\n\
          \x20                               [--no-fast-paths] [--trace <file>] [--trace-summary]\n\
-         \x20                               [--json <file>]\n\
+         \x20                               [--json <file>] [--inspect <file>] [--sample-every <n>]\n\
+         \x20                               [--flight <file>]\n\
          \n\
          workloads: {WORKLOAD_NAMES}\n\
          systems:   {SYSTEM_NAMES}\n\
@@ -29,8 +38,22 @@ fn usage() -> String {
          \x20                translation micro-cache); simulated results must not change\n\
          --trace <file>   write every machine/OS/algorithm event as JSON lines\n\
          --trace-summary  print per-event-class cost histograms and the consistency audit\n\
-         --json <file>    write the run's spec + full statistics as one JSON object"
+         --json <file>    write the run's spec + full statistics as one JSON object\n\
+         --inspect <file> sample cache/TLB occupancy during the run and write the time\n\
+         \x20                series (renderer by extension: .csv, .md, .json, else plain)\n\
+         --sample-every <n>  sampling interval in simulated cycles (default {default_every})\n\
+         --flight <file>  arm the flight recorder: on an audit divergence or a workload\n\
+         \x20                error, dump the last {ring} events + a machine snapshot as JSON",
+        default_every = cli::DEFAULT_SAMPLE_EVERY,
+        ring = FLIGHT_RING_CAPACITY,
     )
+}
+
+fn write_or_die(binary: &str, path: &str, contents: &str) {
+    if let Err(e) = cli::write_file(path, contents) {
+        eprintln!("{binary}: {e}");
+        std::process::exit(2);
+    }
 }
 
 fn main() {
@@ -41,6 +64,9 @@ fn main() {
         trace_summary,
         json,
         no_fast_paths,
+        inspect,
+        sample_every,
+        flight,
     } = match cli::parse_run(&args) {
         Ok(cli) => cli,
         Err(e) => {
@@ -51,16 +77,22 @@ fn main() {
 
     // Assemble the trace pipeline: a JSON-lines file and/or an in-process
     // histogram aggregator, always joined by the consistency auditor when
-    // any tracing is requested. The inspectable sinks live behind
-    // Arc<Mutex<_>>: one handle goes to the tracer, ours reads after the
-    // run.
-    let tracing = trace.is_some() || trace_summary;
+    // any tracing is requested. Arming the flight recorder adds a bounded
+    // ring of the most recent events (and forces tracing on, since the
+    // black box is pointless without the auditor). The inspectable sinks
+    // live behind Arc<Mutex<_>>: one handle goes to the tracer, ours
+    // reads after the run.
+    let tracing = trace.is_some() || trace_summary || flight.is_some();
     let hist = Arc::new(Mutex::new(HistogramSink::new()));
     let auditor = Arc::new(Mutex::new(ConsistencyAuditor::new()));
+    let ring = Arc::new(Mutex::new(RingBufferSink::new(FLIGHT_RING_CAPACITY)));
     let tracer = if tracing {
         let mut fan = FanoutSink::new().with(auditor.clone());
         if trace_summary {
             fan = fan.with(hist.clone());
+        }
+        if flight.is_some() {
+            fan = fan.with(ring.clone());
         }
         if let Some(path) = &trace {
             let json_sink = JsonLinesSink::create(path).unwrap_or_else(|e| {
@@ -74,15 +106,53 @@ fn main() {
         Tracer::off()
     };
 
-    let t0 = std::time::Instant::now();
-    let s = if no_fast_paths {
-        let mut cfg = spec.kernel_config();
+    // Observe the run: run_observed catches a workload failure (so the
+    // flight recorder can still dump) and snapshots the machine at the
+    // end; with no sampler and no failure its results are byte-identical
+    // to the plain traced path.
+    let sample = inspect
+        .as_ref()
+        .map(|_| sample_every.unwrap_or(cli::DEFAULT_SAMPLE_EVERY));
+    let mut cfg = spec.kernel_config();
+    if no_fast_paths {
         cfg.machine.fast_paths = false;
-        vic_workloads::run_traced(cfg, spec.build_workload().as_ref(), tracer)
-    } else {
-        spec.run_traced(tracer)
-    };
+    }
+    let workload = spec.build_workload();
+    let t0 = std::time::Instant::now();
+    let obs = vic_workloads::run_observed(cfg, workload.as_ref(), tracer, sample);
     let wall = t0.elapsed();
+
+    // The flight recorder fires on a workload error or any audit
+    // divergence — before the report, so a dump exists even if later
+    // output stages fail.
+    if let Some(path) = &flight {
+        let a = auditor.lock().expect("auditor sink poisoned");
+        let reason = match &obs.result {
+            Err(e) => Some(e.clone()),
+            Ok(_) if !a.is_clean() => Some(format!("{} audit divergences", a.divergence_count())),
+            Ok(_) => None,
+        };
+        if let Some(reason) = reason {
+            let r = ring.lock().expect("ring sink poisoned");
+            let pm = PostMortem::new(
+                &reason,
+                &r,
+                a.divergences(),
+                a.divergence_count(),
+                obs.snapshot.clone(),
+            );
+            write_or_die("run", path, &(pm.to_json() + "\n"));
+            println!("flight:    post-mortem written to {path} ({reason})");
+        }
+    }
+
+    let s = match obs.result {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("run: {e}");
+            std::process::exit(1);
+        }
+    };
     println!("workload:  {}", s.workload);
     println!("system:    {}", s.system);
     println!(
@@ -125,6 +195,15 @@ fn main() {
         s.os.zero_fills, s.os.page_copies, s.os.ipc_transfers, s.os.d2i_copies, s.os.tasks_created
     );
     println!();
+    println!(
+        "state:     {} frames tracked; D cache {:.1}% valid ({:.1}% dirty), TLB {}/{} resident",
+        obs.snapshot.frames_tracked,
+        100.0 * obs.snapshot.machine.dcache.occupancy_ratio(),
+        100.0 * obs.snapshot.machine.dcache.dirty_ratio(),
+        obs.snapshot.machine.tlb.resident,
+        obs.snapshot.machine.tlb.capacity,
+    );
+    println!();
     if trace_summary {
         let h = hist.lock().expect("histogram sink poisoned");
         println!("trace summary (cycle cost per event class):");
@@ -160,12 +239,19 @@ fn main() {
         }
         println!();
     }
+    if let Some(path) = &inspect {
+        let series = obs.series.as_ref().expect("--inspect arms the sampler");
+        let format = SeriesFormat::from_path(path);
+        write_or_die("run", path, &series.render(format));
+        println!(
+            "inspect:   {} samples (every {} cycles) written to {path}",
+            series.samples.len(),
+            series.every,
+        );
+    }
     if let Some(path) = &json {
         let doc = output::run_json(&spec, &s, Some(wall.as_secs_f64()));
-        if let Err(e) = std::fs::write(path, doc + "\n") {
-            eprintln!("run: cannot write {path}: {e}");
-            std::process::exit(2);
-        }
+        write_or_die("run", path, &(doc + "\n"));
         println!("json:      written to {path}");
     }
     if s.oracle_violations == 0 {

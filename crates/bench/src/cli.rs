@@ -40,6 +40,13 @@ pub enum CliError {
     /// Two arguments that contradict each other (e.g. the same
     /// value-carrying flag given twice with different values).
     Conflicting(String),
+    /// An output or input file could not be written or read.
+    Io {
+        /// The path that failed.
+        path: String,
+        /// The OS error text.
+        err: String,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -59,11 +66,39 @@ impl fmt::Display for CliError {
             CliError::MissingArg(s) => write!(f, "missing required argument <{s}>"),
             CliError::UnexpectedArg(s) => write!(f, "unexpected extra argument '{s}'"),
             CliError::Conflicting(s) => write!(f, "conflicting arguments: {s}"),
+            CliError::Io { path, err } => write!(f, "cannot access '{path}': {err}"),
         }
     }
 }
 
 impl std::error::Error for CliError {}
+
+/// Write `contents` to `path`, mapping any OS failure to a typed
+/// [`CliError::Io`] (binaries print it and exit nonzero instead of
+/// panicking on an unwritable path).
+///
+/// # Errors
+///
+/// [`CliError::Io`] naming the path and the OS error.
+pub fn write_file(path: &str, contents: &str) -> Result<(), CliError> {
+    std::fs::write(path, contents).map_err(|e| CliError::Io {
+        path: path.to_string(),
+        err: e.to_string(),
+    })
+}
+
+/// Read `path` to a string, mapping any OS failure to a typed
+/// [`CliError::Io`].
+///
+/// # Errors
+///
+/// [`CliError::Io`] naming the path and the OS error.
+pub fn read_file(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|e| CliError::Io {
+        path: path.to_string(),
+        err: e.to_string(),
+    })
+}
 
 /// Parse a system name (configuration letters are case-insensitive).
 ///
@@ -132,12 +167,25 @@ pub struct RunCli {
     /// translation micro-cache, bulk runs) — for equivalence smoke tests;
     /// simulated results must not change.
     pub no_fast_paths: bool,
+    /// Sample cache/TLB occupancy during the run and write the time
+    /// series to this file (renderer chosen by extension).
+    pub inspect: Option<String>,
+    /// Sampling interval in simulated cycles (default
+    /// [`DEFAULT_SAMPLE_EVERY`] when `--inspect` is given).
+    pub sample_every: Option<u64>,
+    /// Arm the flight recorder: on an audit divergence or workload error,
+    /// dump the last events + a machine snapshot to this file as JSON.
+    pub flight: Option<String>,
 }
+
+/// The default `--inspect` sampling interval in simulated cycles.
+pub const DEFAULT_SAMPLE_EVERY: u64 = 10_000;
 
 /// Parse the `run` binary's arguments:
 /// `<workload> <system> [--quick] [--colored] [--write-through]
 /// [--fast-purge] [--no-fast-paths] [--trace <file>] [--trace-summary]
-/// [--json <file>]`.
+/// [--json <file>] [--inspect <file>] [--sample-every <n>]
+/// [--flight <file>]`.
 ///
 /// # Errors
 ///
@@ -152,6 +200,9 @@ pub fn parse_run(args: &[String]) -> Result<RunCli, CliError> {
     let mut no_fast_paths = false;
     let mut trace: Option<String> = None;
     let mut json: Option<String> = None;
+    let mut inspect: Option<String> = None;
+    let mut sample_every: Option<String> = None;
+    let mut flight: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -163,9 +214,33 @@ pub fn parse_run(args: &[String]) -> Result<RunCli, CliError> {
             "--no-fast-paths" => no_fast_paths = true,
             "--trace" => set_value(&mut trace, "--trace", it.next())?,
             "--json" => set_value(&mut json, "--json", it.next())?,
+            "--inspect" => set_value(&mut inspect, "--inspect", it.next())?,
+            "--sample-every" => set_value(&mut sample_every, "--sample-every", it.next())?,
+            "--flight" => set_value(&mut flight, "--flight", it.next())?,
             s if s.starts_with("--") => return Err(CliError::UnknownFlag(s.to_string())),
             s => pos.push(s),
         }
+    }
+    let sample_every = match sample_every {
+        None => None,
+        Some(n) => {
+            let v = n.parse::<u64>().map_err(|_| {
+                CliError::Conflicting(format!(
+                    "--sample-every wants a positive integer, got '{n}'"
+                ))
+            })?;
+            if v == 0 {
+                return Err(CliError::Conflicting(
+                    "--sample-every must be at least 1".to_string(),
+                ));
+            }
+            Some(v)
+        }
+    };
+    if sample_every.is_some() && inspect.is_none() {
+        return Err(CliError::Conflicting(
+            "--sample-every only makes sense with --inspect <file>".to_string(),
+        ));
     }
     if let Some(extra) = pos.get(2) {
         return Err(CliError::UnexpectedArg(extra.to_string()));
@@ -185,6 +260,9 @@ pub fn parse_run(args: &[String]) -> Result<RunCli, CliError> {
         trace_summary,
         json,
         no_fast_paths,
+        inspect,
+        sample_every,
+        flight,
     })
 }
 
@@ -197,33 +275,59 @@ pub struct SweepCli {
     pub threads: Option<usize>,
     /// JSON results file (default `BENCH_sweep.json`).
     pub json: String,
+    /// Also write fleet telemetry (per-run timings, shard counters) as a
+    /// versioned metrics JSON document to this file.
+    pub metrics: Option<String>,
+    /// Print a live progress/ETA line to stderr even when stderr is not a
+    /// terminal (when it is a terminal, progress is on by default).
+    pub progress: bool,
+    /// Validation mode: parse an existing metrics file, check its schema
+    /// and that fleet totals equal the per-run sums, and exit.
+    pub check_metrics: Option<String>,
 }
 
 /// Parse the `sweep` binary's arguments:
-/// `[--quick] [--threads <n>] [--json <file>]`.
+/// `[--quick] [--threads <n>] [--json <file>] [--metrics <file>]
+/// [--progress]` or `--check-metrics <file>`.
 ///
 /// # Errors
 ///
 /// A [`CliError`] naming the offending argument.
 pub fn parse_sweep(args: &[String]) -> Result<SweepCli, CliError> {
     let mut quick = false;
+    let mut progress = false;
     let mut threads: Option<String> = None;
     let mut json: Option<String> = None;
+    let mut metrics: Option<String> = None;
+    let mut check_metrics: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--progress" => progress = true,
             "--threads" => set_value(&mut threads, "--threads", it.next())?,
             "--json" => set_value(&mut json, "--json", it.next())?,
+            "--metrics" => set_value(&mut metrics, "--metrics", it.next())?,
+            "--check-metrics" => set_value(&mut check_metrics, "--check-metrics", it.next())?,
             s if s.starts_with("--") => return Err(CliError::UnknownFlag(s.to_string())),
             s => return Err(CliError::UnexpectedArg(s.to_string())),
         }
+    }
+    if check_metrics.is_some()
+        && (quick || progress || threads.is_some() || json.is_some() || metrics.is_some())
+    {
+        return Err(CliError::Conflicting(
+            "--check-metrics takes no sweep flags".to_string(),
+        ));
     }
     let threads = parse_threads(threads)?;
     Ok(SweepCli {
         quick,
         threads,
         json: json.unwrap_or_else(|| "BENCH_sweep.json".to_string()),
+        metrics,
+        progress,
+        check_metrics,
     })
 }
 
@@ -473,6 +577,12 @@ pub enum HostbenchCli {
         reps: u32,
         /// Time the tiny CI-smoke grid instead of the full quick grids.
         tiny: bool,
+        /// Print a live progress/ETA line to stderr even when stderr is
+        /// not a terminal.
+        progress: bool,
+        /// Also write fleet telemetry as a versioned metrics JSON
+        /// document to this file.
+        metrics: Option<String>,
     },
     /// Parse and schema-validate an existing results file.
     Check {
@@ -482,8 +592,8 @@ pub enum HostbenchCli {
 }
 
 /// Parse the `hostbench` binary's arguments:
-/// `[--label <s>] [--json <file>] [--reps <n>] [--tiny]` or
-/// `--check <file>`.
+/// `[--label <s>] [--json <file>] [--reps <n>] [--tiny] [--progress]
+/// [--metrics <file>]` or `--check <file>`.
 ///
 /// # Errors
 ///
@@ -493,21 +603,31 @@ pub fn parse_hostbench(args: &[String]) -> Result<HostbenchCli, CliError> {
     let mut json: Option<String> = None;
     let mut reps: Option<String> = None;
     let mut check: Option<String> = None;
+    let mut metrics: Option<String> = None;
     let mut tiny = false;
+    let mut progress = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--tiny" => tiny = true,
+            "--progress" => progress = true,
             "--label" => set_value(&mut label, "--label", it.next())?,
             "--json" => set_value(&mut json, "--json", it.next())?,
             "--reps" => set_value(&mut reps, "--reps", it.next())?,
             "--check" => set_value(&mut check, "--check", it.next())?,
+            "--metrics" => set_value(&mut metrics, "--metrics", it.next())?,
             s if s.starts_with("--") => return Err(CliError::UnknownFlag(s.to_string())),
             s => return Err(CliError::UnexpectedArg(s.to_string())),
         }
     }
     if let Some(file) = check {
-        if label.is_some() || json.is_some() || reps.is_some() || tiny {
+        if label.is_some()
+            || json.is_some()
+            || reps.is_some()
+            || tiny
+            || progress
+            || metrics.is_some()
+        {
             return Err(CliError::Conflicting(
                 "--check takes no measurement flags".to_string(),
             ));
@@ -533,6 +653,8 @@ pub fn parse_hostbench(args: &[String]) -> Result<HostbenchCli, CliError> {
         json: json.unwrap_or_else(|| crate::hostbench::DEFAULT_HOST_FILE.to_string()),
         reps,
         tiny,
+        progress,
+        metrics,
     })
 }
 
@@ -658,6 +780,53 @@ mod tests {
     }
 
     #[test]
+    fn run_observability_grammar() {
+        let cli = parse_run(&s(&[
+            "afs-bench",
+            "F",
+            "--inspect",
+            "occ.csv",
+            "--sample-every",
+            "500",
+            "--flight",
+            "dump.json",
+        ]))
+        .unwrap();
+        assert_eq!(cli.inspect.as_deref(), Some("occ.csv"));
+        assert_eq!(cli.sample_every, Some(500));
+        assert_eq!(cli.flight.as_deref(), Some("dump.json"));
+        // --sample-every needs --inspect, a positive integer, and a value.
+        assert!(matches!(
+            parse_run(&s(&["afs-bench", "F", "--sample-every", "500"])),
+            Err(CliError::Conflicting(_))
+        ));
+        assert!(matches!(
+            parse_run(&s(&[
+                "afs-bench",
+                "F",
+                "--inspect",
+                "o",
+                "--sample-every",
+                "0"
+            ])),
+            Err(CliError::Conflicting(_))
+        ));
+        assert!(matches!(
+            parse_run(&s(&[
+                "afs-bench",
+                "F",
+                "--inspect",
+                "o",
+                "--sample-every",
+                "x"
+            ])),
+            Err(CliError::Conflicting(_))
+        ));
+        let cli = parse_run(&s(&["afs-bench", "F", "--inspect", "o.md"])).unwrap();
+        assert_eq!(cli.sample_every, None, "interval defaults in the binary");
+    }
+
+    #[test]
     fn sweep_grammar() {
         let cli = parse_sweep(&s(&["--quick", "--threads", "4"])).unwrap();
         assert!(cli.quick);
@@ -674,6 +843,62 @@ mod tests {
         assert!(matches!(
             parse_sweep(&s(&["table4"])),
             Err(CliError::UnexpectedArg(_))
+        ));
+    }
+
+    #[test]
+    fn sweep_metrics_grammar() {
+        let cli = parse_sweep(&s(&["--quick", "--metrics", "m.json", "--progress"])).unwrap();
+        assert_eq!(cli.metrics.as_deref(), Some("m.json"));
+        assert!(cli.progress);
+        assert!(cli.check_metrics.is_none());
+        let cli = parse_sweep(&s(&["--check-metrics", "m.json"])).unwrap();
+        assert_eq!(cli.check_metrics.as_deref(), Some("m.json"));
+        assert!(matches!(
+            parse_sweep(&s(&["--check-metrics", "m.json", "--quick"])),
+            Err(CliError::Conflicting(_))
+        ));
+        assert!(matches!(
+            parse_sweep(&s(&["--check-metrics", "m.json", "--progress"])),
+            Err(CliError::Conflicting(_))
+        ));
+    }
+
+    #[test]
+    fn hostbench_grammar_with_telemetry() {
+        let cli = parse_hostbench(&s(&["--tiny", "--progress", "--metrics", "m.json"])).unwrap();
+        let HostbenchCli::Measure {
+            tiny,
+            progress,
+            metrics,
+            ..
+        } = cli
+        else {
+            panic!("expected Measure, got {cli:?}");
+        };
+        assert!(tiny && progress);
+        assert_eq!(metrics.as_deref(), Some("m.json"));
+        assert!(matches!(
+            parse_hostbench(&s(&["--check", "h.json", "--progress"])),
+            Err(CliError::Conflicting(_))
+        ));
+        assert!(matches!(
+            parse_hostbench(&s(&["--check", "h.json", "--metrics", "m"])),
+            Err(CliError::Conflicting(_))
+        ));
+    }
+
+    #[test]
+    fn io_helpers_produce_typed_errors() {
+        let err = write_file("/nonexistent-dir-for-vic/x.json", "{}").unwrap_err();
+        let CliError::Io { path, .. } = &err else {
+            panic!("expected Io, got {err:?}");
+        };
+        assert_eq!(path, "/nonexistent-dir-for-vic/x.json");
+        assert!(err.to_string().contains("cannot access"));
+        assert!(matches!(
+            read_file("/nonexistent-dir-for-vic/x.json"),
+            Err(CliError::Io { .. })
         ));
     }
 

@@ -127,11 +127,33 @@ impl HostEntry {
     /// Panics if `reps` is zero or a run is nondeterministic (different
     /// simulated cycle counts across repetitions).
     pub fn measure(label: &str, grid: HostGrid, reps: u32) -> Self {
+        Self::measure_with_progress(
+            label,
+            grid,
+            reps,
+            &vic_metrics::ProgressReporter::disabled(),
+        )
+    }
+
+    /// [`HostEntry::measure`] with a live progress/ETA line: `progress`
+    /// ticks once per completed spec (all repetitions of it). Reporting
+    /// goes to stderr and never touches the measurement itself.
+    ///
+    /// # Panics
+    ///
+    /// As for [`HostEntry::measure`].
+    pub fn measure_with_progress(
+        label: &str,
+        grid: HostGrid,
+        reps: u32,
+        progress: &vic_metrics::ProgressReporter,
+    ) -> Self {
         assert!(reps >= 1, "hostbench needs at least one repetition");
         let runs = grid
             .specs()
             .into_iter()
-            .map(|spec| {
+            .enumerate()
+            .map(|(i, spec)| {
                 let mut best_ns = u64::MAX;
                 let mut cycles = None;
                 for _ in 0..reps {
@@ -146,6 +168,7 @@ impl HostEntry {
                         }
                     }
                 }
+                progress.tick((i + 1) as u64);
                 HostRun {
                     spec,
                     label: spec.label(),
@@ -154,12 +177,37 @@ impl HostEntry {
                 }
             })
             .collect();
+        progress.finish();
         HostEntry {
             label: label.to_string(),
             grid,
             reps,
             runs,
         }
+    }
+
+    /// This entry's fleet telemetry as a merged [`MetricsShard`] plus the
+    /// per-run list for a metrics document: same schema as the sweep's
+    /// `--metrics` output, so one reader handles both.
+    pub fn metrics(&self) -> (vic_metrics::MetricsShard, Vec<crate::output::RunMetric>) {
+        let mut shard = vic_metrics::MetricsShard::default();
+        let runs = self
+            .runs
+            .iter()
+            .map(|r| {
+                shard.add("runs_completed", 1);
+                shard.add("sim_cycles", r.sim_cycles);
+                shard.observe("sim_cycles_per_run", r.sim_cycles);
+                shard.observe("host_ns_per_run", r.wall_ns);
+                shard.gauge_max("peak_sim_cycles", r.sim_cycles);
+                crate::output::RunMetric {
+                    label: r.label.clone(),
+                    sim_cycles: r.sim_cycles,
+                    host_ns: r.wall_ns,
+                }
+            })
+            .collect();
+        (shard, runs)
     }
 
     /// Total best-of wall time across the grid, in seconds.
@@ -502,6 +550,17 @@ mod tests {
         let text = render_comparison(&before, &after);
         assert!(text.contains("2.00x"), "per-run speedup:\n{text}");
         assert!(text.contains("'pre' vs 'post'"));
+    }
+
+    #[test]
+    fn entry_metrics_match_the_runs() {
+        let e = fake_entry("x", 1);
+        let (shard, runs) = e.metrics();
+        let doc = crate::output::metrics_json(1, e.wall_seconds(), &shard, &runs);
+        let parsed = crate::output::parse_metrics_doc(&doc).expect("self-consistent");
+        assert_eq!(parsed.runs_completed, 3);
+        assert_eq!(parsed.sim_cycles, e.sim_cycles());
+        assert_eq!(parsed.host_ns, 15_000_000);
     }
 
     #[test]

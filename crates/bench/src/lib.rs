@@ -46,8 +46,9 @@ pub use experiments::{
     Table5Row,
 };
 pub use hostbench::{HostEntry, HostGrid, HostRun, HOSTBENCH_VERSION};
+pub use output::{metrics_json, parse_metrics_doc, MetricsDoc, RunMetric, METRICS_VERSION};
 pub use spec::SystemSpec;
 pub use sweep::{
-    run_profiled_sweep_with_threads, run_sweep, run_sweep_with_threads, ProfiledResult,
-    ProfiledSweep, Sweep, SweepResult,
+    run_observed_sweep_with_threads, run_profiled_sweep_with_threads, run_sweep,
+    run_sweep_with_threads, ObservedSweep, ProfiledResult, ProfiledSweep, Sweep, SweepResult,
 };

@@ -30,7 +30,9 @@ use std::fmt::Write as _;
 
 use vic_core::manager::{CauseCounts, MgrStats, OpCause};
 use vic_machine::{MachineStats, OpStat};
+use vic_metrics::MetricsShard;
 use vic_os::OsStats;
+use vic_trace::Histogram;
 use vic_workloads::RunStats;
 
 use crate::cli::system_cli_name;
@@ -295,6 +297,174 @@ where
         .finish()
 }
 
+/// Version stamp of the fleet-telemetry metrics document.
+pub const METRICS_VERSION: u64 = 1;
+
+/// One run's contribution to a metrics document: its label, deterministic
+/// simulated cycle count, and (nondeterministic) host nanoseconds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunMetric {
+    /// Human-readable run label (spec label or hostbench entry label).
+    pub label: String,
+    /// Simulated cycles the run retired.
+    pub sim_cycles: u64,
+    /// Host wall-clock nanoseconds the run took.
+    pub host_ns: u64,
+}
+
+fn histogram_json(h: &Histogram) -> String {
+    JsonObj::new()
+        .u64("count", h.count())
+        .u64("total", h.total())
+        .u64("min", h.min())
+        .u64("max", h.max())
+        .raw(
+            "buckets",
+            &json_array(h.buckets().iter().map(|n| n.to_string())),
+        )
+        .finish()
+}
+
+/// The fleet-telemetry metrics document: versioned, with a `fleet`
+/// roll-up (runs completed/failed, cycles retired, host time), the raw
+/// counters/gauges/histograms from the merged [`MetricsShard`], and one
+/// entry per run. The fleet totals are *redundant* with the per-run list
+/// on purpose — `parse_metrics_doc` cross-checks them, so a reader can
+/// detect a truncated or hand-edited file.
+pub fn metrics_json(
+    threads: usize,
+    wall_seconds: f64,
+    shard: &MetricsShard,
+    runs: &[RunMetric],
+) -> String {
+    let host_ns = shard
+        .histogram("host_ns_per_run")
+        .map_or(0, Histogram::total);
+    let fleet = JsonObj::new()
+        .u64("runs_completed", shard.counter("runs_completed"))
+        .u64("runs_failed", shard.counter("runs_failed"))
+        .u64("sim_cycles", shard.counter("sim_cycles"))
+        .u64("host_ns", host_ns)
+        .finish();
+    let mut counters = JsonObj::new();
+    for (name, n) in shard.counters() {
+        counters = counters.u64(name, n);
+    }
+    let mut gauges = JsonObj::new();
+    for (name, v) in shard.gauges() {
+        gauges = gauges.u64(name, v);
+    }
+    let mut histograms = JsonObj::new();
+    for (name, h) in shard.histograms() {
+        histograms = histograms.raw(name, &histogram_json(h));
+    }
+    let runs = json_array(runs.iter().map(|r| {
+        JsonObj::new()
+            .str("label", &r.label)
+            .u64("sim_cycles", r.sim_cycles)
+            .u64("host_ns", r.host_ns)
+            .finish()
+    }));
+    JsonObj::new()
+        .u64("metrics_version", METRICS_VERSION)
+        .u64("threads", threads as u64)
+        .f64("wall_seconds", wall_seconds)
+        .raw("fleet", &fleet)
+        .raw("counters", &counters.finish())
+        .raw("gauges", &gauges.finish())
+        .raw("histograms", &histograms.finish())
+        .raw("runs", &runs)
+        .finish()
+}
+
+/// A parsed and cross-checked metrics document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsDoc {
+    /// Worker threads the sweep used.
+    pub threads: u64,
+    /// Fleet roll-up: runs completed.
+    pub runs_completed: u64,
+    /// Fleet roll-up: runs failed.
+    pub runs_failed: u64,
+    /// Fleet roll-up: total simulated cycles.
+    pub sim_cycles: u64,
+    /// Fleet roll-up: total host nanoseconds across runs.
+    pub host_ns: u64,
+    /// The per-run entries, in document order.
+    pub runs: Vec<RunMetric>,
+}
+
+/// Parse a [`metrics_json`] document and verify its internal consistency:
+/// the version matches, and the fleet totals (`runs_completed`,
+/// `sim_cycles`, `host_ns`) equal the sums over the per-run list.
+///
+/// # Errors
+///
+/// A message naming the missing field, version mismatch, or the first
+/// fleet total that disagrees with the run list.
+pub fn parse_metrics_doc(text: &str) -> Result<MetricsDoc, String> {
+    let doc = vic_profile::parse_json(text).map_err(|e| format!("bad JSON: {e}"))?;
+    let u64_field = |v: &vic_profile::JsonValue, key: &str| -> Result<u64, String> {
+        v.get(key)
+            .and_then(vic_profile::JsonValue::as_u64)
+            .ok_or_else(|| format!("missing or non-integer field '{key}'"))
+    };
+    let version = u64_field(&doc, "metrics_version")?;
+    if version != METRICS_VERSION {
+        return Err(format!(
+            "metrics_version {version} != supported {METRICS_VERSION}"
+        ));
+    }
+    let threads = u64_field(&doc, "threads")?;
+    let fleet = doc.get("fleet").ok_or("missing field 'fleet'")?;
+    let runs_completed = u64_field(fleet, "runs_completed")?;
+    let runs_failed = u64_field(fleet, "runs_failed")?;
+    let sim_cycles = u64_field(fleet, "sim_cycles")?;
+    let host_ns = u64_field(fleet, "host_ns")?;
+    let mut runs = Vec::new();
+    for (i, r) in doc
+        .get("runs")
+        .and_then(vic_profile::JsonValue::as_arr)
+        .ok_or("missing array 'runs'")?
+        .iter()
+        .enumerate()
+    {
+        runs.push(RunMetric {
+            label: r
+                .get("label")
+                .and_then(vic_profile::JsonValue::as_str)
+                .ok_or_else(|| format!("run {i}: missing 'label'"))?
+                .to_string(),
+            sim_cycles: u64_field(r, "sim_cycles").map_err(|e| format!("run {i}: {e}"))?,
+            host_ns: u64_field(r, "host_ns").map_err(|e| format!("run {i}: {e}"))?,
+        });
+    }
+    if runs_completed != runs.len() as u64 {
+        return Err(format!(
+            "fleet.runs_completed {runs_completed} != {} run entries",
+            runs.len()
+        ));
+    }
+    let run_cycles: u64 = runs.iter().map(|r| r.sim_cycles).sum();
+    if sim_cycles != run_cycles {
+        return Err(format!(
+            "fleet.sim_cycles {sim_cycles} != sum over runs {run_cycles}"
+        ));
+    }
+    let run_ns: u64 = runs.iter().map(|r| r.host_ns).sum();
+    if host_ns != run_ns {
+        return Err(format!("fleet.host_ns {host_ns} != sum over runs {run_ns}"));
+    }
+    Ok(MetricsDoc {
+        threads,
+        runs_completed,
+        runs_failed,
+        sim_cycles,
+        host_ns,
+        runs,
+    })
+}
+
 /// A whole sweep as a JSON object (the `BENCH_sweep.json` format).
 pub fn sweep_json(sweep: &Sweep) -> String {
     JsonObj::new()
@@ -331,6 +501,49 @@ mod tests {
         );
         assert_eq!(json_array(vec![]), "[]");
         assert_eq!(json_array(vec!["1".to_string(), "2".to_string()]), "[1,2]");
+    }
+
+    fn sample_metrics() -> (MetricsShard, Vec<RunMetric>) {
+        let mut shard = MetricsShard::default();
+        let runs: Vec<RunMetric> = [("a", 100, 7), ("b", 250, 9)]
+            .into_iter()
+            .map(|(label, sim_cycles, host_ns)| RunMetric {
+                label: label.to_string(),
+                sim_cycles,
+                host_ns,
+            })
+            .collect();
+        for r in &runs {
+            shard.add("runs_completed", 1);
+            shard.add("sim_cycles", r.sim_cycles);
+            shard.observe("sim_cycles_per_run", r.sim_cycles);
+            shard.observe("host_ns_per_run", r.host_ns);
+            shard.gauge_max("peak_sim_cycles", r.sim_cycles);
+        }
+        (shard, runs)
+    }
+
+    #[test]
+    fn metrics_doc_round_trips_and_cross_checks() {
+        let (shard, runs) = sample_metrics();
+        let text = metrics_json(4, 0.5, &shard, &runs);
+        assert!(text.starts_with("{\"metrics_version\":1,"), "{text}");
+        let doc = parse_metrics_doc(&text).expect("own output parses");
+        assert_eq!(doc.threads, 4);
+        assert_eq!(doc.runs_completed, 2);
+        assert_eq!(doc.runs_failed, 0);
+        assert_eq!(doc.sim_cycles, 350);
+        assert_eq!(doc.host_ns, 16);
+        assert_eq!(doc.runs, runs);
+
+        // Tampered totals are caught.
+        let bad = text.replace("\"sim_cycles\":350", "\"sim_cycles\":351");
+        let err = parse_metrics_doc(&bad).expect_err("tampered total");
+        assert!(err.contains("sim_cycles"), "{err}");
+        let bad = text.replace("\"metrics_version\":1", "\"metrics_version\":9");
+        assert!(parse_metrics_doc(&bad).is_err());
+        assert!(parse_metrics_doc("{}").is_err());
+        assert!(parse_metrics_doc("not json").is_err());
     }
 
     #[test]

@@ -238,6 +238,227 @@ fn hostbench_rejects_conflicting_flags() {
 }
 
 #[test]
+fn run_inspect_writes_an_occupancy_series() {
+    let csv = tmp_file("inspect.csv");
+    let out = run_bin(
+        env!("CARGO_BIN_EXE_run"),
+        &[
+            "fork-bench",
+            "F",
+            "--quick",
+            "--inspect",
+            csv.to_str().unwrap(),
+            "--sample-every",
+            "500",
+        ],
+    );
+    assert!(out.status.success(), "run failed: {out:?}");
+    let text = stdout_of(&out);
+    assert!(text.contains("inspect:"), "inspect line present:\n{text}");
+    assert!(text.contains("every 500 cycles"), "{text}");
+    assert!(text.contains("state:"), "final snapshot line:\n{text}");
+    let doc = std::fs::read_to_string(&csv).expect("series file written");
+    let _ = std::fs::remove_file(&csv);
+    let mut lines = doc.lines();
+    assert_eq!(
+        lines.next(),
+        Some("cycle,d_valid_pct,d_dirty_pct,i_valid_pct,tlb_resident,d_valid_lines,d_dirty_lines"),
+        "CSV header:\n{doc}"
+    );
+    assert!(lines.next().is_some(), "at least one sample:\n{doc}");
+}
+
+#[test]
+fn run_flight_recorder_dumps_on_divergence() {
+    let dump = tmp_file("flight.json");
+    let _ = std::fs::remove_file(&dump);
+    // A chaos manager drops required flushes: the auditor diverges (and
+    // the oracle fires, so the run exits 1) — exactly the situation the
+    // flight recorder exists for.
+    let out = run_bin(
+        env!("CARGO_BIN_EXE_run"),
+        &[
+            "fork-bench",
+            "chaos-flushes",
+            "--quick",
+            "--flight",
+            dump.to_str().unwrap(),
+        ],
+    );
+    assert_eq!(out.status.code(), Some(1), "chaos violates the oracle");
+    let text = stdout_of(&out);
+    assert!(text.contains("flight:"), "dump announced:\n{text}");
+    assert!(text.contains("audit divergences"), "{text}");
+    let doc = std::fs::read_to_string(&dump).expect("post-mortem written");
+    let _ = std::fs::remove_file(&dump);
+    assert!(doc.starts_with("{\"flight_version\":1,"), "{doc}");
+    for field in [
+        "\"reason\":",
+        "\"divergence_count\":",
+        "\"events\":[",
+        "\"snapshot\":{\"snapshot_version\":1",
+    ] {
+        assert!(doc.contains(field), "missing {field}:\n{doc}");
+    }
+}
+
+#[test]
+fn run_flight_recorder_stays_silent_on_a_clean_run() {
+    let dump = tmp_file("flight-clean.json");
+    let _ = std::fs::remove_file(&dump);
+    let out = run_bin(
+        env!("CARGO_BIN_EXE_run"),
+        &[
+            "fork-bench",
+            "F",
+            "--quick",
+            "--flight",
+            dump.to_str().unwrap(),
+        ],
+    );
+    assert!(out.status.success(), "clean run: {out:?}");
+    let text = stdout_of(&out);
+    assert!(!text.contains("flight:"), "no dump on a clean run:\n{text}");
+    assert!(
+        text.contains("audit:     CLEAN"),
+        "--flight forces the auditor on:\n{text}"
+    );
+    assert!(!dump.exists(), "no file on a clean run");
+}
+
+#[test]
+fn unwritable_output_paths_exit_2_with_a_named_path() {
+    // Every file-writing flag must fail cleanly (typed error, exit 2, no
+    // panic) on a path under a directory that does not exist.
+    let bad = "/nonexistent-vic-dir/out.json";
+    // The sweep writes its results JSON before the metrics file; park the
+    // results in a scratch path so the failing-metrics case doesn't drop
+    // a BENCH_sweep.json into the working directory.
+    let scratch = tmp_file("scratch-sweep.json");
+    let scratch = scratch.to_str().unwrap();
+    for (exe, args) in [
+        (
+            env!("CARGO_BIN_EXE_run"),
+            vec!["fork-bench", "F", "--quick", "--json", bad],
+        ),
+        (
+            env!("CARGO_BIN_EXE_run"),
+            vec!["fork-bench", "F", "--quick", "--inspect", bad],
+        ),
+        (
+            env!("CARGO_BIN_EXE_run"),
+            vec!["fork-bench", "chaos-flushes", "--quick", "--flight", bad],
+        ),
+        (env!("CARGO_BIN_EXE_sweep"), vec!["--quick", "--json", bad]),
+        (
+            env!("CARGO_BIN_EXE_sweep"),
+            vec!["--quick", "--json", scratch, "--metrics", bad],
+        ),
+        (
+            env!("CARGO_BIN_EXE_hostbench"),
+            vec!["--tiny", "--reps", "1", "--json", bad],
+        ),
+        (
+            env!("CARGO_BIN_EXE_hostbench"),
+            vec!["--tiny", "--reps", "1", "--metrics", bad],
+        ),
+        (
+            env!("CARGO_BIN_EXE_profile"),
+            vec!["fork-bench", "F", "--quick", "--json", bad],
+        ),
+    ] {
+        let out = run_bin(exe, &args);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "unwritable path must exit 2: {exe} {args:?}"
+        );
+        let err = String::from_utf8_lossy(&out.stderr).into_owned();
+        assert!(
+            err.contains("cannot access '/nonexistent-vic-dir/out.json'"),
+            "typed Io error names the path ({exe} {args:?}):\n{err}"
+        );
+    }
+}
+
+#[test]
+fn sweep_metrics_exports_and_check_metrics_validates() {
+    let sweep = env!("CARGO_BIN_EXE_sweep");
+    let json = tmp_file("sweep-m.json");
+    let metrics = tmp_file("metrics.json");
+    let out = run_bin(
+        sweep,
+        &[
+            "--quick",
+            "--threads",
+            "2",
+            "--json",
+            json.to_str().unwrap(),
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ],
+    );
+    assert!(out.status.success(), "sweep failed: {out:?}");
+    assert!(
+        stdout_of(&out).contains("fleet telemetry written to"),
+        "{}",
+        stdout_of(&out)
+    );
+    let doc = std::fs::read_to_string(&metrics).expect("metrics written");
+    assert!(doc.starts_with("{\"metrics_version\":1,"), "{doc}");
+    assert!(doc.contains("\"runs_completed\":23"), "{doc}");
+    assert!(doc.contains("\"runs_failed\":0"), "{doc}");
+
+    // The validation mode accepts its own output...
+    let out = run_bin(sweep, &["--check-metrics", metrics.to_str().unwrap()]);
+    assert!(out.status.success(), "check-metrics failed: {out:?}");
+    assert!(
+        stdout_of(&out).contains("metrics-valid"),
+        "{}",
+        stdout_of(&out)
+    );
+
+    // ...and rejects tampered fleet totals with exit 2.
+    std::fs::write(
+        &metrics,
+        doc.replacen("\"runs_completed\":23", "\"runs_completed\":22", 1),
+    )
+    .unwrap();
+    let out = run_bin(sweep, &["--check-metrics", metrics.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "tampered metrics must fail");
+
+    let _ = std::fs::remove_file(&json);
+    let _ = std::fs::remove_file(&metrics);
+}
+
+#[test]
+fn hostbench_metrics_export_is_cross_checked() {
+    let hostbench = env!("CARGO_BIN_EXE_hostbench");
+    let sweep = env!("CARGO_BIN_EXE_sweep");
+    let json = tmp_file("host-m.json");
+    let metrics = tmp_file("host-metrics.json");
+    let _ = std::fs::remove_file(&json);
+    let out = run_bin(
+        hostbench,
+        &[
+            "--tiny",
+            "--reps",
+            "1",
+            "--json",
+            json.to_str().unwrap(),
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ],
+    );
+    assert!(out.status.success(), "hostbench failed: {out:?}");
+    // The sweep's validator reads hostbench metrics too — one schema.
+    let out = run_bin(sweep, &["--check-metrics", metrics.to_str().unwrap()]);
+    assert!(out.status.success(), "shared schema: {out:?}");
+    let _ = std::fs::remove_file(&json);
+    let _ = std::fs::remove_file(&metrics);
+}
+
+#[test]
 fn profile_check_baseline_is_clean_against_fresh_baseline() {
     // `baseline` then `--check-baseline` against the file it just wrote
     // must pass with zero tolerance: same grid, same determinism.

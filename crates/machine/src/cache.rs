@@ -538,6 +538,18 @@ impl Cache {
         self.occ_valid.len() as u32
     }
 
+    /// Victim-buffer state for live inspection: element `w` counts the
+    /// sets whose round-robin replacement pointer currently selects way
+    /// `w`. A direct-mapped cache reports a single bucket holding every
+    /// set; an even spread across ways indicates balanced replacement.
+    pub fn victim_way_counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.assoc as usize];
+        for &v in &self.victim {
+            counts[v as usize % self.assoc as usize] += 1;
+        }
+        counts
+    }
+
     /// Invalidate everything and reset the replacement state (power-up
     /// state: a purged cache behaves exactly like a freshly built one).
     /// Dirty data is lost.
@@ -788,6 +800,26 @@ mod tests {
         for off in (0..2048u64).step_by(4) {
             assert_eq!(mem_a.read_u32(PAddr(off)), mem_b.read_u32(PAddr(off)));
         }
+    }
+
+    #[test]
+    fn victim_way_counts_track_replacement_pointers() {
+        let mut c = Cache::with_associativity(CacheKind::Data, 1024, 16, 256, 2);
+        let mut mem = PhysMemory::new(64 * 1024);
+        // 32 sets, 2 ways: power-up state points every set at way 0.
+        assert_eq!(c.victim_way_counts(), vec![32, 0]);
+        // Fill both ways of set 0, then force one eviction: set 0's
+        // pointer advances to way 1.
+        let mut buf = [0u8; 4];
+        c.read(VAddr(0), PAddr(0x000), &mut mem, &mut buf);
+        c.read(VAddr(0), PAddr(0x100), &mut mem, &mut buf);
+        c.read(VAddr(0), PAddr(0x200), &mut mem, &mut buf);
+        assert_eq!(c.victim_way_counts(), vec![31, 1]);
+        c.purge_all();
+        assert_eq!(c.victim_way_counts(), vec![32, 0], "reset at power-up");
+        // Direct-mapped: one bucket holding every set.
+        let d = Cache::new(CacheKind::Data, 1024, 16, 256);
+        assert_eq!(d.victim_way_counts(), vec![64]);
     }
 
     /// The purge_all satellite regression: after `purge_all`, the

@@ -71,3 +71,4 @@ pub use cost::CycleCosts;
 pub use machine::{Fault, Machine};
 pub use oracle::{Oracle, Violation};
 pub use stats::{MachineStats, OpStat};
+pub use vic_metrics::{CacheSnapshot, MachineSnapshot, SnapshotSampler, TlbSnapshot};

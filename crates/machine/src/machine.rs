@@ -9,6 +9,7 @@ use crate::oracle::Oracle;
 use crate::stats::MachineStats;
 use vic_core::manager::DmaDir;
 use vic_core::types::{Access, CacheKind, CachePage, Mapping, PFrame, Prot, SpaceId, VAddr};
+use vic_metrics::{CacheSnapshot, MachineSnapshot, SnapshotSampler, TlbSnapshot};
 use vic_profile::Profiler;
 use vic_trace::{TraceEvent, Tracer};
 
@@ -86,6 +87,10 @@ pub struct Machine {
     /// `TlbHit` — free, no statistic, no event. Invalidated by every
     /// mapping mutator. Disabled when `cfg.fast_paths` is off.
     xlate_cache: Option<(Mapping, Pte)>,
+    /// Optional cycle-driven snapshot sampler (`None` by default). Ticked
+    /// at operation boundaries; sampling only *reads* machine state and
+    /// charges nothing, so enabling it cannot change a simulated result.
+    sampler: Option<SnapshotSampler>,
 }
 
 impl Machine {
@@ -121,6 +126,7 @@ impl Machine {
             tracer: Tracer::off(),
             profiler: Profiler::off(),
             xlate_cache: None,
+            sampler: None,
             cfg,
         }
     }
@@ -195,6 +201,7 @@ impl Machine {
     pub fn charge(&mut self, cycles: u64) {
         self.cycles += cycles;
         self.profiler.leaf("software", cycles);
+        self.sample_tick();
     }
 
     /// Reset the cycle account and counters (after warm-up), keeping all
@@ -322,6 +329,7 @@ impl Machine {
                 cost: self.cycles - t0,
             },
         );
+        self.sample_tick();
         Ok(u32::from_le_bytes(buf))
     }
 
@@ -400,6 +408,7 @@ impl Machine {
                 cost: self.cycles - t0,
             },
         );
+        self.sample_tick();
         Ok(())
     }
 
@@ -453,6 +462,7 @@ impl Machine {
                 cost: self.cycles - t0,
             },
         );
+        self.sample_tick();
         Ok(u32::from_le_bytes(buf))
     }
 
@@ -581,6 +591,7 @@ impl Machine {
                 .leaf_n("load.uncached", n, n * costs.uncached_access);
             self.stats.uncached += n;
             self.stats.loads += n;
+            self.sample_tick();
             return Ok(());
         }
         let line_shift = self.cfg.line_size.trailing_zeros();
@@ -620,6 +631,7 @@ impl Machine {
             i += k;
         }
         self.stats.loads += n;
+        self.sample_tick();
         Ok(())
     }
 
@@ -663,6 +675,7 @@ impl Machine {
                 .leaf_n("store.uncached", n, n * costs.uncached_access);
             self.stats.uncached += n;
             self.stats.stores += n;
+            self.sample_tick();
             return Ok(());
         }
         match self.cfg.write_policy {
@@ -733,6 +746,7 @@ impl Machine {
             }
         }
         self.stats.stores += n;
+        self.sample_tick();
         Ok(())
     }
 
@@ -902,6 +916,7 @@ impl Machine {
         }
         self.stats.loads += count as u64;
         self.stats.stores += count as u64;
+        self.sample_tick();
         Ok(())
     }
 
@@ -928,6 +943,7 @@ impl Machine {
                 cost: cycles,
             },
         );
+        self.sample_tick();
     }
 
     /// Purge (invalidate without write-back) data cache page `cp`'s lines
@@ -948,6 +964,7 @@ impl Machine {
                 cost: cycles,
             },
         );
+        self.sample_tick();
     }
 
     /// Purge instruction cache page `cp`'s lines holding `frame`. Constant
@@ -967,6 +984,7 @@ impl Machine {
                 cost: cycles,
             },
         );
+        self.sample_tick();
     }
 
     /// A device writes a full page into memory (e.g. a disk read). The
@@ -1082,6 +1100,68 @@ impl Machine {
     /// the cache.
     pub fn peek_memory(&self, frame: PFrame, offset: u64) -> u32 {
         self.mem.read_u32(self.cfg.paddr(frame, offset))
+    }
+
+    fn cache_snapshot(c: &Cache) -> CacheSnapshot {
+        CacheSnapshot {
+            kind: c.kind(),
+            num_lines: c.num_lines(),
+            associativity: c.associativity(),
+            pages: (0..c.num_cache_pages())
+                .map(|cp| c.occupancy(CachePage(cp)))
+                .collect(),
+            victim_ways: c.victim_way_counts(),
+        }
+    }
+
+    /// Take a point-in-time hardware snapshot: per-cache-page occupancy
+    /// and dirtiness (straight from the occupancy index), victim-buffer
+    /// state, and TLB residency. Reads only — no statistic, no cycle, no
+    /// cache line changes.
+    pub fn inspect(&self) -> MachineSnapshot {
+        MachineSnapshot {
+            cycles: self.cycles,
+            dcache: Self::cache_snapshot(&self.dcache),
+            icache: Self::cache_snapshot(&self.icache),
+            tlb: TlbSnapshot {
+                resident: self.mmu.tlb_resident() as u64,
+                capacity: self.mmu.tlb_capacity() as u64,
+            },
+        }
+    }
+
+    /// Attach a cycle-driven snapshot sampler. At operation boundaries,
+    /// once the clock crosses the sampler's next due point, the machine
+    /// hands it an [`Machine::inspect`] snapshot. Sampling changes no
+    /// simulated state and charges no cycles.
+    pub fn set_sampler(&mut self, sampler: SnapshotSampler) {
+        self.sampler = Some(sampler);
+    }
+
+    /// Detach and return the sampler (with its collected samples), if one
+    /// was attached.
+    pub fn take_sampler(&mut self) -> Option<SnapshotSampler> {
+        self.sampler.take()
+    }
+
+    /// The attached sampler, if any.
+    pub fn sampler(&self) -> Option<&SnapshotSampler> {
+        self.sampler.as_ref()
+    }
+
+    /// Tick the sampler at an operation boundary: one `is_some` branch
+    /// when disabled, one comparison when armed.
+    #[inline]
+    fn sample_tick(&mut self) {
+        match &self.sampler {
+            Some(s) if s.due(self.cycles) => {
+                let snap = self.inspect();
+                if let Some(s) = self.sampler.as_mut() {
+                    s.record(snap);
+                }
+            }
+            _ => {}
+        }
     }
 }
 
@@ -1296,6 +1376,135 @@ mod tests {
         let (m, _) = map(&mut mach, 1, 0, 3, Prot::READ);
         assert_eq!(mach.remove_mapping(m), Some(PFrame(3)));
         assert_eq!(mach.remove_mapping(m), None);
+    }
+
+    #[test]
+    fn inspect_reports_occupancy_and_tlb() {
+        let mut mach = machine();
+        let snap0 = mach.inspect();
+        assert_eq!(snap0.dcache.valid_total(), 0, "power-up purge");
+        assert_eq!(snap0.tlb.resident, 0);
+        let (_, va) = map(&mut mach, 1, 0, 3, Prot::READ_WRITE);
+        mach.store(SpaceId(1), va, 7).unwrap();
+        let snap = mach.inspect();
+        assert_eq!(snap.cycles, mach.cycles());
+        assert_eq!(snap.dcache.valid_total(), 1);
+        assert_eq!(snap.dcache.dirty_total(), 1);
+        assert_eq!(snap.icache.valid_total(), 0);
+        assert_eq!(snap.tlb.resident, 1);
+        assert_eq!(snap.tlb.capacity, mach.config().tlb_entries as u64);
+        assert_eq!(
+            snap.dcache.victim_ways.iter().sum::<u64>(),
+            snap.dcache.num_lines / snap.dcache.associativity,
+            "one pointer per set"
+        );
+    }
+
+    /// Property: the O(1) occupancy index (PR 4) and [`Machine::inspect`]
+    /// agree with a brute-force scan of the line array, for every cache
+    /// page, after any interleaving of loads, stores, ifetches, flushes
+    /// and purges — across associativities 1, 2 and 4.
+    #[test]
+    fn inspect_occupancy_matches_line_scan_property() {
+        use vic_core::Rng64;
+        for assoc in [1u64, 2, 4] {
+            let mut cfg = MachineConfig::small();
+            cfg.dcache_assoc = assoc;
+            cfg.icache_assoc = assoc;
+            // Scale capacity with ways so every way still holds at least
+            // one page (cache-page count stays constant across the runs).
+            cfg.dcache_bytes *= assoc;
+            cfg.icache_bytes *= assoc;
+            let mut mach = Machine::new(cfg);
+            let mut rng = Rng64::seed_from_u64(0x0cc0_d1ce ^ assoc);
+            let pages = 6u64;
+            let mut vas = Vec::new();
+            for vp in 0..pages {
+                let prot = if vp % 3 == 0 {
+                    Prot::READ_EXECUTE
+                } else {
+                    Prot::READ_WRITE
+                };
+                let (_, va) = map(&mut mach, 1, vp, vp + 2, prot);
+                vas.push(va);
+            }
+            let page_size = mach.config().page_size;
+            let d_pages = mach.dcache.num_cache_pages();
+            let i_pages = mach.icache.num_cache_pages();
+            for step in 0..300u64 {
+                let p = rng.gen_index(pages as usize);
+                let va = VAddr(vas[p].0 + rng.gen_u64(0, page_size / 4 - 1) * 4);
+                let frame = PFrame(p as u64 + 2);
+                let exec = (p as u64).is_multiple_of(3);
+                match rng.gen_u64(0, 5) {
+                    0 | 1 if !exec => {
+                        mach.store(SpaceId(1), va, step as u32).unwrap();
+                    }
+                    2 if exec => {
+                        let _ = mach.ifetch(SpaceId(1), va).unwrap();
+                    }
+                    3 => mach.flush_dcache_page(CachePage(p as u32 % d_pages), frame),
+                    4 => {
+                        // Flush before purge, as a correct consistency
+                        // manager would — a bare purge of dirty lines is
+                        // a staleness-oracle violation by design.
+                        let cp = CachePage(p as u32 % d_pages);
+                        mach.flush_dcache_page(cp, frame);
+                        mach.purge_dcache_page(cp, frame);
+                    }
+                    5 => mach.purge_icache_page(CachePage(p as u32 % i_pages), frame),
+                    _ => {
+                        let _ = mach.load(SpaceId(1), va).unwrap();
+                    }
+                }
+                if step % 16 != 0 {
+                    continue;
+                }
+                let snap = mach.inspect();
+                for (cache, pages) in [(&mach.dcache, &snap.dcache), (&mach.icache, &snap.icache)] {
+                    for cp in 0..cache.num_cache_pages() {
+                        let index = cache.occupancy(CachePage(cp));
+                        let scan = cache.scan_occupancy(CachePage(cp));
+                        assert_eq!(
+                            index,
+                            scan,
+                            "assoc {assoc} step {step}: occupancy index drifted from the \
+                             line array on {:?} cache page {cp}",
+                            cache.kind()
+                        );
+                        assert_eq!(
+                            pages.pages[cp as usize], index,
+                            "assoc {assoc} step {step}: inspect() disagrees with the index"
+                        );
+                    }
+                }
+            }
+            assert_eq!(mach.oracle().violations(), 0);
+        }
+    }
+
+    #[test]
+    fn sampler_collects_without_changing_results() {
+        let drive = |mut mach: Machine| {
+            let (_, va) = map(&mut mach, 1, 0, 3, Prot::READ_WRITE);
+            for i in 0..200u32 {
+                mach.store(SpaceId(1), VAddr(va.0 + u64::from(i % 8) * 4), i)
+                    .unwrap();
+            }
+            mach
+        };
+        let plain = drive(machine());
+        let mut sampled = machine();
+        sampled.set_sampler(SnapshotSampler::every(50));
+        let mut sampled = drive(sampled);
+        assert_eq!(plain.cycles(), sampled.cycles(), "sampling is free");
+        assert_eq!(plain.stats(), sampled.stats());
+        let s = sampled.take_sampler().expect("sampler attached");
+        assert!(sampled.sampler().is_none(), "take detaches");
+        assert!(!s.samples().is_empty(), "samples were collected");
+        for w in s.samples().windows(2) {
+            assert!(w[0].cycles < w[1].cycles, "cycle-ordered");
+        }
     }
 
     #[test]

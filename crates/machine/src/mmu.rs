@@ -143,6 +143,17 @@ impl Mmu {
         }
     }
 
+    /// TLB entries currently resident (live inspection; never exceeds
+    /// [`Mmu::tlb_capacity`]).
+    pub fn tlb_resident(&self) -> usize {
+        self.tlb.len()
+    }
+
+    /// The TLB's hardware capacity.
+    pub fn tlb_capacity(&self) -> usize {
+        self.tlb_capacity
+    }
+
     /// All mappings of a space (ordered by page), for teardown iteration.
     pub fn mappings_of(&self, space: SpaceId) -> Vec<(VPage, Pte)> {
         let mut v: Vec<_> = self

@@ -1,0 +1,167 @@
+//! The post-mortem flight-recorder document.
+//!
+//! A run that wants a black box attaches a bounded
+//! [`vic_trace::RingBufferSink`] (the last K events) and a
+//! [`vic_trace::ConsistencyAuditor`] to its tracer fan-out. If the run
+//! errors, or the auditor flags any divergence from the four-state
+//! model, the harness assembles a [`PostMortem`]: what went wrong, the
+//! retained event tail, every stored divergence, and a full
+//! [`SystemSnapshot`] of the machine at the end — one JSON document to
+//! debug from, written by `run --flight <file>`.
+
+use vic_trace::{Divergence, RingBufferSink, TraceEvent};
+
+use crate::snapshot::{json_str, SystemSnapshot};
+
+/// Schema version of the post-mortem JSON document.
+pub const FLIGHT_VERSION: u64 = 1;
+
+/// Everything the flight recorder captured about a failed or divergent
+/// run.
+#[derive(Debug, Clone)]
+pub struct PostMortem {
+    /// Why the dump was taken (e.g. `"2 audit divergences"` or a
+    /// workload error message).
+    pub reason: String,
+    /// The retained event tail, oldest first, as `(cycle, event)`.
+    pub events: Vec<(u64, TraceEvent)>,
+    /// Total events the ring ever saw (including dropped ones).
+    pub events_seen: u64,
+    /// The stored divergences (the auditor caps storage; see
+    /// `divergence_count` for the true total).
+    pub divergences: Vec<Divergence>,
+    /// Total divergences flagged, including any past the storage cap.
+    pub divergence_count: u64,
+    /// The machine and consistency state at dump time.
+    pub snapshot: SystemSnapshot,
+}
+
+impl PostMortem {
+    /// Assemble a post-mortem from the run's ring sink, audit results
+    /// and final snapshot.
+    pub fn new(
+        reason: &str,
+        ring: &RingBufferSink,
+        divergences: &[Divergence],
+        divergence_count: u64,
+        snapshot: SystemSnapshot,
+    ) -> Self {
+        PostMortem {
+            reason: reason.to_string(),
+            events: ring.events().copied().collect(),
+            events_seen: ring.total_seen(),
+            divergences: divergences.to_vec(),
+            divergence_count,
+            snapshot,
+        }
+    }
+
+    /// Render the dump as one versioned JSON object (no trailing
+    /// newline).
+    pub fn to_json(&self) -> String {
+        post_mortem_json(self)
+    }
+}
+
+/// Render a [`PostMortem`] as one versioned JSON object.
+pub fn post_mortem_json(pm: &PostMortem) -> String {
+    use std::fmt::Write;
+    let mut out = String::with_capacity(4096);
+    let _ = write!(
+        out,
+        "{{\"flight_version\":{FLIGHT_VERSION},\"reason\":{},\"events_seen\":{},\"events_retained\":{},",
+        json_str(&pm.reason),
+        pm.events_seen,
+        pm.events.len()
+    );
+    let _ = write!(
+        out,
+        "\"divergence_count\":{},\"divergences\":[",
+        pm.divergence_count
+    );
+    for (i, d) in pm.divergences.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_str(&d.to_string()));
+    }
+    out.push_str("],\"events\":[");
+    for (i, (cycle, ev)) in pm.events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        ev.write_json(*cycle, &mut out);
+    }
+    out.push_str("],\"snapshot\":");
+    out.push_str(&pm.snapshot.to_json());
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vic_core::state::LineState;
+    use vic_core::types::{CacheKind, CachePage, PFrame};
+    use vic_trace::{ConsistencyAuditor, TraceSink};
+
+    fn snapshot() -> SystemSnapshot {
+        SystemSnapshot {
+            machine: crate::snapshot::test_sample(500),
+            frames_tracked: 1,
+            d_states: Default::default(),
+            i_states: Default::default(),
+        }
+    }
+
+    fn divergent_transition() -> TraceEvent {
+        // Dirty -> Present with no flush: an illegal edge.
+        TraceEvent::Transition {
+            frame: PFrame(1),
+            kind: CacheKind::Data,
+            cache_page: CachePage(0),
+            old: LineState::Dirty,
+            new: LineState::Present,
+            op: vic_trace::MgrOp::Read,
+            target: true,
+            flushed: false,
+            purged: false,
+            will_overwrite: false,
+            need_data: true,
+        }
+    }
+
+    #[test]
+    fn dump_carries_events_divergences_and_snapshot() {
+        let mut ring = RingBufferSink::new(2);
+        let mut auditor = ConsistencyAuditor::new();
+        let ev = TraceEvent::ZeroFill { frame: PFrame(3) };
+        for cycle in [10, 20, 30] {
+            ring.emit(cycle, &ev);
+        }
+        ring.emit(40, &divergent_transition());
+        auditor.emit(40, &divergent_transition());
+        assert!(!auditor.is_clean());
+
+        let pm = PostMortem::new(
+            "2 audit divergences",
+            &ring,
+            auditor.divergences(),
+            auditor.divergence_count(),
+            snapshot(),
+        );
+        assert_eq!(pm.events.len(), 2, "ring keeps the last K only");
+        assert_eq!(pm.events_seen, 4);
+
+        let j = pm.to_json();
+        assert!(j.starts_with("{\"flight_version\":1,"), "{j}");
+        assert!(j.contains("\"reason\":\"2 audit divergences\""), "{j}");
+        assert!(j.contains("\"events_seen\":4"), "{j}");
+        assert!(j.contains("\"events_retained\":2"), "{j}");
+        assert!(j.contains("\"divergence_count\":2"), "{j}");
+        assert!(j.contains("illegal transition"), "{j}");
+        assert!(j.contains("\"snapshot\":{\"snapshot_version\":1"), "{j}");
+        // The ring tail is rendered as real trace-event JSON.
+        assert!(j.contains("\"cycle\":40"), "{j}");
+    }
+}

@@ -1,0 +1,38 @@
+//! A minimal JSON string escaper, private to this crate.
+//!
+//! `vic-metrics` sits *below* `vic-bench` in the dependency order, so it
+//! cannot reuse the `JsonObj` builder there; the handful of documents
+//! rendered here (snapshots, time series, post-mortems) are built with
+//! `format!` over numeric fields plus this escaper for the few string
+//! values (labels, reasons) that could contain quotes or control bytes.
+
+/// Append `s` to `out` as a quoted JSON string.
+pub fn push_str_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut s = String::new();
+        push_str_escaped(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+}

@@ -19,6 +19,7 @@ use vic_core::manager::{AccessHints, DmaDir, MgrStats};
 use vic_core::policy::PolicyConfig;
 use vic_core::types::{Access, Mapping, PFrame, Prot, SpaceId, VAddr, VPage};
 use vic_machine::{Fault, Machine, MachineConfig};
+use vic_metrics::{PageStateCounts, SystemSnapshot};
 use vic_profile::Seg;
 use vic_trace::{TraceEvent, Tracer};
 
@@ -334,6 +335,38 @@ impl Kernel {
         self.machine.reset_account();
         self.pmap.reset_mgr_stats();
         self.stats.reset();
+    }
+
+    /// Take a point-in-time system snapshot: the machine's hardware view
+    /// ([`Machine::inspect`]) plus the consistency manager's per-page
+    /// state, folded into per-state counts over every tracked frame.
+    /// Reads only — no statistic, cycle or state changes.
+    pub fn inspect(&self) -> SystemSnapshot {
+        use vic_core::types::{CacheKind, CachePage};
+        let machine = self.machine.inspect();
+        let mut frames_tracked = 0u64;
+        let mut d_states = PageStateCounts::default();
+        let mut i_states = PageStateCounts::default();
+        let d_pages = machine.dcache.pages.len() as u32;
+        let i_pages = machine.icache.pages.len() as u32;
+        for f in 0..self.machine.config().num_frames() {
+            let Some(info) = self.pmap.observed_page(PFrame(f)) else {
+                continue;
+            };
+            frames_tracked += 1;
+            for cp in 0..d_pages {
+                d_states.count(info.cache_page_state(CacheKind::Data, CachePage(cp)));
+            }
+            for cp in 0..i_pages {
+                i_states.count(info.cache_page_state(CacheKind::Insn, CachePage(cp)));
+            }
+        }
+        SystemSnapshot {
+            machine,
+            frames_tracked,
+            d_states,
+            i_states,
+        }
     }
 
     // ---------------------------------------------------------------

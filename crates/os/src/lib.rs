@@ -62,3 +62,4 @@ pub use error::OsError;
 pub use kernel::{Kernel, KernelConfig, RunAccess, ShareAlignment, TaskId};
 pub use stats::OsStats;
 pub use system::SystemKind;
+pub use vic_metrics::{PageStateCounts, SystemSnapshot};

@@ -96,6 +96,12 @@ impl Pmap {
         self.mgr.reset_stats();
     }
 
+    /// The consistency state the manager tracks for `frame`, if any
+    /// (side-effect free; `None` for managers without per-page state).
+    pub fn observed_page(&self, frame: PFrame) -> Option<&vic_core::page_state::PhysPageInfo> {
+        self.mgr.observed_page(frame)
+    }
+
     /// Number of live mappings (debugging / assertions).
     pub fn mapping_count(&self) -> usize {
         self.mappings.len()

@@ -53,6 +53,7 @@ pub use fork::ForkBench;
 pub use kbuild::KernelBuild;
 pub use latex::LatexBench;
 pub use runner::{
-    run_on, run_profiled, run_traced, run_with_config, MachineSize, RunStats, Workload,
+    run_observed, run_on, run_profiled, run_traced, run_with_config, MachineSize, Observed,
+    RunStats, Workload,
 };
 pub use spec::WorkloadKind;

@@ -154,6 +154,53 @@ pub fn run_profiled(
     (stats, tree)
 }
 
+/// Everything an observed run produced: the statistics (or the workload
+/// error, caught instead of panicking so a flight recorder can dump it),
+/// the final system snapshot, and the sampler's time series if one was
+/// requested.
+#[derive(Debug)]
+pub struct Observed {
+    /// The run's statistics, or the workload error message.
+    pub result: Result<RunStats, String>,
+    /// The full system state at the end of the run (or at the error).
+    pub snapshot: vic_os::SystemSnapshot,
+    /// The occupancy time series, when `sample_every` was set.
+    pub series: Option<vic_metrics::TimeSeries>,
+}
+
+/// [`run_traced`] under observation: optionally attach a cycle-driven
+/// snapshot sampler (`sample_every`), catch a workload failure instead of
+/// panicking, and return the final [`Kernel::inspect`] snapshot alongside
+/// the stats. The simulated results are identical to [`run_traced`] —
+/// sampling and inspection only read state.
+pub fn run_observed(
+    cfg: KernelConfig,
+    workload: &dyn Workload,
+    tracer: Tracer,
+    sample_every: Option<u64>,
+) -> Observed {
+    let mut k = Kernel::new(cfg);
+    k.set_tracer(tracer);
+    if let Some(every) = sample_every {
+        k.machine_mut()
+            .set_sampler(vic_metrics::SnapshotSampler::every(every));
+    }
+    let result = workload.run(&mut k);
+    k.machine_mut().tracer_mut().finish();
+    let snapshot = k.inspect();
+    let series = k
+        .machine_mut()
+        .take_sampler()
+        .map(|s| s.into_series(workload.name()));
+    Observed {
+        result: result
+            .map(|()| collect(&k, workload.name()))
+            .map_err(|e| format!("workload {} failed: {e}", workload.name())),
+        snapshot,
+        series,
+    }
+}
+
 /// Snapshot statistics from a kernel after a run.
 pub fn collect(k: &Kernel, workload: &str) -> RunStats {
     RunStats {
@@ -198,6 +245,23 @@ mod tests {
         assert!(s.seconds > 0.0);
         assert_eq!(s.oracle_violations, 0);
         assert_eq!(s.machine.stores, 1 + 64, "one user store + zero-fill");
+    }
+
+    #[test]
+    fn observed_run_matches_plain_and_samples() {
+        let sys = SystemKind::Cmu(vic_core::policy::Configuration::F);
+        let plain = run_on(sys, MachineSize::Small, &Touch);
+        let obs = run_observed(KernelConfig::small(sys), &Touch, Tracer::off(), Some(100));
+        let stats = obs.result.expect("touch succeeds");
+        assert_eq!(stats, plain, "observation changes nothing");
+        assert_eq!(obs.snapshot.machine.cycles, stats.cycles);
+        assert!(obs.snapshot.frames_tracked > 0, "manager tracks frames");
+        let series = obs.series.expect("sampler requested");
+        assert_eq!(series.label, "touch");
+        assert!(!series.samples.is_empty());
+        // Without a sampler there is no series.
+        let obs = run_observed(KernelConfig::small(sys), &Touch, Tracer::off(), None);
+        assert!(obs.series.is_none());
     }
 
     #[test]

@@ -19,12 +19,18 @@
 //! * [`vic_trace`] (as `trace`) — the structured event-tracing and metrics
 //!   layer (ring-buffer/JSON/histogram sinks, and the consistency auditor
 //!   that replays a trace against the abstract four-state model);
+//! * [`vic_metrics`] (as `metrics`) — the observability layer (live
+//!   [`Machine::inspect`](vic_machine::Machine::inspect) snapshots, the
+//!   cycle-driven occupancy sampler, sharded run metrics with a
+//!   commutative merge, progress/ETA reporting, and the flight-recorder
+//!   post-mortem format);
 //! * [`vic_profile`] (as `profile`) — the cycle-cost attribution profiler
 //!   (hierarchical cost trees keyed to the simulated clock, profile
 //!   documents, differential comparison for the perf-regression baseline).
 
 pub use vic_core as core;
 pub use vic_machine as machine;
+pub use vic_metrics as metrics;
 pub use vic_os as os;
 pub use vic_profile as profile;
 pub use vic_trace as trace;

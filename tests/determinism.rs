@@ -9,11 +9,12 @@
 use std::sync::{Arc, Mutex};
 
 use vic::core::policy::Configuration;
+use vic::metrics::{MetricsShard, ProgressReporter};
 use vic::os::{Kernel, KernelConfig, SystemKind};
-use vic::trace::{JsonLinesSink, Tracer};
-use vic::workloads::{run_traced, RunStats, WorkloadKind};
+use vic::trace::{JsonLinesSink, RingBufferSink, Tracer};
+use vic::workloads::{run_observed, run_traced, RunStats, WorkloadKind};
 use vic_bench::output::run_json;
-use vic_bench::sweep::run_sweep_with_threads;
+use vic_bench::sweep::{run_observed_sweep_with_threads, run_sweep_with_threads};
 use vic_bench::SystemSpec;
 
 /// A small but non-trivial grid: two workload kinds, two configurations,
@@ -156,6 +157,97 @@ fn bulk_runs_change_nothing_observable() {
             "{}: result JSON differs between bulk runs and the word loop",
             spec.label()
         );
+    }
+}
+
+/// The determinism lock for the observability layer. Attaching every
+/// observer at once — the cycle-driven snapshot sampler, a bounded
+/// flight-recorder ring on the trace stream, and the post-run
+/// `inspect()` snapshot — must change nothing the simulation can see:
+/// same `RunStats`, byte-identical result JSON.
+#[test]
+fn observability_changes_nothing_observable() {
+    for spec in small_grid() {
+        let plain = spec.run();
+        let ring = Arc::new(Mutex::new(RingBufferSink::new(64)));
+        let obs = run_observed(
+            spec.kernel_config(),
+            spec.build_workload().as_ref(),
+            Tracer::shared(ring.clone()),
+            Some(500),
+        );
+        let stats = obs.result.expect("workload succeeds");
+        assert_eq!(
+            plain,
+            stats,
+            "{}: stats differ under full observation",
+            spec.label()
+        );
+        assert_eq!(
+            run_json(&spec, &plain, None),
+            run_json(&spec, &stats, None),
+            "{}: result JSON differs under full observation",
+            spec.label()
+        );
+        // And the observers did observe: the sampler produced a series,
+        // the ring saw events, the snapshot reflects a finished run.
+        assert!(obs.series.is_some_and(|s| !s.samples.is_empty()));
+        assert!(ring.lock().unwrap().total_seen() > 0);
+        assert_eq!(obs.snapshot.machine.cycles, stats.cycles);
+    }
+}
+
+/// The counters and gauges of a merged shard as an owned comparable
+/// value (histograms are compared separately so the host-time-dependent
+/// `host_ns_per_run` one can be excluded).
+fn simulated_metrics(m: &MetricsShard) -> MetricsShard {
+    let mut sim = MetricsShard::new();
+    for (k, v) in m.counters() {
+        sim.add(k, v);
+    }
+    for (k, v) in m.gauges() {
+        sim.gauge_max(k, v);
+    }
+    sim
+}
+
+/// Per-worker shards merge commutatively, so the fleet telemetry of an
+/// observed sweep — every counter, gauge, and the simulated-cycle
+/// histogram — is identical whichever of 1/2/4/16 workers ran which
+/// spec. Only the host-nanosecond histogram may differ.
+#[test]
+fn observed_sweep_metrics_are_thread_count_independent() {
+    let specs = small_grid();
+    let base = run_observed_sweep_with_threads(&specs, 1, &ProgressReporter::disabled());
+    assert!(base.failures.is_empty());
+    assert_eq!(
+        base.metrics.counter("runs_completed"),
+        specs.len() as u64,
+        "every run counted"
+    );
+    let base_hist = base.metrics.histogram("sim_cycles_per_run").unwrap();
+    for threads in [2, 4, 16] {
+        let obs = run_observed_sweep_with_threads(&specs, threads, &ProgressReporter::disabled());
+        assert!(obs.failures.is_empty());
+        assert_eq!(
+            simulated_metrics(&obs.metrics),
+            simulated_metrics(&base.metrics),
+            "counters/gauges differ at {threads} threads"
+        );
+        assert_eq!(
+            obs.metrics.histogram("sim_cycles_per_run").unwrap(),
+            base_hist,
+            "sim-cycle histogram differs at {threads} threads"
+        );
+        for (a, b) in base.results.iter().zip(&obs.results) {
+            assert_eq!(a.spec, b.spec, "order preserved at {threads} threads");
+            assert_eq!(
+                a.stats,
+                b.stats,
+                "{} differs at {threads} threads",
+                a.spec.label()
+            );
+        }
     }
 }
 
