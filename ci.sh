@@ -48,7 +48,7 @@ echo "=== metrics smoke (sweep --metrics / --check-metrics) ==="
 metrics_json="$(mktemp)"; scratch_json="$(mktemp)"
 cargo run --release -p vic-bench --bin sweep --offline -q -- \
     --quick --threads 2 --json "$scratch_json" --metrics "$metrics_json" >/dev/null
-grep -q '"metrics_version":1' "$metrics_json" || { echo "metrics doc missing version"; exit 1; }
+grep -q '"engine_version":2' "$metrics_json" || { echo "metrics doc missing version"; exit 1; }
 grep -q '"runs_completed":23' "$metrics_json" || { echo "metrics doc missing fleet totals"; exit 1; }
 cargo run --release -p vic-bench --bin sweep --offline -q -- \
     --check-metrics "$metrics_json" >/dev/null
@@ -70,9 +70,9 @@ if cargo run --release -p vic-bench --bin run --offline -q -- \
     echo "chaos run unexpectedly clean"; exit 1
 fi
 test -s "$flight_json" || { echo "flight recorder wrote no dump"; exit 1; }
-grep -q '"flight_version":1' "$flight_json" || { echo "flight dump missing version"; exit 1; }
+grep -q '"engine_version":2' "$flight_json" || { echo "flight dump missing version"; exit 1; }
 grep -q '"divergence_count":' "$flight_json" || { echo "flight dump missing divergences"; exit 1; }
-grep -q '"snapshot":{"snapshot_version":1' "$flight_json" || { echo "flight dump missing snapshot"; exit 1; }
+grep -q '"snapshot":{"engine_version":2' "$flight_json" || { echo "flight dump missing snapshot"; exit 1; }
 rm -f "$flight_json"
 
 echo "=== bulk-vs-word smoke (--no-fast-paths) ==="
@@ -88,6 +88,31 @@ cargo run --release -p vic-bench --bin run --offline -q -- \
     kernel-build F --quick --no-fast-paths >"$word_out"
 cmp "$bulk_out" "$word_out" || { echo "bulk runs changed observable output"; exit 1; }
 rm -f "$bulk_out" "$word_out"
+
+echo "=== checkpoint smoke (--checkpoint-at / --restore round trip) ==="
+# Pausing a run into a checkpoint and resuming it in a new process must
+# be invisible: the final stats JSON is byte-identical to a straight run
+# (minus host wall time). The committed fixture locks the schema: it must
+# stay restorable at this engine version (after an intentional format
+# change, bump ENGINE_VERSION and regenerate it with:
+#   cargo run --release -p vic-bench --bin run -- \
+#       fork-bench F --quick --checkpoint-at 20000 --checkpoint BENCH_checkpoint.json)
+cp_json="$(mktemp -u)"; full_json="$(mktemp)"; resumed_json="$(mktemp)"
+cargo run --release -p vic-bench --bin run --offline -q -- \
+    fork-bench F --quick --json "$full_json" >/dev/null
+cargo run --release -p vic-bench --bin run --offline -q -- \
+    fork-bench F --quick --checkpoint-at 20000 --checkpoint "$cp_json" >/dev/null
+grep -q '"engine_version":2' "$cp_json" || { echo "checkpoint missing version"; exit 1; }
+cargo run --release -p vic-bench --bin run --offline -q -- \
+    --restore "$cp_json" --json "$resumed_json" >/dev/null
+strip_wall() { sed 's/"wall_seconds":[0-9.e+-]*//' "$1"; }
+[ "$(strip_wall "$full_json")" = "$(strip_wall "$resumed_json")" ] \
+    || { echo "restored run diverged from the uninterrupted run"; exit 1; }
+rm -f "$cp_json" "$full_json" "$resumed_json"
+grep -q '^{"engine_version":2,"spec":' BENCH_checkpoint.json \
+    || { echo "checkpoint fixture schema drifted"; exit 1; }
+cargo run --release -p vic-bench --bin run --offline -q -- \
+    --restore BENCH_checkpoint.json >/dev/null
 
 echo "=== profile baseline check (BENCH_baseline.json) ==="
 # Re-runs the quick Table-4 + Table-5 grids under the cycle-cost

@@ -10,16 +10,28 @@
 //! cargo run --release -p vic-bench --bin run -- afs-bench F --json afs_F.json
 //! cargo run --release -p vic-bench --bin run -- afs-bench F --quick --inspect occupancy.csv
 //! cargo run --release -p vic-bench --bin run -- fork-bench chaos-flushes --quick --flight dump.json
+//! cargo run --release -p vic-bench --bin run -- afs-bench F --quick --checkpoint-at 100000 --checkpoint cp.json
+//! cargo run --release -p vic-bench --bin run -- --restore cp.json
 //! ```
+//!
+//! Every run executes through the stepwise driver (`vic_workloads::drive`),
+//! so a plain run, a run paused into a checkpoint, and a restored run all
+//! take the same code path: pausing and resuming changes no simulated
+//! number and no trace event.
 
 use std::sync::{Arc, Mutex};
 
-use vic_bench::cli::{self, RunCli, SYSTEM_NAMES, WORKLOAD_NAMES};
+use vic_bench::checkpoint::SystemCheckpoint;
+use vic_bench::cli::{self, RunCli, RunMode, SYSTEM_NAMES, WORKLOAD_NAMES};
 use vic_bench::output;
+use vic_core::serial::{WordReader, WordWriter};
+use vic_core::types::CpuId;
 use vic_metrics::{PostMortem, SeriesFormat};
+use vic_os::Kernel;
 use vic_trace::{
     ConsistencyAuditor, FanoutSink, HistogramSink, JsonLinesSink, RingBufferSink, Tracer,
 };
+use vic_workloads::{drive, Cursor, DriveOutcome};
 
 /// How many trailing events the flight recorder retains.
 const FLIGHT_RING_CAPACITY: usize = 256;
@@ -30,6 +42,8 @@ fn usage() -> String {
          \x20                               [--no-fast-paths] [--trace <file>] [--trace-summary]\n\
          \x20                               [--json <file>] [--inspect <file>] [--sample-every <n>]\n\
          \x20                               [--flight <file>]\n\
+         \x20                               [--checkpoint-at <cycle> --checkpoint <file>]\n\
+         \x20      run --restore <file> [observer flags] [--checkpoint-at <cycle> --checkpoint <file>]\n\
          \n\
          workloads: {WORKLOAD_NAMES}\n\
          systems:   {SYSTEM_NAMES}\n\
@@ -43,7 +57,12 @@ fn usage() -> String {
          \x20                series (renderer by extension: .csv, .md, .json, else plain)\n\
          --sample-every <n>  sampling interval in simulated cycles (default {default_every})\n\
          --flight <file>  arm the flight recorder: on an audit divergence or a workload\n\
-         \x20                error, dump the last {ring} events + a machine snapshot as JSON",
+         \x20                error, dump the last {ring} events + a machine snapshot as JSON\n\
+         --checkpoint-at <cycle> --checkpoint <file>\n\
+         \x20                pause once the cycle counter reaches <cycle> and write the\n\
+         \x20                complete system image (kernel + workload cursor) as JSON\n\
+         --restore <file> resume a checkpointed run; workload, system and knobs come\n\
+         \x20                from the file, observers re-attach fresh",
         default_every = cli::DEFAULT_SAMPLE_EVERY,
         ring = FLIGHT_RING_CAPACITY,
     )
@@ -59,7 +78,7 @@ fn write_or_die(binary: &str, path: &str, contents: &str) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let RunCli {
-        spec,
+        mode,
         trace,
         trace_summary,
         json,
@@ -67,6 +86,7 @@ fn main() {
         inspect,
         sample_every,
         flight,
+        checkpoint,
     } = match cli::parse_run(&args) {
         Ok(cli) => cli,
         Err(e) => {
@@ -75,16 +95,36 @@ fn main() {
         }
     };
 
+    // Resolve the mode: a fresh boot takes its spec from the command
+    // line; a restore reads the checkpoint first (spec and fast-path
+    // setting travel inside it).
+    let (spec, fast_paths, resume) = match &mode {
+        RunMode::Fresh(spec) => (*spec, !no_fast_paths, None),
+        RunMode::Restore(path) => match SystemCheckpoint::load(path) {
+            Ok(cp) => (cp.spec, cp.fast_paths, Some(cp)),
+            Err(e) => {
+                eprintln!("run: {e}");
+                std::process::exit(2);
+            }
+        },
+    };
+
     // Assemble the trace pipeline: a JSON-lines file and/or an in-process
     // histogram aggregator, always joined by the consistency auditor when
     // any tracing is requested. Arming the flight recorder adds a bounded
     // ring of the most recent events (and forces tracing on, since the
     // black box is pointless without the auditor). The inspectable sinks
     // live behind Arc<Mutex<_>>: one handle goes to the tracer, ours
-    // reads after the run.
+    // reads after the run. A restored run's auditor attaches mid-flight,
+    // so it seeds its shadow states from the first claim per page instead
+    // of assuming cold caches.
     let tracing = trace.is_some() || trace_summary || flight.is_some();
     let hist = Arc::new(Mutex::new(HistogramSink::new()));
-    let auditor = Arc::new(Mutex::new(ConsistencyAuditor::new()));
+    let auditor = Arc::new(Mutex::new(if resume.is_some() {
+        ConsistencyAuditor::resumed()
+    } else {
+        ConsistencyAuditor::new()
+    }));
     let ring = Arc::new(Mutex::new(RingBufferSink::new(FLIGHT_RING_CAPACITY)));
     let tracer = if tracing {
         let mut fan = FanoutSink::new().with(auditor.clone());
@@ -106,28 +146,75 @@ fn main() {
         Tracer::off()
     };
 
-    // Observe the run: run_observed catches a workload failure (so the
-    // flight recorder can still dump) and snapshots the machine at the
-    // end; with no sampler and no failure its results are byte-identical
-    // to the plain traced path.
+    // Build the system: a fresh kernel, optionally overwritten with the
+    // checkpointed state. Observers attach *after* the restore — they are
+    // never part of a checkpoint (DESIGN.md, "State ownership &
+    // serialization") and always start fresh.
+    let mut cfg = spec.kernel_config();
+    cfg.machine.fast_paths = fast_paths;
+    let mut k = Kernel::new(cfg);
+    let mut cur = Cursor::new();
+    if let Some(cp) = resume {
+        let path = match &mode {
+            RunMode::Restore(p) => p.as_str(),
+            RunMode::Fresh(_) => unreachable!("resume implies restore mode"),
+        };
+        let mut r = WordReader::new(&cp.state);
+        if let Err(e) = k.restore_state(&mut r).and_then(|()| r.finish()) {
+            eprintln!("run: cannot access '{path}': corrupt kernel state: {e}");
+            std::process::exit(2);
+        }
+        let mut r = WordReader::new(&cp.cursor);
+        cur = match Cursor::restore_state(&mut r).and_then(|c| r.finish().map(|()| c)) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("run: cannot access '{path}': corrupt workload cursor: {e}");
+                std::process::exit(2);
+            }
+        };
+        if k.machine().cycles() != cp.cycle {
+            eprintln!(
+                "run: cannot access '{path}': checkpoint says cycle {} but the restored \
+                 machine is at {}",
+                cp.cycle,
+                k.machine().cycles()
+            );
+            std::process::exit(2);
+        }
+    }
+    k.set_tracer(tracer);
     let sample = inspect
         .as_ref()
         .map(|_| sample_every.unwrap_or(cli::DEFAULT_SAMPLE_EVERY));
-    let mut cfg = spec.kernel_config();
-    if no_fast_paths {
-        cfg.machine.fast_paths = false;
+    if let Some(every) = sample {
+        k.machine_mut()
+            .set_sampler(vic_metrics::SnapshotSampler::every(every));
     }
-    let workload = spec.build_workload();
+
+    // Drive the stepwise workload — to completion, or to the requested
+    // checkpoint cycle. The stop check is a step boundary, so the paused
+    // image contains exactly the work an uninterrupted run would have
+    // done by that point.
+    let step = spec.workload.build_step(spec.quick);
+    let stop_at = checkpoint.as_ref().map(|(at, _)| *at);
     let t0 = std::time::Instant::now();
-    let obs = vic_workloads::run_observed(cfg, workload.as_ref(), tracer, sample);
+    let outcome = drive(&mut k, CpuId::BOOT, step.as_ref(), &mut cur, stop_at);
     let wall = t0.elapsed();
+    k.machine_mut().tracer_mut().finish();
+    let snapshot = k.inspect();
+    let series = k
+        .machine_mut()
+        .take_sampler()
+        .map(|s| s.into_series(step.name()));
+    let result: Result<DriveOutcome, String> =
+        outcome.map_err(|e| format!("workload {} failed: {e}", step.name()));
 
     // The flight recorder fires on a workload error or any audit
     // divergence — before the report, so a dump exists even if later
     // output stages fail.
     if let Some(path) = &flight {
         let a = auditor.lock().expect("auditor sink poisoned");
-        let reason = match &obs.result {
+        let reason = match &result {
             Err(e) => Some(e.clone()),
             Ok(_) if !a.is_clean() => Some(format!("{} audit divergences", a.divergence_count())),
             Ok(_) => None,
@@ -139,20 +226,55 @@ fn main() {
                 &r,
                 a.divergences(),
                 a.divergence_count(),
-                obs.snapshot.clone(),
+                snapshot.clone(),
             );
             write_or_die("run", path, &(pm.to_json() + "\n"));
             println!("flight:    post-mortem written to {path} ({reason})");
         }
     }
 
-    let s = match obs.result {
-        Ok(s) => s,
+    // A paused run writes the checkpoint and stops: the report belongs to
+    // whoever finishes the run.
+    match result {
         Err(e) => {
             eprintln!("run: {e}");
             std::process::exit(1);
         }
-    };
+        Ok(DriveOutcome::Paused) => {
+            let (at, file) = checkpoint
+                .as_ref()
+                .expect("drive pauses only at a requested checkpoint cycle");
+            let mut w = WordWriter::new();
+            k.save_state(&mut w);
+            let state = w.into_words();
+            let mut w = WordWriter::new();
+            cur.save_state(&mut w);
+            let cp = SystemCheckpoint {
+                spec,
+                fast_paths,
+                cycle: k.machine().cycles(),
+                state,
+                cursor: w.into_words(),
+            };
+            write_or_die("run", file, &(cp.to_json() + "\n"));
+            println!(
+                "checkpoint: paused at cycle {} (requested {at}); system image written to {file}",
+                k.machine().cycles()
+            );
+            println!("            resume with: run --restore {file}");
+            return;
+        }
+        Ok(DriveOutcome::Completed) => {}
+    }
+    if let Some((at, file)) = &checkpoint {
+        println!(
+            "checkpoint: run completed at cycle {} without pausing at --checkpoint-at {at} \
+             (the last step crossed it); nothing written to {file}",
+            k.machine().cycles()
+        );
+    }
+
+    let s = vic_workloads::runner::collect(&k, step.name());
     println!("workload:  {}", s.workload);
     println!("system:    {}", s.system);
     println!(
@@ -197,11 +319,11 @@ fn main() {
     println!();
     println!(
         "state:     {} frames tracked; D cache {:.1}% valid ({:.1}% dirty), TLB {}/{} resident",
-        obs.snapshot.frames_tracked,
-        100.0 * obs.snapshot.machine.dcache.occupancy_ratio(),
-        100.0 * obs.snapshot.machine.dcache.dirty_ratio(),
-        obs.snapshot.machine.tlb.resident,
-        obs.snapshot.machine.tlb.capacity,
+        snapshot.frames_tracked,
+        100.0 * snapshot.machine.dcache.occupancy_ratio(),
+        100.0 * snapshot.machine.dcache.dirty_ratio(),
+        snapshot.machine.tlb.resident,
+        snapshot.machine.tlb.capacity,
     );
     println!();
     if trace_summary {
@@ -240,7 +362,7 @@ fn main() {
         println!();
     }
     if let Some(path) = &inspect {
-        let series = obs.series.as_ref().expect("--inspect arms the sampler");
+        let series = series.as_ref().expect("--inspect arms the sampler");
         let format = SeriesFormat::from_path(path);
         write_or_die("run", path, &series.render(format));
         println!(

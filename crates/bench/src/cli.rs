@@ -152,11 +152,21 @@ pub fn parse_workload(s: &str) -> Result<WorkloadKind, CliError> {
     WorkloadKind::parse(s).ok_or_else(|| CliError::UnknownWorkload(s.to_string()))
 }
 
+/// Where the `run` binary gets its system from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunMode {
+    /// Boot a fresh system from the spec on the command line.
+    Fresh(SystemSpec),
+    /// Restore a paused system from a checkpoint file; the spec (and the
+    /// fast-path setting) come from the file, not the command line.
+    Restore(String),
+}
+
 /// The parsed command line of the `run` binary.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunCli {
-    /// The fully described run.
-    pub spec: SystemSpec,
+    /// Fresh boot or checkpoint restore.
+    pub mode: RunMode,
     /// Write every event as JSON lines to this file.
     pub trace: Option<String>,
     /// Print histograms + the consistency audit after the run.
@@ -176,6 +186,10 @@ pub struct RunCli {
     /// Arm the flight recorder: on an audit divergence or workload error,
     /// dump the last events + a machine snapshot to this file as JSON.
     pub flight: Option<String>,
+    /// Pause the run once the simulated cycle counter reaches this value
+    /// and write a [`SystemCheckpoint`](crate::checkpoint::SystemCheckpoint)
+    /// to the paired file (`--checkpoint-at <cycle> --checkpoint <file>`).
+    pub checkpoint: Option<(u64, String)>,
 }
 
 /// The default `--inspect` sampling interval in simulated cycles.
@@ -185,7 +199,8 @@ pub const DEFAULT_SAMPLE_EVERY: u64 = 10_000;
 /// `<workload> <system> [--quick] [--colored] [--write-through]
 /// [--fast-purge] [--no-fast-paths] [--trace <file>] [--trace-summary]
 /// [--json <file>] [--inspect <file>] [--sample-every <n>]
-/// [--flight <file>]`.
+/// [--flight <file>] [--checkpoint-at <cycle> --checkpoint <file>]`
+/// or `--restore <file>` in place of the spec arguments.
 ///
 /// # Errors
 ///
@@ -203,6 +218,9 @@ pub fn parse_run(args: &[String]) -> Result<RunCli, CliError> {
     let mut inspect: Option<String> = None;
     let mut sample_every: Option<String> = None;
     let mut flight: Option<String> = None;
+    let mut checkpoint_at: Option<String> = None;
+    let mut checkpoint: Option<String> = None;
+    let mut restore: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -217,6 +235,9 @@ pub fn parse_run(args: &[String]) -> Result<RunCli, CliError> {
             "--inspect" => set_value(&mut inspect, "--inspect", it.next())?,
             "--sample-every" => set_value(&mut sample_every, "--sample-every", it.next())?,
             "--flight" => set_value(&mut flight, "--flight", it.next())?,
+            "--checkpoint-at" => set_value(&mut checkpoint_at, "--checkpoint-at", it.next())?,
+            "--checkpoint" => set_value(&mut checkpoint, "--checkpoint", it.next())?,
+            "--restore" => set_value(&mut restore, "--restore", it.next())?,
             s if s.starts_with("--") => return Err(CliError::UnknownFlag(s.to_string())),
             s => pos.push(s),
         }
@@ -242,20 +263,46 @@ pub fn parse_run(args: &[String]) -> Result<RunCli, CliError> {
             "--sample-every only makes sense with --inspect <file>".to_string(),
         ));
     }
+    let checkpoint = match (checkpoint_at, checkpoint) {
+        (None, None) => None,
+        (Some(at), Some(file)) => {
+            let at = at.parse::<u64>().map_err(|_| {
+                CliError::Conflicting(format!("--checkpoint-at wants a cycle count, got '{at}'"))
+            })?;
+            Some((at, file))
+        }
+        _ => {
+            return Err(CliError::Conflicting(
+                "--checkpoint-at <cycle> and --checkpoint <file> must be given together"
+                    .to_string(),
+            ))
+        }
+    };
     if let Some(extra) = pos.get(2) {
         return Err(CliError::UnexpectedArg(extra.to_string()));
     }
-    let workload = parse_workload(pos.first().ok_or(CliError::MissingArg("workload"))?)?;
-    let system = parse_system(pos.get(1).ok_or(CliError::MissingArg("system"))?)?;
-    Ok(RunCli {
-        spec: SystemSpec {
+    let mode = if let Some(file) = restore {
+        if !pos.is_empty() || quick || colored || write_through || fast_purge || no_fast_paths {
+            return Err(CliError::Conflicting(
+                "--restore takes its workload, system and knobs from the checkpoint file"
+                    .to_string(),
+            ));
+        }
+        RunMode::Restore(file)
+    } else {
+        let workload = parse_workload(pos.first().ok_or(CliError::MissingArg("workload"))?)?;
+        let system = parse_system(pos.get(1).ok_or(CliError::MissingArg("system"))?)?;
+        RunMode::Fresh(SystemSpec {
             workload,
             system,
             quick,
             colored_free_lists: colored,
             write_through,
             fast_purge,
-        },
+        })
+    };
+    Ok(RunCli {
+        mode,
         trace,
         trace_summary,
         json,
@@ -263,6 +310,7 @@ pub fn parse_run(args: &[String]) -> Result<RunCli, CliError> {
         inspect,
         sample_every,
         flight,
+        checkpoint,
     })
 }
 
@@ -743,14 +791,87 @@ mod tests {
             "out.json",
         ]))
         .unwrap();
-        assert_eq!(cli.spec.workload, WorkloadKind::KernelBuild);
-        assert_eq!(cli.spec.system, SystemKind::Cmu(Configuration::F));
-        assert!(cli.spec.quick && cli.spec.colored_free_lists);
+        let RunMode::Fresh(spec) = cli.mode else {
+            panic!("expected Fresh, got {:?}", cli.mode);
+        };
+        assert_eq!(spec.workload, WorkloadKind::KernelBuild);
+        assert_eq!(spec.system, SystemKind::Cmu(Configuration::F));
+        assert!(spec.quick && spec.colored_free_lists);
         assert_eq!(cli.json.as_deref(), Some("out.json"));
         assert!(cli.trace.is_none() && !cli.trace_summary);
         assert!(!cli.no_fast_paths);
+        assert!(cli.checkpoint.is_none());
         let cli = parse_run(&s(&["afs-bench", "F", "--no-fast-paths"])).unwrap();
         assert!(cli.no_fast_paths);
+    }
+
+    #[test]
+    fn run_checkpoint_grammar() {
+        let cli = parse_run(&s(&[
+            "fork-bench",
+            "F",
+            "--quick",
+            "--checkpoint-at",
+            "50000",
+            "--checkpoint",
+            "cp.json",
+        ]))
+        .unwrap();
+        assert_eq!(cli.checkpoint, Some((50_000, "cp.json".to_string())));
+        // Both halves of the pair are required.
+        assert!(matches!(
+            parse_run(&s(&["fork-bench", "F", "--checkpoint-at", "100"])),
+            Err(CliError::Conflicting(_))
+        ));
+        assert!(matches!(
+            parse_run(&s(&["fork-bench", "F", "--checkpoint", "cp.json"])),
+            Err(CliError::Conflicting(_))
+        ));
+        assert!(matches!(
+            parse_run(&s(&[
+                "fork-bench",
+                "F",
+                "--checkpoint-at",
+                "soon",
+                "--checkpoint",
+                "cp.json"
+            ])),
+            Err(CliError::Conflicting(_))
+        ));
+    }
+
+    #[test]
+    fn run_restore_grammar() {
+        let cli = parse_run(&s(&["--restore", "cp.json"])).unwrap();
+        assert_eq!(cli.mode, RunMode::Restore("cp.json".to_string()));
+        // The restored spec comes from the file: positionals and spec
+        // knobs conflict with --restore.
+        for extra in [
+            vec!["--restore", "cp.json", "fork-bench", "F"],
+            vec!["--restore", "cp.json", "--quick"],
+            vec!["--restore", "cp.json", "--no-fast-paths"],
+            vec!["--restore", "cp.json", "--write-through"],
+        ] {
+            assert!(
+                matches!(parse_run(&s(&extra)), Err(CliError::Conflicting(_))),
+                "{extra:?}"
+            );
+        }
+        // Observers and a further checkpoint re-attach freely.
+        let cli = parse_run(&s(&[
+            "--restore",
+            "cp.json",
+            "--trace-summary",
+            "--json",
+            "out.json",
+            "--checkpoint-at",
+            "90000",
+            "--checkpoint",
+            "cp2.json",
+        ]))
+        .unwrap();
+        assert!(cli.trace_summary);
+        assert_eq!(cli.checkpoint, Some((90_000, "cp2.json".to_string())));
     }
 
     #[test]

@@ -29,9 +29,6 @@ use crate::cli::{parse_system, parse_workload};
 use crate::output::{json_array, spec_json, JsonObj};
 use crate::spec::SystemSpec;
 
-/// Version stamp of the `BENCH_host.json` schema.
-pub const HOSTBENCH_VERSION: u64 = 1;
-
 /// The default hostbench results file.
 pub const DEFAULT_HOST_FILE: &str = "BENCH_host.json";
 
@@ -271,7 +268,7 @@ pub fn host_entry_json(e: &HostEntry) -> String {
 /// Serialize a whole `BENCH_host.json` document.
 pub fn host_doc_json(entries: &[HostEntry]) -> String {
     JsonObj::new()
-        .u64("hostbench_version", HOSTBENCH_VERSION)
+        .u64("engine_version", vic_core::ENGINE_VERSION)
         .raw("entries", &json_array(entries.iter().map(host_entry_json)))
         .finish()
 }
@@ -321,10 +318,11 @@ fn parse_spec(v: &JsonValue) -> Result<SystemSpec, String> {
 /// verdict of the `hostbench` binary).
 pub fn parse_host_doc(text: &str) -> Result<Vec<HostEntry>, String> {
     let doc = parse_json(text).map_err(|e| e.to_string())?;
-    let version = u64_field(&doc, "hostbench_version")?;
-    if version != HOSTBENCH_VERSION {
+    let version = u64_field(&doc, "engine_version")?;
+    if version != vic_core::ENGINE_VERSION {
         return Err(format!(
-            "hostbench_version {version} (this build reads {HOSTBENCH_VERSION})"
+            "engine_version {version} (this build reads {})",
+            vic_core::ENGINE_VERSION
         ));
     }
     let entries = field(&doc, "entries")?
@@ -499,16 +497,15 @@ mod tests {
         assert!(parse_host_doc("").is_err());
         assert!(parse_host_doc("{}").is_err(), "missing version");
         assert!(
-            parse_host_doc(r#"{"hostbench_version":99,"entries":[]}"#).is_err(),
+            parse_host_doc(r#"{"engine_version":99,"entries":[]}"#).is_err(),
             "future version rejected"
         );
         assert_eq!(
-            parse_host_doc(r#"{"hostbench_version":1,"entries":[]}"#).unwrap(),
+            parse_host_doc(r#"{"engine_version":2,"entries":[]}"#).unwrap(),
             vec![],
             "no entries yet is a valid fresh file"
         );
-        let err =
-            parse_host_doc(r#"{"hostbench_version":1,"entries":[{"label":"x"}]}"#).unwrap_err();
+        let err = parse_host_doc(r#"{"engine_version":2,"entries":[{"label":"x"}]}"#).unwrap_err();
         assert!(err.contains("entry 0"), "names the entry: {err}");
     }
 

@@ -32,6 +32,7 @@
 //! wins, by what factor, where the costs sit — is asserted in
 //! `tests/experiments.rs` at the workspace root.
 
+pub mod checkpoint;
 pub mod cli;
 pub mod experiments;
 pub mod harness;
@@ -41,12 +42,13 @@ pub mod profile;
 pub mod spec;
 pub mod sweep;
 
+pub use checkpoint::SystemCheckpoint;
 pub use experiments::{
     microbench, table1, table2_report, table4, table5, MicrobenchResult, Table1Row, Table4Cell,
     Table5Row,
 };
-pub use hostbench::{HostEntry, HostGrid, HostRun, HOSTBENCH_VERSION};
-pub use output::{metrics_json, parse_metrics_doc, MetricsDoc, RunMetric, METRICS_VERSION};
+pub use hostbench::{HostEntry, HostGrid, HostRun};
+pub use output::{metrics_json, parse_metrics_doc, MetricsDoc, RunMetric};
 pub use spec::SystemSpec;
 pub use sweep::{
     run_observed_sweep_with_threads, run_profiled_sweep_with_threads, run_sweep,

@@ -12,6 +12,7 @@
 //!
 //! ```json
 //! {
+//!   "engine_version": 2,
 //!   "spec": {"workload": "...", "system": "F", "quick": false, ...},
 //!   "elapsed_cycles": 123,
 //!   "elapsed_seconds": 0.5,
@@ -24,7 +25,10 @@
 //! ```
 //!
 //! A sweep file wraps the runs:
-//! `{"threads": n, "wall_seconds": t, "runs": [run, run, ...]}`.
+//! `{"engine_version": 2, "threads": n, "wall_seconds": t, "runs": [...]}`.
+//!
+//! Every versioned document this module emits carries the single
+//! [`vic_core::ENGINE_VERSION`] stamp.
 
 use std::fmt::Write as _;
 
@@ -248,6 +252,7 @@ fn os_json(o: &OsStats) -> String {
 /// is included only when provided.
 pub fn run_json(spec: &SystemSpec, stats: &RunStats, wall_seconds: Option<f64>) -> String {
     let mut o = JsonObj::new()
+        .u64("engine_version", vic_core::ENGINE_VERSION)
         .raw("spec", &spec_json(spec))
         .str("workload", &stats.workload)
         .str("system", &stats.system)
@@ -289,16 +294,13 @@ where
     I: IntoIterator<Item = (&'a SystemSpec, &'a vic_profile::CostTree)>,
 {
     JsonObj::new()
-        .u64("profile_version", vic_profile::PROFILE_VERSION)
+        .u64("engine_version", vic_core::ENGINE_VERSION)
         .raw(
             "runs",
             &json_array(runs.into_iter().map(|(s, t)| profile_run_json(s, t))),
         )
         .finish()
 }
-
-/// Version stamp of the fleet-telemetry metrics document.
-pub const METRICS_VERSION: u64 = 1;
 
 /// One run's contribution to a metrics document: its label, deterministic
 /// simulated cycle count, and (nondeterministic) host nanoseconds.
@@ -366,7 +368,7 @@ pub fn metrics_json(
             .finish()
     }));
     JsonObj::new()
-        .u64("metrics_version", METRICS_VERSION)
+        .u64("engine_version", vic_core::ENGINE_VERSION)
         .u64("threads", threads as u64)
         .f64("wall_seconds", wall_seconds)
         .raw("fleet", &fleet)
@@ -409,10 +411,11 @@ pub fn parse_metrics_doc(text: &str) -> Result<MetricsDoc, String> {
             .and_then(vic_profile::JsonValue::as_u64)
             .ok_or_else(|| format!("missing or non-integer field '{key}'"))
     };
-    let version = u64_field(&doc, "metrics_version")?;
-    if version != METRICS_VERSION {
+    let version = u64_field(&doc, "engine_version")?;
+    if version != vic_core::ENGINE_VERSION {
         return Err(format!(
-            "metrics_version {version} != supported {METRICS_VERSION}"
+            "engine_version {version} != supported {}",
+            vic_core::ENGINE_VERSION
         ));
     }
     let threads = u64_field(&doc, "threads")?;
@@ -468,6 +471,7 @@ pub fn parse_metrics_doc(text: &str) -> Result<MetricsDoc, String> {
 /// A whole sweep as a JSON object (the `BENCH_sweep.json` format).
 pub fn sweep_json(sweep: &Sweep) -> String {
     JsonObj::new()
+        .u64("engine_version", vic_core::ENGINE_VERSION)
         .u64("threads", sweep.threads as u64)
         .f64("wall_seconds", sweep.wall.as_secs_f64())
         .raw(
@@ -527,7 +531,13 @@ mod tests {
     fn metrics_doc_round_trips_and_cross_checks() {
         let (shard, runs) = sample_metrics();
         let text = metrics_json(4, 0.5, &shard, &runs);
-        assert!(text.starts_with("{\"metrics_version\":1,"), "{text}");
+        assert!(
+            text.starts_with(&format!(
+                "{{\"engine_version\":{},",
+                vic_core::ENGINE_VERSION
+            )),
+            "{text}"
+        );
         let doc = parse_metrics_doc(&text).expect("own output parses");
         assert_eq!(doc.threads, 4);
         assert_eq!(doc.runs_completed, 2);
@@ -540,7 +550,10 @@ mod tests {
         let bad = text.replace("\"sim_cycles\":350", "\"sim_cycles\":351");
         let err = parse_metrics_doc(&bad).expect_err("tampered total");
         assert!(err.contains("sim_cycles"), "{err}");
-        let bad = text.replace("\"metrics_version\":1", "\"metrics_version\":9");
+        let bad = text.replace(
+            &format!("\"engine_version\":{}", vic_core::ENGINE_VERSION),
+            "\"engine_version\":99",
+        );
         assert!(parse_metrics_doc(&bad).is_err());
         assert!(parse_metrics_doc("{}").is_err());
         assert!(parse_metrics_doc("not json").is_err());

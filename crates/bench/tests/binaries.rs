@@ -99,8 +99,8 @@ fn sweep_honors_threads_flag_and_writes_json() {
     let doc = std::fs::read_to_string(&json).expect("sweep wrote its JSON file");
     let _ = std::fs::remove_file(&json);
     assert!(
-        doc.starts_with("{\"threads\":3,"),
-        "JSON records the thread count"
+        doc.starts_with("{\"engine_version\":2,\"threads\":3,"),
+        "JSON records the engine version and thread count"
     );
     assert_eq!(doc.matches("\"oracle_violations\":0").count(), 23);
 }
@@ -291,12 +291,12 @@ fn run_flight_recorder_dumps_on_divergence() {
     assert!(text.contains("audit divergences"), "{text}");
     let doc = std::fs::read_to_string(&dump).expect("post-mortem written");
     let _ = std::fs::remove_file(&dump);
-    assert!(doc.starts_with("{\"flight_version\":1,"), "{doc}");
+    assert!(doc.starts_with("{\"engine_version\":2,"), "{doc}");
     for field in [
         "\"reason\":",
         "\"divergence_count\":",
         "\"events\":[",
-        "\"snapshot\":{\"snapshot_version\":1",
+        "\"snapshot\":{\"engine_version\":2",
     ] {
         assert!(doc.contains(field), "missing {field}:\n{doc}");
     }
@@ -349,6 +349,18 @@ fn unwritable_output_paths_exit_2_with_a_named_path() {
             env!("CARGO_BIN_EXE_run"),
             vec!["fork-bench", "chaos-flushes", "--quick", "--flight", bad],
         ),
+        (
+            env!("CARGO_BIN_EXE_run"),
+            vec![
+                "fork-bench",
+                "F",
+                "--quick",
+                "--checkpoint-at",
+                "1",
+                "--checkpoint",
+                bad,
+            ],
+        ),
         (env!("CARGO_BIN_EXE_sweep"), vec!["--quick", "--json", bad]),
         (
             env!("CARGO_BIN_EXE_sweep"),
@@ -381,6 +393,192 @@ fn unwritable_output_paths_exit_2_with_a_named_path() {
     }
 }
 
+/// Drop the run-dependent `"wall_seconds":<n>` pair so two result
+/// documents from different processes can be compared byte-for-byte.
+fn strip_wall(doc: &str) -> String {
+    let Some(start) = doc.find("\"wall_seconds\":") else {
+        return doc.to_string();
+    };
+    let rest = &doc[start..];
+    let end = rest.find([',', '}']).map_or(doc.len(), |i| {
+        start + i + usize::from(rest.as_bytes()[i] == b',')
+    });
+    format!("{}{}", &doc[..start], &doc[end..])
+}
+
+#[test]
+fn run_checkpoint_restore_round_trips_through_the_binaries() {
+    let run = env!("CARGO_BIN_EXE_run");
+    let cp = tmp_file("cp.json");
+    let full_json = tmp_file("full-result.json");
+    let half_json = tmp_file("resumed-result.json");
+    let full_trace = tmp_file("full-trace.jsonl");
+    let first_trace = tmp_file("first-trace.jsonl");
+    let second_trace = tmp_file("second-trace.jsonl");
+    for f in [
+        &cp,
+        &full_json,
+        &half_json,
+        &full_trace,
+        &first_trace,
+        &second_trace,
+    ] {
+        let _ = std::fs::remove_file(f);
+    }
+    let spec = ["fork-bench", "F", "--quick"];
+
+    // The uninterrupted reference.
+    let out = run_bin(
+        run,
+        &[
+            &spec[..],
+            &[
+                "--json",
+                full_json.to_str().unwrap(),
+                "--trace",
+                full_trace.to_str().unwrap(),
+            ],
+        ]
+        .concat(),
+    );
+    assert!(out.status.success(), "straight run: {out:?}");
+
+    // Pause mid-run...
+    let out = run_bin(
+        run,
+        &[
+            &spec[..],
+            &[
+                "--checkpoint-at",
+                "20000",
+                "--checkpoint",
+                cp.to_str().unwrap(),
+                "--trace",
+                first_trace.to_str().unwrap(),
+            ],
+        ]
+        .concat(),
+    );
+    assert!(out.status.success(), "paused run: {out:?}");
+    let text = stdout_of(&out);
+    assert!(text.contains("checkpoint: paused at cycle"), "{text}");
+    assert!(text.contains("resume with: run --restore"), "{text}");
+    assert!(
+        !text.contains("oracle:"),
+        "a paused run prints no report:\n{text}"
+    );
+    let doc = std::fs::read_to_string(&cp).expect("checkpoint written");
+    assert!(doc.starts_with("{\"engine_version\":2,"), "{doc}");
+
+    // ...and resume: a restored run needs no workload/system arguments
+    // and must finish byte-identical (modulo host wall-clock).
+    let out = run_bin(
+        run,
+        &[
+            "--restore",
+            cp.to_str().unwrap(),
+            "--json",
+            half_json.to_str().unwrap(),
+            "--trace",
+            second_trace.to_str().unwrap(),
+            "--trace-summary",
+        ],
+    );
+    assert!(out.status.success(), "restored run: {out:?}");
+    let text = stdout_of(&out);
+    assert!(
+        text.contains("audit:     CLEAN"),
+        "mid-flight auditor re-attaches cleanly:\n{text}"
+    );
+    assert!(text.contains("oracle:    CLEAN"), "{text}");
+
+    let full = std::fs::read_to_string(&full_json).unwrap();
+    let resumed = std::fs::read_to_string(&half_json).unwrap();
+    assert_eq!(
+        strip_wall(&full),
+        strip_wall(&resumed),
+        "result JSON diverged"
+    );
+    let whole = std::fs::read_to_string(&full_trace).unwrap();
+    let first = std::fs::read_to_string(&first_trace).unwrap();
+    let second = std::fs::read_to_string(&second_trace).unwrap();
+    assert_eq!(
+        whole,
+        first + &second,
+        "concatenated trace halves diverge from the uninterrupted stream"
+    );
+    for f in [
+        &cp,
+        &full_json,
+        &half_json,
+        &full_trace,
+        &first_trace,
+        &second_trace,
+    ] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
+fn run_restore_rejects_bad_checkpoints_cleanly() {
+    let run = env!("CARGO_BIN_EXE_run");
+    // A real checkpoint to corrupt.
+    let cp = tmp_file("bad-cp.json");
+    let out = run_bin(
+        run,
+        &[
+            "fork-bench",
+            "F",
+            "--quick",
+            "--checkpoint-at",
+            "1",
+            "--checkpoint",
+            cp.to_str().unwrap(),
+        ],
+    );
+    assert!(out.status.success(), "checkpoint run: {out:?}");
+    let good = std::fs::read_to_string(&cp).unwrap();
+
+    let missing = "/nonexistent-vic-dir/cp.json";
+    let mismatched = tmp_file("bad-cp-version.json");
+    std::fs::write(
+        &mismatched,
+        good.replace("\"engine_version\":2", "\"engine_version\":99"),
+    )
+    .unwrap();
+    let truncated = tmp_file("bad-cp-truncated.json");
+    std::fs::write(&truncated, &good[..good.len() / 2]).unwrap();
+    let garbage = tmp_file("bad-cp-garbage.json");
+    std::fs::write(&garbage, "not a checkpoint\n").unwrap();
+
+    for (path, what) in [
+        (missing, "missing file"),
+        (mismatched.to_str().unwrap(), "engine-version mismatch"),
+        (truncated.to_str().unwrap(), "truncated document"),
+        (garbage.to_str().unwrap(), "non-JSON garbage"),
+    ] {
+        let out = run_bin(run, &["--restore", path]);
+        assert_eq!(out.status.code(), Some(2), "{what} must exit 2: {out:?}");
+        let err = String::from_utf8_lossy(&out.stderr).into_owned();
+        assert!(
+            err.starts_with("run: ") && err.contains(&format!("'{path}'")),
+            "{what}: typed error names the path:\n{err}"
+        );
+        assert!(!err.contains("panicked"), "{what}: no panic:\n{err}");
+    }
+    // Restore refuses spec arguments: the checkpoint owns the spec.
+    let out = run_bin(run, &["fork-bench", "F", "--restore", cp.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("--restore takes its workload"), "{err}");
+    // A checkpoint cycle without a file (and vice versa) is a usage error.
+    let out = run_bin(run, &["fork-bench", "F", "--quick", "--checkpoint-at", "5"]);
+    assert_eq!(out.status.code(), Some(2));
+    for f in [&cp, &mismatched, &truncated, &garbage] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
 #[test]
 fn sweep_metrics_exports_and_check_metrics_validates() {
     let sweep = env!("CARGO_BIN_EXE_sweep");
@@ -405,7 +603,7 @@ fn sweep_metrics_exports_and_check_metrics_validates() {
         stdout_of(&out)
     );
     let doc = std::fs::read_to_string(&metrics).expect("metrics written");
-    assert!(doc.starts_with("{\"metrics_version\":1,"), "{doc}");
+    assert!(doc.starts_with("{\"engine_version\":2,"), "{doc}");
     assert!(doc.contains("\"runs_completed\":23"), "{doc}");
     assert!(doc.contains("\"runs_failed\":0"), "{doc}");
 

@@ -1,0 +1,234 @@
+//! Checkpoint round-trip lock: pausing a run at an arbitrary step
+//! boundary, serializing the complete system through the JSON checkpoint
+//! schema, and resuming in a fresh kernel must be invisible — statistics,
+//! result JSON, and the trace stream are byte-identical to the same run
+//! left uninterrupted.
+//!
+//! The grid crosses consistency managers with cache associativity 1/2/4,
+//! write-back vs write-through, and host fast paths on/off, pausing each
+//! spec at a pseudo-random cycle derived from the spec itself (so the
+//! boundary varies across the grid but the test stays deterministic).
+
+use std::sync::{Arc, Mutex};
+
+use vic_bench::checkpoint::SystemCheckpoint;
+use vic_bench::output;
+use vic_bench::SystemSpec;
+use vic_core::policy::Configuration;
+use vic_core::rng::Rng64;
+use vic_core::serial::{WordReader, WordWriter};
+use vic_core::types::CpuId;
+use vic_os::{Kernel, KernelConfig, SystemKind};
+use vic_trace::{TraceEvent, TraceSink, Tracer};
+use vic_workloads::runner::RunStats;
+use vic_workloads::{drive, runner, Cursor, DriveOutcome, WorkloadKind};
+
+/// Captures the full event stream as rendered lines, for byte comparison.
+#[derive(Debug, Default)]
+struct CollectSink(Vec<String>);
+
+impl TraceSink for CollectSink {
+    fn emit(&mut self, cycle: u64, event: &TraceEvent) {
+        self.0.push(format!("{cycle} {event:?}"));
+    }
+}
+
+/// The kernel configuration for one grid point: the spec's quick config
+/// with the cache geometry re-shaped to `assoc` ways (capacity scales
+/// with the way count so the set count stays fixed) and the host fast
+/// paths toggled.
+fn config(spec: &SystemSpec, assoc: u64, fast_paths: bool) -> KernelConfig {
+    let mut cfg = spec.kernel_config();
+    cfg.machine.dcache_assoc = assoc;
+    cfg.machine.icache_assoc = assoc;
+    cfg.machine.dcache_bytes *= assoc;
+    cfg.machine.icache_bytes *= assoc;
+    cfg.machine.fast_paths = fast_paths;
+    cfg
+}
+
+/// Drive `spec` to completion in one go, collecting stats and the trace.
+fn uninterrupted(spec: &SystemSpec, assoc: u64, fast_paths: bool) -> (RunStats, Vec<String>) {
+    let sink = Arc::new(Mutex::new(CollectSink::default()));
+    let mut k = Kernel::new(config(spec, assoc, fast_paths));
+    k.set_tracer(Tracer::new(sink.clone()));
+    let step = spec.workload.build_step(spec.quick);
+    let mut cur = Cursor::new();
+    let outcome =
+        drive(&mut k, CpuId::BOOT, step.as_ref(), &mut cur, None).expect("workload must not fail");
+    assert_eq!(outcome, DriveOutcome::Completed);
+    k.machine_mut().tracer_mut().finish();
+    let stats = runner::collect(&k, step.name());
+    let events = std::mem::take(&mut sink.lock().unwrap().0);
+    (stats, events)
+}
+
+/// Drive `spec` until `stop_at`, round-trip the paused system through the
+/// JSON checkpoint schema, resume it in a fresh kernel, and finish.
+fn checkpointed(
+    spec: &SystemSpec,
+    assoc: u64,
+    fast_paths: bool,
+    stop_at: u64,
+) -> (RunStats, Vec<String>) {
+    // First half: fresh boot, pause at the boundary.
+    let sink = Arc::new(Mutex::new(CollectSink::default()));
+    let mut k = Kernel::new(config(spec, assoc, fast_paths));
+    k.set_tracer(Tracer::new(sink.clone()));
+    let step = spec.workload.build_step(spec.quick);
+    let mut cur = Cursor::new();
+    let outcome = drive(&mut k, CpuId::BOOT, step.as_ref(), &mut cur, Some(stop_at))
+        .expect("workload must not fail");
+    k.machine_mut().tracer_mut().finish();
+    let mut events = std::mem::take(&mut sink.lock().unwrap().0);
+    if outcome == DriveOutcome::Completed {
+        // The final step crossed the boundary before the stop check — the
+        // run simply finished; nothing to resume.
+        return (runner::collect(&k, step.name()), events);
+    }
+
+    // Through the full on-disk schema: words → RLE hex JSON → words.
+    let mut w = WordWriter::new();
+    k.save_state(&mut w);
+    let state = w.into_words();
+    let mut w = WordWriter::new();
+    cur.save_state(&mut w);
+    let cp = SystemCheckpoint {
+        spec: *spec,
+        fast_paths,
+        cycle: k.machine().cycles(),
+        state,
+        cursor: w.into_words(),
+    };
+    let cp = SystemCheckpoint::parse(&cp.to_json()).expect("checkpoint must round-trip");
+    drop(k);
+
+    // Second half: a fresh kernel restored from the checkpoint, with a
+    // fresh observer attached after the restore.
+    let sink = Arc::new(Mutex::new(CollectSink::default()));
+    let mut k = Kernel::new(config(&cp.spec, assoc, cp.fast_paths));
+    let mut r = WordReader::new(&cp.state);
+    k.restore_state(&mut r).expect("kernel state must restore");
+    r.finish().expect("kernel stream fully consumed");
+    let mut r = WordReader::new(&cp.cursor);
+    let mut cur = Cursor::restore_state(&mut r).expect("cursor must restore");
+    r.finish().expect("cursor stream fully consumed");
+    assert_eq!(k.machine().cycles(), cp.cycle, "restored clock matches");
+    k.set_tracer(Tracer::new(sink.clone()));
+    let outcome = drive(&mut k, CpuId::BOOT, step.as_ref(), &mut cur, None)
+        .expect("resumed workload must not fail");
+    assert_eq!(outcome, DriveOutcome::Completed);
+    k.machine_mut().tracer_mut().finish();
+    events.extend(std::mem::take(&mut sink.lock().unwrap().0));
+    (runner::collect(&k, step.name()), events)
+}
+
+/// One grid point: the resumed run must be byte-identical to the
+/// uninterrupted one — `RunStats`, the result JSON document, and the
+/// concatenated trace stream.
+fn assert_round_trip(spec: &SystemSpec, assoc: u64, fast_paths: bool) {
+    let (full, full_events) = uninterrupted(spec, assoc, fast_paths);
+    // A spec-derived pseudo-random boundary strictly inside the run.
+    let seed = (assoc << 1) | u64::from(fast_paths);
+    let mut rng = Rng64::seed_from_u64(0xc4ec_b0a1 ^ seed.wrapping_mul(0x9e37_79b9));
+    let stop_at = 1 + rng.next_u64() % full.cycles;
+    let (resumed, resumed_events) = checkpointed(spec, assoc, fast_paths, stop_at);
+    let label = format!(
+        "{} / {} assoc={assoc} wt={} fast={fast_paths} stop_at={stop_at}",
+        full.workload, full.system, spec.write_through
+    );
+    assert_eq!(resumed, full, "stats diverged: {label}");
+    assert_eq!(
+        output::run_json(spec, &resumed, None),
+        output::run_json(spec, &full, None),
+        "result JSON diverged: {label}"
+    );
+    assert_eq!(resumed_events, full_events, "trace diverged: {label}");
+}
+
+#[test]
+fn round_trip_across_managers_assoc_policy_and_fast_paths() {
+    let systems = [
+        SystemKind::Cmu(Configuration::F),
+        SystemKind::Cmu(Configuration::C),
+        SystemKind::Utah,
+    ];
+    for system in systems {
+        for assoc in [1u64, 2, 4] {
+            for write_through in [false, true] {
+                for fast_paths in [false, true] {
+                    let mut spec = SystemSpec::quick(WorkloadKind::Fork, system);
+                    spec.write_through = write_through;
+                    assert_round_trip(&spec, assoc, fast_paths);
+                }
+            }
+        }
+    }
+}
+
+/// Observers are never part of a checkpoint (DESIGN.md "State ownership
+/// & serialization"): a run paused, restored, and finished with a tracer,
+/// a resumed auditor, and the occupancy sampler all attached must produce
+/// the same statistics as an unobserved uninterrupted run — and the
+/// mid-flight auditor must stay clean on a correct system.
+#[test]
+fn observers_attached_across_restore_change_nothing() {
+    let spec = SystemSpec::quick(WorkloadKind::Fork, SystemKind::Cmu(Configuration::F));
+    // Baseline: no observers at all.
+    let mut k = Kernel::new(config(&spec, 1, true));
+    let step = spec.workload.build_step(spec.quick);
+    let mut cur = Cursor::new();
+    drive(&mut k, CpuId::BOOT, step.as_ref(), &mut cur, None).unwrap();
+    let bare = runner::collect(&k, step.name());
+
+    // Observed: pause mid-run, restore, re-attach everything.
+    let stop_at = bare.cycles / 2;
+    let mut k = Kernel::new(config(&spec, 1, true));
+    k.set_tracer(Tracer::new(CollectSink::default()));
+    k.machine_mut()
+        .set_sampler(vic_metrics::SnapshotSampler::every(500));
+    let mut cur = Cursor::new();
+    let outcome = drive(&mut k, CpuId::BOOT, step.as_ref(), &mut cur, Some(stop_at)).unwrap();
+    assert_eq!(outcome, DriveOutcome::Paused, "fork-bench pauses mid-run");
+    let mut w = WordWriter::new();
+    k.save_state(&mut w);
+    let state = w.into_words();
+    let mut w = WordWriter::new();
+    cur.save_state(&mut w);
+    let cursor = w.into_words();
+    drop(k);
+
+    let auditor = Arc::new(Mutex::new(vic_trace::ConsistencyAuditor::resumed()));
+    let mut k = Kernel::new(config(&spec, 1, true));
+    let mut r = WordReader::new(&state);
+    k.restore_state(&mut r).unwrap();
+    r.finish().unwrap();
+    let mut r = WordReader::new(&cursor);
+    let mut cur = Cursor::restore_state(&mut r).unwrap();
+    r.finish().unwrap();
+    k.set_tracer(Tracer::new(
+        vic_trace::FanoutSink::new()
+            .with(auditor.clone())
+            .with(CollectSink::default()),
+    ));
+    k.machine_mut()
+        .set_sampler(vic_metrics::SnapshotSampler::every(500));
+    drive(&mut k, CpuId::BOOT, step.as_ref(), &mut cur, None).unwrap();
+    k.machine_mut().tracer_mut().finish();
+    let observed = runner::collect(&k, step.name());
+
+    assert_eq!(observed, bare, "observers changed a simulated number");
+    let a = auditor.lock().unwrap();
+    assert!(a.is_clean(), "mid-flight auditor flagged: {}", a.report());
+    assert!(a.transitions_checked() > 0, "auditor saw the second half");
+}
+
+#[test]
+fn round_trip_survives_every_workload() {
+    // One representative point per workload (full grid above covers the
+    // knobs); the alias microbenchmarks stress unaligned sharing state.
+    for workload in WorkloadKind::ALL {
+        let spec = SystemSpec::quick(workload, SystemKind::Cmu(Configuration::F));
+        assert_round_trip(&spec, 1, true);
+    }
+}

@@ -38,7 +38,7 @@
 //! ## Quick example
 //!
 //! ```
-//! use vic_core::types::{CacheGeometry, Mapping, Prot, SpaceId, VPage, PFrame, Access};
+//! use vic_core::types::{CacheGeometry, CpuId, Mapping, Prot, SpaceId, VPage, PFrame, Access};
 //! use vic_core::manager::{ConsistencyManager, AccessHints};
 //! use vic_core::managers::CmuManager;
 //! use vic_core::policy::PolicyConfig;
@@ -51,14 +51,14 @@
 //! // Map frame 3 at two unaligned virtual pages and write through the first.
 //! let a = Mapping::new(SpaceId(1), VPage(0));
 //! let b = Mapping::new(SpaceId(2), VPage(1));
-//! mgr.on_map(&mut hw, PFrame(3), a, Prot::READ_WRITE);
-//! mgr.on_map(&mut hw, PFrame(3), b, Prot::READ_WRITE);
-//! mgr.on_access(&mut hw, PFrame(3), a, Access::Write, AccessHints::default());
+//! mgr.on_map(CpuId::BOOT, &mut hw, PFrame(3), a, Prot::READ_WRITE);
+//! mgr.on_map(CpuId::BOOT, &mut hw, PFrame(3), b, Prot::READ_WRITE);
+//! mgr.on_access(CpuId::BOOT, &mut hw, PFrame(3), a, Access::Write, AccessHints::default());
 //!
 //! // The second mapping is now denied access: reading through it must fault
 //! // first so the dirty data can be flushed.
 //! assert_eq!(hw.prot_of(b), Prot::NONE);
-//! mgr.on_access(&mut hw, PFrame(3), b, Access::Read, AccessHints::default());
+//! mgr.on_access(CpuId::BOOT, &mut hw, PFrame(3), b, Access::Read, AccessHints::default());
 //! assert!(hw.prot_of(b).allows(Access::Read));
 //! assert_eq!(hw.flushes.len(), 1); // the dirty cache page was flushed once
 //! ```
@@ -70,16 +70,26 @@ pub mod managers;
 pub mod page_state;
 pub mod policy;
 pub mod rng;
+pub mod serial;
 pub mod spec;
 pub mod state;
 pub mod types;
+
+/// The engine schema version, stamped into every versioned JSON document
+/// the workspace emits (run/sweep/profile/metrics/hostbench/flight/
+/// checkpoint). One constant for the whole engine: any change to simulated
+/// behaviour or to a serialized schema bumps it, and a checkpoint or cached
+/// result from another version is rejected rather than reinterpreted.
+pub const ENGINE_VERSION: u64 = 2;
 
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use manager::{AccessHints, ConsistencyManager, DmaDir, MgrStats};
 pub use page_state::{CachePageSet, CacheSideState, PhysPageInfo};
 pub use policy::{Configuration, PolicyConfig};
 pub use rng::Rng64;
+pub use serial::{SerialError, WordReader, WordWriter};
 pub use state::{transition, CacheAction, LineState, ModelOp, Role, Transition};
 pub use types::{
-    Access, CacheGeometry, CacheKind, CachePage, Mapping, PFrame, Prot, SpaceId, VAddr, VPage,
+    Access, CacheGeometry, CacheKind, CachePage, CpuId, Mapping, PFrame, Prot, SpaceId, VAddr,
+    VPage,
 };

@@ -15,7 +15,8 @@ use std::fmt;
 
 use crate::cache_control::ConsistencyHw;
 use crate::page_state::PhysPageInfo;
-use crate::types::{Access, Mapping, PFrame, Prot};
+use crate::serial::{SerialError, WordReader, WordWriter};
+use crate::types::{Access, CpuId, Mapping, PFrame, Prot};
 
 /// Direction of a DMA transfer, named from the device's point of view as in
 /// the paper: a *DMA-write* transfers data **into** the memory system (e.g.
@@ -182,6 +183,25 @@ impl CauseCounts {
             self.counts[i] += other.counts[i];
         }
     }
+
+    /// Serialize all eight counters.
+    pub fn save_state(&self, w: &mut WordWriter) {
+        for &c in &self.counts {
+            w.u64(c);
+        }
+    }
+
+    /// Restore all eight counters.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a truncated stream.
+    pub fn restore_state(&mut self, r: &mut WordReader) -> Result<(), SerialError> {
+        for c in &mut self.counts {
+            *c = r.u64()?;
+        }
+        Ok(())
+    }
 }
 
 /// Cache-management operation statistics kept by every manager.
@@ -218,6 +238,24 @@ impl MgrStats {
     pub fn reset(&mut self) {
         *self = MgrStats::default();
     }
+
+    /// Serialize all three cause breakdowns.
+    pub fn save_state(&self, w: &mut WordWriter) {
+        self.d_flush_pages.save_state(w);
+        self.d_purge_pages.save_state(w);
+        self.i_purge_pages.save_state(w);
+    }
+
+    /// Restore all three cause breakdowns.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a truncated stream.
+    pub fn restore_state(&mut self, r: &mut WordReader) -> Result<(), SerialError> {
+        self.d_flush_pages.restore_state(r)?;
+        self.d_purge_pages.restore_state(r)?;
+        self.i_purge_pages.restore_state(r)
+    }
 }
 
 /// Qualitative capabilities of a manager — the columns of the paper's
@@ -249,6 +287,11 @@ pub struct Features {
 /// must uphold the contract that after any method returns, no installed
 /// protection permits an access that could transfer stale data.
 ///
+/// Every dispatch hook carries the acting [`CpuId`]. The machine is
+/// single-CPU today (the id is always [`CpuId::BOOT`]), but the per-page
+/// bookkeeping generalizes to per-CPU `mapped`/`stale` vectors, and
+/// threading the id now keeps the call graph SMP-ready.
+///
 /// Managers are required to be `Send` so a kernel owning one is a single
 /// owned value that can run on any thread (the parallel sweep runner in
 /// `vic-bench` depends on this).
@@ -261,14 +304,28 @@ pub trait ConsistencyManager: Send {
 
     /// A mapping was entered for `frame` with the given logical protection.
     /// The manager must install an effective hardware protection.
-    fn on_map(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, m: Mapping, logical: Prot);
+    fn on_map(
+        &mut self,
+        cpu: CpuId,
+        hw: &mut dyn ConsistencyHw,
+        frame: PFrame,
+        m: Mapping,
+        logical: Prot,
+    );
 
     /// A mapping was removed. The manager may clean eagerly or record state
     /// for lazy cleaning.
-    fn on_unmap(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, m: Mapping);
+    fn on_unmap(&mut self, cpu: CpuId, hw: &mut dyn ConsistencyHw, frame: PFrame, m: Mapping);
 
     /// The logical protection of an existing mapping changed.
-    fn on_protect(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, m: Mapping, logical: Prot);
+    fn on_protect(
+        &mut self,
+        cpu: CpuId,
+        hw: &mut dyn ConsistencyHw,
+        frame: PFrame,
+        m: Mapping,
+        logical: Prot,
+    );
 
     /// A CPU access through mapping `m` was denied by the effective
     /// protection (a consistency fault), or is about to be performed for
@@ -276,6 +333,7 @@ pub trait ConsistencyManager: Send {
     /// re-protect.
     fn on_access(
         &mut self,
+        cpu: CpuId,
         hw: &mut dyn ConsistencyHw,
         frame: PFrame,
         m: Mapping,
@@ -283,9 +341,12 @@ pub trait ConsistencyManager: Send {
         hints: AccessHints,
     );
 
-    /// A DMA transfer touching `frame` is about to be scheduled.
+    /// A DMA transfer touching `frame` is about to be scheduled. (DMA is
+    /// not CPU-initiated, but the preparing CPU's caches are the ones the
+    /// manager cleans, so the dispatching CPU is threaded through.)
     fn on_dma(
         &mut self,
+        cpu: CpuId,
         hw: &mut dyn ConsistencyHw,
         frame: PFrame,
         dir: DmaDir,
@@ -294,7 +355,24 @@ pub trait ConsistencyManager: Send {
 
     /// `frame` was returned to the free page list; its contents are no
     /// longer useful.
-    fn on_page_freed(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame);
+    fn on_page_freed(&mut self, cpu: CpuId, hw: &mut dyn ConsistencyHw, frame: PFrame);
+
+    /// Serialize the manager's complete mutable state (per-frame
+    /// bookkeeping and statistics) into a word stream. Together with
+    /// [`ConsistencyManager::restore_state`] this must round-trip exactly:
+    /// a restored manager continues bit-identically to the original.
+    /// Construction-time configuration (geometry, policy) is *not*
+    /// serialized; the restoring side rebuilds the manager from the same
+    /// spec first.
+    fn save_state(&self, w: &mut WordWriter);
+
+    /// Restore state saved by [`ConsistencyManager::save_state`] into a
+    /// freshly constructed manager of the same spec.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a truncated or corrupt stream.
+    fn restore_state(&mut self, r: &mut WordReader) -> Result<(), SerialError>;
 
     /// The per-cache-page consistency state the manager tracks for
     /// `frame`, if it tracks any (managers without per-page state — e.g.

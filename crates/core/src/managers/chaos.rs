@@ -11,7 +11,8 @@
 
 use crate::cache_control::ConsistencyHw;
 use crate::manager::{AccessHints, ConsistencyManager, DmaDir, Features, MgrStats};
-use crate::types::{Access, CacheGeometry, CachePage, Mapping, PFrame, Prot};
+use crate::serial::{SerialError, WordReader, WordWriter};
+use crate::types::{Access, CacheGeometry, CachePage, CpuId, Mapping, PFrame, Prot};
 
 /// Which class of hardware operation the wrapper suppresses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,35 +121,50 @@ impl ConsistencyManager for ChaosManager {
         f
     }
 
-    fn on_map(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, m: Mapping, logical: Prot) {
+    fn on_map(
+        &mut self,
+        cpu: CpuId,
+        hw: &mut dyn ConsistencyHw,
+        frame: PFrame,
+        m: Mapping,
+        logical: Prot,
+    ) {
         let mut shim = ChaosHw {
             inner: hw,
             drop: self.drop,
             dropped: &mut self.dropped,
         };
-        self.inner.on_map(&mut shim, frame, m, logical);
+        self.inner.on_map(cpu, &mut shim, frame, m, logical);
     }
 
-    fn on_unmap(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, m: Mapping) {
+    fn on_unmap(&mut self, cpu: CpuId, hw: &mut dyn ConsistencyHw, frame: PFrame, m: Mapping) {
         let mut shim = ChaosHw {
             inner: hw,
             drop: self.drop,
             dropped: &mut self.dropped,
         };
-        self.inner.on_unmap(&mut shim, frame, m);
+        self.inner.on_unmap(cpu, &mut shim, frame, m);
     }
 
-    fn on_protect(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, m: Mapping, logical: Prot) {
+    fn on_protect(
+        &mut self,
+        cpu: CpuId,
+        hw: &mut dyn ConsistencyHw,
+        frame: PFrame,
+        m: Mapping,
+        logical: Prot,
+    ) {
         let mut shim = ChaosHw {
             inner: hw,
             drop: self.drop,
             dropped: &mut self.dropped,
         };
-        self.inner.on_protect(&mut shim, frame, m, logical);
+        self.inner.on_protect(cpu, &mut shim, frame, m, logical);
     }
 
     fn on_access(
         &mut self,
+        cpu: CpuId,
         hw: &mut dyn ConsistencyHw,
         frame: PFrame,
         m: Mapping,
@@ -160,11 +176,13 @@ impl ConsistencyManager for ChaosManager {
             drop: self.drop,
             dropped: &mut self.dropped,
         };
-        self.inner.on_access(&mut shim, frame, m, access, hints);
+        self.inner
+            .on_access(cpu, &mut shim, frame, m, access, hints);
     }
 
     fn on_dma(
         &mut self,
+        cpu: CpuId,
         hw: &mut dyn ConsistencyHw,
         frame: PFrame,
         dir: DmaDir,
@@ -175,16 +193,16 @@ impl ConsistencyManager for ChaosManager {
             drop: self.drop,
             dropped: &mut self.dropped,
         };
-        self.inner.on_dma(&mut shim, frame, dir, hints);
+        self.inner.on_dma(cpu, &mut shim, frame, dir, hints);
     }
 
-    fn on_page_freed(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame) {
+    fn on_page_freed(&mut self, cpu: CpuId, hw: &mut dyn ConsistencyHw, frame: PFrame) {
         let mut shim = ChaosHw {
             inner: hw,
             drop: self.drop,
             dropped: &mut self.dropped,
         };
-        self.inner.on_page_freed(&mut shim, frame);
+        self.inner.on_page_freed(cpu, &mut shim, frame);
     }
 
     fn observed_page(&self, frame: PFrame) -> Option<&crate::page_state::PhysPageInfo> {
@@ -196,6 +214,17 @@ impl ConsistencyManager for ChaosManager {
 
     fn stats(&self) -> &MgrStats {
         self.inner.stats()
+    }
+
+    fn save_state(&self, w: &mut WordWriter) {
+        self.inner.save_state(w);
+        w.u64(self.dropped);
+    }
+
+    fn restore_state(&mut self, r: &mut WordReader) -> Result<(), SerialError> {
+        self.inner.restore_state(r)?;
+        self.dropped = r.u64()?;
+        Ok(())
     }
 
     fn reset_stats(&mut self) {
@@ -222,10 +251,24 @@ mod tests {
         let mut hw = RecordingHw::new(geom());
         let a = Mapping::new(SpaceId(1), VPage(0));
         let b = Mapping::new(SpaceId(2), VPage(1));
-        mgr.on_map(&mut hw, PFrame(3), a, Prot::READ_WRITE);
-        mgr.on_map(&mut hw, PFrame(3), b, Prot::READ_WRITE);
-        mgr.on_access(&mut hw, PFrame(3), a, Access::Write, AccessHints::default());
-        mgr.on_access(&mut hw, PFrame(3), b, Access::Read, AccessHints::default());
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(3), a, Prot::READ_WRITE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(3), b, Prot::READ_WRITE);
+        mgr.on_access(
+            CpuId::BOOT,
+            &mut hw,
+            PFrame(3),
+            a,
+            Access::Write,
+            AccessHints::default(),
+        );
+        mgr.on_access(
+            CpuId::BOOT,
+            &mut hw,
+            PFrame(3),
+            b,
+            Access::Read,
+            AccessHints::default(),
+        );
         assert!(hw.flushes.is_empty(), "the flush was suppressed");
         assert_eq!(mgr.dropped(), 1);
         assert!(mgr.name().contains("broken"));
@@ -238,10 +281,24 @@ mod tests {
         let mut hw = RecordingHw::new(geom());
         let a = Mapping::new(SpaceId(1), VPage(0));
         let b = Mapping::new(SpaceId(2), VPage(1));
-        mgr.on_map(&mut hw, PFrame(3), a, Prot::READ_WRITE);
-        mgr.on_map(&mut hw, PFrame(3), b, Prot::READ_WRITE);
-        mgr.on_access(&mut hw, PFrame(3), a, Access::Write, AccessHints::default());
-        mgr.on_access(&mut hw, PFrame(3), b, Access::Read, AccessHints::default());
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(3), a, Prot::READ_WRITE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(3), b, Prot::READ_WRITE);
+        mgr.on_access(
+            CpuId::BOOT,
+            &mut hw,
+            PFrame(3),
+            a,
+            Access::Write,
+            AccessHints::default(),
+        );
+        mgr.on_access(
+            CpuId::BOOT,
+            &mut hw,
+            PFrame(3),
+            b,
+            Access::Read,
+            AccessHints::default(),
+        );
         assert!(hw.flushes.is_empty());
         assert_eq!(hw.purges.len(), 1, "the flush arrived as a purge");
     }

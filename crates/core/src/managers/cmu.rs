@@ -7,7 +7,11 @@ use crate::manager::{
 };
 use crate::page_state::PhysPageInfo;
 use crate::policy::PolicyConfig;
-use crate::types::{Access, CacheGeometry, CacheKind, Mapping, PFrame, Prot};
+use crate::serial::{SerialError, WordReader, WordWriter};
+use crate::types::{Access, CacheGeometry, CacheKind, CpuId, Mapping, PFrame, Prot};
+
+/// Section tag bracketing serialized CMU manager state.
+const CMU_STATE_TAG: u64 = u64::from_le_bytes(*b"cmumgr-1");
 
 /// The CMU (paper) manager: keeps the Table-3 state per physical page and
 /// runs `CacheControl` on every consistency event.
@@ -102,7 +106,14 @@ impl ConsistencyManager for CmuManager {
         }
     }
 
-    fn on_map(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, m: Mapping, logical: Prot) {
+    fn on_map(
+        &mut self,
+        _cpu: CpuId,
+        hw: &mut dyn ConsistencyHw,
+        frame: PFrame,
+        m: Mapping,
+        logical: Prot,
+    ) {
         let geom = self.geom;
         let info = self.info_mut(frame);
         info.add_mapping(m, logical);
@@ -118,7 +129,7 @@ impl ConsistencyManager for CmuManager {
         hw.set_protection(m, prot);
     }
 
-    fn on_unmap(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, m: Mapping) {
+    fn on_unmap(&mut self, _cpu: CpuId, hw: &mut dyn ConsistencyHw, frame: PFrame, m: Mapping) {
         let geom = self.geom;
         let lazy = self.policy.lazy_unmap;
         let Self { pages, stats, .. } = self;
@@ -164,7 +175,14 @@ impl ConsistencyManager for CmuManager {
         }
     }
 
-    fn on_protect(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, m: Mapping, logical: Prot) {
+    fn on_protect(
+        &mut self,
+        _cpu: CpuId,
+        hw: &mut dyn ConsistencyHw,
+        frame: PFrame,
+        m: Mapping,
+        logical: Prot,
+    ) {
         let geom = self.geom;
         let info = self.info_mut(frame);
         info.add_mapping(m, logical);
@@ -174,6 +192,7 @@ impl ConsistencyManager for CmuManager {
 
     fn on_access(
         &mut self,
+        _cpu: CpuId,
         hw: &mut dyn ConsistencyHw,
         frame: PFrame,
         m: Mapping,
@@ -213,6 +232,7 @@ impl ConsistencyManager for CmuManager {
 
     fn on_dma(
         &mut self,
+        _cpu: CpuId,
         hw: &mut dyn ConsistencyHw,
         frame: PFrame,
         dir: DmaDir,
@@ -232,7 +252,7 @@ impl ConsistencyManager for CmuManager {
         self.record(out, cause, cause);
     }
 
-    fn on_page_freed(&mut self, _hw: &mut dyn ConsistencyHw, frame: PFrame) {
+    fn on_page_freed(&mut self, _cpu: CpuId, _hw: &mut dyn ConsistencyHw, frame: PFrame) {
         let need_data_policy = self.policy.need_data;
         let info = self.info_mut(frame);
         debug_assert!(
@@ -254,6 +274,30 @@ impl ConsistencyManager for CmuManager {
 
     fn stats(&self) -> &MgrStats {
         &self.stats
+    }
+
+    fn save_state(&self, w: &mut WordWriter) {
+        w.tag(CMU_STATE_TAG);
+        w.usize(self.pages.len());
+        for p in &self.pages {
+            p.save_state(w);
+        }
+        self.stats.save_state(w);
+    }
+
+    fn restore_state(&mut self, r: &mut WordReader) -> Result<(), SerialError> {
+        r.expect(CMU_STATE_TAG)?;
+        let at = r.position();
+        if r.usize()? != self.pages.len() {
+            return Err(SerialError::Corrupt {
+                at,
+                what: "frame count",
+            });
+        }
+        for p in &mut self.pages {
+            p.restore_state(r)?;
+        }
+        self.stats.restore_state(r)
     }
 
     fn reset_stats(&mut self) {
@@ -293,7 +337,7 @@ mod tests {
     #[test]
     fn new_mapping_starts_inaccessible() {
         let (mut hw, mut mgr) = mk();
-        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
         // Empty state: the first access must fault so state can be updated.
         assert_eq!(hw.prot_of(m(1, 0)), Prot::NONE);
     }
@@ -301,15 +345,16 @@ mod tests {
     #[test]
     fn lazy_unmap_leaves_cache_alone() {
         let (mut hw, mut mgr) = mk();
-        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
         mgr.on_access(
+            CpuId::BOOT,
             &mut hw,
             PFrame(1),
             m(1, 0),
             Access::Write,
             AccessHints::default(),
         );
-        mgr.on_unmap(&mut hw, PFrame(1), m(1, 0));
+        mgr.on_unmap(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0));
         assert!(hw.flushes.is_empty() && hw.purges.is_empty());
         // State remembers the dirty cache page for later.
         assert!(mgr.page_info(PFrame(1)).cache_dirty);
@@ -321,15 +366,16 @@ mod tests {
         let mut policy = PolicyConfig::all_on();
         policy.lazy_unmap = false;
         let mut mgr = CmuManager::new(16, geom(), policy);
-        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
         mgr.on_access(
+            CpuId::BOOT,
             &mut hw,
             PFrame(1),
             m(1, 0),
             Access::Write,
             AccessHints::default(),
         );
-        mgr.on_unmap(&mut hw, PFrame(1), m(1, 0));
+        mgr.on_unmap(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0));
         assert_eq!(hw.flushes.len(), 1, "dirty page flushed at unmap");
         assert!(!mgr.page_info(PFrame(1)).cache_dirty);
         assert_eq!(mgr.stats().d_flush_pages.get(OpCause::UnmapEager), 1);
@@ -340,16 +386,17 @@ mod tests {
         // Unmap at vp0, remap at vp8 (aligned): the lazy state is simply
         // reused; the first read hits the dirty data in place.
         let (mut hw, mut mgr) = mk();
-        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
         mgr.on_access(
+            CpuId::BOOT,
             &mut hw,
             PFrame(1),
             m(1, 0),
             Access::Write,
             AccessHints::default(),
         );
-        mgr.on_unmap(&mut hw, PFrame(1), m(1, 0));
-        mgr.on_map(&mut hw, PFrame(1), m(2, 8), Prot::READ_WRITE);
+        mgr.on_unmap(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0));
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(2, 8), Prot::READ_WRITE);
         // Aligned with the dirty cache page: immediately read-write.
         assert_eq!(hw.prot_of(m(2, 8)), Prot::READ_WRITE);
         assert!(hw.flushes.is_empty() && hw.purges.is_empty());
@@ -358,16 +405,17 @@ mod tests {
     #[test]
     fn unaligned_remap_cleans_lazily_on_access() {
         let (mut hw, mut mgr) = mk();
-        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
         mgr.on_access(
+            CpuId::BOOT,
             &mut hw,
             PFrame(1),
             m(1, 0),
             Access::Write,
             AccessHints::default(),
         );
-        mgr.on_unmap(&mut hw, PFrame(1), m(1, 0));
-        mgr.on_map(&mut hw, PFrame(1), m(2, 1), Prot::READ_WRITE);
+        mgr.on_unmap(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0));
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(2, 1), Prot::READ_WRITE);
         assert_eq!(
             hw.prot_of(m(2, 1)),
             Prot::NONE,
@@ -375,6 +423,7 @@ mod tests {
         );
         assert!(hw.flushes.is_empty(), "still nothing done");
         mgr.on_access(
+            CpuId::BOOT,
             &mut hw,
             PFrame(1),
             m(2, 1),
@@ -391,22 +440,30 @@ mod tests {
         // a purge, not a flush: the preparation path declares the old data
         // dead (`need_data = false`, as the kernel's zero-fill does).
         let (mut hw, mut mgr) = mk();
-        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
         mgr.on_access(
+            CpuId::BOOT,
             &mut hw,
             PFrame(1),
             m(1, 0),
             Access::Write,
             AccessHints::default(),
         );
-        mgr.on_unmap(&mut hw, PFrame(1), m(1, 0));
-        mgr.on_page_freed(&mut hw, PFrame(1));
-        mgr.on_map(&mut hw, PFrame(1), m(2, 1), Prot::READ_WRITE);
+        mgr.on_unmap(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0));
+        mgr.on_page_freed(CpuId::BOOT, &mut hw, PFrame(1));
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(2, 1), Prot::READ_WRITE);
         let hints = AccessHints {
             will_overwrite: true,
             need_data: false,
         };
-        mgr.on_access(&mut hw, PFrame(1), m(2, 1), Access::Write, hints);
+        mgr.on_access(
+            CpuId::BOOT,
+            &mut hw,
+            PFrame(1),
+            m(2, 1),
+            Access::Write,
+            hints,
+        );
         assert!(hw.flushes.is_empty(), "dead dirty data must not be flushed");
         assert_eq!(hw.purges.len(), 1, "dead dirty data purged instead");
     }
@@ -419,22 +476,29 @@ mod tests {
         // of flush" license must end at on_map, or a later DMA-read would
         // discard live data.
         let (mut hw, mut mgr) = mk();
-        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
         mgr.on_access(
+            CpuId::BOOT,
             &mut hw,
             PFrame(1),
             m(1, 0),
             Access::Write,
             AccessHints::default(),
         );
-        mgr.on_unmap(&mut hw, PFrame(1), m(1, 0));
-        mgr.on_page_freed(&mut hw, PFrame(1));
+        mgr.on_unmap(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0));
+        mgr.on_page_freed(CpuId::BOOT, &mut hw, PFrame(1));
         // New tenant at an aligned page: immediately writable, no fault.
-        mgr.on_map(&mut hw, PFrame(1), m(2, 8), Prot::READ_WRITE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(2, 8), Prot::READ_WRITE);
         assert_eq!(hw.prot_of(m(2, 8)), Prot::READ_WRITE);
         // The device now reads the frame: the (possibly refreshed) dirty
         // data must be FLUSHED, not purged.
-        mgr.on_dma(&mut hw, PFrame(1), DmaDir::Read, AccessHints::default());
+        mgr.on_dma(
+            CpuId::BOOT,
+            &mut hw,
+            PFrame(1),
+            DmaDir::Read,
+            AccessHints::default(),
+        );
         assert_eq!(hw.flushes.len(), 1, "live data must reach memory");
         assert!(hw.purges.is_empty());
     }
@@ -447,16 +511,18 @@ mod tests {
         policy.need_data = false;
         let mut mgr = CmuManager::new(16, geom(), policy);
         // Make cache page 1 stale for the frame.
-        mgr.on_map(&mut hw, PFrame(1), m(1, 1), Prot::READ_WRITE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(1, 1), Prot::READ_WRITE);
         mgr.on_access(
+            CpuId::BOOT,
             &mut hw,
             PFrame(1),
             m(1, 1),
             Access::Read,
             AccessHints::default(),
         );
-        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
         mgr.on_access(
+            CpuId::BOOT,
             &mut hw,
             PFrame(1),
             m(1, 0),
@@ -467,6 +533,7 @@ mod tests {
         // Even though the caller promises to overwrite, the knob is off:
         // the stale target is purged anyway.
         mgr.on_access(
+            CpuId::BOOT,
             &mut hw,
             PFrame(1),
             m(1, 1),
@@ -479,48 +546,69 @@ mod tests {
     #[test]
     fn dma_cause_attribution() {
         let (mut hw, mut mgr) = mk();
-        mgr.on_map(&mut hw, PFrame(2), m(1, 0), Prot::READ_WRITE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(2), m(1, 0), Prot::READ_WRITE);
         mgr.on_access(
+            CpuId::BOOT,
             &mut hw,
             PFrame(2),
             m(1, 0),
             Access::Write,
             AccessHints::default(),
         );
-        mgr.on_dma(&mut hw, PFrame(2), DmaDir::Read, AccessHints::default());
+        mgr.on_dma(
+            CpuId::BOOT,
+            &mut hw,
+            PFrame(2),
+            DmaDir::Read,
+            AccessHints::default(),
+        );
         assert_eq!(mgr.stats().d_flush_pages.get(OpCause::DmaRead), 1);
         mgr.on_access(
+            CpuId::BOOT,
             &mut hw,
             PFrame(2),
             m(1, 0),
             Access::Write,
             AccessHints::default(),
         );
-        mgr.on_dma(&mut hw, PFrame(2), DmaDir::Write, AccessHints::default());
+        mgr.on_dma(
+            CpuId::BOOT,
+            &mut hw,
+            PFrame(2),
+            DmaDir::Write,
+            AccessHints::default(),
+        );
         assert_eq!(mgr.stats().d_purge_pages.get(OpCause::DmaWrite), 1);
     }
 
     #[test]
     fn double_unmap_is_harmless() {
         let (mut hw, mut mgr) = mk();
-        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ);
-        mgr.on_unmap(&mut hw, PFrame(1), m(1, 0));
-        mgr.on_unmap(&mut hw, PFrame(1), m(1, 0));
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0), Prot::READ);
+        mgr.on_unmap(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0));
+        mgr.on_unmap(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0));
         assert_eq!(hw.prot_of(m(1, 0)), Prot::NONE);
     }
 
     #[test]
     fn reset_stats() {
         let (mut hw, mut mgr) = mk();
-        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
         mgr.on_access(
+            CpuId::BOOT,
             &mut hw,
             PFrame(1),
             m(1, 0),
             Access::Write,
             AccessHints::default(),
         );
-        mgr.on_dma(&mut hw, PFrame(1), DmaDir::Read, AccessHints::default());
+        mgr.on_dma(
+            CpuId::BOOT,
+            &mut hw,
+            PFrame(1),
+            DmaDir::Read,
+            AccessHints::default(),
+        );
         assert!(mgr.stats().total_flushes() > 0);
         mgr.reset_stats();
         assert_eq!(mgr.stats().total_flushes(), 0);

@@ -15,7 +15,11 @@
 use crate::cache_control::ConsistencyHw;
 use crate::manager::{AccessHints, ConsistencyManager, DmaDir, Features, MgrStats, OpCause};
 use crate::managers::grants::GrantTable;
-use crate::types::{Access, CacheGeometry, CacheKind, Mapping, PFrame, Prot};
+use crate::serial::{SerialError, WordReader, WordWriter};
+use crate::types::{Access, CacheGeometry, CacheKind, CpuId, Mapping, PFrame, Prot};
+
+/// Section tag bracketing serialized eager-manager state.
+const EAGER_STATE_TAG: u64 = u64::from_le_bytes(*b"eagmgr-1");
 
 /// Per-frame state: the grant table plus a conservative frame dirty bit.
 #[derive(Debug, Clone, Default)]
@@ -148,7 +152,14 @@ impl ConsistencyManager for EagerManager {
         }
     }
 
-    fn on_map(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, m: Mapping, logical: Prot) {
+    fn on_map(
+        &mut self,
+        _cpu: CpuId,
+        hw: &mut dyn ConsistencyHw,
+        frame: PFrame,
+        m: Mapping,
+        logical: Prot,
+    ) {
         let fs = self.frame_mut(frame);
         let alias = !fs.grants.is_empty();
         let e = fs.grants.upsert(m, logical);
@@ -177,7 +188,7 @@ impl ConsistencyManager for EagerManager {
         hw.set_protection(m, granted);
     }
 
-    fn on_unmap(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, m: Mapping) {
+    fn on_unmap(&mut self, _cpu: CpuId, hw: &mut dyn ConsistencyHw, frame: PFrame, m: Mapping) {
         let geom = self.geom;
         let fs = &mut self.frames[frame.0 as usize];
         let Some(removed) = fs.grants.remove(m) else {
@@ -203,7 +214,14 @@ impl ConsistencyManager for EagerManager {
         }
     }
 
-    fn on_protect(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, m: Mapping, logical: Prot) {
+    fn on_protect(
+        &mut self,
+        _cpu: CpuId,
+        hw: &mut dyn ConsistencyHw,
+        frame: PFrame,
+        m: Mapping,
+        logical: Prot,
+    ) {
         let geom = self.geom;
         let fs = self.frame_mut(frame);
         if let Some(e) = fs.grants.get_mut(m) {
@@ -227,6 +245,7 @@ impl ConsistencyManager for EagerManager {
 
     fn on_access(
         &mut self,
+        _cpu: CpuId,
         hw: &mut dyn ConsistencyHw,
         frame: PFrame,
         m: Mapping,
@@ -345,6 +364,7 @@ impl ConsistencyManager for EagerManager {
 
     fn on_dma(
         &mut self,
+        _cpu: CpuId,
         hw: &mut dyn ConsistencyHw,
         frame: PFrame,
         dir: DmaDir,
@@ -402,7 +422,7 @@ impl ConsistencyManager for EagerManager {
         }
     }
 
-    fn on_page_freed(&mut self, _hw: &mut dyn ConsistencyHw, frame: PFrame) {
+    fn on_page_freed(&mut self, _cpu: CpuId, _hw: &mut dyn ConsistencyHw, frame: PFrame) {
         debug_assert!(
             self.frames[frame.0 as usize].grants.is_empty(),
             "page freed while mapped"
@@ -413,6 +433,32 @@ impl ConsistencyManager for EagerManager {
 
     fn stats(&self) -> &MgrStats {
         &self.stats
+    }
+
+    fn save_state(&self, w: &mut WordWriter) {
+        w.tag(EAGER_STATE_TAG);
+        w.usize(self.frames.len());
+        for f in &self.frames {
+            f.grants.save_state(w);
+            w.bool(f.dirty);
+        }
+        self.stats.save_state(w);
+    }
+
+    fn restore_state(&mut self, r: &mut WordReader) -> Result<(), SerialError> {
+        r.expect(EAGER_STATE_TAG)?;
+        let at = r.position();
+        if r.usize()? != self.frames.len() {
+            return Err(SerialError::Corrupt {
+                at,
+                what: "frame count",
+            });
+        }
+        for f in &mut self.frames {
+            f.grants.restore_state(r)?;
+            f.dirty = r.bool()?;
+        }
+        self.stats.restore_state(r)
     }
 
     fn reset_stats(&mut self) {
@@ -441,29 +487,30 @@ mod tests {
     #[test]
     fn sole_mapping_gets_full_protection_immediately() {
         let (mut hw, mut mgr) = mk();
-        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
         assert_eq!(hw.prot_of(m(1, 0)), Prot::READ_WRITE);
     }
 
     #[test]
     fn unmap_always_cleans() {
         let (mut hw, mut mgr) = mk();
-        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
-        mgr.on_unmap(&mut hw, PFrame(1), m(1, 0));
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        mgr.on_unmap(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0));
         assert_eq!(hw.flushes.len(), 1, "writable mapping flushed at unmap");
         let (mut hw, mut mgr) = mk();
-        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ);
-        mgr.on_unmap(&mut hw, PFrame(1), m(1, 0));
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0), Prot::READ);
+        mgr.on_unmap(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0));
         assert_eq!(hw.purges.len(), 1, "read-only mapping purged at unmap");
     }
 
     #[test]
     fn write_to_alias_breaks_other_mappings() {
         let (mut hw, mut mgr) = mk();
-        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
-        mgr.on_map(&mut hw, PFrame(1), m(2, 1), Prot::READ_WRITE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(2, 1), Prot::READ_WRITE);
         assert_eq!(hw.prot_of(m(2, 1)), Prot::NONE, "aliased map starts broken");
         mgr.on_access(
+            CpuId::BOOT,
             &mut hw,
             PFrame(1),
             m(2, 1),
@@ -479,9 +526,10 @@ mod tests {
     #[test]
     fn read_breaks_write_holder_to_read_only() {
         let (mut hw, mut mgr) = mk();
-        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
-        mgr.on_map(&mut hw, PFrame(1), m(2, 1), Prot::READ);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(2, 1), Prot::READ);
         mgr.on_access(
+            CpuId::BOOT,
             &mut hw,
             PFrame(1),
             m(2, 1),
@@ -500,11 +548,12 @@ mod tests {
     #[test]
     fn execute_purges_instruction_page() {
         let (mut hw, mut mgr) = mk();
-        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
         // The kernel wrote the text through this mapping; a process then
         // maps it executable elsewhere.
-        mgr.on_map(&mut hw, PFrame(1), m(2, 2), Prot::READ_EXECUTE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(2, 2), Prot::READ_EXECUTE);
         mgr.on_access(
+            CpuId::BOOT,
             &mut hw,
             PFrame(1),
             m(2, 2),
@@ -519,12 +568,13 @@ mod tests {
     #[test]
     fn write_and_execute_never_coexist() {
         let (mut hw, mut mgr) = mk();
-        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::ALL);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0), Prot::ALL);
         // A writable mapping starts without execute: the first fetch must
         // fault so the instruction page can be purged.
         assert!(!hw.prot_of(m(1, 0)).allows(Access::Execute));
         assert!(hw.prot_of(m(1, 0)).allows(Access::Write));
         mgr.on_access(
+            CpuId::BOOT,
             &mut hw,
             PFrame(1),
             m(1, 0),
@@ -534,6 +584,7 @@ mod tests {
         let p = hw.prot_of(m(1, 0));
         assert!(p.allows(Access::Execute) && !p.allows(Access::Write));
         mgr.on_access(
+            CpuId::BOOT,
             &mut hw,
             PFrame(1),
             m(1, 0),
@@ -547,8 +598,14 @@ mod tests {
     #[test]
     fn dma_write_purges_all_cached_copies() {
         let (mut hw, mut mgr) = mk();
-        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
-        mgr.on_dma(&mut hw, PFrame(1), DmaDir::Write, AccessHints::default());
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        mgr.on_dma(
+            CpuId::BOOT,
+            &mut hw,
+            PFrame(1),
+            DmaDir::Write,
+            AccessHints::default(),
+        );
         assert_eq!(hw.purges.len(), 1);
         assert_eq!(mgr.stats().d_purge_pages.get(OpCause::DmaWrite), 1);
     }
@@ -556,8 +613,14 @@ mod tests {
     #[test]
     fn dma_read_flushes() {
         let (mut hw, mut mgr) = mk();
-        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
-        mgr.on_dma(&mut hw, PFrame(1), DmaDir::Read, AccessHints::default());
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        mgr.on_dma(
+            CpuId::BOOT,
+            &mut hw,
+            PFrame(1),
+            DmaDir::Read,
+            AccessHints::default(),
+        );
         assert_eq!(hw.flushes.len(), 1);
     }
 
@@ -567,14 +630,15 @@ mod tests {
         // write access from the write holder must flush its dirty page, or
         // a later reader through another mapping observes stale memory.
         let (mut hw, mut mgr) = mk();
-        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
-        mgr.on_protect(&mut hw, PFrame(1), m(1, 0), Prot::READ);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        mgr.on_protect(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0), Prot::READ);
         assert_eq!(hw.flushes.len(), 1, "dirty page flushed at downgrade");
         assert_eq!(hw.prot_of(m(1, 0)), Prot::READ);
         // A second (aliased) reader now sees fresh memory without further
         // cleaning.
-        mgr.on_map(&mut hw, PFrame(1), m(2, 1), Prot::READ);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(2, 1), Prot::READ);
         mgr.on_access(
+            CpuId::BOOT,
             &mut hw,
             PFrame(1),
             m(2, 1),

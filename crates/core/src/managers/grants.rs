@@ -6,6 +6,7 @@
 //! they reason only about which mapping currently holds write access and
 //! whether the frame may be dirty in the cache.
 
+use crate::serial::{SerialError, WordReader, WordWriter};
 use crate::types::{Mapping, Prot};
 
 /// One granted mapping of a physical frame.
@@ -81,6 +82,37 @@ impl GrantTable {
             .iter()
             .find(|e| e.granted.allows(crate::types::Access::Write))
             .copied()
+    }
+
+    /// Serialize the table in entry order (the order is determinism-bearing:
+    /// iteration order decides which alias is cleaned first).
+    pub fn save_state(&self, w: &mut WordWriter) {
+        w.usize(self.entries.len());
+        for e in &self.entries {
+            w.mapping(e.mapping);
+            w.prot(e.logical);
+            w.prot(e.granted);
+            w.bool(e.fetched);
+        }
+    }
+
+    /// Restore a table saved by [`GrantTable::save_state`].
+    pub fn restore_state(&mut self, r: &mut WordReader) -> Result<(), SerialError> {
+        let n = r.usize()?;
+        self.entries.clear();
+        for _ in 0..n {
+            let mapping = r.mapping()?;
+            let logical = r.prot()?;
+            let granted = r.prot()?;
+            let fetched = r.bool()?;
+            self.entries.push(Grant {
+                mapping,
+                logical,
+                granted,
+                fetched,
+            });
+        }
+        Ok(())
     }
 }
 

@@ -8,7 +8,8 @@
 
 use crate::cache_control::ConsistencyHw;
 use crate::manager::{AccessHints, ConsistencyManager, DmaDir, Features, MgrStats};
-use crate::types::{Access, Mapping, PFrame, Prot};
+use crate::serial::{SerialError, WordReader, WordWriter};
+use crate::types::{Access, CpuId, Mapping, PFrame, Prot};
 
 /// A no-op consistency manager. **Intentionally incorrect**: with aliases,
 /// write-back or DMA in play, stale data will be returned.
@@ -41,16 +42,24 @@ impl ConsistencyManager for NullManager {
         }
     }
 
-    fn on_map(&mut self, hw: &mut dyn ConsistencyHw, _frame: PFrame, m: Mapping, logical: Prot) {
+    fn on_map(
+        &mut self,
+        _cpu: CpuId,
+        hw: &mut dyn ConsistencyHw,
+        _frame: PFrame,
+        m: Mapping,
+        logical: Prot,
+    ) {
         hw.set_protection(m, logical);
     }
 
-    fn on_unmap(&mut self, hw: &mut dyn ConsistencyHw, _frame: PFrame, m: Mapping) {
+    fn on_unmap(&mut self, _cpu: CpuId, hw: &mut dyn ConsistencyHw, _frame: PFrame, m: Mapping) {
         hw.set_protection(m, Prot::NONE);
     }
 
     fn on_protect(
         &mut self,
+        _cpu: CpuId,
         hw: &mut dyn ConsistencyHw,
         _frame: PFrame,
         m: Mapping,
@@ -61,6 +70,7 @@ impl ConsistencyManager for NullManager {
 
     fn on_access(
         &mut self,
+        _cpu: CpuId,
         _hw: &mut dyn ConsistencyHw,
         _frame: PFrame,
         _m: Mapping,
@@ -71,6 +81,7 @@ impl ConsistencyManager for NullManager {
 
     fn on_dma(
         &mut self,
+        _cpu: CpuId,
         _hw: &mut dyn ConsistencyHw,
         _frame: PFrame,
         _dir: DmaDir,
@@ -78,10 +89,18 @@ impl ConsistencyManager for NullManager {
     ) {
     }
 
-    fn on_page_freed(&mut self, _hw: &mut dyn ConsistencyHw, _frame: PFrame) {}
+    fn on_page_freed(&mut self, _cpu: CpuId, _hw: &mut dyn ConsistencyHw, _frame: PFrame) {}
 
     fn stats(&self) -> &MgrStats {
         &self.stats
+    }
+
+    fn save_state(&self, w: &mut WordWriter) {
+        self.stats.save_state(w);
+    }
+
+    fn restore_state(&mut self, r: &mut WordReader) -> Result<(), SerialError> {
+        self.stats.restore_state(r)
     }
 
     fn reset_stats(&mut self) {
@@ -100,10 +119,23 @@ mod tests {
         let mut hw = RecordingHw::new(CacheGeometry::new(8, 4));
         let mut mgr = NullManager::new();
         let m = Mapping::new(SpaceId(1), VPage(0));
-        mgr.on_map(&mut hw, PFrame(1), m, Prot::ALL);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m, Prot::ALL);
         assert_eq!(hw.prot_of(m), Prot::ALL);
-        mgr.on_access(&mut hw, PFrame(1), m, Access::Write, AccessHints::default());
-        mgr.on_dma(&mut hw, PFrame(1), DmaDir::Write, AccessHints::default());
+        mgr.on_access(
+            CpuId::BOOT,
+            &mut hw,
+            PFrame(1),
+            m,
+            Access::Write,
+            AccessHints::default(),
+        );
+        mgr.on_dma(
+            CpuId::BOOT,
+            &mut hw,
+            PFrame(1),
+            DmaDir::Write,
+            AccessHints::default(),
+        );
         assert!(hw.flushes.is_empty() && hw.purges.is_empty() && hw.insn_purges.is_empty());
         assert_eq!(mgr.stats().total_flushes() + mgr.stats().total_purges(), 0);
     }

@@ -9,7 +9,11 @@
 use crate::cache_control::ConsistencyHw;
 use crate::manager::{AccessHints, ConsistencyManager, DmaDir, Features, MgrStats, OpCause};
 use crate::managers::eager::EagerManager;
-use crate::types::{Access, CacheGeometry, CacheKind, Mapping, PFrame, Prot};
+use crate::serial::{SerialError, WordReader, WordWriter};
+use crate::types::{Access, CacheGeometry, CacheKind, CpuId, Mapping, PFrame, Prot};
+
+/// Section tag bracketing serialized Sun manager state.
+const SUN_STATE_TAG: u64 = u64::from_le_bytes(*b"sunmgr-1");
 
 /// The Sun consistency manager: eager cleaning, uncached unaligned aliases.
 #[derive(Debug)]
@@ -94,7 +98,14 @@ impl ConsistencyManager for SunManager {
         }
     }
 
-    fn on_map(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, m: Mapping, logical: Prot) {
+    fn on_map(
+        &mut self,
+        cpu: CpuId,
+        hw: &mut dyn ConsistencyHw,
+        frame: PFrame,
+        m: Mapping,
+        logical: Prot,
+    ) {
         let fi = frame.0 as usize;
         self.mappings[fi].retain(|(e, _)| *e != m);
         self.mappings[fi].push((m, logical));
@@ -106,17 +117,17 @@ impl ConsistencyManager for SunManager {
         if self.any_unaligned(frame) {
             // New unaligned alias: the page goes uncached, then the new
             // mapping is granted directly.
-            self.inner.on_map(hw, frame, m, logical);
+            self.inner.on_map(cpu, hw, frame, m, logical);
             self.go_uncached(hw, frame);
         } else {
-            self.inner.on_map(hw, frame, m, logical);
+            self.inner.on_map(cpu, hw, frame, m, logical);
             // Aligned aliases are also handled eagerly by the inner manager
             // (it does not exploit alignment), matching Sun's restriction of
             // cached sharing to "well-behaved" cases.
         }
     }
 
-    fn on_unmap(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, m: Mapping) {
+    fn on_unmap(&mut self, cpu: CpuId, hw: &mut dyn ConsistencyHw, frame: PFrame, m: Mapping) {
         let fi = frame.0 as usize;
         self.mappings[fi].retain(|(e, _)| *e != m);
         if self.uncached[fi] {
@@ -128,10 +139,17 @@ impl ConsistencyManager for SunManager {
             }
             return;
         }
-        self.inner.on_unmap(hw, frame, m);
+        self.inner.on_unmap(cpu, hw, frame, m);
     }
 
-    fn on_protect(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, m: Mapping, logical: Prot) {
+    fn on_protect(
+        &mut self,
+        cpu: CpuId,
+        hw: &mut dyn ConsistencyHw,
+        frame: PFrame,
+        m: Mapping,
+        logical: Prot,
+    ) {
         let fi = frame.0 as usize;
         if let Some(e) = self.mappings[fi].iter_mut().find(|(e, _)| *e == m) {
             e.1 = logical;
@@ -140,11 +158,12 @@ impl ConsistencyManager for SunManager {
             hw.set_protection(m, logical);
             return;
         }
-        self.inner.on_protect(hw, frame, m, logical);
+        self.inner.on_protect(cpu, hw, frame, m, logical);
     }
 
     fn on_access(
         &mut self,
+        cpu: CpuId,
         hw: &mut dyn ConsistencyHw,
         frame: PFrame,
         m: Mapping,
@@ -155,11 +174,12 @@ impl ConsistencyManager for SunManager {
             // Uncached accesses are always consistent; nothing to do.
             return;
         }
-        self.inner.on_access(hw, frame, m, access, hints);
+        self.inner.on_access(cpu, hw, frame, m, access, hints);
     }
 
     fn on_dma(
         &mut self,
+        cpu: CpuId,
         hw: &mut dyn ConsistencyHw,
         frame: PFrame,
         dir: DmaDir,
@@ -169,16 +189,65 @@ impl ConsistencyManager for SunManager {
             // Uncached frames have no cached copies; DMA is safe as-is.
             return;
         }
-        self.inner.on_dma(hw, frame, dir, hints);
+        self.inner.on_dma(cpu, hw, frame, dir, hints);
     }
 
-    fn on_page_freed(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame) {
-        self.inner.on_page_freed(hw, frame);
+    fn on_page_freed(&mut self, cpu: CpuId, hw: &mut dyn ConsistencyHw, frame: PFrame) {
+        self.inner.on_page_freed(cpu, hw, frame);
         self.uncached[frame.0 as usize] = false;
     }
 
     fn stats(&self) -> &MgrStats {
         self.inner.stats()
+    }
+
+    fn save_state(&self, w: &mut WordWriter) {
+        w.tag(SUN_STATE_TAG);
+        self.inner.save_state(w);
+        w.usize(self.mappings.len());
+        for per_frame in &self.mappings {
+            w.usize(per_frame.len());
+            for &(m, p) in per_frame {
+                w.mapping(m);
+                w.prot(p);
+            }
+        }
+        w.usize(self.uncached.len());
+        for &u in &self.uncached {
+            w.bool(u);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut WordReader) -> Result<(), SerialError> {
+        r.expect(SUN_STATE_TAG)?;
+        self.inner.restore_state(r)?;
+        let at = r.position();
+        if r.usize()? != self.mappings.len() {
+            return Err(SerialError::Corrupt {
+                at,
+                what: "frame count",
+            });
+        }
+        for per_frame in &mut self.mappings {
+            let n = r.usize()?;
+            per_frame.clear();
+            for _ in 0..n {
+                let m = r.mapping()?;
+                let p = r.prot()?;
+                per_frame.push((m, p));
+            }
+        }
+        let at = r.position();
+        if r.usize()? != self.uncached.len() {
+            return Err(SerialError::Corrupt {
+                at,
+                what: "frame count",
+            });
+        }
+        for u in &mut self.uncached {
+            *u = r.bool()?;
+        }
+        Ok(())
     }
 
     fn reset_stats(&mut self) {
@@ -207,7 +276,7 @@ mod tests {
     #[test]
     fn single_mapping_stays_cached() {
         let (mut hw, mut mgr) = mk();
-        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
         assert!(!mgr.is_uncached(PFrame(1)));
         assert!(!hw.uncached.contains(&m(1, 0)));
     }
@@ -215,8 +284,8 @@ mod tests {
     #[test]
     fn unaligned_alias_goes_uncached() {
         let (mut hw, mut mgr) = mk();
-        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
-        mgr.on_map(&mut hw, PFrame(1), m(2, 1), Prot::READ_WRITE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(2, 1), Prot::READ_WRITE);
         assert!(mgr.is_uncached(PFrame(1)));
         assert!(hw.uncached.contains(&m(1, 0)));
         assert!(hw.uncached.contains(&m(2, 1)));
@@ -232,24 +301,24 @@ mod tests {
     fn aligned_alias_stays_cached() {
         let (mut hw, mut mgr) = mk();
         // vp0 and vp8 align in both caches (8 and 4 pages): cached sharing.
-        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
-        mgr.on_map(&mut hw, PFrame(1), m(2, 8), Prot::READ_WRITE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(2, 8), Prot::READ_WRITE);
         assert!(!mgr.is_uncached(PFrame(1)));
     }
 
     #[test]
     fn uncached_frame_recovers_after_unmaps() {
         let (mut hw, mut mgr) = mk();
-        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
-        mgr.on_map(&mut hw, PFrame(1), m(2, 1), Prot::READ_WRITE);
-        mgr.on_unmap(&mut hw, PFrame(1), m(1, 0));
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(2, 1), Prot::READ_WRITE);
+        mgr.on_unmap(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0));
         assert!(mgr.is_uncached(PFrame(1)), "still one uncached mapping");
-        mgr.on_unmap(&mut hw, PFrame(1), m(2, 1));
+        mgr.on_unmap(CpuId::BOOT, &mut hw, PFrame(1), m(2, 1));
         assert!(!mgr.is_uncached(PFrame(1)));
         assert!(!hw.uncached.contains(&m(1, 0)));
         assert!(!hw.uncached.contains(&m(2, 1)));
         // A fresh sole mapping is cached again.
-        mgr.on_map(&mut hw, PFrame(1), m(3, 2), Prot::READ);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(3, 2), Prot::READ);
         assert!(!mgr.is_uncached(PFrame(1)));
         assert_eq!(hw.prot_of(m(3, 2)), Prot::READ);
     }
@@ -257,11 +326,23 @@ mod tests {
     #[test]
     fn dma_on_uncached_frame_needs_no_cleaning() {
         let (mut hw, mut mgr) = mk();
-        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
-        mgr.on_map(&mut hw, PFrame(1), m(2, 1), Prot::READ_WRITE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(2, 1), Prot::READ_WRITE);
         hw.clear_log();
-        mgr.on_dma(&mut hw, PFrame(1), DmaDir::Read, AccessHints::default());
-        mgr.on_dma(&mut hw, PFrame(1), DmaDir::Write, AccessHints::default());
+        mgr.on_dma(
+            CpuId::BOOT,
+            &mut hw,
+            PFrame(1),
+            DmaDir::Read,
+            AccessHints::default(),
+        );
+        mgr.on_dma(
+            CpuId::BOOT,
+            &mut hw,
+            PFrame(1),
+            DmaDir::Write,
+            AccessHints::default(),
+        );
         assert!(hw.flushes.is_empty() && hw.purges.is_empty());
     }
 
@@ -291,14 +372,15 @@ mod more_tests {
     fn protect_on_uncached_mapping_applies_logical_directly() {
         let mut hw = RecordingHw::new(geom());
         let mut mgr = SunManager::new(16, geom());
-        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
-        mgr.on_map(&mut hw, PFrame(1), m(2, 1), Prot::READ_WRITE); // goes uncached
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(2, 1), Prot::READ_WRITE); // goes uncached
         assert!(mgr.is_uncached(PFrame(1)));
-        mgr.on_protect(&mut hw, PFrame(1), m(1, 0), Prot::READ);
+        mgr.on_protect(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0), Prot::READ);
         assert_eq!(hw.prot_of(m(1, 0)), Prot::READ, "uncached: logical applied");
         // Accesses on uncached frames need no consistency transitions.
         hw.clear_log();
         mgr.on_access(
+            CpuId::BOOT,
             &mut hw,
             PFrame(1),
             m(1, 0),
@@ -312,11 +394,11 @@ mod more_tests {
     fn third_aligned_mapping_joins_uncached_frame() {
         let mut hw = RecordingHw::new(geom());
         let mut mgr = SunManager::new(16, geom());
-        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
-        mgr.on_map(&mut hw, PFrame(1), m(2, 1), Prot::READ_WRITE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(2, 1), Prot::READ_WRITE);
         // A third mapping — even one aligned with the first — joins the
         // uncached regime immediately.
-        mgr.on_map(&mut hw, PFrame(1), m(3, 8), Prot::READ);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(3, 8), Prot::READ);
         assert!(hw.uncached.contains(&m(3, 8)));
         assert_eq!(hw.prot_of(m(3, 8)), Prot::READ);
     }
@@ -325,11 +407,11 @@ mod more_tests {
     fn page_freed_resets_uncached_state() {
         let mut hw = RecordingHw::new(geom());
         let mut mgr = SunManager::new(16, geom());
-        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
-        mgr.on_map(&mut hw, PFrame(1), m(2, 1), Prot::READ_WRITE);
-        mgr.on_unmap(&mut hw, PFrame(1), m(1, 0));
-        mgr.on_unmap(&mut hw, PFrame(1), m(2, 1));
-        mgr.on_page_freed(&mut hw, PFrame(1));
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(2, 1), Prot::READ_WRITE);
+        mgr.on_unmap(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0));
+        mgr.on_unmap(CpuId::BOOT, &mut hw, PFrame(1), m(2, 1));
+        mgr.on_page_freed(CpuId::BOOT, &mut hw, PFrame(1));
         assert!(!mgr.is_uncached(PFrame(1)));
     }
 }

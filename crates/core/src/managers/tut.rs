@@ -13,7 +13,11 @@
 use crate::cache_control::ConsistencyHw;
 use crate::manager::{AccessHints, ConsistencyManager, DmaDir, Features, MgrStats, OpCause};
 use crate::managers::eager::EagerManager;
-use crate::types::{Access, CacheGeometry, CacheKind, Mapping, PFrame, Prot, VPage};
+use crate::serial::{SerialError, WordReader, WordWriter};
+use crate::types::{Access, CacheGeometry, CacheKind, CpuId, Mapping, PFrame, Prot, VPage};
+
+/// Section tag bracketing serialized Tut manager state.
+const TUT_STATE_TAG: u64 = u64::from_le_bytes(*b"tutmgr-1");
 
 /// Residue of the last mapping of a frame, kept past unmap.
 #[derive(Debug, Clone, Copy)]
@@ -87,7 +91,14 @@ impl ConsistencyManager for TutManager {
         }
     }
 
-    fn on_map(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, m: Mapping, logical: Prot) {
+    fn on_map(
+        &mut self,
+        cpu: CpuId,
+        hw: &mut dyn ConsistencyHw,
+        frame: PFrame,
+        m: Mapping,
+        logical: Prot,
+    ) {
         let fi = frame.0 as usize;
         if let Some(r) = self.residue[fi].take() {
             if r.vpage == m.vpage {
@@ -107,10 +118,10 @@ impl ConsistencyManager for TutManager {
             }
         }
         self.mapped_count[fi] += 1;
-        self.inner.on_map(hw, frame, m, logical);
+        self.inner.on_map(cpu, hw, frame, m, logical);
     }
 
-    fn on_unmap(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, m: Mapping) {
+    fn on_unmap(&mut self, cpu: CpuId, hw: &mut dyn ConsistencyHw, frame: PFrame, m: Mapping) {
         let fi = frame.0 as usize;
         if self.mapped_count[fi] == 1 {
             // Last mapping: keep the residue instead of cleaning.
@@ -125,27 +136,36 @@ impl ConsistencyManager for TutManager {
         } else {
             // Aliased frames are handled eagerly.
             self.mapped_count[fi] = self.mapped_count[fi].saturating_sub(1);
-            self.inner.on_unmap(hw, frame, m);
+            self.inner.on_unmap(cpu, hw, frame, m);
         }
     }
 
-    fn on_protect(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame, m: Mapping, logical: Prot) {
-        self.inner.on_protect(hw, frame, m, logical);
+    fn on_protect(
+        &mut self,
+        cpu: CpuId,
+        hw: &mut dyn ConsistencyHw,
+        frame: PFrame,
+        m: Mapping,
+        logical: Prot,
+    ) {
+        self.inner.on_protect(cpu, hw, frame, m, logical);
     }
 
     fn on_access(
         &mut self,
+        cpu: CpuId,
         hw: &mut dyn ConsistencyHw,
         frame: PFrame,
         m: Mapping,
         access: Access,
         hints: AccessHints,
     ) {
-        self.inner.on_access(hw, frame, m, access, hints);
+        self.inner.on_access(cpu, hw, frame, m, access, hints);
     }
 
     fn on_dma(
         &mut self,
+        cpu: CpuId,
         hw: &mut dyn ConsistencyHw,
         frame: PFrame,
         dir: DmaDir,
@@ -181,18 +201,73 @@ impl ConsistencyManager for TutManager {
                 }
             }
         }
-        self.inner.on_dma(hw, frame, dir, hints);
+        self.inner.on_dma(cpu, hw, frame, dir, hints);
     }
 
-    fn on_page_freed(&mut self, hw: &mut dyn ConsistencyHw, frame: PFrame) {
+    fn on_page_freed(&mut self, cpu: CpuId, hw: &mut dyn ConsistencyHw, frame: PFrame) {
         // A freed page's residue must eventually be cleaned; Tut does so
         // when the frame is reused, which we model by keeping the residue —
         // the next on_map cleans or reuses it.
-        self.inner.on_page_freed(hw, frame);
+        self.inner.on_page_freed(cpu, hw, frame);
     }
 
     fn stats(&self) -> &MgrStats {
         self.inner.stats()
+    }
+
+    fn save_state(&self, w: &mut WordWriter) {
+        w.tag(TUT_STATE_TAG);
+        self.inner.save_state(w);
+        w.usize(self.residue.len());
+        for res in &self.residue {
+            match res {
+                Some(x) => {
+                    w.bool(true);
+                    w.u64(x.vpage.0);
+                    w.bool(x.dirty);
+                    w.bool(x.fetched);
+                }
+                None => w.bool(false),
+            }
+        }
+        w.usize(self.mapped_count.len());
+        for &c in &self.mapped_count {
+            w.u32(c);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut WordReader) -> Result<(), SerialError> {
+        r.expect(TUT_STATE_TAG)?;
+        self.inner.restore_state(r)?;
+        let at = r.position();
+        if r.usize()? != self.residue.len() {
+            return Err(SerialError::Corrupt {
+                at,
+                what: "frame count",
+            });
+        }
+        for res in &mut self.residue {
+            *res = if r.bool()? {
+                Some(Residue {
+                    vpage: VPage(r.u64()?),
+                    dirty: r.bool()?,
+                    fetched: r.bool()?,
+                })
+            } else {
+                None
+            };
+        }
+        let at = r.position();
+        if r.usize()? != self.mapped_count.len() {
+            return Err(SerialError::Corrupt {
+                at,
+                what: "frame count",
+            });
+        }
+        for c in &mut self.mapped_count {
+            *c = r.u32()?;
+        }
+        Ok(())
     }
 
     fn reset_stats(&mut self) {
@@ -221,10 +296,10 @@ mod tests {
     #[test]
     fn exact_va_reuse_avoids_cleaning() {
         let (mut hw, mut mgr) = mk();
-        mgr.on_map(&mut hw, PFrame(1), m(1, 5), Prot::READ_WRITE);
-        mgr.on_unmap(&mut hw, PFrame(1), m(1, 5));
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(1, 5), Prot::READ_WRITE);
+        mgr.on_unmap(CpuId::BOOT, &mut hw, PFrame(1), m(1, 5));
         assert!(hw.flushes.is_empty() && hw.purges.is_empty(), "lazy unmap");
-        mgr.on_map(&mut hw, PFrame(1), m(2, 5), Prot::READ_WRITE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(2, 5), Prot::READ_WRITE);
         assert!(
             hw.flushes.is_empty() && hw.purges.is_empty(),
             "same virtual page: no cleaning"
@@ -236,9 +311,9 @@ mod tests {
         // The key difference from the CMU manager: vp5 and vp13 align in an
         // 8-page cache, but Tut keys on the address, so it cleans anyway.
         let (mut hw, mut mgr) = mk();
-        mgr.on_map(&mut hw, PFrame(1), m(1, 5), Prot::READ_WRITE);
-        mgr.on_unmap(&mut hw, PFrame(1), m(1, 5));
-        mgr.on_map(&mut hw, PFrame(1), m(2, 13), Prot::READ_WRITE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(1, 5), Prot::READ_WRITE);
+        mgr.on_unmap(CpuId::BOOT, &mut hw, PFrame(1), m(1, 5));
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(2, 13), Prot::READ_WRITE);
         assert_eq!(hw.flushes.len(), 1, "old (dirty) page flushed");
         assert_eq!(hw.purges.len(), 1, "new page purged");
     }
@@ -246,9 +321,9 @@ mod tests {
     #[test]
     fn unaligned_remap_flushes_old_and_purges_new() {
         let (mut hw, mut mgr) = mk();
-        mgr.on_map(&mut hw, PFrame(1), m(1, 5), Prot::READ);
-        mgr.on_unmap(&mut hw, PFrame(1), m(1, 5));
-        mgr.on_map(&mut hw, PFrame(1), m(2, 6), Prot::READ_WRITE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(1, 5), Prot::READ);
+        mgr.on_unmap(CpuId::BOOT, &mut hw, PFrame(1), m(1, 5));
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(2, 6), Prot::READ_WRITE);
         // Read-only residue: purge old + purge new.
         assert_eq!(hw.purges.len(), 2);
         assert!(hw.flushes.is_empty());
@@ -257,9 +332,15 @@ mod tests {
     #[test]
     fn dma_read_flushes_residue() {
         let (mut hw, mut mgr) = mk();
-        mgr.on_map(&mut hw, PFrame(1), m(1, 5), Prot::READ_WRITE);
-        mgr.on_unmap(&mut hw, PFrame(1), m(1, 5));
-        mgr.on_dma(&mut hw, PFrame(1), DmaDir::Read, AccessHints::default());
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(1, 5), Prot::READ_WRITE);
+        mgr.on_unmap(CpuId::BOOT, &mut hw, PFrame(1), m(1, 5));
+        mgr.on_dma(
+            CpuId::BOOT,
+            &mut hw,
+            PFrame(1),
+            DmaDir::Read,
+            AccessHints::default(),
+        );
         assert_eq!(
             hw.flushes.len(),
             1,
@@ -270,10 +351,11 @@ mod tests {
     #[test]
     fn aliases_handled_eagerly() {
         let (mut hw, mut mgr) = mk();
-        mgr.on_map(&mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
-        mgr.on_map(&mut hw, PFrame(1), m(2, 1), Prot::READ_WRITE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0), Prot::READ_WRITE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(2, 1), Prot::READ_WRITE);
         assert_eq!(hw.prot_of(m(2, 1)), Prot::NONE);
         mgr.on_access(
+            CpuId::BOOT,
             &mut hw,
             PFrame(1),
             m(2, 1),
@@ -282,7 +364,7 @@ mod tests {
         );
         assert_eq!(hw.flushes.len(), 1);
         // Unmapping one of two mappings cleans eagerly.
-        mgr.on_unmap(&mut hw, PFrame(1), m(1, 0));
+        mgr.on_unmap(CpuId::BOOT, &mut hw, PFrame(1), m(1, 0));
         assert_eq!(hw.purges.len(), 1);
     }
 
@@ -315,18 +397,19 @@ mod more_tests {
         let mut hw = RecordingHw::new(geom());
         let mut mgr = TutManager::new(16, geom());
         // Map read-execute and fetch, so the residue carries text.
-        mgr.on_map(&mut hw, PFrame(1), m(1, 5), Prot::READ_EXECUTE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(1, 5), Prot::READ_EXECUTE);
         mgr.on_access(
+            CpuId::BOOT,
             &mut hw,
             PFrame(1),
             m(1, 5),
             Access::Execute,
             AccessHints::default(),
         );
-        mgr.on_unmap(&mut hw, PFrame(1), m(1, 5));
+        mgr.on_unmap(CpuId::BOOT, &mut hw, PFrame(1), m(1, 5));
         hw.clear_log();
         // Remap at a different address: the old instruction page must go.
-        mgr.on_map(&mut hw, PFrame(1), m(2, 6), Prot::READ);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(2, 6), Prot::READ);
         assert_eq!(hw.insn_purges.len(), 1, "stale text residue purged");
     }
 
@@ -334,17 +417,24 @@ mod more_tests {
     fn dma_write_purges_executed_residue() {
         let mut hw = RecordingHw::new(geom());
         let mut mgr = TutManager::new(16, geom());
-        mgr.on_map(&mut hw, PFrame(1), m(1, 5), Prot::READ_EXECUTE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(1, 5), Prot::READ_EXECUTE);
         mgr.on_access(
+            CpuId::BOOT,
             &mut hw,
             PFrame(1),
             m(1, 5),
             Access::Execute,
             AccessHints::default(),
         );
-        mgr.on_unmap(&mut hw, PFrame(1), m(1, 5));
+        mgr.on_unmap(CpuId::BOOT, &mut hw, PFrame(1), m(1, 5));
         hw.clear_log();
-        mgr.on_dma(&mut hw, PFrame(1), DmaDir::Write, AccessHints::default());
+        mgr.on_dma(
+            CpuId::BOOT,
+            &mut hw,
+            PFrame(1),
+            DmaDir::Write,
+            AccessHints::default(),
+        );
         assert_eq!(hw.purges.len(), 1, "data residue purged before device data");
         assert_eq!(hw.insn_purges.len(), 1, "text residue purged too");
     }
@@ -356,19 +446,26 @@ mod more_tests {
         // doesn't need to clean either (the DMA path already did).
         let mut hw = RecordingHw::new(geom());
         let mut mgr = TutManager::new(16, geom());
-        mgr.on_map(&mut hw, PFrame(1), m(1, 5), Prot::READ_WRITE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(1, 5), Prot::READ_WRITE);
         mgr.on_access(
+            CpuId::BOOT,
             &mut hw,
             PFrame(1),
             m(1, 5),
             Access::Write,
             AccessHints::default(),
         );
-        mgr.on_unmap(&mut hw, PFrame(1), m(1, 5));
-        mgr.on_dma(&mut hw, PFrame(1), DmaDir::Read, AccessHints::default());
+        mgr.on_unmap(CpuId::BOOT, &mut hw, PFrame(1), m(1, 5));
+        mgr.on_dma(
+            CpuId::BOOT,
+            &mut hw,
+            PFrame(1),
+            DmaDir::Read,
+            AccessHints::default(),
+        );
         assert_eq!(hw.flushes.len(), 1, "residue flushed for the device");
         hw.clear_log();
-        mgr.on_map(&mut hw, PFrame(1), m(2, 5), Prot::READ_WRITE);
+        mgr.on_map(CpuId::BOOT, &mut hw, PFrame(1), m(2, 5), Prot::READ_WRITE);
         assert!(hw.flushes.is_empty() && hw.purges.is_empty());
     }
 }

@@ -29,6 +29,7 @@
 //! hardware consistency between them, state is kept for both caches
 //! ([`CacheSideState`] per [`CacheKind`]); only the data cache can be dirty.
 
+use crate::serial::{SerialError, WordReader, WordWriter};
 use crate::state::LineState;
 use crate::types::{CacheGeometry, CacheKind, CachePage, Mapping, Prot, VPage};
 
@@ -106,6 +107,32 @@ impl CachePageSet {
         }
     }
 
+    /// Serialize into a word stream (bits then length).
+    pub fn save_state(&self, w: &mut WordWriter) {
+        w.u64(self.bits);
+        w.u32(self.len);
+    }
+
+    /// Restore from a word stream written by [`CachePageSet::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation or if the stream encodes bits past the length.
+    pub fn restore_state(&mut self, r: &mut WordReader) -> Result<(), SerialError> {
+        let at = r.position();
+        let bits = r.u64()?;
+        let len = r.u32()?;
+        if len > 64 || (len < 64 && bits >> len != 0) {
+            return Err(SerialError::Corrupt {
+                at,
+                what: "cache page set",
+            });
+        }
+        self.bits = bits;
+        self.len = len;
+        Ok(())
+    }
+
     /// Iterate over the set cache pages in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = CachePage> + '_ {
         let bits = self.bits;
@@ -156,6 +183,22 @@ impl CacheSideState {
     pub fn all_mapped_to_stale(&mut self) {
         self.stale.union_with(&self.mapped);
         self.mapped.clear();
+    }
+
+    /// Serialize both bit vectors.
+    pub fn save_state(&self, w: &mut WordWriter) {
+        self.mapped.save_state(w);
+        self.stale.save_state(w);
+    }
+
+    /// Restore both bit vectors.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a truncated or corrupt stream.
+    pub fn restore_state(&mut self, r: &mut WordReader) -> Result<(), SerialError> {
+        self.mapped.restore_state(r)?;
+        self.stale.restore_state(r)
     }
 }
 
@@ -276,6 +319,42 @@ impl PhysPageInfo {
         self.mappings
             .iter()
             .any(|e| geom.cache_page(kind, e.mapping.vpage) != c)
+    }
+
+    /// Serialize the full per-page state, including the mapping list in its
+    /// exact order (the order is determinism-bearing: managers iterate it).
+    pub fn save_state(&self, w: &mut WordWriter) {
+        self.data.save_state(w);
+        self.insn.save_state(w);
+        w.bool(self.cache_dirty);
+        w.usize(self.mappings.len());
+        for e in &self.mappings {
+            w.mapping(e.mapping);
+            w.prot(e.logical);
+        }
+        w.bool(self.contents_useless);
+        w.bool(self.stale_from_dma);
+    }
+
+    /// Restore state saved by [`PhysPageInfo::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on a truncated or corrupt stream.
+    pub fn restore_state(&mut self, r: &mut WordReader) -> Result<(), SerialError> {
+        self.data.restore_state(r)?;
+        self.insn.restore_state(r)?;
+        self.cache_dirty = r.bool()?;
+        let n = r.usize()?;
+        self.mappings.clear();
+        for _ in 0..n {
+            let mapping = r.mapping()?;
+            let logical = r.prot()?;
+            self.mappings.push(MappingEntry { mapping, logical });
+        }
+        self.contents_useless = r.bool()?;
+        self.stale_from_dma = r.bool()?;
+        Ok(())
     }
 
     /// Model invariant (paper §3.2): the page is dirty in at most one cache

@@ -39,6 +39,20 @@ pub struct CachePage(pub u32);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SpaceId(pub u32);
 
+/// A CPU identifier.
+///
+/// The simulated machine is single-CPU today, but the paper's per-page
+/// consistency bookkeeping generalizes to per-CPU `mapped`/`stale` vectors,
+/// so every `Kernel`/`Pmap`/`ConsistencyManager` dispatch path carries the
+/// acting CPU. Until the SMP carve lands, that is always [`CpuId::BOOT`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CpuId(pub u32);
+
+impl CpuId {
+    /// The boot (and, today, only) CPU.
+    pub const BOOT: CpuId = CpuId(0);
+}
+
 impl fmt::Display for VAddr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "va:{:#x}", self.0)
@@ -67,6 +81,11 @@ impl fmt::Display for CachePage {
 impl fmt::Display for SpaceId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "sp:{}", self.0)
+    }
+}
+impl fmt::Display for CpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu:{}", self.0)
     }
 }
 
@@ -202,6 +221,17 @@ impl Prot {
     /// True if no right is granted.
     pub fn is_none(self) -> bool {
         self.0 == 0
+    }
+
+    /// The raw rights bitmask (for state serialization).
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Rebuild from a bitmask produced by [`Prot::bits`]; unknown bits are
+    /// dropped.
+    pub fn from_bits(bits: u8) -> Prot {
+        Prot(bits & (Self::R | Self::W | Self::X))
     }
 }
 

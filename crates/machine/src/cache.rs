@@ -38,7 +38,11 @@
 //!   the equivalence tests.
 
 use crate::mem::PhysMemory;
+use vic_core::serial::{SerialError, WordReader, WordWriter};
 use vic_core::types::{CacheKind, CachePage, PAddr, PFrame, VAddr};
+
+/// Section tag bracketing a cache's state in a word stream.
+const CACHE_STATE_TAG: u64 = u64::from_le_bytes(*b"cache--1");
 
 /// One cache line's metadata. The payload lives in the cache's data
 /// arena at `line_index << line_shift`.
@@ -563,6 +567,74 @@ impl Cache {
         self.victim.fill(0);
         self.occ_valid.fill(0);
         self.occ_dirty.fill(0);
+    }
+
+    /// Serialize the cache contents: line metadata, the data arena and the
+    /// round-robin victim pointers. Geometry is construction-time
+    /// configuration and is not written; the occupancy index is derived
+    /// from the line array and rebuilt on restore.
+    pub fn save_state(&self, w: &mut WordWriter) {
+        w.tag(CACHE_STATE_TAG);
+        w.usize(self.lines.len());
+        for l in &self.lines {
+            w.bool(l.valid);
+            w.bool(l.dirty);
+            w.u64(l.ptag);
+        }
+        w.bytes(&self.data);
+        w.bytes(&self.victim);
+    }
+
+    /// Restore contents saved by [`Cache::save_state`] into a cache built
+    /// with the identical geometry.
+    pub fn restore_state(&mut self, r: &mut WordReader) -> Result<(), SerialError> {
+        r.expect(CACHE_STATE_TAG)?;
+        let at = r.position();
+        if r.usize()? != self.lines.len() {
+            return Err(SerialError::Corrupt {
+                at,
+                what: "cache line count",
+            });
+        }
+        for l in &mut self.lines {
+            let at = r.position();
+            l.valid = r.bool()?;
+            l.dirty = r.bool()?;
+            l.ptag = r.u64()?;
+            if l.dirty && !l.valid {
+                return Err(SerialError::Corrupt {
+                    at,
+                    what: "dirty invalid line",
+                });
+            }
+        }
+        let at = r.position();
+        let data = r.bytes()?;
+        if data.len() != self.data.len() {
+            return Err(SerialError::Corrupt {
+                at,
+                what: "cache data size",
+            });
+        }
+        self.data.copy_from_slice(&data);
+        let at = r.position();
+        let victim = r.bytes()?;
+        if victim.len() != self.victim.len() {
+            return Err(SerialError::Corrupt {
+                at,
+                what: "victim pointer count",
+            });
+        }
+        self.victim = victim;
+        // Rebuild the derived occupancy index from the line array.
+        self.occ_valid.fill(0);
+        self.occ_dirty.fill(0);
+        for (idx, l) in self.lines.iter().enumerate() {
+            let cp = idx >> self.cpage_shift;
+            self.occ_valid[cp] += u32::from(l.valid);
+            self.occ_dirty[cp] += u32::from(l.dirty);
+        }
+        Ok(())
     }
 }
 

@@ -60,15 +60,19 @@
 pub mod cache;
 pub mod config;
 pub mod cost;
+pub mod cpu;
 pub mod machine;
 pub mod mem;
 pub mod mmu;
 pub mod oracle;
+pub mod shared;
 pub mod stats;
 
 pub use config::{MachineConfig, WritePolicy};
 pub use cost::CycleCosts;
+pub use cpu::Cpu;
 pub use machine::{Fault, Machine};
 pub use oracle::{Oracle, Violation};
+pub use shared::SharedState;
 pub use stats::{MachineStats, OpStat};
 pub use vic_metrics::{CacheSnapshot, MachineSnapshot, SnapshotSampler, TlbSnapshot};

@@ -3,11 +3,13 @@
 
 use crate::cache::{AccessResult, Cache};
 use crate::config::MachineConfig;
-use crate::mem::PhysMemory;
-use crate::mmu::{Mmu, Pte, Translation};
+use crate::cpu::Cpu;
+use crate::mmu::{Pte, Translation};
 use crate::oracle::Oracle;
+use crate::shared::SharedState;
 use crate::stats::MachineStats;
 use vic_core::manager::DmaDir;
+use vic_core::serial::{SerialError, WordReader, WordWriter};
 use vic_core::types::{Access, CacheKind, CachePage, Mapping, PFrame, Prot, SpaceId, VAddr};
 use vic_metrics::{CacheSnapshot, MachineSnapshot, SnapshotSampler, TlbSnapshot};
 use vic_profile::Profiler;
@@ -65,28 +67,23 @@ impl std::fmt::Display for Fault {
     }
 }
 
-/// The simulated machine. A single owned value — everything it needs
-/// (memory, caches, MMU, oracle, tracer) lives inside, so a machine is
-/// `Send` and a whole simulated system can run on any thread.
+/// Section tag bracketing a whole machine's state in a word stream.
+const MACHINE_STATE_TAG: u64 = u64::from_le_bytes(*b"machine1");
+
+/// The simulated machine, carved into two halves: a per-CPU half
+/// ([`Cpu`]: caches, MMU, cycle account, event counters) and a shared
+/// half ([`SharedState`]: physical memory and the staleness oracle) that
+/// every agent — CPUs and DMA devices — observes. A single owned value,
+/// so a machine is `Send` and a whole simulated system can run on any
+/// thread. Observers (tracer, profiler, sampler) attach to the machine
+/// itself; they are instrumentation, not simulated state.
 #[derive(Debug)]
 pub struct Machine {
     cfg: MachineConfig,
-    mem: PhysMemory,
-    dcache: Cache,
-    icache: Cache,
-    mmu: Mmu,
-    cycles: u64,
-    stats: MachineStats,
-    oracle: Oracle,
+    cpu: Cpu,
+    shared: SharedState,
     tracer: Tracer,
     profiler: Profiler,
-    /// One-entry translation micro-cache fronting the MMU: the most recent
-    /// successful translation. Correct because that mapping is always still
-    /// in the TLB (FIFO eviction only happens while *another* mapping
-    /// misses, which replaces this entry too), so a micro-hit is exactly a
-    /// `TlbHit` — free, no statistic, no event. Invalidated by every
-    /// mapping mutator. Disabled when `cfg.fast_paths` is off.
-    xlate_cache: Option<(Mapping, Pte)>,
     /// Optional cycle-driven snapshot sampler (`None` by default). Ticked
     /// at operation boundaries; sampling only *reads* machine state and
     /// charges nothing, so enabling it cannot change a simulated result.
@@ -99,36 +96,40 @@ impl Machine {
     /// staleness oracle is always on.
     pub fn new(cfg: MachineConfig) -> Self {
         cfg.validate();
-        let mut dcache = Cache::with_associativity(
-            CacheKind::Data,
-            cfg.dcache_bytes,
-            cfg.line_size,
-            cfg.page_size,
-            cfg.dcache_assoc,
-        );
-        let mut icache = Cache::with_associativity(
-            CacheKind::Insn,
-            cfg.icache_bytes,
-            cfg.line_size,
-            cfg.page_size,
-            cfg.icache_assoc,
-        );
-        dcache.set_fast_paths(cfg.fast_paths);
-        icache.set_fast_paths(cfg.fast_paths);
         Machine {
-            mem: PhysMemory::new(cfg.mem_bytes),
-            dcache,
-            icache,
-            mmu: Mmu::new(cfg.tlb_entries),
-            cycles: 0,
-            stats: MachineStats::default(),
-            oracle: Oracle::new(cfg.mem_bytes),
+            cpu: Cpu::new(&cfg),
+            shared: SharedState::new(&cfg),
             tracer: Tracer::off(),
             profiler: Profiler::off(),
-            xlate_cache: None,
             sampler: None,
             cfg,
         }
+    }
+
+    /// Serialize the complete simulated-hardware state: the per-CPU half,
+    /// then the shared half. The configuration and the attached observers
+    /// (tracer, profiler, sampler) are **not** written — a checkpoint is
+    /// restored into a machine built from the same spec, and observers
+    /// re-attach independently.
+    pub fn save_state(&self, w: &mut WordWriter) {
+        w.tag(MACHINE_STATE_TAG);
+        self.cpu.save_state(w);
+        self.shared.save_state(w);
+    }
+
+    /// Restore state saved by [`Machine::save_state`] into a machine built
+    /// with the identical configuration. On success the machine continues
+    /// exactly as the saved one would have; attached observers are left
+    /// untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SerialError`] if the stream is truncated, corrupt, or
+    /// was saved from a machine with a different configuration.
+    pub fn restore_state(&mut self, r: &mut WordReader) -> Result<(), SerialError> {
+        r.expect(MACHINE_STATE_TAG)?;
+        self.cpu.restore_state(r)?;
+        self.shared.restore_state(r)
     }
 
     /// The machine's configuration.
@@ -138,17 +139,17 @@ impl Machine {
 
     /// Cycles elapsed so far (the 720's on-chip cycle counter).
     pub fn cycles(&self) -> u64 {
-        self.cycles
+        self.cpu.cycles
     }
 
     /// Elapsed simulated time in seconds.
     pub fn seconds(&self) -> f64 {
-        self.cfg.cycles_to_seconds(self.cycles)
+        self.cfg.cycles_to_seconds(self.cpu.cycles)
     }
 
     /// Hardware event counters.
     pub fn stats(&self) -> &MachineStats {
-        &self.stats
+        &self.cpu.stats
     }
 
     /// Connect a trace sink; machine events flow to it from now on.
@@ -188,18 +189,18 @@ impl Machine {
 
     /// The staleness oracle.
     pub fn oracle(&self) -> &Oracle {
-        &self.oracle
+        &self.shared.oracle
     }
 
     /// Mutable access to the oracle (to toggle panic mode or clear logs).
     pub fn oracle_mut(&mut self) -> &mut Oracle {
-        &mut self.oracle
+        &mut self.shared.oracle
     }
 
     /// Charge kernel software cycles to the account (fault service,
     /// bookkeeping, mapping updates).
     pub fn charge(&mut self, cycles: u64) {
-        self.cycles += cycles;
+        self.cpu.cycles += cycles;
         self.profiler.leaf("software", cycles);
         self.sample_tick();
     }
@@ -208,8 +209,8 @@ impl Machine {
     /// memory, cache and mapping state. The profiler's tree (if one is
     /// attached) restarts with the account so it stays conserved.
     pub fn reset_account(&mut self) {
-        self.cycles = 0;
-        self.stats.reset();
+        self.cpu.cycles = 0;
+        self.cpu.stats.reset();
         self.profiler.reset_tree();
     }
 
@@ -221,7 +222,7 @@ impl Machine {
         if self.tracer.is_enabled() {
             let cp = self.cfg.cache_page(CacheKind::Data, self.cfg.vpage(va));
             self.tracer.emit(
-                self.cycles,
+                self.cpu.cycles,
                 TraceEvent::WriteBack {
                     cache_page: cp,
                     frame: filling,
@@ -231,39 +232,39 @@ impl Machine {
     }
 
     fn translate(&mut self, m: Mapping, access: Access) -> Result<Pte, Fault> {
-        let pte = match self.xlate_cache {
+        let pte = match self.cpu.xlate_cache {
             // Micro-cache hit: the MMU would report TlbHit — free, no
             // statistic, no event — so skipping it changes nothing.
             Some((last, pte)) if self.cfg.fast_paths && last == m => pte,
-            _ => match self.mmu.translate(m) {
+            _ => match self.cpu.mmu.translate(m) {
                 Translation::TlbHit(pte) => {
-                    self.xlate_cache = Some((m, pte));
+                    self.cpu.xlate_cache = Some((m, pte));
                     pte
                 }
                 Translation::TlbMiss(pte) => {
-                    self.cycles += self.cfg.costs.tlb_miss;
+                    self.cpu.cycles += self.cfg.costs.tlb_miss;
                     self.profiler.leaf("tlb_fill", self.cfg.costs.tlb_miss);
-                    self.stats.tlb_misses += 1;
+                    self.cpu.stats.tlb_misses += 1;
                     self.tracer.emit(
-                        self.cycles,
+                        self.cpu.cycles,
                         TraceEvent::TlbFill {
                             space: m.space,
                             vpage: m.vpage,
                             cost: self.cfg.costs.tlb_miss,
                         },
                     );
-                    self.xlate_cache = Some((m, pte));
+                    self.cpu.xlate_cache = Some((m, pte));
                     pte
                 }
                 Translation::Unmapped => {
-                    self.cycles += self.cfg.costs.fault_trap;
+                    self.cpu.cycles += self.cfg.costs.fault_trap;
                     self.profiler.leaf("fault_trap", self.cfg.costs.fault_trap);
                     return Err(Fault::NoMapping { mapping: m, access });
                 }
             },
         };
         if !pte.prot.allows(access) {
-            self.cycles += self.cfg.costs.fault_trap;
+            self.cpu.cycles += self.cfg.costs.fault_trap;
             self.profiler.leaf("fault_trap", self.cfg.costs.fault_trap);
             return Err(Fault::Protection {
                 mapping: m,
@@ -284,49 +285,49 @@ impl Machine {
         let m = Mapping::new(space, self.cfg.vpage(va));
         let pte = self.translate(m, Access::Read)?;
         let pa = self.cfg.paddr(pte.frame, self.cfg.offset(va));
-        let t0 = self.cycles;
+        let t0 = self.cpu.cycles;
         let mut hit = true;
         let mut buf = [0u8; 4];
         if pte.uncached {
-            self.mem.read(pa, &mut buf);
-            self.cycles += self.cfg.costs.uncached_access;
+            self.shared.mem.read(pa, &mut buf);
+            self.cpu.cycles += self.cfg.costs.uncached_access;
             self.profiler
                 .leaf("load.uncached", self.cfg.costs.uncached_access);
-            self.stats.uncached += 1;
+            self.cpu.stats.uncached += 1;
         } else {
-            match self.dcache.read(va, pa, &mut self.mem, &mut buf) {
+            match self.cpu.dcache.read(va, pa, &mut self.shared.mem, &mut buf) {
                 AccessResult::Hit => {
-                    self.cycles += self.cfg.costs.cache_hit;
+                    self.cpu.cycles += self.cfg.costs.cache_hit;
                     self.profiler.leaf("load.hit", self.cfg.costs.cache_hit);
-                    self.stats.d_hits += 1;
+                    self.cpu.stats.d_hits += 1;
                 }
                 AccessResult::Miss { wrote_back } => {
-                    self.cycles += self.cfg.costs.cache_hit + self.cfg.costs.miss_fill;
+                    self.cpu.cycles += self.cfg.costs.cache_hit + self.cfg.costs.miss_fill;
                     self.profiler.leaf(
                         "load.miss",
                         self.cfg.costs.cache_hit + self.cfg.costs.miss_fill,
                     );
-                    self.stats.d_misses += 1;
+                    self.cpu.stats.d_misses += 1;
                     hit = false;
                     if wrote_back {
-                        self.cycles += self.cfg.costs.writeback;
+                        self.cpu.cycles += self.cfg.costs.writeback;
                         self.profiler
                             .leaf("load.writeback", self.cfg.costs.writeback);
-                        self.stats.writebacks += 1;
+                        self.cpu.stats.writebacks += 1;
                         self.emit_writeback(va, pte.frame);
                     }
                 }
             }
         }
-        self.stats.loads += 1;
-        self.oracle.check_read(pa, &buf, "CPU load");
+        self.cpu.stats.loads += 1;
+        self.shared.oracle.check_read(pa, &buf, "CPU load");
         self.tracer.emit(
-            self.cycles,
+            self.cpu.cycles,
             TraceEvent::Load {
                 space,
                 vaddr: va,
                 hit,
-                cost: self.cycles - t0,
+                cost: self.cpu.cycles - t0,
             },
         );
         self.sample_tick();
@@ -344,36 +345,36 @@ impl Machine {
         let pte = self.translate(m, Access::Write)?;
         let pa = self.cfg.paddr(pte.frame, self.cfg.offset(va));
         let bytes = value.to_le_bytes();
-        let t0 = self.cycles;
+        let t0 = self.cpu.cycles;
         let mut hit = true;
         if pte.uncached {
-            self.mem.write(pa, &bytes);
-            self.cycles += self.cfg.costs.uncached_access;
+            self.shared.mem.write(pa, &bytes);
+            self.cpu.cycles += self.cfg.costs.uncached_access;
             self.profiler
                 .leaf("store.uncached", self.cfg.costs.uncached_access);
-            self.stats.uncached += 1;
+            self.cpu.stats.uncached += 1;
         } else {
             match self.cfg.write_policy {
                 crate::config::WritePolicy::WriteBack => {
-                    match self.dcache.write(va, pa, &mut self.mem, &bytes) {
+                    match self.cpu.dcache.write(va, pa, &mut self.shared.mem, &bytes) {
                         AccessResult::Hit => {
-                            self.cycles += self.cfg.costs.cache_hit;
+                            self.cpu.cycles += self.cfg.costs.cache_hit;
                             self.profiler.leaf("store.hit", self.cfg.costs.cache_hit);
-                            self.stats.d_hits += 1;
+                            self.cpu.stats.d_hits += 1;
                         }
                         AccessResult::Miss { wrote_back } => {
-                            self.cycles += self.cfg.costs.cache_hit + self.cfg.costs.miss_fill;
+                            self.cpu.cycles += self.cfg.costs.cache_hit + self.cfg.costs.miss_fill;
                             self.profiler.leaf(
                                 "store.miss",
                                 self.cfg.costs.cache_hit + self.cfg.costs.miss_fill,
                             );
-                            self.stats.d_misses += 1;
+                            self.cpu.stats.d_misses += 1;
                             hit = false;
                             if wrote_back {
-                                self.cycles += self.cfg.costs.writeback;
+                                self.cpu.cycles += self.cfg.costs.writeback;
                                 self.profiler
                                     .leaf("store.writeback", self.cfg.costs.writeback);
-                                self.stats.writebacks += 1;
+                                self.cpu.stats.writebacks += 1;
                                 self.emit_writeback(va, pte.frame);
                             }
                         }
@@ -382,14 +383,18 @@ impl Machine {
                 crate::config::WritePolicy::WriteThrough => {
                     // Every store pays the memory write; a hit also updates
                     // the line.
-                    match self.dcache.write_through(va, pa, &mut self.mem, &bytes) {
-                        AccessResult::Hit => self.stats.d_hits += 1,
+                    match self
+                        .cpu
+                        .dcache
+                        .write_through(va, pa, &mut self.shared.mem, &bytes)
+                    {
+                        AccessResult::Hit => self.cpu.stats.d_hits += 1,
                         AccessResult::Miss { .. } => {
-                            self.stats.d_misses += 1;
+                            self.cpu.stats.d_misses += 1;
                             hit = false;
                         }
                     }
-                    self.cycles += self.cfg.costs.cache_hit + self.cfg.costs.writeback;
+                    self.cpu.cycles += self.cfg.costs.cache_hit + self.cfg.costs.writeback;
                     self.profiler.leaf(
                         "store.write_through",
                         self.cfg.costs.cache_hit + self.cfg.costs.writeback,
@@ -397,15 +402,15 @@ impl Machine {
                 }
             }
         }
-        self.stats.stores += 1;
-        self.oracle.record_write(pa, &bytes);
+        self.cpu.stats.stores += 1;
+        self.shared.oracle.record_write(pa, &bytes);
         self.tracer.emit(
-            self.cycles,
+            self.cpu.cycles,
             TraceEvent::Store {
                 space,
                 vaddr: va,
                 hit,
-                cost: self.cycles - t0,
+                cost: self.cpu.cycles - t0,
             },
         );
         self.sample_tick();
@@ -424,42 +429,42 @@ impl Machine {
         let m = Mapping::new(space, self.cfg.vpage(va));
         let pte = self.translate(m, Access::Execute)?;
         let pa = self.cfg.paddr(pte.frame, self.cfg.offset(va));
-        let t0 = self.cycles;
+        let t0 = self.cpu.cycles;
         let mut hit = true;
         let mut buf = [0u8; 4];
         if pte.uncached {
-            self.mem.read(pa, &mut buf);
-            self.cycles += self.cfg.costs.uncached_access;
+            self.shared.mem.read(pa, &mut buf);
+            self.cpu.cycles += self.cfg.costs.uncached_access;
             self.profiler
                 .leaf("ifetch.uncached", self.cfg.costs.uncached_access);
-            self.stats.uncached += 1;
+            self.cpu.stats.uncached += 1;
         } else {
-            match self.icache.read(va, pa, &mut self.mem, &mut buf) {
+            match self.cpu.icache.read(va, pa, &mut self.shared.mem, &mut buf) {
                 AccessResult::Hit => {
-                    self.cycles += self.cfg.costs.cache_hit;
+                    self.cpu.cycles += self.cfg.costs.cache_hit;
                     self.profiler.leaf("ifetch.hit", self.cfg.costs.cache_hit);
-                    self.stats.i_hits += 1;
+                    self.cpu.stats.i_hits += 1;
                 }
                 AccessResult::Miss { .. } => {
-                    self.cycles += self.cfg.costs.cache_hit + self.cfg.costs.miss_fill;
+                    self.cpu.cycles += self.cfg.costs.cache_hit + self.cfg.costs.miss_fill;
                     self.profiler.leaf(
                         "ifetch.miss",
                         self.cfg.costs.cache_hit + self.cfg.costs.miss_fill,
                     );
-                    self.stats.i_misses += 1;
+                    self.cpu.stats.i_misses += 1;
                     hit = false;
                 }
             }
         }
-        self.stats.ifetches += 1;
-        self.oracle.check_read(pa, &buf, "instruction fetch");
+        self.cpu.stats.ifetches += 1;
+        self.shared.oracle.check_read(pa, &buf, "instruction fetch");
         self.tracer.emit(
-            self.cycles,
+            self.cpu.cycles,
             TraceEvent::IFetch {
                 space,
                 vaddr: va,
                 hit,
-                cost: self.cycles - t0,
+                cost: self.cpu.cycles - t0,
             },
         );
         self.sample_tick();
@@ -529,19 +534,19 @@ impl Machine {
         let costs = self.cfg.costs;
         match res {
             AccessResult::Hit => {
-                self.cycles += costs.cache_hit;
+                self.cpu.cycles += costs.cache_hit;
                 self.profiler.leaf(hit_op, costs.cache_hit);
-                self.stats.d_hits += 1;
+                self.cpu.stats.d_hits += 1;
             }
             AccessResult::Miss { wrote_back } => {
-                self.cycles += costs.cache_hit + costs.miss_fill;
+                self.cpu.cycles += costs.cache_hit + costs.miss_fill;
                 self.profiler
                     .leaf(miss_op, costs.cache_hit + costs.miss_fill);
-                self.stats.d_misses += 1;
+                self.cpu.stats.d_misses += 1;
                 if wrote_back {
-                    self.cycles += costs.writeback;
+                    self.cpu.cycles += costs.writeback;
                     self.profiler.leaf(wb_op, costs.writeback);
-                    self.stats.writebacks += 1;
+                    self.cpu.stats.writebacks += 1;
                     self.emit_writeback(va, frame);
                 }
             }
@@ -582,15 +587,15 @@ impl Machine {
                 let w = VAddr(va.0 + i as u64 * stride);
                 let pa = self.cfg.paddr(pte.frame, self.cfg.offset(w));
                 let mut buf = [0u8; 4];
-                self.mem.read(pa, &mut buf);
-                self.oracle.check_read(pa, &buf, "CPU load");
+                self.shared.mem.read(pa, &mut buf);
+                self.shared.oracle.check_read(pa, &buf, "CPU load");
                 *slot = u32::from_le_bytes(buf);
             }
-            self.cycles += n * costs.uncached_access;
+            self.cpu.cycles += n * costs.uncached_access;
             self.profiler
                 .leaf_n("load.uncached", n, n * costs.uncached_access);
-            self.stats.uncached += n;
-            self.stats.loads += n;
+            self.cpu.stats.uncached += n;
+            self.cpu.stats.loads += n;
             self.sample_tick();
             return Ok(());
         }
@@ -605,7 +610,7 @@ impl Machine {
                 k += 1;
             }
             let pa0 = self.cfg.paddr(pte.frame, self.cfg.offset(w0));
-            let (res, idx) = self.dcache.touch_line(w0, pa0, &mut self.mem);
+            let (res, idx) = self.cpu.dcache.touch_line(w0, pa0, &mut self.shared.mem);
             self.charge_cached_access(
                 res,
                 "load.hit",
@@ -615,22 +620,22 @@ impl Machine {
                 pte.frame,
             );
             let rest = (k - 1) as u64;
-            self.cycles += rest * costs.cache_hit;
+            self.cpu.cycles += rest * costs.cache_hit;
             self.profiler
                 .leaf_n("load.hit", rest, rest * costs.cache_hit);
-            self.stats.d_hits += rest;
+            self.cpu.stats.d_hits += rest;
             for (j, slot) in out.iter_mut().enumerate().skip(i).take(k) {
                 let wj = VAddr(va.0 + j as u64 * stride);
                 let pj = self.cfg.paddr(pte.frame, self.cfg.offset(wj));
                 let off = (pj.0 & line_mask) as usize;
                 let mut buf = [0u8; 4];
-                buf.copy_from_slice(&self.dcache.line_data(idx)[off..off + 4]);
-                self.oracle.check_read(pj, &buf, "CPU load");
+                buf.copy_from_slice(&self.cpu.dcache.line_data(idx)[off..off + 4]);
+                self.shared.oracle.check_read(pj, &buf, "CPU load");
                 *slot = u32::from_le_bytes(buf);
             }
             i += k;
         }
-        self.stats.loads += n;
+        self.cpu.stats.loads += n;
         self.sample_tick();
         Ok(())
     }
@@ -667,14 +672,14 @@ impl Machine {
                 let w = VAddr(va.0 + i as u64 * stride);
                 let pa = self.cfg.paddr(pte.frame, self.cfg.offset(w));
                 let bytes = v.to_le_bytes();
-                self.mem.write(pa, &bytes);
-                self.oracle.record_write(pa, &bytes);
+                self.shared.mem.write(pa, &bytes);
+                self.shared.oracle.record_write(pa, &bytes);
             }
-            self.cycles += n * costs.uncached_access;
+            self.cpu.cycles += n * costs.uncached_access;
             self.profiler
                 .leaf_n("store.uncached", n, n * costs.uncached_access);
-            self.stats.uncached += n;
-            self.stats.stores += n;
+            self.cpu.stats.uncached += n;
+            self.cpu.stats.stores += n;
             self.sample_tick();
             return Ok(());
         }
@@ -693,7 +698,7 @@ impl Machine {
                         k += 1;
                     }
                     let pa0 = self.cfg.paddr(pte.frame, self.cfg.offset(w0));
-                    let (res, idx) = self.dcache.touch_line(w0, pa0, &mut self.mem);
+                    let (res, idx) = self.cpu.dcache.touch_line(w0, pa0, &mut self.shared.mem);
                     self.charge_cached_access(
                         res,
                         "store.hit",
@@ -703,18 +708,18 @@ impl Machine {
                         pte.frame,
                     );
                     let rest = (k - 1) as u64;
-                    self.cycles += rest * costs.cache_hit;
+                    self.cpu.cycles += rest * costs.cache_hit;
                     self.profiler
                         .leaf_n("store.hit", rest, rest * costs.cache_hit);
-                    self.stats.d_hits += rest;
-                    self.dcache.mark_line_dirty(idx);
+                    self.cpu.stats.d_hits += rest;
+                    self.cpu.dcache.mark_line_dirty(idx);
                     for (j, &v) in values.iter().enumerate().skip(i).take(k) {
                         let wj = VAddr(va.0 + j as u64 * stride);
                         let pj = self.cfg.paddr(pte.frame, self.cfg.offset(wj));
                         let off = (pj.0 & line_mask) as usize;
                         let bytes = v.to_le_bytes();
-                        self.dcache.line_data_mut(idx)[off..off + 4].copy_from_slice(&bytes);
-                        self.oracle.record_write(pj, &bytes);
+                        self.cpu.dcache.line_data_mut(idx)[off..off + 4].copy_from_slice(&bytes);
+                        self.shared.oracle.record_write(pj, &bytes);
                     }
                     i += k;
                 }
@@ -729,15 +734,19 @@ impl Machine {
                     let w = VAddr(va.0 + i as u64 * stride);
                     let pa = self.cfg.paddr(pte.frame, self.cfg.offset(w));
                     let bytes = v.to_le_bytes();
-                    match self.dcache.write_through(w, pa, &mut self.mem, &bytes) {
+                    match self
+                        .cpu
+                        .dcache
+                        .write_through(w, pa, &mut self.shared.mem, &bytes)
+                    {
                         AccessResult::Hit => hits += 1,
                         AccessResult::Miss { .. } => {}
                     }
-                    self.oracle.record_write(pa, &bytes);
+                    self.shared.oracle.record_write(pa, &bytes);
                 }
-                self.stats.d_hits += hits;
-                self.stats.d_misses += n - hits;
-                self.cycles += n * (costs.cache_hit + costs.writeback);
+                self.cpu.stats.d_hits += hits;
+                self.cpu.stats.d_misses += n - hits;
+                self.cpu.cycles += n * (costs.cache_hit + costs.writeback);
                 self.profiler.leaf_n(
                     "store.write_through",
                     n,
@@ -745,7 +754,7 @@ impl Machine {
                 );
             }
         }
-        self.stats.stores += n;
+        self.cpu.stats.stores += n;
         self.sample_tick();
         Ok(())
     }
@@ -845,7 +854,7 @@ impl Machine {
             let rest = (k - 1) as u64;
             // Source line: one real access, k-1 guaranteed hits.
             let s_pa0 = self.cfg.paddr(src_pte.frame, self.cfg.offset(s0));
-            let (s_res, s_idx) = self.dcache.touch_line(s0, s_pa0, &mut self.mem);
+            let (s_res, s_idx) = self.cpu.dcache.touch_line(s0, s_pa0, &mut self.shared.mem);
             self.charge_cached_access(
                 s_res,
                 "load.hit",
@@ -854,17 +863,17 @@ impl Machine {
                 s0,
                 src_pte.frame,
             );
-            self.cycles += rest * costs.cache_hit;
+            self.cpu.cycles += rest * costs.cache_hit;
             self.profiler
                 .leaf_n("load.hit", rest, rest * costs.cache_hit);
-            self.stats.d_hits += rest;
+            self.cpu.stats.d_hits += rest;
             // Destination line (write-back only; write-through never
             // allocates, its stores are handled per word below).
             let d_idx = if write_through {
                 usize::MAX
             } else {
                 let d_pa0 = self.cfg.paddr(dst_pte.frame, self.cfg.offset(d0));
-                let (d_res, d_idx) = self.dcache.touch_line(d0, d_pa0, &mut self.mem);
+                let (d_res, d_idx) = self.cpu.dcache.touch_line(d0, d_pa0, &mut self.shared.mem);
                 self.charge_cached_access(
                     d_res,
                     "store.hit",
@@ -873,11 +882,11 @@ impl Machine {
                     d0,
                     dst_pte.frame,
                 );
-                self.cycles += rest * costs.cache_hit;
+                self.cpu.cycles += rest * costs.cache_hit;
                 self.profiler
                     .leaf_n("store.hit", rest, rest * costs.cache_hit);
-                self.stats.d_hits += rest;
-                self.dcache.mark_line_dirty(d_idx);
+                self.cpu.stats.d_hits += rest;
+                self.cpu.dcache.mark_line_dirty(d_idx);
                 d_idx
             };
             let mut wt_hits = 0u64;
@@ -888,24 +897,28 @@ impl Machine {
                 let d_pa = self.cfg.paddr(dst_pte.frame, self.cfg.offset(dj));
                 let s_off = (s_pa.0 & line_mask) as usize;
                 let mut buf = [0u8; 4];
-                buf.copy_from_slice(&self.dcache.line_data(s_idx)[s_off..s_off + 4]);
-                self.oracle.check_read(s_pa, &buf, "CPU load");
+                buf.copy_from_slice(&self.cpu.dcache.line_data(s_idx)[s_off..s_off + 4]);
+                self.shared.oracle.check_read(s_pa, &buf, "CPU load");
                 if write_through {
-                    match self.dcache.write_through(dj, d_pa, &mut self.mem, &buf) {
+                    match self
+                        .cpu
+                        .dcache
+                        .write_through(dj, d_pa, &mut self.shared.mem, &buf)
+                    {
                         AccessResult::Hit => wt_hits += 1,
                         AccessResult::Miss { .. } => {}
                     }
                 } else {
                     let d_off = (d_pa.0 & line_mask) as usize;
-                    self.dcache.line_data_mut(d_idx)[d_off..d_off + 4].copy_from_slice(&buf);
+                    self.cpu.dcache.line_data_mut(d_idx)[d_off..d_off + 4].copy_from_slice(&buf);
                 }
-                self.oracle.record_write(d_pa, &buf);
+                self.shared.oracle.record_write(d_pa, &buf);
             }
             if write_through {
                 let kw = k as u64;
-                self.stats.d_hits += wt_hits;
-                self.stats.d_misses += kw - wt_hits;
-                self.cycles += kw * (costs.cache_hit + costs.writeback);
+                self.cpu.stats.d_hits += wt_hits;
+                self.cpu.stats.d_misses += kw - wt_hits;
+                self.cpu.cycles += kw * (costs.cache_hit + costs.writeback);
                 self.profiler.leaf_n(
                     "store.write_through",
                     kw,
@@ -914,8 +927,8 @@ impl Machine {
             }
             i += k;
         }
-        self.stats.loads += count as u64;
-        self.stats.stores += count as u64;
+        self.cpu.stats.loads += count as u64;
+        self.cpu.stats.stores += count as u64;
         self.sample_tick();
         Ok(())
     }
@@ -924,18 +937,19 @@ impl Machine {
     /// `cp`'s lines holding `frame`.
     pub fn flush_dcache_page(&mut self, cp: CachePage, frame: PFrame) {
         let out = self
+            .cpu
             .dcache
-            .flush_page(cp, frame, self.cfg.page_size, &mut self.mem);
+            .flush_page(cp, frame, self.cfg.page_size, &mut self.shared.mem);
         let c = &self.cfg.costs;
         let cycles = out.absent * c.line_op_absent
             + out.present * c.line_op_present
             + out.written_back * c.writeback;
-        self.cycles += cycles;
+        self.cpu.cycles += cycles;
         self.profiler.leaf("flush_page.d", cycles);
-        self.stats.d_flush_pages.record(cycles);
-        self.stats.flush_writebacks += out.written_back;
+        self.cpu.stats.d_flush_pages.record(cycles);
+        self.cpu.stats.flush_writebacks += out.written_back;
         self.tracer.emit(
-            self.cycles,
+            self.cpu.cycles,
             TraceEvent::FlushPage {
                 cache_page: cp,
                 frame,
@@ -949,14 +963,14 @@ impl Machine {
     /// Purge (invalidate without write-back) data cache page `cp`'s lines
     /// holding `frame`.
     pub fn purge_dcache_page(&mut self, cp: CachePage, frame: PFrame) {
-        let out = self.dcache.purge_page(cp, frame, self.cfg.page_size);
+        let out = self.cpu.dcache.purge_page(cp, frame, self.cfg.page_size);
         let c = &self.cfg.costs;
         let cycles = out.absent * c.line_op_absent + out.present * c.line_op_present;
-        self.cycles += cycles;
+        self.cpu.cycles += cycles;
         self.profiler.leaf("purge_page.d", cycles);
-        self.stats.d_purge_pages.record(cycles);
+        self.cpu.stats.d_purge_pages.record(cycles);
         self.tracer.emit(
-            self.cycles,
+            self.cpu.cycles,
             TraceEvent::PurgePage {
                 kind: CacheKind::Data,
                 cache_page: cp,
@@ -970,13 +984,13 @@ impl Machine {
     /// Purge instruction cache page `cp`'s lines holding `frame`. Constant
     /// time regardless of contents (a 720 artifact the paper remarks on).
     pub fn purge_icache_page(&mut self, cp: CachePage, frame: PFrame) {
-        let _ = self.icache.purge_page(cp, frame, self.cfg.page_size);
+        let _ = self.cpu.icache.purge_page(cp, frame, self.cfg.page_size);
         let cycles = self.cfg.costs.icache_purge_page;
-        self.cycles += cycles;
+        self.cpu.cycles += cycles;
         self.profiler.leaf("purge_page.i", cycles);
-        self.stats.i_purge_pages.record(cycles);
+        self.cpu.stats.i_purge_pages.record(cycles);
         self.tracer.emit(
-            self.cycles,
+            self.cpu.cycles,
             TraceEvent::PurgePage {
                 kind: CacheKind::Insn,
                 cache_page: cp,
@@ -996,12 +1010,12 @@ impl Machine {
     pub fn dma_write_page(&mut self, frame: PFrame, data: &[u8]) {
         assert_eq!(data.len() as u64, self.cfg.page_size, "DMA is page-sized");
         let pa = self.cfg.paddr(frame, 0);
-        self.mem.write(pa, data);
-        self.oracle.record_write(pa, data);
+        self.shared.mem.write(pa, data);
+        self.shared.oracle.record_write(pa, data);
         self.profiler.event("dma.write");
-        self.stats.dma_writes += 1;
+        self.cpu.stats.dma_writes += 1;
         self.tracer.emit(
-            self.cycles,
+            self.cpu.cycles,
             TraceEvent::DmaPage {
                 dir: DmaDir::Write,
                 frame,
@@ -1019,12 +1033,12 @@ impl Machine {
     pub fn dma_read_page(&mut self, frame: PFrame, buf: &mut [u8]) {
         assert_eq!(buf.len() as u64, self.cfg.page_size, "DMA is page-sized");
         let pa = self.cfg.paddr(frame, 0);
-        self.mem.read(pa, buf);
-        self.oracle.check_read(pa, buf, "device (DMA) read");
+        self.shared.mem.read(pa, buf);
+        self.shared.oracle.check_read(pa, buf, "device (DMA) read");
         self.profiler.event("dma.read");
-        self.stats.dma_reads += 1;
+        self.cpu.stats.dma_reads += 1;
         self.tracer.emit(
-            self.cycles,
+            self.cpu.cycles,
             TraceEvent::DmaPage {
                 dir: DmaDir::Read,
                 frame,
@@ -1035,8 +1049,8 @@ impl Machine {
 
     /// Enter a mapping with an effective protection.
     pub fn enter_mapping(&mut self, m: Mapping, frame: PFrame, prot: Prot) {
-        self.xlate_cache = None;
-        self.mmu.enter(
+        self.cpu.xlate_cache = None;
+        self.cpu.mmu.enter(
             m,
             Pte {
                 frame,
@@ -1044,7 +1058,7 @@ impl Machine {
                 uncached: false,
             },
         );
-        self.cycles += self.cfg.costs.mapping_update;
+        self.cpu.cycles += self.cfg.costs.mapping_update;
         self.profiler
             .leaf("mapping_update", self.cfg.costs.mapping_update);
     }
@@ -1052,46 +1066,46 @@ impl Machine {
     /// Change the effective protection of a mapping (TLB entry
     /// invalidated).
     pub fn set_protection(&mut self, m: Mapping, prot: Prot) {
-        self.xlate_cache = None;
-        self.mmu.protect(m, prot);
-        self.cycles += self.cfg.costs.mapping_update;
+        self.cpu.xlate_cache = None;
+        self.cpu.mmu.protect(m, prot);
+        self.cpu.cycles += self.cfg.costs.mapping_update;
         self.profiler
             .leaf("mapping_update", self.cfg.costs.mapping_update);
     }
 
     /// Mark a mapping uncached/cached.
     pub fn set_uncached(&mut self, m: Mapping, uncached: bool) {
-        self.xlate_cache = None;
-        self.mmu.set_uncached(m, uncached);
-        self.cycles += self.cfg.costs.mapping_update;
+        self.cpu.xlate_cache = None;
+        self.cpu.mmu.set_uncached(m, uncached);
+        self.cpu.cycles += self.cfg.costs.mapping_update;
         self.profiler
             .leaf("mapping_update", self.cfg.costs.mapping_update);
     }
 
     /// Remove a mapping; returns its frame if it existed.
     pub fn remove_mapping(&mut self, m: Mapping) -> Option<PFrame> {
-        self.xlate_cache = None;
-        self.cycles += self.cfg.costs.mapping_update;
+        self.cpu.xlate_cache = None;
+        self.cpu.cycles += self.cfg.costs.mapping_update;
         self.profiler
             .leaf("mapping_update", self.cfg.costs.mapping_update);
-        self.mmu.remove(m).map(|pte| pte.frame)
+        self.cpu.mmu.remove(m).map(|pte| pte.frame)
     }
 
     /// The current translation of a mapping, if any (no TLB side effects).
     pub fn lookup(&self, m: Mapping) -> Option<Pte> {
-        self.mmu.lookup(m)
+        self.cpu.mmu.lookup(m)
     }
 
     /// Does data cache page `cp` currently hold any line of `frame`?
     /// (Testing and assertions.)
     pub fn dcache_holds(&self, cp: CachePage, frame: PFrame) -> bool {
-        self.dcache.page_holds(cp, frame, self.cfg.page_size)
+        self.cpu.dcache.page_holds(cp, frame, self.cfg.page_size)
     }
 
     /// Does instruction cache page `cp` currently hold any line of
     /// `frame`?
     pub fn icache_holds(&self, cp: CachePage, frame: PFrame) -> bool {
-        self.icache.page_holds(cp, frame, self.cfg.page_size)
+        self.cpu.icache.page_holds(cp, frame, self.cfg.page_size)
     }
 
     /// Read physical memory directly, bypassing the caches, **without**
@@ -1099,7 +1113,7 @@ impl Machine {
     /// the values seen may legitimately be stale while dirty data sits in
     /// the cache.
     pub fn peek_memory(&self, frame: PFrame, offset: u64) -> u32 {
-        self.mem.read_u32(self.cfg.paddr(frame, offset))
+        self.shared.mem.read_u32(self.cfg.paddr(frame, offset))
     }
 
     fn cache_snapshot(c: &Cache) -> CacheSnapshot {
@@ -1120,12 +1134,12 @@ impl Machine {
     /// cache line changes.
     pub fn inspect(&self) -> MachineSnapshot {
         MachineSnapshot {
-            cycles: self.cycles,
-            dcache: Self::cache_snapshot(&self.dcache),
-            icache: Self::cache_snapshot(&self.icache),
+            cycles: self.cpu.cycles,
+            dcache: Self::cache_snapshot(&self.cpu.dcache),
+            icache: Self::cache_snapshot(&self.cpu.icache),
             tlb: TlbSnapshot {
-                resident: self.mmu.tlb_resident() as u64,
-                capacity: self.mmu.tlb_capacity() as u64,
+                resident: self.cpu.mmu.tlb_resident() as u64,
+                capacity: self.cpu.mmu.tlb_capacity() as u64,
             },
         }
     }
@@ -1154,7 +1168,7 @@ impl Machine {
     #[inline]
     fn sample_tick(&mut self) {
         match &self.sampler {
-            Some(s) if s.due(self.cycles) => {
+            Some(s) if s.due(self.cpu.cycles) => {
                 let snap = self.inspect();
                 if let Some(s) = self.sampler.as_mut() {
                     s.record(snap);
@@ -1429,8 +1443,8 @@ mod tests {
                 vas.push(va);
             }
             let page_size = mach.config().page_size;
-            let d_pages = mach.dcache.num_cache_pages();
-            let i_pages = mach.icache.num_cache_pages();
+            let d_pages = mach.cpu.dcache.num_cache_pages();
+            let i_pages = mach.cpu.icache.num_cache_pages();
             for step in 0..300u64 {
                 let p = rng.gen_index(pages as usize);
                 let va = VAddr(vas[p].0 + rng.gen_u64(0, page_size / 4 - 1) * 4);
@@ -1461,7 +1475,10 @@ mod tests {
                     continue;
                 }
                 let snap = mach.inspect();
-                for (cache, pages) in [(&mach.dcache, &snap.dcache), (&mach.icache, &snap.icache)] {
+                for (cache, pages) in [
+                    (&mach.cpu.dcache, &snap.dcache),
+                    (&mach.cpu.icache, &snap.icache),
+                ] {
                     for cp in 0..cache.num_cache_pages() {
                         let index = cache.occupancy(CachePage(cp));
                         let scan = cache.scan_occupancy(CachePage(cp));
@@ -1505,6 +1522,89 @@ mod tests {
         for w in s.samples().windows(2) {
             assert!(w[0].cycles < w[1].cycles, "cycle-ordered");
         }
+    }
+
+    /// Save/restore at an arbitrary point, then drive the restored machine
+    /// and the original in lockstep: every observable — cycles, stats,
+    /// loaded values, oracle state, hardware snapshot — must stay
+    /// identical. This is the machine-level half of the checkpoint
+    /// determinism lock.
+    #[test]
+    fn save_restore_continues_identically() {
+        use vic_core::serial::{WordReader, WordWriter};
+        let mut mach = machine();
+        let (_, va0) = map(&mut mach, 1, 0, 3, Prot::READ_WRITE);
+        let (_, va1) = map(&mut mach, 1, 1, 3, Prot::READ_WRITE);
+        let (_, va2) = map(&mut mach, 2, 2, 5, Prot::READ_EXECUTE);
+        for i in 0..40u32 {
+            mach.store(SpaceId(1), VAddr(va0.0 + u64::from(i % 8) * 4), i)
+                .unwrap();
+            let _ = mach.load(SpaceId(1), va1).unwrap();
+            let _ = mach.ifetch(SpaceId(2), va2).unwrap();
+        }
+        mach.flush_dcache_page(CachePage(0), PFrame(3));
+        let page = vec![0x5au8; mach.config().page_size as usize];
+        mach.dma_write_page(PFrame(5), &page);
+
+        let mut w = WordWriter::new();
+        mach.save_state(&mut w);
+        let words = w.into_words();
+        let mut restored = Machine::new(MachineConfig::small());
+        let mut r = WordReader::new(&words);
+        restored.restore_state(&mut r).unwrap();
+        r.finish().unwrap();
+
+        assert_eq!(restored.cycles(), mach.cycles());
+        assert_eq!(restored.stats(), mach.stats());
+        assert_eq!(restored.oracle().violations(), mach.oracle().violations());
+        // Continue both in lockstep; divergence at any step would surface
+        // in the values read, the cycle account or the snapshot.
+        for (step, &va) in [va0, va1].iter().cycle().take(60).enumerate() {
+            let a = mach.load(SpaceId(1), va).unwrap();
+            let b = restored.load(SpaceId(1), va).unwrap();
+            assert_eq!(a, b, "step {step}: loaded value");
+            mach.store(SpaceId(1), va, step as u32).unwrap();
+            restored.store(SpaceId(1), va, step as u32).unwrap();
+            if step % 7 == 0 {
+                mach.flush_dcache_page(CachePage(step as u32 % 4), PFrame(3));
+                restored.flush_dcache_page(CachePage(step as u32 % 4), PFrame(3));
+            }
+            assert_eq!(mach.cycles(), restored.cycles(), "step {step}: cycles");
+        }
+        assert_eq!(mach.stats(), restored.stats());
+        let (sa, sb) = (mach.inspect(), restored.inspect());
+        assert_eq!(sa.dcache.pages, sb.dcache.pages);
+        assert_eq!(sa.icache.pages, sb.icache.pages);
+        assert_eq!(sa.tlb.resident, sb.tlb.resident);
+        assert_eq!(mach.oracle().violations(), restored.oracle().violations());
+    }
+
+    /// Restoring into a machine with a different geometry must fail with a
+    /// typed error, never reinterpret the stream.
+    #[test]
+    fn restore_rejects_mismatched_config() {
+        use vic_core::serial::{SerialError, WordReader, WordWriter};
+        let mut mach = machine();
+        let (_, va) = map(&mut mach, 1, 0, 3, Prot::READ_WRITE);
+        mach.store(SpaceId(1), va, 7).unwrap();
+        let mut w = WordWriter::new();
+        mach.save_state(&mut w);
+        let words = w.into_words();
+
+        let mut big = Machine::new(MachineConfig::hp720());
+        let mut r = WordReader::new(&words);
+        assert!(matches!(
+            big.restore_state(&mut r),
+            Err(SerialError::Corrupt { .. })
+        ));
+
+        // Truncation is typed too.
+        let mut fresh = Machine::new(MachineConfig::small());
+        let mut r = WordReader::new(&words[..words.len() - 1]);
+        assert!(matches!(
+            fresh.restore_state(&mut r),
+            Err(SerialError::Truncated { .. })
+        ));
     }
 
     #[test]

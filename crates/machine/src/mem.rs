@@ -1,5 +1,6 @@
 //! Physical memory: a flat array of bytes addressed by [`PAddr`].
 
+use vic_core::serial::{SerialError, WordReader, WordWriter};
 use vic_core::types::PAddr;
 
 /// Simulated physical memory.
@@ -61,6 +62,26 @@ impl PhysMemory {
     /// Borrow a byte range (for DMA transfers and line fills).
     pub fn slice(&self, pa: PAddr, len: u64) -> &[u8] {
         &self.bytes[pa.0 as usize..(pa.0 + len) as usize]
+    }
+
+    /// Serialize the full contents.
+    pub fn save_state(&self, w: &mut WordWriter) {
+        w.bytes(&self.bytes);
+    }
+
+    /// Restore contents saved by [`PhysMemory::save_state`]; the capacity
+    /// must match (it comes from the configuration, not the stream).
+    pub fn restore_state(&mut self, r: &mut WordReader) -> Result<(), SerialError> {
+        let at = r.position();
+        let bytes = r.bytes()?;
+        if bytes.len() != self.bytes.len() {
+            return Err(SerialError::Corrupt {
+                at,
+                what: "memory size",
+            });
+        }
+        self.bytes = bytes;
+        Ok(())
     }
 }
 

@@ -8,7 +8,11 @@
 //! must be invalidated to deny access to the data in the memory system").
 
 use vic_core::fxhash::FxHashMap;
+use vic_core::serial::{SerialError, WordReader, WordWriter};
 use vic_core::types::{Mapping, PFrame, Prot, SpaceId, VPage};
+
+/// Section tag bracketing the MMU's state in a word stream.
+const MMU_STATE_TAG: u64 = u64::from_le_bytes(*b"mmu----1");
 
 /// A page table entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -164,6 +168,81 @@ impl Mmu {
         v.sort_by_key(|(vp, _)| vp.0);
         v
     }
+
+    /// Serialize the page tables and TLB. Tables are hash maps consulted
+    /// by point lookup, so their iteration order carries no behaviour —
+    /// they are written in sorted order for a canonical stream. The TLB's
+    /// FIFO order *is* behaviour (it decides the next eviction victim) and
+    /// is written exactly.
+    pub fn save_state(&self, w: &mut WordWriter) {
+        w.tag(MMU_STATE_TAG);
+        let mut spaces: Vec<_> = self.tables.iter().collect();
+        spaces.sort_by_key(|(s, _)| s.0);
+        w.usize(spaces.len());
+        for (space, table) in spaces {
+            w.u32(space.0);
+            let mut entries: Vec<_> = table.iter().collect();
+            entries.sort_by_key(|(vp, _)| vp.0);
+            w.usize(entries.len());
+            for (vp, pte) in entries {
+                w.u64(vp.0);
+                save_pte(w, pte);
+            }
+        }
+        w.usize(self.tlb_fifo.len());
+        for m in &self.tlb_fifo {
+            w.mapping(*m);
+            save_pte(w, &self.tlb[m]);
+        }
+    }
+
+    /// Restore state saved by [`Mmu::save_state`] into an MMU with the
+    /// same TLB capacity.
+    pub fn restore_state(&mut self, r: &mut WordReader) -> Result<(), SerialError> {
+        r.expect(MMU_STATE_TAG)?;
+        self.tables.clear();
+        self.tlb.clear();
+        self.tlb_fifo.clear();
+        let num_spaces = r.usize()?;
+        for _ in 0..num_spaces {
+            let space = SpaceId(r.u32()?);
+            let n = r.usize()?;
+            let table: &mut FxHashMap<VPage, Pte> = self.tables.entry(space).or_default();
+            for _ in 0..n {
+                let vp = VPage(r.u64()?);
+                table.insert(vp, restore_pte(r)?);
+            }
+        }
+        let at = r.position();
+        let resident = r.usize()?;
+        if resident > self.tlb_capacity {
+            return Err(SerialError::Corrupt {
+                at,
+                what: "tlb residency",
+            });
+        }
+        for _ in 0..resident {
+            let m = r.mapping()?;
+            let pte = restore_pte(r)?;
+            self.tlb.insert(m, pte);
+            self.tlb_fifo.push_back(m);
+        }
+        Ok(())
+    }
+}
+
+fn save_pte(w: &mut WordWriter, pte: &Pte) {
+    w.u64(pte.frame.0);
+    w.prot(pte.prot);
+    w.bool(pte.uncached);
+}
+
+fn restore_pte(r: &mut WordReader) -> Result<Pte, SerialError> {
+    Ok(Pte {
+        frame: PFrame(r.u64()?),
+        prot: r.prot()?,
+        uncached: r.bool()?,
+    })
 }
 
 #[cfg(test)]

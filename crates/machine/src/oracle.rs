@@ -10,6 +10,7 @@
 //! manager is correct — and the deliberately broken `NullManager`
 //! demonstrates the oracle catches real staleness.
 
+use vic_core::serial::{SerialError, WordReader, WordWriter};
 use vic_core::types::PAddr;
 
 /// One detected staleness violation.
@@ -107,6 +108,92 @@ impl Oracle {
     pub fn clear_violations(&mut self) {
         self.violations = 0;
         self.first.clear();
+    }
+
+    /// Serialize the shadow and the violation log. The observer of each
+    /// retained violation is a `&'static str` in memory; on the wire it
+    /// becomes a small code (see [`observer_code`]). `panic_on_violation`
+    /// is a test harness knob, not simulated state, and is not written.
+    pub fn save_state(&self, w: &mut WordWriter) {
+        w.bytes(&self.expected);
+        w.u64(self.violations);
+        w.usize(self.first.len());
+        for v in &self.first {
+            w.u64(v.pa.0);
+            w.u64(u64::from(v.got));
+            w.u64(u64::from(v.expected));
+            w.u64(observer_code(v.observer));
+        }
+    }
+
+    /// Restore state saved by [`Oracle::save_state`]; the shadow size must
+    /// match the configured memory size.
+    pub fn restore_state(&mut self, r: &mut WordReader) -> Result<(), SerialError> {
+        let at = r.position();
+        let expected = r.bytes()?;
+        if expected.len() != self.expected.len() {
+            return Err(SerialError::Corrupt {
+                at,
+                what: "oracle size",
+            });
+        }
+        self.expected = expected;
+        self.violations = r.u64()?;
+        let n = r.usize()?;
+        if n > KEEP {
+            return Err(SerialError::Corrupt {
+                at,
+                what: "violation sample size",
+            });
+        }
+        self.first.clear();
+        for _ in 0..n {
+            let pa = PAddr(r.u64()?);
+            let at = r.position();
+            let got = u8::try_from(r.u64()?).map_err(|_| SerialError::Corrupt {
+                at,
+                what: "violation byte",
+            })?;
+            let at = r.position();
+            let expected = u8::try_from(r.u64()?).map_err(|_| SerialError::Corrupt {
+                at,
+                what: "violation byte",
+            })?;
+            let at = r.position();
+            let observer = observer_name(r.u64()?).ok_or(SerialError::Corrupt {
+                at,
+                what: "observer code",
+            })?;
+            self.first.push(Violation {
+                pa,
+                got,
+                expected,
+                observer,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Wire code for a violation observer (the machine uses a fixed set of
+/// `&'static str` names; anything else maps to the reserved code 3).
+fn observer_code(observer: &'static str) -> u64 {
+    match observer {
+        "CPU load" => 0,
+        "instruction fetch" => 1,
+        "device (DMA) read" => 2,
+        _ => 3,
+    }
+}
+
+/// Inverse of [`observer_code`]; `None` for codes never written.
+fn observer_name(code: u64) -> Option<&'static str> {
+    match code {
+        0 => Some("CPU load"),
+        1 => Some("instruction fetch"),
+        2 => Some("device (DMA) read"),
+        3 => Some("unknown observer"),
+        _ => None,
     }
 }
 

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use vic_core::serial::{SerialError, WordReader, WordWriter};
+
 /// A count of operations with the cycles they consumed; gives the "average
 /// cycles" columns of the paper's Table 4.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -32,6 +34,19 @@ impl OpStat {
     pub fn merge(&mut self, other: &OpStat) {
         self.count += other.count;
         self.cycles += other.cycles;
+    }
+
+    /// Serialize both counters.
+    pub fn save_state(&self, w: &mut WordWriter) {
+        w.u64(self.count);
+        w.u64(self.cycles);
+    }
+
+    /// Restore counters saved by [`OpStat::save_state`].
+    pub fn restore_state(&mut self, r: &mut WordReader) -> Result<(), SerialError> {
+        self.count = r.u64()?;
+        self.cycles = r.u64()?;
+        Ok(())
     }
 }
 
@@ -108,6 +123,47 @@ impl MachineStats {
         self.flush_writebacks += other.flush_writebacks;
         self.dma_writes += other.dma_writes;
         self.dma_reads += other.dma_reads;
+    }
+
+    /// Serialize every counter, in declaration order.
+    pub fn save_state(&self, w: &mut WordWriter) {
+        w.u64(self.loads);
+        w.u64(self.stores);
+        w.u64(self.ifetches);
+        w.u64(self.d_hits);
+        w.u64(self.d_misses);
+        w.u64(self.i_hits);
+        w.u64(self.i_misses);
+        w.u64(self.writebacks);
+        w.u64(self.uncached);
+        w.u64(self.tlb_misses);
+        self.d_flush_pages.save_state(w);
+        self.d_purge_pages.save_state(w);
+        self.i_purge_pages.save_state(w);
+        w.u64(self.flush_writebacks);
+        w.u64(self.dma_writes);
+        w.u64(self.dma_reads);
+    }
+
+    /// Restore counters saved by [`MachineStats::save_state`].
+    pub fn restore_state(&mut self, r: &mut WordReader) -> Result<(), SerialError> {
+        self.loads = r.u64()?;
+        self.stores = r.u64()?;
+        self.ifetches = r.u64()?;
+        self.d_hits = r.u64()?;
+        self.d_misses = r.u64()?;
+        self.i_hits = r.u64()?;
+        self.i_misses = r.u64()?;
+        self.writebacks = r.u64()?;
+        self.uncached = r.u64()?;
+        self.tlb_misses = r.u64()?;
+        self.d_flush_pages.restore_state(r)?;
+        self.d_purge_pages.restore_state(r)?;
+        self.i_purge_pages.restore_state(r)?;
+        self.flush_writebacks = r.u64()?;
+        self.dma_writes = r.u64()?;
+        self.dma_reads = r.u64()?;
+        Ok(())
     }
 }
 

@@ -9,12 +9,10 @@
 //! [`SystemSnapshot`] of the machine at the end — one JSON document to
 //! debug from, written by `run --flight <file>`.
 
+use vic_core::ENGINE_VERSION;
 use vic_trace::{Divergence, RingBufferSink, TraceEvent};
 
 use crate::snapshot::{json_str, SystemSnapshot};
-
-/// Schema version of the post-mortem JSON document.
-pub const FLIGHT_VERSION: u64 = 1;
 
 /// Everything the flight recorder captured about a failed or divergent
 /// run.
@@ -69,7 +67,7 @@ pub fn post_mortem_json(pm: &PostMortem) -> String {
     let mut out = String::with_capacity(4096);
     let _ = write!(
         out,
-        "{{\"flight_version\":{FLIGHT_VERSION},\"reason\":{},\"events_seen\":{},\"events_retained\":{},",
+        "{{\"engine_version\":{ENGINE_VERSION},\"reason\":{},\"events_seen\":{},\"events_retained\":{},",
         json_str(&pm.reason),
         pm.events_seen,
         pm.events.len()
@@ -154,13 +152,21 @@ mod tests {
         assert_eq!(pm.events_seen, 4);
 
         let j = pm.to_json();
-        assert!(j.starts_with("{\"flight_version\":1,"), "{j}");
+        assert!(
+            j.starts_with(&format!("{{\"engine_version\":{ENGINE_VERSION},")),
+            "{j}"
+        );
         assert!(j.contains("\"reason\":\"2 audit divergences\""), "{j}");
         assert!(j.contains("\"events_seen\":4"), "{j}");
         assert!(j.contains("\"events_retained\":2"), "{j}");
         assert!(j.contains("\"divergence_count\":2"), "{j}");
         assert!(j.contains("illegal transition"), "{j}");
-        assert!(j.contains("\"snapshot\":{\"snapshot_version\":1"), "{j}");
+        assert!(
+            j.contains(&format!(
+                "\"snapshot\":{{\"engine_version\":{ENGINE_VERSION}"
+            )),
+            "{j}"
+        );
         // The ring tail is rendered as real trace-event JSON.
         assert!(j.contains("\"cycle\":40"), "{j}");
     }

@@ -37,10 +37,8 @@ pub mod snapshot;
 
 mod json;
 
-pub use flight::{post_mortem_json, PostMortem, FLIGHT_VERSION};
+pub use flight::{post_mortem_json, PostMortem};
 pub use progress::ProgressReporter;
-pub use sampler::{SeriesFormat, SnapshotSampler, TimeSeries, SERIES_VERSION};
+pub use sampler::{SeriesFormat, SnapshotSampler, TimeSeries};
 pub use shard::MetricsShard;
-pub use snapshot::{
-    CacheSnapshot, MachineSnapshot, PageStateCounts, SystemSnapshot, TlbSnapshot, SNAPSHOT_VERSION,
-};
+pub use snapshot::{CacheSnapshot, MachineSnapshot, PageStateCounts, SystemSnapshot, TlbSnapshot};

@@ -11,10 +11,9 @@
 //! CSV, Markdown and JSON renderers; the `run --inspect <file>` flag
 //! picks the renderer from the file extension.
 
-use crate::snapshot::{json_str, MachineSnapshot};
+use vic_core::ENGINE_VERSION;
 
-/// Schema version of the rendered time-series JSON document.
-pub const SERIES_VERSION: u64 = 1;
+use crate::snapshot::{json_str, MachineSnapshot};
 
 /// Records a [`MachineSnapshot`] every `every` simulated cycles.
 #[derive(Debug, Clone)]
@@ -204,7 +203,7 @@ impl TimeSeries {
     pub fn render_json(&self) -> String {
         use std::fmt::Write;
         let mut out = format!(
-            "{{\"series_version\":{SERIES_VERSION},\"label\":{},\"every\":{},\"samples\":[",
+            "{{\"engine_version\":{ENGINE_VERSION},\"label\":{},\"every\":{},\"samples\":[",
             json_str(&self.label),
             self.every
         );
@@ -271,7 +270,10 @@ mod tests {
         assert!(md.contains("| 100 |"), "{md}");
 
         let json = ts.render(SeriesFormat::Json);
-        assert!(json.starts_with("{\"series_version\":1,"), "{json}");
+        assert!(
+            json.starts_with(&format!("{{\"engine_version\":{ENGINE_VERSION},")),
+            "{json}"
+        );
         assert!(json.contains("\"label\":\"afs-bench @ F\""), "{json}");
         assert_eq!(json.matches("\"cycles\":").count(), 2, "{json}");
     }

@@ -9,10 +9,9 @@
 use vic_core::state::LineState;
 use vic_core::types::CacheKind;
 
-use crate::json::push_str_escaped;
+use vic_core::ENGINE_VERSION;
 
-/// Schema version stamped into every rendered snapshot document.
-pub const SNAPSHOT_VERSION: u64 = 1;
+use crate::json::push_str_escaped;
 
 /// One cache's occupancy at an instant.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -198,10 +197,7 @@ impl SystemSnapshot {
 
     pub(crate) fn json_into(&self, out: &mut String) {
         use std::fmt::Write;
-        let _ = write!(
-            out,
-            "{{\"snapshot_version\":{SNAPSHOT_VERSION},\"machine\":"
-        );
+        let _ = write!(out, "{{\"engine_version\":{ENGINE_VERSION},\"machine\":");
         self.machine.json_into(out);
         let _ = write!(
             out,
@@ -316,7 +312,10 @@ mod tests {
             i_states: PageStateCounts::default(),
         };
         let j = s.to_json();
-        assert!(j.starts_with("{\"snapshot_version\":1,"), "{j}");
+        assert!(
+            j.starts_with(&format!("{{\"engine_version\":{ENGINE_VERSION},")),
+            "{j}"
+        );
         assert!(
             j.contains("\"d_states\":{\"empty\":2,\"present\":0,\"dirty\":1,\"stale\":0}"),
             "{j}"

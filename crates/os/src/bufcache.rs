@@ -13,6 +13,7 @@ use std::collections::VecDeque;
 
 use vic_core::fxhash::FxHashMap;
 
+use vic_core::serial::{SerialError, WordReader, WordWriter};
 use vic_core::types::{PFrame, VPage};
 
 use crate::error::OsError;
@@ -87,6 +88,68 @@ impl Disk {
     pub fn write(&mut self, b: BlockId, data: &[u8]) {
         assert_eq!(data.len() as u64, self.block_size);
         self.blocks[b.0 as usize] = Some(data.to_vec().into_boxed_slice());
+    }
+
+    /// Serialize the block contents and the free list. The free list is a
+    /// LIFO stack (its order decides the next allocation) and is written
+    /// exactly.
+    pub fn save_state(&self, w: &mut WordWriter) {
+        w.usize(self.blocks.len());
+        for b in &self.blocks {
+            match b {
+                Some(data) => {
+                    w.bool(true);
+                    w.bytes(data);
+                }
+                None => w.bool(false),
+            }
+        }
+        w.usize(self.free.len());
+        for b in &self.free {
+            w.u32(b.0);
+        }
+    }
+
+    /// Restore state saved by [`Disk::save_state`] into a disk with the
+    /// same block count and size.
+    pub fn restore_state(&mut self, r: &mut WordReader) -> Result<(), SerialError> {
+        let at = r.position();
+        let n = r.usize()?;
+        if n != self.blocks.len() {
+            return Err(SerialError::Corrupt {
+                at,
+                what: "disk block count",
+            });
+        }
+        for slot in &mut self.blocks {
+            *slot = if r.bool()? {
+                let at = r.position();
+                let data = r.bytes()?;
+                if data.len() as u64 != self.block_size {
+                    return Err(SerialError::Corrupt {
+                        at,
+                        what: "disk block size",
+                    });
+                }
+                Some(data.into_boxed_slice())
+            } else {
+                None
+            };
+        }
+        let nfree = r.usize()?;
+        self.free.clear();
+        for _ in 0..nfree {
+            let at = r.position();
+            let b = r.u32()?;
+            if b as usize >= self.blocks.len() {
+                return Err(SerialError::Corrupt {
+                    at,
+                    what: "free block id",
+                });
+            }
+            self.free.push(BlockId(b));
+        }
+        Ok(())
     }
 }
 
@@ -202,6 +265,71 @@ impl BufferCache {
             .enumerate()
             .filter_map(|(i, b)| b.filter(|b| b.dirty).map(|_| i))
             .collect()
+    }
+
+    /// Serialize the slots and the LRU order. The block map is a derived
+    /// index (rebuilt from the slots on restore); the LRU queue decides the
+    /// next eviction victim and is written exactly.
+    pub fn save_state(&self, w: &mut WordWriter) {
+        w.usize(self.slots.len());
+        for s in &self.slots {
+            match s {
+                Some(buf) => {
+                    w.bool(true);
+                    w.u32(buf.block.0);
+                    w.u64(buf.frame.0);
+                    w.bool(buf.dirty);
+                }
+                None => w.bool(false),
+            }
+        }
+        w.usize(self.lru.len());
+        for s in &self.lru {
+            w.usize(*s);
+        }
+    }
+
+    /// Restore state saved by [`BufferCache::save_state`] into a cache with
+    /// the same slot count, rebuilding the block map.
+    pub fn restore_state(&mut self, r: &mut WordReader) -> Result<(), SerialError> {
+        let at = r.position();
+        let n = r.usize()?;
+        if n != self.slots.len() {
+            return Err(SerialError::Corrupt {
+                at,
+                what: "buffer slot count",
+            });
+        }
+        self.map.clear();
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            *slot = if r.bool()? {
+                let block = BlockId(r.u32()?);
+                let frame = PFrame(r.u64()?);
+                let dirty = r.bool()?;
+                self.map.insert(block, i);
+                Some(Buf {
+                    block,
+                    frame,
+                    dirty,
+                })
+            } else {
+                None
+            };
+        }
+        let nlru = r.usize()?;
+        self.lru.clear();
+        for _ in 0..nlru {
+            let at = r.position();
+            let s = r.usize()?;
+            if s >= self.slots.len() {
+                return Err(SerialError::Corrupt {
+                    at,
+                    what: "lru slot index",
+                });
+            }
+            self.lru.push_back(s);
+        }
+        Ok(())
     }
 
     /// Drop a block from the cache (file deletion). Returns the slot and

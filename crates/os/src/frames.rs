@@ -15,6 +15,7 @@
 //!   directly reusable (no purge, no flush). This is the paper's proposed
 //!   optimization, reproduced as an ablation.
 
+use vic_core::serial::{SerialError, WordReader, WordWriter};
 use vic_core::types::PFrame;
 
 use crate::error::OsError;
@@ -107,6 +108,55 @@ impl FrameTable {
     /// Current reference count.
     pub fn refs(&self, f: PFrame) -> u32 {
         self.refs[f.0 as usize]
+    }
+
+    /// Serialize the free lists and reference counts. Free-list order *is*
+    /// behaviour (LIFO reuse decides which frame the next allocation
+    /// returns), so every list is written exactly.
+    pub fn save_state(&self, w: &mut WordWriter) {
+        w.usize(self.free.len());
+        for list in &self.free {
+            w.usize(list.len());
+            for f in list {
+                w.u64(f.0);
+            }
+        }
+        w.usize(self.refs.len());
+        for r in &self.refs {
+            w.u32(*r);
+        }
+    }
+
+    /// Restore state saved by [`FrameTable::save_state`] into a table with
+    /// the same color and frame counts.
+    pub fn restore_state(&mut self, r: &mut WordReader) -> Result<(), SerialError> {
+        let at = r.position();
+        let colors = r.usize()?;
+        if colors != self.free.len() {
+            return Err(SerialError::Corrupt {
+                at,
+                what: "free list color count",
+            });
+        }
+        for list in &mut self.free {
+            list.clear();
+            let n = r.usize()?;
+            for _ in 0..n {
+                list.push(PFrame(r.u64()?));
+            }
+        }
+        let at = r.position();
+        let nframes = r.usize()?;
+        if nframes != self.refs.len() {
+            return Err(SerialError::Corrupt {
+                at,
+                what: "frame count",
+            });
+        }
+        for slot in &mut self.refs {
+            *slot = r.u32()?;
+        }
+        Ok(())
     }
 
     /// Drop a reference; `color` is the cache-page color of the mapping the

@@ -5,6 +5,7 @@
 //! blocks move through the buffer cache and when DMA happens.
 
 use vic_core::fxhash::FxHashMap;
+use vic_core::serial::{SerialError, WordReader, WordWriter};
 
 use crate::bufcache::{BlockId, Disk};
 use crate::error::OsError;
@@ -96,6 +97,41 @@ impl FileSystem {
             blocks.push(disk.alloc()?);
         }
         Ok(blocks[page as usize])
+    }
+
+    /// Serialize the file table. Files are held in a point-lookup hash map
+    /// (iteration order never decides behaviour) and are written sorted by
+    /// id for a canonical stream; each block list's order is the file's
+    /// page order and is written exactly.
+    pub fn save_state(&self, w: &mut WordWriter) {
+        let mut files: Vec<_> = self.files.iter().collect();
+        files.sort_by_key(|(id, _)| id.0);
+        w.usize(files.len());
+        for (id, blocks) in files {
+            w.u32(id.0);
+            w.usize(blocks.len());
+            for b in blocks {
+                w.u32(b.0);
+            }
+        }
+        w.u32(self.next);
+    }
+
+    /// Restore state saved by [`FileSystem::save_state`].
+    pub fn restore_state(&mut self, r: &mut WordReader) -> Result<(), SerialError> {
+        let n = r.usize()?;
+        self.files.clear();
+        for _ in 0..n {
+            let id = FileId(r.u32()?);
+            let nblocks = r.usize()?;
+            let mut blocks = Vec::with_capacity(nblocks);
+            for _ in 0..nblocks {
+                blocks.push(BlockId(r.u32()?));
+            }
+            self.files.insert(id, blocks);
+        }
+        self.next = r.u32()?;
+        Ok(())
     }
 
     /// Delete a file, releasing its blocks. Returns the released blocks so

@@ -14,10 +14,13 @@
 //! * **need data / will overwrite** — preparation and DMA paths pass
 //!   truthful semantic hints; managers honour them per their policy.
 
+use std::collections::BTreeMap;
+
 use vic_core::fxhash::{FxHashMap, FxHashSet};
 use vic_core::manager::{AccessHints, DmaDir, MgrStats};
 use vic_core::policy::PolicyConfig;
-use vic_core::types::{Access, Mapping, PFrame, Prot, SpaceId, VAddr, VPage};
+use vic_core::serial::{SerialError, WordReader, WordWriter};
+use vic_core::types::{Access, CpuId, Mapping, PFrame, Prot, SpaceId, VAddr, VPage};
 use vic_machine::{Fault, Machine, MachineConfig};
 use vic_metrics::{PageStateCounts, SystemSnapshot};
 use vic_profile::Seg;
@@ -180,7 +183,7 @@ pub struct Kernel {
     machine: Machine,
     pmap: Pmap,
     frames: crate::frames::FrameTable,
-    tasks: FxHashMap<TaskId, Task>,
+    tasks: BTreeMap<TaskId, Task>,
     space_of: FxHashMap<SpaceId, TaskId>,
     next_task: u32,
     next_space: u32,
@@ -230,7 +233,7 @@ impl Kernel {
         Kernel {
             pmap: Pmap::new(mgr),
             frames: crate::frames::FrameTable::with_colors(cfg.machine.num_frames(), 16, colors),
-            tasks: FxHashMap::default(),
+            tasks: BTreeMap::new(),
             space_of: FxHashMap::default(),
             next_task: 1,
             next_space: 2,
@@ -390,18 +393,23 @@ impl Kernel {
     /// # Errors
     ///
     /// [`OsError::NoSuchTask`] if the task does not exist.
-    pub fn terminate_task(&mut self, t: TaskId) -> Result<(), OsError> {
-        self.spanned(Seg::Os("task.terminate"), |k| k.terminate_task_inner(t))
+    pub fn terminate_task(&mut self, cpu: CpuId, t: TaskId) -> Result<(), OsError> {
+        self.spanned(Seg::Os("task.terminate"), |k| {
+            k.terminate_task_inner(cpu, t)
+        })
     }
 
-    fn terminate_task_inner(&mut self, t: TaskId) -> Result<(), OsError> {
+    fn terminate_task_inner(&mut self, cpu: CpuId, t: TaskId) -> Result<(), OsError> {
         let task = self.tasks.remove(&t).ok_or(OsError::NoSuchTask(t.0))?;
         self.space_of.remove(&task.space);
         if let Some(ch) = self.server.unregister(t.0) {
             self.server.task.remove(ch.server_vp);
-            self.pmap
-                .remove(&mut self.machine, Mapping::new(SERVER_SPACE, ch.server_vp));
-            self.release_frame(ch.frame, Some(ch.client_vp));
+            self.pmap.remove(
+                cpu,
+                &mut self.machine,
+                Mapping::new(SERVER_SPACE, ch.server_vp),
+            );
+            self.release_frame(cpu, ch.frame, Some(ch.client_vp));
         }
         // Free in descending address order: with the LIFO free list, the
         // next task's (ascending) fault order then re-pairs each frame with
@@ -412,9 +420,9 @@ impl Kernel {
         entries.sort_by_key(|e| std::cmp::Reverse(e.0));
         for (vp, entry) in entries {
             let m = Mapping::new(task.space, vp);
-            self.pmap.remove(&mut self.machine, m);
+            self.pmap.remove(cpu, &mut self.machine, m);
             if let Some(frame) = entry.frame {
-                self.release_frame(frame, Some(vp));
+                self.release_frame(cpu, frame, Some(vp));
             }
             if let Some(block) = entry.swap {
                 self.swap.release(block);
@@ -426,7 +434,7 @@ impl Kernel {
     /// Allocate a frame, preferring (with colored free lists) one whose
     /// residue aligns with the virtual page it will live under. Under
     /// memory pressure, pages out anonymous victims to swap first.
-    fn alloc_frame(&mut self, under: Option<VPage>) -> Result<PFrame, OsError> {
+    fn alloc_frame(&mut self, cpu: CpuId, under: Option<VPage>) -> Result<PFrame, OsError> {
         let color = under.map(|vp| (vp.0 % self.align_mod) as u32);
         match self.frames.allocate(color) {
             Ok(f) => {
@@ -435,7 +443,7 @@ impl Kernel {
             }
             Err(OsError::OutOfMemory) => {
                 // Reclaim: page out an anonymous victim and retry once.
-                self.reclaim_one()?;
+                self.reclaim_one(cpu)?;
                 let f = self.frames.allocate(color)?;
                 self.stats.pages_allocated += 1;
                 Ok(f)
@@ -446,7 +454,7 @@ impl Kernel {
 
     /// Find one pageable victim (a materialized, sole-owner, non-COW
     /// anonymous page) and page it out.
-    fn reclaim_one(&mut self) -> Result<(), OsError> {
+    fn reclaim_one(&mut self, cpu: CpuId) -> Result<(), OsError> {
         let victim = self
             .tasks
             .values()
@@ -462,23 +470,24 @@ impl Kernel {
         let Some((space, vp, _)) = victim else {
             return Err(OsError::OutOfMemory);
         };
-        self.page_out(space, vp)
+        self.page_out(cpu, space, vp)
     }
 
     /// Page one anonymous page out to swap: flush its dirty cached data
     /// (the swap device reads memory — a DMA-read), write the block,
     /// break the mapping and free the frame.
-    fn page_out(&mut self, space: SpaceId, vp: VPage) -> Result<(), OsError> {
-        self.spanned(Seg::Os("vm.page_out"), |k| k.page_out_inner(space, vp))
+    fn page_out(&mut self, cpu: CpuId, space: SpaceId, vp: VPage) -> Result<(), OsError> {
+        self.spanned(Seg::Os("vm.page_out"), |k| k.page_out_inner(cpu, space, vp))
     }
 
-    fn page_out_inner(&mut self, space: SpaceId, vp: VPage) -> Result<(), OsError> {
+    fn page_out_inner(&mut self, cpu: CpuId, space: SpaceId, vp: VPage) -> Result<(), OsError> {
         let entry = *self
             .task_entry(space, vp)
             .expect("paging out a nonexistent entry");
         let frame = entry.frame.expect("paging out an unmaterialized page");
         let block = self.swap.alloc()?;
         self.pmap.before_dma(
+            cpu,
             &mut self.machine,
             frame,
             DmaDir::Read,
@@ -491,8 +500,9 @@ impl Kernel {
             dir: DmaDir::Read,
             frame,
         });
-        self.pmap.remove(&mut self.machine, Mapping::new(space, vp));
-        self.release_frame(frame, Some(vp));
+        self.pmap
+            .remove(cpu, &mut self.machine, Mapping::new(space, vp));
+        self.release_frame(cpu, frame, Some(vp));
         let e = if space == SERVER_SPACE {
             self.server.task.entry_mut(vp)
         } else {
@@ -512,19 +522,24 @@ impl Kernel {
     /// Page a swapped-out page back in: DMA its block into a fresh frame.
     fn page_in(
         &mut self,
+        cpu: CpuId,
         block: crate::bufcache::BlockId,
         under: VPage,
     ) -> Result<PFrame, OsError> {
-        self.spanned(Seg::Os("vm.page_in"), |k| k.page_in_inner(block, under))
+        self.spanned(Seg::Os("vm.page_in"), |k| {
+            k.page_in_inner(cpu, block, under)
+        })
     }
 
     fn page_in_inner(
         &mut self,
+        cpu: CpuId,
         block: crate::bufcache::BlockId,
         under: VPage,
     ) -> Result<PFrame, OsError> {
-        let frame = self.alloc_frame(Some(under))?;
+        let frame = self.alloc_frame(cpu, Some(under))?;
         self.pmap.before_dma(
+            cpu,
             &mut self.machine,
             frame,
             DmaDir::Write,
@@ -543,10 +558,10 @@ impl Kernel {
 
     /// Release a reference; `last_vp` is the virtual page the frame last
     /// lived under (binning its residue by color).
-    fn release_frame(&mut self, f: PFrame, last_vp: Option<VPage>) {
+    fn release_frame(&mut self, cpu: CpuId, f: PFrame, last_vp: Option<VPage>) {
         let color = last_vp.map(|vp| (vp.0 % self.align_mod) as u32);
         if self.frames.release(f, color) {
-            self.pmap.page_freed(&mut self.machine, f);
+            self.pmap.page_freed(cpu, &mut self.machine, f);
             self.stats.pages_freed += 1;
         }
     }
@@ -605,11 +620,11 @@ impl Kernel {
     /// hold the frame, copy it into a private frame (through an aligned
     /// preparation window); either way the entry stops being
     /// copy-on-write. The caller retries the faulting access.
-    fn cow_break(&mut self, m: Mapping) -> Result<(), OsError> {
-        self.spanned(Seg::Os("cow.break"), |k| k.cow_break_inner(m))
+    fn cow_break(&mut self, cpu: CpuId, m: Mapping) -> Result<(), OsError> {
+        self.spanned(Seg::Os("cow.break"), |k| k.cow_break_inner(cpu, m))
     }
 
-    fn cow_break_inner(&mut self, m: Mapping) -> Result<(), OsError> {
+    fn cow_break_inner(&mut self, cpu: CpuId, m: Mapping) -> Result<(), OsError> {
         let vp = m.vpage;
         let entry = *self.task_entry(m.space, vp).ok_or(OsError::BadAddress {
             mapping: m,
@@ -621,14 +636,14 @@ impl Kernel {
             // Sole remaining owner: drop the write cap, keep the frame.
             self.set_entry_cow(m.space, vp, false);
             if self.pmap.frame_of(m).is_some() {
-                self.pmap.protect(&mut self.machine, m, entry.prot);
+                self.pmap.protect(cpu, &mut self.machine, m, entry.prot);
             }
             return Ok(());
         }
-        let new = self.alloc_frame(Some(vp))?;
-        self.copy_frame(old, new, Some(vp))?;
-        self.pmap.remove(&mut self.machine, m);
-        self.release_frame(old, Some(vp));
+        let new = self.alloc_frame(cpu, Some(vp))?;
+        self.copy_frame(cpu, old, new, Some(vp))?;
+        self.pmap.remove(cpu, &mut self.machine, m);
+        self.release_frame(cpu, old, Some(vp));
         self.set_entry_frame(m.space, vp, new);
         self.set_entry_cow(m.space, vp, false);
         self.stats.cow_copies += 1;
@@ -640,23 +655,29 @@ impl Kernel {
     /// destination optionally aligned with its ultimate mapping).
     fn copy_frame(
         &mut self,
+        cpu: CpuId,
         src: PFrame,
         dst: PFrame,
         ultimate: Option<VPage>,
     ) -> Result<(), OsError> {
         let wvp = self.kwin.alloc(None);
         let wm = Mapping::new(KERNEL_SPACE, wvp);
-        self.pmap.enter(&mut self.machine, wm, src, Prot::READ);
+        self.pmap.enter(cpu, &mut self.machine, wm, src, Prot::READ);
         let src_va = VAddr(wvp.0 * self.page_size());
-        let r = self.copy_into_frame(KERNEL_SPACE, src_va, dst, ultimate, false);
-        self.pmap.remove(&mut self.machine, wm);
+        let r = self.copy_into_frame(cpu, KERNEL_SPACE, src_va, dst, ultimate, false);
+        self.pmap.remove(cpu, &mut self.machine, wm);
         self.kwin.free(wvp);
         r
     }
 
     /// Resolve a hardware fault: either a consistency fault on a live
     /// mapping, or a mapping fault requiring VM materialization.
-    fn resolve_fault(&mut self, fault: Fault, hints: AccessHints) -> Result<(), OsError> {
+    fn resolve_fault(
+        &mut self,
+        cpu: CpuId,
+        fault: Fault,
+        hints: AccessHints,
+    ) -> Result<(), OsError> {
         let m = fault.mapping();
         let access = fault.access();
         let costs = self.machine.config().costs;
@@ -668,7 +689,7 @@ impl Kernel {
             if access == Access::Write {
                 if let Some(entry) = self.task_entry(m.space, m.vpage).copied() {
                     if entry.cow && entry.prot.allows(Access::Write) {
-                        return self.cow_break(m);
+                        return self.cow_break(cpu, m);
                     }
                 }
             }
@@ -681,7 +702,8 @@ impl Kernel {
                     space: m.space,
                     vpage: m.vpage,
                 });
-                k.pmap.consistency_fault(&mut k.machine, m, access, hints)
+                k.pmap
+                    .consistency_fault(cpu, &mut k.machine, m, access, hints)
             });
         }
 
@@ -699,7 +721,7 @@ impl Kernel {
             };
             // A write into a copy-on-write page must break the share first.
             if entry.cow && access == Access::Write && entry.prot.allows(Access::Write) {
-                k.cow_break(m)?;
+                k.cow_break(cpu, m)?;
                 entry = *k
                     .task_entry(m.space, m.vpage)
                     .expect("entry survives cow break");
@@ -711,19 +733,19 @@ impl Kernel {
                     None => {
                         let f = match (entry.kind, entry.swap) {
                             (_, Some(block)) => {
-                                let f = k.page_in(block, m.vpage)?;
+                                let f = k.page_in(cpu, block, m.vpage)?;
                                 k.clear_entry_swap(m.space, m.vpage);
                                 f
                             }
                             (EntryKind::Text { file, page }, None) => {
-                                k.load_text_frame(file, page, m.vpage)?
+                                k.load_text_frame(cpu, file, page, m.vpage)?
                             }
                             (EntryKind::FileMap { file, page }, None) => {
-                                k.map_file_frame(file, page)?
+                                k.map_file_frame(cpu, file, page)?
                             }
                             _ => {
-                                let f = k.alloc_frame(Some(m.vpage))?;
-                                k.zero_fill(f, Some(m.vpage), false)?;
+                                let f = k.alloc_frame(cpu, Some(m.vpage))?;
+                                k.zero_fill(cpu, f, Some(m.vpage), false)?;
                                 f
                             }
                         };
@@ -731,17 +753,19 @@ impl Kernel {
                         f
                     }
                 };
-                k.pmap.enter(&mut k.machine, m, frame, entry.hw_prot());
+                k.pmap.enter(cpu, &mut k.machine, m, frame, entry.hw_prot());
                 // Run the access transition implied by this very access. It
                 // is inferred from the mapping fault, so it is NOT counted
                 // as a consistency fault (paper §5.1).
-                k.pmap.consistency_fault(&mut k.machine, m, access, hints)
+                k.pmap
+                    .consistency_fault(cpu, &mut k.machine, m, access, hints)
             })
         })
     }
 
     fn access_word(
         &mut self,
+        cpu: CpuId,
         space: SpaceId,
         va: VAddr,
         access: Access,
@@ -759,7 +783,7 @@ impl Kernel {
             };
             match r {
                 Ok(v) => return Ok(v.unwrap_or(0)),
-                Err(fault) => self.resolve_fault(fault, hints)?,
+                Err(fault) => self.resolve_fault(cpu, fault, hints)?,
             }
         }
         panic!(
@@ -775,9 +799,9 @@ impl Kernel {
     ///
     /// [`OsError::NoSuchTask`], [`OsError::BadAddress`],
     /// [`OsError::ProtectionViolation`], [`OsError::OutOfMemory`].
-    pub fn read(&mut self, t: TaskId, va: VAddr) -> Result<u32, OsError> {
+    pub fn read(&mut self, cpu: CpuId, t: TaskId, va: VAddr) -> Result<u32, OsError> {
         let space = self.task_space(t)?;
-        self.access_word(space, va, Access::Read, 0, AccessHints::default())
+        self.access_word(cpu, space, va, Access::Read, 0, AccessHints::default())
     }
 
     /// Write a word into a task's address space.
@@ -785,9 +809,9 @@ impl Kernel {
     /// # Errors
     ///
     /// As for [`Kernel::read`].
-    pub fn write(&mut self, t: TaskId, va: VAddr, value: u32) -> Result<(), OsError> {
+    pub fn write(&mut self, cpu: CpuId, t: TaskId, va: VAddr, value: u32) -> Result<(), OsError> {
         let space = self.task_space(t)?;
-        self.access_word(space, va, Access::Write, value, AccessHints::default())?;
+        self.access_word(cpu, space, va, Access::Write, value, AccessHints::default())?;
         Ok(())
     }
 
@@ -797,9 +821,9 @@ impl Kernel {
     /// # Errors
     ///
     /// As for [`Kernel::read`].
-    pub fn fetch(&mut self, t: TaskId, va: VAddr) -> Result<u32, OsError> {
+    pub fn fetch(&mut self, cpu: CpuId, t: TaskId, va: VAddr) -> Result<u32, OsError> {
         let space = self.task_space(t)?;
-        self.access_word(space, va, Access::Execute, 0, AccessHints::default())
+        self.access_word(cpu, space, va, Access::Execute, 0, AccessHints::default())
     }
 
     // ---------------------------------------------------------------
@@ -825,6 +849,7 @@ impl Kernel {
     /// fault and is handed to the machine's bulk-run engine.
     pub fn access_run(
         &mut self,
+        cpu: CpuId,
         space: SpaceId,
         va: VAddr,
         stride: u64,
@@ -838,7 +863,7 @@ impl Kernel {
                 while i < n {
                     let seg = self.run_page_span(va, stride, i, n);
                     let w0 = VAddr(va.0 + i as u64 * stride);
-                    out[i] = self.access_word(space, w0, Access::Read, 0, hints)?;
+                    out[i] = self.access_word(cpu, space, w0, Access::Read, 0, hints)?;
                     if seg > 1 {
                         let rest = VAddr(w0.0 + stride);
                         if let Err(fault) =
@@ -857,7 +882,7 @@ impl Kernel {
                 while i < n {
                     let seg = self.run_page_span(va, stride, i, n);
                     let w0 = VAddr(va.0 + i as u64 * stride);
-                    self.access_word(space, w0, Access::Write, values[i], hints)?;
+                    self.access_word(cpu, space, w0, Access::Write, values[i], hints)?;
                     if seg > 1 {
                         let rest = VAddr(w0.0 + stride);
                         if let Err(fault) =
@@ -880,8 +905,10 @@ impl Kernel {
     /// `access_word` (reads with default hints, writes with `dst_hints`,
     /// exactly as the word loops did); the rest goes through
     /// [`Machine::copy_run`].
+    #[allow(clippy::too_many_arguments)] // internal helper: two (space, va) endpoints plus the CPU
     fn copy_run(
         &mut self,
+        cpu: CpuId,
         src_space: SpaceId,
         src_va: VAddr,
         dst_space: SpaceId,
@@ -896,8 +923,9 @@ impl Kernel {
                 .min(self.run_page_span(dst_va, 4, i, nwords));
             let s0 = VAddr(src_va.0 + i as u64 * 4);
             let d0 = VAddr(dst_va.0 + i as u64 * 4);
-            let v = self.access_word(src_space, s0, Access::Read, 0, AccessHints::default())?;
-            self.access_word(dst_space, d0, Access::Write, v, dst_hints)?;
+            let v =
+                self.access_word(cpu, src_space, s0, Access::Read, 0, AccessHints::default())?;
+            self.access_word(cpu, dst_space, d0, Access::Write, v, dst_hints)?;
             if seg > 1 {
                 if let Err(fault) = self.machine.copy_run(
                     src_space,
@@ -922,6 +950,7 @@ impl Kernel {
     /// As for [`Kernel::read`].
     pub fn read_run(
         &mut self,
+        cpu: CpuId,
         t: TaskId,
         va: VAddr,
         stride: u64,
@@ -929,6 +958,7 @@ impl Kernel {
     ) -> Result<(), OsError> {
         let space = self.task_space(t)?;
         self.access_run(
+            cpu,
             space,
             va,
             stride,
@@ -945,6 +975,7 @@ impl Kernel {
     /// As for [`Kernel::read`].
     pub fn write_run(
         &mut self,
+        cpu: CpuId,
         t: TaskId,
         va: VAddr,
         stride: u64,
@@ -952,6 +983,7 @@ impl Kernel {
     ) -> Result<(), OsError> {
         let space = self.task_space(t)?;
         self.access_run(
+            cpu,
             space,
             va,
             stride,
@@ -984,13 +1016,25 @@ impl Kernel {
     /// # Errors
     ///
     /// [`OsError::NoSuchTask`].
-    pub fn vm_deallocate(&mut self, t: TaskId, va: VAddr, npages: u64) -> Result<(), OsError> {
+    pub fn vm_deallocate(
+        &mut self,
+        cpu: CpuId,
+        t: TaskId,
+        va: VAddr,
+        npages: u64,
+    ) -> Result<(), OsError> {
         self.spanned(Seg::Os("vm.deallocate"), |k| {
-            k.vm_deallocate_inner(t, va, npages)
+            k.vm_deallocate_inner(cpu, t, va, npages)
         })
     }
 
-    fn vm_deallocate_inner(&mut self, t: TaskId, va: VAddr, npages: u64) -> Result<(), OsError> {
+    fn vm_deallocate_inner(
+        &mut self,
+        cpu: CpuId,
+        t: TaskId,
+        va: VAddr,
+        npages: u64,
+    ) -> Result<(), OsError> {
         let page_size = self.page_size();
         let space = self.task_space(t)?;
         for i in (0..npages).rev() {
@@ -1000,9 +1044,10 @@ impl Kernel {
                 task.remove(vp)
             };
             if let Some(entry) = entry {
-                self.pmap.remove(&mut self.machine, Mapping::new(space, vp));
+                self.pmap
+                    .remove(cpu, &mut self.machine, Mapping::new(space, vp));
                 if let Some(frame) = entry.frame {
-                    self.release_frame(frame, Some(vp));
+                    self.release_frame(cpu, frame, Some(vp));
                 }
                 if let Some(block) = entry.swap {
                     self.swap.release(block);
@@ -1019,13 +1064,19 @@ impl Kernel {
     /// # Errors
     ///
     /// [`OsError::NoSuchTask`], [`OsError::OutOfMemory`].
-    pub fn vm_share(&mut self, src: TaskId, src_va: VAddr, dst: TaskId) -> Result<VAddr, OsError> {
+    pub fn vm_share(
+        &mut self,
+        cpu: CpuId,
+        src: TaskId,
+        src_va: VAddr,
+        dst: TaskId,
+    ) -> Result<VAddr, OsError> {
         let select = if self.policy.align_addresses {
             ShareAlignment::Aligned
         } else {
             ShareAlignment::FirstFit
         };
-        self.vm_share_with(src, src_va, dst, select)
+        self.vm_share_with(cpu, src, src_va, dst, select)
     }
 
     /// [`Kernel::vm_share`] with explicit control over the destination's
@@ -1037,6 +1088,7 @@ impl Kernel {
     /// [`OsError::NoSuchTask`], [`OsError::OutOfMemory`].
     pub fn vm_share_with(
         &mut self,
+        cpu: CpuId,
         src: TaskId,
         src_va: VAddr,
         dst: TaskId,
@@ -1044,13 +1096,13 @@ impl Kernel {
     ) -> Result<VAddr, OsError> {
         let page_size = self.page_size();
         let src_vp = VPage(src_va.0 / page_size);
-        let mut frame = self.ensure_materialized(src, src_vp)?;
+        let mut frame = self.ensure_materialized(cpu, src, src_vp)?;
         // Sharing grants write access to the frame: a copy-on-write page
         // must be privatized first or writes would leak into the other
         // copy-on-write owners' snapshot.
         let src_space = self.task_space(src)?;
         if self.task_entry(src_space, src_vp).is_some_and(|e| e.cow) {
-            self.cow_break(Mapping::new(src_space, src_vp))?;
+            self.cow_break(cpu, Mapping::new(src_space, src_vp))?;
             frame = self
                 .task_entry(src_space, src_vp)
                 .and_then(|e| e.frame)
@@ -1084,6 +1136,7 @@ impl Kernel {
     /// [`OsError::OutOfMemory`].
     pub fn vm_copy(
         &mut self,
+        cpu: CpuId,
         src: TaskId,
         src_va: VAddr,
         npages: u64,
@@ -1096,7 +1149,7 @@ impl Kernel {
         let mut frames = Vec::with_capacity(npages as usize);
         for i in 0..npages {
             let vp = VPage(src_vp0.0 + i);
-            let frame = self.ensure_materialized(src, vp)?;
+            let frame = self.ensure_materialized(cpu, src, vp)?;
             self.frames.add_ref(frame);
             frames.push(frame);
             let entry = *self.task_entry(src_space, vp).expect("just materialized");
@@ -1106,7 +1159,7 @@ impl Kernel {
                 if self.pmap.frame_of(m).is_some() {
                     // Cap the live mapping: the next write faults.
                     self.pmap
-                        .protect(&mut self.machine, m, entry.prot.without(Access::Write));
+                        .protect(cpu, &mut self.machine, m, entry.prot.without(Access::Write));
                 }
             }
         }
@@ -1133,7 +1186,7 @@ impl Kernel {
 
     /// Materialize the frame behind a task page (allocating + zero-filling
     /// if untouched).
-    fn ensure_materialized(&mut self, t: TaskId, vp: VPage) -> Result<PFrame, OsError> {
+    fn ensure_materialized(&mut self, cpu: CpuId, t: TaskId, vp: VPage) -> Result<PFrame, OsError> {
         let space = self.task_space(t)?;
         let entry = *self.task_entry(space, vp).ok_or(OsError::BadAddress {
             mapping: Mapping::new(space, vp),
@@ -1144,15 +1197,15 @@ impl Kernel {
         }
         let f = match (entry.kind, entry.swap) {
             (_, Some(block)) => {
-                let f = self.page_in(block, vp)?;
+                let f = self.page_in(cpu, block, vp)?;
                 self.clear_entry_swap(space, vp);
                 f
             }
-            (EntryKind::Text { file, page }, None) => self.load_text_frame(file, page, vp)?,
-            (EntryKind::FileMap { file, page }, None) => self.map_file_frame(file, page)?,
+            (EntryKind::Text { file, page }, None) => self.load_text_frame(cpu, file, page, vp)?,
+            (EntryKind::FileMap { file, page }, None) => self.map_file_frame(cpu, file, page)?,
             _ => {
-                let f = self.alloc_frame(Some(vp))?;
-                self.zero_fill(f, Some(vp), false)?;
+                let f = self.alloc_frame(cpu, Some(vp))?;
+                self.zero_fill(cpu, f, Some(vp), false)?;
                 f
             }
         };
@@ -1171,29 +1224,31 @@ impl Kernel {
     /// [`OsError::OutOfMemory`].
     pub fn ipc_transfer_page(
         &mut self,
+        cpu: CpuId,
         from: TaskId,
         va: VAddr,
         to: TaskId,
     ) -> Result<VAddr, OsError> {
         self.spanned(Seg::Os("ipc.transfer"), |k| {
-            k.ipc_transfer_page_inner(from, va, to)
+            k.ipc_transfer_page_inner(cpu, from, va, to)
         })
     }
 
     fn ipc_transfer_page_inner(
         &mut self,
+        cpu: CpuId,
         from: TaskId,
         va: VAddr,
         to: TaskId,
     ) -> Result<VAddr, OsError> {
         let page_size = self.page_size();
         let src_vp = VPage(va.0 / page_size);
-        let mut frame = self.ensure_materialized(from, src_vp)?;
+        let mut frame = self.ensure_materialized(cpu, from, src_vp)?;
         let src_space = self.task_space(from)?;
         // Moving a copy-on-write page would hand the receiver write access
         // to a shared frame; privatize it first.
         if self.task_entry(src_space, src_vp).is_some_and(|e| e.cow) {
-            self.cow_break(Mapping::new(src_space, src_vp))?;
+            self.cow_break(cpu, Mapping::new(src_space, src_vp))?;
             frame = self
                 .task_entry(src_space, src_vp)
                 .and_then(|e| e.frame)
@@ -1204,7 +1259,7 @@ impl Kernel {
             task.remove(src_vp);
         }
         self.pmap
-            .remove(&mut self.machine, Mapping::new(src_space, src_vp));
+            .remove(cpu, &mut self.machine, Mapping::new(src_space, src_vp));
         let select = if self.policy.align_addresses {
             AddrSelect::AlignedWith(src_vp)
         } else {
@@ -1230,17 +1285,19 @@ impl Kernel {
     /// (recycled contents may be purged rather than flushed).
     fn zero_fill(
         &mut self,
+        cpu: CpuId,
         frame: PFrame,
         ultimate: Option<VPage>,
         is_text: bool,
     ) -> Result<(), OsError> {
         self.spanned(Seg::Os("prepare.zero_fill"), |k| {
-            k.zero_fill_inner(frame, ultimate, is_text)
+            k.zero_fill_inner(cpu, frame, ultimate, is_text)
         })
     }
 
     fn zero_fill_inner(
         &mut self,
+        cpu: CpuId,
         frame: PFrame,
         ultimate: Option<VPage>,
         is_text: bool,
@@ -1249,7 +1306,7 @@ impl Kernel {
         let wvp = self.kwin.alloc(want);
         let m = Mapping::new(KERNEL_SPACE, wvp);
         self.pmap
-            .enter(&mut self.machine, m, frame, Prot::READ_WRITE);
+            .enter(cpu, &mut self.machine, m, frame, Prot::READ_WRITE);
         let base = wvp.0 * self.page_size();
         let hints = AccessHints {
             will_overwrite: true,
@@ -1262,6 +1319,7 @@ impl Kernel {
         // Save the result and tear the window down either way: an `Err`
         // must not leak the window mapping or its busy bit.
         let r = self.access_run(
+            cpu,
             KERNEL_SPACE,
             VAddr(base),
             4,
@@ -1269,7 +1327,7 @@ impl Kernel {
             hints,
         );
         self.run_buf = zeros;
-        self.pmap.remove(&mut self.machine, m);
+        self.pmap.remove(cpu, &mut self.machine, m);
         self.kwin.free(wvp);
         r?;
         self.stats.zero_fills += 1;
@@ -1293,6 +1351,7 @@ impl Kernel {
     /// `dst_frame` through a kernel window.
     fn copy_into_frame(
         &mut self,
+        cpu: CpuId,
         src_space: SpaceId,
         src_va: VAddr,
         dst_frame: PFrame,
@@ -1300,12 +1359,13 @@ impl Kernel {
         is_text: bool,
     ) -> Result<(), OsError> {
         self.spanned(Seg::Os("prepare.copy"), |k| {
-            k.copy_into_frame_inner(src_space, src_va, dst_frame, ultimate, is_text)
+            k.copy_into_frame_inner(cpu, src_space, src_va, dst_frame, ultimate, is_text)
         })
     }
 
     fn copy_into_frame_inner(
         &mut self,
+        cpu: CpuId,
         src_space: SpaceId,
         src_va: VAddr,
         dst_frame: PFrame,
@@ -1316,7 +1376,7 @@ impl Kernel {
         let wvp = self.kwin.alloc(want);
         let m = Mapping::new(KERNEL_SPACE, wvp);
         self.pmap
-            .enter(&mut self.machine, m, dst_frame, Prot::READ_WRITE);
+            .enter(cpu, &mut self.machine, m, dst_frame, Prot::READ_WRITE);
         let dst_base = wvp.0 * self.page_size();
         let hints = AccessHints {
             will_overwrite: true,
@@ -1326,8 +1386,16 @@ impl Kernel {
         // Save the result and tear the window down either way: an `Err`
         // (e.g. an unmapped source) must not leak the window mapping or
         // its busy bit.
-        let r = self.copy_run(src_space, src_va, KERNEL_SPACE, VAddr(dst_base), n, hints);
-        self.pmap.remove(&mut self.machine, m);
+        let r = self.copy_run(
+            cpu,
+            src_space,
+            src_va,
+            KERNEL_SPACE,
+            VAddr(dst_base),
+            n,
+            hints,
+        );
+        self.pmap.remove(cpu, &mut self.machine, m);
         self.kwin.free(wvp);
         r?;
         self.stats.page_copies += 1;
@@ -1350,11 +1418,12 @@ impl Kernel {
         VAddr(self.bufcache.vpage_of(slot).0 * self.page_size())
     }
 
-    fn write_buffer_to_disk(&mut self, buf: Buf) {
+    fn write_buffer_to_disk(&mut self, cpu: CpuId, buf: Buf) {
         self.spanned(Seg::Os("buf.writeback"), |k| {
             // The device reads the buffer out of memory: a DMA-read; dirty
             // cached data must reach memory first.
             k.pmap.before_dma(
+                cpu,
                 &mut k.machine,
                 buf.frame,
                 DmaDir::Read,
@@ -1373,33 +1442,44 @@ impl Kernel {
 
     /// Get the buffer slot caching `block`, loading it (DMA) on a miss.
     /// The hit path stays span-free (it spends no cycles).
-    fn buf_get(&mut self, block: crate::bufcache::BlockId, load: bool) -> Result<usize, OsError> {
+    fn buf_get(
+        &mut self,
+        cpu: CpuId,
+        block: crate::bufcache::BlockId,
+        load: bool,
+    ) -> Result<usize, OsError> {
         if let Some(slot) = self.bufcache.lookup(block) {
             return Ok(slot);
         }
-        self.spanned(Seg::Os("buf.fill"), |k| k.buf_fill(block, load))
+        self.spanned(Seg::Os("buf.fill"), |k| k.buf_fill(cpu, block, load))
     }
 
     /// The buffer-cache miss path: evict a victim, then (optionally) DMA
     /// the block in and map the new buffer.
-    fn buf_fill(&mut self, block: crate::bufcache::BlockId, load: bool) -> Result<usize, OsError> {
+    fn buf_fill(
+        &mut self,
+        cpu: CpuId,
+        block: crate::bufcache::BlockId,
+        load: bool,
+    ) -> Result<usize, OsError> {
         self.stats.buf_misses += 1;
         let (slot, evicted) = self.bufcache.pick_victim();
         if let Some(old) = evicted {
             if old.dirty {
-                self.write_buffer_to_disk(old);
+                self.write_buffer_to_disk(cpu, old);
             }
             let vp = self.bufcache.vpage_of(slot);
             let m = Mapping::new(KERNEL_SPACE, vp);
-            self.pmap.remove(&mut self.machine, m);
-            self.release_frame(old.frame, Some(vp));
+            self.pmap.remove(cpu, &mut self.machine, m);
+            self.release_frame(cpu, old.frame, Some(vp));
         }
-        let frame = self.alloc_frame(Some(self.bufcache.vpage_of(slot)))?;
+        let frame = self.alloc_frame(cpu, Some(self.bufcache.vpage_of(slot)))?;
         if load {
             // The device writes the block into memory: a DMA-write; any
             // cached residue of the recycled frame is killed (purged, not
             // flushed — the data is dead and memory is being overwritten).
             self.pmap.before_dma(
+                cpu,
                 &mut self.machine,
                 frame,
                 DmaDir::Write,
@@ -1414,7 +1494,7 @@ impl Kernel {
         }
         let m = Mapping::new(KERNEL_SPACE, self.bufcache.vpage_of(slot));
         self.pmap
-            .enter(&mut self.machine, m, frame, Prot::READ_WRITE);
+            .enter(cpu, &mut self.machine, m, frame, Prot::READ_WRITE);
         self.bufcache.install(slot, block, frame);
         Ok(slot)
     }
@@ -1442,26 +1522,28 @@ impl Kernel {
     /// access errors of [`Kernel::read`].
     pub fn fs_read_page(
         &mut self,
+        cpu: CpuId,
         t: TaskId,
         f: FileId,
         page: u64,
         dst_va: VAddr,
     ) -> Result<(), OsError> {
         self.spanned(Seg::Os("fs.read"), |k| {
-            k.fs_read_page_inner(t, f, page, dst_va)
+            k.fs_read_page_inner(cpu, t, f, page, dst_va)
         })
     }
 
     fn fs_read_page_inner(
         &mut self,
+        cpu: CpuId,
         t: TaskId,
         f: FileId,
         page: u64,
         dst_va: VAddr,
     ) -> Result<(), OsError> {
-        self.server_round_trip(t)?;
+        self.server_round_trip(cpu, t)?;
         let block = self.fs.block_at(f, page)?;
-        let slot = self.buf_get(block, true)?;
+        let slot = self.buf_get(cpu, block, true)?;
         let src = self.buf_vaddr(slot);
         let space = self.task_space(t)?;
         let hints = AccessHints {
@@ -1469,7 +1551,7 @@ impl Kernel {
             need_data: true,
         };
         let n = (self.page_size() / 4) as usize;
-        self.copy_run(KERNEL_SPACE, src, space, dst_va, n, hints)?;
+        self.copy_run(cpu, KERNEL_SPACE, src, space, dst_va, n, hints)?;
         self.stats.fs_reads += 1;
         Ok(())
     }
@@ -1484,29 +1566,31 @@ impl Kernel {
     /// errors of [`Kernel::read`].
     pub fn fs_write_page(
         &mut self,
+        cpu: CpuId,
         t: TaskId,
         f: FileId,
         page: u64,
         src_va: VAddr,
     ) -> Result<(), OsError> {
         self.spanned(Seg::Os("fs.write"), |k| {
-            k.fs_write_page_inner(t, f, page, src_va)
+            k.fs_write_page_inner(cpu, t, f, page, src_va)
         })
     }
 
     fn fs_write_page_inner(
         &mut self,
+        cpu: CpuId,
         t: TaskId,
         f: FileId,
         page: u64,
         src_va: VAddr,
     ) -> Result<(), OsError> {
-        self.server_round_trip(t)?;
+        self.server_round_trip(cpu, t)?;
         let fresh = self.fs.len_pages(f)? <= page;
         let block = self.fs.ensure_block(f, page, &mut self.disk)?;
         // A fresh block has nothing on disk worth DMA-ing in; the copy
         // below overwrites the whole buffer anyway.
-        let slot = self.buf_get(block, !fresh)?;
+        let slot = self.buf_get(cpu, block, !fresh)?;
         let dst = self.buf_vaddr(slot);
         let space = self.task_space(t)?;
         let hints = AccessHints {
@@ -1514,7 +1598,7 @@ impl Kernel {
             need_data: true,
         };
         let n = (self.page_size() / 4) as usize;
-        self.copy_run(space, src_va, KERNEL_SPACE, dst, n, hints)?;
+        self.copy_run(cpu, space, src_va, KERNEL_SPACE, dst, n, hints)?;
         self.bufcache.mark_dirty(slot);
         self.stats.fs_writes += 1;
         Ok(())
@@ -1526,25 +1610,25 @@ impl Kernel {
     /// # Errors
     ///
     /// [`OsError::NoSuchFile`].
-    pub fn fs_delete(&mut self, f: FileId) -> Result<(), OsError> {
+    pub fn fs_delete(&mut self, cpu: CpuId, f: FileId) -> Result<(), OsError> {
         let blocks = self.fs.delete(f, &mut self.disk)?;
         for b in blocks {
             if let Some((slot, buf)) = self.bufcache.evict_block(b) {
                 let vp = self.bufcache.vpage_of(slot);
                 self.pmap
-                    .remove(&mut self.machine, Mapping::new(KERNEL_SPACE, vp));
-                self.release_frame(buf.frame, Some(vp));
+                    .remove(cpu, &mut self.machine, Mapping::new(KERNEL_SPACE, vp));
+                self.release_frame(cpu, buf.frame, Some(vp));
             }
         }
         Ok(())
     }
 
     /// Write every dirty buffer to disk (the write-behind sync).
-    pub fn sync(&mut self) {
+    pub fn sync(&mut self, cpu: CpuId) {
         self.spanned(Seg::Os("buf.sync"), |k| {
             for slot in k.bufcache.dirty_slots() {
                 let buf = *k.bufcache.buf(slot).expect("dirty slot is occupied");
-                k.write_buffer_to_disk(buf);
+                k.write_buffer_to_disk(cpu, buf);
                 k.bufcache.mark_clean(slot);
             }
         });
@@ -1558,26 +1642,28 @@ impl Kernel {
     /// cache; the paper's data-to-instruction-space traffic).
     fn load_text_frame(
         &mut self,
+        cpu: CpuId,
         file: FileId,
         page: u64,
         ultimate_vp: VPage,
     ) -> Result<PFrame, OsError> {
         self.spanned(Seg::Os("exec.text_load"), |k| {
-            k.load_text_frame_inner(file, page, ultimate_vp)
+            k.load_text_frame_inner(cpu, file, page, ultimate_vp)
         })
     }
 
     fn load_text_frame_inner(
         &mut self,
+        cpu: CpuId,
         file: FileId,
         page: u64,
         ultimate_vp: VPage,
     ) -> Result<PFrame, OsError> {
         let block = self.fs.block_at(file, page)?;
-        let slot = self.buf_get(block, true)?;
+        let slot = self.buf_get(cpu, block, true)?;
         let src = self.buf_vaddr(slot);
-        let frame = self.alloc_frame(Some(ultimate_vp))?;
-        self.copy_into_frame(KERNEL_SPACE, src, frame, Some(ultimate_vp), true)?;
+        let frame = self.alloc_frame(cpu, Some(ultimate_vp))?;
+        self.copy_into_frame(cpu, KERNEL_SPACE, src, frame, Some(ultimate_vp), true)?;
         self.stats.d2i_copies += 1;
         Ok(frame)
     }
@@ -1618,9 +1704,15 @@ impl Kernel {
     /// # Errors
     ///
     /// As for [`Kernel::fetch`].
-    pub fn run_text(&mut self, t: TaskId, va: VAddr, nwords: u64) -> Result<(), OsError> {
+    pub fn run_text(
+        &mut self,
+        cpu: CpuId,
+        t: TaskId,
+        va: VAddr,
+        nwords: u64,
+    ) -> Result<(), OsError> {
         for i in 0..nwords {
-            self.fetch(t, VAddr(va.0 + i * 4))?;
+            self.fetch(cpu, t, VAddr(va.0 + i * 4))?;
         }
         Ok(())
     }
@@ -1630,9 +1722,9 @@ impl Kernel {
 
     /// The shared frame behind one file page: the buffer cache's frame,
     /// loaded (DMA) if absent, with a reference added for the new mapping.
-    fn map_file_frame(&mut self, file: FileId, page: u64) -> Result<PFrame, OsError> {
+    fn map_file_frame(&mut self, cpu: CpuId, file: FileId, page: u64) -> Result<PFrame, OsError> {
         let block = self.fs.block_at(file, page)?;
-        let slot = self.buf_get(block, true)?;
+        let slot = self.buf_get(cpu, block, true)?;
         let frame = self.bufcache.buf(slot).expect("just loaded").frame;
         self.frames.add_ref(frame);
         Ok(frame)
@@ -1652,6 +1744,7 @@ impl Kernel {
     /// [`OsError::FileOutOfRange`].
     pub fn vm_map_file(
         &mut self,
+        cpu: CpuId,
         t: TaskId,
         file: FileId,
         first_page: u64,
@@ -1667,7 +1760,7 @@ impl Kernel {
         // reads need no consistency work.
         let select = if self.policy.align_addresses {
             let block = self.fs.block_at(file, first_page)?;
-            let slot = self.buf_get(block, true)?;
+            let slot = self.buf_get(cpu, block, true)?;
             AddrSelect::AlignedWith(self.bufcache.vpage_of(slot))
         } else {
             AddrSelect::FirstFit
@@ -1741,7 +1834,7 @@ impl Kernel {
     /// # Errors
     ///
     /// [`OsError::NoSuchTask`], [`OsError::OutOfMemory`].
-    pub fn ensure_channel(&mut self, t: TaskId) -> Result<(VAddr, VAddr), OsError> {
+    pub fn ensure_channel(&mut self, cpu: CpuId, t: TaskId) -> Result<(VAddr, VAddr), OsError> {
         let page_size = self.page_size();
         if let Some(ch) = self.server.channel(t.0) {
             return Ok((
@@ -1763,9 +1856,9 @@ impl Kernel {
                 },
             )?
         };
-        let frame = self.alloc_frame(Some(client_vp))?;
+        let frame = self.alloc_frame(cpu, Some(client_vp))?;
         self.set_entry_frame(self.task_space(t)?, client_vp, frame);
-        self.zero_fill(frame, Some(client_vp), false)?;
+        self.zero_fill(cpu, frame, Some(client_vp), false)?;
         let server_vp = if self.policy.align_addresses {
             // Let the VM system pick an aligning address.
             self.server.task.allocate(
@@ -1807,21 +1900,22 @@ impl Kernel {
     /// # Errors
     ///
     /// As for [`Kernel::read`].
-    pub fn server_round_trip(&mut self, t: TaskId) -> Result<(), OsError> {
+    pub fn server_round_trip(&mut self, cpu: CpuId, t: TaskId) -> Result<(), OsError> {
         self.spanned(Seg::Os("server.round_trip"), |k| {
-            k.server_round_trip_inner(t)
+            k.server_round_trip_inner(cpu, t)
         })
     }
 
-    fn server_round_trip_inner(&mut self, t: TaskId) -> Result<(), OsError> {
+    fn server_round_trip_inner(&mut self, cpu: CpuId, t: TaskId) -> Result<(), OsError> {
         const REQ_WORDS: u64 = 8;
         const REP_WORDS: u64 = 4;
-        let (cva, sva) = self.ensure_channel(t)?;
+        let (cva, sva) = self.ensure_channel(cpu, t)?;
         let space = self.task_space(t)?;
         for i in 0..REQ_WORDS {
             let v = self.seq;
             self.seq = self.seq.wrapping_add(1);
             self.access_word(
+                cpu,
                 space,
                 VAddr(cva.0 + i * 4),
                 Access::Write,
@@ -1831,6 +1925,7 @@ impl Kernel {
         }
         for i in 0..REQ_WORDS {
             self.access_word(
+                cpu,
                 SERVER_SPACE,
                 VAddr(sva.0 + i * 4),
                 Access::Read,
@@ -1843,6 +1938,7 @@ impl Kernel {
             let v = self.seq;
             self.seq = self.seq.wrapping_add(1);
             self.access_word(
+                cpu,
                 SERVER_SPACE,
                 VAddr(sva.0 + rep_base + i * 4),
                 Access::Write,
@@ -1852,6 +1948,7 @@ impl Kernel {
         }
         for i in 0..REP_WORDS {
             self.access_word(
+                cpu,
                 space,
                 VAddr(cva.0 + rep_base + i * 4),
                 Access::Read,
@@ -1859,6 +1956,109 @@ impl Kernel {
                 AccessHints::default(),
             )?;
         }
+        Ok(())
+    }
+}
+
+/// Section tag bracketing the kernel's state in a word stream.
+const KERNEL_STATE_TAG: u64 = u64::from_le_bytes(*b"kernel-1");
+
+impl KernelWindows {
+    /// Serialize the window allocator: the busy set (sorted — it is a hash
+    /// set consulted by membership only) and the first-fit cursor.
+    fn save_state(&self, w: &mut WordWriter) {
+        let mut busy: Vec<u64> = self.busy.iter().copied().collect();
+        busy.sort_unstable();
+        w.usize(busy.len());
+        for vp in busy {
+            w.u64(vp);
+        }
+        w.u64(self.cursor);
+    }
+
+    /// Restore state saved by [`KernelWindows::save_state`].
+    fn restore_state(&mut self, r: &mut WordReader) -> Result<(), SerialError> {
+        let n = r.usize()?;
+        self.busy.clear();
+        for _ in 0..n {
+            self.busy.insert(r.u64()?);
+        }
+        self.cursor = r.u64()?;
+        Ok(())
+    }
+}
+
+impl Kernel {
+    /// Serialize the complete system state: the machine (CPU + shared
+    /// halves), the pmap with its consistency manager, the frame table,
+    /// every task's address map, both disks, the buffer cache, the file
+    /// system, the Unix server, kernel counters and the window allocator.
+    ///
+    /// Configuration is *not* written: a checkpoint restores only into a
+    /// kernel built with the identical [`KernelConfig`] (restore validates
+    /// sized structures and rejects mismatches as
+    /// [`SerialError::Corrupt`]). Attached observers (tracer, profiler,
+    /// sampler) are deliberately not part of the state — see DESIGN.md.
+    pub fn save_state(&self, w: &mut WordWriter) {
+        w.tag(KERNEL_STATE_TAG);
+        self.machine.save_state(w);
+        self.pmap.save_state(w);
+        self.frames.save_state(w);
+        w.usize(self.tasks.len());
+        for (id, task) in &self.tasks {
+            w.u32(id.0);
+            task.save_state(w);
+        }
+        w.u32(self.next_task);
+        w.u32(self.next_space);
+        self.disk.save_state(w);
+        self.swap.save_state(w);
+        self.bufcache.save_state(w);
+        self.fs.save_state(w);
+        self.server.save_state(w);
+        self.stats.save_state(w);
+        self.kwin.save_state(w);
+        w.u32(self.seq);
+    }
+
+    /// Restore state saved by [`Kernel::save_state`] into a kernel built
+    /// with the identical configuration. The space-to-task index is derived
+    /// state, rebuilt from the restored tasks; the reusable run scratch
+    /// buffer is not state (it is reinitialized before every use).
+    ///
+    /// # Errors
+    ///
+    /// [`SerialError::Truncated`] if the stream ends early;
+    /// [`SerialError::Corrupt`] on a tag mismatch or a structure whose size
+    /// disagrees with this kernel's configuration.
+    pub fn restore_state(&mut self, r: &mut WordReader) -> Result<(), SerialError> {
+        r.expect(KERNEL_STATE_TAG)?;
+        self.machine.restore_state(r)?;
+        self.pmap.restore_state(r)?;
+        self.frames.restore_state(r)?;
+        let n = r.usize()?;
+        self.tasks.clear();
+        for _ in 0..n {
+            let id = TaskId(r.u32()?);
+            let mut task = Task::new(SpaceId(0), self.align_mod);
+            task.restore_state(r)?;
+            self.tasks.insert(id, task);
+        }
+        self.next_task = r.u32()?;
+        self.next_space = r.u32()?;
+        self.disk.restore_state(r)?;
+        self.swap.restore_state(r)?;
+        self.bufcache.restore_state(r)?;
+        self.fs.restore_state(r)?;
+        self.server.restore_state(r)?;
+        self.stats.restore_state(r)?;
+        self.kwin.restore_state(r)?;
+        self.seq = r.u32()?;
+        self.space_of = self
+            .tasks
+            .iter()
+            .map(|(id, task)| (task.space, *id))
+            .collect();
         Ok(())
     }
 }
@@ -1915,9 +2115,9 @@ mod tests {
         let mut k = Kernel::new(KernelConfig::small(SystemKind::Cmu(
             vic_core::policy::Configuration::F,
         )));
-        let frame = k.alloc_frame(None).unwrap();
+        let frame = k.alloc_frame(CpuId::BOOT, None).unwrap();
         let bogus = SpaceId(99);
-        let r = k.copy_into_frame(bogus, VAddr(0), frame, None, false);
+        let r = k.copy_into_frame(CpuId::BOOT, bogus, VAddr(0), frame, None, false);
         assert!(
             matches!(r, Err(OsError::BadAddress { .. })),
             "unmapped source must surface as BadAddress, got {r:?}"
@@ -1929,7 +2129,7 @@ mod tests {
         );
         // The window (and the pmap slot under it) must be reusable: a
         // follow-up preparation on the same frame succeeds cleanly.
-        k.zero_fill(frame, None, false).unwrap();
+        k.zero_fill(CpuId::BOOT, frame, None, false).unwrap();
         assert!(k.kwin.busy.is_empty());
     }
 
@@ -1953,6 +2153,83 @@ mod tests {
         let dbg = format!("{k:?}");
         assert!(dbg.contains("Kernel"));
         assert!(k.task_space(TaskId(1)).is_err(), "no tasks yet");
+    }
+
+    #[test]
+    fn kernel_save_restore_continues_identically() {
+        let cfg = KernelConfig::small(SystemKind::Cmu(vic_core::policy::Configuration::F));
+        let cpu = CpuId::BOOT;
+        let mut k = Kernel::new(cfg);
+        let t = k.create_task();
+        let va = k.vm_allocate(t, 4).unwrap();
+        for i in 0..96u32 {
+            k.write(cpu, t, VAddr(va.0 + u64::from(i % 160) * 4), i)
+                .unwrap();
+        }
+        let f = k.fs_create();
+        k.fs_write_page(cpu, t, f, 0, va).unwrap();
+
+        let mut w = WordWriter::new();
+        k.save_state(&mut w);
+        let words = w.into_words();
+        let mut k2 = Kernel::new(cfg);
+        let mut r = WordReader::new(&words);
+        k2.restore_state(&mut r).unwrap();
+        r.finish().unwrap();
+
+        assert_eq!(k2.machine().cycles(), k.machine().cycles());
+        assert_eq!(k2.os_stats(), k.os_stats());
+
+        // Continue both kernels in lockstep: every observable value, cycle
+        // count and counter must stay identical.
+        for i in 0..96u32 {
+            let addr = VAddr(va.0 + u64::from(i % 160) * 4);
+            assert_eq!(
+                k.read(cpu, t, addr).unwrap(),
+                k2.read(cpu, t, addr).unwrap()
+            );
+        }
+        let dst = k.vm_allocate(t, 1).unwrap();
+        let dst2 = k2.vm_allocate(t, 1).unwrap();
+        assert_eq!(dst, dst2, "address selection stays deterministic");
+        k.fs_read_page(cpu, t, f, 0, dst).unwrap();
+        k2.fs_read_page(cpu, t, f, 0, dst).unwrap();
+        k.sync(cpu);
+        k2.sync(cpu);
+        assert_eq!(k2.machine().cycles(), k.machine().cycles());
+        assert_eq!(k2.os_stats(), k.os_stats());
+        assert_eq!(k2.machine().stats().clone(), k.machine().stats().clone());
+        assert_eq!(k2.machine().oracle().violations(), 0);
+    }
+
+    #[test]
+    fn kernel_restore_rejects_mismatched_config() {
+        let small = KernelConfig::small(SystemKind::Utah);
+        let mut k = Kernel::new(small);
+        let cpu = CpuId::BOOT;
+        let t = k.create_task();
+        let va = k.vm_allocate(t, 1).unwrap();
+        k.write(cpu, t, va, 7).unwrap();
+        let mut w = WordWriter::new();
+        k.save_state(&mut w);
+        let words = w.into_words();
+
+        // A kernel with a different geometry must reject the stream with a
+        // typed error, not panic or restore nonsense.
+        let mut big = Kernel::new(KernelConfig::new(SystemKind::Utah));
+        let mut r = WordReader::new(&words);
+        assert!(matches!(
+            big.restore_state(&mut r),
+            Err(SerialError::Corrupt { .. })
+        ));
+
+        // A truncated stream surfaces as Truncated.
+        let mut k2 = Kernel::new(small);
+        let mut r = WordReader::new(&words[..words.len() / 2]);
+        assert!(matches!(
+            k2.restore_state(&mut r),
+            Err(SerialError::Truncated { .. })
+        ));
     }
 
     #[test]

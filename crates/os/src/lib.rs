@@ -31,18 +31,20 @@
 //!
 //! ```
 //! use vic_core::policy::Configuration;
+//! use vic_core::types::CpuId;
 //! use vic_os::{Kernel, KernelConfig, ShareAlignment, SystemKind};
 //!
 //! // Boot the paper's fully optimized kernel on the small test machine.
 //! let mut k = Kernel::new(KernelConfig::small(SystemKind::Cmu(Configuration::F)));
+//! let cpu = CpuId::BOOT;
 //! let a = k.create_task();
 //! let b = k.create_task();
 //! let va = k.vm_allocate(a, 1)?;
-//! k.write(a, va, 42)?;
+//! k.write(cpu, a, va, 42)?;
 //! // Share the page at an unaligned alias; the consistency manager keeps
 //! // it coherent with flushes, purges and protection changes on demand.
-//! let vb = k.vm_share_with(a, va, b, ShareAlignment::Unaligned)?;
-//! assert_eq!(k.read(b, vb)?, 42);
+//! let vb = k.vm_share_with(cpu, a, va, b, ShareAlignment::Unaligned)?;
+//! assert_eq!(k.read(cpu, b, vb)?, 42);
 //! assert_eq!(k.machine().oracle().violations(), 0);
 //! # Ok::<(), vic_os::OsError>(())
 //! ```

@@ -9,7 +9,8 @@
 use vic_core::cache_control::ConsistencyHw;
 use vic_core::fxhash::FxHashMap;
 use vic_core::manager::{AccessHints, ConsistencyManager, DmaDir, MgrStats};
-use vic_core::types::{Access, CacheGeometry, CachePage, Mapping, PFrame, Prot, VPage};
+use vic_core::serial::{SerialError, WordReader, WordWriter};
+use vic_core::types::{Access, CacheGeometry, CachePage, CpuId, Mapping, PFrame, Prot, VPage};
 use vic_machine::Machine;
 use vic_profile::Seg;
 use vic_trace::{emit_transitions, HwRecorder, MgrOp};
@@ -161,7 +162,14 @@ impl Pmap {
     /// protection is chosen by the consistency manager and may be weaker;
     /// the first access then faults and is resolved by
     /// [`Pmap::consistency_fault`].
-    pub fn enter(&mut self, machine: &mut Machine, m: Mapping, frame: PFrame, logical: Prot) {
+    pub fn enter(
+        &mut self,
+        cpu: CpuId,
+        machine: &mut Machine,
+        m: Mapping,
+        frame: PFrame,
+        logical: Prot,
+    ) {
         self.mappings.insert(m, (frame, logical));
         machine.enter_mapping(m, frame, Prot::NONE);
         self.dispatch(
@@ -170,12 +178,12 @@ impl Pmap {
             MgrOp::Map,
             Some(m.vpage),
             AccessHints::default(),
-            |mgr, hw| mgr.on_map(hw, frame, m, logical),
+            |mgr, hw| mgr.on_map(cpu, hw, frame, m, logical),
         );
     }
 
     /// Remove a mapping (no-op if absent). Returns the frame it mapped.
-    pub fn remove(&mut self, machine: &mut Machine, m: Mapping) -> Option<PFrame> {
+    pub fn remove(&mut self, cpu: CpuId, machine: &mut Machine, m: Mapping) -> Option<PFrame> {
         let (frame, _) = self.mappings.remove(&m)?;
         self.dispatch(
             machine,
@@ -183,14 +191,14 @@ impl Pmap {
             MgrOp::Unmap,
             Some(m.vpage),
             AccessHints::default(),
-            |mgr, hw| mgr.on_unmap(hw, frame, m),
+            |mgr, hw| mgr.on_unmap(cpu, hw, frame, m),
         );
         machine.remove_mapping(m);
         Some(frame)
     }
 
     /// Change the logical protection of a live mapping.
-    pub fn protect(&mut self, machine: &mut Machine, m: Mapping, logical: Prot) {
+    pub fn protect(&mut self, cpu: CpuId, machine: &mut Machine, m: Mapping, logical: Prot) {
         if let Some(e) = self.mappings.get_mut(&m) {
             e.1 = logical;
             let frame = e.0;
@@ -200,7 +208,7 @@ impl Pmap {
                 MgrOp::Protect,
                 Some(m.vpage),
                 AccessHints::default(),
-                |mgr, hw| mgr.on_protect(hw, frame, m, logical),
+                |mgr, hw| mgr.on_protect(cpu, hw, frame, m, logical),
             );
         }
     }
@@ -226,6 +234,7 @@ impl Pmap {
     /// the access (a genuine program error, not a consistency fault).
     pub fn consistency_fault(
         &mut self,
+        cpu: CpuId,
         machine: &mut Machine,
         m: Mapping,
         access: Access,
@@ -243,7 +252,7 @@ impl Pmap {
             Access::Execute => MgrOp::Fetch,
         };
         self.dispatch(machine, frame, op, Some(m.vpage), hints, |mgr, hw| {
-            mgr.on_access(hw, frame, m, access, hints)
+            mgr.on_access(cpu, hw, frame, m, access, hints)
         });
         Ok(())
     }
@@ -252,6 +261,7 @@ impl Pmap {
     /// `frame`.
     pub fn before_dma(
         &mut self,
+        cpu: CpuId,
         machine: &mut Machine,
         frame: PFrame,
         dir: DmaDir,
@@ -262,22 +272,58 @@ impl Pmap {
             DmaDir::Write => MgrOp::DmaWrite,
         };
         self.dispatch(machine, frame, op, None, hints, |mgr, hw| {
-            mgr.on_dma(hw, frame, dir, hints)
+            mgr.on_dma(cpu, hw, frame, dir, hints)
         });
     }
 
     /// Note that `frame` returned to the free list.
-    pub fn page_freed(&mut self, machine: &mut Machine, frame: PFrame) {
+    pub fn page_freed(&mut self, cpu: CpuId, machine: &mut Machine, frame: PFrame) {
         self.dispatch(
             machine,
             frame,
             MgrOp::PageFreed,
             None,
             AccessHints::default(),
-            |mgr, hw| mgr.on_page_freed(hw, frame),
+            |mgr, hw| mgr.on_page_freed(cpu, hw, frame),
         );
     }
+
+    /// Serialize the pmap: the manager's state, then the logical-mapping
+    /// table. The table is a point-lookup hash map (its iteration order
+    /// never decides behaviour), so it is written in sorted order for a
+    /// canonical stream.
+    pub fn save_state(&self, w: &mut WordWriter) {
+        w.tag(PMAP_STATE_TAG);
+        self.mgr.save_state(w);
+        let mut entries: Vec<_> = self.mappings.iter().collect();
+        entries.sort_by_key(|(m, _)| (m.space.0, m.vpage.0));
+        w.usize(entries.len());
+        for (m, (frame, logical)) in entries {
+            w.mapping(*m);
+            w.u64(frame.0);
+            w.prot(*logical);
+        }
+    }
+
+    /// Restore state saved by [`Pmap::save_state`] into a pmap built with
+    /// the same manager kind and geometry.
+    pub fn restore_state(&mut self, r: &mut WordReader) -> Result<(), SerialError> {
+        r.expect(PMAP_STATE_TAG)?;
+        self.mgr.restore_state(r)?;
+        let n = r.usize()?;
+        self.mappings.clear();
+        for _ in 0..n {
+            let m = r.mapping()?;
+            let frame = PFrame(r.u64()?);
+            let logical = r.prot()?;
+            self.mappings.insert(m, (frame, logical));
+        }
+        Ok(())
+    }
 }
+
+/// Section tag bracketing the pmap's state in a word stream.
+const PMAP_STATE_TAG: u64 = u64::from_le_bytes(*b"pmap---1");
 
 #[cfg(test)]
 mod tests {
@@ -303,13 +349,19 @@ mod tests {
     fn enter_fault_access_cycle() {
         let (mut mach, mut pmap) = setup();
         let mm = m(1, 0);
-        pmap.enter(&mut mach, mm, PFrame(5), Prot::READ_WRITE);
+        pmap.enter(CpuId::BOOT, &mut mach, mm, PFrame(5), Prot::READ_WRITE);
         let va = mach.config().vaddr(VPage(0));
         // First access faults (empty consistency state).
         let err = mach.store(SpaceId(1), va, 7).unwrap_err();
         let fm = err.mapping();
-        pmap.consistency_fault(&mut mach, fm, Access::Write, AccessHints::default())
-            .unwrap();
+        pmap.consistency_fault(
+            CpuId::BOOT,
+            &mut mach,
+            fm,
+            Access::Write,
+            AccessHints::default(),
+        )
+        .unwrap();
         // Retry succeeds.
         mach.store(SpaceId(1), va, 7).unwrap();
         assert_eq!(mach.load(SpaceId(1), va).unwrap(), 7);
@@ -321,8 +373,8 @@ mod tests {
         let (mut mach, mut pmap) = setup();
         let a = m(1, 0);
         let b = m(2, 1); // unaligned with a
-        pmap.enter(&mut mach, a, PFrame(5), Prot::READ_WRITE);
-        pmap.enter(&mut mach, b, PFrame(5), Prot::READ_WRITE);
+        pmap.enter(CpuId::BOOT, &mut mach, a, PFrame(5), Prot::READ_WRITE);
+        pmap.enter(CpuId::BOOT, &mut mach, b, PFrame(5), Prot::READ_WRITE);
         let va_a = mach.config().vaddr(VPage(0));
         let va_b = mach.config().vaddr(VPage(1));
         // Ping-pong writes and reads through both mappings, resolving
@@ -338,6 +390,7 @@ mod tests {
                     Ok(()) => break,
                     Err(f) => pmap
                         .consistency_fault(
+                            CpuId::BOOT,
                             &mut mach,
                             f.mapping(),
                             f.access(),
@@ -360,6 +413,7 @@ mod tests {
                     }
                     Err(f) => pmap
                         .consistency_fault(
+                            CpuId::BOOT,
                             &mut mach,
                             f.mapping(),
                             f.access(),
@@ -376,13 +430,25 @@ mod tests {
     fn logical_violation_is_an_error() {
         let (mut mach, mut pmap) = setup();
         let mm = m(1, 0);
-        pmap.enter(&mut mach, mm, PFrame(5), Prot::READ);
+        pmap.enter(CpuId::BOOT, &mut mach, mm, PFrame(5), Prot::READ);
         let err = pmap
-            .consistency_fault(&mut mach, mm, Access::Write, AccessHints::default())
+            .consistency_fault(
+                CpuId::BOOT,
+                &mut mach,
+                mm,
+                Access::Write,
+                AccessHints::default(),
+            )
             .unwrap_err();
         assert!(matches!(err, OsError::ProtectionViolation { .. }));
         let err = pmap
-            .consistency_fault(&mut mach, m(9, 9), Access::Read, AccessHints::default())
+            .consistency_fault(
+                CpuId::BOOT,
+                &mut mach,
+                m(9, 9),
+                Access::Read,
+                AccessHints::default(),
+            )
             .unwrap_err();
         assert!(matches!(err, OsError::BadAddress { .. }));
     }
@@ -391,10 +457,10 @@ mod tests {
     fn remove_returns_frame() {
         let (mut mach, mut pmap) = setup();
         let mm = m(1, 0);
-        pmap.enter(&mut mach, mm, PFrame(5), Prot::READ);
+        pmap.enter(CpuId::BOOT, &mut mach, mm, PFrame(5), Prot::READ);
         assert_eq!(pmap.frame_of(mm), Some(PFrame(5)));
-        assert_eq!(pmap.remove(&mut mach, mm), Some(PFrame(5)));
-        assert_eq!(pmap.remove(&mut mach, mm), None);
+        assert_eq!(pmap.remove(CpuId::BOOT, &mut mach, mm), Some(PFrame(5)));
+        assert_eq!(pmap.remove(CpuId::BOOT, &mut mach, mm), None);
         assert_eq!(pmap.mapping_count(), 0);
     }
 
@@ -402,18 +468,30 @@ mod tests {
     fn dma_consistency() {
         let (mut mach, mut pmap) = setup();
         let mm = m(1, 0);
-        pmap.enter(&mut mach, mm, PFrame(5), Prot::READ_WRITE);
+        pmap.enter(CpuId::BOOT, &mut mach, mm, PFrame(5), Prot::READ_WRITE);
         let va = mach.config().vaddr(VPage(0));
         loop {
             match mach.store(SpaceId(1), va, 9) {
                 Ok(()) => break,
                 Err(f) => pmap
-                    .consistency_fault(&mut mach, f.mapping(), f.access(), AccessHints::default())
+                    .consistency_fault(
+                        CpuId::BOOT,
+                        &mut mach,
+                        f.mapping(),
+                        f.access(),
+                        AccessHints::default(),
+                    )
                     .unwrap(),
             }
         }
         // Device reads the frame: pmap flushes first; oracle clean.
-        pmap.before_dma(&mut mach, PFrame(5), DmaDir::Read, AccessHints::default());
+        pmap.before_dma(
+            CpuId::BOOT,
+            &mut mach,
+            PFrame(5),
+            DmaDir::Read,
+            AccessHints::default(),
+        );
         let mut buf = vec![0u8; mach.config().page_size as usize];
         mach.dma_read_page(PFrame(5), &mut buf);
         assert_eq!(mach.oracle().violations(), 0);

@@ -13,6 +13,7 @@
 
 use vic_core::fxhash::FxHashMap;
 
+use vic_core::serial::{SerialError, WordReader, WordWriter};
 use vic_core::types::{PFrame, SpaceId, VPage};
 
 use crate::vm::Task;
@@ -78,6 +79,41 @@ impl UnixServer {
     /// Number of live channels.
     pub fn channel_count(&self) -> usize {
         self.channels.len()
+    }
+
+    /// Serialize the server's task and channels. Channels live in a
+    /// point-lookup hash map and are written sorted by client id for a
+    /// canonical stream.
+    pub fn save_state(&self, w: &mut WordWriter) {
+        self.task.save_state(w);
+        let mut channels: Vec<_> = self.channels.iter().collect();
+        channels.sort_by_key(|(client, _)| **client);
+        w.usize(channels.len());
+        for (client, ch) in channels {
+            w.u32(*client);
+            w.u64(ch.frame.0);
+            w.u64(ch.client_vp.0);
+            w.u64(ch.server_vp.0);
+        }
+        w.u64(self.next_fixed);
+    }
+
+    /// Restore state saved by [`UnixServer::save_state`].
+    pub fn restore_state(&mut self, r: &mut WordReader) -> Result<(), SerialError> {
+        self.task.restore_state(r)?;
+        let n = r.usize()?;
+        self.channels.clear();
+        for _ in 0..n {
+            let client = r.u32()?;
+            let ch = Channel {
+                frame: PFrame(r.u64()?),
+                client_vp: VPage(r.u64()?),
+                server_vp: VPage(r.u64()?),
+            };
+            self.channels.insert(client, ch);
+        }
+        self.next_fixed = r.u64()?;
+        Ok(())
     }
 }
 

@@ -1,5 +1,7 @@
 //! Kernel-level counters: the bookkeeping columns of the paper's Table 4.
 
+use vic_core::serial::{SerialError, WordReader, WordWriter};
+
 /// Operating-system event counters.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct OsStats {
@@ -48,6 +50,53 @@ impl OsStats {
     /// Reset all counters.
     pub fn reset(&mut self) {
         *self = OsStats::default();
+    }
+
+    /// Serialize every counter in declaration order.
+    pub fn save_state(&self, w: &mut WordWriter) {
+        w.u64(self.mapping_faults);
+        w.u64(self.consistency_faults);
+        w.u64(self.zero_fills);
+        w.u64(self.page_copies);
+        w.u64(self.ipc_transfers);
+        w.u64(self.cow_faults);
+        w.u64(self.cow_copies);
+        w.u64(self.d2i_copies);
+        w.u64(self.fs_reads);
+        w.u64(self.fs_writes);
+        w.u64(self.buf_misses);
+        w.u64(self.buf_writebacks);
+        w.u64(self.tasks_created);
+        w.u64(self.pages_allocated);
+        w.u64(self.pages_freed);
+        w.u64(self.page_outs);
+        w.u64(self.page_ins);
+    }
+
+    /// Restore counters saved by [`OsStats::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`SerialError::Truncated`] if the stream ends early.
+    pub fn restore_state(&mut self, r: &mut WordReader) -> Result<(), SerialError> {
+        self.mapping_faults = r.u64()?;
+        self.consistency_faults = r.u64()?;
+        self.zero_fills = r.u64()?;
+        self.page_copies = r.u64()?;
+        self.ipc_transfers = r.u64()?;
+        self.cow_faults = r.u64()?;
+        self.cow_copies = r.u64()?;
+        self.d2i_copies = r.u64()?;
+        self.fs_reads = r.u64()?;
+        self.fs_writes = r.u64()?;
+        self.buf_misses = r.u64()?;
+        self.buf_writebacks = r.u64()?;
+        self.tasks_created = r.u64()?;
+        self.pages_allocated = r.u64()?;
+        self.pages_freed = r.u64()?;
+        self.page_outs = r.u64()?;
+        self.page_ins = r.u64()?;
+        Ok(())
     }
 
     /// Merge another set of counters.

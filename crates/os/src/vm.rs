@@ -9,6 +9,7 @@
 
 use std::collections::BTreeMap;
 
+use vic_core::serial::{SerialError, WordReader, WordWriter};
 use vic_core::types::{PFrame, Prot, SpaceId, VPage};
 
 use crate::bufcache::BlockId;
@@ -107,6 +108,86 @@ impl VmEntry {
         } else {
             self.prot
         }
+    }
+
+    /// Serialize one entry.
+    pub fn save_state(&self, w: &mut WordWriter) {
+        match self.frame {
+            Some(f) => {
+                w.bool(true);
+                w.u64(f.0);
+            }
+            None => w.bool(false),
+        }
+        w.prot(self.prot);
+        match self.kind {
+            EntryKind::Anon => w.u64(0),
+            EntryKind::Shared => w.u64(1),
+            EntryKind::Text { file, page } => {
+                w.u64(2);
+                w.u32(file.0);
+                w.u64(page);
+            }
+            EntryKind::Ipc => w.u64(3),
+            EntryKind::FileMap { file, page } => {
+                w.u64(4);
+                w.u32(file.0);
+                w.u64(page);
+            }
+            EntryKind::ServerChannel => w.u64(5),
+        }
+        w.bool(self.cow);
+        match self.swap {
+            Some(b) => {
+                w.bool(true);
+                w.u32(b.0);
+            }
+            None => w.bool(false),
+        }
+    }
+
+    /// Restore one entry saved by [`VmEntry::save_state`].
+    pub fn restore_state(r: &mut WordReader) -> Result<Self, SerialError> {
+        let frame = if r.bool()? {
+            Some(PFrame(r.u64()?))
+        } else {
+            None
+        };
+        let prot = r.prot()?;
+        let at = r.position();
+        let kind = match r.u64()? {
+            0 => EntryKind::Anon,
+            1 => EntryKind::Shared,
+            2 => EntryKind::Text {
+                file: FileId(r.u32()?),
+                page: r.u64()?,
+            },
+            3 => EntryKind::Ipc,
+            4 => EntryKind::FileMap {
+                file: FileId(r.u32()?),
+                page: r.u64()?,
+            },
+            5 => EntryKind::ServerChannel,
+            _ => {
+                return Err(SerialError::Corrupt {
+                    at,
+                    what: "vm entry kind",
+                })
+            }
+        };
+        let cow = r.bool()?;
+        let swap = if r.bool()? {
+            Some(BlockId(r.u32()?))
+        } else {
+            None
+        };
+        Ok(VmEntry {
+            frame,
+            prot,
+            kind,
+            cow,
+            swap,
+        })
     }
 }
 
@@ -252,6 +333,30 @@ impl Task {
     /// Remove an entry, returning it.
     pub fn remove(&mut self, vp: VPage) -> Option<VmEntry> {
         self.entries.remove(&vp)
+    }
+
+    /// Serialize the address space id and the map. The map is a `BTreeMap`,
+    /// so its natural iteration order is already canonical.
+    pub fn save_state(&self, w: &mut WordWriter) {
+        w.u32(self.space.0);
+        w.usize(self.entries.len());
+        for (vp, e) in &self.entries {
+            w.u64(vp.0);
+            e.save_state(w);
+        }
+    }
+
+    /// Restore state saved by [`Task::save_state`], replacing this task's
+    /// space and map (the alignment modulus is configuration and is kept).
+    pub fn restore_state(&mut self, r: &mut WordReader) -> Result<(), SerialError> {
+        self.space = SpaceId(r.u32()?);
+        let n = r.usize()?;
+        self.entries.clear();
+        for _ in 0..n {
+            let vp = VPage(r.u64()?);
+            self.entries.insert(vp, VmEntry::restore_state(r)?);
+        }
+        Ok(())
     }
 }
 

@@ -3,7 +3,7 @@
 //! broken manager must not.
 
 use vic_core::policy::Configuration;
-use vic_core::types::VAddr;
+use vic_core::types::{CpuId, VAddr};
 use vic_os::{Kernel, KernelConfig, SystemKind};
 
 /// All correct systems under test.
@@ -28,16 +28,17 @@ fn anon_memory_roundtrip_all_systems() {
         let t = k.create_task();
         let va = k.vm_allocate(t, 4).unwrap();
         for i in 0..16u64 {
-            k.write(t, VAddr(va.0 + i * 64), i as u32 + 1).unwrap();
+            k.write(CpuId::BOOT, t, VAddr(va.0 + i * 64), i as u32 + 1)
+                .unwrap();
         }
         for i in 0..16u64 {
             assert_eq!(
-                k.read(t, VAddr(va.0 + i * 64)).unwrap(),
+                k.read(CpuId::BOOT, t, VAddr(va.0 + i * 64)).unwrap(),
                 i as u32 + 1,
                 "{sys:?}"
             );
         }
-        k.vm_deallocate(t, va, 4).unwrap();
+        k.vm_deallocate(CpuId::BOOT, t, va, 4).unwrap();
         assert_eq!(k.machine().oracle().violations(), 0, "{sys:?}");
     }
 }
@@ -49,11 +50,15 @@ fn recycled_frames_are_zeroed() {
         let mut k = kernel(sys);
         let t1 = k.create_task();
         let va1 = k.vm_allocate(t1, 2).unwrap();
-        k.write(t1, va1, 0xdead_beef).unwrap();
-        k.terminate_task(t1).unwrap();
+        k.write(CpuId::BOOT, t1, va1, 0xdead_beef).unwrap();
+        k.terminate_task(CpuId::BOOT, t1).unwrap();
         let t2 = k.create_task();
         let va2 = k.vm_allocate(t2, 2).unwrap();
-        assert_eq!(k.read(t2, va2).unwrap(), 0, "{sys:?}: leaked data");
+        assert_eq!(
+            k.read(CpuId::BOOT, t2, va2).unwrap(),
+            0,
+            "{sys:?}: leaked data"
+        );
         assert_eq!(k.machine().oracle().violations(), 0, "{sys:?}");
     }
 }
@@ -67,13 +72,17 @@ fn shared_memory_ping_pong_all_systems() {
         let a = k.create_task();
         let b = k.create_task();
         let va_a = k.vm_allocate(a, 1).unwrap();
-        k.write(a, va_a, 1).unwrap(); // materialize
-        let va_b = k.vm_share(a, va_a, b).unwrap();
+        k.write(CpuId::BOOT, a, va_a, 1).unwrap(); // materialize
+        let va_b = k.vm_share(CpuId::BOOT, a, va_a, b).unwrap();
         for round in 0..8u32 {
-            k.write(a, va_a, round * 2).unwrap();
-            assert_eq!(k.read(b, va_b).unwrap(), round * 2, "{sys:?}");
-            k.write(b, va_b, round * 2 + 1).unwrap();
-            assert_eq!(k.read(a, va_a).unwrap(), round * 2 + 1, "{sys:?}");
+            k.write(CpuId::BOOT, a, va_a, round * 2).unwrap();
+            assert_eq!(k.read(CpuId::BOOT, b, va_b).unwrap(), round * 2, "{sys:?}");
+            k.write(CpuId::BOOT, b, va_b, round * 2 + 1).unwrap();
+            assert_eq!(
+                k.read(CpuId::BOOT, a, va_a).unwrap(),
+                round * 2 + 1,
+                "{sys:?}"
+            );
         }
         assert_eq!(k.machine().oracle().violations(), 0, "{sys:?}");
     }
@@ -88,12 +97,17 @@ fn ipc_transfer_all_systems() {
         let b = k.create_task();
         for msg in 0..6u32 {
             let va = k.vm_allocate(a, 1).unwrap();
-            k.write(a, va, 1000 + msg).unwrap();
-            k.write(a, VAddr(va.0 + 8), 2000 + msg).unwrap();
-            let rva = k.ipc_transfer_page(a, va, b).unwrap();
-            assert_eq!(k.read(b, rva).unwrap(), 1000 + msg, "{sys:?}");
-            assert_eq!(k.read(b, VAddr(rva.0 + 8)).unwrap(), 2000 + msg, "{sys:?}");
-            k.vm_deallocate(b, rva, 1).unwrap();
+            k.write(CpuId::BOOT, a, va, 1000 + msg).unwrap();
+            k.write(CpuId::BOOT, a, VAddr(va.0 + 8), 2000 + msg)
+                .unwrap();
+            let rva = k.ipc_transfer_page(CpuId::BOOT, a, va, b).unwrap();
+            assert_eq!(k.read(CpuId::BOOT, b, rva).unwrap(), 1000 + msg, "{sys:?}");
+            assert_eq!(
+                k.read(CpuId::BOOT, b, VAddr(rva.0 + 8)).unwrap(),
+                2000 + msg,
+                "{sys:?}"
+            );
+            k.vm_deallocate(CpuId::BOOT, b, rva, 1).unwrap();
         }
         assert_eq!(k.machine().oracle().violations(), 0, "{sys:?}");
         assert_eq!(k.os_stats().ipc_transfers, 6);
@@ -108,10 +122,10 @@ fn aligned_ipc_needs_no_cache_ops() {
     let a = k.create_task();
     let b = k.create_task();
     let va = k.vm_allocate(a, 1).unwrap();
-    k.write(a, va, 42).unwrap();
+    k.write(CpuId::BOOT, a, va, 42).unwrap();
     k.reset_stats();
-    let rva = k.ipc_transfer_page(a, va, b).unwrap();
-    assert_eq!(k.read(b, rva).unwrap(), 42);
+    let rva = k.ipc_transfer_page(CpuId::BOOT, a, va, b).unwrap();
+    assert_eq!(k.read(CpuId::BOOT, b, rva).unwrap(), 42);
     let mgr = k.mgr_stats();
     assert_eq!(
         mgr.total_flushes() + mgr.total_purges(),
@@ -138,31 +152,33 @@ fn file_io_roundtrip_all_systems() {
         for p in 0..2u64 {
             for w in 0..4u64 {
                 k.write(
+                    CpuId::BOOT,
                     t,
                     VAddr(va.0 + p * k.page_size() + w * 4),
                     (p * 100 + w) as u32 + 7,
                 )
                 .unwrap();
             }
-            k.fs_write_page(t, f, p, VAddr(va.0 + p * k.page_size()))
+            k.fs_write_page(CpuId::BOOT, t, f, p, VAddr(va.0 + p * k.page_size()))
                 .unwrap();
         }
-        k.sync();
+        k.sync(CpuId::BOOT);
         // Evict by reading enough other files to cycle the buffer cache.
         let filler = k.fs_create();
         let fva = k.vm_allocate(t, 1).unwrap();
         for p in 0..10u64 {
-            k.fs_write_page(t, filler, p, fva).unwrap();
+            k.fs_write_page(CpuId::BOOT, t, filler, p, fva).unwrap();
         }
-        k.sync();
+        k.sync(CpuId::BOOT);
         // Read back into fresh memory.
         let rva = k.vm_allocate(t, 2).unwrap();
         for p in 0..2u64 {
-            k.fs_read_page(t, f, p, VAddr(rva.0 + p * k.page_size()))
+            k.fs_read_page(CpuId::BOOT, t, f, p, VAddr(rva.0 + p * k.page_size()))
                 .unwrap();
             for w in 0..4u64 {
                 assert_eq!(
-                    k.read(t, VAddr(rva.0 + p * k.page_size() + w * 4)).unwrap(),
+                    k.read(CpuId::BOOT, t, VAddr(rva.0 + p * k.page_size() + w * 4))
+                        .unwrap(),
                     (p * 100 + w) as u32 + 7,
                     "{sys:?} page {p} word {w}"
                 );
@@ -187,23 +203,28 @@ fn exec_text_all_systems() {
         for p in 0..2u64 {
             for w in 0..(k.page_size() / 4) {
                 k.write(
+                    CpuId::BOOT,
                     t,
                     VAddr(va.0 + p * k.page_size() + w * 4),
                     (p * 10000 + w) as u32,
                 )
                 .unwrap();
             }
-            k.fs_write_page(t, f, p, VAddr(va.0 + p * k.page_size()))
+            k.fs_write_page(CpuId::BOOT, t, f, p, VAddr(va.0 + p * k.page_size()))
                 .unwrap();
         }
-        k.sync();
+        k.sync(CpuId::BOOT);
         // Exec it in a second task and fetch every word.
         let proc2 = k.create_task();
         let text = k.exec_text(proc2, f, 2).unwrap();
         for p in 0..2u64 {
             for w in [0u64, 1, k.page_size() / 4 - 1] {
                 let got = k
-                    .fetch(proc2, VAddr(text.0 + p * k.page_size() + w * 4))
+                    .fetch(
+                        CpuId::BOOT,
+                        proc2,
+                        VAddr(text.0 + p * k.page_size() + w * 4),
+                    )
                     .unwrap();
                 assert_eq!(got, (p * 10000 + w) as u32, "{sys:?}");
             }
@@ -220,7 +241,7 @@ fn server_round_trips_all_systems() {
         let mut k = kernel(sys);
         let t = k.create_task();
         for _ in 0..10 {
-            k.server_round_trip(t).unwrap();
+            k.server_round_trip(CpuId::BOOT, t).unwrap();
         }
         assert_eq!(k.machine().oracle().violations(), 0, "{sys:?}");
     }
@@ -233,10 +254,10 @@ fn aligned_channels_eliminate_consistency_faults() {
     let run = |sys: SystemKind| -> (u64, u64) {
         let mut k = kernel(sys);
         let t = k.create_task();
-        k.server_round_trip(t).unwrap(); // warm up: channel + first faults
+        k.server_round_trip(CpuId::BOOT, t).unwrap(); // warm up: channel + first faults
         k.reset_stats();
         for _ in 0..20 {
-            k.server_round_trip(t).unwrap();
+            k.server_round_trip(CpuId::BOOT, t).unwrap();
         }
         assert_eq!(k.machine().oracle().violations(), 0, "{sys:?}");
         let mgr = k.mgr_stats();
@@ -271,18 +292,18 @@ fn null_manager_caught_by_oracle() {
     // management).
     let _skew = k.vm_allocate(t, 1).unwrap();
     let va_a = k.vm_allocate(a, 1).unwrap();
-    k.write(a, va_a, 1).unwrap();
-    let vb = k.vm_share(a, va_a, t).unwrap();
+    k.write(CpuId::BOOT, a, va_a, 1).unwrap();
+    let vb = k.vm_share(CpuId::BOOT, a, va_a, t).unwrap();
     assert_ne!(
         (va_a.0 / k.page_size()) % 4,
         (vb.0 / k.page_size()) % 4,
         "test requires unaligned aliases"
     );
     for round in 0..4u32 {
-        k.write(a, va_a, round).unwrap();
-        let _ = k.read(t, vb).unwrap();
-        k.write(t, vb, round + 100).unwrap();
-        let _ = k.read(a, va_a).unwrap();
+        k.write(CpuId::BOOT, a, va_a, round).unwrap();
+        let _ = k.read(CpuId::BOOT, t, vb).unwrap();
+        k.write(CpuId::BOOT, t, vb, round + 100).unwrap();
+        let _ = k.read(CpuId::BOOT, a, va_a).unwrap();
     }
     assert!(
         k.machine().oracle().violations() > 0,
@@ -300,10 +321,11 @@ fn task_churn_and_frame_accounting() {
         let t = k.create_task();
         let va = k.vm_allocate(t, 8).unwrap();
         for p in 0..8u64 {
-            k.write(t, VAddr(va.0 + p * k.page_size()), gen).unwrap();
+            k.write(CpuId::BOOT, t, VAddr(va.0 + p * k.page_size()), gen)
+                .unwrap();
         }
-        k.server_round_trip(t).unwrap();
-        k.terminate_task(t).unwrap();
+        k.server_round_trip(CpuId::BOOT, t).unwrap();
+        k.terminate_task(CpuId::BOOT, t).unwrap();
         let free = k.machine(); // no accessor for frame table; rely on success
         let _ = free;
         if allocated_before.is_none() {
@@ -328,10 +350,11 @@ fn lazy_vs_eager_unmap() {
         let t = k.create_task();
         let va = k.vm_allocate(t, 4).unwrap();
         for p in 0..4u64 {
-            k.write(t, VAddr(va.0 + p * k.page_size()), 9).unwrap();
+            k.write(CpuId::BOOT, t, VAddr(va.0 + p * k.page_size()), 9)
+                .unwrap();
         }
         k.reset_stats();
-        k.vm_deallocate(t, va, 4).unwrap();
+        k.vm_deallocate(CpuId::BOOT, t, va, 4).unwrap();
         let m = k.mgr_stats();
         m.total_flushes() + m.total_purges()
     };
@@ -351,15 +374,15 @@ fn lazy_vs_eager_unmap() {
 fn error_paths() {
     let mut k = kernel(SystemKind::Cmu(Configuration::F));
     let t = k.create_task();
-    assert!(k.read(t, VAddr(0)).is_err(), "page 0 unmapped");
-    assert!(k.read(vic_os::TaskId(99), VAddr(0)).is_err());
+    assert!(k.read(CpuId::BOOT, t, VAddr(0)).is_err(), "page 0 unmapped");
+    assert!(k.read(CpuId::BOOT, vic_os::TaskId(99), VAddr(0)).is_err());
     let f = k.fs_create();
     assert!(
-        k.fs_read_page(t, f, 0, VAddr(0x4000)).is_err(),
+        k.fs_read_page(CpuId::BOOT, t, f, 0, VAddr(0x4000)).is_err(),
         "empty file"
     );
-    assert!(k.fs_delete(f).is_ok());
-    assert!(k.fs_delete(f).is_err(), "double delete");
+    assert!(k.fs_delete(CpuId::BOOT, f).is_ok());
+    assert!(k.fs_delete(CpuId::BOOT, f).is_err(), "double delete");
 }
 
 /// Copy-on-write: a vm_copy shares frames until the first write on either
@@ -372,31 +395,33 @@ fn cow_basic_semantics_all_systems() {
         let a = k.create_task();
         let b = k.create_task();
         let va = k.vm_allocate(a, 2).unwrap();
-        k.write(a, va, 100).unwrap();
-        k.write(a, VAddr(va.0 + k.page_size()), 200).unwrap();
+        k.write(CpuId::BOOT, a, va, 100).unwrap();
+        k.write(CpuId::BOOT, a, VAddr(va.0 + k.page_size()), 200)
+            .unwrap();
 
-        let vb = k.vm_copy(a, va, 2, b).unwrap();
+        let vb = k.vm_copy(CpuId::BOOT, a, va, 2, b).unwrap();
         // Both sides read the original data, no copies yet.
-        assert_eq!(k.read(b, vb).unwrap(), 100, "{sys:?}");
-        assert_eq!(k.read(a, va).unwrap(), 100, "{sys:?}");
+        assert_eq!(k.read(CpuId::BOOT, b, vb).unwrap(), 100, "{sys:?}");
+        assert_eq!(k.read(CpuId::BOOT, a, va).unwrap(), 100, "{sys:?}");
         assert_eq!(k.os_stats().cow_copies, 0, "{sys:?}: reads must not copy");
 
         // The receiver writes: its page is privatized; the source is
         // untouched.
-        k.write(b, vb, 111).unwrap();
-        assert_eq!(k.read(b, vb).unwrap(), 111, "{sys:?}");
-        assert_eq!(k.read(a, va).unwrap(), 100, "{sys:?}");
+        k.write(CpuId::BOOT, b, vb, 111).unwrap();
+        assert_eq!(k.read(CpuId::BOOT, b, vb).unwrap(), 111, "{sys:?}");
+        assert_eq!(k.read(CpuId::BOOT, a, va).unwrap(), 100, "{sys:?}");
         assert_eq!(k.os_stats().cow_copies, 1, "{sys:?}");
 
         // The source writes the second page: same dance, other direction.
-        k.write(a, VAddr(va.0 + k.page_size()), 222).unwrap();
+        k.write(CpuId::BOOT, a, VAddr(va.0 + k.page_size()), 222)
+            .unwrap();
         assert_eq!(
-            k.read(a, VAddr(va.0 + k.page_size())).unwrap(),
+            k.read(CpuId::BOOT, a, VAddr(va.0 + k.page_size())).unwrap(),
             222,
             "{sys:?}"
         );
         assert_eq!(
-            k.read(b, VAddr(vb.0 + k.page_size())).unwrap(),
+            k.read(CpuId::BOOT, b, VAddr(vb.0 + k.page_size())).unwrap(),
             200,
             "{sys:?}"
         );
@@ -411,13 +436,13 @@ fn cow_last_owner_keeps_frame() {
     let a = k.create_task();
     let b = k.create_task();
     let va = k.vm_allocate(a, 1).unwrap();
-    k.write(a, va, 7).unwrap();
-    let vb = k.vm_copy(a, va, 1, b).unwrap();
+    k.write(CpuId::BOOT, a, va, 7).unwrap();
+    let vb = k.vm_copy(CpuId::BOOT, a, va, 1, b).unwrap();
     // The receiver dies; the source is again the sole owner.
-    k.terminate_task(b).unwrap();
+    k.terminate_task(CpuId::BOOT, b).unwrap();
     let _ = vb;
-    k.write(a, va, 8).unwrap();
-    assert_eq!(k.read(a, va).unwrap(), 8);
+    k.write(CpuId::BOOT, a, va, 8).unwrap();
+    assert_eq!(k.read(CpuId::BOOT, a, va).unwrap(), 8);
     assert_eq!(k.os_stats().cow_copies, 0, "no copy for a sole owner");
     assert!(k.os_stats().cow_faults >= 1);
     assert_eq!(k.machine().oracle().violations(), 0);
@@ -431,14 +456,14 @@ fn cow_chains() {
     let b = k.create_task();
     let c = k.create_task();
     let va = k.vm_allocate(a, 1).unwrap();
-    k.write(a, va, 1).unwrap();
-    let vb = k.vm_copy(a, va, 1, b).unwrap();
-    let vc = k.vm_copy(b, vb, 1, c).unwrap();
-    k.write(b, vb, 2).unwrap();
-    k.write(c, vc, 3).unwrap();
-    assert_eq!(k.read(a, va).unwrap(), 1);
-    assert_eq!(k.read(b, vb).unwrap(), 2);
-    assert_eq!(k.read(c, vc).unwrap(), 3);
+    k.write(CpuId::BOOT, a, va, 1).unwrap();
+    let vb = k.vm_copy(CpuId::BOOT, a, va, 1, b).unwrap();
+    let vc = k.vm_copy(CpuId::BOOT, b, vb, 1, c).unwrap();
+    k.write(CpuId::BOOT, b, vb, 2).unwrap();
+    k.write(CpuId::BOOT, c, vc, 3).unwrap();
+    assert_eq!(k.read(CpuId::BOOT, a, va).unwrap(), 1);
+    assert_eq!(k.read(CpuId::BOOT, b, vb).unwrap(), 2);
+    assert_eq!(k.read(CpuId::BOOT, c, vc).unwrap(), 3);
     assert_eq!(k.machine().oracle().violations(), 0);
 }
 
@@ -451,18 +476,18 @@ fn cow_breaks_before_share_and_ipc() {
     let b = k.create_task();
     let c = k.create_task();
     let va = k.vm_allocate(a, 1).unwrap();
-    k.write(a, va, 5).unwrap();
-    let vb = k.vm_copy(a, va, 1, b).unwrap();
+    k.write(CpuId::BOOT, a, va, 5).unwrap();
+    let vb = k.vm_copy(CpuId::BOOT, a, va, 1, b).unwrap();
     // a shares its page with c; writes through the share must not reach
     // b's snapshot.
-    let vc = k.vm_share(a, va, c).unwrap();
-    k.write(c, vc, 99).unwrap();
-    assert_eq!(k.read(b, vb).unwrap(), 5, "snapshot preserved");
-    assert_eq!(k.read(a, va).unwrap(), 99, "share is live");
+    let vc = k.vm_share(CpuId::BOOT, a, va, c).unwrap();
+    k.write(CpuId::BOOT, c, vc, 99).unwrap();
+    assert_eq!(k.read(CpuId::BOOT, b, vb).unwrap(), 5, "snapshot preserved");
+    assert_eq!(k.read(CpuId::BOOT, a, va).unwrap(), 99, "share is live");
     // b IPC-moves its page to c; c's writes are private.
-    let moved = k.ipc_transfer_page(b, vb, c).unwrap();
-    k.write(c, moved, 42).unwrap();
-    assert_eq!(k.read(c, moved).unwrap(), 42);
+    let moved = k.ipc_transfer_page(CpuId::BOOT, b, vb, c).unwrap();
+    k.write(CpuId::BOOT, c, moved, 42).unwrap();
+    assert_eq!(k.read(CpuId::BOOT, c, moved).unwrap(), 42);
     assert_eq!(k.machine().oracle().violations(), 0);
 }
 
@@ -475,18 +500,20 @@ fn cow_aligned_sharing_is_free() {
     let b = k.create_task();
     let va = k.vm_allocate(a, 3).unwrap();
     for p in 0..3u64 {
-        k.write(a, VAddr(va.0 + p * k.page_size()), p as u32)
+        k.write(CpuId::BOOT, a, VAddr(va.0 + p * k.page_size()), p as u32)
             .unwrap();
     }
     k.reset_stats();
-    let vb = k.vm_copy(a, va, 3, b).unwrap();
+    let vb = k.vm_copy(CpuId::BOOT, a, va, 3, b).unwrap();
     for p in 0..3u64 {
         assert_eq!(
-            k.read(b, VAddr(vb.0 + p * k.page_size())).unwrap(),
+            k.read(CpuId::BOOT, b, VAddr(vb.0 + p * k.page_size()))
+                .unwrap(),
             p as u32
         );
         assert_eq!(
-            k.read(a, VAddr(va.0 + p * k.page_size())).unwrap(),
+            k.read(CpuId::BOOT, a, VAddr(va.0 + p * k.page_size()))
+                .unwrap(),
             p as u32
         );
     }
@@ -515,17 +542,18 @@ fn vm_map_file_all_systems() {
         let f = k.fs_create();
         for p in 0..3u64 {
             for w in 0..8u64 {
-                k.write(t, VAddr(buf.0 + w * 4), (p * 100 + w) as u32)
+                k.write(CpuId::BOOT, t, VAddr(buf.0 + w * 4), (p * 100 + w) as u32)
                     .unwrap();
             }
-            k.fs_write_page(t, f, p, buf).unwrap();
+            k.fs_write_page(CpuId::BOOT, t, f, p, buf).unwrap();
         }
         // Map all three pages and read them through the mapping.
-        let mva = k.vm_map_file(t, f, 0, 3).unwrap();
+        let mva = k.vm_map_file(CpuId::BOOT, t, f, 0, 3).unwrap();
         for p in 0..3u64 {
             for w in 0..8u64 {
                 assert_eq!(
-                    k.read(t, VAddr(mva.0 + p * k.page_size() + w * 4)).unwrap(),
+                    k.read(CpuId::BOOT, t, VAddr(mva.0 + p * k.page_size() + w * 4))
+                        .unwrap(),
                     (p * 100 + w) as u32,
                     "{sys:?}"
                 );
@@ -534,16 +562,18 @@ fn vm_map_file_all_systems() {
         // A file write through the buffer cache is visible via the mapping
         // (same frame, alias mediated by the consistency manager).
         for w in 0..8u64 {
-            k.write(t, VAddr(buf.0 + w * 4), 9000 + w as u32).unwrap();
+            k.write(CpuId::BOOT, t, VAddr(buf.0 + w * 4), 9000 + w as u32)
+                .unwrap();
         }
-        k.fs_write_page(t, f, 1, buf).unwrap();
+        k.fs_write_page(CpuId::BOOT, t, f, 1, buf).unwrap();
         assert_eq!(
-            k.read(t, VAddr(mva.0 + k.page_size())).unwrap(),
+            k.read(CpuId::BOOT, t, VAddr(mva.0 + k.page_size()))
+                .unwrap(),
             9000,
             "{sys:?}: write-through-fs visible via mapping"
         );
         // The mapping is read-only.
-        assert!(k.write(t, mva, 1).is_err(), "{sys:?}");
+        assert!(k.write(CpuId::BOOT, t, mva, 1).is_err(), "{sys:?}");
         assert_eq!(k.machine().oracle().violations(), 0, "{sys:?}");
     }
 }
@@ -554,7 +584,10 @@ fn vm_map_file_range_checked() {
     let mut k = kernel(SystemKind::Cmu(Configuration::F));
     let t = k.create_task();
     let f = k.fs_create();
-    assert!(k.vm_map_file(t, f, 0, 1).is_err(), "empty file");
+    assert!(
+        k.vm_map_file(CpuId::BOOT, t, f, 0, 1).is_err(),
+        "empty file"
+    );
 }
 
 /// Paging: when physical memory runs out, anonymous pages are paged out to
@@ -576,8 +609,13 @@ fn paging_under_memory_pressure() {
         let npages = 60u64; // more than the free frames
         let va = k.vm_allocate(t, npages).unwrap();
         for p in 0..npages {
-            k.write(t, VAddr(va.0 + p * k.page_size()), 5000 + p as u32)
-                .unwrap();
+            k.write(
+                CpuId::BOOT,
+                t,
+                VAddr(va.0 + p * k.page_size()),
+                5000 + p as u32,
+            )
+            .unwrap();
         }
         assert!(
             k.os_stats().page_outs > 0,
@@ -586,14 +624,15 @@ fn paging_under_memory_pressure() {
         // Everything reads back correctly (pages fault back in from swap).
         for p in 0..npages {
             assert_eq!(
-                k.read(t, VAddr(va.0 + p * k.page_size())).unwrap(),
+                k.read(CpuId::BOOT, t, VAddr(va.0 + p * k.page_size()))
+                    .unwrap(),
                 5000 + p as u32,
                 "{sys:?} page {p}"
             );
         }
         assert!(k.os_stats().page_ins > 0, "{sys:?}");
         assert_eq!(k.machine().oracle().violations(), 0, "{sys:?}");
-        k.terminate_task(t).unwrap();
+        k.terminate_task(CpuId::BOOT, t).unwrap();
     }
 }
 
@@ -610,10 +649,10 @@ fn swap_released_at_teardown() {
         let t = k.create_task();
         let va = k.vm_allocate(t, 60).unwrap();
         for p in 0..60u64 {
-            k.write(t, VAddr(va.0 + p * k.page_size()), generation)
+            k.write(CpuId::BOOT, t, VAddr(va.0 + p * k.page_size()), generation)
                 .unwrap();
         }
-        k.terminate_task(t).unwrap();
+        k.terminate_task(CpuId::BOOT, t).unwrap();
     }
     // Four generations of 60 pages through an 80-block swap only work if
     // teardown releases blocks.
@@ -635,17 +674,17 @@ fn vm_map_file_at_fixed_addresses() {
         let t = k.create_task();
         let buf = k.vm_allocate(t, 1).unwrap();
         let f = k.fs_create();
-        k.write(t, buf, 0xCAFE).unwrap();
-        k.fs_write_page(t, f, 0, buf).unwrap();
+        k.write(CpuId::BOOT, t, buf, 0xCAFE).unwrap();
+        k.fs_write_page(CpuId::BOOT, t, f, 0, buf).unwrap();
         // A fixed address far from the allocator's range.
         let at = VAddr(0x300 * k.page_size());
         let va = k.vm_map_file_at(t, f, 0, 1, at).unwrap();
         assert_eq!(va, at, "{sys:?}");
-        assert_eq!(k.read(t, va).unwrap(), 0xCAFE, "{sys:?}");
+        assert_eq!(k.read(CpuId::BOOT, t, va).unwrap(), 0xCAFE, "{sys:?}");
         // Update through the file system; read again through the mapping.
-        k.write(t, buf, 0xBEEF).unwrap();
-        k.fs_write_page(t, f, 0, buf).unwrap();
-        assert_eq!(k.read(t, va).unwrap(), 0xBEEF, "{sys:?}");
+        k.write(CpuId::BOOT, t, buf, 0xBEEF).unwrap();
+        k.fs_write_page(CpuId::BOOT, t, f, 0, buf).unwrap();
+        assert_eq!(k.read(CpuId::BOOT, t, va).unwrap(), 0xBEEF, "{sys:?}");
         // The same fixed address twice is an error.
         assert!(k.vm_map_file_at(t, f, 0, 1, at).is_err(), "{sys:?}");
         assert_eq!(k.machine().oracle().violations(), 0, "{sys:?}");
@@ -666,9 +705,10 @@ fn colored_free_lists_avoid_new_mapping_purges() {
         let t1 = k.create_task();
         let va = k.vm_allocate(t1, 8).unwrap();
         for p in 0..8u64 {
-            k.write(t1, VAddr(va.0 + p * k.page_size()), 1).unwrap();
+            k.write(CpuId::BOOT, t1, VAddr(va.0 + p * k.page_size()), 1)
+                .unwrap();
         }
-        k.terminate_task(t1).unwrap();
+        k.terminate_task(CpuId::BOOT, t1).unwrap();
         k.reset_stats();
         // Generation 2: a pad shifts every address by 3 pages, breaking the
         // frame/address pairing a plain LIFO list would rely on.
@@ -676,7 +716,8 @@ fn colored_free_lists_avoid_new_mapping_purges() {
         let _pad = k.vm_allocate(t2, 3).unwrap();
         let va = k.vm_allocate(t2, 8).unwrap();
         for p in 0..8u64 {
-            k.write(t2, VAddr(va.0 + p * k.page_size()), 2).unwrap();
+            k.write(CpuId::BOOT, t2, VAddr(va.0 + p * k.page_size()), 2)
+                .unwrap();
         }
         assert_eq!(k.machine().oracle().violations(), 0);
         k.mgr_stats().total_purges() + k.mgr_stats().total_flushes()
@@ -702,7 +743,7 @@ fn graceful_exhaustion_of_memory_and_swap() {
     let va = k.vm_allocate(t, 120).unwrap(); // far beyond memory + swap
     let mut failed = None;
     for p in 0..120u64 {
-        if let Err(e) = k.write(t, VAddr(va.0 + p * k.page_size()), p as u32) {
+        if let Err(e) = k.write(CpuId::BOOT, t, VAddr(va.0 + p * k.page_size()), p as u32) {
             failed = Some((p, e));
             break;
         }
@@ -715,12 +756,18 @@ fn graceful_exhaustion_of_memory_and_swap() {
     // With memory AND swap exhausted, even paging a page back in can fail
     // (there is nowhere to evict to) — but always as an error, never a
     // panic or corruption. Free the tail of the region to make room...
-    k.vm_deallocate(t, VAddr(va.0 + (at - 20) * k.page_size()), 120 - (at - 20))
-        .unwrap();
+    k.vm_deallocate(
+        CpuId::BOOT,
+        t,
+        VAddr(va.0 + (at - 20) * k.page_size()),
+        120 - (at - 20),
+    )
+    .unwrap();
     // ...and the earlier pages read back intact.
     for p in 0..20u64 {
         assert_eq!(
-            k.read(t, VAddr(va.0 + p * k.page_size())).unwrap(),
+            k.read(CpuId::BOOT, t, VAddr(va.0 + p * k.page_size()))
+                .unwrap(),
             p as u32
         );
     }

@@ -6,7 +6,7 @@
 //!
 //! ```json
 //! {
-//!   "profile_version": 1,
+//!   "engine_version": 2,
 //!   "runs": [
 //!     {
 //!       "spec": { ... },                  // opaque here; label is the key
@@ -24,11 +24,10 @@
 //! Runs are matched between documents by `label`, which is the spec's
 //! canonical one-line description and therefore stable across commits.
 
+use vic_core::ENGINE_VERSION;
+
 use crate::json::{parse_json, JsonValue};
 use crate::tree::FlatRow;
-
-/// The current document format version.
-pub const PROFILE_VERSION: u64 = 1;
 
 /// One profiled run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,12 +57,12 @@ impl ProfileDoc {
     pub fn parse(text: &str) -> Result<ProfileDoc, String> {
         let v = parse_json(text).map_err(|e| e.to_string())?;
         let version = v
-            .get("profile_version")
+            .get("engine_version")
             .and_then(JsonValue::as_u64)
-            .ok_or("missing 'profile_version'")?;
-        if version != PROFILE_VERSION {
+            .ok_or("missing 'engine_version'")?;
+        if version != ENGINE_VERSION {
             return Err(format!(
-                "unsupported profile_version {version} (this tool reads {PROFILE_VERSION})"
+                "unsupported engine_version {version} (this tool reads {ENGINE_VERSION})"
             ));
         }
         let runs_json = v
@@ -139,7 +138,7 @@ mod tests {
 
     fn sample() -> String {
         r#"{
-          "profile_version": 1,
+          "engine_version": 2,
           "runs": [
             {
               "spec": {"workload": "fork-bench", "system": "F"},
@@ -171,11 +170,11 @@ mod tests {
         assert!(ProfileDoc::parse("not json").is_err());
         assert!(ProfileDoc::parse("{}")
             .unwrap_err()
-            .contains("profile_version"));
-        assert!(ProfileDoc::parse(r#"{"profile_version": 2, "runs": []}"#)
+            .contains("engine_version"));
+        assert!(ProfileDoc::parse(r#"{"engine_version": 99, "runs": []}"#)
             .unwrap_err()
             .contains("unsupported"));
-        assert!(ProfileDoc::parse(r#"{"profile_version": 1}"#)
+        assert!(ProfileDoc::parse(r#"{"engine_version": 2}"#)
             .unwrap_err()
             .contains("runs"));
         // Total that disagrees with its rows.
@@ -185,7 +184,7 @@ mod tests {
 
     #[test]
     fn empty_runs_ok() {
-        let doc = ProfileDoc::parse(r#"{"profile_version": 1, "runs": []}"#).unwrap();
+        let doc = ProfileDoc::parse(r#"{"engine_version": 2, "runs": []}"#).unwrap();
         assert!(doc.runs.is_empty());
     }
 }

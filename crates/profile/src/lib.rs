@@ -34,7 +34,7 @@ pub mod profiler;
 pub mod tree;
 
 pub use diff::{DocDiff, PathDelta, RunDiff};
-pub use doc::{ProfileDoc, ProfileRun, PROFILE_VERSION};
+pub use doc::{ProfileDoc, ProfileRun};
 pub use json::{parse_json, JsonError, JsonValue};
 pub use profiler::Profiler;
 pub use tree::{path_string, CostTree, FlatRow, Seg};

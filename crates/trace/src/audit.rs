@@ -142,14 +142,35 @@ pub fn edge_is_legal(
 
 /// A [`TraceSink`] that audits the transition stream online. Non-transition
 /// events are counted and otherwise ignored.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ConsistencyAuditor {
-    /// Shadow state per (frame, side, cache page); absent means Empty.
+    /// Shadow state per (frame, side, cache page); absent means Empty when
+    /// `assume_cold`, else unknown-until-first-claim.
     shadow: BTreeMap<(u64, bool, u64), LineState>,
+    /// Cold-cache start: a page never seen is Empty. A [`resumed`]
+    /// auditor instead adopts each page's first claimed `old` state —
+    /// required when attaching mid-run (checkpoint restore), where the
+    /// caches are already warm.
+    ///
+    /// [`resumed`]: ConsistencyAuditor::resumed
+    assume_cold: bool,
     divergences: Vec<Divergence>,
     total_divergences: u64,
     transitions_checked: u64,
     events_seen: u64,
+}
+
+impl Default for ConsistencyAuditor {
+    fn default() -> Self {
+        ConsistencyAuditor {
+            shadow: BTreeMap::new(),
+            assume_cold: true,
+            divergences: Vec::new(),
+            total_divergences: 0,
+            transitions_checked: 0,
+            events_seen: 0,
+        }
+    }
 }
 
 /// Cap on *stored* divergences; past this they are counted but dropped
@@ -160,6 +181,19 @@ impl ConsistencyAuditor {
     /// A fresh auditor: all pages assumed Empty (cold caches).
     pub fn new() -> Self {
         ConsistencyAuditor::default()
+    }
+
+    /// An auditor attaching to a run already in flight (a checkpoint
+    /// restore): the caches are warm, so each page's shadow state is
+    /// seeded from the first transition's claimed `old` state instead of
+    /// Empty. Legality checking (Table 2 obligations) is at full strength
+    /// from the first event; bookkeeping checking begins with each page's
+    /// second transition.
+    pub fn resumed() -> Self {
+        ConsistencyAuditor {
+            assume_cold: false,
+            ..ConsistencyAuditor::default()
+        }
     }
 
     fn key(frame: PFrame, cache: CacheKind, c: CachePage) -> (u64, bool, u64) {
@@ -238,7 +272,12 @@ impl TraceSink for ConsistencyAuditor {
         };
         self.transitions_checked += 1;
         let key = Self::key(frame, kind, cache_page);
-        let expected = self.shadow.get(&key).copied().unwrap_or(LineState::Empty);
+        let expected = match self.shadow.get(&key).copied() {
+            Some(s) => s,
+            None if self.assume_cold => LineState::Empty,
+            // First sight of a warm page: trust its claimed state.
+            None => old,
+        };
         let base = Divergence {
             kind: DivergenceKind::BookkeepingMismatch,
             cycle,
@@ -263,8 +302,10 @@ impl TraceSink for ConsistencyAuditor {
             });
         }
         // Trust the claimed `new` state going forward: a single divergence
-        // is reported once, not echoed by every later transition.
-        if new == LineState::Empty {
+        // is reported once, not echoed by every later transition. A
+        // resumed auditor keeps explicit Empty entries so a page, once
+        // seen, is never re-seeded.
+        if new == LineState::Empty && self.assume_cold {
             self.shadow.remove(&key);
         } else {
             self.shadow.insert(key, new);
@@ -417,6 +458,39 @@ mod tests {
         a.emit(2, &mk(2, CacheKind::Data, 0, Empty, Dirty)); // other frame
         a.emit(3, &mk(1, CacheKind::Insn, 0, Empty, Present)); // other side
         assert!(a.is_clean(), "{}", a.report());
+    }
+
+    #[test]
+    fn resumed_auditor_seeds_from_first_claim() {
+        use LineState::*;
+        // The same warm-start stream: cold flags it, resumed does not.
+        let mut cold = ConsistencyAuditor::new();
+        cold.emit(1, &tr(Present, Stale, false, false, false));
+        assert_eq!(cold.divergence_count(), 1);
+        let mut warm = ConsistencyAuditor::resumed();
+        warm.emit(1, &tr(Present, Stale, false, false, false));
+        assert!(warm.is_clean(), "{}", warm.report());
+        // After seeding, bookkeeping is checked normally...
+        warm.emit(2, &tr(Present, Dirty, false, false, false));
+        assert_eq!(warm.divergence_count(), 1, "claimed P but shadow says S");
+        // ...and legality was never relaxed: a dropped flush on a seeded
+        // dirty page is still flagged.
+        let mut warm = ConsistencyAuditor::resumed();
+        warm.emit(1, &tr(Dirty, Present, false, false, false));
+        assert_eq!(warm.divergence_count(), 1);
+        assert_eq!(
+            warm.divergences()[0].kind,
+            DivergenceKind::IllegalTransition
+        );
+        // A page that empties and reappears is not re-seeded.
+        let mut warm = ConsistencyAuditor::resumed();
+        warm.emit(1, &tr(Present, Empty, false, true, false));
+        warm.emit(2, &tr(Present, Stale, false, false, false));
+        assert_eq!(
+            warm.divergence_count(),
+            1,
+            "E page claiming P is a mismatch"
+        );
     }
 
     #[test]

@@ -10,9 +10,10 @@
 //! flipped, and the write retried. Aligned, both addresses share the cache
 //! line and the loop runs at cache speed.
 
-use vic_os::{Kernel, OsError, ShareAlignment};
+use vic_core::types::{CpuId, VAddr};
+use vic_os::{Kernel, OsError, ShareAlignment, TaskId};
 
-use crate::runner::Workload;
+use crate::step::{Cursor, StepWorkload};
 
 /// The alias write loop.
 #[derive(Debug, Clone, Copy)]
@@ -41,7 +42,12 @@ impl AliasLoop {
     }
 }
 
-impl Workload for AliasLoop {
+/// Writes performed per step: small enough that a checkpoint boundary is
+/// never more than a handful of iterations away, large enough that the
+/// per-step dispatch cost vanishes against a million writes.
+const WRITES_PER_STEP: u64 = 64;
+
+impl StepWorkload for AliasLoop {
     fn name(&self) -> &'static str {
         if self.aligned {
             "alias-loop/aligned"
@@ -50,21 +56,40 @@ impl Workload for AliasLoop {
         }
     }
 
-    fn run(&self, k: &mut Kernel) -> Result<(), OsError> {
-        let t = k.create_task();
-        let va1 = k.vm_allocate(t, 1)?;
-        k.write(t, va1, 0)?; // materialize the frame
-        let align = if self.aligned {
-            ShareAlignment::Aligned
-        } else {
-            ShareAlignment::Unaligned
-        };
-        let va2 = k.vm_share_with(t, va1, t, align)?;
-        for i in 0..self.iters {
-            let va = if i % 2 == 0 { va1 } else { va2 };
-            k.write(t, va, i as u32)?;
+    fn step(&self, k: &mut Kernel, cpu: CpuId, cur: &mut Cursor) -> Result<bool, OsError> {
+        match cur.phase {
+            // Set up the two aliases over one frame.
+            0 => {
+                let t = k.create_task();
+                let va1 = k.vm_allocate(t, 1)?;
+                k.write(cpu, t, va1, 0)?; // materialize the frame
+                let align = if self.aligned {
+                    ShareAlignment::Aligned
+                } else {
+                    ShareAlignment::Unaligned
+                };
+                let va2 = k.vm_share_with(cpu, t, va1, t, align)?;
+                cur.u = vec![u64::from(t.0), va1.0, va2.0];
+                cur.next_phase();
+            }
+            // A batch of alternating writes per step.
+            1 => {
+                let t = TaskId(cur.u[0] as u32);
+                let (va1, va2) = (VAddr(cur.u[1]), VAddr(cur.u[2]));
+                let end = (cur.i + WRITES_PER_STEP).min(self.iters);
+                for i in cur.i..end {
+                    let va = if i % 2 == 0 { va1 } else { va2 };
+                    k.write(cpu, t, va, i as u32)?;
+                }
+                cur.i = end;
+                if cur.i == self.iters {
+                    cur.next_phase();
+                    return Ok(false);
+                }
+            }
+            _ => return Ok(false),
         }
-        Ok(())
+        Ok(true)
     }
 }
 

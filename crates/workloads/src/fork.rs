@@ -9,11 +9,11 @@
 //! shared phase is free; under the old system every shared page is an
 //! unaligned alias that must be broken eagerly.
 
-use vic_core::types::VAddr;
+use vic_core::types::{CpuId, VAddr};
 use vic_core::Rng64;
-use vic_os::{Kernel, OsError};
+use vic_os::{Kernel, OsError, TaskId};
 
-use crate::runner::Workload;
+use crate::step::{Cursor, StepWorkload};
 
 /// The fork/COW driver.
 #[derive(Debug, Clone, Copy)]
@@ -54,52 +54,78 @@ impl ForkBench {
     }
 }
 
-impl Workload for ForkBench {
+// Cursor register layout: `cur.u[0]` = parent task, `cur.u[1]` = segment
+// base address.
+const U_PARENT: usize = 0;
+const U_SEG: usize = 1;
+
+impl StepWorkload for ForkBench {
     fn name(&self) -> &'static str {
         "fork-bench"
     }
 
-    fn run(&self, k: &mut Kernel) -> Result<(), OsError> {
-        let mut rng = Rng64::seed_from_u64(self.seed);
+    fn step(&self, k: &mut Kernel, cpu: CpuId, cur: &mut Cursor) -> Result<bool, OsError> {
         let page = k.page_size();
-        let parent = k.create_task();
-        let seg = k.vm_allocate(parent, self.segment_pages)?;
-        for p in 0..self.segment_pages {
-            for w in 0..16u64 {
-                k.write(parent, VAddr(seg.0 + p * page + w * 8), (p * 31 + w) as u32)?;
-            }
-        }
-
-        for f in 0..self.forks {
-            let child = k.create_task();
-            let snap = k.vm_copy(parent, seg, self.segment_pages, child)?;
-            // The child reads its whole snapshot...
-            for p in 0..self.segment_pages {
-                for w in 0..8u64 {
-                    let _ = k.read(child, VAddr(snap.0 + p * page + w * 16))?;
-                }
-            }
-            // ...writes a fraction of it (COW breaks those pages)...
-            for p in 0..self.segment_pages {
-                if rng.gen_u64(0, 99) < u64::from(self.write_pct) {
-                    for w in 0..8u64 {
-                        k.write(child, VAddr(snap.0 + p * page + w * 8), f + w as u32)?;
+        match cur.phase {
+            // The parent builds its data segment.
+            0 => {
+                cur.rng = Rng64::seed_from_u64(self.seed);
+                let parent = k.create_task();
+                let seg = k.vm_allocate(parent, self.segment_pages)?;
+                for p in 0..self.segment_pages {
+                    for w in 0..16u64 {
+                        k.write(
+                            cpu,
+                            parent,
+                            VAddr(seg.0 + p * page + w * 8),
+                            (p * 31 + w) as u32,
+                        )?;
                     }
                 }
+                cur.u = vec![u64::from(parent.0), seg.0];
+                cur.next_phase();
             }
-            k.machine_mut().charge(self.compute_per_child);
-            // ...and occasionally reports back over the server channel.
-            if f % 8 == 0 {
-                k.server_round_trip(child)?;
+            // One fork lifecycle per step.
+            1 => {
+                let parent = TaskId(cur.u[U_PARENT] as u32);
+                let seg = VAddr(cur.u[U_SEG]);
+                let f = cur.i as u32;
+                let child = k.create_task();
+                let snap = k.vm_copy(cpu, parent, seg, self.segment_pages, child)?;
+                // The child reads its whole snapshot...
+                for p in 0..self.segment_pages {
+                    for w in 0..8u64 {
+                        let _ = k.read(cpu, child, VAddr(snap.0 + p * page + w * 16))?;
+                    }
+                }
+                // ...writes a fraction of it (COW breaks those pages)...
+                for p in 0..self.segment_pages {
+                    if cur.rng.gen_u64(0, 99) < u64::from(self.write_pct) {
+                        for w in 0..8u64 {
+                            k.write(cpu, child, VAddr(snap.0 + p * page + w * 8), f + w as u32)?;
+                        }
+                    }
+                }
+                k.machine_mut().charge(self.compute_per_child);
+                // ...and occasionally reports back over the server channel.
+                if f.is_multiple_of(8) {
+                    k.server_round_trip(cpu, child)?;
+                }
+                k.terminate_task(cpu, child)?;
+                // The parent keeps mutating between forks (breaking its own
+                // COW residue).
+                let p = u64::from(f) % self.segment_pages;
+                k.write(cpu, parent, VAddr(seg.0 + p * page), 0x7000 + f)?;
+                cur.i += 1;
+                if cur.i == u64::from(self.forks) {
+                    k.terminate_task(cpu, parent)?;
+                    cur.next_phase();
+                    return Ok(false);
+                }
             }
-            k.terminate_task(child)?;
-            // The parent keeps mutating between forks (breaking its own
-            // COW residue).
-            let p = u64::from(f) % self.segment_pages;
-            k.write(parent, VAddr(seg.0 + p * page), 0x7000 + f)?;
+            _ => return Ok(false),
         }
-        k.terminate_task(parent)?;
-        Ok(())
+        Ok(true)
     }
 }
 

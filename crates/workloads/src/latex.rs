@@ -6,10 +6,11 @@
 //! Cache-consistency overhead is correspondingly smaller than for the
 //! file-intensive benchmarks (the paper reports a 5 % gain versus 10 %).
 
-use vic_core::types::VAddr;
-use vic_os::{Kernel, OsError};
+use vic_core::types::{CpuId, VAddr};
+use vic_os::fs::FileId;
+use vic_os::{Kernel, OsError, TaskId};
 
-use crate::runner::Workload;
+use crate::step::{Cursor, StepWorkload};
 
 /// The latex-paper driver.
 #[derive(Debug, Clone, Copy)]
@@ -46,80 +47,127 @@ impl LatexBench {
     }
 }
 
-impl Workload for LatexBench {
+// Cursor register layout: scalar slots in `cur.u`, style file ids in
+// `cur.lists[0]`.
+const U_TASK: usize = 0;
+const U_BUF: usize = 1;
+const U_INPUT: usize = 2;
+const U_WS: usize = 3;
+const U_AUX: usize = 4;
+const U_OUT: usize = 5;
+
+impl StepWorkload for LatexBench {
     fn name(&self) -> &'static str {
         "latex-paper"
     }
 
-    fn run(&self, k: &mut Kernel) -> Result<(), OsError> {
+    fn step(&self, k: &mut Kernel, cpu: CpuId, cur: &mut Cursor) -> Result<bool, OsError> {
         let page = k.page_size();
-        let t = k.create_task();
-        let buf = k.vm_allocate(t, 1)?;
-
-        // The .tex input (written by an "editor" beforehand).
-        let input = k.fs_create();
-        for p in 0..self.input_pages {
-            let vals: [u32; 16] = std::array::from_fn(|w| (p * 100 + w as u64) as u32);
-            k.write_run(t, buf, 4, &vals)?;
-            k.fs_write_page(t, input, p, buf)?;
-        }
-        k.sync();
-
-        // Style and font files TeX opens on every pass.
-        let mut styles = Vec::new();
-        for s in 0..8u32 {
-            let f = k.fs_create();
-            let vals: [u32; 16] = std::array::from_fn(|w| 0xf0_0000 + s * 64 + w as u32);
-            k.write_run(t, buf, 4, &vals)?;
-            k.fs_write_page(t, f, 0, buf)?;
-            styles.push(f);
-        }
-        k.sync();
-
-        let ws = k.vm_allocate(t, self.working_pages)?;
-        let aux = k.fs_create();
-        let out = k.fs_create();
-
-        for pass in 0..self.passes {
-            // Read the input and every style/font file (buffer-cache hits
-            // after the first pass, but each read is a server round trip).
-            for p in 0..self.input_pages {
-                k.fs_read_page(t, input, p, buf)?;
+        let t = TaskId(cur.u.get(U_TASK).map_or(0, |&v| v as u32));
+        let buf = VAddr(cur.u.get(U_BUF).copied().unwrap_or(0));
+        match cur.phase {
+            // Boot: the TeX task, its I/O buffer, and the .tex input file
+            // (written by an "editor" beforehand).
+            0 => {
+                let t = k.create_task();
+                let buf = k.vm_allocate(t, 1)?;
+                let input = k.fs_create();
+                cur.u = vec![u64::from(t.0), buf.0, u64::from(input.0), 0, 0, 0];
+                cur.lists = vec![Vec::new()];
+                cur.next_phase();
             }
-            for &f in &styles {
-                k.fs_read_page(t, f, 0, buf)?;
-            }
-            // The formatting work: sweeps over the working set with
-            // register-heavy computation in between.
-            for sweep in 0..4u32 {
-                for wp in 0..self.working_pages {
-                    let base = ws.0 + wp * page;
-                    for w in 0..24u64 {
-                        let v = k.read(t, VAddr(base + w * 8))?;
-                        k.write(t, VAddr(base + w * 8), v.wrapping_add(sweep + 1))?;
-                    }
+            // Write the input, one page per step.
+            1 => {
+                let input = FileId(cur.u[U_INPUT] as u32);
+                let p = cur.i;
+                let vals: [u32; 16] = std::array::from_fn(|w| (p * 100 + w as u64) as u32);
+                k.write_run(cpu, t, buf, 4, &vals)?;
+                k.fs_write_page(cpu, t, input, p, buf)?;
+                cur.i += 1;
+                if cur.i == self.input_pages {
+                    k.sync(cpu);
+                    cur.next_phase();
                 }
-                k.machine_mut().charge(self.compute_per_sweep);
             }
-            // Auxiliary outputs (.aux/.log): small writes each pass.
-            let vals: [u32; 8] = std::array::from_fn(|w| pass * 1000 + w as u32);
-            k.write_run(t, buf, 4, &vals)?;
-            k.fs_write_page(t, aux, u64::from(pass), buf)?;
+            // Style and font files TeX opens on every pass, one per step.
+            2 => {
+                let s = cur.i as u32;
+                let f = k.fs_create();
+                let vals: [u32; 16] = std::array::from_fn(|w| 0xf0_0000 + s * 64 + w as u32);
+                k.write_run(cpu, t, buf, 4, &vals)?;
+                k.fs_write_page(cpu, t, f, 0, buf)?;
+                cur.lists[0].push(u64::from(f.0));
+                cur.i += 1;
+                if cur.i == 8 {
+                    k.sync(cpu);
+                    let ws = k.vm_allocate(t, self.working_pages)?;
+                    let aux = k.fs_create();
+                    let out = k.fs_create();
+                    cur.u[U_WS] = ws.0;
+                    cur.u[U_AUX] = u64::from(aux.0);
+                    cur.u[U_OUT] = u64::from(out.0);
+                    cur.next_phase();
+                }
+            }
+            // One formatting pass per step.
+            3 => {
+                let input = FileId(cur.u[U_INPUT] as u32);
+                let ws = VAddr(cur.u[U_WS]);
+                let aux = FileId(cur.u[U_AUX] as u32);
+                let pass = cur.i as u32;
+                // Read the input and every style/font file (buffer-cache
+                // hits after the first pass, but each read is a server
+                // round trip).
+                for p in 0..self.input_pages {
+                    k.fs_read_page(cpu, t, input, p, buf)?;
+                }
+                for fi in 0..cur.lists[0].len() {
+                    let f = FileId(cur.lists[0][fi] as u32);
+                    k.fs_read_page(cpu, t, f, 0, buf)?;
+                }
+                // The formatting work: sweeps over the working set with
+                // register-heavy computation in between.
+                for sweep in 0..4u32 {
+                    for wp in 0..self.working_pages {
+                        let base = ws.0 + wp * page;
+                        for w in 0..24u64 {
+                            let v = k.read(cpu, t, VAddr(base + w * 8))?;
+                            k.write(cpu, t, VAddr(base + w * 8), v.wrapping_add(sweep + 1))?;
+                        }
+                    }
+                    k.machine_mut().charge(self.compute_per_sweep);
+                }
+                // Auxiliary outputs (.aux/.log): small writes each pass.
+                let vals: [u32; 8] = std::array::from_fn(|w| pass * 1000 + w as u32);
+                k.write_run(cpu, t, buf, 4, &vals)?;
+                k.fs_write_page(cpu, t, aux, u64::from(pass), buf)?;
+                cur.i += 1;
+                if cur.i == u64::from(self.passes) {
+                    cur.next_phase();
+                }
+            }
+            // The .dvi output, then cleanup.
+            4 => {
+                let out = FileId(cur.u[U_OUT] as u32);
+                let aux = FileId(cur.u[U_AUX] as u32);
+                for p in 0..2u64 {
+                    let vals: [u32; 16] =
+                        std::array::from_fn(|w| 0xd41 + (p * 50 + w as u64) as u32);
+                    k.write_run(cpu, t, buf, 4, &vals)?;
+                    k.fs_write_page(cpu, t, out, p, buf)?;
+                }
+                k.sync(cpu);
+                k.fs_delete(cpu, aux)?;
+                for fi in 0..cur.lists[0].len() {
+                    k.fs_delete(cpu, FileId(cur.lists[0][fi] as u32))?;
+                }
+                k.terminate_task(cpu, t)?;
+                cur.next_phase();
+                return Ok(false);
+            }
+            _ => return Ok(false),
         }
-
-        // The .dvi output.
-        for p in 0..2u64 {
-            let vals: [u32; 16] = std::array::from_fn(|w| 0xd41 + (p * 50 + w as u64) as u32);
-            k.write_run(t, buf, 4, &vals)?;
-            k.fs_write_page(t, out, p, buf)?;
-        }
-        k.sync();
-        k.fs_delete(aux)?;
-        for f in styles {
-            k.fs_delete(f)?;
-        }
-        k.terminate_task(t)?;
-        Ok(())
+        Ok(true)
     }
 }
 

@@ -46,6 +46,7 @@ pub mod latex;
 pub mod report;
 pub mod runner;
 pub mod spec;
+pub mod step;
 
 pub use afs::AfsBench;
 pub use alias::AliasLoop;
@@ -57,3 +58,4 @@ pub use runner::{
     RunStats, Workload,
 };
 pub use spec::WorkloadKind;
+pub use step::{drive, Cursor, DriveOutcome, StepWorkload};

@@ -225,10 +225,11 @@ mod tests {
             "touch"
         }
         fn run(&self, k: &mut Kernel) -> Result<(), OsError> {
+            let cpu = vic_core::types::CpuId::BOOT;
             let t = k.create_task();
             let va = k.vm_allocate(t, 1)?;
-            k.write(t, va, 42)?;
-            assert_eq!(k.read(t, va)?, 42);
+            k.write(cpu, t, va, 42)?;
+            assert_eq!(k.read(cpu, t, va)?, 42);
             Ok(())
         }
     }

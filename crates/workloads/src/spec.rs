@@ -7,6 +7,7 @@
 //! describe hundreds of runs as plain data.
 
 use crate::runner::Workload;
+use crate::step::StepWorkload;
 use crate::{AfsBench, AliasLoop, ForkBench, KernelBuild, LatexBench};
 
 /// One of the benchmark drivers, as plain data.
@@ -65,6 +66,27 @@ impl WorkloadKind {
     /// Build the driver at paper scale, or the quick variant used by the
     /// fast test/CI paths.
     pub fn build(self, quick: bool) -> Box<dyn Workload> {
+        match (self, quick) {
+            (WorkloadKind::Afs, false) => Box::new(AfsBench::paper()),
+            (WorkloadKind::Afs, true) => Box::new(AfsBench::quick()),
+            (WorkloadKind::Latex, false) => Box::new(LatexBench::paper()),
+            (WorkloadKind::Latex, true) => Box::new(LatexBench::quick()),
+            (WorkloadKind::KernelBuild, false) => Box::new(KernelBuild::paper()),
+            (WorkloadKind::KernelBuild, true) => Box::new(KernelBuild::quick()),
+            (WorkloadKind::Fork, false) => Box::new(ForkBench::paper()),
+            (WorkloadKind::Fork, true) => Box::new(ForkBench::quick()),
+            (WorkloadKind::AliasAligned, false) => Box::new(AliasLoop::paper(true)),
+            (WorkloadKind::AliasAligned, true) => Box::new(AliasLoop::quick(true)),
+            (WorkloadKind::AliasUnaligned, false) => Box::new(AliasLoop::paper(false)),
+            (WorkloadKind::AliasUnaligned, true) => Box::new(AliasLoop::quick(false)),
+        }
+    }
+
+    /// Build the driver as a resumable state machine (the checkpointable
+    /// form — see [`crate::step`]). Same drivers, same scales as
+    /// [`WorkloadKind::build`]; a run driven stepwise is operation-for-
+    /// operation identical to one run through the [`Workload`] trait.
+    pub fn build_step(self, quick: bool) -> Box<dyn StepWorkload> {
         match (self, quick) {
             (WorkloadKind::Afs, false) => Box::new(AfsBench::paper()),
             (WorkloadKind::Afs, true) => Box::new(AfsBench::quick()),

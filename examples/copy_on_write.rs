@@ -16,6 +16,7 @@
 use vic::core::policy::Configuration;
 use vic::core::types::VAddr;
 use vic::os::{Kernel, KernelConfig, SystemKind};
+use vic_core::types::CpuId;
 
 fn main() {
     let mut k = Kernel::new(KernelConfig::new(SystemKind::Cmu(Configuration::F)));
@@ -26,14 +27,21 @@ fn main() {
     // The parent builds a data segment.
     let src = k.vm_allocate(parent, pages).expect("allocate");
     for p in 0..pages {
-        k.write(parent, VAddr(src.0 + p * page), 1000 + p as u32)
-            .expect("write");
+        k.write(
+            CpuId::BOOT,
+            parent,
+            VAddr(src.0 + p * page),
+            1000 + p as u32,
+        )
+        .expect("write");
     }
 
     // "Fork": snapshot the segment into a child, copy-on-write.
     let child = k.create_task();
     k.reset_stats();
-    let dst = k.vm_copy(parent, src, pages, child).expect("vm_copy");
+    let dst = k
+        .vm_copy(CpuId::BOOT, parent, src, pages, child)
+        .expect("vm_copy");
     println!(
         "vm_copy of {pages} pages: {} page copies performed, {} flushes, {} purges",
         k.os_stats().cow_copies,
@@ -43,8 +51,12 @@ fn main() {
 
     // Both sides read everything — still no copies.
     for p in 0..pages {
-        let a = k.read(parent, VAddr(src.0 + p * page)).expect("read");
-        let b = k.read(child, VAddr(dst.0 + p * page)).expect("read");
+        let a = k
+            .read(CpuId::BOOT, parent, VAddr(src.0 + p * page))
+            .expect("read");
+        let b = k
+            .read(CpuId::BOOT, child, VAddr(dst.0 + p * page))
+            .expect("read");
         assert_eq!(a, b);
     }
     println!(
@@ -53,8 +65,10 @@ fn main() {
     );
 
     // The child writes 2 of the 8 pages: exactly 2 copies happen.
-    k.write(child, VAddr(dst.0 + page), 7).expect("write");
-    k.write(child, VAddr(dst.0 + 5 * page), 8).expect("write");
+    k.write(CpuId::BOOT, child, VAddr(dst.0 + page), 7)
+        .expect("write");
+    k.write(CpuId::BOOT, child, VAddr(dst.0 + 5 * page), 8)
+        .expect("write");
     println!(
         "after the child writes 2 pages: {} copies, {} COW faults",
         k.os_stats().cow_copies,
@@ -62,9 +76,16 @@ fn main() {
     );
 
     // The parent's view is intact.
-    assert_eq!(k.read(parent, VAddr(src.0 + page)).unwrap(), 1001);
-    assert_eq!(k.read(parent, VAddr(src.0 + 5 * page)).unwrap(), 1005);
-    assert_eq!(k.read(child, VAddr(dst.0 + page)).unwrap(), 7);
+    assert_eq!(
+        k.read(CpuId::BOOT, parent, VAddr(src.0 + page)).unwrap(),
+        1001
+    );
+    assert_eq!(
+        k.read(CpuId::BOOT, parent, VAddr(src.0 + 5 * page))
+            .unwrap(),
+        1005
+    );
+    assert_eq!(k.read(CpuId::BOOT, child, VAddr(dst.0 + page)).unwrap(), 7);
 
     assert_eq!(k.machine().oracle().violations(), 0);
     println!("oracle clean: lazy copying never exposed stale data");

@@ -14,6 +14,7 @@
 use vic::core::policy::Configuration;
 use vic::core::types::VAddr;
 use vic::os::{Kernel, KernelConfig, SystemKind};
+use vic_core::types::CpuId;
 
 fn main() {
     let mut k = Kernel::new(KernelConfig::new(SystemKind::Cmu(Configuration::F)));
@@ -26,10 +27,11 @@ fn main() {
     // cache; nothing has touched the disk yet.
     let f = k.fs_create();
     for w in 0..8u64 {
-        k.write(t, VAddr(buf.0 + w * 4), 0xd15c_0000 + w as u32)
+        k.write(CpuId::BOOT, t, VAddr(buf.0 + w * 4), 0xd15c_0000 + w as u32)
             .expect("write");
     }
-    k.fs_write_page(t, f, 0, buf).expect("fs write");
+    k.fs_write_page(CpuId::BOOT, t, f, 0, buf)
+        .expect("fs write");
     let before = k.machine().stats().dma_reads;
     println!(
         "after fs_write_page: {} disk DMA transfers (write-behind: none yet)",
@@ -39,7 +41,7 @@ fn main() {
     // sync(): write-behind flushes the dirty buffer to disk. The kernel
     // must first flush the buffer's cache page — the device reads physical
     // memory directly and does not snoop the cache.
-    k.sync();
+    k.sync(CpuId::BOOT);
     println!(
         "after sync: {} disk DMA-read transfers, {} cache flushes for DMA",
         k.machine().stats().dma_reads,
@@ -52,14 +54,15 @@ fn main() {
     let filler = k.fs_create();
     let nbufs = 600; // larger than the buffer cache
     for p in 0..nbufs {
-        k.fs_write_page(t, filler, p, buf).expect("fill");
+        k.fs_write_page(CpuId::BOOT, t, filler, p, buf)
+            .expect("fill");
     }
-    k.sync();
+    k.sync(CpuId::BOOT);
 
     let dst = k.vm_allocate(t, 1).expect("allocate");
-    k.fs_read_page(t, f, 0, dst).expect("fs read");
+    k.fs_read_page(CpuId::BOOT, t, f, 0, dst).expect("fs read");
     for w in 0..8u64 {
-        let v = k.read(t, VAddr(dst.0 + w * 4)).expect("read");
+        let v = k.read(CpuId::BOOT, t, VAddr(dst.0 + w * 4)).expect("read");
         assert_eq!(
             v,
             0xd15c_0000 + w as u32,

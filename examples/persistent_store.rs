@@ -19,6 +19,7 @@
 use vic::core::policy::Configuration;
 use vic::core::types::VAddr;
 use vic::os::{Kernel, KernelConfig, SystemKind};
+use vic_core::types::CpuId;
 
 /// The table: `SLOTS` (key, value) word pairs in page 0 of the file.
 const SLOTS: u64 = 16;
@@ -36,14 +37,20 @@ fn main() {
     let scratch = k.vm_allocate(writer, 1).expect("allocate");
     for i in 0..SLOTS {
         let (ko, vo) = slot_off(i);
-        k.write(writer, VAddr(scratch.0 + ko), 0x1000 + i as u32)
-            .expect("key");
-        k.write(writer, VAddr(scratch.0 + vo), 100 * i as u32)
+        k.write(
+            CpuId::BOOT,
+            writer,
+            VAddr(scratch.0 + ko),
+            0x1000 + i as u32,
+        )
+        .expect("key");
+        k.write(CpuId::BOOT, writer, VAddr(scratch.0 + vo), 100 * i as u32)
             .expect("value");
     }
     let store = k.fs_create();
-    k.fs_write_page(writer, store, 0, scratch).expect("persist");
-    k.sync();
+    k.fs_write_page(CpuId::BOOT, writer, store, 0, scratch)
+        .expect("persist");
+    k.sync(CpuId::BOOT);
     println!("writer persisted {SLOTS} slots");
 
     // Two readers map the table at the FIXED addresses their serialized
@@ -64,8 +71,8 @@ fn main() {
     let lookup = |k: &mut Kernel, t, base: VAddr, key: u32| -> Option<u32> {
         for i in 0..SLOTS {
             let (ko, vo) = slot_off(i);
-            if k.read(t, VAddr(base.0 + ko)).expect("read") == key {
-                return Some(k.read(t, VAddr(base.0 + vo)).expect("read"));
+            if k.read(CpuId::BOOT, t, VAddr(base.0 + ko)).expect("read") == key {
+                return Some(k.read(CpuId::BOOT, t, VAddr(base.0 + vo)).expect("read"));
             }
         }
         None
@@ -77,9 +84,10 @@ fn main() {
     // The writer updates slot 5 in place; readers see the new value
     // immediately (same frames; the manager mediates every crossing).
     let (_, vo) = slot_off(5);
-    k.write(writer, VAddr(scratch.0 + vo), 9999)
+    k.write(CpuId::BOOT, writer, VAddr(scratch.0 + vo), 9999)
         .expect("update");
-    k.fs_write_page(writer, store, 0, scratch).expect("persist");
+    k.fs_write_page(CpuId::BOOT, writer, store, 0, scratch)
+        .expect("persist");
     assert_eq!(lookup(&mut k, r1, a1, 0x1005), Some(9999));
     assert_eq!(lookup(&mut k, r2, a2, 0x1005), Some(9999));
     println!("update visible through both fixed-address mappings");

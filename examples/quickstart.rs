@@ -9,6 +9,7 @@
 use vic::core::policy::Configuration;
 use vic::core::types::VAddr;
 use vic::os::{Kernel, KernelConfig, ShareAlignment, SystemKind};
+use vic_core::types::CpuId;
 
 fn main() {
     // Boot the paper's fully optimized kernel (configuration F) on the
@@ -19,10 +20,10 @@ fn main() {
     // Plain anonymous memory: allocate, write, read.
     let task = k.create_task();
     let va = k.vm_allocate(task, 4).expect("allocate");
-    k.write(task, va, 0xfeed).expect("write");
+    k.write(CpuId::BOOT, task, va, 0xfeed).expect("write");
     println!(
         "wrote 0xfeed, read back {:#x}",
-        k.read(task, va).expect("read")
+        k.read(CpuId::BOOT, task, va).expect("read")
     );
 
     // Share the page with a second task at an UNALIGNED address — the
@@ -30,7 +31,7 @@ fn main() {
     // page now lives in two different cache pages.
     let peer = k.create_task();
     let peer_va = k
-        .vm_share_with(task, va, peer, ShareAlignment::Unaligned)
+        .vm_share_with(CpuId::BOOT, task, va, peer, ShareAlignment::Unaligned)
         .expect("share");
     println!(
         "shared at unaligned alias: {} in task, {} in peer",
@@ -41,12 +42,12 @@ fn main() {
     // manager flushes the dirty cache page, purges stale copies, and flips
     // page protections so the stale copy can never be read.
     for round in 0..4u32 {
-        k.write(task, va, round).expect("write");
-        let seen = k.read(peer, peer_va).expect("peer read");
+        k.write(CpuId::BOOT, task, va, round).expect("write");
+        let seen = k.read(CpuId::BOOT, peer, peer_va).expect("peer read");
         assert_eq!(seen, round);
-        k.write(peer, VAddr(peer_va.0 + 4), round + 100)
+        k.write(CpuId::BOOT, peer, VAddr(peer_va.0 + 4), round + 100)
             .expect("peer write");
-        let back = k.read(task, VAddr(va.0 + 4)).expect("read");
+        let back = k.read(CpuId::BOOT, task, VAddr(va.0 + 4)).expect("read");
         assert_eq!(back, round + 100);
     }
 
@@ -68,14 +69,14 @@ fn main() {
     let a = k2.create_task();
     let b = k2.create_task();
     let va = k2.vm_allocate(a, 1).expect("allocate");
-    k2.write(a, va, 1).expect("write");
+    k2.write(CpuId::BOOT, a, va, 1).expect("write");
     let vb = k2
-        .vm_share_with(a, va, b, ShareAlignment::Aligned)
+        .vm_share_with(CpuId::BOOT, a, va, b, ShareAlignment::Aligned)
         .expect("share");
     k2.reset_stats();
     for round in 0..4u32 {
-        k2.write(a, va, round).expect("write");
-        assert_eq!(k2.read(b, vb).expect("read"), round);
+        k2.write(CpuId::BOOT, a, va, round).expect("write");
+        assert_eq!(k2.read(CpuId::BOOT, b, vb).expect("read"), round);
     }
     let mgr = k2.mgr_stats();
     println!(

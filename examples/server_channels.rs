@@ -11,6 +11,7 @@
 
 use vic::core::policy::Configuration;
 use vic::os::{Kernel, KernelConfig, SystemKind};
+use vic_core::types::CpuId;
 
 fn run(label: &str, sys: SystemKind) {
     let mut k = Kernel::new(KernelConfig::new(sys));
@@ -20,12 +21,12 @@ fn run(label: &str, sys: SystemKind) {
     }
     // Establish every channel, then measure the steady state.
     for &t in &tasks {
-        k.server_round_trip(t).expect("round trip");
+        k.server_round_trip(CpuId::BOOT, t).expect("round trip");
     }
     k.reset_stats();
     for _ in 0..50 {
         for &t in &tasks {
-            k.server_round_trip(t).expect("round trip");
+            k.server_round_trip(CpuId::BOOT, t).expect("round trip");
         }
     }
     assert_eq!(k.machine().oracle().violations(), 0);

@@ -29,6 +29,7 @@
 //!   documents, differential comparison for the perf-regression baseline).
 
 pub use vic_core as core;
+pub use vic_core::ENGINE_VERSION;
 pub use vic_machine as machine;
 pub use vic_metrics as metrics;
 pub use vic_os as os;

@@ -7,6 +7,7 @@
 //!   specs returns, in the same order, regardless of thread count.
 
 use std::sync::{Arc, Mutex};
+use vic_core::types::CpuId;
 
 use vic::core::policy::Configuration;
 use vic::metrics::{MetricsShard, ProgressReporter};
@@ -52,8 +53,8 @@ fn the_simulated_system_is_a_single_owned_send_value() {
         let mut k = kernel;
         let t = k.create_task();
         let va = k.vm_allocate(t, 1).unwrap();
-        k.write(t, va, 7).unwrap();
-        assert_eq!(k.read(t, va).unwrap(), 7);
+        k.write(CpuId::BOOT, t, va, 7).unwrap();
+        assert_eq!(k.read(CpuId::BOOT, t, va).unwrap(), 7);
         k.machine().cycles()
     })
     .join()

@@ -13,6 +13,7 @@ use vic::core::managers::DropClass;
 use vic::core::policy::Configuration;
 use vic::os::{Kernel, KernelConfig, ShareAlignment, SystemKind};
 use vic::workloads::{run_on, AfsBench, KernelBuild, MachineSize, Workload};
+use vic_core::types::CpuId;
 
 /// A run of the given workload under a sabotaged manager must trip the
 /// oracle; the same workload under the intact manager must not.
@@ -62,13 +63,13 @@ fn buffer_churn(k: &mut Kernel) {
     let buf = k.vm_allocate(t, 1).unwrap();
     let f = k.fs_create();
     for p in 0..3u64 {
-        k.write(t, buf, 0xAB00 + p as u32).unwrap();
-        k.fs_write_page(t, f, p, buf).unwrap();
+        k.write(CpuId::BOOT, t, buf, 0xAB00 + p as u32).unwrap();
+        k.fs_write_page(CpuId::BOOT, t, f, p, buf).unwrap();
     }
-    k.sync();
+    k.sync(CpuId::BOOT);
     let dst = k.vm_allocate(t, 1).unwrap();
     for &p in &[0u64, 1, 2, 0, 1, 2] {
-        let _ = k.fs_read_page(t, f, p, dst);
+        let _ = k.fs_read_page(CpuId::BOOT, t, f, p, dst);
     }
 }
 
@@ -95,11 +96,11 @@ fn directed_minimal_scenarios() {
     let a = k.create_task();
     let b = k.create_task();
     let va = k.vm_allocate(a, 1).unwrap();
-    k.write(a, va, 42).unwrap();
+    k.write(CpuId::BOOT, a, va, 42).unwrap();
     let vb = k
-        .vm_share_with(a, va, b, ShareAlignment::Unaligned)
+        .vm_share_with(CpuId::BOOT, a, va, b, ShareAlignment::Unaligned)
         .unwrap();
-    let _ = k.read(b, vb).unwrap();
+    let _ = k.read(CpuId::BOOT, b, vb).unwrap();
     assert!(
         k.machine().oracle().violations() > 0,
         "flush drop undetected"

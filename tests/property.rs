@@ -15,6 +15,7 @@ use vic::core::policy::Configuration;
 use vic::core::types::VAddr;
 use vic::core::Rng64;
 use vic::os::{Kernel, KernelConfig, ShareAlignment, SystemKind, TaskId};
+use vic_core::types::CpuId;
 
 /// A randomized kernel operation.
 #[derive(Debug, Clone)]
@@ -159,12 +160,12 @@ impl World {
             } => {
                 let t = self.tasks[task as usize];
                 let va = self.va(task as usize, page, word);
-                self.k.write(t, va, value).expect("write");
+                self.k.write(CpuId::BOOT, t, va, value).expect("write");
             }
             Op::Read { task, page, word } => {
                 let t = self.tasks[task as usize];
                 let va = self.va(task as usize, page, word);
-                let _ = self.k.read(t, va).expect("read");
+                let _ = self.k.read(CpuId::BOOT, t, va).expect("read");
             }
             Op::Share {
                 from,
@@ -186,8 +187,11 @@ impl World {
                 // The shared page is readable/writable by the receiver but
                 // we do not track it in the arena: later ops keep using the
                 // arenas; the share exercises alias management.
-                let shared = self.k.vm_share_with(f, va, t, align).expect("share");
-                let _ = self.k.read(t, shared).expect("read shared");
+                let shared = self
+                    .k
+                    .vm_share_with(CpuId::BOOT, f, va, t, align)
+                    .expect("share");
+                let _ = self.k.read(CpuId::BOOT, t, shared).expect("read shared");
             }
             Op::Ipc { from, page, to } => {
                 if from == to {
@@ -197,16 +201,26 @@ impl World {
                 let t = self.tasks[to as usize];
                 // Move a fresh page so the arenas stay intact.
                 let va = self.k.vm_allocate(f, 1).expect("msg page");
-                self.k.write(f, va, u32::from(page) + 7).expect("fill msg");
-                let rva = self.k.ipc_transfer_page(f, va, t).expect("ipc");
-                assert_eq!(self.k.read(t, rva).expect("read msg"), u32::from(page) + 7);
-                self.k.vm_deallocate(t, rva, 1).expect("dealloc msg");
+                self.k
+                    .write(CpuId::BOOT, f, va, u32::from(page) + 7)
+                    .expect("fill msg");
+                let rva = self
+                    .k
+                    .ipc_transfer_page(CpuId::BOOT, f, va, t)
+                    .expect("ipc");
+                assert_eq!(
+                    self.k.read(CpuId::BOOT, t, rva).expect("read msg"),
+                    u32::from(page) + 7
+                );
+                self.k
+                    .vm_deallocate(CpuId::BOOT, t, rva, 1)
+                    .expect("dealloc msg");
             }
             Op::FsWrite { task, page } => {
                 let t = self.tasks[task as usize];
                 let va = self.va(task as usize, 0, 0);
                 self.k
-                    .fs_write_page(t, self.file, u64::from(page), va)
+                    .fs_write_page(CpuId::BOOT, t, self.file, u64::from(page), va)
                     .expect("fs write");
                 self.file_pages = self.file_pages.max(u64::from(page) + 1);
             }
@@ -217,13 +231,13 @@ impl World {
                 let t = self.tasks[task as usize];
                 let va = self.va(task as usize, 1, 0);
                 self.k
-                    .fs_read_page(t, self.file, u64::from(page), va)
+                    .fs_read_page(CpuId::BOOT, t, self.file, u64::from(page), va)
                     .expect("fs read");
             }
-            Op::Sync => self.k.sync(),
+            Op::Sync => self.k.sync(CpuId::BOOT),
             Op::Syscall { task } => {
                 let t = self.tasks[task as usize];
-                self.k.server_round_trip(t).expect("syscall");
+                self.k.server_round_trip(CpuId::BOOT, t).expect("syscall");
             }
             Op::VmCopy { from, page, to } => {
                 if from == to {
@@ -235,20 +249,25 @@ impl World {
                 // Copy-on-write snapshot; immediately diverge both sides a
                 // little and drop the copy (reads + writes + teardown all
                 // exercise the share/break machinery).
-                let copy = self.k.vm_copy(f, va, 1, t).expect("vm_copy");
-                let before = self.k.read(f, va).expect("src read");
-                assert_eq!(self.k.read(t, copy).expect("copy read"), before);
+                let copy = self.k.vm_copy(CpuId::BOOT, f, va, 1, t).expect("vm_copy");
+                let before = self.k.read(CpuId::BOOT, f, va).expect("src read");
+                assert_eq!(
+                    self.k.read(CpuId::BOOT, t, copy).expect("copy read"),
+                    before
+                );
                 self.k
-                    .write(t, copy, before.wrapping_add(1))
+                    .write(CpuId::BOOT, t, copy, before.wrapping_add(1))
                     .expect("copy write");
-                assert_eq!(self.k.read(f, va).expect("src read"), before);
-                self.k.vm_deallocate(t, copy, 1).expect("drop copy");
+                assert_eq!(self.k.read(CpuId::BOOT, f, va).expect("src read"), before);
+                self.k
+                    .vm_deallocate(CpuId::BOOT, t, copy, 1)
+                    .expect("drop copy");
             }
             Op::Recycle { task } => {
                 // Tear the task down and build a fresh one in its slot:
                 // mass unmap, frame recycling, new mappings.
                 let old = self.tasks[task as usize];
-                self.k.terminate_task(old).expect("terminate");
+                self.k.terminate_task(CpuId::BOOT, old).expect("terminate");
                 let t = self.k.create_task();
                 let a = self.k.vm_allocate(t, 4).expect("arena");
                 self.tasks[task as usize] = t;
