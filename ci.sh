@@ -48,7 +48,7 @@ echo "=== metrics smoke (sweep --metrics / --check-metrics) ==="
 metrics_json="$(mktemp)"; scratch_json="$(mktemp)"
 cargo run --release -p vic-bench --bin sweep --offline -q -- \
     --quick --threads 2 --json "$scratch_json" --metrics "$metrics_json" >/dev/null
-grep -q '"engine_version":2' "$metrics_json" || { echo "metrics doc missing version"; exit 1; }
+grep -q '"engine_version":3' "$metrics_json" || { echo "metrics doc missing version"; exit 1; }
 grep -q '"runs_completed":23' "$metrics_json" || { echo "metrics doc missing fleet totals"; exit 1; }
 cargo run --release -p vic-bench --bin sweep --offline -q -- \
     --check-metrics "$metrics_json" >/dev/null
@@ -70,9 +70,9 @@ if cargo run --release -p vic-bench --bin run --offline -q -- \
     echo "chaos run unexpectedly clean"; exit 1
 fi
 test -s "$flight_json" || { echo "flight recorder wrote no dump"; exit 1; }
-grep -q '"engine_version":2' "$flight_json" || { echo "flight dump missing version"; exit 1; }
+grep -q '"engine_version":3' "$flight_json" || { echo "flight dump missing version"; exit 1; }
 grep -q '"divergence_count":' "$flight_json" || { echo "flight dump missing divergences"; exit 1; }
-grep -q '"snapshot":{"engine_version":2' "$flight_json" || { echo "flight dump missing snapshot"; exit 1; }
+grep -q '"snapshot":{"engine_version":3' "$flight_json" || { echo "flight dump missing snapshot"; exit 1; }
 rm -f "$flight_json"
 
 echo "=== bulk-vs-word smoke (--no-fast-paths) ==="
@@ -102,17 +102,37 @@ cargo run --release -p vic-bench --bin run --offline -q -- \
     fork-bench F --quick --json "$full_json" >/dev/null
 cargo run --release -p vic-bench --bin run --offline -q -- \
     fork-bench F --quick --checkpoint-at 20000 --checkpoint "$cp_json" >/dev/null
-grep -q '"engine_version":2' "$cp_json" || { echo "checkpoint missing version"; exit 1; }
+grep -q '"engine_version":3' "$cp_json" || { echo "checkpoint missing version"; exit 1; }
 cargo run --release -p vic-bench --bin run --offline -q -- \
     --restore "$cp_json" --json "$resumed_json" >/dev/null
 strip_wall() { sed 's/"wall_seconds":[0-9.e+-]*//' "$1"; }
 [ "$(strip_wall "$full_json")" = "$(strip_wall "$resumed_json")" ] \
     || { echo "restored run diverged from the uninterrupted run"; exit 1; }
 rm -f "$cp_json" "$full_json" "$resumed_json"
-grep -q '^{"engine_version":2,"spec":' BENCH_checkpoint.json \
+grep -q '^{"engine_version":3,"spec":' BENCH_checkpoint.json \
     || { echo "checkpoint fixture schema drifted"; exit 1; }
 cargo run --release -p vic-bench --bin run --offline -q -- \
     --restore BENCH_checkpoint.json >/dev/null
+
+echo "=== sampling smoke (--calibrate / --check BENCH_sample.json) ==="
+# Interval-sampled measurement: a fresh calibration must reproduce the
+# full-run metrics within the 5% bound (the calibrate mode exits 1 if
+# any cell exceeds it), and the committed fixture must still validate —
+# the checker recomputes every per-metric relative error from the raw
+# estimate/actual pairs, so a stale or hand-edited document fails. The
+# committed speedups must hold the >= 5x claim; the fresh run's speedup
+# is not gated (CI machines vary). After an intentional engine change,
+# regenerate with: cargo run --release -p vic-bench --bin sample -- --calibrate
+sample_json="$(mktemp)"
+cargo run --release -p vic-bench --bin sample --offline -q -- \
+    --calibrate --json "$sample_json" >/dev/null
+rm -f "$sample_json"
+cargo run --release -p vic-bench --bin sample --offline -q -- \
+    --check BENCH_sample.json >/dev/null
+grep -q '^{"engine_version":3,"bound_pct":5,' BENCH_sample.json \
+    || { echo "sample fixture schema drifted"; exit 1; }
+awk 'BEGIN{RS=","} /"speedup":/ {split($0,a,":"); if (a[2]+0 < 5) exit 1}' BENCH_sample.json \
+    || { echo "committed sampling speedup fell below 5x"; exit 1; }
 
 echo "=== profile baseline check (BENCH_baseline.json) ==="
 # Re-runs the quick Table-4 + Table-5 grids under the cycle-cost

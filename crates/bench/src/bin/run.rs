@@ -39,9 +39,10 @@ const FLIGHT_RING_CAPACITY: usize = 256;
 fn usage() -> String {
     format!(
         "usage: run <workload> <system> [--quick] [--colored] [--write-through] [--fast-purge]\n\
-         \x20                               [--no-fast-paths] [--trace <file>] [--trace-summary]\n\
-         \x20                               [--json <file>] [--inspect <file>] [--sample-every <n>]\n\
-         \x20                               [--flight <file>]\n\
+         \x20                               [--repeat <n>] [--no-fast-paths] [--trace <file>]\n\
+         \x20                               [--trace-summary] [--json <file>] [--inspect <file>]\n\
+         \x20                               [--sample-every <n>] [--flight <file>]\n\
+         \x20                               [--stop-at <cycle>]\n\
          \x20                               [--checkpoint-at <cycle> --checkpoint <file>]\n\
          \x20      run --restore <file> [observer flags] [--checkpoint-at <cycle> --checkpoint <file>]\n\
          \n\
@@ -50,6 +51,9 @@ fn usage() -> String {
          \n\
          --no-fast-paths  disable the host-side fast paths (bulk runs, occupancy index,\n\
          \x20                translation micro-cache); simulated results must not change\n\
+         --repeat <n>     run the workload n times back-to-back on one warm kernel\n\
+         --stop-at <cycle> stop once the cycle counter reaches <cycle> and report the\n\
+         \x20                partial-run statistics (no checkpoint file)\n\
          --trace <file>   write every machine/OS/algorithm event as JSON lines\n\
          --trace-summary  print per-event-class cost histograms and the consistency audit\n\
          --json <file>    write the run's spec + full statistics as one JSON object\n\
@@ -87,6 +91,7 @@ fn main() {
         sample_every,
         flight,
         checkpoint,
+        stop_at,
     } = match cli::parse_run(&args) {
         Ok(cli) => cli,
         Err(e) => {
@@ -195,10 +200,10 @@ fn main() {
     // checkpoint cycle. The stop check is a step boundary, so the paused
     // image contains exactly the work an uninterrupted run would have
     // done by that point.
-    let step = spec.workload.build_step(spec.quick);
-    let stop_at = checkpoint.as_ref().map(|(at, _)| *at);
+    let step = spec.build_step_workload();
+    let pause_at = checkpoint.as_ref().map(|(at, _)| *at).or(stop_at);
     let t0 = std::time::Instant::now();
-    let outcome = drive(&mut k, CpuId::BOOT, step.as_ref(), &mut cur, stop_at);
+    let outcome = drive(&mut k, CpuId::BOOT, step.as_ref(), &mut cur, pause_at);
     let wall = t0.elapsed();
     k.machine_mut().tracer_mut().finish();
     let snapshot = k.inspect();
@@ -241,30 +246,46 @@ fn main() {
             std::process::exit(1);
         }
         Ok(DriveOutcome::Paused) => {
-            let (at, file) = checkpoint
-                .as_ref()
-                .expect("drive pauses only at a requested checkpoint cycle");
-            let mut w = WordWriter::new();
-            k.save_state(&mut w);
-            let state = w.into_words();
-            let mut w = WordWriter::new();
-            cur.save_state(&mut w);
-            let cp = SystemCheckpoint {
-                spec,
-                fast_paths,
-                cycle: k.machine().cycles(),
-                state,
-                cursor: w.into_words(),
-            };
-            write_or_die("run", file, &(cp.to_json() + "\n"));
+            if let Some((at, file)) = checkpoint.as_ref() {
+                let mut w = WordWriter::new();
+                k.save_state(&mut w);
+                let state = w.into_words();
+                let mut w = WordWriter::new();
+                cur.save_state(&mut w);
+                let cp = SystemCheckpoint {
+                    spec,
+                    fast_paths,
+                    cycle: k.machine().cycles(),
+                    state,
+                    cursor: w.into_words(),
+                };
+                write_or_die("run", file, &(cp.to_json() + "\n"));
+                println!(
+                    "checkpoint: paused at cycle {} (requested {at}); system image written to \
+                     {file}",
+                    k.machine().cycles()
+                );
+                println!("            resume with: run --restore {file}");
+                return;
+            }
+            // --stop-at: report the partial run below, clearly marked.
+            let at = stop_at.expect("drive pauses only at a requested stop cycle");
             println!(
-                "checkpoint: paused at cycle {} (requested {at}); system image written to {file}",
+                "stopped:   at cycle {} (requested --stop-at {at}); statistics below cover \
+                 the partial run",
                 k.machine().cycles()
             );
-            println!("            resume with: run --restore {file}");
-            return;
+            println!();
         }
-        Ok(DriveOutcome::Completed) => {}
+        Ok(DriveOutcome::Completed) => {
+            if let Some(at) = stop_at {
+                println!(
+                    "note:      run completed at cycle {} before reaching --stop-at {at}",
+                    k.machine().cycles()
+                );
+                println!();
+            }
+        }
     }
     if let Some((at, file)) = &checkpoint {
         println!(

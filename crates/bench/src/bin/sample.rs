@@ -1,0 +1,329 @@
+//! Interval-sampled measurement: estimate a long (repeated) run from a
+//! short paced prefix plus checkpoint-forked interval measurements, and
+//! fork the paused system to compare consistency managers in place.
+//!
+//! ```sh
+//! cargo run --release -p vic-bench --bin sample -- fork-bench F --quick --repeat 16
+//! cargo run --release -p vic-bench --bin sample -- afs-bench F --quick --repeat 16 --json est.json
+//! cargo run --release -p vic-bench --bin sample -- fork-bench F --quick --inspect occ.csv
+//! cargo run --release -p vic-bench --bin sample -- fork-bench F --quick --whatif A
+//! cargo run --release -p vic-bench --bin sample -- --calibrate
+//! cargo run --release -p vic-bench --bin sample -- --check BENCH_sample.json
+//! ```
+//!
+//! `--calibrate` runs a fixed grid both ways — sampled and in full — and
+//! writes `BENCH_sample.json` recording every metric's estimate, actual,
+//! relative error and the measured host speedup. `--check` re-derives the
+//! errors from the committed raw numbers and re-asserts the bound, so CI
+//! catches both engine drift (the version stamp) and a stale or
+//! hand-edited fixture.
+
+use std::time::Instant;
+
+use vic_bench::cli::{self, SampleCli, SYSTEM_NAMES, WORKLOAD_NAMES};
+use vic_bench::output;
+use vic_bench::SystemSpec;
+use vic_metrics::SeriesFormat;
+use vic_os::SystemKind;
+use vic_sample::{
+    metric_index, metrics_of, rel_err_pct, what_if, SampleDoc, SamplePlan, SampleReport, Sampler,
+    BOUNDED_METRICS,
+};
+use vic_workloads::WorkloadKind;
+
+/// The calibration grid: quick-mode cells covering a file-heavy and a
+/// VM-heavy workload. Small on purpose — calibration runs each cell both
+/// ways, and CI re-runs one cell live.
+const CALIBRATION_GRID: [(WorkloadKind, &str); 2] =
+    [(WorkloadKind::Fork, "f"), (WorkloadKind::Afs, "f")];
+
+/// The calibration plan: 256 repetitions estimated from 6 paced ones —
+/// enough to verify a steady cycle of up to 2 reps over two full
+/// periods — with the steady rep's 6 intervals all measured from their
+/// checkpoints (full in-rep coverage, so estimate error comes only from
+/// residual non-periodicity past the paced prefix). Roughly 7 of 256
+/// reps are simulated; the measured host speedup lands well above the
+/// 5x the CI smoke asserts.
+fn calibration_plan() -> SamplePlan {
+    SamplePlan {
+        repeat: 256,
+        paced_reps: 6,
+        intervals: 6,
+        warmup: 0,
+        period: 1,
+    }
+}
+
+fn usage() -> String {
+    format!(
+        "usage: sample <workload> <system> [--quick] [--colored] [--write-through] [--fast-purge]\n\
+         \x20                                 [--repeat <n>] [--paced <n>] [--intervals <n>]\n\
+         \x20                                 [--warmup <n>] [--period <n>] [--json <file>]\n\
+         \x20                                 [--inspect <file>]\n\
+         \x20      sample <workload> <system> --whatif <system> [spec/plan flags]\n\
+         \x20      sample --calibrate [--json <file>] [--bound <pct>]\n\
+         \x20      sample --check <file>\n\
+         \n\
+         workloads: {WORKLOAD_NAMES}\n\
+         systems:   {SYSTEM_NAMES}\n\
+         \n\
+         --repeat <n>    total repetitions the estimate targets (default {repeat})\n\
+         --paced <n>     repetitions simulated exactly (default 2; the last is the steady rep)\n\
+         --intervals <n> checkpoint intervals in the steady rep (default 6)\n\
+         --warmup <n>    frozen warm-up intervals before each measured one (default 1)\n\
+         --period <n>    measure every n-th interval (default 2; 1 = exact coverage)\n\
+         --json <file>   write the estimate (or calibration) document\n\
+         --inspect <file> write one occupancy snapshot per measured interval (by extension)\n\
+         --whatif <sys>  fork the paused steady rep and diff this system against <sys>\n\
+         --calibrate     run the fixed grid sampled AND in full; record per-metric errors\n\
+         --bound <pct>   error bound every calibration cell must satisfy (default {bound})\n\
+         --check <file>  validate a calibration document (recomputes every error)",
+        repeat = cli::DEFAULT_SAMPLE_REPEAT,
+        bound = cli::DEFAULT_TOLERANCE_PCT,
+    )
+}
+
+fn die(msg: &str, code: i32) -> ! {
+    eprintln!("sample: {msg}");
+    std::process::exit(code);
+}
+
+fn write_or_die(path: &str, contents: &str) {
+    if let Err(e) = cli::write_file(path, contents) {
+        die(&e.to_string(), 2);
+    }
+}
+
+fn build_sampler(spec: &SystemSpec, plan: SamplePlan) -> Sampler {
+    match Sampler::new(
+        spec.kernel_config(),
+        spec.workload.build_step(spec.quick),
+        plan,
+    ) {
+        Ok(s) => s,
+        Err(e) => die(&e, 2),
+    }
+}
+
+/// The headline metrics of the human-readable report.
+const HEADLINE: [&str; 7] = [
+    "cycles",
+    "d_misses",
+    "i_misses",
+    "writebacks",
+    "flush_writebacks",
+    "mgr_flushes",
+    "mgr_purges",
+];
+
+fn print_report(report: &SampleReport) {
+    let p = &report.plan;
+    println!("workload:  {} @ {}", report.workload, report.system);
+    println!(
+        "plan:      {} reps estimated from {} paced; {} intervals, warm-up {}, period {}",
+        p.repeat, p.paced_reps, p.intervals, p.warmup, p.period
+    );
+    println!(
+        "steady:    cycles {}..{} cut into {} intervals of ~{} cycles; {} measured",
+        report.steady_start,
+        report.steady_end,
+        report.num_intervals,
+        report.interval_len,
+        report.intervals.len()
+    );
+    println!(
+        "coverage:  {:.1}% of the steady rep measured{}",
+        100.0 * report.estimate.coverage(),
+        if report.estimate.exact {
+            " (exact: estimate equals the full run)"
+        } else {
+            ""
+        }
+    );
+    println!();
+    println!("  {:<18} {:>16}", "metric", "estimate");
+    for name in HEADLINE {
+        let i = metric_index(name).expect("headline metrics are known");
+        println!("  {:<18} {:>16}", name, report.estimate.metrics[i]);
+    }
+}
+
+fn run_measure(spec: &SystemSpec, plan: SamplePlan, json: Option<&str>, inspect: Option<&str>) {
+    let sampler = build_sampler(spec, plan);
+    let report = match sampler.run() {
+        Ok(r) => r,
+        Err(e) => die(&e, 1),
+    };
+    print_report(&report);
+    if let Some(path) = inspect {
+        let series = report.series();
+        let format = SeriesFormat::from_path(path);
+        write_or_die(path, &series.render(format));
+        println!();
+        println!(
+            "inspect:   {} interval snapshots written to {path}",
+            series.samples.len()
+        );
+    }
+    if let Some(path) = json {
+        write_or_die(path, &(output::sample_measure_json(spec, &report) + "\n"));
+        println!();
+        println!("json:      written to {path}");
+    }
+}
+
+fn run_whatif(spec: &SystemSpec, plan: SamplePlan, alt: SystemKind) {
+    let sampler_check = Sampler::new(
+        spec.kernel_config(),
+        spec.workload.build_step(spec.quick),
+        plan,
+    );
+    if let Err(e) = sampler_check {
+        die(&e, 2);
+    }
+    let w = match what_if(
+        spec.kernel_config(),
+        spec.workload.build_step(spec.quick),
+        plan,
+        alt,
+    ) {
+        Ok(w) => w,
+        Err(e) => die(&e, 1),
+    };
+    println!(
+        "what-if:   {} steady rep forked at cycle {}",
+        spec.workload, w.steady_start
+    );
+    println!(
+        "base:      {:<10} {:>12} cycles, {} flushes, {} purges",
+        w.base.system,
+        w.base.cycles,
+        w.base.mgr.total_flushes(),
+        w.base.mgr.total_purges()
+    );
+    println!(
+        "alt:       {:<10} {:>12} cycles, {} flushes, {} purges",
+        w.alt.system,
+        w.alt.cycles,
+        w.alt.mgr.total_flushes(),
+        w.alt.mgr.total_purges()
+    );
+    println!(
+        "delta:     {:+.2}% cycles under {}",
+        w.cycle_delta_pct(),
+        w.alt.system
+    );
+    println!();
+    println!("largest cost movements (alt - base):");
+    let rows = w.diff.runs.first().map(|r| &r.rows[..]).unwrap_or(&[]);
+    for d in rows.iter().take(8) {
+        println!(
+            "  {:<40} {:>12} -> {:>12}  ({:+})",
+            d.path,
+            d.base_cycles,
+            d.new_cycles,
+            d.delta()
+        );
+    }
+    if rows.is_empty() {
+        println!("  (no path-level differences)");
+    }
+}
+
+fn run_calibrate(json: &str, bound_pct: f64) {
+    let plan = calibration_plan();
+    let mut cells = Vec::new();
+    for (workload, system) in CALIBRATION_GRID {
+        let system = cli::parse_system(system).expect("grid systems are valid");
+        let mut spec = SystemSpec::quick(workload, system);
+        spec.repeat = plan.repeat;
+        let sampler = build_sampler(&spec, plan);
+
+        let t0 = Instant::now();
+        let report = match sampler.run() {
+            Ok(r) => r,
+            Err(e) => die(&e, 1),
+        };
+        let sampled_wall = t0.elapsed();
+        let t1 = Instant::now();
+        let actual_stats = spec.run();
+        let full_wall = t1.elapsed();
+        let actual = metrics_of(&actual_stats);
+
+        let speedup = full_wall.as_secs_f64() / sampled_wall.as_secs_f64().max(1e-9);
+        let max_err = BOUNDED_METRICS
+            .iter()
+            .filter_map(|n| metric_index(n))
+            .map(|i| rel_err_pct(report.estimate.metrics[i], actual[i]))
+            .fold(0.0, f64::max);
+        println!(
+            "cell:      {} @ {}  max err {max_err:.3}% (bound {bound_pct}%), speedup {speedup:.1}x",
+            report.workload, report.system
+        );
+        if max_err > bound_pct {
+            die(
+                &format!(
+                    "{} @ {}: max relative error {max_err:.3}% exceeds the {bound_pct}% bound",
+                    report.workload, report.system
+                ),
+                1,
+            );
+        }
+        cells.push(output::sample_cell_json(&spec, &report, &actual, speedup));
+    }
+    let doc = output::sample_doc_json(bound_pct, &cells);
+    // Self-check before writing: the committed fixture must satisfy its
+    // own reader.
+    match SampleDoc::parse(&doc).and_then(|d| d.check().map(|()| d)) {
+        Ok(_) => {}
+        Err(e) => die(&format!("generated document fails its own check: {e}"), 1),
+    }
+    write_or_die(json, &(doc + "\n"));
+    println!(
+        "calibration: {} cells written to {json}",
+        CALIBRATION_GRID.len()
+    );
+}
+
+fn run_check(file: &str) {
+    let text = match cli::read_file(file) {
+        Ok(t) => t,
+        Err(e) => die(&e.to_string(), 2),
+    };
+    let doc = match SampleDoc::parse(&text) {
+        Ok(d) => d,
+        Err(e) => die(&format!("{file}: {e}"), 1),
+    };
+    if let Err(e) = doc.check() {
+        die(&format!("{file}: {e}"), 1);
+    }
+    let max = doc
+        .cells
+        .iter()
+        .map(|c| c.recomputed_max_err())
+        .fold(0.0, f64::max);
+    println!(
+        "check:     OK — {} cells, max bounded error {max:.3}% within the {}% bound",
+        doc.cells.len(),
+        doc.bound_pct
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::parse_sample(&args) {
+        Ok(SampleCli::Measure {
+            spec,
+            plan,
+            json,
+            inspect,
+        }) => run_measure(&spec, plan, json.as_deref(), inspect.as_deref()),
+        Ok(SampleCli::Calibrate { json, bound_pct }) => run_calibrate(&json, bound_pct),
+        Ok(SampleCli::Check { file }) => run_check(&file),
+        Ok(SampleCli::WhatIf { spec, plan, alt }) => run_whatif(&spec, plan, alt),
+        Err(e) => {
+            eprintln!("sample: {e}\n\n{}", usage());
+            std::process::exit(2);
+        }
+    }
+}

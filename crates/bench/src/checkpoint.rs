@@ -147,6 +147,10 @@ fn parse_spec(v: &JsonValue) -> Result<SystemSpec, String> {
             .and_then(JsonValue::as_bool)
             .ok_or_else(|| format!("spec: missing or non-boolean '{key}'"))
     };
+    let repeat = v
+        .get("repeat")
+        .and_then(JsonValue::as_u64)
+        .ok_or("spec: missing or non-integer 'repeat'")?;
     Ok(SystemSpec {
         workload: parse_workload(str_field("workload")?).map_err(|e| format!("spec: {e}"))?,
         system: parse_system(str_field("system")?).map_err(|e| format!("spec: {e}"))?,
@@ -154,6 +158,7 @@ fn parse_spec(v: &JsonValue) -> Result<SystemSpec, String> {
         colored_free_lists: bool_field("colored_free_lists")?,
         write_through: bool_field("write_through")?,
         fast_purge: bool_field("fast_purge")?,
+        repeat: u32::try_from(repeat).map_err(|_| "spec: 'repeat' out of range".to_string())?,
     })
 }
 

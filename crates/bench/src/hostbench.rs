@@ -307,6 +307,8 @@ fn parse_spec(v: &JsonValue) -> Result<SystemSpec, String> {
         colored_free_lists: bool_field(v, "colored_free_lists")?,
         write_through: bool_field(v, "write_through")?,
         fast_purge: bool_field(v, "fast_purge")?,
+        repeat: u32::try_from(u64_field(v, "repeat")?)
+            .map_err(|_| "field 'repeat' out of range".to_string())?,
     })
 }
 
@@ -500,12 +502,16 @@ mod tests {
             parse_host_doc(r#"{"engine_version":99,"entries":[]}"#).is_err(),
             "future version rejected"
         );
+        let v = vic_core::ENGINE_VERSION;
         assert_eq!(
-            parse_host_doc(r#"{"engine_version":2,"entries":[]}"#).unwrap(),
+            parse_host_doc(&format!(r#"{{"engine_version":{v},"entries":[]}}"#)).unwrap(),
             vec![],
             "no entries yet is a valid fresh file"
         );
-        let err = parse_host_doc(r#"{"engine_version":2,"entries":[{"label":"x"}]}"#).unwrap_err();
+        let err = parse_host_doc(&format!(
+            r#"{{"engine_version":{v},"entries":[{{"label":"x"}}]}}"#
+        ))
+        .unwrap_err();
         assert!(err.contains("entry 0"), "names the entry: {err}");
     }
 

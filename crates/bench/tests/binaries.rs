@@ -24,6 +24,11 @@ fn tmp_file(name: &str) -> PathBuf {
     p
 }
 
+/// `{"engine_version":N,` — the prefix every versioned document starts with.
+fn ver_prefix() -> String {
+    format!("{{\"engine_version\":{},", vic_core::ENGINE_VERSION)
+}
+
 #[test]
 fn run_trace_summary_prints_audit_without_a_trace_file() {
     // The satellite contract: `--trace-summary` alone (no `--trace
@@ -99,7 +104,10 @@ fn sweep_honors_threads_flag_and_writes_json() {
     let doc = std::fs::read_to_string(&json).expect("sweep wrote its JSON file");
     let _ = std::fs::remove_file(&json);
     assert!(
-        doc.starts_with("{\"engine_version\":2,\"threads\":3,"),
+        doc.starts_with(&format!(
+            "{{\"engine_version\":{},\"threads\":3,",
+            vic_core::ENGINE_VERSION
+        )),
         "JSON records the engine version and thread count"
     );
     assert_eq!(doc.matches("\"oracle_violations\":0").count(), 23);
@@ -291,12 +299,16 @@ fn run_flight_recorder_dumps_on_divergence() {
     assert!(text.contains("audit divergences"), "{text}");
     let doc = std::fs::read_to_string(&dump).expect("post-mortem written");
     let _ = std::fs::remove_file(&dump);
-    assert!(doc.starts_with("{\"engine_version\":2,"), "{doc}");
+    assert!(doc.starts_with(&ver_prefix()), "{doc}");
+    let snapshot_field = format!(
+        "\"snapshot\":{{\"engine_version\":{}",
+        vic_core::ENGINE_VERSION
+    );
     for field in [
         "\"reason\":",
         "\"divergence_count\":",
         "\"events\":[",
-        "\"snapshot\":{\"engine_version\":2",
+        snapshot_field.as_str(),
     ] {
         assert!(doc.contains(field), "missing {field}:\n{doc}");
     }
@@ -468,7 +480,7 @@ fn run_checkpoint_restore_round_trips_through_the_binaries() {
         "a paused run prints no report:\n{text}"
     );
     let doc = std::fs::read_to_string(&cp).expect("checkpoint written");
-    assert!(doc.starts_with("{\"engine_version\":2,"), "{doc}");
+    assert!(doc.starts_with(&ver_prefix()), "{doc}");
 
     // ...and resume: a restored run needs no workload/system arguments
     // and must finish byte-identical (modulo host wall-clock).
@@ -543,7 +555,10 @@ fn run_restore_rejects_bad_checkpoints_cleanly() {
     let mismatched = tmp_file("bad-cp-version.json");
     std::fs::write(
         &mismatched,
-        good.replace("\"engine_version\":2", "\"engine_version\":99"),
+        good.replace(
+            &format!("\"engine_version\":{}", vic_core::ENGINE_VERSION),
+            "\"engine_version\":99",
+        ),
     )
     .unwrap();
     let truncated = tmp_file("bad-cp-truncated.json");
@@ -603,7 +618,7 @@ fn sweep_metrics_exports_and_check_metrics_validates() {
         stdout_of(&out)
     );
     let doc = std::fs::read_to_string(&metrics).expect("metrics written");
-    assert!(doc.starts_with("{\"engine_version\":2,"), "{doc}");
+    assert!(doc.starts_with(&ver_prefix()), "{doc}");
     assert!(doc.contains("\"runs_completed\":23"), "{doc}");
     assert!(doc.contains("\"runs_failed\":0"), "{doc}");
 

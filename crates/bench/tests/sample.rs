@@ -1,0 +1,169 @@
+//! Sampling locks: the two properties that make interval-sampled
+//! measurement trustworthy.
+//!
+//! 1. **Warm-up determinism** — every measured interval (restored from a
+//!    checkpoint, warmed up with frozen statistics, then measured) must be
+//!    *identical* to the same cycle window carved out of an uninterrupted
+//!    run with stop-at drives: every counter delta and the full machine
+//!    occupancy snapshot at the window's end. Across consistency managers,
+//!    cache associativity 1/2/4, and host fast paths on/off — if any of
+//!    those leaked state through a checkpoint or a frozen warm-up, the
+//!    extrapolated estimates would be silently wrong.
+//! 2. **Conservation** — with sampling fraction 1.0 (every interval of
+//!    every rep measured) the extrapolated totals equal the full run's
+//!    [`RunStats`] exactly, counter for counter. The estimator introduces
+//!    error *only* through coverage, never through bookkeeping.
+
+use vic_bench::SystemSpec;
+use vic_core::policy::Configuration;
+use vic_core::types::CpuId;
+use vic_os::{Kernel, KernelConfig, SystemKind};
+use vic_sample::metric_index;
+use vic_sample::{metrics_of, rel_err_pct, SamplePlan, Sampler, BOUNDED_METRICS};
+use vic_workloads::{drive, runner, Cursor, DriveOutcome, Repeated, WorkloadKind};
+
+/// The spec's quick config re-shaped to `assoc` ways (capacity scales with
+/// the way count so the set count stays fixed) with fast paths toggled —
+/// the same geometry knob the checkpoint round-trip lock uses.
+fn config(spec: &SystemSpec, assoc: u64, fast_paths: bool) -> KernelConfig {
+    let mut cfg = spec.kernel_config();
+    cfg.machine.dcache_assoc = assoc;
+    cfg.machine.icache_assoc = assoc;
+    cfg.machine.dcache_bytes *= assoc;
+    cfg.machine.icache_bytes *= assoc;
+    cfg.machine.fast_paths = fast_paths;
+    cfg
+}
+
+/// Run the sampler for one grid point, then re-derive each measured
+/// interval by driving an uninterrupted kernel to the window's edges.
+fn assert_intervals_match_carved_windows(spec: &SystemSpec, assoc: u64, fast_paths: bool) {
+    let plan = SamplePlan::new(spec.repeat);
+    let s = Sampler::new(
+        config(spec, assoc, fast_paths),
+        spec.workload.build_step(spec.quick),
+        plan,
+    )
+    .expect("plan is valid");
+    let report = s.run().expect("sampled run");
+    assert!(!report.intervals.is_empty(), "plan measures something");
+
+    let label = format!(
+        "{} / {} assoc={assoc} fast={fast_paths}",
+        report.workload, report.system
+    );
+    for m in &report.intervals {
+        // Carve the same window from a run that never saw a checkpoint:
+        // drive to the window start, zero the counters, drive to the end.
+        let mut k = Kernel::new(config(spec, assoc, fast_paths));
+        let w = Repeated::new(spec.workload.build_step(spec.quick), u64::from(spec.repeat));
+        let mut cur = Cursor::new();
+        let out =
+            drive(&mut k, CpuId::BOOT, &w, &mut cur, Some(m.start_cycle)).expect("carved prefix");
+        assert_eq!(out, DriveOutcome::Paused, "window starts mid-run: {label}");
+        k.reset_stat_counters();
+        drive(&mut k, CpuId::BOOT, &w, &mut cur, Some(m.end_cycle)).expect("carved window");
+        assert_eq!(
+            k.machine().cycles(),
+            m.end_cycle,
+            "carved window ends exactly at the boundary: {label} interval {}",
+            m.index
+        );
+        let mut carved = runner::collect(&k, "carved");
+        carved.cycles = m.end_cycle - m.start_cycle;
+        assert_eq!(
+            metrics_of(&carved),
+            m.delta,
+            "interval {} delta diverged from the carved window: {label}",
+            m.index
+        );
+        assert_eq!(
+            k.machine().inspect(),
+            m.snapshot,
+            "interval {} end-of-window occupancy diverged: {label}",
+            m.index
+        );
+    }
+}
+
+#[test]
+fn measured_intervals_match_carved_windows_across_the_grid() {
+    let systems = [
+        SystemKind::Cmu(Configuration::F),
+        SystemKind::Cmu(Configuration::A),
+        SystemKind::Utah,
+    ];
+    for system in systems {
+        for assoc in [1u64, 2, 4] {
+            for fast_paths in [false, true] {
+                let mut spec = SystemSpec::quick(WorkloadKind::Fork, system);
+                spec.repeat = 3;
+                assert_intervals_match_carved_windows(&spec, assoc, fast_paths);
+            }
+        }
+    }
+}
+
+#[test]
+fn exhaustive_sampling_conserves_the_full_run_exactly() {
+    for workload in [WorkloadKind::Fork, WorkloadKind::Afs] {
+        let mut spec = SystemSpec::quick(workload, SystemKind::Cmu(Configuration::F));
+        spec.repeat = 2;
+        let plan = SamplePlan::exhaustive(spec.repeat, 5);
+        let s = Sampler::new(
+            spec.kernel_config(),
+            spec.workload.build_step(spec.quick),
+            plan,
+        )
+        .expect("plan is valid");
+        let report = s.run().expect("sampled run");
+        assert!(report.estimate.exact, "full coverage must be exact");
+        let actual = metrics_of(&spec.run());
+        assert_eq!(
+            report.estimate.metrics, actual,
+            "{workload}: exhaustive extrapolation must conserve every counter"
+        );
+    }
+}
+
+/// The acceptance property on a 16x-scaled run: the calibration-shaped
+/// plan (6 paced reps, full steady-rep interval coverage — the same
+/// shape `sample --calibrate` commits to BENCH_sample.json) reproduces
+/// the full run's bounded metrics within the 5% calibration bound.
+/// fork-bench is the hard case: its steady state is a period-2 cycle,
+/// so this only passes because the extrapolator detects the cycle.
+#[test]
+fn calibration_plan_stays_within_the_bound_at_16x() {
+    let mut spec = SystemSpec::quick(WorkloadKind::Fork, SystemKind::Cmu(Configuration::F));
+    spec.repeat = 16;
+    let plan = SamplePlan {
+        repeat: spec.repeat,
+        paced_reps: 6,
+        intervals: 6,
+        warmup: 0,
+        period: 1,
+    };
+    let s = Sampler::new(
+        spec.kernel_config(),
+        spec.workload.build_step(spec.quick),
+        plan,
+    )
+    .expect("plan is valid");
+    let report = s.run().expect("sampled run");
+    assert_eq!(
+        (report.estimate.steady_offset, report.estimate.steady_period),
+        (2, 2),
+        "fork-bench settles into a period-2 steady cycle after rep 1"
+    );
+    let actual = metrics_of(&spec.run());
+    for name in BOUNDED_METRICS {
+        let i = metric_index(name).expect("bounded metrics are known");
+        let err = rel_err_pct(report.estimate.metrics[i], actual[i]);
+        assert!(
+            err <= 5.0,
+            "{name}: estimate {} vs actual {} — {err:.3}% exceeds the bound",
+            report.estimate.metrics[i],
+            actual[i]
+        );
+    }
+}

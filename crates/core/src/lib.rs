@@ -80,7 +80,7 @@ pub mod types;
 /// checkpoint). One constant for the whole engine: any change to simulated
 /// behaviour or to a serialized schema bumps it, and a checkpoint or cached
 /// result from another version is rejected rather than reinterpreted.
-pub const ENGINE_VERSION: u64 = 2;
+pub const ENGINE_VERSION: u64 = 3;
 
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use manager::{AccessHints, ConsistencyManager, DmaDir, MgrStats};

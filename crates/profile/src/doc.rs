@@ -138,7 +138,7 @@ mod tests {
 
     fn sample() -> String {
         r#"{
-          "engine_version": 2,
+          "engine_version": VERSION,
           "runs": [
             {
               "spec": {"workload": "fork-bench", "system": "F"},
@@ -151,7 +151,7 @@ mod tests {
             }
           ]
         }"#
-        .to_string()
+        .replace("VERSION", &ENGINE_VERSION.to_string())
     }
 
     #[test]
@@ -174,9 +174,11 @@ mod tests {
         assert!(ProfileDoc::parse(r#"{"engine_version": 99, "runs": []}"#)
             .unwrap_err()
             .contains("unsupported"));
-        assert!(ProfileDoc::parse(r#"{"engine_version": 2}"#)
-            .unwrap_err()
-            .contains("runs"));
+        assert!(
+            ProfileDoc::parse(&format!("{{\"engine_version\": {ENGINE_VERSION}}}"))
+                .unwrap_err()
+                .contains("runs")
+        );
         // Total that disagrees with its rows.
         let bad = sample().replace("\"total_cycles\": 360", "\"total_cycles\": 999");
         assert!(ProfileDoc::parse(&bad).unwrap_err().contains("sum"));
@@ -184,7 +186,10 @@ mod tests {
 
     #[test]
     fn empty_runs_ok() {
-        let doc = ProfileDoc::parse(r#"{"engine_version": 2, "runs": []}"#).unwrap();
+        let doc = ProfileDoc::parse(&format!(
+            "{{\"engine_version\": {ENGINE_VERSION}, \"runs\": []}}"
+        ))
+        .unwrap();
         assert!(doc.runs.is_empty());
     }
 }

@@ -1,0 +1,505 @@
+//! The sampling driver: pacer, checkpoint forks, what-if comparison.
+//!
+//! [`Sampler`] owns a kernel configuration, a (repeated) step workload and
+//! a [`SamplePlan`]. One [`Sampler::run`] executes the *pacer* — the first
+//! `paced_reps` repetitions simulated exactly, with in-memory checkpoints
+//! at interval boundaries of the last (steady) rep — then forks the paused
+//! system at every selected interval: frozen warm-up, counter reset, one
+//! measured interval. The checkpoints are plain
+//! [`vic_core::serial`] word streams, so a fork is `Kernel::new` +
+//! `restore_state` + a cloned [`Cursor`] — no host process forking.
+
+use vic_core::serial::{WordReader, WordWriter};
+use vic_core::types::CpuId;
+use vic_metrics::{MachineSnapshot, TimeSeries};
+use vic_os::{Kernel, KernelConfig, SystemKind};
+use vic_profile::{CostTree, DocDiff, ProfileDoc, ProfileRun, Profiler};
+use vic_workloads::{collect, drive, Cursor, Repeated, RunStats, StepWorkload};
+
+use crate::extrapolate::{extrapolate, metrics_of, metrics_sub, Extrapolation, METRICS};
+use crate::plan::SamplePlan;
+
+/// One in-memory checkpoint: the serialized kernel plus the cursor, both
+/// captured at a step boundary.
+struct Ckpt {
+    /// Machine cycle count at capture (a step boundary at or just past
+    /// the nominal interval boundary).
+    cycle: u64,
+    /// `Kernel::save_state` word stream.
+    state: Vec<u64>,
+    /// Workload progress at the same boundary.
+    cursor: Cursor,
+}
+
+/// What the pacer hands back: exact per-rep totals plus the steady rep
+/// carved into checkpointed intervals.
+struct PacedRun {
+    /// Exact metric totals for reps `0..paced_reps` ([`METRICS`] order).
+    rep_totals: Vec<Vec<u64>>,
+    /// Checkpoints at interval boundaries `b_0 < b_1 < ...` of the steady
+    /// rep (`b_0` is the rep's first cycle).
+    ckpts: Vec<Ckpt>,
+    /// Cycle count when the steady rep ended.
+    steady_end: u64,
+    /// Nominal interval length in cycles.
+    interval_len: u64,
+    /// The consistency system's display label.
+    system: String,
+}
+
+/// One measured interval of the steady rep.
+#[derive(Debug, Clone)]
+pub struct IntervalMeasure {
+    /// Interval index within the steady rep.
+    pub index: usize,
+    /// First cycle of the measurement window.
+    pub start_cycle: u64,
+    /// Cycle count when the window closed.
+    pub end_cycle: u64,
+    /// Per-interval statistics (all counters are window deltas; `cycles`
+    /// is the window length).
+    pub stats: RunStats,
+    /// Cycle attribution for the window.
+    pub tree: CostTree,
+    /// The window's [`METRICS`]-aligned counter vector.
+    pub delta: Vec<u64>,
+    /// Hardware occupancy at the window's close.
+    pub snapshot: MachineSnapshot,
+}
+
+/// The result of one sampling run.
+#[derive(Debug, Clone)]
+pub struct SampleReport {
+    /// The plan that produced this report.
+    pub plan: SamplePlan,
+    /// Workload name.
+    pub workload: String,
+    /// Consistency system label.
+    pub system: String,
+    /// Exact per-rep totals from the pacer ([`METRICS`] order).
+    pub rep_totals: Vec<Vec<u64>>,
+    /// The measured intervals, in steady-rep order.
+    pub intervals: Vec<IntervalMeasure>,
+    /// Total interval count in the steady rep (measured plus skipped).
+    pub num_intervals: usize,
+    /// First cycle of the steady rep.
+    pub steady_start: u64,
+    /// Cycle count when the steady rep ended.
+    pub steady_end: u64,
+    /// Nominal interval length in cycles.
+    pub interval_len: u64,
+    /// The full-run estimate.
+    pub estimate: Extrapolation,
+}
+
+impl SampleReport {
+    /// The measured intervals as a metrics time series: one hardware
+    /// snapshot per measured interval, in cycle order — the same rows
+    /// `run --sample-every` emits for a full run.
+    pub fn series(&self) -> TimeSeries {
+        TimeSeries {
+            label: format!("{} @ {} (sampled)", self.workload, self.system),
+            every: self.interval_len,
+            samples: self.intervals.iter().map(|m| m.snapshot.clone()).collect(),
+        }
+    }
+}
+
+/// Interval-sampled measurement of one workload under one configuration.
+pub struct Sampler {
+    cfg: KernelConfig,
+    workload: Repeated,
+    plan: SamplePlan,
+}
+
+impl Sampler {
+    /// Build a sampler. `inner` is the *unrepeated* driver; the sampler
+    /// wraps it to `plan.repeat` repetitions itself.
+    ///
+    /// # Errors
+    ///
+    /// An invalid plan (see [`SamplePlan::validate`]).
+    pub fn new(
+        cfg: KernelConfig,
+        inner: Box<dyn StepWorkload>,
+        plan: SamplePlan,
+    ) -> Result<Self, String> {
+        plan.validate()?;
+        Ok(Sampler {
+            cfg,
+            workload: Repeated::new(inner, u64::from(plan.repeat)),
+            plan,
+        })
+    }
+
+    /// The wrapped workload's name.
+    pub fn workload_name(&self) -> &'static str {
+        StepWorkload::name(&self.workload)
+    }
+
+    /// Run the pacer and measure the selected intervals.
+    ///
+    /// # Errors
+    ///
+    /// Kernel errors from the workload (driver bugs) and checkpoint
+    /// restore failures, rendered as messages.
+    pub fn run(&self) -> Result<SampleReport, String> {
+        let paced = self.pace()?;
+        let n = paced.ckpts.len();
+        let mut intervals = Vec::new();
+        for i in (0..n).step_by(self.plan.period as usize) {
+            let warm_idx = i.saturating_sub(self.plan.warmup as usize);
+            let end = if i + 1 < n {
+                paced.ckpts[i + 1].cycle
+            } else {
+                paced.steady_end
+            };
+            intervals.push(self.measure_interval(
+                &paced.ckpts[warm_idx],
+                paced.ckpts[i].cycle,
+                end,
+                i,
+            )?);
+        }
+        let deltas: Vec<Vec<u64>> = intervals.iter().map(|m| m.delta.clone()).collect();
+        let estimate = extrapolate(&self.plan, &paced.rep_totals, &deltas);
+        Ok(SampleReport {
+            plan: self.plan,
+            workload: self.workload_name().to_string(),
+            system: paced.system,
+            rep_totals: paced.rep_totals,
+            intervals,
+            num_intervals: n,
+            steady_start: paced.ckpts[0].cycle,
+            steady_end: paced.steady_end,
+            interval_len: paced.interval_len,
+            estimate,
+        })
+    }
+
+    /// Simulate reps `0..paced_reps` exactly, checkpointing the steady rep
+    /// at interval boundaries. The boundary check runs *before* each step,
+    /// mirroring [`drive`], so every checkpoint sits at a step boundary a
+    /// stop-at drive of the same run would pause at.
+    fn pace(&self) -> Result<PacedRun, String> {
+        let steady_rep = u64::from(self.plan.paced_reps) - 1;
+        let name = self.workload_name();
+        let mut k = Kernel::new(self.cfg);
+        let system = k.system().label();
+        let mut cur = Cursor::new();
+
+        // Pre-steady reps: exact totals, diffed from cumulative snapshots.
+        // The baseline is the zero vector, so rep 0's total includes boot.
+        let mut rep_totals: Vec<Vec<u64>> = Vec::new();
+        let mut prev = vec![0u64; METRICS.len()];
+        let mut last_rep = 0u64;
+        while last_rep < steady_rep {
+            let more = self.step(&mut k, &mut cur)?;
+            if cur.rep != last_rep {
+                let cum = metrics_of(&collect(&k, name));
+                rep_totals.push(metrics_sub(&cum, &prev));
+                prev = cum;
+                last_rep = cur.rep;
+            } else if !more {
+                return Err(format!(
+                    "workload ended during rep {last_rep}, before the steady rep — repeat knob not honoured"
+                ));
+            }
+        }
+
+        // The steady rep. Size intervals from the previous rep's cycles —
+        // the steady rep's own length is unknown until it ends.
+        let steady_start = k.machine().cycles();
+        let prev_cycles = rep_totals[rep_totals.len() - 1][0];
+        let interval_len = (prev_cycles / u64::from(self.plan.intervals)).max(1);
+        let mut ckpts = vec![Self::checkpoint(&k, &cur)];
+        let mut next_b = steady_start + interval_len;
+        let steady_end;
+        loop {
+            let c = k.machine().cycles();
+            if c >= next_b {
+                ckpts.push(Self::checkpoint(&k, &cur));
+                next_b += interval_len;
+                // Coalesce: one long step may cross several boundaries.
+                while next_b <= c {
+                    next_b += interval_len;
+                }
+            }
+            let more = self.step(&mut k, &mut cur)?;
+            if cur.rep != steady_rep {
+                steady_end = k.machine().cycles();
+                let cum = metrics_of(&collect(&k, name));
+                rep_totals.push(metrics_sub(&cum, &prev));
+                break;
+            }
+            if !more {
+                return Err("workload ended inside the steady rep without a rep flip".to_string());
+            }
+        }
+
+        Ok(PacedRun {
+            rep_totals,
+            ckpts,
+            steady_end,
+            interval_len,
+            system,
+        })
+    }
+
+    /// Fork at `warm`'s checkpoint, warm up frozen to `begin`, then
+    /// measure the window `begin..end`.
+    fn measure_interval(
+        &self,
+        warm: &Ckpt,
+        begin: u64,
+        end: u64,
+        index: usize,
+    ) -> Result<IntervalMeasure, String> {
+        let mut k = self.fork(warm)?;
+        let mut cur = warm.cursor.clone();
+
+        // Warm-up window: state evolves, every counter stays frozen.
+        k.set_stats_frozen(true);
+        drive(&mut k, CpuId::BOOT, &self.workload, &mut cur, Some(begin))
+            .map_err(|e| format!("interval {index} warm-up: {e}"))?;
+        let start_cycle = k.machine().cycles();
+        k.set_stats_frozen(false);
+        k.reset_stat_counters();
+
+        // Measurement window.
+        drive(&mut k, CpuId::BOOT, &self.workload, &mut cur, Some(end))
+            .map_err(|e| format!("interval {index} measure: {e}"))?;
+        let end_cycle = k.machine().cycles();
+        let mut stats = collect(&k, self.workload_name());
+        stats.cycles = end_cycle - start_cycle;
+        let tree = k
+            .machine_mut()
+            .profiler_mut()
+            .take_tree()
+            .ok_or_else(|| format!("interval {index}: profiler returned no tree"))?;
+        let delta = metrics_of(&stats);
+        let snapshot = k.machine().inspect();
+        Ok(IntervalMeasure {
+            index,
+            start_cycle,
+            end_cycle,
+            stats,
+            tree,
+            delta,
+            snapshot,
+        })
+    }
+
+    /// Build a kernel from the sampler's config and restore a checkpoint
+    /// into it, profiler attached.
+    fn fork(&self, ck: &Ckpt) -> Result<Kernel, String> {
+        let mut k = Kernel::new(self.cfg);
+        k.restore_state(&mut WordReader::new(&ck.state))
+            .map_err(|e| format!("checkpoint restore at cycle {}: {e}", ck.cycle))?;
+        k.machine_mut().set_profiler(Profiler::enabled());
+        Ok(k)
+    }
+
+    fn step(&self, k: &mut Kernel, cur: &mut Cursor) -> Result<bool, String> {
+        self.workload
+            .step(k, CpuId::BOOT, cur)
+            .map_err(|e| format!("workload step failed: {e}"))
+    }
+
+    fn checkpoint(k: &Kernel, cur: &Cursor) -> Ckpt {
+        let mut w = WordWriter::new();
+        k.save_state(&mut w);
+        Ckpt {
+            cycle: k.machine().cycles(),
+            state: w.into_words(),
+            cursor: cur.clone(),
+        }
+    }
+
+    /// Fork at `ck`, swap the consistency system to `kind`, and run the
+    /// remainder of the steady rep (stopping at the rep flip, *not* at a
+    /// cycle count — different managers take different cycle counts over
+    /// the identical op stream).
+    fn fork_steady_rep(&self, ck: &Ckpt, kind: SystemKind) -> Result<(RunStats, CostTree), String> {
+        let mut k = self.fork(ck)?;
+        let mut cur = ck.cursor.clone();
+        let start_rep = cur.rep;
+        let start_cycle = k.machine().cycles();
+        k.swap_system(CpuId::BOOT, kind);
+        k.reset_stat_counters();
+        loop {
+            let more = self.step(&mut k, &mut cur)?;
+            if cur.rep != start_rep {
+                break;
+            }
+            if !more {
+                return Err("what-if fork ended without a rep flip".to_string());
+            }
+        }
+        let mut stats = collect(&k, self.workload_name());
+        stats.cycles = k.machine().cycles() - start_cycle;
+        let tree = k
+            .machine_mut()
+            .profiler_mut()
+            .take_tree()
+            .ok_or_else(|| "what-if fork: profiler returned no tree".to_string())?;
+        Ok((stats, tree))
+    }
+}
+
+/// A what-if comparison: the same paused system run forward under two
+/// consistency managers.
+#[derive(Debug, Clone)]
+pub struct WhatIf {
+    /// Steady-rep stats under the configured (base) system.
+    pub base: RunStats,
+    /// Base fork's cycle attribution.
+    pub base_tree: CostTree,
+    /// Steady-rep stats under the swapped (alternative) system.
+    pub alt: RunStats,
+    /// Alternative fork's cycle attribution.
+    pub alt_tree: CostTree,
+    /// Path-level diff, base versus alternative.
+    pub diff: DocDiff,
+    /// First cycle of the forked steady rep.
+    pub steady_start: u64,
+}
+
+impl WhatIf {
+    /// Alt-over-base relative cycle change for the steady rep, percent
+    /// (negative means the alternative is faster).
+    pub fn cycle_delta_pct(&self) -> f64 {
+        if self.base.cycles == 0 {
+            return 0.0;
+        }
+        let b = self.base.cycles as f64;
+        let a = self.alt.cycles as f64;
+        (a - b) / b * 100.0
+    }
+}
+
+fn tree_doc(label: &str, tree: &CostTree) -> ProfileDoc {
+    ProfileDoc {
+        runs: vec![ProfileRun {
+            label: label.to_string(),
+            total_cycles: tree.total_cycles(),
+            rows: tree.flatten(),
+        }],
+    }
+}
+
+/// Fork the paused system at the steady rep's start and run the rep to
+/// completion twice: once under `cfg.system`, once with the consistency
+/// manager swapped to `alt` ([`Kernel::swap_system`]). Both forks perform
+/// the swap (the base swaps to its own kind) so the one-off swap cost is
+/// symmetric, and both replay the identical remaining op stream.
+///
+/// # Errors
+///
+/// Plan validation, kernel errors from the workload, and checkpoint
+/// restore failures, rendered as messages.
+pub fn what_if(
+    cfg: KernelConfig,
+    inner: Box<dyn StepWorkload>,
+    plan: SamplePlan,
+    alt: SystemKind,
+) -> Result<WhatIf, String> {
+    let sampler = Sampler::new(cfg, inner, plan)?;
+    let paced = sampler.pace()?;
+    let ck = &paced.ckpts[0];
+    let (base, base_tree) = sampler.fork_steady_rep(ck, cfg.system)?;
+    let (alt_stats, alt_tree) = sampler.fork_steady_rep(ck, alt)?;
+    let diff = DocDiff::compare(
+        &tree_doc("steady-rep", &base_tree),
+        &tree_doc("steady-rep", &alt_tree),
+    );
+    Ok(WhatIf {
+        base,
+        base_tree,
+        alt: alt_stats,
+        alt_tree,
+        diff,
+        steady_start: ck.cycle,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extrapolate::rel_err_pct;
+    use vic_core::policy::Configuration;
+    use vic_workloads::{AliasLoop, DriveOutcome, Workload};
+
+    fn cfg() -> KernelConfig {
+        KernelConfig::small(SystemKind::Cmu(Configuration::F))
+    }
+
+    fn full_run(repeat: u32) -> RunStats {
+        let mut k = Kernel::new(cfg());
+        let w = Repeated::new(Box::new(AliasLoop::quick(true)), u64::from(repeat));
+        Workload::run(&w, &mut k).expect("full run");
+        collect(&k, Workload::name(&w))
+    }
+
+    #[test]
+    fn exhaustive_plan_conserves_every_counter() {
+        let plan = SamplePlan::exhaustive(2, 4);
+        let s = Sampler::new(cfg(), Box::new(AliasLoop::quick(true)), plan).unwrap();
+        let report = s.run().unwrap();
+        assert!(report.estimate.exact, "full coverage must be exact");
+        let actual = metrics_of(&full_run(2));
+        assert_eq!(report.estimate.metrics, actual);
+    }
+
+    #[test]
+    fn sampled_plan_estimates_within_a_loose_bound() {
+        let mut plan = SamplePlan::new(4);
+        plan.intervals = 4;
+        let s = Sampler::new(cfg(), Box::new(AliasLoop::quick(true)), plan).unwrap();
+        let report = s.run().unwrap();
+        assert!(report.intervals.len() < report.num_intervals * 2);
+        let actual = metrics_of(&full_run(4));
+        let idx = crate::extrapolate::metric_index("cycles").unwrap();
+        let err = rel_err_pct(report.estimate.metrics[idx], actual[idx]);
+        assert!(err < 25.0, "cycle estimate off by {err}%");
+    }
+
+    #[test]
+    fn measured_interval_matches_carved_window() {
+        // The determinism contract in miniature: a measured interval must
+        // equal the same window carved from an uninterrupted run with
+        // stop-at drives. (The bench suite locks this across managers and
+        // geometries.)
+        let plan = SamplePlan::new(2);
+        let s = Sampler::new(cfg(), Box::new(AliasLoop::quick(true)), plan).unwrap();
+        let report = s.run().unwrap();
+        let m = &report.intervals[0];
+
+        let mut k = Kernel::new(cfg());
+        let w = Repeated::new(Box::new(AliasLoop::quick(true)), 2);
+        let mut cur = Cursor::new();
+        let out = drive(&mut k, CpuId::BOOT, &w, &mut cur, Some(m.start_cycle)).unwrap();
+        assert_eq!(out, DriveOutcome::Paused);
+        k.reset_stat_counters();
+        drive(&mut k, CpuId::BOOT, &w, &mut cur, Some(m.end_cycle)).unwrap();
+        let mut carved = collect(&k, "alias-loop");
+        carved.cycles = k.machine().cycles() - m.start_cycle;
+        assert_eq!(metrics_of(&carved), m.delta);
+    }
+
+    #[test]
+    fn what_if_compares_managers_over_one_op_stream() {
+        let w = what_if(
+            cfg(),
+            Box::new(AliasLoop::quick(true)),
+            SamplePlan::new(2),
+            SystemKind::Cmu(Configuration::A),
+        )
+        .unwrap();
+        assert_eq!(w.base.system, w.base.system.clone());
+        assert_eq!(w.diff.runs.len(), 1);
+        // Configuration A floor-syncs on every context switch; the alias
+        // loop is strictly slower there than under F.
+        assert!(w.alt.cycles >= w.base.cycles);
+    }
+}

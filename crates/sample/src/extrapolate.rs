@@ -1,0 +1,437 @@
+//! Scaling interval measurements to full-run estimates.
+//!
+//! All extrapolated quantities are monotonic `u64` counters flattened
+//! from [`RunStats`] by [`metrics_of`]; deltas and sums stay in integer
+//! arithmetic (`u128` intermediates), and when the measured intervals
+//! tile the whole steady rep the estimate degenerates to an exact sum —
+//! no float ever touches the numbers on that path.
+
+use vic_workloads::RunStats;
+
+use crate::plan::SamplePlan;
+
+/// The flattened metric names, in [`metrics_of`] order. Every consumer
+/// (extrapolation, the calibration document, the CI smoke) indexes
+/// metrics through this list, so writer and reader cannot drift.
+pub const METRICS: &[&str] = &[
+    "cycles",
+    "loads",
+    "stores",
+    "ifetches",
+    "d_hits",
+    "d_misses",
+    "i_hits",
+    "i_misses",
+    "writebacks",
+    "uncached",
+    "tlb_misses",
+    "flush_writebacks",
+    "dma_writes",
+    "dma_reads",
+    "d_flush_pages",
+    "d_flush_cycles",
+    "d_purge_pages",
+    "d_purge_cycles",
+    "i_purge_pages",
+    "i_purge_cycles",
+    "mgr_flushes",
+    "mgr_purges",
+    "mapping_faults",
+    "consistency_faults",
+    "zero_fills",
+    "page_copies",
+    "ipc_transfers",
+    "cow_faults",
+    "cow_copies",
+    "d2i_copies",
+    "fs_reads",
+    "fs_writes",
+    "buf_misses",
+    "buf_writebacks",
+    "tasks_created",
+    "pages_allocated",
+    "pages_freed",
+    "page_outs",
+    "page_ins",
+];
+
+/// The metrics the calibration error bound is asserted over: the
+/// high-volume counters the paper's tables are built from. Low-count
+/// bookkeeping metrics (e.g. `tasks_created`) are still reported but a
+/// single rounding step can already be a large *relative* error on
+/// them, so they carry no bound.
+pub const BOUNDED_METRICS: &[&str] = &[
+    "cycles",
+    "loads",
+    "stores",
+    "d_hits",
+    "d_misses",
+    "i_misses",
+    "writebacks",
+    "flush_writebacks",
+    "tlb_misses",
+    "mgr_flushes",
+    "mgr_purges",
+    "mapping_faults",
+    "consistency_faults",
+];
+
+/// The position of `name` in [`METRICS`], if it is a known metric.
+pub fn metric_index(name: &str) -> Option<usize> {
+    METRICS.iter().position(|m| *m == name)
+}
+
+/// Flatten a [`RunStats`] into the [`METRICS`]-aligned counter vector.
+pub fn metrics_of(s: &RunStats) -> Vec<u64> {
+    vec![
+        s.cycles,
+        s.machine.loads,
+        s.machine.stores,
+        s.machine.ifetches,
+        s.machine.d_hits,
+        s.machine.d_misses,
+        s.machine.i_hits,
+        s.machine.i_misses,
+        s.machine.writebacks,
+        s.machine.uncached,
+        s.machine.tlb_misses,
+        s.machine.flush_writebacks,
+        s.machine.dma_writes,
+        s.machine.dma_reads,
+        s.machine.d_flush_pages.count,
+        s.machine.d_flush_pages.cycles,
+        s.machine.d_purge_pages.count,
+        s.machine.d_purge_pages.cycles,
+        s.machine.i_purge_pages.count,
+        s.machine.i_purge_pages.cycles,
+        s.mgr.total_flushes(),
+        s.mgr.total_purges(),
+        s.os.mapping_faults,
+        s.os.consistency_faults,
+        s.os.zero_fills,
+        s.os.page_copies,
+        s.os.ipc_transfers,
+        s.os.cow_faults,
+        s.os.cow_copies,
+        s.os.d2i_copies,
+        s.os.fs_reads,
+        s.os.fs_writes,
+        s.os.buf_misses,
+        s.os.buf_writebacks,
+        s.os.tasks_created,
+        s.os.pages_allocated,
+        s.os.pages_freed,
+        s.os.page_outs,
+        s.os.page_ins,
+    ]
+}
+
+/// Elementwise `a - b` of two metric vectors (`a` is the later
+/// snapshot; every metric is monotonic, so this never underflows on
+/// well-formed inputs).
+pub(crate) fn metrics_sub(a: &[u64], b: &[u64]) -> Vec<u64> {
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// The steady cycle detected in the paced rep totals: from rep `offset`
+/// on, per-rep metric vectors repeat with period `period`, verified by
+/// exact equality over at least two full periods. Workloads that mutate
+/// shared state across reps (free-list rotation, task-id growth) often
+/// settle into a short cycle rather than a fixed point — fork-bench
+/// alternates between two exact per-rep profiles — and extrapolating a
+/// single "steady rep" across such a cycle is biased by construction.
+pub fn detect_period(rep_totals: &[Vec<u64>]) -> Option<(usize, usize)> {
+    let k = rep_totals.len();
+    for period in 1..=k / 2 {
+        for offset in 0..=k.saturating_sub(2 * period) {
+            if (offset..k - period).all(|r| rep_totals[r] == rep_totals[r + period]) {
+                return Some((offset, period));
+            }
+        }
+    }
+    None
+}
+
+/// `|{x in [a, b) : x % p == c}|` for `c < p`.
+fn count_mod(a: u64, b: u64, p: u64, c: u64) -> u64 {
+    let first = if a % p <= c {
+        a - a % p + c
+    } else {
+        a - a % p + p + c
+    };
+    if first >= b {
+        0
+    } else {
+        (b - 1 - first) / p + 1
+    }
+}
+
+/// A full-run estimate scaled up from interval measurements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Extrapolation {
+    /// Estimated full-run totals, aligned with [`METRICS`].
+    pub metrics: Vec<u64>,
+    /// True when the measured intervals tiled the entire steady rep:
+    /// the steady estimate is an exact integer sum, and with
+    /// `repeat == paced_reps` the whole estimate equals the full run
+    /// bit for bit.
+    pub exact: bool,
+    /// Cycles covered by measured intervals.
+    pub measured_cycles: u64,
+    /// Cycles of the whole steady rep.
+    pub steady_cycles: u64,
+    /// First paced rep inside the detected steady cycle
+    /// (`paced_reps - 1` when no cycle was detected).
+    pub steady_offset: usize,
+    /// Length of the detected steady cycle in reps (1 when no cycle was
+    /// detected: the classic single-steady-rep extrapolation).
+    pub steady_period: usize,
+}
+
+impl Extrapolation {
+    /// Sampling fraction: measured cycles over steady-rep cycles.
+    pub fn coverage(&self) -> f64 {
+        if self.steady_cycles == 0 {
+            return 1.0;
+        }
+        self.measured_cycles as f64 / self.steady_cycles as f64
+    }
+}
+
+/// Scale interval deltas to a full-run estimate.
+///
+/// `rep_totals` holds the pacer's exact per-rep metric totals for reps
+/// `0..k` (the last entry is the steady rep); `interval_deltas` the
+/// measured per-interval deltas. Reps `0..k-1` enter the estimate
+/// exactly. The remaining `R - k + 1` reps (the steady rep and
+/// everything after it) are predicted by class: [`detect_period`] finds
+/// the exact steady cycle in the paced totals, each future rep is
+/// assigned the last paced rep of its congruence class, and the steady
+/// rep's own class flows through `steady_est` — the summed interval
+/// deltas, scaled by steady-rep cycles over measured cycles (a plain
+/// sum when the measured intervals tile the whole rep, otherwise a
+/// rounded `u128` ratio). With no detectable cycle every future rep
+/// falls into the steady rep's class:
+///
+/// ```text
+/// sum(rep_totals[0..k-1])  +  steady_est * (R - k + 1)
+/// ```
+///
+/// # Panics
+///
+/// Panics if `rep_totals` does not hold exactly `plan.paced_reps`
+/// entries — the driver always produces one total per paced rep.
+pub fn extrapolate(
+    plan: &SamplePlan,
+    rep_totals: &[Vec<u64>],
+    interval_deltas: &[Vec<u64>],
+) -> Extrapolation {
+    let k = plan.paced_reps as usize;
+    assert_eq!(rep_totals.len(), k, "one exact total per paced rep");
+    let m = METRICS.len();
+    let cycles_idx = 0;
+    let steady = &rep_totals[k - 1];
+    let steady_cycles = steady[cycles_idx];
+
+    let mut measured = vec![0u64; m];
+    for d in interval_deltas {
+        for (acc, v) in measured.iter_mut().zip(d) {
+            *acc += v;
+        }
+    }
+    let measured_cycles = measured[cycles_idx];
+
+    let exact = measured_cycles == steady_cycles;
+    let steady_est: Vec<u64> = if exact {
+        measured
+    } else {
+        // Scale by the cycle ratio with round-to-nearest in u128.
+        measured
+            .iter()
+            .map(|&v| {
+                if measured_cycles == 0 {
+                    0
+                } else {
+                    let num = u128::from(v) * u128::from(steady_cycles);
+                    let den = u128::from(measured_cycles);
+                    u64::try_from((num + den / 2) / den).unwrap_or(u64::MAX)
+                }
+            })
+            .collect()
+    };
+
+    let (offset, period) = detect_period(rep_totals).unwrap_or((k - 1, 1));
+    let steady_class = (k - 1 - offset) % period;
+
+    let mut totals = vec![0u64; m];
+    for t in &rep_totals[..k - 1] {
+        for (acc, v) in totals.iter_mut().zip(t) {
+            *acc += v;
+        }
+    }
+    // Future reps k-1..R, shifted by `offset` so classes are residues
+    // mod `period`. Each class is predicted by the last paced rep of
+    // that class; the steady rep's class by the interval estimate.
+    let a = (k - 1 - offset) as u64;
+    let b = u64::from(plan.repeat) - offset as u64;
+    for class in 0..period {
+        let n = count_mod(a, b, period as u64, class as u64);
+        let rep: &[u64] = if class == steady_class {
+            &steady_est
+        } else {
+            // Last paced rep of this class: walk back from the steady rep.
+            let back = (steady_class + period - class) % period;
+            &rep_totals[k - 1 - back]
+        };
+        for (acc, v) in totals.iter_mut().zip(rep) {
+            *acc = acc.saturating_add(v.saturating_mul(n));
+        }
+    }
+
+    Extrapolation {
+        metrics: totals,
+        exact,
+        measured_cycles,
+        steady_cycles,
+        steady_offset: offset,
+        steady_period: period,
+    }
+}
+
+/// Relative error of `estimate` against `actual`, in percent. Zero
+/// actual with zero estimate is a perfect 0%; zero actual with a
+/// nonzero estimate reports 100%.
+pub fn rel_err_pct(estimate: u64, actual: u64) -> f64 {
+    if actual == 0 {
+        return if estimate == 0 { 0.0 } else { 100.0 };
+    }
+    let diff = estimate.abs_diff(actual);
+    diff as f64 / actual as f64 * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_names_and_vector_stay_aligned() {
+        let stats = RunStats {
+            workload: "t".to_string(),
+            system: "s".to_string(),
+            cycles: 7,
+            seconds: 0.0,
+            machine: vic_machine::MachineStats::default(),
+            mgr: vic_core::MgrStats::default(),
+            os: vic_os::OsStats::default(),
+            oracle_violations: 0,
+        };
+        let v = metrics_of(&stats);
+        assert_eq!(v.len(), METRICS.len());
+        assert_eq!(v[metric_index("cycles").unwrap()], 7);
+        for name in BOUNDED_METRICS {
+            assert!(
+                metric_index(name).is_some(),
+                "unknown bounded metric {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_coverage_is_an_exact_sum() {
+        let plan = SamplePlan::exhaustive(2, 2);
+        let m = METRICS.len();
+        let mut rep0 = vec![1u64; m];
+        rep0[0] = 100;
+        let mut steady = vec![4u64; m];
+        steady[0] = 200;
+        let mut d0 = vec![1u64; m];
+        d0[0] = 120;
+        let mut d1 = vec![3u64; m];
+        d1[0] = 80;
+        let e = extrapolate(&plan, &[rep0.clone(), steady.clone()], &[d0, d1]);
+        assert!(e.exact);
+        assert_eq!(e.metrics[0], 300);
+        assert_eq!(e.metrics[1], 5, "1 + (1+3) * 1 tail rep");
+        assert!((e.coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_coverage_scales_by_cycles() {
+        let mut plan = SamplePlan::new(10);
+        plan.paced_reps = 2;
+        let m = METRICS.len();
+        let mut rep0 = vec![0u64; m];
+        rep0[0] = 100;
+        rep0[5] = 10; // d_misses in rep 0
+        let mut steady = vec![0u64; m];
+        steady[0] = 200;
+        // One measured interval covering half the steady rep.
+        let mut d = vec![0u64; m];
+        d[0] = 100;
+        d[5] = 7;
+        let e = extrapolate(&plan, &[rep0, steady], &[d]);
+        assert!(!e.exact);
+        // steady_est d_misses = 7 * 200/100 = 14; tail = 10-2+1 = 9 reps.
+        assert_eq!(e.metrics[5], 10 + 14 * 9);
+        // cycles: 100 + 200 * 9.
+        assert_eq!(e.metrics[0], 100 + 200 * 9);
+        assert!((e.coverage() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn period_detection_finds_the_steady_cycle() {
+        let m = METRICS.len();
+        let mut boot = vec![1u64; m];
+        boot[0] = 3;
+        let a = vec![5u64; m];
+        let mut b = vec![9u64; m];
+        b[0] = 7;
+        // Boot rep, then an exact alternation: the fork-bench shape.
+        let reps = [
+            boot.clone(),
+            a.clone(),
+            b.clone(),
+            a.clone(),
+            b.clone(),
+            a.clone(),
+        ];
+        assert_eq!(detect_period(&reps), Some((1, 2)));
+        // A fixed point is a period-1 cycle.
+        let flat = [boot.clone(), a.clone(), a.clone(), a.clone()];
+        assert_eq!(detect_period(&flat), Some((1, 1)));
+        // Two unequal reps: nothing verifiable.
+        assert_eq!(detect_period(&[boot, a]), None);
+    }
+
+    #[test]
+    fn periodic_tail_distributes_reps_across_classes() {
+        let plan = SamplePlan {
+            repeat: 10,
+            paced_reps: 4,
+            intervals: 1,
+            warmup: 0,
+            period: 1,
+        };
+        let m = METRICS.len();
+        let mut a = vec![2u64; m];
+        a[0] = 10;
+        let mut b = vec![4u64; m];
+        b[0] = 20;
+        let reps = [a.clone(), b.clone(), a.clone(), b.clone()];
+        // The single measured interval tiles the steady rep (rep 3 = B).
+        let e = extrapolate(&plan, &reps, &[b.clone()]);
+        assert!(e.exact);
+        assert_eq!((e.steady_offset, e.steady_period), (0, 2));
+        // 10 alternating reps: 5 of each class, exactly.
+        assert_eq!(e.metrics[0], 5 * 10 + 5 * 20);
+        assert_eq!(e.metrics[1], 5 * 2 + 5 * 4);
+    }
+
+    #[test]
+    fn rel_err_handles_zeros() {
+        assert_eq!(rel_err_pct(0, 0), 0.0);
+        assert_eq!(rel_err_pct(3, 0), 100.0);
+        assert!((rel_err_pct(102, 100) - 2.0).abs() < 1e-12);
+        assert!((rel_err_pct(98, 100) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,121 @@
+//! [`SamplePlan`]: the knobs of one sampling run.
+
+/// How to sample a repeated workload. Plain `Copy` data, like a
+/// `SystemSpec`: the same plan over the same spec always produces the
+/// same report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplePlan {
+    /// Total repetitions the *full* run would execute (the `repeat`
+    /// spec knob, `R`). The estimate targets this length.
+    pub repeat: u32,
+    /// Repetitions the pacer actually simulates (`k`, at least 2).
+    /// Reps `0..k-1` are measured exactly; the last paced rep is the
+    /// *steady rep* the sampler checkpoints and extrapolates from.
+    pub paced_reps: u32,
+    /// Target number of checkpoint intervals in the steady rep.
+    pub intervals: u32,
+    /// Warm-up window, in intervals, replayed with stats frozen before
+    /// each measured interval (`w`; 0 measures straight off the
+    /// checkpoint).
+    pub warmup: u32,
+    /// Measure every `p`-th interval (`1` measures all of them —
+    /// sampling fraction 1.0, the exact-conservation configuration).
+    pub period: u32,
+}
+
+impl SamplePlan {
+    /// A plan with the default sampling shape for a run scaled to
+    /// `repeat` repetitions: pace 2 reps, 6 intervals, 1 warm-up
+    /// interval, measure every 2nd interval.
+    pub fn new(repeat: u32) -> Self {
+        SamplePlan {
+            repeat,
+            paced_reps: 2,
+            intervals: 6,
+            warmup: 1,
+            period: 2,
+        }
+    }
+
+    /// The exhaustive plan: pace every rep, measure every interval with
+    /// no warm-up. Extrapolation under this plan is conservation — it
+    /// must reproduce the full run's counters exactly.
+    pub fn exhaustive(repeat: u32, intervals: u32) -> Self {
+        SamplePlan {
+            repeat,
+            paced_reps: repeat,
+            intervals,
+            warmup: 0,
+            period: 1,
+        }
+    }
+
+    /// Check the plan's internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the offending knob.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.paced_reps < 2 {
+            return Err("paced_reps must be at least 2 (the steady rep needs a predecessor to size its intervals)".to_string());
+        }
+        if self.repeat < self.paced_reps {
+            return Err(format!(
+                "repeat ({}) must be at least paced_reps ({})",
+                self.repeat, self.paced_reps
+            ));
+        }
+        if self.intervals == 0 {
+            return Err("intervals must be at least 1".to_string());
+        }
+        if self.period == 0 {
+            return Err("period must be at least 1".to_string());
+        }
+        Ok(())
+    }
+
+    /// The ideal host-work speedup over the full run: `R / k`, ignoring
+    /// fork replay and checkpoint costs. The measured speedup in a
+    /// calibration run is below this.
+    pub fn ideal_speedup(&self) -> f64 {
+        f64::from(self.repeat) / f64::from(self.paced_reps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_valid() {
+        let p = SamplePlan::new(16);
+        p.validate().unwrap();
+        assert_eq!(p.paced_reps, 2);
+        assert!((p.ideal_speedup() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exhaustive_plan_paces_everything() {
+        let p = SamplePlan::exhaustive(2, 4);
+        p.validate().unwrap();
+        assert_eq!(p.paced_reps, 2);
+        assert_eq!(p.period, 1);
+        assert_eq!(p.warmup, 0);
+    }
+
+    #[test]
+    fn validation_names_the_problem() {
+        let mut p = SamplePlan::new(16);
+        p.paced_reps = 1;
+        assert!(p.validate().unwrap_err().contains("paced_reps"));
+        let mut p = SamplePlan::new(1);
+        p.paced_reps = 2;
+        assert!(p.validate().unwrap_err().contains("repeat"));
+        let mut p = SamplePlan::new(16);
+        p.intervals = 0;
+        assert!(p.validate().unwrap_err().contains("intervals"));
+        let mut p = SamplePlan::new(16);
+        p.period = 0;
+        assert!(p.validate().unwrap_err().contains("period"));
+    }
+}

@@ -54,8 +54,8 @@ pub use fork::ForkBench;
 pub use kbuild::KernelBuild;
 pub use latex::LatexBench;
 pub use runner::{
-    run_observed, run_on, run_profiled, run_traced, run_with_config, MachineSize, Observed,
-    RunStats, Workload,
+    collect, run_observed, run_on, run_profiled, run_traced, run_with_config, MachineSize,
+    Observed, RunStats, Workload,
 };
 pub use spec::WorkloadKind;
-pub use step::{drive, Cursor, DriveOutcome, StepWorkload};
+pub use step::{drive, Cursor, DriveOutcome, Repeated, StepWorkload};

@@ -27,8 +27,9 @@ use vic_os::{Kernel, OsError};
 
 use crate::runner::Workload;
 
-/// Section tag guarding a serialized cursor ("cursor-1").
-pub const CURSOR_STATE_TAG: u64 = u64::from_le_bytes(*b"cursor-1");
+/// Section tag guarding a serialized cursor ("cursor-2": v2 added the
+/// repetition counter).
+pub const CURSOR_STATE_TAG: u64 = u64::from_le_bytes(*b"cursor-2");
 
 /// The serializable progress of a [`StepWorkload`].
 ///
@@ -53,6 +54,8 @@ pub struct Cursor {
     pub u: Vec<u64>,
     /// Sequence registers (e.g. created file ids and their page counts).
     pub lists: Vec<Vec<u64>>,
+    /// Completed repetitions of the whole workload (see [`Repeated`]).
+    pub rep: u64,
 }
 
 impl Cursor {
@@ -65,6 +68,7 @@ impl Cursor {
             rng: Rng64::seed_from_u64(0),
             u: Vec::new(),
             lists: Vec::new(),
+            rep: 0,
         }
     }
 
@@ -75,6 +79,20 @@ impl Cursor {
         self.j = 0;
     }
 
+    /// Rewind the register file for another repetition of the workload:
+    /// bump the repetition counter and reset everything a driver reads
+    /// before its phase 0 runs. The RNG is kept as-is — every driver that
+    /// uses randomness re-seeds it in phase 0, so the next repetition
+    /// draws the identical sequence.
+    pub fn begin_next_rep(&mut self) {
+        self.rep += 1;
+        self.phase = 0;
+        self.i = 0;
+        self.j = 0;
+        self.u.clear();
+        self.lists.clear();
+    }
+
     /// Serialize the cursor: tag, phase/loop counters, RNG state, then the
     /// scalar and sequence registers with explicit lengths.
     pub fn save_state(&self, w: &mut WordWriter) {
@@ -82,6 +100,7 @@ impl Cursor {
         w.u64(self.phase);
         w.u64(self.i);
         w.u64(self.j);
+        w.u64(self.rep);
         w.u64(self.rng.state());
         w.usize(self.u.len());
         for &v in &self.u {
@@ -107,6 +126,7 @@ impl Cursor {
         let phase = r.u64()?;
         let i = r.u64()?;
         let j = r.u64()?;
+        let rep = r.u64()?;
         let rng = Rng64::from_state(r.u64()?);
         let nu = r.usize()?;
         let mut u = Vec::with_capacity(nu);
@@ -130,6 +150,7 @@ impl Cursor {
             rng,
             u,
             lists,
+            rep,
         })
     }
 }
@@ -201,6 +222,57 @@ pub fn drive(
     }
 }
 
+/// A workload repeated back-to-back on one warm kernel — the scaling knob
+/// interval sampling needs to make *workload length* cheap.
+///
+/// Every batch driver in this crate ends with a cleanup phase (delete all
+/// files, terminate all tasks, sync), so running it again from a rewound
+/// cursor on the same kernel is well-defined: repetition 0 runs cold,
+/// later repetitions run against whatever cache/TLB/consistency state the
+/// previous one left — the steady state a longer benchmark would live in.
+/// Progress is still entirely in the [`Cursor`] (`rep` counts completed
+/// repetitions), so a repeated workload checkpoints and restores like any
+/// other.
+pub struct Repeated {
+    inner: Box<dyn StepWorkload>,
+    total: u64,
+}
+
+impl Repeated {
+    /// Repeat `inner` `total` times (`total >= 1`; 1 is the plain run).
+    pub fn new(inner: Box<dyn StepWorkload>, total: u64) -> Self {
+        assert!(total >= 1, "a workload runs at least once");
+        Repeated { inner, total }
+    }
+
+    /// The wrapped workload.
+    pub fn inner(&self) -> &dyn StepWorkload {
+        self.inner.as_ref()
+    }
+
+    /// Total repetitions.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+impl StepWorkload for Repeated {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn step(&self, k: &mut Kernel, cpu: CpuId, cur: &mut Cursor) -> Result<bool, OsError> {
+        if cur.rep >= self.total {
+            return Ok(false);
+        }
+        if self.inner.step(k, cpu, cur)? {
+            return Ok(true);
+        }
+        cur.begin_next_rep();
+        Ok(cur.rep < self.total)
+    }
+}
+
 /// Every step workload is a classic workload: run the state machine to
 /// completion from a fresh cursor on the boot CPU. This is the *only* run
 /// path — a checkpointed run pauses the very same machine mid-stream.
@@ -230,6 +302,7 @@ mod tests {
         let _ = cur.rng.gen_u64(0, 99);
         cur.u = vec![1, 2, 3];
         cur.lists = vec![vec![], vec![10, 20], vec![30]];
+        cur.rep = 4;
         let mut w = WordWriter::new();
         cur.save_state(&mut w);
         let words = w.into_words();

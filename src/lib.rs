@@ -26,7 +26,11 @@
 //!   post-mortem format);
 //! * [`vic_profile`] (as `profile`) — the cycle-cost attribution profiler
 //!   (hierarchical cost trees keyed to the simulated clock, profile
-//!   documents, differential comparison for the perf-regression baseline).
+//!   documents, differential comparison for the perf-regression baseline);
+//! * [`vic_sample`] (as `sample`) — interval-sampled measurement (paced
+//!   reps, checkpoint-forked measurement windows with frozen warm-up,
+//!   steady-cycle-aware extrapolation with calibrated error bounds, and
+//!   what-if manager forking).
 
 pub use vic_core as core;
 pub use vic_core::ENGINE_VERSION;
@@ -34,5 +38,6 @@ pub use vic_machine as machine;
 pub use vic_metrics as metrics;
 pub use vic_os as os;
 pub use vic_profile as profile;
+pub use vic_sample as sample;
 pub use vic_trace as trace;
 pub use vic_workloads as workloads;
