@@ -37,7 +37,8 @@ use std::fmt::Write as _;
 use vic_core::ENGINE_VERSION;
 use vic_profile::JsonValue;
 
-use crate::cli::{parse_system, parse_workload, read_file, CliError};
+use crate::cli::{read_file, CliError};
+use crate::digest::spec_from_json;
 use crate::output::{spec_json, JsonObj};
 use crate::spec::SystemSpec;
 
@@ -90,7 +91,7 @@ impl SystemCheckpoint {
                 "engine_version {version} (this build reads {ENGINE_VERSION})"
             ));
         }
-        let spec = parse_spec(doc.get("spec").ok_or("missing 'spec'")?)?;
+        let spec = spec_from_json(doc.get("spec").ok_or("missing 'spec'")?)?;
         let fast_paths = doc
             .get("fast_paths")
             .and_then(JsonValue::as_bool)
@@ -134,32 +135,6 @@ impl SystemCheckpoint {
             err,
         })
     }
-}
-
-fn parse_spec(v: &JsonValue) -> Result<SystemSpec, String> {
-    let str_field = |key: &str| {
-        v.get(key)
-            .and_then(JsonValue::as_str)
-            .ok_or_else(|| format!("spec: missing '{key}'"))
-    };
-    let bool_field = |key: &str| {
-        v.get(key)
-            .and_then(JsonValue::as_bool)
-            .ok_or_else(|| format!("spec: missing or non-boolean '{key}'"))
-    };
-    let repeat = v
-        .get("repeat")
-        .and_then(JsonValue::as_u64)
-        .ok_or("spec: missing or non-integer 'repeat'")?;
-    Ok(SystemSpec {
-        workload: parse_workload(str_field("workload")?).map_err(|e| format!("spec: {e}"))?,
-        system: parse_system(str_field("system")?).map_err(|e| format!("spec: {e}"))?,
-        quick: bool_field("quick")?,
-        colored_free_lists: bool_field("colored_free_lists")?,
-        write_through: bool_field("write_through")?,
-        fast_purge: bool_field("fast_purge")?,
-        repeat: u32::try_from(repeat).map_err(|_| "spec: 'repeat' out of range".to_string())?,
-    })
 }
 
 /// Encode a word stream as comma-joined lowercase-hex tokens, run-length

@@ -34,6 +34,7 @@
 
 pub mod checkpoint;
 pub mod cli;
+pub mod digest;
 pub mod experiments;
 pub mod harness;
 pub mod hostbench;
@@ -43,6 +44,7 @@ pub mod spec;
 pub mod sweep;
 
 pub use checkpoint::SystemCheckpoint;
+pub use digest::spec_from_json;
 pub use experiments::{
     microbench, table1, table2_report, table4, table5, MicrobenchResult, Table1Row, Table4Cell,
     Table5Row,

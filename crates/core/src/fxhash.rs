@@ -81,6 +81,22 @@ impl Hasher for FxHasher {
     }
 }
 
+/// Hash a `u64` word stream to one digest word.
+///
+/// This is the content-addressing primitive behind the experiment
+/// service's result cache: a canonical word encoding of a run description
+/// (see `vic_bench::SystemSpec::canonical_words`) folds to a single
+/// stable key. The digest is deterministic across processes and hosts —
+/// the same words always hash the same way — which is exactly what an
+/// on-disk content-addressed store needs and what `RandomState` forbids.
+pub fn hash_words(words: &[u64]) -> u64 {
+    let mut h = FxHasher::default();
+    for &w in words {
+        h.write_u64(w);
+    }
+    h.finish()
+}
+
 /// `BuildHasher` for [`FxHasher`] (zero-sized, deterministic).
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
@@ -121,6 +137,16 @@ mod tests {
         assert_eq!(m.get(&7), Some(&"seven"));
         let mut s: FxHashSet<u32> = FxHashSet::default();
         assert!(s.insert(1) && !s.insert(1));
+    }
+
+    #[test]
+    fn word_stream_digest_is_stable_and_sensitive() {
+        assert_eq!(hash_words(&[]), 0, "empty stream digests to the seed");
+        let a = hash_words(&[1, 2, 3]);
+        assert_eq!(a, hash_words(&[1, 2, 3]), "deterministic");
+        assert_ne!(a, hash_words(&[1, 2, 4]), "value-sensitive");
+        assert_ne!(a, hash_words(&[3, 2, 1]), "order-sensitive");
+        assert_ne!(a, hash_words(&[1, 2, 3, 0]), "length-sensitive");
     }
 
     #[test]

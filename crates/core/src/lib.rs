@@ -82,7 +82,7 @@ pub mod types;
 /// result from another version is rejected rather than reinterpreted.
 pub const ENGINE_VERSION: u64 = 3;
 
-pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use fxhash::{hash_words, FxBuildHasher, FxHashMap, FxHashSet};
 pub use manager::{AccessHints, ConsistencyManager, DmaDir, MgrStats};
 pub use page_state::{CachePageSet, CacheSideState, PhysPageInfo};
 pub use policy::{Configuration, PolicyConfig};

@@ -1,0 +1,241 @@
+//! The in-memory cache tier: weight-ranked eviction over digest-keyed
+//! result payloads.
+//!
+//! Eviction follows the Adaptive Weight Ranking Policy (AWRP) idea: each
+//! entry carries an access *frequency* and the *recency* of its last use
+//! (a logical tick), and the entry with the smallest `frequency × recency`
+//! weight is evicted when the tier is full. The product adapts to the
+//! access pattern without tuning: a grid a client replays every few
+//! seconds has both high frequency and fresh recency, so it outranks a
+//! large one-shot sweep no matter how recently the one-shot entries were
+//! written — where plain LRU would evict the hot grid to keep the cold
+//! tail.
+//!
+//! Every entry is stamped with the engine version it was computed under.
+//! A lookup with a different version *removes* the entry and reports a
+//! miss, so after an [`vic_core::ENGINE_VERSION`] bump the tier can never
+//! serve a stale result (belt-and-braces: the digest itself also folds
+//! the version in, so such keys should not even collide).
+//!
+//! Eviction scans all entries for the minimum weight — O(capacity). The
+//! tier fronts runs that take milliseconds and capacities in the
+//! hundreds, so a linear scan is noise; a rank heap would buy nothing but
+//! code.
+
+use std::sync::Arc;
+
+use vic_core::FxHashMap;
+
+#[derive(Debug, Clone)]
+struct Entry {
+    version: u64,
+    payload: Arc<str>,
+    freq: u64,
+    last: u64,
+}
+
+impl Entry {
+    /// AWRP rank: frequency × recency, in u128 so `tick` can never
+    /// overflow the product.
+    fn weight(&self) -> u128 {
+        u128::from(self.freq) * u128::from(self.last)
+    }
+}
+
+/// A bounded digest → payload map with frequency×recency eviction.
+#[derive(Debug)]
+pub struct AwrpTier {
+    capacity: usize,
+    tick: u64,
+    entries: FxHashMap<u64, Entry>,
+    evictions: u64,
+}
+
+impl AwrpTier {
+    /// An empty tier holding at most `capacity` entries. A zero capacity
+    /// is legal and caches nothing (every insert immediately evicts
+    /// nothing and stores nothing).
+    pub fn new(capacity: usize) -> Self {
+        AwrpTier {
+            capacity,
+            tick: 0,
+            entries: FxHashMap::default(),
+            evictions: 0,
+        }
+    }
+
+    /// Look up a digest computed under `version`. A hit bumps the entry's
+    /// frequency and recency. An entry stamped with a *different* version
+    /// is dropped on the spot and reported as a miss.
+    pub fn get(&mut self, digest: u64, version: u64) -> Option<Arc<str>> {
+        self.tick += 1;
+        match self.entries.get_mut(&digest) {
+            Some(e) if e.version == version => {
+                e.freq += 1;
+                e.last = self.tick;
+                Some(Arc::clone(&e.payload))
+            }
+            Some(_) => {
+                self.entries.remove(&digest);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Insert (or refresh) a payload computed under `version`, evicting
+    /// the minimum-weight entry if the tier is full.
+    pub fn insert(&mut self, digest: u64, version: u64, payload: Arc<str>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if let Some(e) = self.entries.get_mut(&digest) {
+            e.version = version;
+            e.payload = payload;
+            e.freq += 1;
+            e.last = self.tick;
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            self.evict_one();
+        }
+        self.entries.insert(
+            digest,
+            Entry {
+                version,
+                payload,
+                freq: 1,
+                last: self.tick,
+            },
+        );
+    }
+
+    /// Evict the minimum-weight entry (ties broken toward the older
+    /// `last`, then the smaller digest, so eviction is deterministic).
+    fn evict_one(&mut self) {
+        let victim = self
+            .entries
+            .iter()
+            .map(|(d, e)| (e.weight(), e.last, *d))
+            .min();
+        if let Some((_, _, digest)) = victim {
+            self.entries.remove(&digest);
+            self.evictions += 1;
+        }
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many entries capacity pressure has evicted so far (version
+    /// drops are not evictions).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(s: &str) -> Arc<str> {
+        Arc::from(s)
+    }
+
+    #[test]
+    fn capacity_is_a_hard_bound() {
+        let mut t = AwrpTier::new(4);
+        for d in 0..100u64 {
+            t.insert(d, 1, payload("x"));
+            assert!(t.len() <= 4, "after inserting {d}: {} resident", t.len());
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.evictions(), 96);
+        // Zero capacity caches nothing and never panics.
+        let mut z = AwrpTier::new(0);
+        z.insert(1, 1, payload("x"));
+        assert!(z.is_empty());
+        assert_eq!(z.get(1, 1), None);
+    }
+
+    #[test]
+    fn weight_ranking_keeps_hot_entries_over_recent_cold_ones() {
+        let mut t = AwrpTier::new(3);
+        t.insert(1, 1, payload("hot"));
+        t.insert(2, 1, payload("warm"));
+        t.insert(3, 1, payload("cold"));
+        // Entry 1 is hit many times, entry 2 a few; entry 3 never.
+        for _ in 0..8 {
+            assert!(t.get(1, 1).is_some());
+        }
+        for _ in 0..3 {
+            assert!(t.get(2, 1).is_some());
+        }
+        // A new insert must evict 3 — the lowest frequency×recency —
+        // even though 3 was inserted *after* (more recently than) 1 and 2.
+        t.insert(4, 1, payload("new"));
+        assert!(t.get(1, 1).is_some(), "hot entry survives");
+        assert!(t.get(2, 1).is_some(), "warm entry survives");
+        assert_eq!(t.get(3, 1), None, "cold entry was the victim");
+        assert!(t.get(4, 1).is_some());
+        assert_eq!(t.evictions(), 1);
+    }
+
+    #[test]
+    fn frequency_times_recency_beats_pure_recency_and_pure_frequency() {
+        // An entry with huge historical frequency but ancient recency
+        // loses to entries that are both used and fresh: the product
+        // ranks them, not either factor alone.
+        let mut t = AwrpTier::new(2);
+        t.insert(1, 1, payload("ancient-hot"));
+        for _ in 0..100 {
+            assert!(t.get(1, 1).is_some());
+        }
+        t.insert(2, 1, payload("fresh"));
+        // Advance the clock far past entry 1's last touch with hits on 2.
+        for _ in 0..200 {
+            assert!(t.get(2, 1).is_some());
+        }
+        // weight(1) = 101 * t1, weight(2) = 201 * t2 with t2 >> t1; entry
+        // 1's stale recency drags its product below entry 2's.
+        t.insert(3, 1, payload("new"));
+        assert_eq!(t.get(1, 1), None, "stale-hot entry was the victim");
+        assert!(t.get(2, 1).is_some());
+        assert!(t.get(3, 1).is_some());
+    }
+
+    #[test]
+    fn never_serves_another_engine_version() {
+        let mut t = AwrpTier::new(4);
+        t.insert(7, 1, payload("v1 result"));
+        assert!(t.get(7, 1).is_some());
+        // After a version bump the same digest must miss — and the stale
+        // entry must be gone, not lurking for a later same-version probe.
+        assert_eq!(t.get(7, 2), None, "stale version is never served");
+        assert_eq!(t.len(), 0, "stale entry dropped on probe");
+        assert_eq!(t.get(7, 1), None, "dropped even for the old version");
+        assert_eq!(t.evictions(), 0, "version drops are not evictions");
+    }
+
+    #[test]
+    fn reinsert_refreshes_in_place() {
+        let mut t = AwrpTier::new(2);
+        t.insert(1, 1, payload("a"));
+        t.insert(1, 1, payload("b"));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(1, 1).as_deref(), Some("b"));
+    }
+}

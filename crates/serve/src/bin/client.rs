@@ -1,0 +1,177 @@
+//! `client` — the thin CLI over [`vic_serve::client`].
+//!
+//! Exit codes: 0 on success, 1 when the remote side refused or a claimed
+//! result failed validation (busy after retries, draining, a failed
+//! `check`), 2 for command-line and I/O errors.
+
+use std::process::exit;
+
+use vic_bench::cli::{read_file, write_file, CliError};
+use vic_profile::JsonValue;
+use vic_serve::client::{
+    check_bench_doc, parse_client_args, results_doc, run_bench, ClientCli, ClientCmd,
+    SubmitOutcome, MIN_SPEEDUP,
+};
+use vic_serve::Connection;
+
+const USAGE: &str = "usage: client <command> --port <p> [--host <h>]\n\
+     commands:\n\
+     \x20 submit [--quick] [--grid table4|table5|table45] [--json <file>] [--retries <n>]\n\
+     \x20 health\n\
+     \x20 metrics [--raw]\n\
+     \x20 bench [--reps <n>] [--json <file>]\n\
+     \x20 check <file>            (validates a BENCH_serve.json; no --port needed)\n\
+     \x20 shutdown";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("client: {msg}");
+    eprintln!("{USAGE}");
+    exit(2);
+}
+
+/// A remote-side refusal or failed claim: the command line was fine, the
+/// outcome was not.
+fn refuse(msg: &str) -> ! {
+    eprintln!("client: {msg}");
+    exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_client_args(&args) {
+        Ok(cli) => cli,
+        Err(e) => fail(&e.to_string()),
+    };
+    if let Err(e) = run(&cli) {
+        fail(&e.to_string());
+    }
+}
+
+fn run(cli: &ClientCli) -> Result<(), CliError> {
+    match &cli.cmd {
+        ClientCmd::Check { file } => {
+            let text = read_file(file)?;
+            match check_bench_doc(&text, MIN_SPEEDUP) {
+                Ok(b) => {
+                    println!(
+                        "check: ok — {} runs, cold {:.1} ms, warm {:.3} ms, speedup {:.1}x (floor {MIN_SPEEDUP}x), byte-identical",
+                        b.runs,
+                        b.cold_ms,
+                        b.warm_ms,
+                        b.speedup()
+                    );
+                    Ok(())
+                }
+                Err(e) => refuse(&format!("check: {file}: {e}")),
+            }
+        }
+        ClientCmd::Bench { reps, json } => {
+            let bench = run_bench(&cli.host, cli.port, vic_serve::Grid::Table45, true, *reps)?;
+            if !bench.byte_identical {
+                refuse("bench: warm results diverged from cold results byte-wise");
+            }
+            write_file(json, &bench.to_json())?;
+            println!(
+                "bench: {} runs cold {:.1} ms, warm {:.3} ms (best of {}), speedup {:.1}x -> {json}",
+                bench.runs, bench.cold_ms, bench.warm_ms, bench.reps, bench.speedup()
+            );
+            Ok(())
+        }
+        ClientCmd::Health => {
+            let mut conn = Connection::connect(&cli.host, cli.port)?;
+            println!("{}", conn.health()?);
+            Ok(())
+        }
+        ClientCmd::Metrics { raw } => {
+            let mut conn = Connection::connect(&cli.host, cli.port)?;
+            let doc = conn.metrics()?;
+            if *raw {
+                println!("{doc}");
+            } else {
+                print_counters(&doc)?;
+            }
+            Ok(())
+        }
+        ClientCmd::Shutdown => {
+            let mut conn = Connection::connect(&cli.host, cli.port)?;
+            conn.shutdown()?;
+            println!("client: server drained and stopped");
+            Ok(())
+        }
+        ClientCmd::Submit {
+            grid,
+            quick,
+            json,
+            retries,
+        } => {
+            let specs = grid.specs(*quick);
+            let mut conn = Connection::connect(&cli.host, cli.port)?;
+            match conn.submit_with_retry(&specs, *retries)? {
+                SubmitOutcome::Busy { retry_after_ms } => refuse(&format!(
+                    "server busy after {retries} retries (suggested retry delay {retry_after_ms} ms)"
+                )),
+                SubmitOutcome::Draining => refuse("server is draining; no new work accepted"),
+                SubmitOutcome::Results {
+                    hits,
+                    misses,
+                    runs,
+                    ..
+                } => {
+                    if let Some(path) = json {
+                        write_file(path, &results_doc(&runs))?;
+                    }
+                    println!(
+                        "submit: {} {} runs, {hits} cache hits, {misses} misses{}",
+                        grid.name(),
+                        runs.len(),
+                        json.as_deref()
+                            .map(|p| format!(" -> {p}"))
+                            .unwrap_or_default()
+                    );
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+/// Print the cache and run counters as `name value` lines (stable,
+/// awk-friendly — ci.sh greps these).
+fn print_counters(doc: &str) -> Result<(), CliError> {
+    let doc = vic_profile::parse_json(doc).map_err(|e| CliError::Io {
+        path: "metrics".to_string(),
+        err: e.to_string(),
+    })?;
+    let counters = doc.get("counters");
+    let counter = |name: &str| {
+        counters
+            .and_then(|c| c.get(name))
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0)
+    };
+    let hist_mean = |name: &str| -> u64 {
+        let h = doc.get("histograms").and_then(|h| h.get(name));
+        let count = h.and_then(|h| h.get("count")).and_then(JsonValue::as_u64);
+        let total = h.and_then(|h| h.get("total")).and_then(JsonValue::as_u64);
+        match (count, total) {
+            (Some(c), Some(t)) if c > 0 => t / c,
+            _ => 0,
+        }
+    };
+    for name in [
+        "cache_hits_mem",
+        "cache_hits_disk",
+        "cache_misses",
+        "cache_evictions",
+        "rejected_busy",
+        "submits",
+        "runs_completed",
+        "runs_failed",
+        "store_write_errors",
+    ] {
+        println!("{name} {}", counter(name));
+    }
+    println!("hit_serve_ns_mean {}", hist_mean("hit_serve_ns"));
+    println!("miss_run_ns_mean {}", hist_mean("miss_run_ns"));
+    Ok(())
+}

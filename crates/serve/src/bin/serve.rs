@@ -1,0 +1,41 @@
+//! `serve` — the persistent sweep service.
+//!
+//! Binds, prints the bound address (scripts read the ephemeral port from
+//! that line), then serves until a client requests a graceful shutdown.
+
+use std::io::Write;
+use std::process::exit;
+
+use vic_serve::server::parse_serve_args;
+use vic_serve::Server;
+
+const USAGE: &str = "usage: serve --store <dir> [--port <p>] [--threads <n>] \
+     [--queue-limit <n>] [--mem-capacity <n>]";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("serve: {msg}");
+    eprintln!("{USAGE}");
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_serve_args(&args) {
+        Ok(config) => config,
+        Err(e) => fail(&e.to_string()),
+    };
+    let server = match Server::bind(&config) {
+        Ok(server) => server,
+        Err(e) => fail(&e.to_string()),
+    };
+    let addr = match server.local_addr() {
+        Ok(addr) => addr,
+        Err(e) => fail(&e.to_string()),
+    };
+    println!("serve: listening on {addr}");
+    let _ = std::io::stdout().flush();
+    if let Err(e) = server.run() {
+        fail(&e.to_string());
+    }
+    println!("serve: stopped");
+}

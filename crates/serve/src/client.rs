@@ -1,0 +1,886 @@
+//! The client library: connect to a running server, submit grids, poll
+//! health and metrics, and run the cold/warm cache benchmark behind the
+//! committed `BENCH_serve.json`.
+//!
+//! Everything the `vic-client` binary does lives here so the binary is a
+//! thin argument parser and the binary-contract tests can drive the same
+//! code paths in-process.
+
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use vic_bench::cli::CliError;
+use vic_bench::output::{json_array, JsonObj};
+use vic_bench::SystemSpec;
+use vic_core::ENGINE_VERSION;
+use vic_profile::JsonValue;
+
+use crate::protocol::{read_frame, write_frame};
+
+/// Which grid a submit or bench command describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Grid {
+    /// Table 4: 3 benchmarks × configurations A–F (18 specs).
+    Table4,
+    /// Table 5: afs-bench under the five real systems (5 specs).
+    Table5,
+    /// Both grids back to back (23 specs).
+    Table45,
+}
+
+impl Grid {
+    /// Parse a grid name.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Conflicting`] naming the accepted values.
+    pub fn parse(s: &str) -> Result<Self, CliError> {
+        match s {
+            "table4" => Ok(Grid::Table4),
+            "table5" => Ok(Grid::Table5),
+            "table45" => Ok(Grid::Table45),
+            _ => Err(CliError::Conflicting(format!(
+                "--grid wants table4, table5 or table45, got '{s}'"
+            ))),
+        }
+    }
+
+    /// The canonical name (the inverse of [`Grid::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            Grid::Table4 => "table4",
+            Grid::Table5 => "table5",
+            Grid::Table45 => "table45",
+        }
+    }
+
+    /// The specs of this grid, in canonical order.
+    pub fn specs(self, quick: bool) -> Vec<SystemSpec> {
+        match self {
+            Grid::Table4 => SystemSpec::table4_grid(quick),
+            Grid::Table5 => SystemSpec::table5_grid(quick),
+            Grid::Table45 => {
+                let mut specs = SystemSpec::table4_grid(quick);
+                specs.extend(SystemSpec::table5_grid(quick));
+                specs
+            }
+        }
+    }
+}
+
+/// What a single submit round-trip came back with.
+#[derive(Debug, Clone)]
+pub enum SubmitOutcome {
+    /// The runs, in spec order, as verbatim document bytes.
+    Results {
+        /// Cache hits (memory + disk) across the batch.
+        hits: u64,
+        /// Specs that had to be run.
+        misses: u64,
+        /// Per-spec serving tier: `"mem"`, `"disk"` or `"none"` (ran).
+        tiers: Vec<String>,
+        /// Per-spec result documents, byte-for-byte as stored.
+        runs: Vec<String>,
+    },
+    /// Backpressure: the queue is full; retry after the given delay.
+    Busy {
+        /// Suggested client-side delay before retrying.
+        retry_after_ms: u64,
+    },
+    /// The server is shutting down and takes no new work.
+    Draining,
+}
+
+/// One TCP connection speaking the framed protocol.
+#[derive(Debug)]
+pub struct Connection {
+    stream: TcpStream,
+}
+
+fn io_err(what: &str, e: impl std::fmt::Display) -> CliError {
+    CliError::Io {
+        path: what.to_string(),
+        err: e.to_string(),
+    }
+}
+
+impl Connection {
+    /// Connect to `host:port`.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Io`] when the server is unreachable.
+    pub fn connect(host: &str, port: u16) -> Result<Self, CliError> {
+        let addr = format!("{host}:{port}");
+        let stream = TcpStream::connect(&addr).map_err(|e| io_err(&addr, e))?;
+        // Request frames are small; don't let Nagle delay them.
+        let _ = stream.set_nodelay(true);
+        Ok(Connection { stream })
+    }
+
+    fn send(&mut self, request: &str) -> Result<(), CliError> {
+        write_frame(&mut self.stream, request.as_bytes()).map_err(|e| io_err("request", e))
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, CliError> {
+        read_frame(&mut self.stream)
+            .map_err(|e| io_err("response", e))?
+            .ok_or_else(|| io_err("response", "server closed the connection"))
+    }
+
+    /// Parse a response frame, failing loudly on an `error` response.
+    fn parse_response(payload: &[u8]) -> Result<(JsonValue, String), CliError> {
+        let (doc, kind) =
+            crate::protocol::parse_message(payload).map_err(|e| io_err("response", e))?;
+        if kind == "error" {
+            let msg = doc
+                .get("message")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("unspecified server error");
+            return Err(io_err("server", msg));
+        }
+        Ok((doc, kind))
+    }
+
+    /// One request → one response document of the expected kind.
+    fn round_trip(&mut self, request: &str, expect: &str) -> Result<JsonValue, CliError> {
+        self.send(request)?;
+        let frame = self.recv()?;
+        let (doc, kind) = Self::parse_response(&frame)?;
+        if kind != expect {
+            return Err(io_err(
+                "response",
+                format!("expected '{expect}', got '{kind}'"),
+            ));
+        }
+        Ok(doc)
+    }
+
+    /// Fetch the server's health document (raw JSON text).
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Io`] on transport or protocol failure.
+    pub fn health(&mut self) -> Result<String, CliError> {
+        let request = simple_request("health");
+        self.send(&request)?;
+        let frame = self.recv()?;
+        Self::parse_response(&frame)?;
+        String::from_utf8(frame).map_err(|e| io_err("response", e))
+    }
+
+    /// Fetch the server's metrics document (the embedded
+    /// `vic_bench::output::metrics_json` text).
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Io`] on transport or protocol failure, or if the
+    /// response lacks the metrics payload.
+    pub fn metrics(&mut self) -> Result<String, CliError> {
+        let request = simple_request("metrics");
+        self.send(&request)?;
+        let frame = self.recv()?;
+        Self::parse_response(&frame)?;
+        let text = std::str::from_utf8(&frame).map_err(|e| io_err("response", e))?;
+        // Re-extract the embedded document verbatim: it is the value of
+        // the top-level "metrics" key, which is the suffix up to the
+        // response's closing brace.
+        let start = text
+            .find("\"metrics\":")
+            .ok_or_else(|| io_err("response", "missing 'metrics' payload"))?
+            + "\"metrics\":".len();
+        Ok(text[start..text.len() - 1].to_string())
+    }
+
+    /// Request a graceful shutdown; returns once the server says `bye`
+    /// (queue drained, workers stopping).
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Io`] on transport or protocol failure.
+    pub fn shutdown(&mut self) -> Result<(), CliError> {
+        self.round_trip(&simple_request("shutdown"), "bye")?;
+        Ok(())
+    }
+
+    /// Submit specs once — no retry; `busy` and `draining` come back as
+    /// outcomes, not errors.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Io`] on transport/protocol failure or a server-side
+    /// run failure.
+    pub fn submit(&mut self, specs: &[SystemSpec]) -> Result<SubmitOutcome, CliError> {
+        let request = submit_request(specs);
+        self.send(&request)?;
+        let frame = self.recv()?;
+        let (doc, kind) = Self::parse_response(&frame)?;
+        match kind.as_str() {
+            "busy" => Ok(SubmitOutcome::Busy {
+                retry_after_ms: doc
+                    .get("retry_after_ms")
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or(100),
+            }),
+            "draining" => Ok(SubmitOutcome::Draining),
+            "results" => {
+                let count = doc
+                    .get("count")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| io_err("response", "results without 'count'"))?;
+                let hits = doc.get("hits").and_then(JsonValue::as_u64).unwrap_or(0);
+                let misses = doc.get("misses").and_then(JsonValue::as_u64).unwrap_or(0);
+                let tiers = doc
+                    .get("tiers")
+                    .and_then(JsonValue::as_arr)
+                    .map(|a| {
+                        a.iter()
+                            .filter_map(|v| v.as_str().map(str::to_string))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                let mut runs = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let payload = self.recv()?;
+                    runs.push(String::from_utf8(payload).map_err(|e| io_err("response", e))?);
+                }
+                Ok(SubmitOutcome::Results {
+                    hits,
+                    misses,
+                    tiers,
+                    runs,
+                })
+            }
+            other => Err(io_err("response", format!("unexpected '{other}'"))),
+        }
+    }
+
+    /// [`submit`](Connection::submit) with busy-retry: sleep the server's
+    /// suggested delay and try again, up to `retries` extra attempts.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Io`] as for `submit`; persistent `busy`/`draining` is
+    /// returned as the final outcome, not an error.
+    pub fn submit_with_retry(
+        &mut self,
+        specs: &[SystemSpec],
+        retries: u32,
+    ) -> Result<SubmitOutcome, CliError> {
+        let mut attempt = 0;
+        loop {
+            match self.submit(specs)? {
+                SubmitOutcome::Busy { retry_after_ms } if attempt < retries => {
+                    attempt += 1;
+                    std::thread::sleep(Duration::from_millis(retry_after_ms));
+                }
+                outcome => return outcome_final(outcome),
+            }
+        }
+    }
+}
+
+fn outcome_final(outcome: SubmitOutcome) -> Result<SubmitOutcome, CliError> {
+    Ok(outcome)
+}
+
+fn simple_request(kind: &str) -> String {
+    JsonObj::new()
+        .u64("engine_version", ENGINE_VERSION)
+        .str("type", kind)
+        .finish()
+}
+
+/// The submit request for a batch of specs.
+pub fn submit_request(specs: &[SystemSpec]) -> String {
+    JsonObj::new()
+        .u64("engine_version", ENGINE_VERSION)
+        .str("type", "submit")
+        .raw(
+            "specs",
+            &json_array(specs.iter().map(vic_bench::output::spec_json)),
+        )
+        .finish()
+}
+
+/// Assemble a submit's runs into the deterministic result document the
+/// client writes: version stamp plus the verbatim run documents, and
+/// nothing that depends on cache state — so a cold and a warm fetch of
+/// the same grid produce byte-identical files.
+pub fn results_doc(runs: &[String]) -> String {
+    JsonObj::new()
+        .u64("engine_version", ENGINE_VERSION)
+        .raw("runs", &json_array(runs.iter().cloned()))
+        .finish()
+}
+
+/// The cold/warm benchmark outcome behind `BENCH_serve.json`.
+#[derive(Debug, Clone)]
+pub struct ServeBench {
+    /// The grid measured.
+    pub grid: Grid,
+    /// Quick mode?
+    pub quick: bool,
+    /// Specs in the grid.
+    pub runs: usize,
+    /// Warm repetitions (best-of).
+    pub reps: u32,
+    /// Cold wall time (first submit; every spec runs), milliseconds.
+    pub cold_ms: f64,
+    /// Warm wall time (best of `reps` cache-hit submits), milliseconds.
+    pub warm_ms: f64,
+    /// Whether cold and warm result documents matched byte for byte.
+    pub byte_identical: bool,
+}
+
+impl ServeBench {
+    /// cold / warm.
+    pub fn speedup(&self) -> f64 {
+        self.cold_ms / self.warm_ms
+    }
+
+    /// The committed `BENCH_serve.json` document.
+    pub fn to_json(&self) -> String {
+        JsonObj::new()
+            .u64("engine_version", ENGINE_VERSION)
+            .str("grid", self.grid.name())
+            .bool("quick", self.quick)
+            .u64("runs", self.runs as u64)
+            .u64("reps", u64::from(self.reps))
+            .f64("cold_ms", self.cold_ms)
+            .f64("warm_ms", self.warm_ms)
+            .f64("speedup", self.speedup())
+            .bool("byte_identical", self.byte_identical)
+            .finish()
+    }
+}
+
+/// Run the cold/warm cache benchmark against a **fresh** server (empty
+/// store): submit the grid once cold (asserting every spec misses), then
+/// `reps` more times warm (asserting every spec hits), keep the best
+/// warm time, and check the cold and warm documents byte for byte.
+///
+/// # Errors
+///
+/// [`CliError::Io`] on transport failure, or [`CliError::Conflicting`]
+/// when the server's cache state contradicts the cold/warm premise (a
+/// non-empty store makes the cold measurement meaningless).
+pub fn run_bench(
+    host: &str,
+    port: u16,
+    grid: Grid,
+    quick: bool,
+    reps: u32,
+) -> Result<ServeBench, CliError> {
+    let specs = grid.specs(quick);
+    let mut conn = Connection::connect(host, port)?;
+
+    let t0 = Instant::now();
+    let cold = conn.submit_with_retry(&specs, 10)?;
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let SubmitOutcome::Results {
+        misses,
+        runs: cold_runs,
+        ..
+    } = cold
+    else {
+        return Err(CliError::Conflicting(
+            "bench: server was busy or draining for the cold pass".to_string(),
+        ));
+    };
+    if misses != specs.len() as u64 {
+        return Err(CliError::Conflicting(format!(
+            "bench wants a fresh store: cold pass had {} misses for {} specs (reuse of a warm --store dir?)",
+            misses,
+            specs.len()
+        )));
+    }
+
+    let mut warm_ms = f64::INFINITY;
+    let mut warm_runs = Vec::new();
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let warm = conn.submit_with_retry(&specs, 10)?;
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let SubmitOutcome::Results { hits, runs, .. } = warm else {
+            return Err(CliError::Conflicting(
+                "bench: server was busy or draining for a warm pass".to_string(),
+            ));
+        };
+        if hits != specs.len() as u64 {
+            return Err(CliError::Conflicting(format!(
+                "bench: warm pass had {hits} hits for {} specs",
+                specs.len()
+            )));
+        }
+        if ms < warm_ms {
+            warm_ms = ms;
+        }
+        warm_runs = runs;
+    }
+
+    Ok(ServeBench {
+        grid,
+        quick,
+        runs: specs.len(),
+        reps: reps.max(1),
+        cold_ms,
+        warm_ms,
+        byte_identical: results_doc(&cold_runs) == results_doc(&warm_runs),
+    })
+}
+
+/// Parse and re-assert a committed `BENCH_serve.json`: schema fields
+/// present, version current, `speedup` equal to the recomputed ratio,
+/// byte identity observed, and the warm cache at least `min_speedup`×
+/// faster than cold.
+///
+/// # Errors
+///
+/// A message naming the first violated claim.
+pub fn check_bench_doc(text: &str, min_speedup: f64) -> Result<ServeBench, String> {
+    let doc = vic_profile::parse_json(text).map_err(|e| format!("bad JSON: {e}"))?;
+    let version = doc
+        .get("engine_version")
+        .and_then(JsonValue::as_u64)
+        .ok_or("missing 'engine_version'")?;
+    if version != ENGINE_VERSION {
+        return Err(format!(
+            "engine_version {version} (this build reads {ENGINE_VERSION})"
+        ));
+    }
+    let grid = Grid::parse(
+        doc.get("grid")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing 'grid'")?,
+    )
+    .map_err(|e| e.to_string())?;
+    let quick = doc
+        .get("quick")
+        .and_then(JsonValue::as_bool)
+        .ok_or("missing 'quick'")?;
+    let runs = doc
+        .get("runs")
+        .and_then(JsonValue::as_u64)
+        .ok_or("missing 'runs'")? as usize;
+    if runs != grid.specs(quick).len() {
+        return Err(format!(
+            "'runs' is {runs} but the {} grid has {} specs",
+            grid.name(),
+            grid.specs(quick).len()
+        ));
+    }
+    let reps = doc
+        .get("reps")
+        .and_then(JsonValue::as_u64)
+        .filter(|r| *r >= 1)
+        .ok_or("missing or zero 'reps'")? as u32;
+    let f64_field = |key: &str| {
+        doc.get(key)
+            .and_then(JsonValue::as_f64)
+            .filter(|v| v.is_finite() && *v > 0.0)
+            .ok_or_else(|| format!("missing or non-positive '{key}'"))
+    };
+    let cold_ms = f64_field("cold_ms")?;
+    let warm_ms = f64_field("warm_ms")?;
+    let speedup = f64_field("speedup")?;
+    let recomputed = cold_ms / warm_ms;
+    if (speedup - recomputed).abs() > recomputed * 1e-9 + 1e-9 {
+        return Err(format!(
+            "'speedup' {speedup} != cold_ms/warm_ms = {recomputed}"
+        ));
+    }
+    if !doc
+        .get("byte_identical")
+        .and_then(JsonValue::as_bool)
+        .unwrap_or(false)
+    {
+        return Err("'byte_identical' is not true: a cache hit diverged from a fresh run".into());
+    }
+    if recomputed < min_speedup {
+        return Err(format!(
+            "warm cache speedup {recomputed:.1}x is below the required {min_speedup}x"
+        ));
+    }
+    Ok(ServeBench {
+        grid,
+        quick,
+        runs,
+        reps,
+        cold_ms,
+        warm_ms,
+        byte_identical: true,
+    })
+}
+
+/// The warm-cache speedup floor `check` asserts (the acceptance bar for
+/// the committed `BENCH_serve.json`).
+pub const MIN_SPEEDUP: f64 = 10.0;
+
+/// What the `client` binary was asked to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientCmd {
+    /// Submit a grid and (optionally) write the deterministic result
+    /// document.
+    Submit {
+        /// Which grid.
+        grid: Grid,
+        /// Quick mode.
+        quick: bool,
+        /// Write the result document here.
+        json: Option<String>,
+        /// Busy-retry attempts.
+        retries: u32,
+    },
+    /// Print the server's health document.
+    Health,
+    /// Print cache/run counters (or the raw metrics document).
+    Metrics {
+        /// Print the raw versioned metrics JSON instead of counter lines.
+        raw: bool,
+    },
+    /// Run the cold/warm cache benchmark and write `BENCH_serve.json`.
+    Bench {
+        /// Warm repetitions (best-of).
+        reps: u32,
+        /// Output file.
+        json: String,
+    },
+    /// Validate a committed `BENCH_serve.json` (no server needed).
+    Check {
+        /// The file to validate.
+        file: String,
+    },
+    /// Ask the server to drain and stop.
+    Shutdown,
+}
+
+/// The parsed `client` command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientCli {
+    /// Server host (default `127.0.0.1`).
+    pub host: String,
+    /// Server port — required for every command except `check`.
+    pub port: u16,
+    /// The command.
+    pub cmd: ClientCmd,
+}
+
+/// Parse the `client` binary's arguments:
+/// `<command> [--port <p>] [--host <h>]` with command one of
+/// `submit [--quick] [--grid table4|table5|table45] [--json <file>]
+/// [--retries <n>]`, `health`, `metrics [--raw]`, `bench [--reps <n>]
+/// [--json <file>]`, `check <file>` (needs no `--port`), or `shutdown`.
+///
+/// # Errors
+///
+/// A [`CliError`] naming the offending argument.
+pub fn parse_client_args(args: &[String]) -> Result<ClientCli, CliError> {
+    use crate::server::{parse_count, set_value};
+    let mut pos: Vec<&str> = Vec::new();
+    let mut quick = false;
+    let mut raw = false;
+    let mut host: Option<String> = None;
+    let mut port: Option<String> = None;
+    let mut grid: Option<String> = None;
+    let mut json: Option<String> = None;
+    let mut retries: Option<String> = None;
+    let mut reps: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--raw" => raw = true,
+            "--host" => set_value(&mut host, "--host", it.next())?,
+            "--port" => set_value(&mut port, "--port", it.next())?,
+            "--grid" => set_value(&mut grid, "--grid", it.next())?,
+            "--json" => set_value(&mut json, "--json", it.next())?,
+            "--retries" => set_value(&mut retries, "--retries", it.next())?,
+            "--reps" => set_value(&mut reps, "--reps", it.next())?,
+            s if s.starts_with("--") => return Err(CliError::UnknownFlag(s.to_string())),
+            s => pos.push(s),
+        }
+    }
+    let command = *pos.first().ok_or(CliError::MissingArg("command"))?;
+    let reject = |flag: &str, used: bool| {
+        if used {
+            Err(CliError::Conflicting(format!(
+                "{flag} does not apply to '{command}'"
+            )))
+        } else {
+            Ok(())
+        }
+    };
+    if command != "check" {
+        if let Some(extra) = pos.get(1) {
+            return Err(CliError::UnexpectedArg(extra.to_string()));
+        }
+    }
+    if command != "metrics" {
+        reject("--raw", raw)?;
+    }
+    if command != "submit" {
+        reject("--quick", quick)?;
+        reject("--grid", grid.is_some())?;
+        reject("--retries", retries.is_some())?;
+    }
+    if command != "bench" {
+        reject("--reps", reps.is_some())?;
+    }
+    if !matches!(command, "submit" | "bench") {
+        reject("--json", json.is_some())?;
+    }
+    let cmd = match command {
+        "submit" => ClientCmd::Submit {
+            grid: grid.as_deref().map_or(Ok(Grid::Table45), Grid::parse)?,
+            quick,
+            json,
+            retries: parse_count("--retries", retries)?.unwrap_or(10) as u32,
+        },
+        "health" => ClientCmd::Health,
+        "metrics" => ClientCmd::Metrics { raw },
+        "bench" => {
+            let reps = parse_count("--reps", reps)?.unwrap_or(5);
+            if reps == 0 {
+                return Err(CliError::Conflicting(
+                    "--reps must be at least 1".to_string(),
+                ));
+            }
+            ClientCmd::Bench {
+                reps: reps as u32,
+                json: json.unwrap_or_else(|| "BENCH_serve.json".to_string()),
+            }
+        }
+        "check" => {
+            if let Some(extra) = pos.get(2) {
+                return Err(CliError::UnexpectedArg(extra.to_string()));
+            }
+            ClientCmd::Check {
+                file: pos.get(1).ok_or(CliError::MissingArg("file"))?.to_string(),
+            }
+        }
+        "shutdown" => ClientCmd::Shutdown,
+        other => {
+            return Err(CliError::UnexpectedArg(format!(
+                "{other} (expected submit, health, metrics, bench, check or shutdown)"
+            )))
+        }
+    };
+    let needs_port = !matches!(cmd, ClientCmd::Check { .. });
+    let port = match port {
+        Some(p) => p.parse::<u16>().map_err(|_| {
+            CliError::Conflicting(format!("--port wants a number in 1..=65535, got '{p}'"))
+        })?,
+        None if needs_port => return Err(CliError::MissingArg("--port <p>")),
+        None => 0,
+    };
+    Ok(ClientCli {
+        host: host.unwrap_or_else(|| "127.0.0.1".to_string()),
+        port,
+        cmd,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench() -> ServeBench {
+        ServeBench {
+            grid: Grid::Table45,
+            quick: true,
+            runs: 23,
+            reps: 5,
+            cold_ms: 480.0,
+            warm_ms: 3.0,
+            byte_identical: true,
+        }
+    }
+
+    #[test]
+    fn grids_have_the_expected_sizes() {
+        assert_eq!(Grid::Table4.specs(true).len(), 18);
+        assert_eq!(Grid::Table5.specs(true).len(), 5);
+        assert_eq!(Grid::Table45.specs(true).len(), 23);
+        for name in ["table4", "table5", "table45"] {
+            assert_eq!(Grid::parse(name).unwrap().name(), name);
+        }
+        assert!(Grid::parse("table6").is_err());
+    }
+
+    #[test]
+    fn bench_doc_round_trips_through_check() {
+        let b = bench();
+        let text = b.to_json();
+        let parsed = check_bench_doc(&text, 10.0).expect("own output validates");
+        assert_eq!(parsed.runs, 23);
+        assert_eq!(parsed.reps, 5);
+        assert!((parsed.speedup() - 160.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn check_rejects_each_broken_claim() {
+        let good = bench().to_json();
+        // Version drift.
+        let bad = good.replace(
+            &format!("\"engine_version\":{ENGINE_VERSION}"),
+            "\"engine_version\":99",
+        );
+        assert!(check_bench_doc(&bad, 10.0)
+            .unwrap_err()
+            .contains("engine_version"));
+        // Tampered speedup.
+        let bad = good.replace("\"speedup\":160", "\"speedup\":1000");
+        assert!(check_bench_doc(&bad, 10.0).unwrap_err().contains("speedup"));
+        // Lost byte identity.
+        let bad = good.replace("\"byte_identical\":true", "\"byte_identical\":false");
+        assert!(check_bench_doc(&bad, 10.0)
+            .unwrap_err()
+            .contains("byte_identical"));
+        // Wrong run count for the named grid.
+        let bad = good.replace("\"runs\":23", "\"runs\":22");
+        assert!(check_bench_doc(&bad, 10.0).unwrap_err().contains("grid"));
+        // Below the floor.
+        let mut slow = bench();
+        slow.warm_ms = 100.0;
+        assert!(check_bench_doc(&slow.to_json(), 10.0)
+            .unwrap_err()
+            .contains("below"));
+        assert!(check_bench_doc("not json", 10.0).is_err());
+        assert!(check_bench_doc("{}", 10.0).is_err());
+    }
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn client_grammar() {
+        let cli = parse_client_args(&s(&["submit", "--port", "9000", "--quick"])).unwrap();
+        assert_eq!(cli.host, "127.0.0.1");
+        assert_eq!(cli.port, 9000);
+        assert_eq!(
+            cli.cmd,
+            ClientCmd::Submit {
+                grid: Grid::Table45,
+                quick: true,
+                json: None,
+                retries: 10,
+            }
+        );
+        let cli = parse_client_args(&s(&[
+            "submit",
+            "--grid",
+            "table4",
+            "--json",
+            "out.json",
+            "--retries",
+            "0",
+            "--port",
+            "1",
+            "--host",
+            "localhost",
+        ]))
+        .unwrap();
+        assert_eq!(cli.host, "localhost");
+        assert_eq!(
+            cli.cmd,
+            ClientCmd::Submit {
+                grid: Grid::Table4,
+                quick: false,
+                json: Some("out.json".to_string()),
+                retries: 0,
+            }
+        );
+        let cli = parse_client_args(&s(&["bench", "--port", "1", "--reps", "3"])).unwrap();
+        assert_eq!(
+            cli.cmd,
+            ClientCmd::Bench {
+                reps: 3,
+                json: "BENCH_serve.json".to_string(),
+            }
+        );
+        let cli = parse_client_args(&s(&["metrics", "--raw", "--port", "1"])).unwrap();
+        assert_eq!(cli.cmd, ClientCmd::Metrics { raw: true });
+        assert_eq!(
+            parse_client_args(&s(&["shutdown", "--port", "1"]))
+                .unwrap()
+                .cmd,
+            ClientCmd::Shutdown
+        );
+    }
+
+    #[test]
+    fn check_needs_a_file_but_no_port() {
+        let cli = parse_client_args(&s(&["check", "BENCH_serve.json"])).unwrap();
+        assert_eq!(
+            cli.cmd,
+            ClientCmd::Check {
+                file: "BENCH_serve.json".to_string()
+            }
+        );
+        assert_eq!(
+            parse_client_args(&s(&["check"])),
+            Err(CliError::MissingArg("file"))
+        );
+        assert!(matches!(
+            parse_client_args(&s(&["check", "a", "b"])),
+            Err(CliError::UnexpectedArg(_))
+        ));
+    }
+
+    #[test]
+    fn client_grammar_errors_name_the_problem() {
+        assert_eq!(
+            parse_client_args(&s(&[])),
+            Err(CliError::MissingArg("command"))
+        );
+        assert_eq!(
+            parse_client_args(&s(&["health"])),
+            Err(CliError::MissingArg("--port <p>"))
+        );
+        assert!(matches!(
+            parse_client_args(&s(&["frobnicate", "--port", "1"])),
+            Err(CliError::UnexpectedArg(_))
+        ));
+        assert!(matches!(
+            parse_client_args(&s(&["health", "--frobnicate", "--port", "1"])),
+            Err(CliError::UnknownFlag(_))
+        ));
+        assert!(matches!(
+            parse_client_args(&s(&["health", "--port", "zero"])),
+            Err(CliError::Conflicting(_))
+        ));
+        assert!(matches!(
+            parse_client_args(&s(&["submit", "--port", "1", "--grid", "table6"])),
+            Err(CliError::Conflicting(_))
+        ));
+        assert!(matches!(
+            parse_client_args(&s(&["bench", "--port", "1", "--reps", "0"])),
+            Err(CliError::Conflicting(_))
+        ));
+        // Flags that belong to another command are conflicts, not noise.
+        assert!(matches!(
+            parse_client_args(&s(&["health", "--port", "1", "--quick"])),
+            Err(CliError::Conflicting(_))
+        ));
+        assert!(matches!(
+            parse_client_args(&s(&["submit", "--port", "1", "--raw"])),
+            Err(CliError::Conflicting(_))
+        ));
+        assert!(matches!(
+            parse_client_args(&s(&["metrics", "--port", "1", "--json", "x"])),
+            Err(CliError::Conflicting(_))
+        ));
+    }
+
+    #[test]
+    fn results_doc_is_version_stamped_and_order_preserving() {
+        let runs = vec!["{\"a\":1}".to_string(), "{\"b\":2}".to_string()];
+        let doc = results_doc(&runs);
+        assert_eq!(
+            doc,
+            format!("{{\"engine_version\":{ENGINE_VERSION},\"runs\":[{{\"a\":1}},{{\"b\":2}}]}}")
+        );
+    }
+}

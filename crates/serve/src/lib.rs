@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+//! # vic-serve — the persistent experiment service
+//!
+//! Every simulated run in this workspace is a pure function of its
+//! [`SystemSpec`](vic_bench::SystemSpec) and the engine version, so
+//! re-running a grid the harness has already computed is pure waste. This
+//! crate turns the sweep machinery into a long-running **service** with a
+//! **content-addressed result cache**:
+//!
+//! * [`protocol`] — a length-prefixed JSON framing over plain TCP
+//!   (std-only, like everything else here): submit a batch of specs, ask
+//!   for health or metrics, request a graceful shutdown;
+//! * [`awrp`] — the in-memory cache tier: weight-ranked eviction in the
+//!   style of the Adaptive Weight Ranking Policy (frequency × recency),
+//!   so the entries a client keeps replaying stay resident while one-shot
+//!   grids age out;
+//! * [`store`] — the two-tier result store: the AWRP tier over an
+//!   on-disk directory of result documents keyed by the spec digest
+//!   ([`SystemSpec::digest`](vic_bench::SystemSpec::digest), which folds
+//!   [`vic_core::ENGINE_VERSION`] into the key so a store can never serve
+//!   a result computed by a different engine);
+//! * [`server`] — the service: a bounded work queue with
+//!   reject-with-retry-after backpressure, a worker pool running specs
+//!   through the same `spec.run()` + `run_json` path the `sweep` binary
+//!   uses, per-worker metric shards, and graceful shutdown that drains
+//!   in-flight runs;
+//! * [`client`] — the client library behind the `vic-client` binary:
+//!   submit grids, poll health/metrics, run the cold/warm cache benchmark
+//!   that produces the committed `BENCH_serve.json`.
+//!
+//! The load-bearing invariant, asserted end to end by
+//! `crates/serve/tests/service.rs`: a cache hit is **byte-identical** to
+//! a fresh run. Results are memoized as the exact `run_json(spec, stats,
+//! None)` text, the digest is injective over distinct specs (see
+//! `vic_bench::digest`), and the protocol ships the stored bytes
+//! verbatim, so cold submit, warm submit and a direct in-process sweep
+//! all produce the same bytes.
+
+pub mod awrp;
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod store;
+
+pub use awrp::AwrpTier;
+pub use client::{Connection, Grid, ServeBench, SubmitOutcome};
+pub use server::{ServeConfig, Server};
+pub use store::{Lookup, ResultStore};

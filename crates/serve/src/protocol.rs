@@ -1,0 +1,217 @@
+//! The wire protocol: length-prefixed JSON frames over TCP.
+//!
+//! A frame is a 4-byte big-endian payload length followed by that many
+//! bytes of UTF-8 JSON. Framing is the whole transport — no HTTP, no
+//! external dependency — and it lets the server ship cached result
+//! documents as **verbatim bytes** (one frame per run), which is what
+//! makes the byte-identity guarantee checkable end to end.
+//!
+//! Requests (client → server), all carrying the engine version stamp:
+//!
+//! ```json
+//! {"engine_version":3,"type":"health"}
+//! {"engine_version":3,"type":"metrics"}
+//! {"engine_version":3,"type":"shutdown"}
+//! {"engine_version":3,"type":"submit","specs":[{"workload":...}, ...]}
+//! ```
+//!
+//! Responses (server → client): `health`, `metrics` (embedding a
+//! `vic_bench::output::metrics_json` document), `busy` (backpressure:
+//! queue full, retry after the given delay), `draining` (shutdown in
+//! progress, no new work), `bye` (shutdown acknowledged, queue drained),
+//! `error`, and `results`. A `results` response is a header frame
+//! `{"type":"results","count":n,"hits":h,"misses":m,"tiers":[...]}`
+//! followed by `n` frames each holding exactly one run document's bytes,
+//! in spec order.
+
+use std::io::{ErrorKind, Read, Write};
+
+use vic_core::ENGINE_VERSION;
+use vic_profile::JsonValue;
+
+/// Hard ceiling on a frame's payload (64 MiB) — a sanity guard against a
+/// garbage length prefix, far above any real document in this workspace.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Write one frame: 4-byte big-endian length, then the payload.
+///
+/// # Errors
+///
+/// Any I/O error from the underlying writer; an oversized payload is
+/// reported as [`ErrorKind::InvalidInput`].
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    // One buffered write per frame: header + payload as a single segment.
+    // Split writes interact badly with Nagle + delayed ACK on a TCP
+    // stream (tens of milliseconds per frame — dwarfing a cache hit).
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Read one frame. `Ok(None)` means the peer closed the connection
+/// cleanly at a frame boundary; EOF mid-frame is an error.
+///
+/// `abort` is polled whenever a read times out (a stream with a read
+/// timeout set): return `true` to give up and report a clean close. On a
+/// stream with no timeout, `abort` is never consulted.
+///
+/// # Errors
+///
+/// Any I/O error from the underlying reader; a length prefix beyond
+/// [`MAX_FRAME`] is reported as [`ErrorKind::InvalidData`].
+pub fn read_frame_abortable<R: Read>(
+    r: &mut R,
+    abort: impl Fn() -> bool,
+) -> std::io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if abort() {
+                    return Ok(None);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    let mut got = 0;
+    while got < len {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ))
+            }
+            Ok(n) => got += n,
+            // Mid-frame the bytes are already in flight: keep waiting
+            // even across timeouts (abort only applies between frames).
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(payload))
+}
+
+/// [`read_frame_abortable`] that never aborts — the client-side (and
+/// test-side) read on a stream without a timeout.
+///
+/// # Errors
+///
+/// See [`read_frame_abortable`].
+pub fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Option<Vec<u8>>> {
+    read_frame_abortable(r, || false)
+}
+
+/// Parse a frame payload as JSON and validate its `engine_version` stamp,
+/// returning the document and its `type` tag.
+///
+/// # Errors
+///
+/// A message naming the problem: bad UTF-8, bad JSON, a missing or
+/// mismatched version, or a missing `type`.
+pub fn parse_message(payload: &[u8]) -> Result<(JsonValue, String), String> {
+    let text = std::str::from_utf8(payload).map_err(|_| "frame is not UTF-8".to_string())?;
+    let doc = vic_profile::parse_json(text).map_err(|e| format!("bad JSON: {e}"))?;
+    let version = doc
+        .get("engine_version")
+        .and_then(JsonValue::as_u64)
+        .ok_or("missing 'engine_version'")?;
+    if version != ENGINE_VERSION {
+        return Err(format!(
+            "engine_version {version} (this engine speaks {ENGINE_VERSION})"
+        ));
+    }
+    let kind = doc
+        .get("type")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing 'type'")?
+        .to_string();
+    Ok((doc, kind))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, b"world").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"world"[..]));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn truncation_mid_frame_is_an_error_not_a_close() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        for cut in 1..buf.len() {
+            let mut r = &buf[..cut];
+            let err = read_frame(&mut r).unwrap_err();
+            assert_eq!(err.kind(), ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn garbage_length_prefixes_are_rejected() {
+        let mut buf = (MAX_FRAME as u32 + 1).to_be_bytes().to_vec();
+        buf.extend_from_slice(b"xx");
+        let mut r = &buf[..];
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn messages_validate_version_and_type() {
+        let good = format!("{{\"engine_version\":{ENGINE_VERSION},\"type\":\"health\"}}");
+        let (_, kind) = parse_message(good.as_bytes()).unwrap();
+        assert_eq!(kind, "health");
+        let err = parse_message(b"{\"engine_version\":99,\"type\":\"health\"}").unwrap_err();
+        assert!(err.contains("engine_version 99"), "{err}");
+        assert!(parse_message(b"{}").unwrap_err().contains("engine_version"));
+        let no_type = format!("{{\"engine_version\":{ENGINE_VERSION}}}");
+        assert!(parse_message(no_type.as_bytes())
+            .unwrap_err()
+            .contains("type"));
+        assert!(parse_message(b"not json").unwrap_err().contains("bad JSON"));
+        assert!(parse_message(&[0xff, 0xfe]).unwrap_err().contains("UTF-8"));
+    }
+}

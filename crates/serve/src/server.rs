@@ -1,0 +1,749 @@
+//! The experiment server: a bounded work queue, a worker pool over the
+//! sweep machinery, the two-tier result store, and the TCP front end.
+//!
+//! One process, three kinds of threads under one `thread::scope`:
+//!
+//! * the **accept loop** (the caller's thread inside [`Server::run`])
+//!   takes connections and spawns a handler per connection;
+//! * **connection handlers** parse request frames. A `submit` resolves
+//!   every spec against the store, enqueues the misses (deduplicating
+//!   identical in-flight specs onto one run), blocks until its runs
+//!   complete and streams the result documents back verbatim;
+//! * **workers** pop specs off the shared queue, run them through the
+//!   same `spec.run()` + `run_json(spec, stats, None)` path the `sweep`
+//!   binary uses, and memoize the bytes in the store.
+//!
+//! Backpressure is reject-not-buffer: when queued-plus-running work would
+//! exceed the configured limit, a submit is answered with `busy` and a
+//! suggested retry delay instead of being absorbed — the client owns the
+//! retry policy, the server's memory stays bounded.
+//!
+//! Graceful shutdown drains: a `shutdown` request stops new submissions
+//! (`draining`), waits for every queued and running job to finish, then
+//! answers `bye` and stops the workers and the accept loop. Nothing
+//! in-flight is lost.
+
+use std::collections::VecDeque;
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use vic_bench::cli::CliError;
+use vic_bench::output::{metrics_json, run_json, JsonObj, RunMetric};
+use vic_bench::spec_from_json;
+use vic_bench::SystemSpec;
+use vic_core::{FxHashMap, ENGINE_VERSION};
+use vic_metrics::MetricsShard;
+use vic_profile::JsonValue;
+
+use crate::protocol::{parse_message, read_frame_abortable, write_frame};
+use crate::store::{Lookup, ResultStore};
+
+/// Everything a server needs to start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:0` (port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Worker pool size.
+    pub threads: usize,
+    /// Maximum queued-plus-running jobs before submits are answered
+    /// `busy`.
+    pub queue_limit: usize,
+    /// In-memory cache tier capacity (entries).
+    pub mem_capacity: usize,
+    /// On-disk store directory (created if absent).
+    pub store_dir: String,
+}
+
+impl ServeConfig {
+    /// A config with the default address (`127.0.0.1:0`), worker count
+    /// (`available_parallelism`), queue limit (64) and memory tier
+    /// capacity (256).
+    pub fn new(store_dir: &str) -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: vic_bench::sweep::default_threads(),
+            queue_limit: 64,
+            mem_capacity: 256,
+            store_dir: store_dir.to_string(),
+        }
+    }
+}
+
+/// One unit of queued work: a spec, its digest, and the slot its result
+/// lands in.
+struct Job {
+    digest: u64,
+    spec: SystemSpec,
+    slot: Arc<Slot>,
+}
+
+/// A rendezvous for one in-flight run. Submit handlers wait on it;
+/// exactly one worker fills it. Identical specs submitted concurrently
+/// share one slot (and therefore one run).
+struct Slot {
+    result: Mutex<Option<Result<Arc<str>, String>>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Self> {
+        Arc::new(Slot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn fill(&self, value: Result<Arc<str>, String>) {
+        *self.result.lock().expect("slot poisoned") = Some(value);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Result<Arc<str>, String> {
+        let mut guard = self.result.lock().expect("slot poisoned");
+        loop {
+            if let Some(v) = guard.as_ref() {
+                return v.clone();
+            }
+            guard = self.ready.wait(guard).expect("slot poisoned");
+        }
+    }
+}
+
+/// The queue-and-lifecycle state behind one mutex.
+struct QueueState {
+    queue: VecDeque<Job>,
+    /// digest → slot for every queued or running job, for dedup.
+    inflight: FxHashMap<u64, Arc<Slot>>,
+    /// Jobs queued or running (the backpressure quantity).
+    pending: usize,
+    draining: bool,
+    stop: bool,
+}
+
+/// Telemetry behind one mutex: per-worker shards, the server's own shard
+/// (cache and protocol counters), and the per-run entry list.
+struct Telemetry {
+    server: MetricsShard,
+    workers: Vec<MetricsShard>,
+    runs: Vec<RunMetric>,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    work: Condvar,
+    drain: Condvar,
+    store: Mutex<ResultStore>,
+    telemetry: Mutex<Telemetry>,
+    queue_limit: usize,
+    threads: usize,
+    started: Instant,
+    /// The bound address, for the shutdown self-connect that wakes the
+    /// accept loop.
+    addr: std::net::SocketAddr,
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        self.state.lock().expect("state poisoned").stop
+    }
+}
+
+/// A bound, not-yet-running server. [`Server::bind`] opens the listener
+/// and the store (so bad addresses and unwritable store paths fail here,
+/// with typed errors); [`Server::run`] blocks until a client asks for
+/// shutdown.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Bind the listener, open the store, and prepare the shared state.
+    ///
+    /// Also flips the process-wide progress kill switch
+    /// ([`vic_metrics::suppress_auto_progress`]): a service's stderr is a
+    /// log, and no sweep it runs on behalf of a client may auto-attach an
+    /// interactive progress reporter to it.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Io`] for an unbindable address or an uncreatable /
+    /// unwritable store directory.
+    pub fn bind(config: &ServeConfig) -> Result<Self, CliError> {
+        vic_metrics::suppress_auto_progress();
+        let store = ResultStore::open(&config.store_dir, config.mem_capacity)?;
+        let listener = TcpListener::bind(&config.addr).map_err(|e| CliError::Io {
+            path: config.addr.clone(),
+            err: e.to_string(),
+        })?;
+        let addr = listener.local_addr().map_err(|e| CliError::Io {
+            path: config.addr.clone(),
+            err: e.to_string(),
+        })?;
+        let threads = config.threads.max(1);
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                state: Mutex::new(QueueState {
+                    queue: VecDeque::new(),
+                    inflight: FxHashMap::default(),
+                    pending: 0,
+                    draining: false,
+                    stop: false,
+                }),
+                work: Condvar::new(),
+                drain: Condvar::new(),
+                store: Mutex::new(store),
+                telemetry: Mutex::new(Telemetry {
+                    server: MetricsShard::default(),
+                    workers: vec![MetricsShard::default(); threads],
+                    runs: Vec::new(),
+                }),
+                queue_limit: config.queue_limit,
+                threads,
+                started: Instant::now(),
+                addr,
+            }),
+        })
+    }
+
+    /// The bound address (read the ephemeral port from here).
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Io`] if the OS cannot report the socket's address.
+    pub fn local_addr(&self) -> Result<std::net::SocketAddr, CliError> {
+        self.listener.local_addr().map_err(|e| CliError::Io {
+            path: "listener".to_string(),
+            err: e.to_string(),
+        })
+    }
+
+    /// Serve until a client's `shutdown` completes. Consumes the server;
+    /// every worker and connection thread is joined before this returns.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Io`] only for accept-loop failures; per-connection I/O
+    /// errors just close that connection.
+    pub fn run(self) -> Result<(), CliError> {
+        let shared = &self.shared;
+        std::thread::scope(|scope| {
+            for worker in 0..shared.threads {
+                scope.spawn(move || worker_loop(shared, worker));
+            }
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        if shared.stopping() {
+                            break;
+                        }
+                        scope.spawn(move || handle_connection(shared, stream));
+                    }
+                    Err(e) => {
+                        if shared.stopping() {
+                            break;
+                        }
+                        return Err(CliError::Io {
+                            path: "accept".to_string(),
+                            err: e.to_string(),
+                        });
+                    }
+                }
+            }
+            Ok(())
+        })
+    }
+}
+
+pub(crate) fn set_value(
+    slot: &mut Option<String>,
+    flag: &'static str,
+    value: Option<&String>,
+) -> Result<(), CliError> {
+    let v = value.ok_or(CliError::MissingValue(flag))?;
+    match slot {
+        Some(old) if old != v => Err(CliError::Conflicting(format!(
+            "{flag} given twice ('{old}' and '{v}')"
+        ))),
+        _ => {
+            *slot = Some(v.clone());
+            Ok(())
+        }
+    }
+}
+
+pub(crate) fn parse_count(
+    flag: &'static str,
+    v: Option<String>,
+) -> Result<Option<usize>, CliError> {
+    match v {
+        None => Ok(None),
+        Some(n) => n.parse::<usize>().map(Some).map_err(|_| {
+            CliError::Conflicting(format!("{flag} wants a non-negative integer, got '{n}'"))
+        }),
+    }
+}
+
+/// Parse the `serve` binary's arguments:
+/// `--store <dir> [--port <p>] [--threads <n>] [--queue-limit <n>]
+/// [--mem-capacity <n>]`. Port 0 (the default) picks an ephemeral port;
+/// the binary prints the bound address so scripts can discover it.
+///
+/// # Errors
+///
+/// A [`CliError`] naming the offending argument.
+pub fn parse_serve_args(args: &[String]) -> Result<ServeConfig, CliError> {
+    let mut store: Option<String> = None;
+    let mut port: Option<String> = None;
+    let mut threads: Option<String> = None;
+    let mut queue_limit: Option<String> = None;
+    let mut mem_capacity: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--store" => set_value(&mut store, "--store", it.next())?,
+            "--port" => set_value(&mut port, "--port", it.next())?,
+            "--threads" => set_value(&mut threads, "--threads", it.next())?,
+            "--queue-limit" => set_value(&mut queue_limit, "--queue-limit", it.next())?,
+            "--mem-capacity" => set_value(&mut mem_capacity, "--mem-capacity", it.next())?,
+            s if s.starts_with("--") => return Err(CliError::UnknownFlag(s.to_string())),
+            s => return Err(CliError::UnexpectedArg(s.to_string())),
+        }
+    }
+    let store = store.ok_or(CliError::MissingArg("--store <dir>"))?;
+    let mut config = ServeConfig::new(&store);
+    if let Some(p) = port {
+        let p = p.parse::<u16>().map_err(|_| {
+            CliError::Conflicting(format!("--port wants a number in 0..=65535, got '{p}'"))
+        })?;
+        config.addr = format!("127.0.0.1:{p}");
+    }
+    if let Some(n) = parse_count("--threads", threads)? {
+        if n == 0 {
+            return Err(CliError::Conflicting(
+                "--threads must be at least 1".to_string(),
+            ));
+        }
+        config.threads = n;
+    }
+    if let Some(n) = parse_count("--queue-limit", queue_limit)? {
+        config.queue_limit = n;
+    }
+    if let Some(n) = parse_count("--mem-capacity", mem_capacity)? {
+        config.mem_capacity = n;
+    }
+    Ok(config)
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// One worker: pop a job, run it, memoize the bytes, fill the slot,
+/// retire the job. Runs are wrapped in `catch_unwind` so a pathological
+/// spec fails its own submitters instead of the whole service.
+fn worker_loop(shared: &Shared, worker: usize) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("state poisoned");
+            loop {
+                if state.stop {
+                    return;
+                }
+                if let Some(job) = state.queue.pop_front() {
+                    break job;
+                }
+                state = shared.work.wait(state).expect("state poisoned");
+            }
+        };
+        let t0 = Instant::now();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.spec.run()));
+        let wall = t0.elapsed();
+        let result = match outcome {
+            Ok(stats) => {
+                let payload: Arc<str> = Arc::from(run_json(&job.spec, &stats, None));
+                let disk = shared
+                    .store
+                    .lock()
+                    .expect("store poisoned")
+                    .insert(job.digest, Arc::clone(&payload));
+                {
+                    let mut tel = shared.telemetry.lock().expect("telemetry poisoned");
+                    let shard = &mut tel.workers[worker];
+                    shard.add("runs_completed", 1);
+                    shard.add("sim_cycles", stats.cycles);
+                    shard.add(&format!("worker_{worker}_runs"), 1);
+                    shard.observe("sim_cycles_per_run", stats.cycles);
+                    shard.observe("host_ns_per_run", wall.as_nanos() as u64);
+                    shard.observe("miss_run_ns", wall.as_nanos() as u64);
+                    shard.gauge_max("peak_sim_cycles", stats.cycles);
+                    if disk.is_err() {
+                        shard.add("store_write_errors", 1);
+                    }
+                    tel.runs.push(RunMetric {
+                        label: job.spec.label(),
+                        sim_cycles: stats.cycles,
+                        host_ns: wall.as_nanos() as u64,
+                    });
+                }
+                Ok(payload)
+            }
+            Err(payload) => {
+                let mut tel = shared.telemetry.lock().expect("telemetry poisoned");
+                tel.workers[worker].add("runs_failed", 1);
+                Err(panic_message(payload))
+            }
+        };
+        job.slot.fill(result);
+        let mut state = shared.state.lock().expect("state poisoned");
+        state.inflight.remove(&job.digest);
+        state.pending -= 1;
+        if state.pending == 0 {
+            shared.drain.notify_all();
+        }
+    }
+}
+
+fn version_obj(kind: &str) -> JsonObj {
+    JsonObj::new()
+        .u64("engine_version", ENGINE_VERSION)
+        .str("type", kind)
+}
+
+fn error_frame(message: &str) -> Vec<u8> {
+    version_obj("error")
+        .str("message", message)
+        .finish()
+        .into_bytes()
+}
+
+/// What a submit resolved to, per spec, before any waiting happens.
+enum Resolved {
+    Hit {
+        tier: &'static str,
+        payload: Arc<str>,
+    },
+    Wait(Arc<Slot>),
+}
+
+/// The frames answering one request. `Close` additionally ends the
+/// connection (shutdown acknowledged).
+enum Reply {
+    Frames(Vec<Vec<u8>>),
+    Close(Vec<u8>),
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    // A read timeout turns idle blocking reads into periodic stop-flag
+    // polls, so lingering idle connections cannot hold up shutdown.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    // Serving a cache hit is sub-microsecond work; never let Nagle sit on
+    // a reply frame waiting for an ACK.
+    let _ = stream.set_nodelay(true);
+    loop {
+        let frame = match read_frame_abortable(&mut stream, || shared.stopping()) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return,
+            Err(_) => return,
+        };
+        let reply = match parse_message(&frame) {
+            Err(e) => Reply::Frames(vec![error_frame(&e)]),
+            Ok((doc, kind)) => match kind.as_str() {
+                "health" => Reply::Frames(vec![health_frame(shared)]),
+                "metrics" => Reply::Frames(vec![metrics_frame(shared)]),
+                "submit" => Reply::Frames(handle_submit(shared, &doc)),
+                "shutdown" => Reply::Close(handle_shutdown(shared)),
+                other => Reply::Frames(vec![error_frame(&format!(
+                    "unknown request type '{other}'"
+                ))]),
+            },
+        };
+        match reply {
+            Reply::Frames(frames) => {
+                for f in frames {
+                    if write_frame(&mut stream, &f).is_err() {
+                        return;
+                    }
+                }
+            }
+            Reply::Close(frame) => {
+                let _ = write_frame(&mut stream, &frame);
+                return;
+            }
+        }
+    }
+}
+
+fn health_frame(shared: &Shared) -> Vec<u8> {
+    let (pending, draining) = {
+        let state = shared.state.lock().expect("state poisoned");
+        (state.pending, state.draining)
+    };
+    let mem = shared.store.lock().expect("store poisoned").mem_len();
+    version_obj("health")
+        .bool("ok", true)
+        .u64("queue_depth", pending as u64)
+        .u64("queue_limit", shared.queue_limit as u64)
+        .bool("draining", draining)
+        .u64("mem_entries", mem as u64)
+        .u64("workers", shared.threads as u64)
+        .f64("uptime_seconds", shared.started.elapsed().as_secs_f64())
+        .finish()
+        .into_bytes()
+}
+
+fn metrics_frame(shared: &Shared) -> Vec<u8> {
+    let evictions = shared.store.lock().expect("store poisoned").mem_evictions();
+    let (merged, runs) = {
+        let tel = shared.telemetry.lock().expect("telemetry poisoned");
+        let mut merged = tel.server.clone();
+        for shard in &tel.workers {
+            merged.merge(shard);
+        }
+        (merged, tel.runs.clone())
+    };
+    let mut merged = merged;
+    merged.add("cache_evictions", evictions);
+    let doc = metrics_json(
+        shared.threads,
+        shared.started.elapsed().as_secs_f64(),
+        &merged,
+        &runs,
+    );
+    version_obj("metrics")
+        .raw("metrics", &doc)
+        .finish()
+        .into_bytes()
+}
+
+fn handle_shutdown(shared: &Shared) -> Vec<u8> {
+    {
+        let mut state = shared.state.lock().expect("state poisoned");
+        state.draining = true;
+        while state.pending > 0 {
+            state = shared.drain.wait(state).expect("state poisoned");
+        }
+        state.stop = true;
+        shared.work.notify_all();
+    }
+    // The accept loop is blocked in accept(); poke it awake so it can see
+    // the stop flag. Any connect succeeds — the loop checks before
+    // spawning a handler.
+    let _ = TcpStream::connect(shared.addr);
+    version_obj("bye").finish().into_bytes()
+}
+
+fn handle_submit(shared: &Shared, doc: &JsonValue) -> Vec<Vec<u8>> {
+    let Some(spec_values) = doc.get("specs").and_then(JsonValue::as_arr) else {
+        return vec![error_frame("submit: missing 'specs' array")];
+    };
+    let mut specs = Vec::with_capacity(spec_values.len());
+    for (i, v) in spec_values.iter().enumerate() {
+        match spec_from_json(v) {
+            Ok(spec) => specs.push(spec),
+            Err(e) => return vec![error_frame(&format!("submit: spec {i}: {e}"))],
+        }
+    }
+
+    // Resolve every spec against the store and the in-flight set under
+    // the state lock (state → store nesting; workers never nest those two
+    // locks, so the order is acyclic). Holding the state lock across the
+    // lookups makes resolve-or-enqueue atomic with respect to worker
+    // retirement: a digest is either served from the store, joined onto
+    // an in-flight slot, or enqueued exactly once.
+    let mut resolved = Vec::with_capacity(specs.len());
+    let mut new_jobs: Vec<Job> = Vec::new();
+    let mut hits_mem = 0u64;
+    let mut hits_disk = 0u64;
+    let mut misses = 0u64;
+    let mut hit_ns: Vec<u64> = Vec::new();
+    {
+        let mut state = shared.state.lock().expect("state poisoned");
+        if state.draining {
+            return vec![version_obj("draining").finish().into_bytes()];
+        }
+        let mut store = shared.store.lock().expect("store poisoned");
+        for spec in &specs {
+            let digest = spec.digest();
+            let t0 = Instant::now();
+            match store.lookup(digest) {
+                Lookup::Mem(payload) => {
+                    hits_mem += 1;
+                    hit_ns.push(t0.elapsed().as_nanos() as u64);
+                    resolved.push(Resolved::Hit {
+                        tier: "mem",
+                        payload,
+                    });
+                }
+                Lookup::Disk(payload) => {
+                    hits_disk += 1;
+                    hit_ns.push(t0.elapsed().as_nanos() as u64);
+                    resolved.push(Resolved::Hit {
+                        tier: "disk",
+                        payload,
+                    });
+                }
+                Lookup::Miss => {
+                    misses += 1;
+                    if let Some(slot) = state.inflight.get(&digest) {
+                        resolved.push(Resolved::Wait(Arc::clone(slot)));
+                    } else if let Some(job) = new_jobs.iter().find(|j| j.digest == digest) {
+                        // The same spec twice within this batch: one run.
+                        resolved.push(Resolved::Wait(Arc::clone(&job.slot)));
+                    } else {
+                        let slot = Slot::new();
+                        resolved.push(Resolved::Wait(Arc::clone(&slot)));
+                        new_jobs.push(Job {
+                            digest,
+                            spec: *spec,
+                            slot,
+                        });
+                    }
+                }
+            }
+        }
+        drop(store);
+        if state.pending + new_jobs.len() > shared.queue_limit {
+            let retry_ms = 25 * (state.pending as u64 + 1).min(40);
+            let mut tel = shared.telemetry.lock().expect("telemetry poisoned");
+            tel.server.add("rejected_busy", 1);
+            return vec![version_obj("busy")
+                .u64("queue_depth", state.pending as u64)
+                .u64("queue_limit", shared.queue_limit as u64)
+                .u64("retry_after_ms", retry_ms)
+                .finish()
+                .into_bytes()];
+        }
+        state.pending += new_jobs.len();
+        for job in new_jobs {
+            state.inflight.insert(job.digest, Arc::clone(&job.slot));
+            state.queue.push_back(job);
+        }
+        shared.work.notify_all();
+    }
+    {
+        let mut tel = shared.telemetry.lock().expect("telemetry poisoned");
+        tel.server.add("cache_hits_mem", hits_mem);
+        tel.server.add("cache_hits_disk", hits_disk);
+        tel.server.add("cache_misses", misses);
+        tel.server.add("submits", 1);
+        for ns in hit_ns {
+            tel.server.observe("hit_serve_ns", ns);
+        }
+    }
+
+    // Block on the slots (no locks held) and assemble the reply: a
+    // header, then the run documents as verbatim byte frames.
+    let mut tiers = String::from("[");
+    let mut payloads = Vec::with_capacity(resolved.len());
+    for (i, r) in resolved.into_iter().enumerate() {
+        let (tier, payload) = match r {
+            Resolved::Hit { tier, payload } => (tier, payload),
+            Resolved::Wait(slot) => match slot.wait() {
+                Ok(payload) => ("none", payload),
+                Err(panic) => {
+                    return vec![error_frame(&format!(
+                        "run panicked for spec {i} ({}): {panic}",
+                        specs[i].label()
+                    ))]
+                }
+            },
+        };
+        if i > 0 {
+            tiers.push(',');
+        }
+        tiers.push('"');
+        tiers.push_str(tier);
+        tiers.push('"');
+        payloads.push(payload);
+    }
+    tiers.push(']');
+    let header = version_obj("results")
+        .u64("count", payloads.len() as u64)
+        .u64("hits", hits_mem + hits_disk)
+        .u64("misses", misses)
+        .raw("tiers", &tiers)
+        .finish()
+        .into_bytes();
+    let mut frames = vec![header];
+    frames.extend(payloads.iter().map(|p| p.as_bytes().to_vec()));
+    frames
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn serve_grammar() {
+        let cfg = parse_serve_args(&s(&["--store", "/tmp/vic"])).unwrap();
+        assert_eq!(cfg.store_dir, "/tmp/vic");
+        assert_eq!(cfg.addr, "127.0.0.1:0", "ephemeral port by default");
+        assert_eq!(cfg.queue_limit, 64);
+        assert_eq!(cfg.mem_capacity, 256);
+        let cfg = parse_serve_args(&s(&[
+            "--store",
+            "d",
+            "--port",
+            "9000",
+            "--threads",
+            "2",
+            "--queue-limit",
+            "0",
+            "--mem-capacity",
+            "8",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.addr, "127.0.0.1:9000");
+        assert_eq!(cfg.threads, 2);
+        assert_eq!(
+            cfg.queue_limit, 0,
+            "a zero queue limit is legal (rejects all misses)"
+        );
+        assert_eq!(cfg.mem_capacity, 8);
+    }
+
+    #[test]
+    fn serve_grammar_errors_name_the_problem() {
+        assert_eq!(
+            parse_serve_args(&s(&[])),
+            Err(CliError::MissingArg("--store <dir>"))
+        );
+        assert_eq!(
+            parse_serve_args(&s(&["--store", "d", "--frobnicate"])),
+            Err(CliError::UnknownFlag("--frobnicate".to_string()))
+        );
+        assert_eq!(
+            parse_serve_args(&s(&["--store", "d", "extra"])),
+            Err(CliError::UnexpectedArg("extra".to_string()))
+        );
+        assert_eq!(
+            parse_serve_args(&s(&["--store"])),
+            Err(CliError::MissingValue("--store"))
+        );
+        assert!(matches!(
+            parse_serve_args(&s(&["--store", "d", "--port", "99999"])),
+            Err(CliError::Conflicting(_))
+        ));
+        assert!(matches!(
+            parse_serve_args(&s(&["--store", "d", "--threads", "0"])),
+            Err(CliError::Conflicting(_))
+        ));
+        assert!(matches!(
+            parse_serve_args(&s(&["--store", "a", "--store", "b"])),
+            Err(CliError::Conflicting(_))
+        ));
+    }
+}

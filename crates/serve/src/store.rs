@@ -1,0 +1,190 @@
+//! The two-tier content-addressed result store: an [`AwrpTier`] in
+//! memory over a directory of result documents on disk.
+//!
+//! Keys are spec digests ([`vic_bench::SystemSpec::digest`]): one `u64`
+//! that already folds in [`ENGINE_VERSION`], so results computed by a
+//! different engine live under different keys. On-disk entries are the
+//! exact `run_json` bytes under `vic-<digest as 16 hex digits>.json`; a
+//! read additionally validates the document's version stamp before
+//! serving it, so a corrupted or foreign file degrades to a miss (and is
+//! deleted) instead of poisoning a client.
+//!
+//! A disk hit is *promoted* into the memory tier — the AWRP weights then
+//! decide how long it stays resident. A disk write failure is reported to
+//! the caller but does not lose the result: the memory tier still holds
+//! it, so the server keeps serving hits from a full disk.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use vic_bench::cli::CliError;
+use vic_core::ENGINE_VERSION;
+
+use crate::awrp::AwrpTier;
+
+/// The outcome of a store lookup, naming the tier that answered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lookup {
+    /// Served from the in-memory AWRP tier.
+    Mem(Arc<str>),
+    /// Served from disk (and promoted into the memory tier).
+    Disk(Arc<str>),
+    /// Not cached anywhere: the spec must be run.
+    Miss,
+}
+
+/// The two-tier store. Not internally synchronized — the server wraps it
+/// in a mutex; lookups are microseconds against runs that take
+/// milliseconds, so one lock is not a bottleneck.
+#[derive(Debug)]
+pub struct ResultStore {
+    mem: AwrpTier,
+    dir: PathBuf,
+}
+
+impl ResultStore {
+    /// Open (creating if needed) the on-disk store at `dir` with an
+    /// in-memory tier of `mem_capacity` entries, and probe that the
+    /// directory is actually writable so a bad `--store` path fails at
+    /// startup with a typed error instead of on the first result.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Io`] naming the path when it cannot be created or
+    /// written.
+    pub fn open(dir: &str, mem_capacity: usize) -> Result<Self, CliError> {
+        let io_err = |e: std::io::Error| CliError::Io {
+            path: dir.to_string(),
+            err: e.to_string(),
+        };
+        std::fs::create_dir_all(dir).map_err(io_err)?;
+        let probe = Path::new(dir).join(".vic-store-probe");
+        std::fs::write(&probe, b"probe").map_err(io_err)?;
+        std::fs::remove_file(&probe).map_err(io_err)?;
+        Ok(ResultStore {
+            mem: AwrpTier::new(mem_capacity),
+            dir: PathBuf::from(dir),
+        })
+    }
+
+    fn file_of(&self, digest: u64) -> PathBuf {
+        self.dir.join(format!("vic-{digest:016x}.json"))
+    }
+
+    /// Look up a digest: memory first, then disk (with promotion).
+    pub fn lookup(&mut self, digest: u64) -> Lookup {
+        if let Some(payload) = self.mem.get(digest, ENGINE_VERSION) {
+            return Lookup::Mem(payload);
+        }
+        let path = self.file_of(digest);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            return Lookup::Miss;
+        };
+        if !text.starts_with(&format!("{{\"engine_version\":{ENGINE_VERSION},")) {
+            // Foreign or corrupt document: drop it rather than serve it.
+            let _ = std::fs::remove_file(&path);
+            return Lookup::Miss;
+        }
+        let payload: Arc<str> = Arc::from(text);
+        self.mem
+            .insert(digest, ENGINE_VERSION, Arc::clone(&payload));
+        Lookup::Disk(payload)
+    }
+
+    /// Memoize a freshly computed result in both tiers.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Io`] if the disk write failed — the memory tier holds
+    /// the result regardless, so the caller may treat this as degraded
+    /// service rather than a lost run.
+    pub fn insert(&mut self, digest: u64, payload: Arc<str>) -> Result<(), CliError> {
+        self.mem
+            .insert(digest, ENGINE_VERSION, Arc::clone(&payload));
+        let path = self.file_of(digest);
+        std::fs::write(&path, payload.as_bytes()).map_err(|e| CliError::Io {
+            path: path.display().to_string(),
+            err: e.to_string(),
+        })
+    }
+
+    /// Entries resident in the memory tier.
+    pub fn mem_len(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// Evictions the memory tier has performed.
+    pub fn mem_evictions(&self) -> u64 {
+        self.mem.evictions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> String {
+        let dir =
+            std::env::temp_dir().join(format!("vic-store-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir.display().to_string()
+    }
+
+    fn doc(tag: &str) -> Arc<str> {
+        Arc::from(format!("{{\"engine_version\":{ENGINE_VERSION},\"x\":\"{tag}\"}}").as_str())
+    }
+
+    #[test]
+    fn open_rejects_unwritable_paths_with_typed_errors() {
+        let err = ResultStore::open("/proc/vic-no-such-store", 4).unwrap_err();
+        assert!(matches!(err, CliError::Io { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn lookup_walks_mem_then_disk_then_misses() {
+        let dir = tmp_dir("tiers");
+        let mut s = ResultStore::open(&dir, 4).unwrap();
+        assert_eq!(s.lookup(1), Lookup::Miss);
+        s.insert(1, doc("a")).unwrap();
+        assert_eq!(s.lookup(1), Lookup::Mem(doc("a")));
+        // A fresh store over the same directory has a cold memory tier:
+        // the first lookup is a disk hit (with promotion), the second a
+        // memory hit.
+        let mut s2 = ResultStore::open(&dir, 4).unwrap();
+        assert_eq!(s2.lookup(1), Lookup::Disk(doc("a")));
+        assert_eq!(s2.lookup(1), Lookup::Mem(doc("a")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_or_foreign_disk_entries_degrade_to_misses() {
+        let dir = tmp_dir("corrupt");
+        let mut s = ResultStore::open(&dir, 4).unwrap();
+        // A document stamped by some other engine version.
+        let stale = format!("{{\"engine_version\":{},\"x\":1}}", ENGINE_VERSION + 1);
+        std::fs::write(
+            Path::new(&dir).join(format!("vic-{:016x}.json", 9u64)),
+            stale,
+        )
+        .unwrap();
+        assert_eq!(s.lookup(9), Lookup::Miss, "stale version never served");
+        // ...and the offending file is gone, so the miss is cheap next time.
+        assert!(!Path::new(&dir)
+            .join(format!("vic-{:016x}.json", 9u64))
+            .exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn insert_survives_memory_eviction_via_disk() {
+        let dir = tmp_dir("evict");
+        let mut s = ResultStore::open(&dir, 1).unwrap();
+        s.insert(1, doc("one")).unwrap();
+        s.insert(2, doc("two")).unwrap();
+        assert_eq!(s.mem_len(), 1, "capacity-1 tier holds one entry");
+        assert!(s.mem_evictions() >= 1);
+        // The evicted entry still answers — from disk.
+        assert_eq!(s.lookup(1), Lookup::Disk(doc("one")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,335 @@
+//! Binary-contract tests: a real `serve` process on an ephemeral port,
+//! driven through the real `client` binary and the client library.
+//!
+//! The load-bearing assertion is byte identity: the result documents a
+//! cold submit, a warm (cache-hit) submit and a direct in-process
+//! `run_json` produce must match byte for byte.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+use vic_bench::output::run_json;
+use vic_serve::client::{results_doc, Grid, SubmitOutcome};
+use vic_serve::Connection;
+
+const SERVE: &str = env!("CARGO_BIN_EXE_serve");
+const CLIENT: &str = env!("CARGO_BIN_EXE_client");
+
+/// A running `serve` process; killed (and its store removed) on drop.
+struct ServerProc {
+    child: Child,
+    port: u16,
+    store: String,
+    /// Held open so the server's later writes (the "stopped" line) don't
+    /// hit a closed pipe.
+    _stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl ServerProc {
+    /// Start a server on an ephemeral port with a fresh (or reused)
+    /// store directory, and read the bound port off its stdout.
+    fn start(store: &str, extra_args: &[&str]) -> ServerProc {
+        let mut child = Command::new(SERVE)
+            .args(["--store", store, "--port", "0"])
+            .args(extra_args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn serve");
+        let stdout = child.stdout.take().expect("serve stdout piped");
+        let mut reader = BufReader::new(stdout);
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read serve banner");
+        let port = line
+            .trim()
+            .rsplit(':')
+            .next()
+            .and_then(|p| p.parse::<u16>().ok())
+            .unwrap_or_else(|| panic!("no port in serve banner: {line:?}"));
+        ServerProc {
+            child,
+            port,
+            store: store.to_string(),
+            _stdout: reader,
+        }
+    }
+
+    fn client(&self, args: &[&str]) -> std::process::Output {
+        let mut cmd = Command::new(CLIENT);
+        cmd.args(args);
+        cmd.args(["--port", &self.port.to_string()]);
+        cmd.output().expect("run client")
+    }
+
+    fn connect(&self) -> Connection {
+        Connection::connect("127.0.0.1", self.port).expect("connect")
+    }
+
+    /// Graceful shutdown through the client binary; waits for exit.
+    fn shutdown(mut self) -> String {
+        let out = self.client(&["shutdown"]);
+        assert!(out.status.success(), "shutdown: {out:?}");
+        let status = self.child.wait().expect("wait serve");
+        assert!(status.success(), "serve exit after shutdown: {status:?}");
+        // Keep the store for a follow-up server; Drop cleans it up when
+        // the caller drops the returned path's owner (here: caller).
+        std::mem::take(&mut self.store)
+    }
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        if !self.store.is_empty() {
+            let _ = std::fs::remove_dir_all(&self.store);
+        }
+    }
+}
+
+fn tmp_store(name: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("vic-serve-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir.display().to_string()
+}
+
+#[test]
+fn warm_equals_cold_equals_direct_sweep_bytes() {
+    let server = ServerProc::start(&tmp_store("identity"), &[]);
+    let specs = Grid::Table4.specs(true);
+
+    let mut conn = server.connect();
+    let SubmitOutcome::Results {
+        hits,
+        misses,
+        runs: cold_runs,
+        ..
+    } = conn.submit_with_retry(&specs, 10).expect("cold submit")
+    else {
+        panic!("cold submit refused");
+    };
+    assert_eq!(hits, 0, "a fresh store has nothing to hit");
+    assert_eq!(misses, specs.len() as u64);
+
+    let SubmitOutcome::Results {
+        hits,
+        misses,
+        runs: warm_runs,
+        tiers,
+        ..
+    } = conn.submit_with_retry(&specs, 10).expect("warm submit")
+    else {
+        panic!("warm submit refused");
+    };
+    assert_eq!(hits, specs.len() as u64, "everything hits the second time");
+    assert_eq!(misses, 0);
+    assert!(
+        tiers.iter().all(|t| t == "mem" || t == "disk"),
+        "warm tiers: {tiers:?}"
+    );
+
+    assert_eq!(
+        results_doc(&cold_runs),
+        results_doc(&warm_runs),
+        "cache hits must be byte-identical to fresh runs"
+    );
+    // ...and both must match a direct in-process sweep, byte for byte.
+    for (spec, served) in specs.iter().zip(&cold_runs) {
+        let direct = run_json(spec, &spec.run(), None);
+        assert_eq!(&direct, served, "direct vs served for {}", spec.label());
+    }
+}
+
+#[test]
+fn client_binary_writes_deterministic_result_documents() {
+    let server = ServerProc::start(&tmp_store("clidoc"), &[]);
+    let dir = std::env::temp_dir();
+    let cold = dir.join(format!("vic-cold-{}.json", std::process::id()));
+    let warm = dir.join(format!("vic-warm-{}.json", std::process::id()));
+    for (path, label) in [(&cold, "cold"), (&warm, "warm")] {
+        let out = server.client(&[
+            "submit",
+            "--grid",
+            "table5",
+            "--quick",
+            "--json",
+            &path.display().to_string(),
+        ]);
+        assert!(out.status.success(), "{label} submit: {out:?}");
+    }
+    let cold_doc = std::fs::read(&cold).expect("cold doc");
+    let warm_doc = std::fs::read(&warm).expect("warm doc");
+    assert_eq!(cold_doc, warm_doc, "cold and warm documents differ");
+    assert!(cold_doc.starts_with(b"{\"engine_version\":"));
+    let _ = std::fs::remove_file(&cold);
+    let _ = std::fs::remove_file(&warm);
+}
+
+#[test]
+fn results_survive_a_server_restart_via_the_disk_tier() {
+    let store = tmp_store("restart");
+    let specs = Grid::Table5.specs(true);
+    let first = ServerProc::start(&store, &[]);
+    let mut conn = first.connect();
+    let SubmitOutcome::Results { runs: before, .. } =
+        conn.submit_with_retry(&specs, 10).expect("first submit")
+    else {
+        panic!("first submit refused");
+    };
+    drop(conn);
+    let store = first.shutdown();
+
+    // A brand-new process over the same store: every spec must hit, and
+    // the first pass must come from disk (the memory tier starts cold).
+    let second = ServerProc::start(&store, &[]);
+    let mut conn = second.connect();
+    let SubmitOutcome::Results {
+        hits,
+        misses,
+        tiers,
+        runs: after,
+    } = conn.submit_with_retry(&specs, 10).expect("second submit")
+    else {
+        panic!("second submit refused");
+    };
+    assert_eq!(hits, specs.len() as u64);
+    assert_eq!(misses, 0);
+    assert!(
+        tiers.iter().all(|t| t == "disk"),
+        "restart hits come from disk: {tiers:?}"
+    );
+    assert_eq!(before, after, "restart changed the served bytes");
+}
+
+#[test]
+fn zero_queue_limit_rejects_with_busy_and_exit_1() {
+    let server = ServerProc::start(
+        &tmp_store("busy"),
+        &["--queue-limit", "0", "--threads", "1"],
+    );
+    let out = server.client(&["submit", "--grid", "table5", "--quick", "--retries", "0"]);
+    assert_eq!(out.status.code(), Some(1), "busy is exit 1: {out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("busy"),
+        "stderr names the refusal: {stderr}"
+    );
+    // Health still answers while submits are rejected.
+    let out = server.client(&["health"]);
+    assert!(out.status.success(), "health during busy: {out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"ok\":true"));
+}
+
+#[test]
+fn metrics_counters_track_hits_and_misses() {
+    let server = ServerProc::start(&tmp_store("metrics"), &[]);
+    let mut conn = server.connect();
+    let specs = Grid::Table5.specs(true);
+    for _ in 0..2 {
+        let outcome = conn.submit_with_retry(&specs, 10).expect("submit");
+        assert!(matches!(outcome, SubmitOutcome::Results { .. }));
+    }
+    let out = server.client(&["metrics"]);
+    assert!(out.status.success(), "metrics: {out:?}");
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    let counter = |name: &str| -> u64 {
+        text.lines()
+            .find_map(|l| l.strip_prefix(&format!("{name} ")))
+            .unwrap_or_else(|| panic!("no '{name}' line in:\n{text}"))
+            .parse()
+            .expect("counter value")
+    };
+    assert_eq!(counter("cache_misses"), specs.len() as u64);
+    assert_eq!(
+        counter("cache_hits_mem") + counter("cache_hits_disk"),
+        specs.len() as u64
+    );
+    assert_eq!(counter("runs_completed"), specs.len() as u64);
+    assert_eq!(counter("submits"), 2);
+    assert_eq!(counter("runs_failed"), 0);
+    // The raw document is the versioned metrics JSON.
+    let out = server.client(&["metrics", "--raw"]);
+    assert!(String::from_utf8_lossy(&out.stdout).starts_with("{\"engine_version\":"));
+}
+
+#[test]
+fn bad_flags_and_unwritable_stores_are_exit_2() {
+    // serve: unknown flag, missing --store, unwritable store path.
+    for args in [
+        vec!["--store", "d", "--frobnicate"],
+        vec![],
+        vec!["--store", "/proc/vic-no-such-store"],
+    ] {
+        let out = Command::new(SERVE).args(&args).output().expect("run serve");
+        assert_eq!(out.status.code(), Some(2), "serve {args:?}: {out:?}");
+        assert!(!out.stderr.is_empty(), "serve {args:?} says why");
+    }
+    // client: unknown command, unknown flag, missing port, bad grid,
+    // unreadable check file.
+    for args in [
+        vec!["frobnicate", "--port", "1"],
+        vec!["health", "--frobnicate", "--port", "1"],
+        vec!["health"],
+        vec!["submit", "--port", "1", "--grid", "table6"],
+        vec!["check", "/no/such/vic-bench-file.json"],
+    ] {
+        let out = Command::new(CLIENT)
+            .args(&args)
+            .output()
+            .expect("run client");
+        assert_eq!(out.status.code(), Some(2), "client {args:?}: {out:?}");
+        assert!(!out.stderr.is_empty(), "client {args:?} says why");
+    }
+}
+
+#[test]
+fn check_validates_and_rejects_bench_documents() {
+    use vic_serve::ServeBench;
+    let dir = std::env::temp_dir();
+    let good = ServeBench {
+        grid: Grid::Table45,
+        quick: true,
+        runs: 23,
+        reps: 5,
+        cold_ms: 480.0,
+        warm_ms: 3.0,
+        byte_identical: true,
+    };
+    let path = dir.join(format!("vic-bench-check-{}.json", std::process::id()));
+    std::fs::write(&path, good.to_json()).expect("write bench doc");
+    let p = path.display().to_string();
+    let out = Command::new(CLIENT)
+        .args(["check", &p])
+        .output()
+        .expect("run client");
+    assert!(out.status.success(), "good doc: {out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("speedup"));
+    // A tampered speedup claim fails with exit 1.
+    let tampered = good
+        .to_json()
+        .replace("\"speedup\":160", "\"speedup\":1000");
+    std::fs::write(&path, tampered).expect("rewrite bench doc");
+    let out = Command::new(CLIENT)
+        .args(["check", &p])
+        .output()
+        .expect("run client");
+    assert_eq!(out.status.code(), Some(1), "tampered doc: {out:?}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn shutdown_drains_in_flight_work_and_exits_cleanly() {
+    let server = ServerProc::start(&tmp_store("drain"), &["--threads", "1"]);
+    let specs = Grid::Table5.specs(true);
+    let mut conn = server.connect();
+    let SubmitOutcome::Results { runs, .. } = conn.submit_with_retry(&specs, 10).expect("submit")
+    else {
+        panic!("submit refused");
+    };
+    assert_eq!(runs.len(), specs.len());
+    drop(conn);
+    // shutdown() asserts the `bye` handshake and a zero exit status —
+    // i.e. the drain completed and the accept loop stopped.
+    let store = server.shutdown();
+    let _ = std::fs::remove_dir_all(&store);
+}
